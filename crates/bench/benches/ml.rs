@@ -1,0 +1,57 @@
+//! ML micro-benchmarks: the per-vector inference cost the paper claims is
+//! negligible (Fig. 6 step (2)), forest training, and Spearman's ρ.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use micco_ml::{spearman, RandomForestRegressor, Regressor, TreeParams};
+
+fn synthetic(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            vec![
+                (i % 7) as f64,
+                (i % 13) as f64 * 3.0,
+                (i % 3) as f64 / 3.0,
+                ((i * 2654435761) % 100) as f64 / 100.0,
+            ]
+        })
+        .collect();
+    let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0 + (r[2] * 6.0).floor() + r[3]).collect();
+    (x, y)
+}
+
+fn bench_ml(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ml");
+    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+
+    let (x, y) = synthetic(300);
+    let mut forest = RandomForestRegressor::paper_default(1);
+    forest.fit(&x, &y);
+
+    // The online path: one prediction per incoming vector.
+    g.bench_function("forest150_predict_one", |b| {
+        let row = [3.0, 9.0, 0.66, 0.42];
+        b.iter(|| black_box(forest.predict_one(black_box(&row))));
+    });
+
+    g.bench_function("forest30_train_300rows", |b| {
+        b.iter(|| {
+            let mut f = RandomForestRegressor::new(30, TreeParams::default(), 2);
+            f.fit(&x, &y);
+            black_box(f.predict_one(&[1.0, 2.0, 0.3, 0.4]))
+        });
+    });
+
+    let a: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64).collect();
+    let bvec: Vec<f64> = (0..1000).map(|i| ((i * 17 + 5) % 97) as f64).collect();
+    g.bench_function("spearman_1k", |bch| {
+        bch.iter(|| black_box(spearman(&a, &bvec)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ml);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Front-end pipeline benchmarks: Wick enumeration, graph lowering,
+//! staging/CSE — the preprocessing a Redstar job pays before scheduling.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use micco_graph::{build_stream, plan_contraction, EdgeOrder, InternTable};
+use micco_redstar::{al_rhopi, build_correlator, enumerate_diagrams, f0d2, PresetScale};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline");
+    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+
+    g.bench_function("wick_enumerate_6_hadrons", |b| {
+        let ops: Vec<_> = (0..6)
+            .map(|i| {
+                micco_redstar::MesonOperator::new(
+                    &format!("h{i}"),
+                    micco_redstar::Flavor::Up,
+                    micco_redstar::Flavor::Up,
+                )
+            })
+            .collect();
+        b.iter(|| black_box(enumerate_diagrams(&ops, 1000).len()));
+    });
+
+    g.bench_function("build_correlator_al_rhopi_ci", |b| {
+        let spec = al_rhopi(PresetScale::Ci);
+        b.iter(|| black_box(build_correlator(&spec).stream.total_tasks()));
+    });
+
+    g.bench_function("build_correlator_f0d2_ci", |b| {
+        let spec = f0d2(PresetScale::Ci);
+        b.iter(|| black_box(build_correlator(&spec).stream.total_tasks()));
+    });
+
+    g.bench_function("stage_1000_shared_plans", |b| {
+        // 1000 chain graphs sharing a common prefix — the staging/CSE path
+        let plans: Vec<_> = (0..1000u64)
+            .map(|i| {
+                let mut g = micco_graph::ContractionGraph::new();
+                let node = |l: u64| micco_graph::HadronNode {
+                    label: l,
+                    kind: micco_tensor::ContractionKind::Meson,
+                    batch: 2,
+                    dim: 16,
+                };
+                let a = g.add_node(node(1));
+                let bn = g.add_node(node(2));
+                let cn = g.add_node(node(100 + i % 50));
+                g.add_edge(a, bn).unwrap();
+                g.add_edge(bn, cn).unwrap();
+                plan_contraction(&g, EdgeOrder::Sequential).unwrap()
+            })
+            .collect();
+        b.iter(|| {
+            let mut intern = InternTable::new();
+            black_box(build_stream(&plans, &mut intern).unique_steps)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Scheduler micro-benchmarks: per-pair assignment cost of MICCO vs the
+//! baselines (the quantity Table V's "scheduling overhead" aggregates),
+//! plus local-reuse-pattern classification.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use micco_core::pattern::classify;
+use micco_core::{GrouteScheduler, MiccoScheduler, ReuseBounds, Scheduler};
+use micco_gpusim::{GpuId, MachineConfig, SimMachine};
+use micco_workload::{RepeatDistribution, WorkloadSpec};
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    g
+}
+
+/// One full vector scheduled + executed per iteration — the realistic unit
+/// of work (state resets cleanly at vector boundaries).
+fn bench_assign_throughput(c: &mut Criterion) {
+    let stream = WorkloadSpec::new(64, 384)
+        .with_repeat_rate(0.75)
+        .with_distribution(RepeatDistribution::Gaussian)
+        .with_vectors(2)
+        .generate();
+    let cfg = MachineConfig::mi100_like(8);
+    let mut group = quick(c);
+    for (name, mk) in [
+        ("micco", Box::new(|| Box::new(MiccoScheduler::new(ReuseBounds::new(0, 2, 0))) as Box<dyn Scheduler>)
+            as Box<dyn Fn() -> Box<dyn Scheduler>>),
+        ("groute", Box::new(|| Box::new(GrouteScheduler::new()) as Box<dyn Scheduler>)),
+    ] {
+        group.bench_function(BenchmarkId::new("assign_vector64", name), |b| {
+            b.iter(|| {
+                let mut machine = SimMachine::new(cfg);
+                let mut sched = mk();
+                for v in &stream.vectors {
+                    sched.begin_vector(v, &machine);
+                    for t in &v.tasks {
+                        let gpu = sched.assign(t, &machine);
+                        machine.execute(t, black_box(gpu)).unwrap();
+                    }
+                    machine.barrier();
+                }
+                black_box(machine.stats().elapsed_secs)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pattern_classification(c: &mut Criterion) {
+    let stream = WorkloadSpec::new(64, 384).with_repeat_rate(0.9).with_vectors(2).generate();
+    let cfg = MachineConfig::mi100_like(8);
+    let mut machine = SimMachine::new(cfg);
+    // warm residency
+    for (i, t) in stream.vectors[0].tasks.iter().enumerate() {
+        machine.execute(t, GpuId(i % 8)).unwrap();
+    }
+    machine.barrier();
+    let probe = &stream.vectors[1].tasks;
+    let mut group = quick(c);
+    group.bench_function("classify_pair", |b| {
+        b.iter(|| {
+            for t in probe {
+                black_box(classify(black_box(t), &machine));
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_assign_throughput, bench_pattern_classification);
+criterion_main!(benches);

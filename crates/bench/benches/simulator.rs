@@ -1,0 +1,72 @@
+//! Simulator micro-benchmarks: task execution (residency bookkeeping,
+//! transfer/compute accounting) and the eviction path under pressure.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use micco_gpusim::{GpuId, MachineConfig, SimMachine};
+use micco_workload::{ContractionTask, TaskId, TensorDesc, TensorId};
+
+const MB: u64 = 1 << 20;
+
+fn task(i: u64, mod_tensors: u64, bytes: u64) -> ContractionTask {
+    ContractionTask {
+        id: TaskId(i),
+        a: TensorDesc { id: TensorId(i % mod_tensors), bytes },
+        b: TensorDesc { id: TensorId((i * 7 + 3) % mod_tensors), bytes },
+        out: TensorDesc { id: TensorId(1_000_000 + i), bytes },
+        flops: 1_000_000,
+    }
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+
+    g.bench_function("execute_1k_tasks_roomy", |b| {
+        b.iter(|| {
+            let mut m = SimMachine::new(MachineConfig::mi100_like(8));
+            for i in 0..1000u64 {
+                let t = task(i, 128, MB);
+                m.execute(&t, GpuId((i % 8) as usize)).unwrap();
+            }
+            m.barrier();
+            black_box(m.stats().elapsed_secs)
+        });
+    });
+
+    g.bench_function("execute_1k_tasks_evicting", |b| {
+        b.iter(|| {
+            // 16 MB per device: outputs accumulate, LRU eviction churns
+            let cfg = MachineConfig::mi100_like(4).with_mem_bytes(16 * MB);
+            let mut m = SimMachine::new(cfg);
+            for i in 0..1000u64 {
+                let t = task(i, 64, MB);
+                m.execute(&t, GpuId((i % 4) as usize)).unwrap();
+            }
+            m.barrier();
+            black_box(m.stats().total_evictions())
+        });
+    });
+
+    g.bench_function("holders_lookup", |b| {
+        let mut m = SimMachine::new(MachineConfig::mi100_like(8));
+        for i in 0..512u64 {
+            m.execute(&task(i, 256, MB), GpuId((i % 8) as usize)).unwrap();
+        }
+        b.iter(|| {
+            use micco_gpusim::MachineView;
+            let mut n = 0;
+            for i in 0..256u64 {
+                n += m.holders(TensorId(i)).len();
+            }
+            black_box(n)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_execute);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Scheduler comparison matrix: every scheduler in the repository on the
+//! standard configuration grid — a one-stop overview complementing the
+//! per-figure binaries (which stick to the paper's Groute-vs-MICCO framing).
+//!
+//! Schedulers: round-robin, Groute-like (earliest available device),
+//! CODA-like (static compute-follows-data), MICCO-naive (bounds 0),
+//! MICCO fixed (0,2,0), MICCO unbounded (pure data-centric, Fig. 2 case ①).
+
+use micco_bench::{distributions, run, standard_stream, DEFAULT_GPUS, DEFAULT_TENSOR_SIZE};
+use micco_core::{CodaScheduler, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler, Scheduler};
+use micco_gpusim::MachineConfig;
+
+fn contenders() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(RoundRobinScheduler::new()),
+        Box::new(GrouteScheduler::new()),
+        Box::new(CodaScheduler::new()),
+        Box::new(MiccoScheduler::naive()),
+        Box::new(MiccoScheduler::new(ReuseBounds::new(0, 2, 0))),
+        Box::new(MiccoScheduler::new(ReuseBounds::unbounded())),
+    ]
+}
+
+fn main() {
+    let cfg = MachineConfig::mi100_like(DEFAULT_GPUS);
+    println!("# Scheduler Matrix (GFLOPS; vector 64, tensor {DEFAULT_TENSOR_SIZE}, {DEFAULT_GPUS} GPUs)");
+    for (dist, dist_name) in distributions() {
+        println!("\n## {dist_name}");
+        let headers: Vec<String> = std::iter::once("rate".to_owned())
+            .chain(contenders().iter().map(|s| s.name()))
+            .collect();
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        let mut rows = Vec::new();
+        for &rate in &[0.25, 0.5, 0.75, 1.0] {
+            let stream = standard_stream(64, DEFAULT_TENSOR_SIZE, rate, dist, 71);
+            let mut row = vec![format!("{:.0}%", rate * 100.0)];
+            for mut s in contenders() {
+                row.push(format!("{:.0}", run(s.as_mut(), &stream, &cfg).gflops));
+            }
+            rows.push(row);
+        }
+        micco_bench::report::emit(
+            &format!("baselines_{}", dist_name.to_lowercase()),
+            &header_refs,
+            &rows,
+        );
+    }
+    println!("\nReading: static co-location (CODA-like) collapses under load imbalance.");
+    println!("Unbounded MICCO stays competitive here because its computation-centric");
+    println!("tie-break still spreads candidates; the bounded variants win most cells,");
+    println!("and Fig. 8 / the oversubscription runs show where the bounds earn their");
+    println!("keep — under memory pressure and biased reuse.");
+}

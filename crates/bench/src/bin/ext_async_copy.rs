@@ -1,0 +1,71 @@
+//! Extension experiment (the paper's future work, Sec. VII): asynchronous
+//! data copy / prefetching.
+//!
+//! The paper's evaluated system is synchronous — every memory operation
+//! blocks the device. The conclusion sketches "further optimizations on
+//! both intra-node and inter-node communications, including asynchronous
+//! data copy and prefetching data". This binary measures that extension on
+//! the simulator: each device gets an independent DMA engine so the next
+//! contraction's transfers overlap the current kernel.
+//!
+//! Expected shape: async copy lifts *both* schedulers, but lifts Groute
+//! more (its schedule is transfer-heavy, so it has more to hide), narrowing
+//! — not closing — MICCO's advantage. Reuse still wins because a reused
+//! operand costs nothing at all, overlapped or not.
+
+use micco_bench::{distributions, markdown_table, run, standard_stream, DEFAULT_GPUS, DEFAULT_TENSOR_SIZE};
+use micco_core::{GrouteScheduler, MiccoScheduler, ReuseBounds};
+use micco_gpusim::{CostModel, MachineConfig};
+
+fn main() {
+    println!("# Extension — Asynchronous Data Copy (vector 64, tensor {DEFAULT_TENSOR_SIZE}, {DEFAULT_GPUS} GPUs)");
+    for (dist, dist_name) in distributions() {
+        println!("\n## {dist_name}");
+        let mut rows = Vec::new();
+        for &rate in &[0.25, 0.5, 0.75] {
+            let stream = standard_stream(64, DEFAULT_TENSOR_SIZE, rate, dist, 41);
+            let mut cells = vec![format!("{:.0}%", rate * 100.0)];
+            let mut elapsed = [[0.0f64; 2]; 2]; // [sched][async]
+            for (si, micco) in [false, true].iter().enumerate() {
+                for (ai, async_copy) in [false, true].iter().enumerate() {
+                    let cost = if *async_copy {
+                        CostModel::mi100_like().with_async_copy()
+                    } else {
+                        CostModel::mi100_like()
+                    };
+                    let cfg = MachineConfig::mi100_like(DEFAULT_GPUS).with_cost(cost);
+                    let point = if *micco {
+                        run(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream, &cfg)
+                    } else {
+                        run(&mut GrouteScheduler::new(), &stream, &cfg)
+                    };
+                    elapsed[si][ai] = point.elapsed_secs;
+                    cells.push(format!("{:.0}", point.gflops));
+                }
+            }
+            cells.push(format!("{:.2}x", elapsed[0][0] / elapsed[0][1])); // groute async gain
+            cells.push(format!("{:.2}x", elapsed[1][0] / elapsed[1][1])); // micco async gain
+            cells.push(format!("{:.2}x", elapsed[0][1] / elapsed[1][1])); // micco vs groute, both async
+            rows.push(cells);
+        }
+        print!(
+            "{}",
+            markdown_table(
+                &[
+                    "rate",
+                    "Groute sync",
+                    "Groute async",
+                    "MICCO sync",
+                    "MICCO async",
+                    "async gain (Groute)",
+                    "async gain (MICCO)",
+                    "MICCO/Groute (async)"
+                ],
+                &rows
+            )
+        );
+    }
+    println!("\nReading: asynchronous copy hides transfer latency behind kernels for both");
+    println!("schedulers; MICCO keeps a speedup even with perfect-overlap hardware because");
+    println!("reuse eliminates the transfers outright rather than hiding them.");
+}

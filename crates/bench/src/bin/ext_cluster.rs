@@ -1,0 +1,76 @@
+//! Extension experiment (the paper's future work, Sec. VII): multi-node
+//! clusters.
+//!
+//! Fixes the total GPU budget at 8 and splits it across 1, 2, and 4 nodes
+//! joined by an InfiniBand-like link. Intermediates only exist where they
+//! were produced, so node-oblivious scheduling pays network transfers that
+//! a hierarchical (node-level data-centric) MICCO avoids.
+//!
+//! The workload chains stages (outputs of stage v feed stage v+1), which is
+//! exactly what correlation-function programs look like after staging.
+
+use micco_bench::markdown_table;
+use micco_cluster::{
+    run_cluster_schedule, ClusterConfig, FlatClusterScheduler, HierarchicalScheduler,
+};
+use micco_core::ReuseBounds;
+use micco_workload::{RepeatDistribution, TensorPairStream, WorkloadSpec};
+
+/// A stream with producer-consumer chains across stages.
+fn chained_stream(seed: u64) -> TensorPairStream {
+    let base = WorkloadSpec::new(64, 384)
+        .with_repeat_rate(0.5)
+        .with_distribution(RepeatDistribution::Uniform)
+        .with_vectors(8)
+        .with_seed(seed)
+        .generate();
+    let mut vectors = base.vectors.clone();
+    for v in 1..vectors.len() {
+        let prev_outs: Vec<_> = vectors[v - 1].tasks.iter().map(|t| t.out).collect();
+        for (i, t) in vectors[v].tasks.iter_mut().enumerate() {
+            if i % 2 == 0 {
+                t.a = prev_outs[i % prev_outs.len()];
+            }
+        }
+    }
+    TensorPairStream::new(vectors)
+}
+
+fn main() {
+    println!("# Extension — Multi-node Cluster (8 GPUs total, chained stages)");
+    let stream = chained_stream(55);
+    let mut rows = Vec::new();
+    for (nodes, gpus) in [(1usize, 8usize), (2, 4), (4, 2)] {
+        let cfg = ClusterConfig::mi100_cluster(nodes, gpus);
+        let flat = run_cluster_schedule(&mut FlatClusterScheduler::new(), &stream, &cfg)
+            .expect("fits");
+        let mut hier = HierarchicalScheduler::new(nodes, 16, ReuseBounds::new(0, 2, 0));
+        let h = run_cluster_schedule(&mut hier, &stream, &cfg).expect("fits");
+        rows.push(vec![
+            format!("{nodes}×{gpus}"),
+            format!("{:.0}", flat.gflops()),
+            format!("{}", flat.inter_transfers),
+            format!("{:.0}", h.gflops()),
+            format!("{}", h.inter_transfers),
+            format!("{:.2}x", flat.elapsed_secs / h.elapsed_secs),
+        ]);
+    }
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "topology",
+                "flat GFLOPS",
+                "flat net xfers",
+                "hier GFLOPS",
+                "hier net xfers",
+                "hier speedup"
+            ],
+            &rows
+        )
+    );
+    println!("\nReading: with one node the schedulers coincide (no network); as the same");
+    println!("GPU budget spreads over more nodes, the node-oblivious baseline pays");
+    println!("increasing network traffic for cross-node intermediates while hierarchical");
+    println!("MICCO keeps producer-consumer chains node-local.");
+}

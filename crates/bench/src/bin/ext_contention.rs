@@ -1,0 +1,49 @@
+//! Extension experiment: shared host-link (PCIe) contention.
+//!
+//! The default cost model gives each device an independent host link; a
+//! worst-case alternative serialises every H2D transfer through one shared
+//! root complex. This binary measures both schedulers under both link
+//! models. The measured outcome is a *negative result*: full serialisation
+//! makes the schedulers converge, because first-touch traffic is
+//! schedule-invariant — see the closing note it prints.
+
+use micco_bench::{distributions, run, standard_stream, DEFAULT_GPUS, DEFAULT_TENSOR_SIZE};
+use micco_core::{GrouteScheduler, MiccoScheduler, ReuseBounds};
+use micco_gpusim::{CostModel, MachineConfig};
+
+fn main() {
+    println!("# Extension — Shared Host-Link Contention (vector 64, tensor {DEFAULT_TENSOR_SIZE}, {DEFAULT_GPUS} GPUs, rate 50%)");
+    for (dist, dist_name) in distributions() {
+        println!("\n## {dist_name}");
+        let stream = standard_stream(64, DEFAULT_TENSOR_SIZE, 0.5, dist, 83);
+        let mut rows = Vec::new();
+        for (label, shared) in [("independent links", false), ("shared PCIe link", true)] {
+            let cost = if shared {
+                CostModel::mi100_like().with_shared_h2d_link()
+            } else {
+                CostModel::mi100_like()
+            };
+            let cfg = MachineConfig::mi100_like(DEFAULT_GPUS).with_cost(cost);
+            let groute = run(&mut GrouteScheduler::new(), &stream, &cfg);
+            let micco = run(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream, &cfg);
+            rows.push(vec![
+                label.to_owned(),
+                format!("{:.0}", groute.gflops),
+                format!("{:.0}", micco.gflops),
+                format!("{:.2}x", groute.elapsed_secs / micco.elapsed_secs),
+            ]);
+        }
+        micco_bench::report::emit(
+            &format!("ext_contention_{}", dist_name.to_lowercase()),
+            &["link model", "Groute", "MICCO", "speedup"],
+            &rows,
+        );
+    }
+    println!("\nReading (a negative result worth keeping): with a fully serialised link the");
+    println!("two schedulers *converge*. Every distinct tensor is fetched from the host");
+    println!("exactly once under either policy, so the serialised link becomes a");
+    println!("schedule-invariant critical path that swamps the d2d/reuse differences the");
+    println!("schedulers control. MICCO's edge therefore depends on per-device (or at");
+    println!("least parallel) host links — which is what MI100 nodes actually have, and");
+    println!("what the default cost model assumes.");
+}

@@ -1,0 +1,57 @@
+//! Extension experiment: intra-vector task reordering.
+//!
+//! Stage vectors are sets of independent tasks, so their order is free.
+//! Reuse-clustering the order (tasks sharing operands scheduled back to
+//! back) shortens reuse distances, which matters most under memory
+//! pressure where an evicted tensor cannot be reused later. This binary
+//! quantifies the effect for MICCO at several oversubscription levels.
+
+use micco_bench::{distributions, markdown_table, run, standard_stream, DEFAULT_GPUS, DEFAULT_TENSOR_SIZE};
+use micco_core::{reorder_stream, reuse_clustered_order, MiccoScheduler, ReuseBounds};
+use micco_gpusim::MachineConfig;
+
+fn main() {
+    println!("# Extension — Reuse-Clustered Task Reordering (vector 64, tensor {DEFAULT_TENSOR_SIZE}, rate 75%)");
+    for (dist, dist_name) in distributions() {
+        println!("\n## {dist_name}");
+        let stream = standard_stream(64, DEFAULT_TENSOR_SIZE, 0.75, dist, 61);
+        let clustered = reorder_stream(&stream, reuse_clustered_order);
+        let mut rows = Vec::new();
+        for oversub in [0.0, 1.25, 1.5, 2.0] {
+            let cfg = if oversub > 0.0 {
+                MachineConfig::mi100_like(DEFAULT_GPUS)
+                    .with_oversubscription(stream.unique_bytes(), oversub)
+            } else {
+                MachineConfig::mi100_like(DEFAULT_GPUS)
+            };
+            let base = run(
+                &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+                &stream,
+                &cfg,
+            );
+            let reord = run(
+                &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+                &clustered,
+                &cfg,
+            );
+            rows.push(vec![
+                if oversub > 0.0 { format!("{:.0}%", oversub * 100.0) } else { "none".into() },
+                format!("{:.0}", base.gflops),
+                format!("{:.0}", reord.gflops),
+                format!("{:.2}x", base.elapsed_secs / reord.elapsed_secs),
+            ]);
+        }
+        print!(
+            "{}",
+            markdown_table(
+                &["oversubscription", "front-end order", "clustered order", "gain"],
+                &rows
+            )
+        );
+    }
+    println!("\nReading: the effect is small and mixed (±5%). Clustering shortens reuse");
+    println!("distances, but it also *concentrates* a tensor's uses onto whichever device");
+    println!("takes the head of the cluster, interacting with the reuse bounds. MICCO's");
+    println!("residency-aware placement already captures most of the locality value, so");
+    println!("order matters little — itself a useful robustness result for the scheduler.");
+}

@@ -1,0 +1,46 @@
+//! Fig. 10 — Impact of tensor size.
+//!
+//! GFLOPS of Groute vs MICCO for tensor sizes 128–768. Vector size 64,
+//! repeated rate 50 %, eight GPUs, both distributions.
+//!
+//! Paper reference: MICCO wins at every size, 1.35×–1.92×; performance is
+//! strongly sensitive to tensor size (it sets the kernel cost).
+
+use micco_bench::{distributions, run, standard_stream, tuned_fixed_micco, DEFAULT_GPUS};
+use micco_core::GrouteScheduler;
+use micco_gpusim::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::mi100_like(DEFAULT_GPUS);
+    println!("# Fig. 10 — Impact of Tensor Size (vector 64, rate 50%, {DEFAULT_GPUS} GPUs)");
+    for (dist, dist_name) in distributions() {
+        println!("\n## {dist_name}");
+        let mut rows = Vec::new();
+        let mut speedups = Vec::new();
+        for &dim in &[128usize, 256, 384, 768] {
+            let stream = standard_stream(64, dim, 0.5, dist, 19);
+            let groute = run(&mut GrouteScheduler::new(), &stream, &cfg);
+            let (mut micco, bounds) = tuned_fixed_micco(&stream, &cfg);
+            let micco_pt = run(&mut micco, &stream, &cfg);
+            let speedup = groute.elapsed_secs / micco_pt.elapsed_secs;
+            speedups.push(speedup);
+            rows.push(vec![
+                dim.to_string(),
+                format!("{:.0}", groute.gflops),
+                format!("{:.0}", micco_pt.gflops),
+                format!("{bounds}"),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+        micco_bench::report::emit(
+            &format!("fig10_{}", dist_name.to_lowercase()),
+            &["tensor size", "Groute", "MICCO", "bounds", "speedup"],
+            &rows,
+        );
+        println!(
+            "speedup range {:.2}x–{:.2}x (paper: 1.35x–1.92x)",
+            speedups.iter().copied().fold(f64::MAX, f64::min),
+            speedups.iter().copied().fold(0.0, f64::max),
+        );
+    }
+}

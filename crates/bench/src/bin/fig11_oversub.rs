@@ -1,0 +1,60 @@
+//! Fig. 11 — Memory oversubscription.
+//!
+//! Device memory is sized so the stream's working set oversubscribes the
+//! aggregate memory by 125 %–200 %. Vector size 64, tensor size 384,
+//! repeated rate 50 %, eight GPUs, both distributions.
+//!
+//! Paper reference: MICCO up to 1.9× over Groute; GFLOPS falls as the
+//! oversubscription rate rises (1841 → 1224 Gaussian, 2663 → 1194 Uniform);
+//! geomean speedups 1.4× (Gaussian) and 1.2× (Uniform).
+
+use micco_bench::{
+    distributions, geomean, run, standard_stream, tuned_fixed_micco,
+    DEFAULT_GPUS, DEFAULT_TENSOR_SIZE,
+};
+use micco_core::GrouteScheduler;
+use micco_gpusim::MachineConfig;
+
+fn main() {
+    println!("# Fig. 11 — Memory Oversubscription (vector 64, tensor {DEFAULT_TENSOR_SIZE}, rate 50%)");
+    for (dist, dist_name) in distributions() {
+        println!("\n## {dist_name}");
+        let mut rows = Vec::new();
+        let mut speedups = Vec::new();
+        let mut first_gf = 0.0;
+        let mut last_gf = 0.0;
+        for &rate in &[1.25, 1.5, 1.75, 2.0] {
+            let stream = standard_stream(64, DEFAULT_TENSOR_SIZE, 0.5, dist, 23);
+            let cfg = MachineConfig::mi100_like(DEFAULT_GPUS)
+                .with_oversubscription(stream.unique_bytes(), rate);
+            let groute = run(&mut GrouteScheduler::new(), &stream, &cfg);
+            let (mut micco, bounds) = tuned_fixed_micco(&stream, &cfg);
+            let micco_pt = run(&mut micco, &stream, &cfg);
+            let speedup = groute.elapsed_secs / micco_pt.elapsed_secs;
+            speedups.push(speedup);
+            if rows.is_empty() {
+                first_gf = micco_pt.gflops;
+            }
+            last_gf = micco_pt.gflops;
+            rows.push(vec![
+                format!("{:.0}%", rate * 100.0),
+                format!("{:.0}", groute.gflops),
+                format!("{:.0}", micco_pt.gflops),
+                format!("{bounds}"),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+        micco_bench::report::emit(
+            &format!("fig11_{}", dist_name.to_lowercase()),
+            &["oversubscription", "Groute", "MICCO", "bounds", "speedup"],
+            &rows,
+        );
+        println!(
+            "{dist_name}: MICCO GFLOPS falls {first_gf:.0} → {last_gf:.0} as pressure grows; \
+             geomean speedup {:.2}x (paper: {}), max {:.2}x (paper: up to 1.9x)",
+            geomean(&speedups),
+            if dist_name == "Uniform" { "1.2x" } else { "1.4x" },
+            speedups.iter().copied().fold(0.0, f64::max),
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Fig. 5 — Spearman correlation heatmap.
+//!
+//! Correlation coefficients among the four data characteristics
+//! (DataDistribution, VectorSize, RepeatRate, TensorSize), the three reuse
+//! bounds of the grid-search optimum, and achieved GFLOPS, computed over the
+//! labelled training population.
+//!
+//! Paper reference: all seven factors correlate positively with GFLOPS;
+//! DataDistribution and RepeatRate correlate positively with the bounds
+//! (reuse pays under biased/repetitive data), while VectorSize and
+//! TensorSize correlate negatively with the bounds (bigger work is more
+//! sensitive to imbalance).
+
+use micco_core::tuner::{build_training_set, TrainingConfig};
+use micco_gpusim::MachineConfig;
+use micco_ml::spearman_matrix;
+
+fn main() {
+    let machine = MachineConfig::mi100_like(8);
+    let tc = TrainingConfig { samples: 200, seed: 0x5EA, ..TrainingConfig::default() };
+    eprintln!("# labelling {} samples by grid search…", tc.samples);
+    let samples = build_training_set(&tc, &machine);
+
+    // Columns in the paper's ordering.
+    let names = [
+        "DataDist", "VectorSize", "RepeatRate", "TensorSize", "bound_1", "bound_2", "bound_3",
+        "GFLOPS",
+    ];
+    let columns: Vec<Vec<f64>> = vec![
+        samples.iter().map(|s| s.features[3]).collect(), // distribution bias
+        samples.iter().map(|s| s.features[0]).collect(), // vector size
+        samples.iter().map(|s| s.features[2]).collect(), // repeat rate
+        samples.iter().map(|s| s.features[1]).collect(), // tensor bytes
+        samples.iter().map(|s| s.bounds[0] as f64).collect(),
+        samples.iter().map(|s| s.bounds[1] as f64).collect(),
+        samples.iter().map(|s| s.bounds[2] as f64).collect(),
+        samples.iter().map(|s| s.gflops).collect(),
+    ];
+    let m = spearman_matrix(&columns);
+
+    println!("# Fig. 5 — Spearman correlation heatmap ({} samples)", samples.len());
+    print!("{:>11}", "");
+    for n in names {
+        print!("{n:>11}");
+    }
+    println!();
+    for (i, n) in names.iter().enumerate() {
+        print!("{n:>11}");
+        for v in &m[i] {
+            print!("{v:>11.2}");
+        }
+        println!();
+    }
+
+    // The paper's headline observations, as explicit checks.
+    let gflops = names.len() - 1;
+    println!("\nChecks against the paper's reading of Fig. 5:");
+    for (i, n) in names.iter().enumerate().take(gflops) {
+        let rho = m[i][gflops];
+        println!(
+            "  ρ({n}, GFLOPS) = {rho:+.2} {}",
+            if rho > 0.0 { "(positive, as reported)" } else { "(paper reports positive)" }
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Fig. 7 — Overall performance.
+//!
+//! Eight panels: {Uniform, Gaussian} × vector size {8, 16, 32, 64}, repeated
+//! rate 25 %–100 %, tensor size 384, eight GPUs. Series: Groute,
+//! MICCO-naive (bounds 0), MICCO-optimal (regression-driven bounds), plus
+//! the MICCO-optimal/Groute speedup (the paper's blue stars).
+//!
+//! Paper reference: up to 2.25× speedup; geomean 1.57× (Uniform) and
+//! 1.65× (Gaussian); MICCO-optimal up to 1.89× over MICCO-naive.
+
+use micco_bench::{
+    distributions, geomean, run, standard_stream, trained_model, DEFAULT_GPUS,
+    DEFAULT_TENSOR_SIZE,
+};
+use micco_core::{GrouteScheduler, MiccoScheduler};
+use micco_gpusim::MachineConfig;
+
+fn main() {
+    let cfg = MachineConfig::mi100_like(DEFAULT_GPUS);
+    eprintln!("# training regression model (one-off)…");
+    let model = trained_model(60, &cfg, 7);
+
+    println!("# Fig. 7 — Overall Performance (GFLOPS; tensor size {DEFAULT_TENSOR_SIZE}, {DEFAULT_GPUS} GPUs)");
+    let rates = [0.25, 0.5, 0.75, 1.0];
+    let vector_sizes = [8usize, 16, 32, 64];
+
+    for (dist, dist_name) in distributions() {
+        let mut speedups = Vec::new();
+        let mut naive_ratio = Vec::new();
+        for &vs in &vector_sizes {
+            println!("\n## {dist_name}, vector size {vs}");
+            let mut rows = Vec::new();
+            for &rate in &rates {
+                let stream = standard_stream(vs, DEFAULT_TENSOR_SIZE, rate, dist, 11);
+                let groute = run(&mut GrouteScheduler::new(), &stream, &cfg);
+                let naive = run(&mut MiccoScheduler::naive(), &stream, &cfg);
+                let opt =
+                    run(&mut MiccoScheduler::with_provider(model.clone()), &stream, &cfg);
+                let speedup = groute.elapsed_secs / opt.elapsed_secs;
+                speedups.push(speedup);
+                naive_ratio.push(naive.elapsed_secs / opt.elapsed_secs);
+                rows.push(vec![
+                    format!("{:.0}%", rate * 100.0),
+                    format!("{:.0}", groute.gflops),
+                    format!("{:.0}", naive.gflops),
+                    format!("{:.0}", opt.gflops),
+                    format!("{speedup:.2}x"),
+                ]);
+            }
+            micco_bench::report::emit(
+                &format!("fig7_{}_v{vs}", dist_name.to_lowercase()),
+                &["repeated rate", "Groute", "MICCO-naive", "MICCO-optimal", "speedup*"],
+                &rows,
+            );
+        }
+        println!(
+            "\n{dist_name}: geomean speedup MICCO-optimal/Groute = {:.2}x (paper: {}), max {:.2}x (paper: up to 2.25x)",
+            geomean(&speedups),
+            if dist_name == "Uniform" { "1.57x" } else { "1.65x" },
+            speedups.iter().copied().fold(0.0, f64::max),
+        );
+        println!(
+            "{dist_name}: max MICCO-optimal/MICCO-naive = {:.2}x (paper: up to 1.89x)",
+            naive_ratio.iter().copied().fold(0.0, f64::max),
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Fig. 9 — Scalability.
+//!
+//! GFLOPS of Groute vs MICCO as the GPU count grows 1 → 8. Vector size 64,
+//! tensor size 384, repeated rate 50 %, both distributions.
+//!
+//! Paper reference: MICCO up to 1.96× over Groute; GFLOPS grows slowly with
+//! GPU count (memory operations dominate small tensors, and more devices
+//! make full data reuse harder); the speedup widens with more GPUs (1.18×
+//! at 2 GPUs → 1.68× at 8).
+
+use micco_bench::{
+    distributions, run, standard_stream, tuned_fixed_micco, DEFAULT_TENSOR_SIZE,
+};
+use micco_core::GrouteScheduler;
+use micco_gpusim::MachineConfig;
+
+fn main() {
+    println!("# Fig. 9 — Scalability (vector 64, tensor {DEFAULT_TENSOR_SIZE}, rate 50%)");
+    for (dist, dist_name) in distributions() {
+        println!("\n## {dist_name}");
+        let mut rows = Vec::new();
+        let mut speedups = Vec::new();
+        for gpus in 1..=8usize {
+            let cfg = MachineConfig::mi100_like(gpus);
+            let stream = standard_stream(64, DEFAULT_TENSOR_SIZE, 0.5, dist, 17);
+            let groute = run(&mut GrouteScheduler::new(), &stream, &cfg);
+            let (mut micco, bounds) = tuned_fixed_micco(&stream, &cfg);
+            let micco_pt = run(&mut micco, &stream, &cfg);
+            let speedup = groute.elapsed_secs / micco_pt.elapsed_secs;
+            speedups.push(speedup);
+            rows.push(vec![
+                gpus.to_string(),
+                format!("{:.0}", groute.gflops),
+                format!("{:.0}", micco_pt.gflops),
+                format!("{bounds}"),
+                format!("{speedup:.2}x"),
+            ]);
+        }
+        micco_bench::report::emit(
+            &format!("fig9_{}", dist_name.to_lowercase()),
+            &["GPUs", "Groute", "MICCO", "bounds", "speedup"],
+            &rows,
+        );
+        println!(
+            "max speedup {:.2}x (paper: up to 1.96x); speedup at 2 GPUs {:.2}x vs 8 GPUs {:.2}x (paper: 1.18x → 1.68x)",
+            speedups.iter().copied().fold(0.0, f64::max),
+            speedups[1],
+            speedups[7],
+        );
+    }
+}

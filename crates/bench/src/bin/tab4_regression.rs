@@ -1,0 +1,76 @@
+//! Table IV — R² score of the regression models.
+//!
+//! 300 grid-search-labelled samples, 20 % held out; Linear Regression vs
+//! Gradient Boosting (150 stages, lr 0.1) vs Random Forest (150 trees),
+//! each predicting the optimal reuse-bound triple from the four data
+//! characteristics. Reported R² is averaged over the three bound outputs.
+//!
+//! Paper reference: 0.57 / 0.91 / 0.95 — the relation is non-linear, which
+//! is why MICCO ships a random forest.
+
+
+use micco_core::tuner::{build_training_set, TrainingConfig};
+use micco_gpusim::MachineConfig;
+use micco_ml::{
+    r2_score, Dataset, GradientBoostingRegressor, LinearRegression, RandomForestRegressor,
+    Regressor,
+};
+
+fn main() {
+    let machine = MachineConfig::mi100_like(8);
+    let tc = TrainingConfig { seeds_per_sample: 12, ..TrainingConfig::default() };
+    eprintln!("# labelling {} samples by grid search (27 settings each)…", tc.samples);
+    let samples = build_training_set(&tc, &machine);
+
+    // One dataset per bound output.
+    let datasets: Vec<Dataset> = (0..3)
+        .map(|k| {
+            Dataset::new(
+                samples.iter().map(|s| s.features.to_vec()).collect(),
+                samples.iter().map(|s| s.bounds[k] as f64).collect(),
+            )
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut scores = [0.0f64; 3]; // lin, gbm, rf
+    for (k, ds) in datasets.iter().enumerate() {
+        let (train, test) = ds.train_test_split(0.2, 42);
+        let mut lin = LinearRegression::new();
+        lin.fit(&train.x, &train.y);
+        let mut gbm = GradientBoostingRegressor::paper_default();
+        gbm.fit(&train.x, &train.y);
+        let mut rf = RandomForestRegressor::paper_default(k as u64);
+        rf.fit(&train.x, &train.y);
+        let r2 = [
+            r2_score(&test.y, &lin.predict(&test.x)),
+            r2_score(&test.y, &gbm.predict(&test.x)),
+            r2_score(&test.y, &rf.predict(&test.x)),
+        ];
+        for (s, v) in scores.iter_mut().zip(r2) {
+            *s += v / 3.0;
+        }
+        rows.push(vec![
+            format!("reuse_bound_{}", k + 1),
+            format!("{:.2}", r2[0]),
+            format!("{:.2}", r2[1]),
+            format!("{:.2}", r2[2]),
+        ]);
+    }
+    rows.push(vec![
+        "mean".into(),
+        format!("{:.2}", scores[0]),
+        format!("{:.2}", scores[1]),
+        format!("{:.2}", scores[2]),
+    ]);
+
+    println!("# Table IV — R² Score of Regression Models (300 samples, 20% test)");
+    micco_bench::report::emit(
+        "tab4_regression",
+        &["output", "Linear Regression", "Gradient Boosting", "RandomForest"],
+        &rows,
+    );
+    println!("\nPaper: 0.57 / 0.91 / 0.95. The reproduction claim is the *ordering*");
+    println!("(linear ≪ boosted trees ≤ random forest) — the bound/characteristics");
+    println!("relation is non-linear.");
+}

@@ -1,0 +1,81 @@
+//! Result emission: markdown to stdout + CSV files under the results
+//! directory (`MICCO_RESULTS_DIR`, default `results/`).
+
+use std::io::Write;
+use std::path::PathBuf;
+
+use crate::markdown_table;
+
+/// Directory CSVs are written to.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MICCO_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Escape one CSV field (RFC-4180 quoting when needed).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Render rows as CSV text.
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| csv_field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|f| csv_field(f)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Print a table as markdown and persist it as `<name>.csv` in the results
+/// directory. IO failures are reported to stderr but never abort an
+/// experiment (the stdout table is the primary artefact).
+pub fn emit(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", markdown_table(headers, rows));
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(to_csv(headers, rows).as_bytes())) {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_basic() {
+        let csv = to_csv(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(csv, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let csv = to_csv(&["x"], &[vec!["has,comma".into()], vec!["has\"quote".into()]]);
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn emit_writes_file() {
+        let dir = std::env::temp_dir().join(format!("micco-report-test-{}", std::process::id()));
+        std::env::set_var("MICCO_RESULTS_DIR", &dir);
+        emit("unit_test_table", &["h"], &[vec!["v".into()]]);
+        let written = std::fs::read_to_string(dir.join("unit_test_table.csv")).unwrap();
+        assert_eq!(written, "h\nv\n");
+        std::env::remove_var("MICCO_RESULTS_DIR");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,529 @@
+//! Subcommand implementations.
+
+use micco_cluster::{
+    run_cluster_schedule, ClusterConfig, FlatClusterScheduler, HierarchicalScheduler,
+};
+use micco_core::model::RegressionBounds;
+use micco_core::tuner::{build_training_set, TrainingConfig};
+use micco_core::{
+    run_schedule, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler,
+    ScheduleReport, Scheduler,
+};
+use micco_exec::{execute_stream, TensorShape};
+use micco_gpusim::{CostModel, MachineConfig, SimMachine};
+use micco_redstar::{al_rhopi, build_correlator, f0d2, f0d4, kk_pipi, nucleon_pipi, PresetScale};
+use micco_workload::{DataCharacteristics, RepeatDistribution, TensorPairStream, WorkloadSpec};
+
+use crate::args::Args;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: micco <command> [options]
+
+commands:
+  synthetic   run one scheduler on a synthetic workload
+              --vector-size N --tensor-size N --rate F --dist uniform|gaussian|zipf
+              --vectors N --gpus N --seed N --scheduler micco|groute|rr
+              --bounds A,B,C --oversub F --async-copy --mappings
+  redstar     run a Table VI correlator preset
+              --preset al_rhopi|f0d2|f0d4|nucleon_pipi|kk_pipi --scale paper|ci --gpus N
+  sweep       compare MICCO vs Groute across one parameter
+              --param rate|tensor-size|vector-size|gpus|oversub --values a,b,c
+  train       train the reuse-bound regression model and show predictions
+              --samples N --seed N
+  cluster     multi-node run (flat vs hierarchical)
+              --nodes N --gpus-per-node N --vectors N
+  compare     run every scheduler on one synthetic workload
+              (same options as synthetic, plus --mappings)
+  exec        actually compute a synthetic workload on worker threads
+              --vector-size N --tensor-size N --batch N --workers N --seed N
+  trace       run a workload and write a chrome://tracing JSON
+              --out FILE plus the synthetic options
+  info        print the default cost model and platform assumptions
+
+common synthetic options also accept --save FILE / --load FILE to persist
+or replay the exact workload (text format, see micco_workload::serialize)";
+
+/// Dispatch a parsed command line.
+pub fn dispatch(args: &Args) -> Result<(), String> {
+    match args.command.as_deref() {
+        Some("synthetic") => synthetic(args),
+        Some("redstar") => redstar(args),
+        Some("sweep") => sweep(args),
+        Some("train") => train(args),
+        Some("cluster") => cluster(args),
+        Some("compare") => compare(args),
+        Some("exec") => exec(args),
+        Some("trace") => trace(args),
+        Some("info") => {
+            info();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+        None => Err("no command given".to_owned()),
+    }
+}
+
+fn parse_dist(s: &str) -> Result<RepeatDistribution, String> {
+    match s {
+        "uniform" => Ok(RepeatDistribution::Uniform),
+        "gaussian" => Ok(RepeatDistribution::Gaussian),
+        "zipf" => Ok(RepeatDistribution::Zipf),
+        other => Err(format!("unknown distribution '{other}' (uniform|gaussian|zipf)")),
+    }
+}
+
+fn parse_bounds(args: &Args) -> Result<ReuseBounds, String> {
+    let list = args
+        .parse_list_or("bounds", vec![0usize, 2, 0])
+        .map_err(|e| e.to_string())?;
+    if list.len() != 3 {
+        return Err("--bounds needs exactly three comma-separated integers".into());
+    }
+    Ok(ReuseBounds::new(list[0], list[1], list[2]))
+}
+
+fn build_scheduler(args: &Args) -> Result<Box<dyn Scheduler>, String> {
+    match args.str_or("scheduler", "micco").as_str() {
+        "micco" => Ok(Box::new(MiccoScheduler::new(parse_bounds(args)?))),
+        "micco-naive" => Ok(Box::new(MiccoScheduler::naive())),
+        "groute" => Ok(Box::new(GrouteScheduler::new())),
+        "rr" | "round-robin" => Ok(Box::new(RoundRobinScheduler::new())),
+        other => Err(format!("unknown scheduler '{other}' (micco|micco-naive|groute|rr)")),
+    }
+}
+
+fn machine_for(args: &Args, stream: &TensorPairStream) -> Result<MachineConfig, String> {
+    let gpus: usize = args.parse_or("gpus", 8).map_err(|e| e.to_string())?;
+    let mut cfg = MachineConfig::mi100_like(gpus);
+    if args.flag("async-copy") {
+        cfg = cfg.with_cost(CostModel::mi100_like().with_async_copy());
+    }
+    let oversub: f64 = args.parse_or("oversub", 0.0).map_err(|e| e.to_string())?;
+    if oversub > 0.0 {
+        cfg = cfg.with_oversubscription(stream.unique_bytes(), oversub);
+    }
+    Ok(cfg)
+}
+
+fn print_report(r: &ScheduleReport) {
+    println!(
+        "{}: {:.0} GFLOPS | elapsed {:.3} ms | overhead {:.3} ms",
+        r.scheduler,
+        r.gflops(),
+        r.elapsed_secs() * 1e3,
+        r.scheduling_overhead_secs * 1e3
+    );
+    println!(
+        "  h2d {} | d2d {} | reuse hits {} | evictions {} | imbalance {:.3}",
+        r.stats.total_h2d(),
+        r.stats.total_d2d(),
+        r.stats.total_reuse_hits(),
+        r.stats.total_evictions(),
+        r.stats.imbalance()
+    );
+}
+
+/// Build (or load) the synthetic workload described by the common options,
+/// honouring `--load FILE` / `--save FILE`.
+fn synthetic_stream(args: &Args) -> Result<TensorPairStream, String> {
+    if let Some(path) = args.get("load") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        return micco_workload::from_text(&text).map_err(|e| e.to_string());
+    }
+    let mut spec = WorkloadSpec::new(
+        args.parse_or("vector-size", 64).map_err(|e| e.to_string())?,
+        args.parse_or("tensor-size", 384).map_err(|e| e.to_string())?,
+    )
+    .with_repeat_rate(args.parse_or("rate", 0.5).map_err(|e| e.to_string())?)
+    .with_distribution(parse_dist(&args.str_or("dist", "uniform"))?)
+    .with_vectors(args.parse_or("vectors", 10).map_err(|e| e.to_string())?)
+    .with_seed(args.parse_or("seed", 0).map_err(|e| e.to_string())?)
+    .with_batch(args.parse_or("batch", 4).map_err(|e| e.to_string())?);
+    if let Some(dims) = args.get("dims") {
+        let dims: Vec<usize> = dims
+            .split(',')
+            .map(|d| d.trim().parse().map_err(|_| format!("bad --dims entry '{d}'")))
+            .collect::<Result<_, _>>()?;
+        spec = spec.with_dim_choices(dims);
+    }
+    let stream = spec.generate();
+    if let Some(path) = args.get("save") {
+        std::fs::write(path, micco_workload::to_text(&stream))
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("saved workload to {path}");
+    }
+    Ok(stream)
+}
+
+fn synthetic(args: &Args) -> Result<(), String> {
+    let stream = synthetic_stream(args)?;
+
+    let cfg = machine_for(args, &stream)?;
+    println!(
+        "workload: {} vectors × {} pairs, {:.1} GFLOP, working set {:.1} MiB; machine: {} GPUs × {:.1} GiB{}",
+        stream.vectors.len(),
+        stream.vectors.first().map(|v| v.len()).unwrap_or(0),
+        stream.total_flops() as f64 / 1e9,
+        stream.unique_bytes() as f64 / (1 << 20) as f64,
+        cfg.num_gpus,
+        cfg.mem_bytes as f64 / (1u64 << 30) as f64,
+        if cfg.cost.async_copy { ", async copy" } else { "" },
+    );
+    let mut sched = build_scheduler(args)?;
+    let report = run_schedule(sched.as_mut(), &stream, &cfg).map_err(|e| e.to_string())?;
+    print_report(&report);
+    if args.flag("mappings") {
+        let hist = micco_core::mapping_histogram(&stream, &report.assignments, &cfg);
+        println!("  Fig. 4 mappings: {hist}");
+    }
+    Ok(())
+}
+
+fn redstar(args: &Args) -> Result<(), String> {
+    let scale = match args.str_or("scale", "ci").as_str() {
+        "paper" => PresetScale::Paper,
+        "ci" => PresetScale::Ci,
+        other => return Err(format!("unknown scale '{other}' (paper|ci)")),
+    };
+    let spec = match args.str_or("preset", "al_rhopi").as_str() {
+        "al_rhopi" => al_rhopi(scale),
+        "f0d2" => f0d2(scale),
+        "f0d4" => f0d4(scale),
+        "nucleon_pipi" => nucleon_pipi(scale),
+        "kk_pipi" => kk_pipi(scale),
+        other => return Err(format!("unknown preset '{other}' (al_rhopi|f0d2|f0d4|nucleon_pipi|kk_pipi)")),
+    };
+    println!("building correlator {}…", spec.name);
+    let program = build_correlator(&spec);
+    println!(
+        "{} graphs → {} steps → {} unique ({:.1}% CSE), {} stages, working set {:.2} GiB",
+        program.graph_count,
+        program.total_steps,
+        program.unique_steps,
+        program.cse_savings() * 100.0,
+        program.stream.vectors.len(),
+        program.working_set_bytes as f64 / (1u64 << 30) as f64,
+    );
+    let cfg = machine_for(args, &program.stream)?;
+    let groute =
+        run_schedule(&mut GrouteScheduler::new(), &program.stream, &cfg).map_err(|e| e.to_string())?;
+    let mut micco = MiccoScheduler::new(parse_bounds(args)?);
+    let m = run_schedule(&mut micco, &program.stream, &cfg).map_err(|e| e.to_string())?;
+    print_report(&groute);
+    print_report(&m);
+    println!("speedup MICCO/Groute: {:.2}x", m.speedup_over(&groute));
+    Ok(())
+}
+
+fn sweep(args: &Args) -> Result<(), String> {
+    let param = args.str_or("param", "rate");
+    let gpus: usize = args.parse_or("gpus", 8).map_err(|e| e.to_string())?;
+    let bounds = parse_bounds(args)?;
+    let values: Vec<f64> = args
+        .parse_list_or(
+            "values",
+            match param.as_str() {
+                "rate" => vec![0.25, 0.5, 0.75, 1.0],
+                "tensor-size" => vec![128.0, 256.0, 384.0, 768.0],
+                "vector-size" => vec![8.0, 16.0, 32.0, 64.0],
+                "gpus" => vec![1.0, 2.0, 4.0, 8.0],
+                "oversub" => vec![1.25, 1.5, 1.75, 2.0],
+                other => return Err(format!("unknown sweep param '{other}'")),
+            },
+        )
+        .map_err(|e| e.to_string())?;
+
+    println!("{:<12} {:>12} {:>12} {:>10}", param, "Groute GF", "MICCO GF", "speedup");
+    for v in values {
+        let mut spec = WorkloadSpec::new(64, 384).with_repeat_rate(0.5).with_vectors(8);
+        let mut cfg = MachineConfig::mi100_like(gpus);
+        match param.as_str() {
+            "rate" => spec = spec.with_repeat_rate(v),
+            "tensor-size" => spec.tensor_dim = v as usize,
+            "vector-size" => spec.vector_size = v as usize,
+            "gpus" => cfg = MachineConfig::mi100_like(v as usize),
+            "oversub" => {}
+            _ => unreachable!("validated above"),
+        }
+        let stream = spec.generate();
+        if param == "oversub" {
+            cfg = cfg.with_oversubscription(stream.unique_bytes(), v);
+        }
+        let g =
+            run_schedule(&mut GrouteScheduler::new(), &stream, &cfg).map_err(|e| e.to_string())?;
+        let mut micco = MiccoScheduler::new(bounds);
+        let m = run_schedule(&mut micco, &stream, &cfg).map_err(|e| e.to_string())?;
+        println!(
+            "{:<12} {:>12.0} {:>12.0} {:>9.2}x",
+            v,
+            g.gflops(),
+            m.gflops(),
+            m.speedup_over(&g)
+        );
+    }
+    Ok(())
+}
+
+fn train(args: &Args) -> Result<(), String> {
+    let samples: usize = args.parse_or("samples", 40).map_err(|e| e.to_string())?;
+    let seed: u64 = args.parse_or("seed", 7).map_err(|e| e.to_string())?;
+    let tc = TrainingConfig { samples, seed, ..TrainingConfig::default() };
+    println!("labelling {samples} samples by bound sweeps (deterministic)…");
+    let set = build_training_set(&tc, &MachineConfig::mi100_like(8));
+    let model = RegressionBounds::train(&set, seed);
+    println!("trained 3 random forests on {} samples\n", set.len());
+    println!("{:<8} {:<8} {:>12}", "rate", "bias", "bounds");
+    for rate in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        for bias in [0.1, 0.6] {
+            let c = DataCharacteristics {
+                vector_size: 64,
+                tensor_bytes: (4 * 384 * 384 * 16) as f64,
+                repeated_rate: rate,
+                distribution_bias: bias,
+            };
+            println!("{:<8} {:<8} {:>12}", rate, bias, model.predict(&c).to_string());
+        }
+    }
+    Ok(())
+}
+
+fn cluster(args: &Args) -> Result<(), String> {
+    let nodes: usize = args.parse_or("nodes", 2).map_err(|e| e.to_string())?;
+    let gpus: usize = args.parse_or("gpus-per-node", 4).map_err(|e| e.to_string())?;
+    let vectors: usize = args.parse_or("vectors", 8).map_err(|e| e.to_string())?;
+    let stream = WorkloadSpec::new(64, 384)
+        .with_repeat_rate(0.5)
+        .with_vectors(vectors)
+        .with_seed(args.parse_or("seed", 0).map_err(|e| e.to_string())?)
+        .generate();
+    let cfg = ClusterConfig::mi100_cluster(nodes, gpus);
+    let flat = run_cluster_schedule(&mut FlatClusterScheduler::new(), &stream, &cfg)
+        .map_err(|e| e.to_string())?;
+    let mut hier = HierarchicalScheduler::new(nodes, 16, parse_bounds(args)?);
+    let h = run_cluster_schedule(&mut hier, &stream, &cfg).map_err(|e| e.to_string())?;
+    for r in [&flat, &h] {
+        println!(
+            "{}: {:.0} GFLOPS | elapsed {:.3} ms | network transfers {} ({:.1} MiB)",
+            r.scheduler,
+            r.gflops(),
+            r.elapsed_secs * 1e3,
+            r.inter_transfers,
+            r.inter_bytes as f64 / (1 << 20) as f64
+        );
+    }
+    println!("hierarchical speedup: {:.2}x", flat.elapsed_secs / h.elapsed_secs);
+    Ok(())
+}
+
+fn compare(args: &Args) -> Result<(), String> {
+    let stream = synthetic_stream(args)?;
+    let cfg = machine_for(args, &stream)?;
+    let mut contenders: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(RoundRobinScheduler::new()),
+        Box::new(GrouteScheduler::new()),
+        Box::new(micco_core::CodaScheduler::new()),
+        Box::new(MiccoScheduler::naive()),
+        Box::new(MiccoScheduler::new(parse_bounds(args)?)),
+    ];
+    let mut baseline = None;
+    for s in contenders.iter_mut() {
+        let r = run_schedule(s.as_mut(), &stream, &cfg).map_err(|e| e.to_string())?;
+        let speedup = match &baseline {
+            None => {
+                baseline = Some(r.elapsed_secs());
+                1.0
+            }
+            Some(b) => b / r.elapsed_secs(),
+        };
+        print!("{:<24} {:>9.0} GFLOPS  {:>7.2}x vs rr", r.scheduler, r.gflops(), speedup);
+        if args.flag("mappings") {
+            let hist = micco_core::mapping_histogram(&stream, &r.assignments, &cfg);
+            print!("  | {hist}");
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn exec(args: &Args) -> Result<(), String> {
+    let batch: usize = args.parse_or("batch", 4).map_err(|e| e.to_string())?;
+    let dim: usize = args.parse_or("tensor-size", 96).map_err(|e| e.to_string())?;
+    let workers: usize = args.parse_or("workers", 4).map_err(|e| e.to_string())?;
+    let stream = WorkloadSpec::new(
+        args.parse_or("vector-size", 16).map_err(|e| e.to_string())?,
+        dim,
+    )
+    .with_batch(batch)
+    .with_repeat_rate(args.parse_or("rate", 0.5).map_err(|e| e.to_string())?)
+    .with_vectors(args.parse_or("vectors", 4).map_err(|e| e.to_string())?)
+    .with_seed(args.parse_or("seed", 0).map_err(|e| e.to_string())?)
+    .generate();
+    let cfg = MachineConfig::mi100_like(workers);
+    let mut sched = build_scheduler(args)?;
+    let report = run_schedule(sched.as_mut(), &stream, &cfg).map_err(|e| e.to_string())?;
+    let out = execute_stream(
+        &stream,
+        &report.assignments,
+        workers,
+        TensorShape { batch, dim },
+        args.parse_or("seed", 0).map_err(|e| e.to_string())?,
+    );
+    println!(
+        "{}: computed {} kernels on {workers} threads in {:.1} ms (simulated {:.3} ms)",
+        report.scheduler,
+        out.kernels,
+        out.wall_secs * 1e3,
+        report.elapsed_secs() * 1e3
+    );
+    println!("tasks per worker: {:?}", out.per_worker_tasks);
+    println!("checksum: {}", out.checksum);
+    Ok(())
+}
+
+fn trace(args: &Args) -> Result<(), String> {
+    let out_path = args.str_or("out", "micco-trace.json");
+    let stream = synthetic_stream(args)?;
+    let cfg = machine_for(args, &stream)?;
+    let mut machine = SimMachine::new(cfg);
+    machine.enable_trace();
+    let mut sched = build_scheduler(args)?;
+    let report = micco_core::driver::run_schedule_on(sched.as_mut(), &stream, &mut machine)
+        .map_err(|e| e.to_string())?;
+    let json = machine.trace().expect("enabled above").to_chrome_json();
+    std::fs::write(&out_path, json).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "{}: {:.0} GFLOPS; wrote {} events to {out_path} (open in chrome://tracing)",
+        report.scheduler,
+        report.gflops(),
+        machine.trace().expect("enabled").events().len()
+    );
+    Ok(())
+}
+
+fn info() {
+    let c = CostModel::mi100_like();
+    println!("MICCO reproduction — simulated platform defaults");
+    println!("  device throughput : {:.0} GFLOP/s (batched complex GEMM)", c.device_gflops);
+    println!("  host→device       : {:.0} GiB/s + {:.0} µs latency", c.h2d_gib_s, c.transfer_latency_us);
+    println!("  device→device     : {:.0} GiB/s (+source charge: {})", c.d2d_gib_s, c.d2d_charges_source);
+    println!("  alloc / evict     : {:.0} µs / {:.0} µs (+write-back for intermediates)", c.alloc_latency_us, c.evict_latency_us);
+    println!("  async copy        : {} (enable with --async-copy)", c.async_copy);
+    println!("  device memory     : 32 GiB per GPU (MI100-like)");
+    println!("  eviction policy   : LRU (FIFO / largest-first available)");
+    println!();
+    println!("{USAGE}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmd: &str) -> Result<(), String> {
+        let args = Args::parse(cmd.split_whitespace().map(String::from)).unwrap();
+        dispatch(&args)
+    }
+
+    #[test]
+    fn synthetic_runs() {
+        run("synthetic --vector-size 8 --tensor-size 64 --vectors 2 --gpus 2").unwrap();
+    }
+
+    #[test]
+    fn synthetic_with_all_schedulers() {
+        for s in ["micco", "micco-naive", "groute", "rr"] {
+            run(&format!(
+                "synthetic --vector-size 4 --tensor-size 32 --vectors 1 --gpus 2 --scheduler {s}"
+            ))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn synthetic_oversub_and_async() {
+        run("synthetic --vector-size 8 --tensor-size 64 --vectors 2 --gpus 2 --oversub 1.5 --async-copy")
+            .unwrap();
+    }
+
+    #[test]
+    fn redstar_ci_preset_runs() {
+        run("redstar --preset al_rhopi --scale ci --gpus 2").unwrap();
+    }
+
+    #[test]
+    fn sweep_runs() {
+        run("sweep --param rate --values 0.25,0.75 --gpus 2").unwrap();
+    }
+
+    #[test]
+    fn train_runs_small() {
+        run("train --samples 3 --seed 1").unwrap();
+    }
+
+    #[test]
+    fn cluster_runs() {
+        run("cluster --nodes 2 --gpus-per-node 2 --vectors 2").unwrap();
+    }
+
+    #[test]
+    fn info_runs() {
+        run("info").unwrap();
+    }
+
+    #[test]
+    fn compare_runs() {
+        run("compare --vector-size 4 --tensor-size 32 --vectors 2 --gpus 2 --mappings").unwrap();
+    }
+
+    #[test]
+    fn synthetic_with_mappings() {
+        run("synthetic --vector-size 4 --tensor-size 32 --vectors 2 --gpus 2 --mappings").unwrap();
+    }
+
+    #[test]
+    fn exec_runs_small() {
+        run("exec --vector-size 4 --tensor-size 16 --vectors 2 --workers 2").unwrap();
+    }
+
+    #[test]
+    fn trace_writes_json() {
+        let out = std::env::temp_dir().join(format!("micco-cli-trace-{}.json", std::process::id()));
+        run(&format!(
+            "trace --vector-size 4 --tensor-size 32 --vectors 1 --gpus 2 --out {}",
+            out.display()
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.starts_with('['));
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let path = std::env::temp_dir().join(format!("micco-cli-wl-{}.txt", std::process::id()));
+        run(&format!(
+            "synthetic --vector-size 4 --tensor-size 32 --vectors 2 --gpus 2 --save {}",
+            path.display()
+        ))
+        .unwrap();
+        run(&format!("synthetic --gpus 2 --load {}", path.display())).unwrap();
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn heterogeneous_dims_flag() {
+        run("synthetic --vector-size 4 --vectors 3 --gpus 2 --dims 32,64").unwrap();
+        assert!(run("synthetic --dims 32,x --gpus 2").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run("bogus").is_err());
+        assert!(run("synthetic --dist sideways").is_err());
+        assert!(run("synthetic --scheduler alien").is_err());
+        assert!(run("redstar --preset nope").is_err());
+        assert!(run("sweep --param nope").is_err());
+        assert!(run("synthetic --bounds 1,2").is_err());
+        assert!(dispatch(&Args::default()).is_err());
+    }
+}

@@ -1,0 +1,221 @@
+//! The scheduling driver: interleaves online scheduling with simulated
+//! execution and reports both achieved performance and scheduler overhead.
+
+use std::time::Instant;
+
+use micco_gpusim::{ExecError, ExecStats, GpuId, MachineConfig, MachineView, SimMachine};
+use micco_workload::{ContractionTask, TensorPairStream, Vector};
+
+/// An online multi-GPU scheduler.
+///
+/// The driver calls [`Scheduler::begin_vector`] at each stage boundary and
+/// then [`Scheduler::assign`] once per tensor pair, in order. The machine
+/// state passed in reflects all previously executed tasks, so residency
+/// lookups see the real (simulated) world, including evictions.
+pub trait Scheduler {
+    /// Name for reports (e.g. `"micco(0,2,0)"`, `"groute"`).
+    fn name(&self) -> String;
+    /// Called once per stage vector before its tasks are assigned.
+    fn begin_vector(&mut self, vector: &Vector, view: &dyn MachineView);
+    /// Pick the device for one tensor pair.
+    fn assign(&mut self, task: &ContractionTask, view: &dyn MachineView) -> GpuId;
+}
+
+/// A single placement decision (exposed for tests and traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Assignment {
+    /// The task assigned.
+    pub task: micco_workload::TaskId,
+    /// The chosen device.
+    pub gpu: GpuId,
+}
+
+/// Failure of a scheduled run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScheduleError {
+    /// The simulated machine rejected a placement.
+    Exec {
+        /// Offending task.
+        task: micco_workload::TaskId,
+        /// Underlying machine error.
+        source: ExecError,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::Exec { task, source } => {
+                write!(f, "execution of task {:?} failed: {source}", task)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Outcome of [`run_schedule`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// Scheduler name.
+    pub scheduler: String,
+    /// Simulated execution statistics.
+    pub stats: ExecStats,
+    /// Real wall-clock seconds spent inside `Scheduler::assign` — the
+    /// paper's "scheduling overhead" (Table V).
+    pub scheduling_overhead_secs: f64,
+    /// Every placement decision, in task order.
+    pub assignments: Vec<Assignment>,
+}
+
+impl ScheduleReport {
+    /// Achieved throughput in GFLOP/s (simulated).
+    pub fn gflops(&self) -> f64 {
+        self.stats.gflops()
+    }
+
+    /// Simulated execution time in seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.stats.elapsed_secs
+    }
+
+    /// Speedup of `self` over `other` (ratio of simulated times).
+    pub fn speedup_over(&self, other: &ScheduleReport) -> f64 {
+        other.stats.elapsed_secs / self.stats.elapsed_secs
+    }
+
+    /// One-line human summary (scheduler, throughput, memory behaviour).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {:.0} GFLOPS in {:.3} ms | h2d {} d2d {} reuse {} evict {} | imbalance {:.3} | overhead {:.3} ms",
+            self.scheduler,
+            self.gflops(),
+            self.elapsed_secs() * 1e3,
+            self.stats.total_h2d(),
+            self.stats.total_d2d(),
+            self.stats.total_reuse_hits(),
+            self.stats.total_evictions(),
+            self.stats.imbalance(),
+            self.scheduling_overhead_secs * 1e3,
+        )
+    }
+}
+
+impl std::fmt::Display for ScheduleReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
+/// Run `scheduler` over `stream` on a fresh machine built from `config`.
+pub fn run_schedule(
+    scheduler: &mut dyn Scheduler,
+    stream: &TensorPairStream,
+    config: &MachineConfig,
+) -> Result<ScheduleReport, ScheduleError> {
+    let mut machine = SimMachine::new(*config);
+    run_schedule_on(scheduler, stream, &mut machine)
+}
+
+/// Run `scheduler` over `stream` on an existing machine (lets callers enable
+/// tracing or chain multiple streams on warm devices).
+pub fn run_schedule_on(
+    scheduler: &mut dyn Scheduler,
+    stream: &TensorPairStream,
+    machine: &mut SimMachine,
+) -> Result<ScheduleReport, ScheduleError> {
+    let mut overhead = 0.0;
+    let mut assignments = Vec::with_capacity(stream.total_tasks());
+    for vector in &stream.vectors {
+        scheduler.begin_vector(vector, machine);
+        for task in &vector.tasks {
+            let t0 = Instant::now();
+            let gpu = scheduler.assign(task, machine);
+            overhead += t0.elapsed().as_secs_f64();
+            machine
+                .execute(task, gpu)
+                .map_err(|source| ScheduleError::Exec { task: task.id, source })?;
+            assignments.push(Assignment { task: task.id, gpu });
+        }
+        machine.barrier();
+    }
+    Ok(ScheduleReport {
+        scheduler: scheduler.name(),
+        stats: machine.stats().clone(),
+        scheduling_overhead_secs: overhead,
+        assignments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::RoundRobinScheduler;
+    use micco_workload::WorkloadSpec;
+
+    #[test]
+    fn round_robin_runs_and_reports() {
+        let stream = WorkloadSpec::new(8, 64).with_vectors(3).with_seed(1).generate();
+        let mut s = RoundRobinScheduler::new();
+        let report = run_schedule(&mut s, &stream, &MachineConfig::mi100_like(4)).unwrap();
+        assert_eq!(report.assignments.len(), stream.total_tasks());
+        assert_eq!(report.stats.total_tasks() as usize, stream.total_tasks());
+        assert!(report.gflops() > 0.0);
+        assert!(report.scheduling_overhead_secs >= 0.0);
+        assert_eq!(report.scheduler, "round-robin");
+        // all four devices used
+        let mut used: Vec<usize> = report.assignments.iter().map(|a| a.gpu.0).collect();
+        used.sort_unstable();
+        used.dedup();
+        assert_eq!(used, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn out_of_memory_surfaces_as_schedule_error() {
+        let stream = WorkloadSpec::new(4, 512).with_vectors(1).generate();
+        // device memory smaller than one task's working set
+        let cfg = MachineConfig::mi100_like(1).with_mem_bytes(1024);
+        let mut s = RoundRobinScheduler::new();
+        let err = run_schedule(&mut s, &stream, &cfg).unwrap_err();
+        assert!(matches!(err, ScheduleError::Exec { .. }));
+        assert!(err.to_string().contains("failed"));
+    }
+
+    #[test]
+    fn speedup_is_ratio_of_elapsed() {
+        let stream = WorkloadSpec::new(8, 64).with_vectors(2).generate();
+        let cfg = MachineConfig::mi100_like(2);
+        let a = run_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+        let b = a.clone();
+        assert!((a.speedup_over(&b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_is_a_clean_noop() {
+        let stream = micco_workload::TensorPairStream::default();
+        let cfg = MachineConfig::mi100_like(2);
+        let r = run_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+        assert!(r.assignments.is_empty());
+        assert_eq!(r.stats.total_tasks(), 0);
+        assert_eq!(r.gflops(), 0.0);
+        assert!(r.stats.stage_makespans.is_empty());
+    }
+
+    #[test]
+    fn summary_and_display_agree() {
+        let stream = WorkloadSpec::new(4, 64).with_vectors(1).generate();
+        let cfg = MachineConfig::mi100_like(2);
+        let r = run_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+        assert_eq!(r.summary(), r.to_string());
+        assert!(r.summary().contains("round-robin"));
+        assert!(r.summary().contains("GFLOPS"));
+    }
+
+    #[test]
+    fn stage_makespans_match_vector_count() {
+        let stream = WorkloadSpec::new(4, 64).with_vectors(5).generate();
+        let cfg = MachineConfig::mi100_like(2);
+        let r = run_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+        assert_eq!(r.stats.stage_makespans.len(), 5);
+    }
+}

@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # micco-core
+//!
+//! The MICCO multi-GPU scheduler — the paper's primary contribution — plus
+//! the baselines it is evaluated against.
+//!
+//! ## What MICCO does
+//!
+//! Tensor-pair contractions arrive online, one stage vector at a time. For
+//! every pair MICCO must pick a device, trading **data reuse** (placing a
+//! pair where its operands already live avoids allocations and transfers)
+//! against **load balance** (piling reuse onto one device starves the rest),
+//! while steering clear of **memory eviction** under oversubscription.
+//!
+//! The pieces map one-to-one onto the paper:
+//!
+//! * [`pattern::LocalReusePattern`] — the four-way classification of an
+//!   incoming pair against current device residency (Fig. 4);
+//! * [`ReuseBounds`] — three integers bounding the load imbalance the
+//!   scheduler may accept for each pattern class (Table II);
+//! * [`MiccoScheduler`] — the heuristic (Alg. 1 + Alg. 2) toggling the
+//!   data-centric, computation-centric and memory-eviction-sensitive
+//!   policies;
+//! * [`GrouteScheduler`] — the earliest-available-device baseline the paper
+//!   compares against (reuse-oblivious load balancing);
+//! * [`run_schedule`] — the driver interleaving scheduling with simulated
+//!   execution, measuring both achieved GFLOPS and scheduling overhead;
+//! * [`tuner`] — grid search over reuse-bound settings (ground truth for the
+//!   regression model) and the Fig. 8 candidate set;
+//! * [`model::RegressionBounds`] — the pre-trained random-forest provider
+//!   that predicts per-vector optimal bounds from data characteristics.
+
+pub mod baselines;
+pub mod bounds;
+pub mod driver;
+pub mod mapping;
+pub mod micco;
+pub mod model;
+pub mod pattern;
+pub mod reorder;
+pub mod state;
+pub mod tuner;
+
+pub use baselines::{CodaScheduler, GrouteScheduler, RoundRobinScheduler};
+pub use bounds::{BoundsProvider, FixedBounds, ReuseBounds};
+pub use driver::{run_schedule, Assignment, ScheduleError, ScheduleReport, Scheduler};
+pub use mapping::{mapping_histogram, Mapping, MappingHistogram};
+pub use micco::MiccoScheduler;
+pub use model::RegressionBounds;
+pub use pattern::LocalReusePattern;
+pub use reorder::{reorder_stream, reuse_clustered_order};
+pub use state::VectorState;

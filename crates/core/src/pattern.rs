@@ -1,0 +1,171 @@
+//! Local reuse patterns (Fig. 4 of the paper).
+//!
+//! Each incoming tensor pair is classified against the *current* residency
+//! of the devices. The classification drives which reuse bound applies and
+//! which candidate devices the data-centric policy proposes.
+
+use micco_gpusim::{GpuId, MachineView};
+use micco_workload::ContractionTask;
+
+/// The four-way classification of a tensor pair against device residency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LocalReusePattern {
+    /// Both tensors are resident on at least one *common* device
+    /// (mapping (1): zero memory operations possible).
+    TwoRepeatedSame,
+    /// Both tensors are resident somewhere, but on no common device
+    /// (mappings (2)/(3): one transfer unavoidable).
+    TwoRepeatedDiff,
+    /// Exactly one tensor of the pair is resident on some device.
+    OneRepeated,
+    /// Neither tensor is resident anywhere (mappings (4)–(7): two
+    /// allocations + two transfers).
+    TwoNew,
+}
+
+impl LocalReusePattern {
+    /// Index of the reuse bound governing this pattern (Table II):
+    /// `TwoRepeatedSame → 0`, `TwoRepeatedDiff`/`OneRepeated → 1`,
+    /// `TwoNew → 2`.
+    pub fn bound_index(self) -> usize {
+        match self {
+            LocalReusePattern::TwoRepeatedSame => 0,
+            LocalReusePattern::TwoRepeatedDiff | LocalReusePattern::OneRepeated => 1,
+            LocalReusePattern::TwoNew => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for LocalReusePattern {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LocalReusePattern::TwoRepeatedSame => "TwoRepeatedSame",
+            LocalReusePattern::TwoRepeatedDiff => "TwoRepeatedDiff",
+            LocalReusePattern::OneRepeated => "OneRepeated",
+            LocalReusePattern::TwoNew => "TwoNew",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The classified pair together with the residency evidence gathered while
+/// classifying (so the scheduler does not look it up twice).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifiedPair {
+    /// The pattern.
+    pub pattern: LocalReusePattern,
+    /// Devices holding the first operand.
+    pub holders_a: Vec<GpuId>,
+    /// Devices holding the second operand.
+    pub holders_b: Vec<GpuId>,
+    /// Devices holding both operands (ascending order).
+    pub holders_both: Vec<GpuId>,
+}
+
+/// Classify `task` against the machine's residency (Alg. 1, lines 2–4).
+pub fn classify(task: &ContractionTask, view: &dyn MachineView) -> ClassifiedPair {
+    let holders_a = view.holders(task.a.id);
+    let holders_b = view.holders(task.b.id);
+    let holders_both: Vec<GpuId> =
+        holders_a.iter().copied().filter(|g| holders_b.contains(g)).collect();
+    let pattern = if !holders_both.is_empty() {
+        LocalReusePattern::TwoRepeatedSame
+    } else if !holders_a.is_empty() && !holders_b.is_empty() {
+        LocalReusePattern::TwoRepeatedDiff
+    } else if !holders_a.is_empty() || !holders_b.is_empty() {
+        LocalReusePattern::OneRepeated
+    } else {
+        LocalReusePattern::TwoNew
+    };
+    ClassifiedPair { pattern, holders_a, holders_b, holders_both }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micco_gpusim::{MachineConfig, SimMachine};
+    use micco_workload::{ContractionTask, TaskId, TensorDesc, TensorId};
+
+    fn task(a: u64, b: u64, out: u64) -> ContractionTask {
+        ContractionTask {
+            id: TaskId(out),
+            a: TensorDesc { id: TensorId(a), bytes: 100 },
+            b: TensorDesc { id: TensorId(b), bytes: 100 },
+            out: TensorDesc { id: TensorId(out), bytes: 100 },
+            flops: 1,
+        }
+    }
+
+    fn machine_with(placements: &[(u64, usize)]) -> SimMachine {
+        let mut m = SimMachine::new(MachineConfig::mi100_like(2));
+        // place tensors by running tiny tasks that only load them
+        for &(tensor, gpu) in placements {
+            // a self-pair load: a == b == tensor
+            let t = task(tensor, tensor, 1_000_000 + tensor);
+            m.execute(&t, GpuId(gpu)).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn two_new_when_nothing_resident() {
+        let m = machine_with(&[]);
+        let c = classify(&task(1, 2, 100), &m);
+        assert_eq!(c.pattern, LocalReusePattern::TwoNew);
+        assert!(c.holders_a.is_empty() && c.holders_b.is_empty());
+        assert_eq!(c.pattern.bound_index(), 2);
+    }
+
+    #[test]
+    fn one_repeated_when_single_operand_resident() {
+        let m = machine_with(&[(1, 0)]);
+        let c = classify(&task(1, 2, 100), &m);
+        assert_eq!(c.pattern, LocalReusePattern::OneRepeated);
+        assert_eq!(c.holders_a, vec![GpuId(0)]);
+        assert_eq!(c.pattern.bound_index(), 1);
+        // symmetric: resident operand in position b
+        let c2 = classify(&task(2, 1, 101), &m);
+        assert_eq!(c2.pattern, LocalReusePattern::OneRepeated);
+        assert_eq!(c2.holders_b, vec![GpuId(0)]);
+    }
+
+    #[test]
+    fn two_repeated_diff_when_split_across_devices() {
+        let m = machine_with(&[(1, 0), (2, 1)]);
+        let c = classify(&task(1, 2, 100), &m);
+        assert_eq!(c.pattern, LocalReusePattern::TwoRepeatedDiff);
+        assert!(c.holders_both.is_empty());
+        assert_eq!(c.pattern.bound_index(), 1);
+    }
+
+    #[test]
+    fn two_repeated_same_when_cohabiting() {
+        let m = machine_with(&[(1, 0), (2, 0)]);
+        let c = classify(&task(1, 2, 100), &m);
+        assert_eq!(c.pattern, LocalReusePattern::TwoRepeatedSame);
+        assert_eq!(c.holders_both, vec![GpuId(0)]);
+        assert_eq!(c.pattern.bound_index(), 0);
+    }
+
+    #[test]
+    fn same_takes_precedence_over_diff() {
+        // tensor 1 on both devices, tensor 2 on gpu1 → common holder gpu1
+        let m = machine_with(&[(1, 0), (1, 1), (2, 1)]);
+        let c = classify(&task(1, 2, 100), &m);
+        assert_eq!(c.pattern, LocalReusePattern::TwoRepeatedSame);
+        assert_eq!(c.holders_both, vec![GpuId(1)]);
+    }
+
+    #[test]
+    fn identical_operands_count_as_same() {
+        let m = machine_with(&[(1, 0)]);
+        let c = classify(&task(1, 1, 100), &m);
+        assert_eq!(c.pattern, LocalReusePattern::TwoRepeatedSame);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LocalReusePattern::TwoRepeatedSame.to_string(), "TwoRepeatedSame");
+        assert_eq!(LocalReusePattern::TwoNew.to_string(), "TwoNew");
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-vector scheduling state — the paper's `mapGPUTensor` bookkeeping.
+//!
+//! The balance checks of Alg. 1 compare, per device, the number of tensor
+//! slots assigned *in the current vector* against `reuseBd[k] + balanceNum`.
+//! This module owns those counters; residency for reuse detection comes
+//! from the machine itself (`MachineView`), which persists across vectors.
+//!
+//! Counting *slots* (two per pair) rather than distinct tensors matches the
+//! paper's worked example (Sec. III-B2: "assume assigning eight tensors to
+//! two GPUs. If the reuse bound is zero, each GPU must receive four
+//! tensors") and, crucially, keeps the bound meaningful on reuse-heavy
+//! streams: a device hammering the same hot tensors still accumulates load
+//! with every pair, so the imbalance cap engages even though its distinct-
+//! tensor count stops growing.
+
+use micco_gpusim::GpuId;
+use micco_workload::Vector;
+
+/// Mutable per-vector scheduler state.
+#[derive(Debug, Clone, Default)]
+pub struct VectorState {
+    /// Tensor slots assigned to each device within the current vector.
+    assigned_slots: Vec<usize>,
+    /// `numTensor / numGPU`, rounded up — the balanced share of tensor
+    /// slots per device for this vector.
+    balance_num: usize,
+}
+
+impl VectorState {
+    /// Reset for a new vector on a machine with `num_gpus` devices.
+    pub fn begin(&mut self, vector: &Vector, num_gpus: usize) {
+        assert!(num_gpus > 0, "need at least one GPU");
+        self.assigned_slots.clear();
+        self.assigned_slots.resize(num_gpus, 0);
+        let num_tensor = vector.tensor_slots();
+        self.balance_num = num_tensor.div_ceil(num_gpus).max(1);
+    }
+
+    /// The balanced per-device share for the current vector.
+    pub fn balance_num(&self) -> usize {
+        self.balance_num
+    }
+
+    /// Tensor slots assigned to `g` this vector
+    /// (`mapGPUTensor.at(g).size()`).
+    pub fn assigned_count(&self, g: GpuId) -> usize {
+        self.assigned_slots[g.0]
+    }
+
+    /// Availability check of Alg. 1: may device `g` still take a pair whose
+    /// pattern class carries bound `bound`?
+    pub fn available(&self, g: GpuId, bound: usize) -> bool {
+        self.assigned_slots[g.0] < bound.saturating_add(self.balance_num)
+    }
+
+    /// Record the assignment of a pair to device `g` (Alg. 1 line 20):
+    /// two tensor slots.
+    pub fn record(&mut self, g: GpuId) {
+        self.assigned_slots[g.0] += 2;
+    }
+
+    /// Device with the fewest assigned slots (final fallback so progress is
+    /// always possible even with pathological bounds).
+    pub fn least_loaded(&self) -> GpuId {
+        let g = self
+            .assigned_slots
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, &n)| (n, *i))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        GpuId(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micco_tensor::ContractionKind;
+    use micco_workload::{ContractionTask, TaskId, TensorId};
+
+    fn vector(pairs: usize) -> Vector {
+        let tasks = (0..pairs as u64)
+            .map(|i| {
+                ContractionTask::uniform(
+                    TaskId(i),
+                    TensorId(2 * i),
+                    TensorId(2 * i + 1),
+                    TensorId(1000 + i),
+                    ContractionKind::Meson,
+                    1,
+                    4,
+                )
+            })
+            .collect();
+        Vector::new(tasks)
+    }
+
+    #[test]
+    fn balance_num_is_slots_over_gpus() {
+        let mut s = VectorState::default();
+        s.begin(&vector(8), 4); // 16 slots / 4 GPUs
+        assert_eq!(s.balance_num(), 4);
+        s.begin(&vector(3), 4); // 6 slots / 4 GPUs → ceil = 2
+        assert_eq!(s.balance_num(), 2);
+        s.begin(&vector(0), 4); // degenerate vector → at least 1
+        assert_eq!(s.balance_num(), 1);
+    }
+
+    #[test]
+    fn availability_tracks_bound_plus_balance() {
+        let mut s = VectorState::default();
+        s.begin(&vector(2), 2); // 4 slots / 2 GPUs → balance 2
+        let g = GpuId(0);
+        assert!(s.available(g, 0));
+        s.record(g);
+        // count 2 == 0 + 2 → no longer available at bound 0
+        assert!(!s.available(g, 0));
+        // but still available at bound 1
+        assert!(s.available(g, 1));
+        s.record(g);
+        assert!(!s.available(g, 1));
+        assert!(s.available(g, 3));
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // "assume assigning eight tensors to two GPUs": 4 pairs, 2 devices,
+        // balance 4. Bound 0 → exactly two pairs (four slots) each; bound 2
+        // → up to six slots (three pairs).
+        let mut s = VectorState::default();
+        s.begin(&vector(4), 2);
+        assert_eq!(s.balance_num(), 4);
+        let g = GpuId(0);
+        s.record(g);
+        s.record(g);
+        assert!(!s.available(g, 0), "bound 0 caps at 4 slots");
+        assert!(s.available(g, 2), "bound 2 allows a fifth/sixth slot");
+        s.record(g);
+        assert!(!s.available(g, 2), "bound 2 caps at 6 slots");
+    }
+
+    #[test]
+    fn repeated_hot_pairs_still_accumulate_load() {
+        // the same pair assigned repeatedly must keep counting — this is
+        // what makes the bound effective on reuse-heavy streams
+        let mut s = VectorState::default();
+        s.begin(&vector(8), 2); // balance 8
+        for _ in 0..4 {
+            s.record(GpuId(0));
+        }
+        assert_eq!(s.assigned_count(GpuId(0)), 8);
+        assert!(!s.available(GpuId(0), 0));
+    }
+
+    #[test]
+    fn least_loaded_prefers_lowest_id_on_ties() {
+        let mut s = VectorState::default();
+        s.begin(&vector(4), 3);
+        assert_eq!(s.least_loaded(), GpuId(0));
+        s.record(GpuId(0));
+        assert_eq!(s.least_loaded(), GpuId(1));
+        s.record(GpuId(1));
+        s.record(GpuId(2));
+        assert_eq!(s.least_loaded(), GpuId(0));
+    }
+
+    #[test]
+    fn unbounded_available_never_overflows() {
+        let mut s = VectorState::default();
+        s.begin(&vector(1), 1);
+        assert!(s.available(GpuId(0), usize::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpus_panics() {
+        let mut s = VectorState::default();
+        s.begin(&vector(1), 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The stage-parallel execution engine.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use micco_core::Assignment;
+use micco_tensor::Complex64;
+use micco_workload::TensorPairStream;
+
+use crate::store::TensorStore;
+
+/// Shape of the tensors in a uniform stream (the synthetic generator and
+/// the per-correlator pipelines both produce uniform shapes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TensorShape {
+    /// Batch count.
+    pub batch: usize,
+    /// Mode length.
+    pub dim: usize,
+}
+
+/// Result of executing a stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Wall-clock seconds of the parallel execution.
+    pub wall_secs: f64,
+    /// Kernels computed per worker.
+    pub per_worker_tasks: Vec<usize>,
+    /// Order-independent checksum: per-task output traces summed in task
+    /// order (bit-identical across schedulers and worker counts).
+    pub checksum: Complex64,
+    /// Total kernels computed.
+    pub kernels: usize,
+}
+
+/// Execute `stream` with real kernels on `workers` threads, following the
+/// per-task device `assignments` (one per task, in stream task order —
+/// exactly what [`micco_core::ScheduleReport::assignments`] provides).
+/// Devices map to worker threads; stages are barriers, as on the simulated
+/// machine.
+///
+/// # Examples
+///
+/// ```
+/// use micco_core::{run_schedule, MiccoScheduler, ReuseBounds};
+/// use micco_exec::{execute_stream, TensorShape};
+/// use micco_gpusim::MachineConfig;
+/// use micco_workload::WorkloadSpec;
+///
+/// let shape = TensorShape { batch: 2, dim: 8 };
+/// let stream = WorkloadSpec::new(4, shape.dim).with_batch(shape.batch).with_vectors(2).generate();
+/// let report = run_schedule(
+///     &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+///     &stream,
+///     &MachineConfig::mi100_like(2),
+/// ).unwrap();
+/// let out = execute_stream(&stream, &report.assignments, 2, shape, 7);
+/// assert_eq!(out.kernels, stream.total_tasks());
+/// assert!(out.checksum.is_finite());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `assignments` does not cover every task of `stream`, or if an
+/// assignment names a device ≥ `workers`.
+pub fn execute_stream(
+    stream: &TensorPairStream,
+    assignments: &[Assignment],
+    workers: usize,
+    shape: TensorShape,
+    seed: u64,
+) -> ExecOutcome {
+    assert!(workers > 0, "need at least one worker");
+    assert_eq!(
+        assignments.len(),
+        stream.total_tasks(),
+        "assignments must cover every task"
+    );
+    let store = TensorStore::new(shape.batch, shape.dim, seed);
+    let t0 = Instant::now();
+    let mut per_worker_tasks = vec![0usize; workers];
+    // per-task traces, collected in global task order so the final
+    // checksum reduction is order-fixed regardless of thread interleaving
+    let mut traces: Vec<Complex64> = vec![Complex64::ZERO; stream.total_tasks()];
+    let mut offset = 0usize;
+
+    for vector in &stream.vectors {
+        let stage_assign = &assignments[offset..offset + vector.len()];
+        // partition this stage's task indices per worker
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for (i, a) in stage_assign.iter().enumerate() {
+            assert!(a.gpu.0 < workers, "assignment to device {} ≥ {workers}", a.gpu.0);
+            debug_assert_eq!(a.task, vector.tasks[i].id, "assignment order must match stream");
+            buckets[a.gpu.0].push(i);
+        }
+        for (w, b) in buckets.iter().enumerate() {
+            per_worker_tasks[w] += b.len();
+        }
+        // one scoped thread per non-empty bucket; the scope join is the
+        // stage barrier
+        let trace_slices = split_by_buckets(&mut traces[offset..offset + vector.len()], &buckets);
+        crossbeam::thread::scope(|scope| {
+            for (bucket, slots) in buckets.iter().zip(trace_slices) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                let store = &store;
+                scope.spawn(move |_| {
+                    for (&i, slot) in bucket.iter().zip(slots) {
+                        let task = &vector.tasks[i];
+                        let a = store.fetch(task.a.id);
+                        let b = store.fetch(task.b.id);
+                        let out = a.matmul(&b).expect("uniform shapes");
+                        // sequential per-element trace: no cross-thread
+                        // reduction ⇒ bitwise determinism
+                        let mut tr = Complex64::ZERO;
+                        for bi in 0..out.batch() {
+                            tr += out.element(bi).trace();
+                        }
+                        *slot = tr;
+                        store.insert(task.out.id, Arc::new(out));
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        offset += vector.len();
+    }
+
+    let checksum = traces.iter().copied().sum();
+    ExecOutcome {
+        wall_secs: t0.elapsed().as_secs_f64(),
+        per_worker_tasks,
+        checksum,
+        kernels: stream.total_tasks(),
+    }
+}
+
+/// Split `slice` into per-bucket mutable views: bucket `w` receives one
+/// `&mut Complex64` per entry, in order. Implemented with `split_first_mut`
+/// walking the slice once per bucket ordering — buckets index disjoint
+/// positions, so we hand out raw disjoint sub-borrows via sorting.
+fn split_by_buckets<'a>(
+    slice: &'a mut [Complex64],
+    buckets: &[Vec<usize>],
+) -> Vec<Vec<&'a mut Complex64>> {
+    // Decorate every slot with its bucket, then walk the slice once,
+    // routing each &mut to its bucket — safe disjoint splitting without
+    // unsafe code.
+    let mut owner: Vec<usize> = vec![usize::MAX; slice.len()];
+    for (w, bucket) in buckets.iter().enumerate() {
+        for &i in bucket {
+            owner[i] = w;
+        }
+    }
+    let mut out: Vec<Vec<&mut Complex64>> = (0..buckets.len()).map(|_| Vec::new()).collect();
+    for (slot, &w) in slice.iter_mut().zip(&owner) {
+        if w != usize::MAX {
+            out[w].push(slot);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micco_core::{run_schedule, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler, Scheduler};
+    use micco_gpusim::MachineConfig;
+    use micco_workload::WorkloadSpec;
+
+    const SHAPE: TensorShape = TensorShape { batch: 2, dim: 8 };
+
+    fn stream() -> TensorPairStream {
+        WorkloadSpec::new(12, SHAPE.dim)
+            .with_batch(SHAPE.batch)
+            .with_repeat_rate(0.6)
+            .with_vectors(3)
+            .with_seed(21)
+            .generate()
+    }
+
+    fn assignments_for(s: &mut dyn Scheduler, stream: &TensorPairStream, gpus: usize) -> Vec<Assignment> {
+        run_schedule(s, stream, &MachineConfig::mi100_like(gpus))
+            .expect("fits")
+            .assignments
+    }
+
+    #[test]
+    fn executes_and_counts() {
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 4);
+        let out = execute_stream(&stream, &assignments, 4, SHAPE, 5);
+        assert_eq!(out.kernels, stream.total_tasks());
+        assert_eq!(out.per_worker_tasks.iter().sum::<usize>(), stream.total_tasks());
+        assert!(out.checksum.is_finite());
+        assert!(out.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn checksum_is_scheduler_invariant() {
+        let stream = stream();
+        let mut checksums = Vec::new();
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(GrouteScheduler::new()),
+            Box::new(RoundRobinScheduler::new()),
+            Box::new(MiccoScheduler::new(ReuseBounds::new(0, 2, 0))),
+            Box::new(MiccoScheduler::new(ReuseBounds::unbounded())),
+        ];
+        for s in schedulers.iter_mut() {
+            let assignments = assignments_for(s.as_mut(), &stream, 4);
+            checksums.push(execute_stream(&stream, &assignments, 4, SHAPE, 5).checksum);
+        }
+        for w in checksums.windows(2) {
+            assert_eq!(w[0], w[1], "placement must never change the physics");
+        }
+    }
+
+    #[test]
+    fn checksum_is_worker_count_invariant() {
+        let stream = stream();
+        let mut reference = None;
+        for gpus in [1usize, 2, 3, 8] {
+            let assignments =
+                assignments_for(&mut RoundRobinScheduler::new(), &stream, gpus);
+            let out = execute_stream(&stream, &assignments, gpus, SHAPE, 5);
+            if let Some(r) = reference {
+                assert_eq!(out.checksum, r, "{gpus} workers changed the checksum");
+            } else {
+                reference = Some(out.checksum);
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_bit_identical() {
+        let stream = stream();
+        let assignments = assignments_for(&mut MiccoScheduler::naive(), &stream, 3);
+        let a = execute_stream(&stream, &assignments, 3, SHAPE, 9).checksum;
+        let b = execute_stream(&stream, &assignments, 3, SHAPE, 9).checksum;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn seed_changes_checksum() {
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
+        let a = execute_stream(&stream, &assignments, 2, SHAPE, 1).checksum;
+        let b = execute_stream(&stream, &assignments, 2, SHAPE, 2).checksum;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn matches_single_threaded_reference() {
+        // hand-rolled sequential reference over the same leaf generator
+        let stream = WorkloadSpec::new(4, SHAPE.dim)
+            .with_batch(SHAPE.batch)
+            .with_repeat_rate(0.0)
+            .with_vectors(1)
+            .with_seed(2)
+            .generate();
+        let store = crate::store::TensorStore::new(SHAPE.batch, SHAPE.dim, 77);
+        let mut expect = Complex64::ZERO;
+        for t in &stream.vectors[0].tasks {
+            let out = store.fetch(t.a.id).matmul(&store.fetch(t.b.id)).unwrap();
+            // group per task exactly as the engine does — float addition is
+            // not associative, and the test demands bit equality
+            let mut tr = Complex64::ZERO;
+            for bi in 0..out.batch() {
+                tr += out.element(bi).trace();
+            }
+            expect += tr;
+        }
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
+        let got = execute_stream(&stream, &assignments, 2, SHAPE, 77).checksum;
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every task")]
+    fn short_assignments_panic() {
+        let stream = stream();
+        execute_stream(&stream, &[], 2, SHAPE, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panic() {
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 1);
+        execute_stream(&stream, &assignments, 0, SHAPE, 0);
+    }
+}

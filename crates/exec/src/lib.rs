@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # micco-exec
+//!
+//! A multi-threaded CPU execution engine that *actually runs* a scheduled
+//! contraction stream with the real `micco-tensor` kernels — one worker
+//! thread per simulated device, a shared tensor store behind a
+//! `parking_lot::RwLock`, and `crossbeam` scoped threads with per-stage
+//! barriers mirroring the stage semantics of the simulator.
+//!
+//! The simulator (`micco-gpusim`) answers "how long would this placement
+//! take on the modelled hardware"; this crate answers "does the placement
+//! actually compute the right thing, in parallel, on this host". Its
+//! headline guarantee, enforced by tests: **the computed correlation
+//! checksum is bit-identical for every scheduler, every placement, and
+//! every worker count** — scheduling decides time, never values.
+
+pub mod engine;
+pub mod store;
+
+pub use engine::{execute_stream, ExecOutcome, TensorShape};
+pub use store::TensorStore;

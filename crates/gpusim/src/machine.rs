@@ -1,0 +1,926 @@
+//! The simulated multi-GPU machine.
+//!
+//! [`SimMachine`] executes contraction tasks on per-device serial timelines.
+//! The driver (in `micco-core::run_schedule`) interleaves scheduling and
+//! execution: for every task the scheduler picks a device given the current
+//! [`MachineView`], then [`SimMachine::execute`] applies the placement —
+//! staging missing operands (host→device, or device→device when a peer holds
+//! a copy), allocating the output, evicting under pressure, and advancing
+//! that device's clock by the memory-operation and kernel times.
+//!
+//! Stage vectors are separated by [`SimMachine::barrier`], which aligns all
+//! device clocks to the stage makespan (stages are sequential in the
+//! application).
+
+use std::collections::{HashMap, VecDeque};
+
+use micco_workload::{ContractionTask, TensorId, TensorPairStream};
+
+use crate::cost::MachineConfig;
+use crate::memory::{AllocError, DeviceMemory, Provenance};
+use crate::stats::ExecStats;
+use crate::trace::{Event, Trace};
+
+/// Index of a simulated device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GpuId(pub usize);
+
+impl std::fmt::Display for GpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+/// Execution failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// The target device id is out of range.
+    BadGpu {
+        /// Offending id.
+        gpu: GpuId,
+        /// Number of devices.
+        num_gpus: usize,
+    },
+    /// The device cannot hold the task's working set even after evicting
+    /// everything unpinned.
+    OutOfMemory {
+        /// Target device.
+        gpu: GpuId,
+        /// Underlying allocator error.
+        source: AllocError,
+    },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::BadGpu { gpu, num_gpus } => {
+                write!(f, "{gpu} out of range (machine has {num_gpus} devices)")
+            }
+            ExecError::OutOfMemory { gpu, source } => write!(f, "{gpu} out of memory: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Read-only view of the machine offered to schedulers — the paper's
+/// `mapGPUTensor` / `mapGPUCom` / `mapGPUMem` in trait form.
+pub trait MachineView {
+    /// Number of devices.
+    fn num_gpus(&self) -> usize;
+    /// Per-device memory capacity in bytes.
+    fn mem_capacity(&self) -> u64;
+    /// Bytes resident on device `g`.
+    fn mem_used(&self, g: GpuId) -> u64;
+    /// Whether tensor `t` is resident on device `g`.
+    fn holds(&self, g: GpuId, t: TensorId) -> bool;
+    /// All devices holding a copy of tensor `t` (ascending id order).
+    fn holders(&self, t: TensorId) -> Vec<GpuId>;
+    /// Kernel flops assigned to device `g` in the current stage
+    /// (`mapGPUCom`).
+    fn stage_flops(&self, g: GpuId) -> u64;
+    /// Busy seconds of device `g` in the current stage (compute + memory
+    /// ops) — what "earliest available device" baselines rank by.
+    fn stage_busy_secs(&self, g: GpuId) -> f64;
+    /// Bytes the task would still need to allocate on `g` (non-resident
+    /// inputs + output).
+    fn bytes_needed(&self, g: GpuId, task: &ContractionTask) -> u64;
+    /// Whether placing `task` on `g` would trigger eviction.
+    fn would_evict(&self, g: GpuId, task: &ContractionTask) -> bool {
+        self.bytes_needed(g, task) > self.mem_capacity().saturating_sub(self.mem_used(g))
+    }
+}
+
+struct Gpu {
+    mem: DeviceMemory,
+    /// When the compute engine finishes its queued kernels.
+    compute_time: f64,
+    /// When the DMA engine finishes its queued memory operations. In
+    /// synchronous mode this is kept fused with `compute_time`; with
+    /// `async_copy` the two engines run concurrently and a kernel only
+    /// waits for its own operands.
+    dma_time: f64,
+    /// Start of the current stage on the shared clock.
+    stage_start: f64,
+    /// Flops assigned this stage.
+    stage_flops: u64,
+}
+
+impl Gpu {
+    /// When this device finishes all queued work.
+    fn time(&self) -> f64 {
+        self.compute_time.max(self.dma_time)
+    }
+}
+
+/// The simulated node.
+///
+/// # Examples
+///
+/// ```
+/// use micco_gpusim::{GpuId, MachineConfig, MachineView, SimMachine};
+/// use micco_workload::{ContractionTask, TaskId, TensorDesc, TensorId};
+///
+/// let mut machine = SimMachine::new(MachineConfig::mi100_like(2));
+/// let task = ContractionTask {
+///     id: TaskId(0),
+///     a: TensorDesc { id: TensorId(1), bytes: 1 << 20 },
+///     b: TensorDesc { id: TensorId(2), bytes: 1 << 20 },
+///     out: TensorDesc { id: TensorId(3), bytes: 1 << 20 },
+///     flops: 1_000_000,
+/// };
+/// machine.execute(&task, GpuId(0)).unwrap();
+/// machine.barrier();
+/// // both operands were staged from the host and are now resident
+/// assert_eq!(machine.stats().total_h2d(), 2);
+/// assert!(machine.holds(GpuId(0), TensorId(1)));
+/// assert!(machine.stats().elapsed_secs > 0.0);
+/// ```
+pub struct SimMachine {
+    config: MachineConfig,
+    gpus: Vec<Gpu>,
+    stats: ExecStats,
+    trace: Option<Trace>,
+    stage_index: usize,
+    /// Provenance override: tensors that have been written back to the host
+    /// keep a host copy, so later evictions of re-fetched copies are cheap.
+    host_copies: HashMap<TensorId, ()>,
+    /// Next-use oracle for the clairvoyant eviction policy: per tensor, the
+    /// queue of global task indices (in execution order) that will use it.
+    oracle: Option<HashMap<TensorId, VecDeque<u64>>>,
+    /// Global task counter (drives the oracle).
+    task_counter: u64,
+    /// When the shared host link is next free (`shared_h2d_link` only).
+    host_link_free: f64,
+}
+
+impl SimMachine {
+    /// Build an idle machine from a configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        let gpus = (0..config.num_gpus)
+            .map(|_| Gpu {
+                mem: DeviceMemory::new(config.mem_bytes, config.eviction),
+                compute_time: 0.0,
+                dma_time: 0.0,
+                stage_start: 0.0,
+                stage_flops: 0,
+            })
+            .collect();
+        SimMachine {
+            config,
+            gpus,
+            stats: ExecStats::new(config.num_gpus),
+            trace: None,
+            stage_index: 0,
+            host_copies: HashMap::new(),
+            oracle: None,
+            task_counter: 0,
+            host_link_free: 0.0,
+        }
+    }
+
+    /// Arm the clairvoyant eviction oracle with the full stream the machine
+    /// is about to execute (tasks must then be executed in stream order).
+    /// Only meaningful with [`crate::memory::EvictionPolicy::Clairvoyant`].
+    pub fn with_oracle(mut self, stream: &TensorPairStream) -> Self {
+        self.oracle = Some(build_oracle(stream));
+        self
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Turn on event tracing (off by default).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Trace::default());
+    }
+
+    /// The event trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Statistics so far. `elapsed_secs` is complete only after the final
+    /// [`Self::barrier`].
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    fn record(&mut self, e: Event) {
+        if let Some(t) = &mut self.trace {
+            t.push(e);
+        }
+    }
+
+    /// Execute `task` on device `gpu`, advancing its clock.
+    pub fn execute(&mut self, task: &ContractionTask, gpu: GpuId) -> Result<(), ExecError> {
+        if gpu.0 >= self.gpus.len() {
+            return Err(ExecError::BadGpu { gpu, num_gpus: self.gpus.len() });
+        }
+        let mut mem_secs = 0.0;
+
+        // Stage both inputs, pinning them for the duration of the task.
+        for d in [task.a, task.b] {
+            if self.gpus[gpu.0].mem.holds(d.id) {
+                self.gpus[gpu.0].mem.touch(d.id);
+                self.gpus[gpu.0].mem.set_pinned(d.id, true);
+                self.stats.per_gpu[gpu.0].reuse_hits += 1;
+                self.record(Event::ReuseHit { gpu, tensor: d.id });
+                continue;
+            }
+            // Source selection: prefer a peer copy (faster link) else host.
+            let peer = self.holders(d.id).into_iter().find(|g| *g != gpu);
+            mem_secs += self.config.cost.alloc_secs(d.bytes);
+            self.stats.per_gpu[gpu.0].allocs += 1;
+            let evicted = self.gpus[gpu.0]
+                .mem
+                .allocate(d.id, d.bytes, Provenance::HostBacked)
+                .map_err(|source| ExecError::OutOfMemory { gpu, source })?;
+            mem_secs += self.charge_evictions(gpu, &evicted);
+            match peer {
+                Some(src) => {
+                    let secs = self.config.cost.d2d_secs(d.bytes);
+                    mem_secs += secs;
+                    // Peer copies occupy the source's memory controller too;
+                    // charging the source throttles hot-tensor fan-out from
+                    // a single holder (and is what real peer DMA does).
+                    if self.config.cost.d2d_charges_source {
+                        self.gpus[src.0].dma_time += secs;
+                        if !self.config.cost.async_copy {
+                            // serialised device: DMA work delays compute too
+                            self.gpus[src.0].compute_time = self.gpus[src.0].compute_time.max(self.gpus[src.0].dma_time);
+                        }
+                        self.stats.per_gpu[src.0].memory_secs += secs;
+                    }
+                    self.stats.per_gpu[gpu.0].d2d_count += 1;
+                    self.stats.per_gpu[gpu.0].d2d_bytes += d.bytes;
+                    self.record(Event::D2d { src, dst: gpu, tensor: d.id, bytes: d.bytes });
+                }
+                None => {
+                    let secs = self.config.cost.h2d_secs(d.bytes);
+                    mem_secs += secs;
+                    if self.config.cost.shared_h2d_link {
+                        // all devices share the PCIe root: this transfer can
+                        // only start once the link is free, and it occupies
+                        // the link for its duration. Approximate the start
+                        // as the device's current DMA position plus the mem
+                        // time already queued for this task.
+                        let start =
+                            self.host_link_free.max(self.gpus[gpu.0].time() + mem_secs - secs);
+                        let wait = start - (self.gpus[gpu.0].time() + mem_secs - secs);
+                        mem_secs += wait;
+                        self.host_link_free = start + secs;
+                    }
+                    self.stats.per_gpu[gpu.0].h2d_count += 1;
+                    self.stats.per_gpu[gpu.0].h2d_bytes += d.bytes;
+                    self.record(Event::H2d { gpu, tensor: d.id, bytes: d.bytes });
+                }
+            }
+        }
+
+        // Allocate the output. A recompute of an intermediate that is still
+        // resident (e.g. replaying a stream on a warm machine) overwrites
+        // in place — no new allocation.
+        if self.gpus[gpu.0].mem.holds(task.out.id) {
+            self.gpus[gpu.0].mem.touch(task.out.id);
+            self.gpus[gpu.0].mem.set_pinned(task.out.id, true);
+        } else {
+            mem_secs += self.config.cost.alloc_secs(task.out.bytes);
+            self.stats.per_gpu[gpu.0].allocs += 1;
+            let evicted = self.gpus[gpu.0]
+                .mem
+                .allocate(task.out.id, task.out.bytes, Provenance::DeviceCreated)
+                .map_err(|source| ExecError::OutOfMemory { gpu, source })?;
+            mem_secs += self.charge_evictions(gpu, &evicted);
+        }
+
+        // Kernel.
+        let compute_secs = self.config.cost.compute_secs(task.flops);
+        self.record(Event::Kernel { gpu, task: task.id, secs: compute_secs });
+
+        // Unpin the working set.
+        for id in [task.a.id, task.b.id, task.out.id] {
+            self.gpus[gpu.0].mem.set_pinned(id, false);
+        }
+
+        // Clairvoyant oracle: advance each touched tensor's use queue past
+        // the current position and feed the next use to every device
+        // holding a copy.
+        if let Some(oracle) = self.oracle.as_mut() {
+            let now = self.task_counter;
+            for id in [task.a.id, task.b.id, task.out.id] {
+                let queue = oracle.entry(id).or_default();
+                while queue.front().is_some_and(|&u| u <= now) {
+                    queue.pop_front();
+                }
+                let next = queue.front().copied().unwrap_or(u64::MAX);
+                for g in &mut self.gpus {
+                    g.mem.set_next_use(id, next);
+                }
+            }
+            self.task_counter += 1;
+        }
+
+        let g = &mut self.gpus[gpu.0];
+        if self.config.cost.async_copy {
+            // DMA engine runs its queue independently; the kernel starts
+            // once both the compute engine is free and the operands landed.
+            g.dma_time += mem_secs;
+            let start = g.compute_time.max(g.dma_time);
+            g.compute_time = start + compute_secs;
+        } else {
+            // fully serialised device: memory ops then kernel
+            let start = g.compute_time.max(g.dma_time);
+            let finish = start + mem_secs + compute_secs;
+            g.compute_time = finish;
+            g.dma_time = finish;
+        }
+        g.stage_flops += task.flops;
+        let s = &mut self.stats.per_gpu[gpu.0];
+        s.tasks += 1;
+        s.flops += task.flops;
+        s.compute_secs += compute_secs;
+        s.memory_secs += mem_secs;
+        Ok(())
+    }
+
+    fn charge_evictions(&mut self, gpu: GpuId, evicted: &[crate::memory::Evicted]) -> f64 {
+        let mut secs = 0.0;
+        for ev in evicted {
+            // A write-back is only paid the first time device-created data
+            // leaves a device; afterwards the host holds a copy.
+            let writeback = ev.writeback && !self.host_copies.contains_key(&ev.id);
+            if ev.writeback {
+                self.host_copies.insert(ev.id, ());
+            }
+            secs += self.config.cost.evict_secs(ev.bytes, writeback);
+            self.stats.per_gpu[gpu.0].evictions += 1;
+            if writeback {
+                self.stats.per_gpu[gpu.0].writeback_bytes += ev.bytes;
+            }
+            self.record(Event::Evict { gpu, tensor: ev.id, writeback });
+        }
+        secs
+    }
+
+    /// End the current stage: all device clocks advance to the stage
+    /// makespan, per-stage counters reset, and the makespan is recorded.
+    pub fn barrier(&mut self) {
+        let end = self.gpus.iter().map(|g| g.time()).fold(0.0, f64::max);
+        let start = self.gpus.first().map(|g| g.stage_start).unwrap_or(0.0);
+        let makespan = end - start;
+        self.stats.stage_makespans.push(makespan);
+        self.stats.elapsed_secs = end;
+        self.record(Event::Barrier { stage: self.stage_index, makespan });
+        self.stage_index += 1;
+        for g in &mut self.gpus {
+            g.compute_time = end;
+            g.dma_time = end;
+            g.stage_start = end;
+            g.stage_flops = 0;
+        }
+    }
+
+    /// Absolute clock of device `g` (seconds since run start): when both
+    /// its compute and DMA engines are done.
+    pub fn device_time(&self, g: GpuId) -> f64 {
+        self.gpus[g.0].time()
+    }
+
+    /// Latest clock over all devices.
+    pub fn max_device_time(&self) -> f64 {
+        self.gpus.iter().map(|g| g.time()).fold(0.0, f64::max)
+    }
+
+    /// Charge extra memory-operation time to device `g`'s DMA engine —
+    /// used by the cluster layer (`micco-cluster`) to account inter-node
+    /// transfers that happen outside this node.
+    pub fn add_memory_delay(&mut self, g: GpuId, secs: f64) {
+        assert!(secs >= 0.0, "negative delay");
+        let gpu = &mut self.gpus[g.0];
+        gpu.dma_time += secs;
+        if !self.config.cost.async_copy {
+            gpu.compute_time = gpu.compute_time.max(gpu.dma_time);
+        }
+        self.stats.per_gpu[g.0].memory_secs += secs;
+    }
+
+    /// Advance every device clock to at least `t` (a cross-machine barrier
+    /// helper for the cluster layer). Clocks never move backwards.
+    pub fn advance_to(&mut self, t: f64) {
+        for g in &mut self.gpus {
+            g.compute_time = g.compute_time.max(t);
+            g.dma_time = g.dma_time.max(t);
+        }
+    }
+
+    /// Number of tensors resident on device `g`.
+    pub fn resident_count(&self, g: GpuId) -> usize {
+        self.gpus[g.0].mem.resident_count()
+    }
+}
+
+impl MachineView for SimMachine {
+    fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    fn mem_capacity(&self) -> u64 {
+        self.config.mem_bytes
+    }
+
+    fn mem_used(&self, g: GpuId) -> u64 {
+        self.gpus[g.0].mem.used()
+    }
+
+    fn holds(&self, g: GpuId, t: TensorId) -> bool {
+        self.gpus[g.0].mem.holds(t)
+    }
+
+    fn holders(&self, t: TensorId) -> Vec<GpuId> {
+        (0..self.gpus.len())
+            .filter(|i| self.gpus[*i].mem.holds(t))
+            .map(GpuId)
+            .collect()
+    }
+
+    fn stage_flops(&self, g: GpuId) -> u64 {
+        self.gpus[g.0].stage_flops
+    }
+
+    fn stage_busy_secs(&self, g: GpuId) -> f64 {
+        self.gpus[g.0].time() - self.gpus[g.0].stage_start
+    }
+
+    fn bytes_needed(&self, g: GpuId, task: &ContractionTask) -> u64 {
+        let mut need = task.out.bytes;
+        if !self.holds(g, task.a.id) {
+            need += task.a.bytes;
+        }
+        if !self.holds(g, task.b.id) && task.b.id != task.a.id {
+            need += task.b.bytes;
+        }
+        need
+    }
+}
+
+/// Build the next-use oracle for a stream: per tensor, the global task
+/// indices (execution order) at which it appears as an operand.
+pub fn build_oracle(stream: &TensorPairStream) -> HashMap<TensorId, VecDeque<u64>> {
+    let mut oracle: HashMap<TensorId, VecDeque<u64>> = HashMap::new();
+    let mut idx = 0u64;
+    for v in &stream.vectors {
+        for t in &v.tasks {
+            oracle.entry(t.a.id).or_default().push_back(idx);
+            oracle.entry(t.b.id).or_default().push_back(idx);
+            idx += 1;
+        }
+    }
+    oracle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostModel;
+    use crate::memory::EvictionPolicy;
+    use micco_workload::{TaskId, TensorDesc};
+
+    /// Round-number cost model: 1 GFLOPS device, 1 GiB/s links, no latency.
+    /// Source charging is off so per-device timings stay easy to hand-check;
+    /// `d2d_source_charging_throttles_holder` covers the flag.
+    fn unit_cost() -> CostModel {
+        CostModel {
+            device_gflops: 1.0,
+            h2d_gib_s: 1.0,
+            d2d_gib_s: 2.0,
+            transfer_latency_us: 0.0,
+            alloc_latency_us: 0.0,
+            evict_latency_us: 0.0,
+            d2d_charges_source: false,
+            async_copy: false,
+            shared_h2d_link: false,
+        }
+    }
+
+    #[test]
+    fn d2d_source_charging_throttles_holder() {
+        let cfg = MachineConfig {
+            num_gpus: 2,
+            mem_bytes: 100 * GIB,
+            cost: CostModel { d2d_charges_source: true, ..unit_cost() },
+            eviction: EvictionPolicy::Lru,
+        };
+        let mut m = SimMachine::new(cfg);
+        m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap(); // 2 s on gpu0
+        // gpu1 pulls tensor 1 from gpu0: 0.5 s on gpu1 AND 0.5 s added to gpu0
+        m.execute(&task(1, 1, 3, 101, GIB, 0), GpuId(1)).unwrap();
+        assert!((m.device_time(GpuId(0)) - 2.5).abs() < 1e-9);
+        assert!((m.device_time(GpuId(1)) - 1.5).abs() < 1e-9);
+    }
+
+    fn machine(gpus: usize, mem: u64) -> SimMachine {
+        let cfg = MachineConfig {
+            num_gpus: gpus,
+            mem_bytes: mem,
+            cost: unit_cost(),
+            eviction: EvictionPolicy::Lru,
+        };
+        let mut m = SimMachine::new(cfg);
+        m.enable_trace();
+        m
+    }
+
+    const GIB: u64 = 1 << 30;
+
+    fn task(id: u64, a: u64, b: u64, out: u64, bytes: u64, flops: u64) -> ContractionTask {
+        ContractionTask {
+            id: TaskId(id),
+            a: TensorDesc { id: TensorId(a), bytes },
+            b: TensorDesc { id: TensorId(b), bytes },
+            out: TensorDesc { id: TensorId(out), bytes },
+            flops,
+        }
+    }
+
+    #[test]
+    fn first_task_pays_two_h2d_and_kernel() {
+        let mut m = machine(2, 100 * GIB);
+        let t = task(0, 1, 2, 100, GIB, 1_000_000_000);
+        m.execute(&t, GpuId(0)).unwrap();
+        m.barrier();
+        let s = m.stats();
+        assert_eq!(s.per_gpu[0].h2d_count, 2);
+        assert_eq!(s.per_gpu[0].d2d_count, 0);
+        // 2 GiB over 1 GiB/s + 1 GF over 1 GFLOPS = 3 s
+        assert!((s.elapsed_secs - 3.0).abs() < 1e-9, "elapsed {}", s.elapsed_secs);
+        assert_eq!(s.total_tasks(), 1);
+    }
+
+    #[test]
+    fn resident_inputs_are_reused_free() {
+        let mut m = machine(1, 100 * GIB);
+        let t0 = task(0, 1, 2, 100, GIB, 1_000_000_000);
+        let t1 = task(1, 1, 2, 101, GIB, 1_000_000_000);
+        m.execute(&t0, GpuId(0)).unwrap();
+        m.execute(&t1, GpuId(0)).unwrap();
+        m.barrier();
+        let s = m.stats();
+        assert_eq!(s.per_gpu[0].h2d_count, 2, "second task reuses both inputs");
+        assert_eq!(s.per_gpu[0].reuse_hits, 2);
+        // 2 s transfers + 2 × 1 s kernels
+        assert!((s.elapsed_secs - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peer_copy_uses_d2d() {
+        let mut m = machine(2, 100 * GIB);
+        m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap();
+        // tensor 1 resident on gpu0; gpu1 should fetch it over d2d (0.5 s)
+        m.execute(&task(1, 1, 3, 101, GIB, 0), GpuId(1)).unwrap();
+        m.barrier();
+        let s = m.stats();
+        assert_eq!(s.per_gpu[1].d2d_count, 1);
+        assert_eq!(s.per_gpu[1].h2d_count, 1);
+        // gpu1 time: 0.5 (d2d) + 1.0 (h2d) = 1.5; gpu0: 2.0 → makespan 2.0
+        assert!((s.elapsed_secs - 2.0).abs() < 1e-9);
+        // both devices hold tensor 1 now
+        assert_eq!(m.holders(TensorId(1)), vec![GpuId(0), GpuId(1)]);
+    }
+
+    #[test]
+    fn identical_operands_counted_once_in_bytes_needed() {
+        let m = machine(1, 100 * GIB);
+        let t = task(0, 7, 7, 100, GIB, 0);
+        assert_eq!(m.bytes_needed(GpuId(0), &t), 2 * GIB); // one input + output
+    }
+
+    #[test]
+    fn eviction_charged_and_traced() {
+        // memory for exactly 3 tensors of 1 GiB
+        let mut m = machine(1, 3 * GIB);
+        m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap();
+        // next task needs 2 new tensors + output = 3 GiB, only 0 free →
+        // evicts 3 (LRU order: tensors 1, 2, then output 100)
+        m.execute(&task(1, 3, 4, 101, GIB, 0), GpuId(0)).unwrap();
+        m.barrier();
+        let s = m.stats();
+        assert_eq!(s.per_gpu[0].evictions, 3);
+        let trace = m.trace().unwrap();
+        assert_eq!(trace.count(|e| matches!(e, Event::Evict { .. })), 3);
+        // the evicted output (tensor 100) pays a write-back
+        assert!(trace.events().iter().any(|e| matches!(
+            e,
+            Event::Evict { tensor: TensorId(100), writeback: true, .. }
+        )));
+        assert_eq!(s.per_gpu[0].writeback_bytes, GIB);
+    }
+
+    #[test]
+    fn writeback_paid_once_per_tensor() {
+        let mut m = machine(1, 3 * GIB);
+        m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap();
+        m.execute(&task(1, 3, 100, 101, GIB, 0), GpuId(0)).unwrap(); // 100 reused
+        // force 100 out, then back in, then out again
+        m.execute(&task(2, 4, 5, 102, GIB, 0), GpuId(0)).unwrap();
+        m.execute(&task(3, 100, 6, 103, GIB, 0), GpuId(0)).unwrap();
+        m.execute(&task(4, 7, 8, 104, GIB, 0), GpuId(0)).unwrap();
+        m.barrier();
+        let wb: u64 = m
+            .trace()
+            .unwrap()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::Evict { tensor: TensorId(100), writeback: true, .. }))
+            .count() as u64;
+        assert_eq!(wb, 1, "tensor 100 must pay write-back exactly once");
+    }
+
+    #[test]
+    fn out_of_memory_is_an_error() {
+        let mut m = machine(1, 2 * GIB);
+        let t = task(0, 1, 2, 100, GIB, 0); // needs 3 GiB pinned at once
+        let err = m.execute(&t, GpuId(0)).unwrap_err();
+        assert!(matches!(err, ExecError::OutOfMemory { gpu: GpuId(0), .. }));
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn bad_gpu_is_an_error() {
+        let mut m = machine(2, GIB);
+        let t = task(0, 1, 2, 100, 1, 0);
+        let err = m.execute(&t, GpuId(5)).unwrap_err();
+        assert_eq!(err, ExecError::BadGpu { gpu: GpuId(5), num_gpus: 2 });
+        assert!(err.to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_and_resets_stage_counters() {
+        let mut m = machine(2, 100 * GIB);
+        m.execute(&task(0, 1, 2, 100, GIB, 2_000_000_000), GpuId(0)).unwrap();
+        assert!(m.stage_busy_secs(GpuId(0)) > 0.0);
+        assert_eq!(m.stage_busy_secs(GpuId(1)), 0.0);
+        assert_eq!(m.stage_flops(GpuId(0)), 2_000_000_000);
+        m.barrier();
+        assert_eq!(m.stage_flops(GpuId(0)), 0);
+        assert_eq!(m.stage_busy_secs(GpuId(0)), 0.0);
+        assert_eq!(m.device_time(GpuId(0)), m.device_time(GpuId(1)));
+        assert_eq!(m.stats().stage_makespans.len(), 1);
+    }
+
+    #[test]
+    fn makespan_is_max_over_devices() {
+        let mut m = machine(2, 100 * GIB);
+        m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap(); // 2 s
+        m.execute(&task(1, 3, 4, 101, GIB, 1_000_000_000), GpuId(1)).unwrap(); // 3 s
+        m.barrier();
+        assert!((m.stats().elapsed_secs - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_stage_elapsed_is_sum_of_makespans() {
+        let mut m = machine(2, 100 * GIB);
+        m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap();
+        m.barrier();
+        m.execute(&task(1, 3, 4, 101, GIB, 0), GpuId(1)).unwrap();
+        m.barrier();
+        let s = m.stats();
+        assert_eq!(s.stage_makespans.len(), 2);
+        let sum: f64 = s.stage_makespans.iter().sum();
+        assert!((s.elapsed_secs - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn would_evict_predicts_pressure() {
+        let mut m = machine(1, 3 * GIB);
+        let t = task(0, 1, 2, 100, GIB, 0);
+        assert!(!m.would_evict(GpuId(0), &t));
+        m.execute(&t, GpuId(0)).unwrap();
+        let t2 = task(1, 3, 4, 101, GIB, 0);
+        assert!(m.would_evict(GpuId(0), &t2));
+        // a task reusing residents needs only the output
+        let t3 = task(2, 1, 2, 102, GIB, 0);
+        assert_eq!(m.bytes_needed(GpuId(0), &t3), GIB);
+    }
+
+    #[test]
+    fn recompute_of_resident_output_overwrites_in_place() {
+        let mut m = machine(1, 100 * GIB);
+        let t = task(0, 1, 2, 100, GIB, 0);
+        m.execute(&t, GpuId(0)).unwrap();
+        let allocs_before = m.stats().per_gpu[0].allocs;
+        // replay the same task: inputs reuse, output overwrites — no new
+        // allocations (and no debug_assert in the allocator)
+        m.execute(&t, GpuId(0)).unwrap();
+        assert_eq!(m.stats().per_gpu[0].allocs, allocs_before);
+        assert_eq!(m.stats().per_gpu[0].reuse_hits, 2);
+        assert_eq!(m.resident_count(GpuId(0)), 3);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut m = machine(3, 4 * GIB);
+            for i in 0..20u64 {
+                let t = task(i, i % 5, (i + 3) % 7, 1000 + i, GIB / 4, 500_000_000);
+                m.execute(&t, GpuId((i % 3) as usize)).unwrap();
+                if i % 7 == 6 {
+                    m.barrier();
+                }
+            }
+            m.barrier();
+            m.stats().clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stats_gflops_nonzero_after_work() {
+        let mut m = machine(1, 100 * GIB);
+        m.execute(&task(0, 1, 2, 100, GIB, 5_000_000_000), GpuId(0)).unwrap();
+        m.barrier();
+        assert!(m.stats().gflops() > 0.0);
+    }
+
+    fn async_machine(gpus: usize, mem: u64) -> SimMachine {
+        let cfg = MachineConfig {
+            num_gpus: gpus,
+            mem_bytes: mem,
+            cost: CostModel { async_copy: true, ..unit_cost() },
+            eviction: EvictionPolicy::Lru,
+        };
+        SimMachine::new(cfg)
+    }
+
+    #[test]
+    fn async_copy_overlaps_transfers_with_compute() {
+        let mut m = async_machine(1, 100 * GIB);
+        // task 0: 2 s transfers + 2 s compute → kernel runs [2, 4)
+        m.execute(&task(0, 1, 2, 100, GIB, 2_000_000_000), GpuId(0)).unwrap();
+        // task 1: its 2 s of transfers run [2, 4) on the DMA engine while
+        // task 0 computes; kernel starts at max(4, 4) = 4, ends 6
+        m.execute(&task(1, 3, 4, 101, GIB, 2_000_000_000), GpuId(0)).unwrap();
+        m.barrier();
+        assert!((m.stats().elapsed_secs - 6.0).abs() < 1e-9, "elapsed {}", m.stats().elapsed_secs);
+    }
+
+    #[test]
+    fn sync_mode_serialises_the_same_sequence() {
+        let mut m = machine(1, 100 * GIB);
+        m.execute(&task(0, 1, 2, 100, GIB, 2_000_000_000), GpuId(0)).unwrap();
+        m.execute(&task(1, 3, 4, 101, GIB, 2_000_000_000), GpuId(0)).unwrap();
+        m.barrier();
+        // 2+2 transfers + 2+2 compute, fully serial
+        assert!((m.stats().elapsed_secs - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn async_copy_never_slower_than_sync() {
+        let run = |async_copy: bool| {
+            let mut m = if async_copy {
+                async_machine(2, 100 * GIB)
+            } else {
+                machine(2, 100 * GIB)
+            };
+            for i in 0..12u64 {
+                let t = task(i, 100 + i, 200 + i, 300 + i, GIB / 4, 400_000_000);
+                m.execute(&t, GpuId((i % 2) as usize)).unwrap();
+            }
+            m.barrier();
+            m.stats().elapsed_secs
+        };
+        assert!(run(true) < run(false));
+    }
+
+    #[test]
+    fn async_kernel_still_waits_for_operands() {
+        let mut m = async_machine(1, 100 * GIB);
+        // one task: transfers 2 s then compute 1 s — no overlap possible
+        m.execute(&task(0, 1, 2, 100, GIB, 1_000_000_000), GpuId(0)).unwrap();
+        m.barrier();
+        assert!((m.stats().elapsed_secs - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clairvoyant_beats_lru_on_a_scan_pattern() {
+        // classic Belady-vs-LRU adversary: cyclic scan over k+1 tensors
+        // with capacity for k. LRU misses every access; Belady keeps a
+        // working set and misses less.
+        use micco_workload::{TaskId, TensorDesc, TensorPairStream, Vector};
+        let make_stream = || {
+            let mut tasks = Vec::new();
+            for i in 0..60u64 {
+                let a = i % 5; // cyclic over 5 tensors
+                tasks.push(ContractionTask {
+                    id: TaskId(i),
+                    a: TensorDesc { id: TensorId(a), bytes: GIB },
+                    b: TensorDesc { id: TensorId(a), bytes: GIB },
+                    out: TensorDesc { id: TensorId(1000 + i), bytes: 1 },
+                    flops: 0,
+                });
+            }
+            TensorPairStream::new(vec![Vector::new(tasks)])
+        };
+        let run = |policy: EvictionPolicy, oracle: bool| {
+            let cfg = MachineConfig {
+                num_gpus: 1,
+                mem_bytes: 4 * GIB + 60, // 4 tensors + tiny outputs
+                cost: unit_cost(),
+                eviction: policy,
+            };
+            let stream = make_stream();
+            let mut m = if oracle {
+                SimMachine::new(cfg).with_oracle(&stream)
+            } else {
+                SimMachine::new(cfg)
+            };
+            for v in &stream.vectors {
+                for t in &v.tasks {
+                    m.execute(t, GpuId(0)).unwrap();
+                }
+                m.barrier();
+            }
+            m.stats().total_evictions()
+        };
+        let lru = run(EvictionPolicy::Lru, false);
+        let belady = run(EvictionPolicy::Clairvoyant, true);
+        assert!(
+            belady < lru,
+            "clairvoyant must beat LRU on the scan pattern: belady {belady}, lru {lru}"
+        );
+    }
+
+    #[test]
+    fn oracle_build_covers_all_operands() {
+        use micco_workload::{TaskId, TensorDesc, TensorPairStream, Vector};
+        let t = ContractionTask {
+            id: TaskId(0),
+            a: TensorDesc { id: TensorId(1), bytes: 1 },
+            b: TensorDesc { id: TensorId(2), bytes: 1 },
+            out: TensorDesc { id: TensorId(3), bytes: 1 },
+            flops: 0,
+        };
+        let mut t2 = t.clone();
+        t2.id = TaskId(1);
+        t2.a = TensorDesc { id: TensorId(3), bytes: 1 };
+        let stream = TensorPairStream::new(vec![Vector::new(vec![t, t2])]);
+        let oracle = build_oracle(&stream);
+        assert_eq!(oracle[&TensorId(1)], [0u64].into_iter().collect::<std::collections::VecDeque<_>>());
+        assert_eq!(oracle[&TensorId(2)], [0u64, 1].into_iter().collect::<std::collections::VecDeque<_>>());
+        assert_eq!(oracle[&TensorId(3)], [1u64].into_iter().collect::<std::collections::VecDeque<_>>());
+    }
+
+    #[test]
+    fn shared_link_serialises_concurrent_h2d() {
+        // two devices each fetch 1 GiB from the host "simultaneously":
+        // with a shared link the second transfer waits for the first.
+        let run = |shared: bool| {
+            let cfg = MachineConfig {
+                num_gpus: 2,
+                mem_bytes: 100 * GIB,
+                cost: CostModel { shared_h2d_link: shared, ..unit_cost() },
+                eviction: EvictionPolicy::Lru,
+            };
+            let mut m = SimMachine::new(cfg);
+            m.execute(&task(0, 1, 1, 100, GIB, 0), GpuId(0)).unwrap();
+            m.execute(&task(1, 2, 2, 101, GIB, 0), GpuId(1)).unwrap();
+            m.barrier();
+            m.stats().elapsed_secs
+        };
+        // independent links: both 1 s transfers in parallel → makespan 1 s
+        assert!((run(false) - 1.0).abs() < 1e-9);
+        // shared link: the transfers serialise → makespan 2 s
+        assert!((run(true) - 2.0).abs() < 1e-9, "got {}", run(true));
+    }
+
+    #[test]
+    fn shared_link_is_neutral_for_a_single_device() {
+        let run = |shared: bool| {
+            let cfg = MachineConfig {
+                num_gpus: 1,
+                mem_bytes: 100 * GIB,
+                cost: CostModel { shared_h2d_link: shared, ..unit_cost() },
+                eviction: EvictionPolicy::Lru,
+            };
+            let mut m = SimMachine::new(cfg);
+            for i in 0..4u64 {
+                m.execute(&task(i, 10 + i, 20 + i, 100 + i, GIB / 2, 0), GpuId(0)).unwrap();
+            }
+            m.barrier();
+            m.stats().elapsed_secs
+        };
+        assert!((run(false) - run(true)).abs() < 1e-9, "one device never contends with itself");
+    }
+
+    #[test]
+    fn async_elapsed_reflects_dma_tail() {
+        let mut m = async_machine(1, 100 * GIB);
+        // zero-flop task: all cost is DMA; elapsed must still include it
+        m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap();
+        m.barrier();
+        assert!((m.stats().elapsed_secs - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,398 @@
+//! Per-device memory manager with pluggable eviction.
+//!
+//! Tracks which tensors are resident on one device, enforces the capacity
+//! limit, and selects eviction victims under pressure. Tensors pinned by the
+//! in-flight contraction are never evicted (a kernel's operands must stay
+//! mapped), so a device whose capacity cannot hold a single task's working
+//! set reports [`AllocError::WontFit`].
+
+use std::collections::HashMap;
+
+use micco_workload::TensorId;
+
+/// Where a resident tensor's bits came from — decides eviction cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Staged from host memory; a clean copy exists there, eviction is a
+    /// cheap unmap.
+    HostBacked,
+    /// Produced on the device by a contraction; eviction must write the
+    /// data back to the host.
+    DeviceCreated,
+}
+
+/// Victim-selection policy (ablation target — the paper does not pin one
+/// down; LRU matches unified-memory behaviour and is the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvictionPolicy {
+    /// Evict the least recently used unpinned tensor.
+    Lru,
+    /// Evict the oldest-allocated unpinned tensor.
+    Fifo,
+    /// Evict the largest unpinned tensor first (fewest evictions).
+    LargestFirst,
+    /// Belady's clairvoyant policy: evict the unpinned tensor whose next
+    /// use lies furthest in the future (never-used-again first). Requires
+    /// next-use oracle feeds ([`DeviceMemory::set_next_use`], wired up by
+    /// `SimMachine::with_oracle`); an offline upper bound for the eviction
+    /// ablation, not something real hardware can do.
+    Clairvoyant,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    bytes: u64,
+    provenance: Provenance,
+    last_use: u64,
+    allocated_at: u64,
+    pinned: bool,
+    /// Global task index of the next use (Clairvoyant only; `u64::MAX`
+    /// means never used again).
+    next_use: u64,
+}
+
+/// A tensor evicted by [`DeviceMemory::allocate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// Which tensor was displaced.
+    pub id: TensorId,
+    /// Its footprint.
+    pub bytes: u64,
+    /// Whether the eviction pays a write-back (device-created data).
+    pub writeback: bool,
+}
+
+/// Allocation failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocError {
+    /// Even after evicting everything unpinned the allocation cannot fit.
+    WontFit {
+        /// Requested bytes.
+        requested: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::WontFit { requested, capacity } => write!(
+                f,
+                "allocation of {requested} B cannot fit device capacity {capacity} B even after evicting all unpinned tensors"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Memory state of one simulated device.
+#[derive(Debug, Clone)]
+pub struct DeviceMemory {
+    capacity: u64,
+    used: u64,
+    policy: EvictionPolicy,
+    resident: HashMap<TensorId, Entry>,
+    clock: u64,
+}
+
+impl DeviceMemory {
+    /// Empty device of the given capacity.
+    pub fn new(capacity: u64, policy: EvictionPolicy) -> Self {
+        DeviceMemory { capacity, used: 0, policy, resident: HashMap::new(), clock: 0 }
+    }
+
+    /// Device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Number of resident tensors.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether `id` is resident.
+    pub fn holds(&self, id: TensorId) -> bool {
+        self.resident.contains_key(&id)
+    }
+
+    /// Iterate over resident tensor ids (arbitrary order).
+    pub fn resident_ids(&self) -> impl Iterator<Item = TensorId> + '_ {
+        self.resident.keys().copied()
+    }
+
+    /// Record a use of a resident tensor (refreshes LRU position). No-op if
+    /// absent.
+    pub fn touch(&mut self, id: TensorId) {
+        self.clock += 1;
+        let clock = self.clock;
+        if let Some(e) = self.resident.get_mut(&id) {
+            e.last_use = clock;
+        }
+    }
+
+    /// Pin/unpin a resident tensor (pinned tensors are never victims).
+    pub fn set_pinned(&mut self, id: TensorId, pinned: bool) {
+        if let Some(e) = self.resident.get_mut(&id) {
+            e.pinned = pinned;
+        }
+    }
+
+    /// Feed the clairvoyant policy a tensor's next-use position
+    /// (`u64::MAX` = never again). No-op for absent tensors.
+    pub fn set_next_use(&mut self, id: TensorId, next_use: u64) {
+        if let Some(e) = self.resident.get_mut(&id) {
+            e.next_use = next_use;
+        }
+    }
+
+    /// Allocate `bytes` for tensor `id`, evicting victims if needed.
+    /// Returns the evicted tensors (possibly empty). The new tensor is
+    /// pinned on arrival; the caller unpins after the task completes.
+    ///
+    /// Allocating an already-resident tensor is a logic error upstream and
+    /// panics in debug builds; in release it is treated as a touch.
+    pub fn allocate(
+        &mut self,
+        id: TensorId,
+        bytes: u64,
+        provenance: Provenance,
+    ) -> Result<Vec<Evicted>, AllocError> {
+        debug_assert!(!self.holds(id), "allocate called for resident tensor {id:?}");
+        if self.holds(id) {
+            self.touch(id);
+            return Ok(Vec::new());
+        }
+        let evictable: u64 = self
+            .resident
+            .values()
+            .filter(|e| !e.pinned)
+            .map(|e| e.bytes)
+            .sum();
+        if bytes > self.free() + evictable || bytes > self.capacity {
+            return Err(AllocError::WontFit { requested: bytes, capacity: self.capacity });
+        }
+        let mut evicted = Vec::new();
+        while self.free() < bytes {
+            let victim = self.pick_victim().expect("evictable bytes were sufficient");
+            let e = self.resident.remove(&victim).expect("victim resident");
+            self.used -= e.bytes;
+            evicted.push(Evicted {
+                id: victim,
+                bytes: e.bytes,
+                writeback: e.provenance == Provenance::DeviceCreated,
+            });
+        }
+        self.clock += 1;
+        self.resident.insert(
+            id,
+            Entry {
+                bytes,
+                provenance,
+                last_use: self.clock,
+                allocated_at: self.clock,
+                pinned: true,
+                next_use: u64::MAX,
+            },
+        );
+        self.used += bytes;
+        Ok(evicted)
+    }
+
+    /// Drop a resident tensor without cost accounting (used by tests and by
+    /// the machine when invalidating stale copies).
+    pub fn discard(&mut self, id: TensorId) -> bool {
+        if let Some(e) = self.resident.remove(&id) {
+            self.used -= e.bytes;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pick_victim(&self) -> Option<TensorId> {
+        let candidates = self.resident.iter().filter(|(_, e)| !e.pinned);
+        
+        match self.policy {
+            EvictionPolicy::Lru => {
+                candidates.min_by_key(|(id, e)| (e.last_use, id.0)).map(|(id, _)| *id)
+            }
+            EvictionPolicy::Fifo => {
+                candidates.min_by_key(|(id, e)| (e.allocated_at, id.0)).map(|(id, _)| *id)
+            }
+            EvictionPolicy::LargestFirst => candidates
+                .max_by_key(|(id, e)| (e.bytes, u64::MAX - id.0))
+                .map(|(id, _)| *id),
+            EvictionPolicy::Clairvoyant => candidates
+                .max_by_key(|(id, e)| (e.next_use, u64::MAX - e.last_use, u64::MAX - id.0))
+                .map(|(id, _)| *id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tid(n: u64) -> TensorId {
+        TensorId(n)
+    }
+
+    fn mem(cap: u64, policy: EvictionPolicy) -> DeviceMemory {
+        DeviceMemory::new(cap, policy)
+    }
+
+    /// Allocate and immediately unpin (most tests want evictable tensors).
+    fn alloc_unpinned(m: &mut DeviceMemory, id: u64, bytes: u64) -> Vec<Evicted> {
+        let ev = m.allocate(tid(id), bytes, Provenance::HostBacked).unwrap();
+        m.set_pinned(tid(id), false);
+        ev
+    }
+
+    #[test]
+    fn basic_accounting() {
+        let mut m = mem(100, EvictionPolicy::Lru);
+        assert_eq!(m.free(), 100);
+        alloc_unpinned(&mut m, 1, 40);
+        assert_eq!(m.used(), 40);
+        assert!(m.holds(tid(1)));
+        assert_eq!(m.resident_count(), 1);
+        assert!(m.discard(tid(1)));
+        assert_eq!(m.used(), 0);
+        assert!(!m.discard(tid(1)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut m = mem(100, EvictionPolicy::Lru);
+        alloc_unpinned(&mut m, 1, 40);
+        alloc_unpinned(&mut m, 2, 40);
+        m.touch(tid(1)); // tensor 2 is now LRU
+        let ev = alloc_unpinned(&mut m, 3, 40);
+        assert_eq!(ev.len(), 1);
+        assert_eq!(ev[0].id, tid(2));
+        assert!(m.holds(tid(1)) && m.holds(tid(3)) && !m.holds(tid(2)));
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_allocation() {
+        let mut m = mem(100, EvictionPolicy::Fifo);
+        alloc_unpinned(&mut m, 1, 40);
+        alloc_unpinned(&mut m, 2, 40);
+        m.touch(tid(1)); // FIFO ignores use recency
+        let ev = alloc_unpinned(&mut m, 3, 40);
+        assert_eq!(ev[0].id, tid(1));
+    }
+
+    #[test]
+    fn largest_first_minimises_victim_count() {
+        let mut m = mem(100, EvictionPolicy::LargestFirst);
+        alloc_unpinned(&mut m, 1, 60);
+        alloc_unpinned(&mut m, 2, 10);
+        alloc_unpinned(&mut m, 3, 10);
+        let ev = alloc_unpinned(&mut m, 4, 80);
+        // evicting the single 60 B tensor frees enough; smaller-first LRU
+        // would have needed two victims
+        assert_eq!(ev, vec![Evicted { id: tid(1), bytes: 60, writeback: false }]);
+    }
+
+    #[test]
+    fn pinned_tensors_survive_pressure() {
+        let mut m = mem(100, EvictionPolicy::Lru);
+        m.allocate(tid(1), 50, Provenance::HostBacked).unwrap(); // stays pinned
+        alloc_unpinned(&mut m, 2, 40);
+        let ev = alloc_unpinned(&mut m, 3, 40);
+        assert_eq!(ev[0].id, tid(2), "pinned tensor 1 must not be evicted");
+        assert!(m.holds(tid(1)));
+    }
+
+    #[test]
+    fn wont_fit_when_pinned_blocks() {
+        let mut m = mem(100, EvictionPolicy::Lru);
+        m.allocate(tid(1), 80, Provenance::HostBacked).unwrap(); // pinned
+        let err = m.allocate(tid(2), 40, Provenance::HostBacked).unwrap_err();
+        assert_eq!(err, AllocError::WontFit { requested: 40, capacity: 100 });
+    }
+
+    #[test]
+    fn wont_fit_when_larger_than_capacity() {
+        let mut m = mem(100, EvictionPolicy::Lru);
+        assert!(m.allocate(tid(1), 101, Provenance::HostBacked).is_err());
+    }
+
+    #[test]
+    fn writeback_flag_tracks_provenance() {
+        let mut m = mem(100, EvictionPolicy::Lru);
+        m.allocate(tid(1), 50, Provenance::DeviceCreated).unwrap();
+        m.set_pinned(tid(1), false);
+        m.allocate(tid(2), 50, Provenance::HostBacked).unwrap();
+        m.set_pinned(tid(2), false);
+        let ev = alloc_unpinned(&mut m, 3, 100);
+        assert_eq!(ev.len(), 2);
+        let by_id: std::collections::HashMap<_, _> =
+            ev.iter().map(|e| (e.id, e.writeback)).collect();
+        assert!(by_id[&tid(1)]);
+        assert!(!by_id[&tid(2)]);
+    }
+
+    #[test]
+    fn multiple_evictions_until_fit() {
+        let mut m = mem(100, EvictionPolicy::Lru);
+        for i in 0..10 {
+            alloc_unpinned(&mut m, i, 10);
+        }
+        let ev = alloc_unpinned(&mut m, 99, 35);
+        assert_eq!(ev.len(), 4); // 4 × 10 B victims to free 35 B
+        assert_eq!(m.used(), 60 + 35);
+    }
+
+    #[test]
+    fn exact_fit_no_eviction() {
+        let mut m = mem(100, EvictionPolicy::Lru);
+        alloc_unpinned(&mut m, 1, 60);
+        let ev = alloc_unpinned(&mut m, 2, 40);
+        assert!(ev.is_empty());
+        assert_eq!(m.free(), 0);
+    }
+
+    #[test]
+    fn capacity_invariant_holds_under_churn() {
+        let mut m = mem(1000, EvictionPolicy::Lru);
+        for i in 0..200u64 {
+            let bytes = 37 + (i * 13) % 113;
+            alloc_unpinned(&mut m, i, bytes);
+            assert!(m.used() <= m.capacity(), "iteration {i}");
+            if i % 3 == 0 {
+                m.touch(tid(i / 2));
+            }
+        }
+    }
+
+    #[test]
+    fn resident_ids_iterates_all() {
+        let mut m = mem(100, EvictionPolicy::Lru);
+        alloc_unpinned(&mut m, 1, 10);
+        alloc_unpinned(&mut m, 2, 10);
+        let mut ids: Vec<u64> = m.resident_ids().map(|t| t.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2]);
+    }
+
+    #[test]
+    fn alloc_error_display() {
+        let e = AllocError::WontFit { requested: 5, capacity: 3 };
+        assert!(e.to_string().contains("cannot fit"));
+    }
+}

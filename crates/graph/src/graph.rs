@@ -1,0 +1,352 @@
+//! The contraction-graph data structure.
+
+use micco_tensor::ContractionKind;
+
+/// Index of a hadron node within one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Index of an edge within one graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+/// A hadron node: the graph-level identity of a batched tensor.
+///
+/// `label` is a *global* identity: two nodes with the same label in
+/// different graphs refer to the same tensor data (the paper's repeated
+/// hadron nodes). Labels of original nodes come from the front end (e.g.
+/// hashed operator × time-slice); labels of intermediates are derived
+/// canonically from their operands so common subexpressions collide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HadronNode {
+    /// Global data identity.
+    pub label: u64,
+    /// Meson (matrix) or baryon (rank-3) payload.
+    pub kind: ContractionKind,
+    /// Batch count of the payload.
+    pub batch: usize,
+    /// Mode length of the payload.
+    pub dim: usize,
+}
+
+/// Errors from graph construction and contraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a node that does not exist.
+    BadNode(NodeId),
+    /// A self-loop was requested (a hadron cannot propagate to itself in a
+    /// contraction step).
+    SelfLoop(NodeId),
+    /// The graph is not connected, so it cannot contract to two nodes.
+    Disconnected,
+    /// The graph has fewer than two nodes or no edges.
+    TooSmall,
+    /// Nodes with mismatched payload shape were connected.
+    ShapeMismatch(NodeId, NodeId),
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::BadNode(n) => write!(f, "edge references unknown node {}", n.0),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {}", n.0),
+            GraphError::Disconnected => write!(f, "contraction graph is disconnected"),
+            GraphError::TooSmall => write!(f, "graph needs ≥2 nodes and ≥1 edge"),
+            GraphError::ShapeMismatch(a, b) => {
+                write!(f, "nodes {} and {} have incompatible payloads", a.0, b.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An undirected multigraph of hadron nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ContractionGraph {
+    nodes: Vec<HadronNode>,
+    /// Edges as unordered node pairs (stored lo ≤ hi).
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl ContractionGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        ContractionGraph::default()
+    }
+
+    /// Add a hadron node, returning its id.
+    pub fn add_node(&mut self, node: HadronNode) -> NodeId {
+        self.nodes.push(node);
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Add a quark-propagation edge between two existing nodes.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> Result<EdgeId, GraphError> {
+        let na = *self.node(a).ok_or(GraphError::BadNode(a))?;
+        let nb = *self.node(b).ok_or(GraphError::BadNode(b))?;
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        if na.kind != nb.kind || na.batch != nb.batch || na.dim != nb.dim {
+            return Err(GraphError::ShapeMismatch(a, b));
+        }
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.edges.push((lo, hi));
+        Ok(EdgeId(self.edges.len() - 1))
+    }
+
+    /// Node payload by id.
+    pub fn node(&self, id: NodeId) -> Option<&HadronNode> {
+        self.nodes.get(id.0)
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[HadronNode] {
+        &self.nodes
+    }
+
+    /// All edges as node-id pairs.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of a node.
+    pub fn degree(&self, id: NodeId) -> usize {
+        self.edges.iter().filter(|(a, b)| *a == id || *b == id).count()
+    }
+
+    /// Split the graph into its connected components (each returned graph
+    /// has compacted node ids; isolated nodes yield single-node components).
+    ///
+    /// Quark propagation diagrams can be *disconnected* — e.g. the
+    /// two-2-cycle derangements of a four-hadron system factorise into two
+    /// independent loops. Each component contracts independently.
+    pub fn components(&self) -> Vec<ContractionGraph> {
+        let n = self.node_count();
+        if n == 0 {
+            return Vec::new();
+        }
+        // union-find over nodes
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for &(a, b) in &self.edges {
+            let (ra, rb) = (find(&mut parent, a.0), find(&mut parent, b.0));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+        // group nodes by root, preserving id order for determinism
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut root_index: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for v in 0..n {
+            let r = find(&mut parent, v);
+            let gi = *root_index.entry(r).or_insert_with(|| {
+                groups.push((r, Vec::new()));
+                groups.len() - 1
+            });
+            groups[gi].1.push(v);
+        }
+        groups
+            .into_iter()
+            .map(|(_, members)| {
+                let mut g = ContractionGraph::new();
+                let mut remap: std::collections::HashMap<usize, NodeId> =
+                    std::collections::HashMap::new();
+                for &v in &members {
+                    remap.insert(v, g.add_node(self.nodes[v]));
+                }
+                for &(a, b) in &self.edges {
+                    if let (Some(&na), Some(&nb)) = (remap.get(&a.0), remap.get(&b.0)) {
+                        g.add_edge(na, nb).expect("edges valid in the parent graph");
+                    }
+                }
+                g
+            })
+            .collect()
+    }
+
+    /// Validate that the graph is contractible: ≥2 nodes, ≥1 edge, and
+    /// connected.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        if self.node_count() < 2 || self.edge_count() == 0 {
+            return Err(GraphError::TooSmall);
+        }
+        // BFS connectivity over the multigraph.
+        let mut seen = vec![false; self.node_count()];
+        let mut queue = vec![NodeId(0)];
+        seen[0] = true;
+        while let Some(u) = queue.pop() {
+            for &(a, b) in &self.edges {
+                let other = if a == u {
+                    Some(b)
+                } else if b == u {
+                    Some(a)
+                } else {
+                    None
+                };
+                if let Some(v) = other {
+                    if !seen[v.0] {
+                        seen[v.0] = true;
+                        queue.push(v);
+                    }
+                }
+            }
+        }
+        if seen.iter().all(|&s| s) {
+            Ok(())
+        } else {
+            Err(GraphError::Disconnected)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn meson(label: u64) -> HadronNode {
+        HadronNode { label, kind: ContractionKind::Meson, batch: 2, dim: 8 }
+    }
+
+    #[test]
+    fn build_triangle() {
+        let mut g = ContractionGraph::new();
+        let a = g.add_node(meson(1));
+        let b = g.add_node(meson(2));
+        let c = g.add_node(meson(3));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, a).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(a), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn multigraph_edges_allowed() {
+        let mut g = ContractionGraph::new();
+        let a = g.add_node(meson(1));
+        let b = g.add_node(meson(2));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, b).unwrap(); // double propagator (e.g. quark + antiquark)
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(a), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut g = ContractionGraph::new();
+        let a = g.add_node(meson(1));
+        assert_eq!(g.add_edge(a, a).unwrap_err(), GraphError::SelfLoop(a));
+    }
+
+    #[test]
+    fn bad_node_rejected() {
+        let mut g = ContractionGraph::new();
+        let a = g.add_node(meson(1));
+        let err = g.add_edge(a, NodeId(7)).unwrap_err();
+        assert_eq!(err, GraphError::BadNode(NodeId(7)));
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let mut g = ContractionGraph::new();
+        let a = g.add_node(meson(1));
+        let b = g.add_node(HadronNode { label: 2, kind: ContractionKind::Meson, batch: 2, dim: 16 });
+        assert!(matches!(g.add_edge(a, b), Err(GraphError::ShapeMismatch(_, _))));
+    }
+
+    #[test]
+    fn disconnected_detected() {
+        let mut g = ContractionGraph::new();
+        let a = g.add_node(meson(1));
+        let b = g.add_node(meson(2));
+        let _c = g.add_node(meson(3));
+        g.add_edge(a, b).unwrap();
+        assert_eq!(g.validate().unwrap_err(), GraphError::Disconnected);
+    }
+
+    #[test]
+    fn too_small_detected() {
+        let mut g = ContractionGraph::new();
+        g.add_node(meson(1));
+        assert_eq!(g.validate().unwrap_err(), GraphError::TooSmall);
+    }
+
+    #[test]
+    fn components_of_connected_graph_is_itself() {
+        let mut g = ContractionGraph::new();
+        let a = g.add_node(meson(1));
+        let b = g.add_node(meson(2));
+        g.add_edge(a, b).unwrap();
+        let comps = g.components();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0], g);
+    }
+
+    #[test]
+    fn components_split_two_cycles() {
+        // the (1,0,3,2) derangement: edges 0-1 ×2, 2-3 ×2
+        let mut g = ContractionGraph::new();
+        let n: Vec<_> = (1..=4).map(|l| g.add_node(meson(l))).collect();
+        g.add_edge(n[0], n[1]).unwrap();
+        g.add_edge(n[1], n[0]).unwrap();
+        g.add_edge(n[2], n[3]).unwrap();
+        g.add_edge(n[3], n[2]).unwrap();
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        for c in &comps {
+            assert_eq!(c.node_count(), 2);
+            assert_eq!(c.edge_count(), 2);
+            c.validate().unwrap();
+        }
+        // labels preserved
+        let labels: Vec<Vec<u64>> =
+            comps.iter().map(|c| c.nodes().iter().map(|x| x.label).collect()).collect();
+        assert_eq!(labels, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn components_keep_isolated_nodes() {
+        let mut g = ContractionGraph::new();
+        let a = g.add_node(meson(1));
+        let b = g.add_node(meson(2));
+        g.add_node(meson(3)); // isolated
+        g.add_edge(a, b).unwrap();
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[1].node_count(), 1);
+        assert_eq!(comps[1].edge_count(), 0);
+    }
+
+    #[test]
+    fn components_of_empty_graph() {
+        assert!(ContractionGraph::new().components().is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(GraphError::Disconnected.to_string().contains("disconnected"));
+        assert!(GraphError::SelfLoop(NodeId(3)).to_string().contains("3"));
+    }
+}

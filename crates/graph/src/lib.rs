@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # micco-graph
+//!
+//! Contraction graphs and the pre-processing pipeline that turns them into
+//! the stage vectors the scheduler consumes (Fig. 1 of the paper).
+//!
+//! A quark propagation diagram is an undirected multigraph whose vertices
+//! are *hadron nodes* (each carrying a batched tensor) and whose edges are
+//! quark propagations. *Graph contraction* deletes one edge after another —
+//! each deletion contracts the tensors of the edge's endpoints into a new
+//! intermediate hadron node — until only two nodes remain, whose final
+//! pairing yields the correlation value.
+//!
+//! A correlation function expands into thousands of such graphs which
+//! *share hadron nodes and whole sub-chains*. The [`stage`] module performs
+//! the dependency analysis the paper describes: it merges the contraction
+//! steps of many graphs, dedupes common subexpressions (the origin of the
+//! repeated-tensor stream MICCO exploits), levels the surviving steps by
+//! dependency depth, and emits one [`micco_workload::Vector`] per level.
+
+pub mod graph;
+pub mod plan;
+pub mod shared;
+pub mod stage;
+
+pub use graph::{ContractionGraph, EdgeId, GraphError, HadronNode, NodeId};
+pub use plan::{plan_contraction, ContractionStep, EdgeOrder, PlanOutput};
+pub use shared::plan_contraction_shared;
+pub use stage::{build_stream, InternTable, StagedProgram};

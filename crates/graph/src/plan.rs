@@ -1,0 +1,265 @@
+//! Graph contraction planning: reduce edges one after another, emitting a
+//! sequence of pairwise contraction steps.
+
+use micco_tensor::ContractionKind;
+
+use crate::graph::{ContractionGraph, GraphError, HadronNode};
+
+/// Strategy for choosing the next edge to reduce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EdgeOrder {
+    /// Reduce edges in insertion order (what a straightforward front end
+    /// emits).
+    #[default]
+    Sequential,
+    /// Reduce the edge whose endpoints have the smallest combined degree
+    /// first (keeps intermediates small; Redstar's "optimal evaluation
+    /// strategies" heuristic).
+    MinDegree,
+}
+
+/// One pairwise contraction: `lhs ⊗ rhs → out`.
+///
+/// Labels are global tensor identities; two steps with equal
+/// `(lhs, rhs)` labels across different graphs are the *same computation*
+/// and are deduplicated by the stager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContractionStep {
+    /// Left operand label.
+    pub lhs: u64,
+    /// Right operand label.
+    pub rhs: u64,
+    /// Output label (canonical combination of the operands).
+    pub out: u64,
+    /// Payload kind.
+    pub kind: ContractionKind,
+    /// Batch count.
+    pub batch: usize,
+    /// Mode length.
+    pub dim: usize,
+    /// Whether this is the final reduction of a graph (produces the scalar
+    /// correlation contribution instead of a full tensor).
+    pub is_final: bool,
+}
+
+/// The plan for one graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanOutput {
+    /// Contraction steps in dependency order; the last step is the final
+    /// reduction.
+    pub steps: Vec<ContractionStep>,
+}
+
+/// Canonical label of the contraction of `a` and `b` (order-insensitive, so
+/// identical sub-chains built in either direction share one intermediate).
+pub fn combine_labels(a: u64, b: u64) -> u64 {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    // splitmix64-style mixing of the ordered pair
+    let mut x = lo.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ hi.wrapping_add(0xD1B5_4A32_D192_ED03);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Contract `graph` down to its final pair, returning the step sequence.
+pub fn plan_contraction(
+    graph: &ContractionGraph,
+    order: EdgeOrder,
+) -> Result<PlanOutput, GraphError> {
+    graph.validate()?;
+
+    // Working copies: nodes may grow as intermediates appear.
+    let mut nodes: Vec<Option<HadronNode>> = graph.nodes().iter().copied().map(Some).collect();
+    let mut edges: Vec<(usize, usize)> =
+        graph.edges().iter().map(|(a, b)| (a.0, b.0)).collect();
+    let mut alive = nodes.len();
+    let mut steps = Vec::new();
+
+    while alive > 2 {
+        let idx = pick_edge(&edges, &nodes, order);
+        let (i, j) = edges[idx];
+        let (ni, nj) = (nodes[i].expect("endpoint alive"), nodes[j].expect("endpoint alive"));
+        let out_label = combine_labels(ni.label, nj.label);
+        steps.push(ContractionStep {
+            lhs: ni.label,
+            rhs: nj.label,
+            out: out_label,
+            kind: ni.kind,
+            batch: ni.batch,
+            dim: ni.dim,
+            is_final: false,
+        });
+        // Merge: new node k replaces i and j.
+        let k = nodes.len();
+        nodes.push(Some(HadronNode { label: out_label, ..ni }));
+        nodes[i] = None;
+        nodes[j] = None;
+        alive -= 1;
+        // Re-point edges; contracted and now-self-loop edges disappear.
+        edges = edges
+            .into_iter()
+            .filter_map(|(a, b)| {
+                let a = if a == i || a == j { k } else { a };
+                let b = if b == i || b == j { k } else { b };
+                (a != b).then_some((a, b))
+            })
+            .collect();
+    }
+
+    // Final reduction of the last two nodes.
+    let mut last = nodes.iter().flatten();
+    let (na, nb) = (*last.next().expect("two alive"), *last.next().expect("two alive"));
+    let out_label = combine_labels(na.label, nb.label).wrapping_add(1); // distinct from a mid-plan merge
+    steps.push(ContractionStep {
+        lhs: na.label,
+        rhs: nb.label,
+        out: out_label,
+        kind: na.kind,
+        batch: na.batch,
+        dim: na.dim,
+        is_final: true,
+    });
+    Ok(PlanOutput { steps })
+}
+
+fn pick_edge(edges: &[(usize, usize)], nodes: &[Option<HadronNode>], order: EdgeOrder) -> usize {
+    match order {
+        EdgeOrder::Sequential => 0,
+        EdgeOrder::MinDegree => {
+            let degree = |n: usize| edges.iter().filter(|(a, b)| *a == n || *b == n).count();
+            (0..edges.len())
+                .min_by_key(|&i| {
+                    let (a, b) = edges[i];
+                    debug_assert!(nodes[a].is_some() && nodes[b].is_some());
+                    (degree(a) + degree(b), i)
+                })
+                .expect("non-empty edge list")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    fn meson(label: u64) -> HadronNode {
+        HadronNode { label, kind: ContractionKind::Meson, batch: 2, dim: 8 }
+    }
+
+    fn chain(n: usize) -> ContractionGraph {
+        let mut g = ContractionGraph::new();
+        let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(meson(i as u64 + 1))).collect();
+        for w in ids.windows(2) {
+            g.add_edge(w[0], w[1]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn two_node_graph_is_single_final_step() {
+        let g = chain(2);
+        let plan = plan_contraction(&g, EdgeOrder::Sequential).unwrap();
+        assert_eq!(plan.steps.len(), 1);
+        assert!(plan.steps[0].is_final);
+        assert_eq!((plan.steps[0].lhs, plan.steps[0].rhs), (1, 2));
+    }
+
+    #[test]
+    fn chain_reduces_n_minus_one_times() {
+        for n in 3..8 {
+            let g = chain(n);
+            let plan = plan_contraction(&g, EdgeOrder::Sequential).unwrap();
+            assert_eq!(plan.steps.len(), n - 1, "chain of {n}");
+            assert!(plan.steps.last().unwrap().is_final);
+            assert!(plan.steps[..n - 2].iter().all(|s| !s.is_final));
+        }
+    }
+
+    #[test]
+    fn steps_are_dependency_ordered() {
+        let g = chain(6);
+        let plan = plan_contraction(&g, EdgeOrder::MinDegree).unwrap();
+        let mut known: std::collections::HashSet<u64> = (1..=6).collect();
+        for s in &plan.steps {
+            assert!(known.contains(&s.lhs), "lhs {} not yet produced", s.lhs);
+            assert!(known.contains(&s.rhs), "rhs {} not yet produced", s.rhs);
+            known.insert(s.out);
+        }
+    }
+
+    #[test]
+    fn identical_graphs_share_all_labels() {
+        let g1 = chain(5);
+        let g2 = chain(5);
+        let p1 = plan_contraction(&g1, EdgeOrder::MinDegree).unwrap();
+        let p2 = plan_contraction(&g2, EdgeOrder::MinDegree).unwrap();
+        assert_eq!(p1, p2, "same graph must produce the same plan (CSE across graphs)");
+    }
+
+    #[test]
+    fn shared_subchain_shares_intermediates() {
+        // two graphs over the same first three nodes but different tails
+        let mut g1 = chain(3);
+        let t1 = g1.add_node(meson(100));
+        g1.add_edge(NodeId(2), t1).unwrap();
+        let mut g2 = chain(3);
+        let t2 = g2.add_node(meson(200));
+        g2.add_edge(NodeId(2), t2).unwrap();
+        let p1 = plan_contraction(&g1, EdgeOrder::Sequential).unwrap();
+        let p2 = plan_contraction(&g2, EdgeOrder::Sequential).unwrap();
+        // the first step (1⊗2) is common to both
+        assert_eq!(p1.steps[0], p2.steps[0]);
+        // the final steps differ
+        assert_ne!(p1.steps.last(), p2.steps.last());
+    }
+
+    #[test]
+    fn combine_labels_is_symmetric_and_mixing() {
+        assert_eq!(combine_labels(3, 5), combine_labels(5, 3));
+        assert_ne!(combine_labels(3, 5), combine_labels(3, 6));
+        assert_ne!(combine_labels(1, 2), combine_labels(2, 3));
+    }
+
+    #[test]
+    fn cycle_contracts_fully() {
+        // triangle + extra parallel edge exercises self-loop dropping
+        let mut g = ContractionGraph::new();
+        let a = g.add_node(meson(1));
+        let b = g.add_node(meson(2));
+        let c = g.add_node(meson(3));
+        g.add_edge(a, b).unwrap();
+        g.add_edge(a, b).unwrap();
+        g.add_edge(b, c).unwrap();
+        g.add_edge(c, a).unwrap();
+        let plan = plan_contraction(&g, EdgeOrder::Sequential).unwrap();
+        assert_eq!(plan.steps.len(), 2);
+        assert!(plan.steps.last().unwrap().is_final);
+    }
+
+    #[test]
+    fn invalid_graph_errors() {
+        let mut g = ContractionGraph::new();
+        g.add_node(meson(1));
+        assert!(plan_contraction(&g, EdgeOrder::Sequential).is_err());
+    }
+
+    #[test]
+    fn min_degree_prefers_leaf_edges() {
+        // star + chain: min-degree contracts the chain tip first
+        let mut g = ContractionGraph::new();
+        let hub = g.add_node(meson(1));
+        let s1 = g.add_node(meson(2));
+        let s2 = g.add_node(meson(3));
+        let tail = g.add_node(meson(4));
+        g.add_edge(hub, s1).unwrap();
+        g.add_edge(hub, s2).unwrap();
+        g.add_edge(s2, tail).unwrap();
+        let plan = plan_contraction(&g, EdgeOrder::MinDegree).unwrap();
+        // first reduced pair must involve the degree-1 tail, not the hub
+        let first = plan.steps[0];
+        assert!(first.lhs == 4 || first.rhs == 4 || first.lhs == 2 || first.rhs == 2);
+    }
+}

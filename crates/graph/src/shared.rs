@@ -1,0 +1,257 @@
+//! Cross-graph-aware contraction planning.
+//!
+//! [`crate::plan_contraction`] plans each graph in isolation; intermediates
+//! only dedupe when two graphs happen to reduce the same edge first. When a
+//! whole *family* of graphs is known up front (a correlation function's
+//! diagram set), choosing reduction edges by **global pair frequency** —
+//! always reduce the pair of hadron labels that occurs in the most graphs —
+//! steers every graph towards the same intermediates, maximising the
+//! common-subexpression sharing the scheduler later exploits as repeated
+//! tensors. This mirrors the "optimal evaluation strategies" of the Redstar
+//! milestone reports the paper builds on.
+
+use std::collections::HashMap;
+
+use crate::graph::{ContractionGraph, GraphError, HadronNode};
+use crate::plan::{combine_labels, ContractionStep, PlanOutput};
+
+/// Plan a family of graphs together, preferring globally frequent pairs.
+///
+/// Returns one plan per input graph (same order). Each individual plan is
+/// valid in isolation (dependency-ordered, one final step); the gain over
+/// per-graph planning is in cross-plan step sharing.
+pub fn plan_contraction_shared(
+    graphs: &[ContractionGraph],
+) -> Result<Vec<PlanOutput>, GraphError> {
+    for g in graphs {
+        g.validate()?;
+    }
+    // Working state per graph: alive nodes + edges (by working index).
+    struct Work {
+        nodes: Vec<Option<HadronNode>>,
+        edges: Vec<(usize, usize)>,
+        alive: usize,
+        steps: Vec<ContractionStep>,
+    }
+    let mut works: Vec<Work> = graphs
+        .iter()
+        .map(|g| Work {
+            nodes: g.nodes().iter().copied().map(Some).collect(),
+            edges: g.edges().iter().map(|(a, b)| (a.0, b.0)).collect(),
+            alive: g.node_count(),
+            steps: Vec::new(),
+        })
+        .collect();
+
+    // Iterate until every graph is down to two nodes: pick the label pair
+    // with the highest remaining frequency (ties by smaller label pair for
+    // determinism) and reduce it in every graph that still has it.
+    loop {
+        let mut freq: HashMap<(u64, u64), usize> = HashMap::new();
+        for w in &works {
+            if w.alive <= 2 {
+                continue;
+            }
+            // count each *distinct* label pair once per graph
+            let mut seen: Vec<(u64, u64)> = w
+                .edges
+                .iter()
+                .map(|&(i, j)| {
+                    let (a, b) = (
+                        w.nodes[i].expect("alive").label,
+                        w.nodes[j].expect("alive").label,
+                    );
+                    if a <= b {
+                        (a, b)
+                    } else {
+                        (b, a)
+                    }
+                })
+                .collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for p in seen {
+                *freq.entry(p).or_default() += 1;
+            }
+        }
+        let Some((&pair, _)) = freq
+            .iter()
+            .max_by(|(pa, ca), (pb, cb)| ca.cmp(cb).then(pb.cmp(pa)))
+        else {
+            break; // all graphs are down to their final two nodes
+        };
+
+        for w in &mut works {
+            if w.alive <= 2 {
+                continue;
+            }
+            // find an edge realising this label pair
+            let found = w.edges.iter().position(|&(i, j)| {
+                let (a, b) =
+                    (w.nodes[i].expect("alive").label, w.nodes[j].expect("alive").label);
+                let key = if a <= b { (a, b) } else { (b, a) };
+                key == pair
+            });
+            let Some(idx) = found else { continue };
+            let (i, j) = w.edges[idx];
+            let (ni, nj) = (w.nodes[i].expect("alive"), w.nodes[j].expect("alive"));
+            let out_label = combine_labels(ni.label, nj.label);
+            w.steps.push(ContractionStep {
+                lhs: ni.label,
+                rhs: nj.label,
+                out: out_label,
+                kind: ni.kind,
+                batch: ni.batch,
+                dim: ni.dim,
+                is_final: false,
+            });
+            let k = w.nodes.len();
+            w.nodes.push(Some(HadronNode { label: out_label, ..ni }));
+            w.nodes[i] = None;
+            w.nodes[j] = None;
+            w.alive -= 1;
+            w.edges = std::mem::take(&mut w.edges)
+                .into_iter()
+                .filter_map(|(a, b)| {
+                    let a = if a == i || a == j { k } else { a };
+                    let b = if b == i || b == j { k } else { b };
+                    (a != b).then_some((a, b))
+                })
+                .collect();
+        }
+    }
+
+    // Final reductions.
+    Ok(works
+        .into_iter()
+        .map(|mut w| {
+            let mut last = w.nodes.iter().flatten();
+            let (na, nb) =
+                (*last.next().expect("two alive"), *last.next().expect("two alive"));
+            let out_label = combine_labels(na.label, nb.label).wrapping_add(1);
+            w.steps.push(ContractionStep {
+                lhs: na.label,
+                rhs: nb.label,
+                out: out_label,
+                kind: na.kind,
+                batch: na.batch,
+                dim: na.dim,
+                is_final: true,
+            });
+            PlanOutput { steps: w.steps }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use crate::plan::{plan_contraction, EdgeOrder};
+    use crate::stage::{build_stream, InternTable};
+    use micco_tensor::ContractionKind;
+
+    fn meson(label: u64) -> HadronNode {
+        HadronNode { label, kind: ContractionKind::Meson, batch: 2, dim: 8 }
+    }
+
+    /// A family of chains sharing the prefix 1–2–3 but with distinct tails.
+    fn family(n: usize) -> Vec<ContractionGraph> {
+        (0..n)
+            .map(|i| {
+                let mut g = ContractionGraph::new();
+                let a = g.add_node(meson(1));
+                let b = g.add_node(meson(2));
+                let c = g.add_node(meson(3));
+                let tail = g.add_node(meson(100 + i as u64));
+                // deliberately insert the tail edge FIRST so per-graph
+                // sequential planning reduces (3, tail) before (1, 2)
+                g.add_edge(c, tail).unwrap();
+                g.add_edge(a, b).unwrap();
+                g.add_edge(b, c).unwrap();
+                g
+            })
+            .collect()
+    }
+
+    fn unique_steps(plans: &[PlanOutput]) -> usize {
+        let mut intern = InternTable::new();
+        build_stream(plans, &mut intern).unique_steps
+    }
+
+    #[test]
+    fn plans_are_individually_valid() {
+        let graphs = family(4);
+        let plans = plan_contraction_shared(&graphs).unwrap();
+        assert_eq!(plans.len(), 4);
+        for (g, p) in graphs.iter().zip(&plans) {
+            assert_eq!(p.steps.len(), g.node_count() - 1);
+            assert_eq!(p.steps.iter().filter(|s| s.is_final).count(), 1);
+            assert!(p.steps.last().unwrap().is_final);
+            // dependency ordering
+            let mut known: std::collections::HashSet<u64> =
+                g.nodes().iter().map(|n| n.label).collect();
+            for s in &p.steps {
+                assert!(known.contains(&s.lhs) && known.contains(&s.rhs));
+                known.insert(s.out);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_planning_beats_isolated_planning_on_families() {
+        let graphs = family(6);
+        let shared = plan_contraction_shared(&graphs).unwrap();
+        let isolated: Vec<_> = graphs
+            .iter()
+            .map(|g| plan_contraction(g, EdgeOrder::Sequential).unwrap())
+            .collect();
+        let us = unique_steps(&shared);
+        let ui = unique_steps(&isolated);
+        assert!(
+            us < ui,
+            "shared planning should produce fewer unique steps: shared {us}, isolated {ui}"
+        );
+    }
+
+    #[test]
+    fn identical_graphs_collapse_to_one_plan_cost() {
+        let graphs = family(1).into_iter().cycle().take(5).collect::<Vec<_>>();
+        let plans = plan_contraction_shared(&graphs).unwrap();
+        let us = unique_steps(&plans);
+        assert_eq!(us, graphs[0].node_count() - 1);
+    }
+
+    #[test]
+    fn two_node_graphs_get_final_only() {
+        let mut g = ContractionGraph::new();
+        let a = g.add_node(meson(1));
+        let b = g.add_node(meson(2));
+        g.add_edge(a, b).unwrap();
+        let plans = plan_contraction_shared(&[g]).unwrap();
+        assert_eq!(plans[0].steps.len(), 1);
+        assert!(plans[0].steps[0].is_final);
+    }
+
+    #[test]
+    fn invalid_member_rejected() {
+        let mut bad = ContractionGraph::new();
+        bad.add_node(meson(1));
+        let good = family(1).pop().unwrap();
+        assert!(plan_contraction_shared(&[good, bad]).is_err());
+    }
+
+    #[test]
+    fn deterministic() {
+        let graphs = family(5);
+        assert_eq!(
+            plan_contraction_shared(&graphs).unwrap(),
+            plan_contraction_shared(&graphs).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_family_is_fine() {
+        assert!(plan_contraction_shared(&[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Feature/target container with deterministic train/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A regression dataset: rows of features and one target per row.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    /// Feature rows; all rows must share a width.
+    pub x: Vec<Vec<f64>>,
+    /// Targets, one per row.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Build from rows and targets (must be the same length).
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        if let Some(w) = x.first().map(Vec::len) {
+            assert!(x.iter().all(|r| r.len() == w), "ragged feature rows");
+        }
+        Dataset { x, y }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, row: Vec<f64>, target: f64) {
+        if let Some(first) = self.x.first() {
+            assert_eq!(first.len(), row.len(), "ragged feature row");
+        }
+        self.x.push(row);
+        self.y.push(target);
+    }
+
+    /// Deterministic shuffled split into `(train, test)` with `test_frac`
+    /// of rows (rounded down, at least 1 when the set is non-empty and
+    /// `test_frac > 0`) in the test set. The paper holds out 20 %.
+    pub fn train_test_split(&self, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_frac), "test_frac in [0,1)");
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_test = if self.is_empty() || test_frac == 0.0 {
+            0
+        } else {
+            ((self.len() as f64 * test_frac) as usize).max(1)
+        };
+        let (test_idx, train_idx) = idx.split_at(n_test);
+        let pick = |ids: &[usize]| {
+            Dataset::new(
+                ids.iter().map(|&i| self.x[i].clone()).collect(),
+                ids.iter().map(|&i| self.y[i]).collect(),
+            )
+        };
+        (pick(train_idx), pick(test_idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        Dataset::new(
+            (0..n).map(|i| vec![i as f64, (i * i) as f64]).collect(),
+            (0..n).map(|i| i as f64 * 3.0).collect(),
+        )
+    }
+
+    #[test]
+    fn split_sizes() {
+        let d = toy(100);
+        let (train, test) = d.train_test_split(0.2, 7);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len(), 80);
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let d = toy(50);
+        let (a1, b1) = d.train_test_split(0.2, 1);
+        let (a2, b2) = d.train_test_split(0.2, 1);
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        let (_, b3) = d.train_test_split(0.2, 2);
+        assert_ne!(b1, b3);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = toy(30);
+        let (train, test) = d.train_test_split(0.3, 3);
+        assert_eq!(train.len() + test.len(), d.len());
+        // every original target appears exactly once across the split
+        let mut all: Vec<f64> = train.y.iter().chain(&test.y).copied().collect();
+        all.sort_by(f64::total_cmp);
+        let mut want = d.y.clone();
+        want.sort_by(f64::total_cmp);
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn zero_frac_gives_empty_test() {
+        let (train, test) = toy(10).train_test_split(0.0, 0);
+        assert_eq!(train.len(), 10);
+        assert!(test.is_empty());
+    }
+
+    #[test]
+    fn tiny_fraction_still_yields_one_test_row() {
+        let (_, test) = toy(10).train_test_split(0.01, 0);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_lengths_panic() {
+        let _ = Dataset::new(vec![vec![1.0]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        let _ = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut d = Dataset::default();
+        d.push(vec![1.0, 2.0], 3.0);
+        d.push(vec![4.0, 5.0], 6.0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.y, vec![3.0, 6.0]);
+    }
+}

@@ -1,0 +1,230 @@
+//! Random-forest regression: bagged CART trees, averaged predictions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tree::{DecisionTreeRegressor, TreeParams};
+use crate::Regressor;
+
+/// A random forest of regression trees.
+///
+/// The paper uses 150 trees (Sec. IV-C). Each tree is fitted on a bootstrap
+/// sample of the rows; predictions average across trees.
+///
+/// # Examples
+///
+/// ```
+/// use micco_ml::{RandomForestRegressor, Regressor, TreeParams};
+///
+/// // y = step(x): trees capture it exactly, linear models cannot
+/// let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+/// let y: Vec<f64> = x.iter().map(|r| if r[0] < 20.0 { 0.0 } else { 5.0 }).collect();
+/// let mut forest = RandomForestRegressor::new(25, TreeParams::default(), 42);
+/// forest.fit(&x, &y);
+/// assert!(forest.predict_one(&[3.0]) < 1.0);
+/// assert!(forest.predict_one(&[33.0]) > 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    n_trees: usize,
+    tree_params: TreeParams,
+    seed: u64,
+    trees: Vec<DecisionTreeRegressor>,
+}
+
+impl RandomForestRegressor {
+    /// Forest with explicit hyper-parameters.
+    pub fn new(n_trees: usize, tree_params: TreeParams, seed: u64) -> Self {
+        assert!(n_trees > 0, "need at least one tree");
+        RandomForestRegressor { n_trees, tree_params, seed, trees: Vec::new() }
+    }
+
+    /// The paper's configuration: 150 trees, default CART parameters.
+    pub fn paper_default(seed: u64) -> Self {
+        RandomForestRegressor::new(150, TreeParams::default(), seed)
+    }
+
+    /// Number of trees requested.
+    pub fn n_trees(&self) -> usize {
+        self.n_trees
+    }
+
+    /// Whether the forest has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        !self.trees.is_empty()
+    }
+}
+
+impl RandomForestRegressor {
+    /// Permutation feature importance: the increase in mean-squared error
+    /// when feature `j`'s column is shuffled (deterministically, by `seed`),
+    /// normalised by the baseline MSE. Larger = the model leans on that
+    /// feature harder; ≈0 = the feature is ignored.
+    pub fn permutation_importance(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        seed: u64,
+    ) -> Vec<f64> {
+        assert!(self.is_fitted(), "importance before fit");
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        assert!(!x.is_empty(), "empty inputs");
+        let d = x[0].len();
+        let base_mse = crate::metrics::mse(y, &self.predict(x));
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..d)
+            .map(|j| {
+                // shuffle column j
+                let mut perm: Vec<usize> = (0..x.len()).collect();
+                use rand::seq::SliceRandom;
+                perm.shuffle(&mut rng);
+                let shuffled: Vec<Vec<f64>> = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, row)| {
+                        let mut r = row.clone();
+                        r[j] = x[perm[i]][j];
+                        r
+                    })
+                    .collect();
+                let mse_j = crate::metrics::mse(y, &self.predict(&shuffled));
+                if base_mse == 0.0 {
+                    mse_j
+                } else {
+                    (mse_j - base_mse) / base_mse
+                }
+            })
+            .collect()
+    }
+}
+
+impl Regressor for RandomForestRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        assert!(!x.is_empty(), "cannot fit on zero rows");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees = (0..self.n_trees)
+            .map(|t| {
+                let indices: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+                let mut tree =
+                    DecisionTreeRegressor::new(self.tree_params, self.seed.wrapping_add(t as u64));
+                tree.fit_indices(x, y, &indices);
+                tree
+            })
+            .collect();
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        assert!(self.is_fitted(), "predict before fit");
+        self.trees.iter().map(|t| t.predict_one(row)).sum::<f64>() / self.trees.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn noisy_quadratic(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // deterministic pseudo-noise so the test is stable
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r[0] * r[0] * 4.0 + ((i * 2654435761) % 100) as f64 / 1000.0)
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_quadratic_well() {
+        let (x, y) = noisy_quadratic(200);
+        let mut rf = RandomForestRegressor::new(40, TreeParams::default(), 1);
+        rf.fit(&x, &y);
+        assert!(r2_score(&y, &rf.predict(&x)) > 0.97);
+    }
+
+    #[test]
+    fn prediction_within_target_hull() {
+        let (x, y) = noisy_quadratic(100);
+        let mut rf = RandomForestRegressor::new(20, TreeParams::default(), 2);
+        rf.fit(&x, &y);
+        let (lo, hi) = y.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        for p in rf.predict(&x) {
+            assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "prediction {p} outside [{lo}, {hi}]");
+        }
+        // extrapolation is also clamped to the hull (trees cannot extrapolate)
+        let far = rf.predict_one(&[100.0]);
+        assert!(far >= lo && far <= hi);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = noisy_quadratic(80);
+        let mut a = RandomForestRegressor::new(10, TreeParams::default(), 7);
+        let mut b = RandomForestRegressor::new(10, TreeParams::default(), 7);
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+        let mut c = RandomForestRegressor::new(10, TreeParams::default(), 8);
+        c.fit(&x, &y);
+        assert_ne!(a.predict(&x), c.predict(&x));
+    }
+
+    #[test]
+    fn more_trees_smooth_predictions() {
+        let (x, y) = noisy_quadratic(150);
+        let fit_r2 = |n: usize| {
+            let mut rf = RandomForestRegressor::new(n, TreeParams::default(), 3);
+            rf.fit(&x, &y);
+            r2_score(&y, &rf.predict(&x))
+        };
+        // both good; mainly assert the big forest isn't degenerate
+        assert!(fit_r2(50) > 0.9);
+        assert!(fit_r2(1) > 0.5);
+    }
+
+    #[test]
+    fn permutation_importance_finds_the_real_feature() {
+        // y depends only on feature 0; feature 1 is noise
+        let x: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![i as f64, ((i * 7919) % 97) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0).collect();
+        let mut rf = RandomForestRegressor::new(20, TreeParams::default(), 4);
+        rf.fit(&x, &y);
+        let imp = rf.permutation_importance(&x, &y, 11);
+        assert_eq!(imp.len(), 2);
+        assert!(
+            imp[0] > imp[1] * 10.0 + 0.1,
+            "feature 0 importance {} must dominate noise {}",
+            imp[0],
+            imp[1]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "importance before fit")]
+    fn importance_before_fit_panics() {
+        let rf = RandomForestRegressor::new(3, TreeParams::default(), 0);
+        let _ = rf.permutation_importance(&[vec![1.0]], &[1.0], 0);
+    }
+
+    #[test]
+    fn paper_default_has_150_trees() {
+        assert_eq!(RandomForestRegressor::paper_default(0).n_trees(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn zero_trees_panics() {
+        let _ = RandomForestRegressor::new(0, TreeParams::default(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let rf = RandomForestRegressor::new(3, TreeParams::default(), 0);
+        let _ = rf.predict_one(&[1.0]);
+    }
+}

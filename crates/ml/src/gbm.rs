@@ -1,0 +1,171 @@
+//! Gradient-boosted regression trees (squared loss).
+
+use crate::tree::{DecisionTreeRegressor, TreeParams};
+use crate::Regressor;
+
+/// Gradient boosting with least-squares loss: each stage fits a shallow
+/// CART tree to the current residuals and is added with a learning rate.
+///
+/// The paper's configuration is 150 boosting stages at learning rate 0.1
+/// (Sec. IV-C).
+#[derive(Debug, Clone)]
+pub struct GradientBoostingRegressor {
+    n_stages: usize,
+    learning_rate: f64,
+    tree_params: TreeParams,
+    base: f64,
+    stages: Vec<DecisionTreeRegressor>,
+}
+
+impl GradientBoostingRegressor {
+    /// Booster with explicit hyper-parameters.
+    pub fn new(n_stages: usize, learning_rate: f64, tree_params: TreeParams) -> Self {
+        assert!(n_stages > 0, "need at least one stage");
+        assert!(learning_rate > 0.0, "learning rate must be positive");
+        GradientBoostingRegressor {
+            n_stages,
+            learning_rate,
+            tree_params,
+            base: 0.0,
+            stages: Vec::new(),
+        }
+    }
+
+    /// The paper's configuration: 150 stages, learning rate 0.1, depth-3
+    /// trees (the classic boosting weak learner).
+    pub fn paper_default() -> Self {
+        GradientBoostingRegressor::new(
+            150,
+            0.1,
+            TreeParams { max_depth: 3, ..TreeParams::default() },
+        )
+    }
+
+    /// Number of boosting stages requested.
+    pub fn n_stages(&self) -> usize {
+        self.n_stages
+    }
+
+    /// Whether the booster has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        !self.stages.is_empty()
+    }
+}
+
+impl Regressor for GradientBoostingRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        assert!(!x.is_empty(), "cannot fit on zero rows");
+        self.base = y.iter().sum::<f64>() / y.len() as f64;
+        let mut pred = vec![self.base; y.len()];
+        self.stages = Vec::with_capacity(self.n_stages);
+        let idx: Vec<usize> = (0..x.len()).collect();
+        for s in 0..self.n_stages {
+            let residuals: Vec<f64> = y.iter().zip(&pred).map(|(t, p)| t - p).collect();
+            let mut tree = DecisionTreeRegressor::new(self.tree_params, s as u64);
+            tree.fit_indices(x, &residuals, &idx);
+            for (i, p) in pred.iter_mut().enumerate() {
+                *p += self.learning_rate * tree.predict_one(&x[i]);
+            }
+            self.stages.push(tree);
+        }
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        assert!(self.is_fitted(), "predict before fit");
+        self.base
+            + self.learning_rate
+                * self.stages.iter().map(|t| t.predict_one(row)).sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn sine(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64 * 6.28]).collect();
+        let y: Vec<f64> = x.iter().map(|r| r[0].sin()).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_sine_closely() {
+        let (x, y) = sine(200);
+        let mut gb = GradientBoostingRegressor::paper_default();
+        gb.fit(&x, &y);
+        assert!(r2_score(&y, &gb.predict(&x)) > 0.99);
+    }
+
+    #[test]
+    fn single_stage_is_shrunk_tree_plus_mean() {
+        let (x, y) = sine(50);
+        let mut gb = GradientBoostingRegressor::new(
+            1,
+            0.1,
+            TreeParams { max_depth: 1, ..TreeParams::default() },
+        );
+        gb.fit(&x, &y);
+        // prediction must stay close to the mean with one shrunk stage
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        for p in gb.predict(&x) {
+            assert!((p - mean).abs() < 0.3);
+        }
+    }
+
+    #[test]
+    fn more_stages_reduce_error() {
+        let (x, y) = sine(150);
+        let r2 = |stages: usize| {
+            let mut gb = GradientBoostingRegressor::new(
+                stages,
+                0.1,
+                TreeParams { max_depth: 3, ..TreeParams::default() },
+            );
+            gb.fit(&x, &y);
+            r2_score(&y, &gb.predict(&x))
+        };
+        let few = r2(5);
+        let many = r2(100);
+        assert!(many > few, "r2 with 100 stages {many} <= with 5 stages {few}");
+    }
+
+    #[test]
+    fn constant_target_exact() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![3.5; 10];
+        let mut gb = GradientBoostingRegressor::paper_default();
+        gb.fit(&x, &y);
+        for p in gb.predict(&x) {
+            assert!((p - 3.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let (x, y) = sine(60);
+        let mut a = GradientBoostingRegressor::paper_default();
+        let mut b = GradientBoostingRegressor::paper_default();
+        a.fit(&x, &y);
+        b.fit(&x, &y);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn paper_default_has_150_stages() {
+        assert_eq!(GradientBoostingRegressor::paper_default().n_stages(), 150);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn zero_stages_panics() {
+        let _ = GradientBoostingRegressor::new(0, 0.1, TreeParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate")]
+    fn bad_learning_rate_panics() {
+        let _ = GradientBoostingRegressor::new(10, 0.0, TreeParams::default());
+    }
+}

@@ -1,0 +1,171 @@
+//! Ordinary least squares via normal equations.
+
+use crate::Regressor;
+
+/// Linear regression `y ≈ w·x + b`, solved by Gaussian elimination on the
+/// normal equations with a tiny ridge term for numerical safety (feature
+/// counts here are single digits, so this is exact in practice).
+#[derive(Debug, Clone, Default)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    intercept: f64,
+    fitted: bool,
+}
+
+impl LinearRegression {
+    /// Unfitted model.
+    pub fn new() -> Self {
+        LinearRegression::default()
+    }
+
+    /// Fitted coefficients (without intercept).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Whether [`Regressor::fit`] has been called.
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        assert!(!x.is_empty(), "cannot fit on zero rows");
+        let d = x[0].len() + 1; // +1 intercept column
+        // Build Xᵀ X and Xᵀ y with an implicit leading 1 per row.
+        let mut a = vec![vec![0.0; d]; d];
+        let mut b = vec![0.0; d];
+        for (row, &target) in x.iter().zip(y) {
+            let aug = |j: usize| if j == 0 { 1.0 } else { row[j - 1] };
+            for i in 0..d {
+                b[i] += aug(i) * target;
+                for (j, cell) in a[i].iter_mut().enumerate() {
+                    *cell += aug(i) * aug(j);
+                }
+            }
+        }
+        // Ridge jitter keeps degenerate designs solvable.
+        for (i, row) in a.iter_mut().enumerate() {
+            row[i] += 1e-9;
+        }
+        let w = solve(a, b);
+        self.intercept = w[0];
+        self.weights = w[1..].to_vec();
+        self.fitted = true;
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        assert!(self.fitted, "predict before fit");
+        assert_eq!(row.len(), self.weights.len(), "feature width mismatch");
+        self.intercept + self.weights.iter().zip(row).map(|(w, v)| w * v).sum::<f64>()
+    }
+}
+
+/// Gaussian elimination with partial pivoting for a small dense system.
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Vec<f64> {
+    let n = b.len();
+    for col in 0..n {
+        // pivot
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .expect("non-empty");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        assert!(diag.abs() > 0.0, "singular system");
+        for row in (col + 1)..n {
+            let factor = a[row][col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            let pivot_row = a[col].clone();
+            for (k, cell) in a[row].iter_mut().enumerate().skip(col) {
+                *cell -= factor * pivot_row[k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // back substitution
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..n {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    #[test]
+    fn recovers_exact_linear_function() {
+        // y = 3 + 2·x0 − 5·x1
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![i as f64 * 0.1, (i * i) as f64 * 0.01])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 + 2.0 * r[0] - 5.0 * r[1]).collect();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        assert!((m.intercept() - 3.0).abs() < 1e-6);
+        assert!((m.weights()[0] - 2.0).abs() < 1e-6);
+        assert!((m.weights()[1] + 5.0).abs() < 1e-6);
+        assert!(r2_score(&y, &m.predict(&x)) > 0.999999);
+    }
+
+    #[test]
+    fn single_feature() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        assert!((m.predict_one(&[20.0]) - 41.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_target() {
+        let x: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let y = vec![7.0; 5];
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        assert!((m.predict_one(&[100.0]) - 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn degenerate_duplicate_feature_does_not_crash() {
+        // two identical columns: singular XᵀX without the ridge jitter
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..20).map(|i| 3.0 * i as f64).collect();
+        let mut m = LinearRegression::new();
+        m.fit(&x, &y);
+        // prediction still correct even though the split between the two
+        // weights is arbitrary
+        assert!((m.predict_one(&[10.0, 10.0]) - 30.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let m = LinearRegression::new();
+        let _ = m.predict_one(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        let mut m = LinearRegression::new();
+        m.fit(&[vec![1.0], vec![2.0]], &[1.0, 2.0]);
+        let _ = m.predict_one(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Regression quality metrics.
+
+/// Coefficient of determination R² (Table IV's metric): `1 − SS_res/SS_tot`.
+/// A constant-target truth returns 1.0 for exact predictions and 0.0
+/// otherwise (SS_tot = 0 convention).
+pub fn r2_score(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty inputs");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Mean squared error.
+pub fn mse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty inputs");
+    truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / truth.len() as f64
+}
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "length mismatch");
+    assert!(!truth.is_empty(), "empty inputs");
+    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_r2_is_one() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(r2_score(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn mean_prediction_r2_is_zero() {
+        let y = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r2_score(&y, &pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_prediction_r2_negative() {
+        let y = [1.0, 2.0, 3.0];
+        let pred = [3.0, 2.0, 1.0];
+        assert!(r2_score(&y, &pred) < 0.0);
+    }
+
+    #[test]
+    fn constant_truth_conventions() {
+        let y = [5.0, 5.0];
+        assert_eq!(r2_score(&y, &[5.0, 5.0]), 1.0);
+        assert_eq!(r2_score(&y, &[5.0, 6.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_and_mae() {
+        let y = [0.0, 0.0, 0.0, 0.0];
+        let p = [1.0, -1.0, 2.0, -2.0];
+        assert!((mse(&y, &p) - 2.5).abs() < 1e-12);
+        assert!((mae(&y, &p) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        let _ = r2_score(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_panics() {
+        let _ = mse(&[], &[]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Spearman's rank correlation coefficient (Fig. 5's heatmap metric).
+//!
+//! Spearman ρ is the Pearson correlation of the rank-transformed variables;
+//! it captures monotone (not necessarily linear) relations, which is exactly
+//! why the paper uses it to relate data characteristics, reuse bounds, and
+//! GFLOPS. Ties receive average ranks (the standard treatment).
+
+/// Average-rank transform of a sample.
+fn ranks(v: &[f64]) -> Vec<f64> {
+    let n = v.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| v[a].total_cmp(&v[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // group of ties [i, j)
+        let mut j = i + 1;
+        while j < n && v[order[j]] == v[order[i]] {
+            j += 1;
+        }
+        // ranks are 1-based; the group shares the average rank
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &k in &order[i..j] {
+            out[k] = avg;
+        }
+        i = j;
+    }
+    out
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        cov / (va * vb).sqrt()
+    }
+}
+
+/// Spearman's ρ between two equal-length samples. Constant inputs yield 0
+/// (no monotone information).
+///
+/// # Examples
+///
+/// ```
+/// use micco_ml::spearman;
+///
+/// // monotone but wildly non-linear: ρ is still exactly 1
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [1.0, 8.0, 27.0, 64.0];
+/// assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(a.len() >= 2, "need at least two observations");
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Pairwise Spearman matrix over columns: `columns[i]` is one variable's
+/// sample. Entry `[i][j]` is `ρ(columns[i], columns[j])`.
+pub fn spearman_matrix(columns: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let k = columns.len();
+    let mut m = vec![vec![0.0; k]; k];
+    for (i, ci) in columns.iter().enumerate() {
+        m[i][i] = 1.0;
+        for (j, cj) in columns.iter().enumerate().skip(i + 1) {
+            let rho = spearman(ci, cj);
+            m[i][j] = rho;
+            m[j][i] = rho;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_monotone_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 100.0, 1000.0, 10000.0]; // nonlinear but monotone
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_antitone_is_minus_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_input_is_zero() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(spearman(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn ties_get_average_ranks() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[5.0, 5.0, 5.0]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn bounded_in_minus_one_one() {
+        // pseudo-random but deterministic samples
+        let a: Vec<f64> = (0..50).map(|i| ((i * 2654435761u64) % 97) as f64).collect();
+        let b: Vec<f64> = (0..50).map(|i| ((i * 40503 + 7) % 89) as f64).collect();
+        let rho = spearman(&a, &b);
+        assert!((-1.0..=1.0).contains(&rho));
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = [3.0, 1.0, 4.0, 1.5, 9.0];
+        let b = [2.0, 7.0, 1.0, 8.0, 2.0];
+        assert!((spearman(&a, &b) - spearman(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_diagonal_and_symmetry() {
+        let cols = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![2.0, 1.0, 4.0, 3.0],
+            vec![4.0, 3.0, 2.0, 1.0],
+        ];
+        let m = spearman_matrix(&cols);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(*v, m[j][i]);
+            }
+        }
+        assert!((m[0][2] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatch_panics() {
+        let _ = spearman(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two observations")]
+    fn single_observation_panics() {
+        let _ = spearman(&[1.0], &[1.0]);
+    }
+}

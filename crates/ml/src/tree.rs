@@ -1,0 +1,319 @@
+//! CART regression tree: variance-reduction splits, arena-allocated nodes.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Regressor;
+
+/// Hyper-parameters of a regression tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum rows required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum rows that must land in each child.
+    pub min_samples_leaf: usize,
+    /// Number of features considered per split; `None` = all features.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 12, min_samples_split: 2, min_samples_leaf: 1, max_features: None }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Node {
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+}
+
+/// A fitted CART regression tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    params: TreeParams,
+    nodes: Vec<Node>,
+    seed: u64,
+}
+
+impl DecisionTreeRegressor {
+    /// Unfitted tree with the given parameters; `seed` drives the feature
+    /// subsampling when `max_features` is set.
+    pub fn new(params: TreeParams, seed: u64) -> Self {
+        DecisionTreeRegressor { params, nodes: Vec::new(), seed }
+    }
+
+    /// Whether [`Regressor::fit`] has been called.
+    pub fn is_fitted(&self) -> bool {
+        !self.nodes.is_empty()
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree (leaf-only tree = 0).
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, left).max(walk(nodes, right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// Fit on the subset of rows given by `indices` (used by ensembles for
+    /// bootstrap samples; indices may repeat).
+    pub fn fit_indices(&mut self, x: &[Vec<f64>], y: &[f64], indices: &[usize]) {
+        assert_eq!(x.len(), y.len(), "x and y must have equal length");
+        assert!(!indices.is_empty(), "cannot fit on zero rows");
+        self.nodes.clear();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut idx = indices.to_vec();
+        self.build(x, y, &mut idx, 0, &mut rng);
+    }
+
+    /// Build a subtree over `idx`, returning its node index.
+    fn build(
+        &mut self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
+        let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len() as f64;
+        let stop = depth >= self.params.max_depth
+            || idx.len() < self.params.min_samples_split
+            || idx.iter().all(|&i| y[i] == y[idx[0]]);
+        if stop {
+            return self.push(Node::Leaf { value: mean });
+        }
+        match self.best_split(x, y, idx, rng) {
+            None => self.push(Node::Leaf { value: mean }),
+            Some((feature, threshold)) => {
+                // Partition idx in place: left = rows with value <= threshold.
+                idx.sort_by(|&a, &b| x[a][feature].total_cmp(&x[b][feature]));
+                let split_at = idx.partition_point(|&i| x[i][feature] <= threshold);
+                debug_assert!(split_at > 0 && split_at < idx.len());
+                let node = self.push(Node::Leaf { value: 0.0 }); // placeholder
+                let (l_idx, r_idx) = idx.split_at_mut(split_at);
+                let left = self.build(x, y, l_idx, depth + 1, rng);
+                let right = self.build(x, y, r_idx, depth + 1, rng);
+                self.nodes[node] = Node::Split { feature, threshold, left, right };
+                node
+            }
+        }
+    }
+
+    fn push(&mut self, n: Node) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    /// Best (feature, threshold) by sum-of-squared-error reduction, or
+    /// `None` when no split satisfies the leaf-size constraint.
+    fn best_split(
+        &self,
+        x: &[Vec<f64>],
+        y: &[f64],
+        idx: &[usize],
+        rng: &mut StdRng,
+    ) -> Option<(usize, f64)> {
+        let n_features = x[0].len();
+        let mut features: Vec<usize> = (0..n_features).collect();
+        if let Some(k) = self.params.max_features {
+            features.shuffle(rng);
+            features.truncate(k.clamp(1, n_features));
+        }
+
+        let n = idx.len() as f64;
+        let total_sum: f64 = idx.iter().map(|&i| y[i]).sum();
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse_gain)
+
+        let mut order = idx.to_vec();
+        for &f in &features {
+            order.sort_by(|&a, &b| x[a][f].total_cmp(&x[b][f]));
+            // prefix scan: try splitting after each position
+            let mut left_sum = 0.0;
+            for (pos, &i) in order.iter().enumerate().take(order.len() - 1) {
+                left_sum += y[i];
+                let nl = (pos + 1) as f64;
+                let nr = n - nl;
+                // skip non-boundaries (equal feature values must stay together)
+                if x[i][f] == x[order[pos + 1]][f] {
+                    continue;
+                }
+                if (pos + 1) < self.params.min_samples_leaf
+                    || (order.len() - pos - 1) < self.params.min_samples_leaf
+                {
+                    continue;
+                }
+                let right_sum = total_sum - left_sum;
+                // SSE reduction ∝ nl*mean_l² + nr*mean_r² (total is constant)
+                let gain = left_sum * left_sum / nl + right_sum * right_sum / nr;
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    let threshold = (x[i][f] + x[order[pos + 1]][f]) / 2.0;
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        best.map(|(f, t, _)| (f, t))
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        let idx: Vec<usize> = (0..x.len()).collect();
+        self.fit_indices(x, y, &idx);
+    }
+
+    fn predict_one(&self, row: &[f64]) -> f64 {
+        assert!(self.is_fitted(), "predict before fit");
+        let mut i = 0;
+        loop {
+            match self.nodes[i] {
+                Node::Leaf { value } => return value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if row[feature] <= threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2_score;
+
+    fn grid_xy() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 1 if x0 > 0.5 else 0 — one split suffices
+        let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn perfectly_fits_a_step() {
+        let (x, y) = grid_xy();
+        let mut t = DecisionTreeRegressor::new(TreeParams::default(), 0);
+        t.fit(&x, &y);
+        assert_eq!(t.predict(&x), y);
+        assert!(t.depth() >= 1);
+    }
+
+    #[test]
+    fn depth_zero_is_mean_predictor() {
+        let (x, y) = grid_xy();
+        let mut t = DecisionTreeRegressor::new(
+            TreeParams { max_depth: 0, ..TreeParams::default() },
+            0,
+        );
+        t.fit(&x, &y);
+        let mean = y.iter().sum::<f64>() / y.len() as f64;
+        for p in t.predict(&x) {
+            assert!((p - mean).abs() < 1e-12);
+        }
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let (x, y) = grid_xy();
+        let mut t = DecisionTreeRegressor::new(
+            TreeParams { min_samples_leaf: 8, ..TreeParams::default() },
+            0,
+        );
+        t.fit(&x, &y);
+        // With 20 rows and min leaf 8, only splits at positions 8..12 are
+        // allowed — the tree can still cut near the middle but no deeper
+        // than a couple of levels.
+        assert!(t.depth() <= 2);
+    }
+
+    #[test]
+    fn fits_xor_like_interaction() {
+        // y = 1 iff (x0 > .5) xor (x1 > .5): requires depth 2, defeats any
+        // single split / linear model
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                let a = i as f64 / 9.0;
+                let b = j as f64 / 9.0;
+                x.push(vec![a, b]);
+                y.push(if (a > 0.5) != (b > 0.5) { 1.0 } else { 0.0 });
+            }
+        }
+        let mut t = DecisionTreeRegressor::new(TreeParams::default(), 0);
+        t.fit(&x, &y);
+        assert!(r2_score(&y, &t.predict(&x)) > 0.99);
+    }
+
+    #[test]
+    fn constant_target_yields_single_leaf() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![5.0; 10];
+        let mut t = DecisionTreeRegressor::new(TreeParams::default(), 0);
+        t.fit(&x, &y);
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.predict_one(&[3.0]), 5.0);
+    }
+
+    #[test]
+    fn duplicate_feature_values_dont_split_apart() {
+        // all rows identical features, different targets → no valid split
+        let x = vec![vec![1.0]; 6];
+        let y = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut t = DecisionTreeRegressor::new(TreeParams::default(), 0);
+        t.fit(&x, &y);
+        assert_eq!(t.node_count(), 1);
+        assert!((t.predict_one(&[1.0]) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_indices_uses_only_given_rows() {
+        let (x, y) = grid_xy();
+        let mut t = DecisionTreeRegressor::new(TreeParams::default(), 0);
+        // fit only on rows where y == 0
+        let idx: Vec<usize> = (0..10).collect();
+        t.fit_indices(&x, &y, &idx);
+        assert_eq!(t.predict_one(&[0.9]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let t = DecisionTreeRegressor::new(TreeParams::default(), 0);
+        let _ = t.predict_one(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero rows")]
+    fn empty_fit_panics() {
+        let mut t = DecisionTreeRegressor::new(TreeParams::default(), 0);
+        t.fit_indices(&[], &[], &[]);
+    }
+
+    #[test]
+    fn deterministic_with_feature_subsampling() {
+        let (x, y) = grid_xy();
+        let params = TreeParams { max_features: Some(1), ..TreeParams::default() };
+        let mut t1 = DecisionTreeRegressor::new(params, 42);
+        let mut t2 = DecisionTreeRegressor::new(params, 42);
+        t1.fit(&x, &y);
+        t2.fit(&x, &y);
+        assert_eq!(t1.predict(&x), t2.predict(&x));
+    }
+}

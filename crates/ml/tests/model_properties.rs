@@ -1,0 +1,145 @@
+//! Property-based tests of the regression models and statistics.
+
+use proptest::prelude::*;
+
+use micco_ml::{
+    mae, mse, r2_score, spearman, DecisionTreeRegressor, GradientBoostingRegressor,
+    LinearRegression, RandomForestRegressor, Regressor, TreeParams,
+};
+
+fn rows(n: usize, d: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(-10.0f64..10.0, d), n..n + 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tree and forest predictions always lie within the convex hull of the
+    /// training targets (trees average leaves; no extrapolation).
+    #[test]
+    fn tree_and_forest_respect_target_hull(
+        x in rows(30, 3),
+        y in proptest::collection::vec(-100.0f64..100.0, 30),
+        probe in proptest::collection::vec(-50.0f64..50.0, 3),
+    ) {
+        let (lo, hi) = y.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let mut tree = DecisionTreeRegressor::new(TreeParams::default(), 0);
+        tree.fit(&x, &y);
+        let p = tree.predict_one(&probe);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+
+        let mut forest = RandomForestRegressor::new(8, TreeParams::default(), 1);
+        forest.fit(&x, &y);
+        let pf = forest.predict_one(&probe);
+        prop_assert!(pf >= lo - 1e-9 && pf <= hi + 1e-9);
+    }
+
+    /// A depth-unbounded tree interpolates distinct training rows exactly.
+    #[test]
+    fn tree_interpolates_distinct_rows(
+        base in rows(20, 2),
+        y in proptest::collection::vec(-10.0f64..10.0, 20),
+    ) {
+        // make the rows pairwise distinct on feature 0
+        let x: Vec<Vec<f64>> = base
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut r)| {
+                r[0] += i as f64 * 100.0;
+                r
+            })
+            .collect();
+        let mut tree = DecisionTreeRegressor::new(
+            TreeParams { max_depth: 32, ..TreeParams::default() },
+            0,
+        );
+        tree.fit(&x, &y);
+        for (r, &t) in x.iter().zip(&y) {
+            prop_assert!((tree.predict_one(r) - t).abs() < 1e-9);
+        }
+    }
+
+    /// Linear regression recovers affine ground truth regardless of the
+    /// coefficients.
+    #[test]
+    fn ols_recovers_affine_truth(
+        w0 in -5.0f64..5.0,
+        w1 in -5.0f64..5.0,
+        b in -5.0f64..5.0,
+        x in rows(25, 2),
+    ) {
+        let y: Vec<f64> = x.iter().map(|r| b + w0 * r[0] + w1 * r[1]).collect();
+        // require non-degenerate design
+        let var0: f64 = {
+            let m = x.iter().map(|r| r[0]).sum::<f64>() / x.len() as f64;
+            x.iter().map(|r| (r[0] - m).powi(2)).sum()
+        };
+        prop_assume!(var0 > 1.0);
+        let mut ols = LinearRegression::new();
+        ols.fit(&x, &y);
+        for r in &x {
+            prop_assert!((ols.predict_one(r) - (b + w0 * r[0] + w1 * r[1])).abs() < 1e-5);
+        }
+    }
+
+    /// Boosting monotonically improves training fit as stages grow (squared
+    /// loss, shrinkage ≤ 1).
+    #[test]
+    fn boosting_training_error_nonincreasing(
+        x in rows(25, 1),
+        y in proptest::collection::vec(-10.0f64..10.0, 25),
+    ) {
+        let fit_err = |stages: usize| {
+            let mut g = GradientBoostingRegressor::new(
+                stages,
+                0.3,
+                TreeParams { max_depth: 2, ..TreeParams::default() },
+            );
+            g.fit(&x, &y);
+            mse(&y, &g.predict(&x))
+        };
+        let few = fit_err(2);
+        let many = fit_err(30);
+        prop_assert!(many <= few + 1e-9, "mse grew: {few} -> {many}");
+    }
+
+    /// Metric identities: R² of perfect prediction is 1; MSE ≥ MAE² is not
+    /// generally true, but MSE ≥ 0, MAE ≥ 0, and MSE = 0 ⟺ exact.
+    #[test]
+    fn metric_sanity(y in proptest::collection::vec(-100.0f64..100.0, 2..40)) {
+        prop_assert_eq!(r2_score(&y, &y), 1.0);
+        prop_assert_eq!(mse(&y, &y), 0.0);
+        prop_assert_eq!(mae(&y, &y), 0.0);
+    }
+
+    /// Spearman is bounded, symmetric, and invariant under strictly
+    /// monotone transforms of either argument.
+    #[test]
+    fn spearman_properties(
+        a in proptest::collection::vec(-100.0f64..100.0, 5..40),
+    ) {
+        let b: Vec<f64> = a.iter().map(|v| v * 0.5 - 3.0).collect();
+        prop_assert!((spearman(&a, &b) - 1.0).abs() < 1e-9, "monotone transform must give 1");
+        let cubed: Vec<f64> = a.iter().map(|v| v.powi(3)).collect();
+        prop_assert!((spearman(&a, &cubed) - 1.0).abs() < 1e-9);
+        let neg: Vec<f64> = a.iter().map(|v| -v).collect();
+        prop_assert!((spearman(&a, &neg) + 1.0).abs() < 1e-9);
+        let rho = spearman(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&rho));
+    }
+
+    /// Forest prediction is the mean of its trees — more trees never push
+    /// predictions outside the single-tree range.
+    #[test]
+    fn forest_is_an_average(
+        x in rows(20, 2),
+        y in proptest::collection::vec(0.0f64..10.0, 20),
+    ) {
+        let mut f = RandomForestRegressor::new(16, TreeParams::default(), 9);
+        f.fit(&x, &y);
+        for r in x.iter().take(5) {
+            let p = f.predict_one(r);
+            prop_assert!((0.0..=10.0).contains(&p));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # micco-redstar
+//!
+//! A Redstar-like correlation-function front end.
+//!
+//! The real Redstar (Chen, Edwards, Winter — Jefferson Lab) translates a
+//! hadronic correlation function into a set of quark propagation diagrams
+//! via Wick contractions, lowers each diagram to a contraction graph, and
+//! emits staged hadron contractions. This crate reproduces that *pipeline
+//! shape* so the scheduler sees the same kind of stream a production
+//! Lattice-QCD job produces:
+//!
+//! 1. [`operators`] — meson operator and correlator specifications
+//!    (flavour content, momentum lists, time slices);
+//! 2. [`wick`] — Wick-contraction enumeration as flavour-respecting
+//!    derangements of the hadron list (tadpoles excluded), capped to keep
+//!    pathological specs finite;
+//! 3. [`pipeline`] — momentum-combination sweep × time-slice sweep ×
+//!    diagram enumeration → contraction graphs → plans →
+//!    a cross-graph-deduplicated staged [`micco_workload::TensorPairStream`];
+//! 4. [`presets`] — the three Table VI correlators (`al_rhopi`, `f0d2`,
+//!    `f0d4`) at reproduction scale;
+//! 5. [`numeric`] — actually evaluates a correlator's plans with the
+//!    `micco-tensor` kernels (memoised per unique step), proving the
+//!    staging/CSE machinery computes what the diagrams say.
+//!
+//! Simplifications vs the real system are documented in DESIGN.md §2:
+//! dilution/spin indices are folded into the batch dimension, tadpole
+//! diagrams are dropped, and momentum conservation is enforced only as a
+//! sum constraint.
+
+pub mod numeric;
+pub mod operators;
+pub mod pipeline;
+pub mod presets;
+pub mod wick;
+
+pub use operators::{CorrelatorSpec, Flavor, MesonOperator};
+pub use pipeline::{build_correlator, build_correlator_shared, build_job, CorrelatorProgram};
+pub use presets::{al_rhopi, f0d2, f0d4, kk_pipi, nucleon_pipi, PresetScale};
+pub use wick::enumerate_diagrams;

@@ -1,0 +1,262 @@
+//! Minimal `Complex64` type.
+//!
+//! Lattice-QCD hadron tensors are complex-valued. We avoid an external
+//! `num-complex` dependency: the handful of operations the contraction
+//! kernels need fit in ~100 lines, and keeping the type local lets us
+//! guarantee `#[repr(C)]` layout for cache-friendly batched kernels.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A double-precision complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// Complex zero.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// Complex one.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Construct from real and imaginary parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Construct a purely real value.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared modulus `|z|^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Fused multiply-accumulate: `self += a * b`.
+    ///
+    /// The inner loop of every contraction kernel; kept separate so the
+    /// compiler reliably vectorises it.
+    #[inline]
+    pub fn mul_add_assign(&mut self, a: Complex64, b: Complex64) {
+        self.re += a.re * b.re - a.im * b.im;
+        self.im += a.re * b.im + a.im * b.re;
+    }
+
+    /// `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        let d = rhs.norm_sqr();
+        Complex64::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Complex64 {
+        iter.fold(Complex64::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::from_re(re)
+    }
+}
+
+impl std::fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex64::new(2.5, -1.5);
+        let b = Complex64::new(0.5, 3.0);
+        assert!(close((a * b) / b, a));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex64::I * Complex64::I, Complex64::new(-1.0, 0.0));
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Complex64::new(3.0, 4.0);
+        assert_eq!(a.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+        assert_eq!(a.abs(), 5.0);
+        assert!(close(a * a.conj(), Complex64::from_re(25.0)));
+    }
+
+    #[test]
+    fn mul_add_assign_matches_explicit() {
+        let mut acc = Complex64::new(1.0, 1.0);
+        let a = Complex64::new(2.0, -3.0);
+        let b = Complex64::new(-1.0, 0.5);
+        let expected = Complex64::new(1.0, 1.0) + a * b;
+        acc.mul_add_assign(a, b);
+        assert!(close(acc, expected));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut a = Complex64::new(1.0, 2.0);
+        a += Complex64::ONE;
+        assert_eq!(a, Complex64::new(2.0, 2.0));
+        a -= Complex64::I;
+        assert_eq!(a, Complex64::new(2.0, 1.0));
+        a *= Complex64::new(0.0, 1.0);
+        assert_eq!(a, Complex64::new(-1.0, 2.0));
+    }
+
+    #[test]
+    fn sum_and_from() {
+        let v = [Complex64::ONE, Complex64::I, Complex64::new(1.0, 1.0)];
+        let s: Complex64 = v.iter().copied().sum();
+        assert_eq!(s, Complex64::new(2.0, 2.0));
+        assert_eq!(Complex64::from(2.0), Complex64::new(2.0, 0.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Complex64::ONE.is_finite());
+        assert!(!Complex64::new(f64::NAN, 0.0).is_finite());
+        assert!(!Complex64::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn scalar_scaling() {
+        assert_eq!(Complex64::new(1.0, -2.0) * 2.0, Complex64::new(2.0, -4.0));
+    }
+}

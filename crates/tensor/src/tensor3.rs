@@ -1,0 +1,221 @@
+//! Dense rank-3 complex tensors (a single batch element of a baryon node).
+
+use crate::complex::Complex64;
+use crate::TensorError;
+
+/// A dense `n × n × n` complex tensor stored row-major (`[i][j][k]`).
+///
+/// Baryon hadron nodes carry one of these per batch element; reducing an
+/// edge between two baryon nodes contracts the last mode of the left tensor
+/// with the first mode of the right tensor:
+/// `C[i,j,l,m] -> C'[i,j,?]` — here we keep the result rank-3 by contracting
+/// *two* modes (`C[i,a,b] B[b,a,j] -> pseudo-matrix`) as Redstar's colour
+/// contraction does, then re-expanding with the spectator index. Concretely:
+/// `out[i,j,k] = sum_a lhs[i,j,a] * rhs[a,j,k]` — mode-2 of `lhs` against
+/// mode-0 of `rhs`, with mode-1 a shared spectator (the dilution index).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor3 {
+    n: usize,
+    data: Vec<Complex64>,
+}
+
+impl Tensor3 {
+    /// Zero tensor of mode length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Tensor3 { n, data: vec![Complex64::ZERO; n * n * n] }
+    }
+
+    /// Build from a generator over `(i, j, k)`.
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize, usize) -> Complex64) -> Self {
+        let mut data = Vec::with_capacity(n * n * n);
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    data.push(f(i, j, k));
+                }
+            }
+        }
+        Tensor3 { n, data }
+    }
+
+    /// Mode length `n`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize, k: usize) -> Complex64 {
+        self.data[(i * self.n + j) * self.n + k]
+    }
+
+    /// Mutable element accessor.
+    #[inline]
+    pub fn get_mut(&mut self, i: usize, j: usize, k: usize) -> &mut Complex64 {
+        &mut self.data[(i * self.n + j) * self.n + k]
+    }
+
+    /// Raw storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Spectator-index contraction
+    /// `out[i,j,k] = Σ_a self[i,j,a] · rhs[a,j,k]`.
+    pub fn contract(&self, rhs: &Tensor3) -> Result<Tensor3, TensorError> {
+        if self.n != rhs.n {
+            return Err(TensorError::ShapeMismatch { lhs: (1, self.n), rhs: (1, rhs.n) });
+        }
+        let n = self.n;
+        let mut out = Tensor3::zeros(n);
+        contract_into(&self.data, &rhs.data, &mut out.data, n);
+        Ok(out)
+    }
+
+    /// Full scalar contraction `Σ_{i,j,k} self[i,j,k] · rhs[k,j,i]`
+    /// (final reduction when a graph is down to two baryon nodes).
+    pub fn inner(&self, rhs: &Tensor3) -> Result<Complex64, TensorError> {
+        if self.n != rhs.n {
+            return Err(TensorError::ShapeMismatch { lhs: (1, self.n), rhs: (1, rhs.n) });
+        }
+        let n = self.n;
+        let mut acc = Complex64::ZERO;
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    acc.mul_add_assign(self.get(i, j, k), rhs.get(k, j, i));
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Element-wise maximum absolute difference (for tests).
+    pub fn max_abs_diff(&self, rhs: &Tensor3) -> f64 {
+        assert_eq!(self.n, rhs.n, "max_abs_diff requires equal dims");
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// `out[i,j,k] += Σ_a lhs[i,j,a] · rhs[a,j,k]` for `n×n×n` row-major data.
+/// Shared by [`Tensor3::contract`] and the batched kernels.
+#[inline]
+pub(crate) fn contract_into(lhs: &[Complex64], rhs: &[Complex64], out: &mut [Complex64], n: usize) {
+    debug_assert_eq!(lhs.len(), n * n * n);
+    debug_assert_eq!(rhs.len(), n * n * n);
+    debug_assert_eq!(out.len(), n * n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let lrow = &lhs[(i * n + j) * n..(i * n + j + 1) * n];
+            let orow = &mut out[(i * n + j) * n..(i * n + j + 1) * n];
+            for (a, &l) in lrow.iter().enumerate() {
+                let rrow = &rhs[(a * n + j) * n..(a * n + j + 1) * n];
+                for (o, &r) in orow.iter_mut().zip(rrow) {
+                    o.mul_add_assign(l, r);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tensor that acts as identity under the spectator contraction:
+    /// `delta[i,j,a] = 1 if i == a else 0` gives
+    /// `out[i,j,k] = Σ_a delta[i,j,a] rhs[a,j,k] = rhs[i,j,k]`.
+    fn left_identity(n: usize) -> Tensor3 {
+        Tensor3::from_fn(n, |i, _j, a| {
+            if i == a {
+                Complex64::ONE
+            } else {
+                Complex64::ZERO
+            }
+        })
+    }
+
+    fn sample(n: usize, seed: f64) -> Tensor3 {
+        Tensor3::from_fn(n, |i, j, k| {
+            Complex64::new(
+                seed + (i as f64) * 0.3 - (j as f64) * 0.7 + (k as f64) * 0.11,
+                (i as f64) * 0.05 + (j as f64) * 0.2 - seed * (k as f64) * 0.01,
+            )
+        })
+    }
+
+    #[test]
+    fn left_identity_preserves() {
+        let t = sample(3, 1.5);
+        let id = left_identity(3);
+        let out = id.contract(&t).unwrap();
+        assert!(out.max_abs_diff(&t) < 1e-12);
+    }
+
+    #[test]
+    fn contract_reference_small() {
+        // n = 2 hand-checked: out[0,0,0] = l[0,0,0] r[0,0,0] + l[0,0,1] r[1,0,0]
+        let l = sample(2, 0.5);
+        let r = sample(2, -1.0);
+        let out = l.contract(&r).unwrap();
+        let expect = l.get(0, 0, 0) * r.get(0, 0, 0) + l.get(0, 0, 1) * r.get(1, 0, 0);
+        assert!((out.get(0, 0, 0) - expect).abs() < 1e-12);
+        let expect2 = l.get(1, 1, 0) * r.get(0, 1, 1) + l.get(1, 1, 1) * r.get(1, 1, 1);
+        assert!((out.get(1, 1, 1) - expect2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Tensor3::zeros(2);
+        let b = Tensor3::zeros(3);
+        assert!(a.contract(&b).is_err());
+        assert!(a.inner(&b).is_err());
+    }
+
+    #[test]
+    fn inner_of_zero_is_zero() {
+        let z = Tensor3::zeros(3);
+        let t = sample(3, 2.0);
+        assert_eq!(z.inner(&t).unwrap(), Complex64::ZERO);
+    }
+
+    #[test]
+    fn contraction_is_linear_in_lhs() {
+        let a = sample(3, 0.7);
+        let b = sample(3, -0.4);
+        let r = sample(3, 1.2);
+        // (a + b) ∘ r == a∘r + b∘r
+        let sum = Tensor3::from_fn(3, |i, j, k| a.get(i, j, k) + b.get(i, j, k));
+        let lhs = sum.contract(&r).unwrap();
+        let ar = a.contract(&r).unwrap();
+        let br = b.contract(&r).unwrap();
+        let rhs = Tensor3::from_fn(3, |i, j, k| ar.get(i, j, k) + br.get(i, j, k));
+        assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn frobenius_norm_counts_all_entries() {
+        let t = Tensor3::from_fn(2, |_, _, _| Complex64::ONE);
+        // 8 entries of modulus 1 -> norm sqrt(8)
+        assert!((t.frobenius_norm() - 8.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn get_mut_writes_through() {
+        let mut t = Tensor3::zeros(2);
+        *t.get_mut(1, 0, 1) = Complex64::I;
+        assert_eq!(t.get(1, 0, 1), Complex64::I);
+        assert_eq!(t.get(0, 0, 0), Complex64::ZERO);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests of the tensor kernels' algebraic laws.
+
+use proptest::prelude::*;
+
+use micco_tensor::{BatchedMatrix, BatchedTensor3, Complex64, Matrix, Tensor3};
+
+const EPS: f64 = 1e-9;
+
+fn cpx() -> impl Strategy<Value = Complex64> {
+    (-5.0f64..5.0, -5.0f64..5.0).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+fn matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(cpx(), n * n).prop_map(move |v| {
+        Matrix::from_fn(n, |i, j| v[i * n + j])
+    })
+}
+
+fn tensor3(n: usize) -> impl Strategy<Value = Tensor3> {
+    proptest::collection::vec(cpx(), n * n * n).prop_map(move |v| {
+        Tensor3::from_fn(n, |i, j, k| v[(i * n + j) * n + k])
+    })
+}
+
+fn batched(batch: usize, n: usize) -> impl Strategy<Value = BatchedMatrix> {
+    proptest::collection::vec(cpx(), batch * n * n).prop_map(move |v| {
+        BatchedMatrix::from_fn(batch, n, |b, i, j| v[(b * n + i) * n + j])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn complex_field_laws(a in cpx(), b in cpx(), c in cpx()) {
+        // commutativity and distributivity
+        prop_assert!(((a * b) - (b * a)).abs() < EPS);
+        prop_assert!(((a * (b + c)) - (a * b + a * c)).abs() < 1e-8);
+        // conjugation is an involutive ring hom
+        prop_assert!(((a * b).conj() - a.conj() * b.conj()).abs() < EPS);
+        prop_assert_eq!(a.conj().conj(), a);
+        // |ab| = |a||b|
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn matmul_associative(a in matrix(4), b in matrix(4), c in matrix(4)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.max_abs_diff(&right) < 1e-7);
+    }
+
+    #[test]
+    fn matmul_identity_neutral(a in matrix(5)) {
+        let id = Matrix::identity(5);
+        prop_assert!(a.matmul(&id).unwrap().max_abs_diff(&a) < EPS);
+        prop_assert!(id.matmul(&a).unwrap().max_abs_diff(&a) < EPS);
+    }
+
+    #[test]
+    fn trace_inner_is_trace_of_product(a in matrix(4), b in matrix(4)) {
+        let fast = a.trace_inner(&b).unwrap();
+        let slow = a.matmul(&b).unwrap().trace();
+        prop_assert!((fast - slow).abs() < 1e-8);
+    }
+
+    #[test]
+    fn trace_is_cyclic(a in matrix(3), b in matrix(3)) {
+        // tr(AB) = tr(BA)
+        let ab = a.trace_inner(&b).unwrap();
+        let ba = b.trace_inner(&a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-8);
+    }
+
+    #[test]
+    fn dagger_reverses_products(a in matrix(3), b in matrix(3)) {
+        // (AB)† = B†A†
+        let lhs = a.matmul(&b).unwrap().dagger();
+        let rhs = b.dagger().matmul(&a.dagger()).unwrap();
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-8);
+    }
+
+    #[test]
+    fn tensor3_contraction_bilinear(a in tensor3(3), b in tensor3(3), s in -3.0f64..3.0) {
+        // (s·a) ∘ b == s·(a ∘ b)
+        let sa = Tensor3::from_fn(3, |i, j, k| a.get(i, j, k) * s);
+        let lhs = sa.contract(&b).unwrap();
+        let ab = a.contract(&b).unwrap();
+        let rhs = Tensor3::from_fn(3, |i, j, k| ab.get(i, j, k) * s);
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-7);
+    }
+
+    #[test]
+    fn batched_ops_match_per_element(a in batched(3, 4), b in batched(3, 4)) {
+        let c = a.matmul(&b).unwrap();
+        for bi in 0..3 {
+            let expect = a.element(bi).matmul(&b.element(bi)).unwrap();
+            prop_assert!(c.element(bi).max_abs_diff(&expect) < EPS);
+        }
+        let ti = a.trace_inner(&b).unwrap();
+        let mut sum = Complex64::ZERO;
+        for bi in 0..3 {
+            sum += a.element(bi).trace_inner(&b.element(bi)).unwrap();
+        }
+        prop_assert!((ti - sum).abs() < 1e-7);
+    }
+
+    #[test]
+    fn frobenius_norm_triangle_inequality(a in matrix(4), b in matrix(4)) {
+        let sum = Matrix::from_fn(4, |i, j| a.get(i, j) + b.get(i, j));
+        prop_assert!(sum.frobenius_norm() <= a.frobenius_norm() + b.frobenius_norm() + EPS);
+    }
+
+    #[test]
+    fn batched_t3_inner_symmetric_under_index_reversal(n in 2usize..4) {
+        // inner(a, b) uses b[k,j,i]; the zero tensor annihilates everything
+        let z = BatchedTensor3::zeros(2, n);
+        let t = BatchedTensor3::from_fn(2, n, |b, i, j, k| {
+            Complex64::new((b + i) as f64, (j * k) as f64)
+        });
+        prop_assert_eq!(z.inner(&t).unwrap(), Complex64::ZERO);
+        prop_assert_eq!(t.inner(&z).unwrap(), Complex64::ZERO);
+    }
+}

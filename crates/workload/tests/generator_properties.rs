@@ -1,0 +1,126 @@
+//! Property-based tests of the synthetic workload generator and the
+//! characteristics measurement.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use micco_workload::{
+    from_text, to_text, DataCharacteristics, RepeatDistribution, TensorId, WorkloadSpec,
+};
+
+fn spec() -> impl Strategy<Value = WorkloadSpec> {
+    (1usize..32, 4usize..64, 0.0f64..=1.0, any::<bool>(), 1usize..6, any::<u64>(), 1usize..6)
+        .prop_map(|(vs, dim, rate, gaussian, nv, seed, batch)| {
+            WorkloadSpec::new(vs, dim)
+                .with_repeat_rate(rate)
+                .with_distribution(if gaussian {
+                    RepeatDistribution::Gaussian
+                } else {
+                    RepeatDistribution::Uniform
+                })
+                .with_vectors(nv)
+                .with_seed(seed)
+                .with_batch(batch)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Structural invariants of any generated stream.
+    #[test]
+    fn stream_is_well_formed(spec in spec()) {
+        let s = spec.generate();
+        prop_assert_eq!(s.vectors.len(), spec.num_vectors);
+        let mut task_ids = HashSet::new();
+        let mut out_ids = HashSet::new();
+        for v in &s.vectors {
+            prop_assert_eq!(v.len(), spec.vector_size);
+            for t in &v.tasks {
+                prop_assert!(task_ids.insert(t.id), "task ids unique");
+                prop_assert!(out_ids.insert(t.out.id), "output ids unique");
+                prop_assert!(t.out.id.0 >= 1 << 40, "outputs in their own range");
+                prop_assert!(t.a.id.0 < 1 << 40);
+                prop_assert!(t.b.id.0 < 1 << 40);
+                prop_assert_eq!(t.a.bytes, t.b.bytes);
+                prop_assert!(t.flops > 0);
+            }
+        }
+    }
+
+    /// Generation is a pure function of the spec.
+    #[test]
+    fn generation_deterministic(spec in spec()) {
+        prop_assert_eq!(spec.generate(), spec.generate());
+    }
+
+    /// A rate-zero stream has no repeated input slots at all; a rate-one
+    /// stream repeats every slot after the seed vector.
+    #[test]
+    fn rate_extremes(spec in spec()) {
+        let fresh = spec.clone().with_repeat_rate(0.0).generate();
+        let mut seen = HashSet::new();
+        for v in &fresh.vectors {
+            for t in &v.tasks {
+                prop_assert!(seen.insert(t.a.id) && seen.insert(t.b.id), "rate 0 must be all fresh");
+            }
+        }
+        let full = spec.with_repeat_rate(1.0).generate();
+        let mut pool: HashSet<TensorId> = HashSet::new();
+        for (vi, v) in full.vectors.iter().enumerate() {
+            for t in &v.tasks {
+                for id in [t.a.id, t.b.id] {
+                    if vi > 0 {
+                        prop_assert!(pool.contains(&id), "rate 1 must repeat after the seed vector");
+                    }
+                    pool.insert(id);
+                }
+            }
+        }
+    }
+
+    /// Measured characteristics are within their documented ranges and the
+    /// measured repeat rate of steady-state vectors tracks the spec rate.
+    #[test]
+    fn characteristics_in_range(spec in spec()) {
+        let s = spec.generate();
+        let mut seen = HashSet::new();
+        for v in &s.vectors {
+            let c = DataCharacteristics::measure(v, &mut seen);
+            prop_assert_eq!(c.vector_size, v.len());
+            prop_assert!((0.0..=1.0).contains(&c.repeated_rate));
+            prop_assert!((0.0..=1.0).contains(&c.distribution_bias));
+            prop_assert!(c.tensor_bytes > 0.0);
+            let f = c.features();
+            prop_assert!(f.iter().all(|x| x.is_finite()));
+        }
+    }
+
+    /// The text serialisation round-trips any generated stream exactly.
+    #[test]
+    fn serialization_roundtrips(spec in spec()) {
+        let stream = spec.generate();
+        let text = to_text(&stream);
+        let back = from_text(&text).expect("own output must parse");
+        prop_assert_eq!(stream, back);
+    }
+
+    /// Working-set accounting: unique bytes never exceed the naive total
+    /// and never fall below one vector's share.
+    #[test]
+    fn unique_bytes_bounds(spec in spec()) {
+        let s = spec.generate();
+        let naive: u64 = s
+            .vectors
+            .iter()
+            .flat_map(|v| v.tasks.iter())
+            .map(|t| t.a.bytes + t.b.bytes + t.out.bytes)
+            .sum();
+        prop_assert!(s.unique_bytes() <= naive);
+        prop_assert!(s.peak_vector_bytes() <= s.unique_bytes());
+        for v in &s.vectors {
+            prop_assert!(v.unique_bytes() <= s.unique_bytes());
+        }
+    }
+}

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure plus the extension experiments.
+# Outputs: stdout transcripts in results/*.txt, CSV series in results/*.csv.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p results
+
+PAPER_BINS=(
+  fig5_spearman
+  tab4_regression
+  tab5_overhead
+  fig7_overall
+  fig8_bounds
+  fig9_scalability
+  fig10_tensor_size
+  fig11_oversub
+  tab6_redstar
+)
+EXT_BINS=(
+  baselines_matrix
+  ext_async_copy
+  ext_cluster
+  ext_contention
+  ext_job
+  ext_planner
+  ext_reordering
+)
+
+echo "== building =="
+cargo build --release -p micco-bench
+
+for b in "${PAPER_BINS[@]}" "${EXT_BINS[@]}"; do
+  echo "== $b =="
+  cargo run --release -q -p micco-bench --bin "$b" | tee "results/$b.txt"
+done
+
+echo "== criterion micro/ablation benches =="
+cargo bench -p micco-bench
+
+echo "done; see results/ and target/criterion/"

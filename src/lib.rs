@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # micco
+//!
+//! Facade crate for the MICCO reproduction: a data-reuse-aware multi-GPU
+//! scheduling framework for many-body correlation functions (Wang, Ren,
+//! Chen, Edwards — IPDPS 2022), rebuilt as a pure-Rust system with a
+//! discrete-event multi-GPU simulator as the device substrate.
+//!
+//! Re-exports every subsystem under one roof:
+//!
+//! * [`tensor`] — batched complex tensor kernels (the "hipBLAS" substrate)
+//! * [`graph`] — contraction graphs and dependency-analysis staging
+//! * [`gpusim`] — the simulated multi-GPU machine (memory, transfers, timing)
+//! * [`sched`] — the MICCO scheduler, reuse patterns/bounds, and baselines
+//! * [`ml`] — from-scratch regression models (random forest & friends)
+//! * [`workload`] — synthetic workload generators from the evaluation
+//! * [`redstar`] — the Redstar-like correlation-function front end
+//! * [`cluster`] — the multi-node extension (the paper's future work)
+//! * [`exec`] — multi-threaded CPU execution engine (real kernels)
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use micco::prelude::*;
+//!
+//! // a synthetic stream of tensor-pair vectors, as in the paper's Fig. 7
+//! let spec = WorkloadSpec::new(16, 384)
+//!     .with_repeat_rate(0.5)
+//!     .with_distribution(RepeatDistribution::Uniform)
+//!     .with_vectors(4)
+//!     .with_seed(7);
+//! let workload = spec.generate();
+//!
+//! // an 8-GPU machine and the MICCO scheduler with fixed reuse bounds
+//! let machine = MachineConfig::mi100_like(8);
+//! let report = run_schedule(
+//!     &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+//!     &workload,
+//!     &machine,
+//! )
+//! .expect("workload fits the machine");
+//! assert!(report.gflops() > 0.0);
+//! ```
+
+pub use micco_cluster as cluster;
+pub use micco_exec as exec;
+pub use micco_core as sched;
+pub use micco_gpusim as gpusim;
+pub use micco_graph as graph;
+pub use micco_ml as ml;
+pub use micco_redstar as redstar;
+pub use micco_tensor as tensor;
+pub use micco_workload as workload;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use micco_core::{
+        run_schedule, Assignment, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler,
+        ScheduleReport, Scheduler,
+    };
+    pub use micco_gpusim::{CostModel, MachineConfig, MachineState, SimMachine};
+    pub use micco_workload::{RepeatDistribution, TensorPairStream, Vector, WorkloadSpec};
+}
