@@ -26,7 +26,9 @@ fn group<'a>(
     name: &str,
 ) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group(name);
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
     g
 }
 
@@ -52,8 +54,8 @@ fn bench_eviction_policy(c: &mut Criterion) {
                 b.iter(|| {
                     let mut machine = micco_gpusim::SimMachine::new(*cfg).with_oracle(&stream);
                     let mut s = MiccoScheduler::new(ReuseBounds::new(0, 2, 0));
-                    let r = micco_core::driver::run_schedule_on(&mut s, &stream, &mut machine)
-                        .unwrap();
+                    let r =
+                        micco_core::driver::run_schedule_on(&mut s, &stream, &mut machine).unwrap();
                     black_box(r.elapsed_secs())
                 });
             },
@@ -90,8 +92,10 @@ fn bench_d2d_source_charge(c: &mut Criterion) {
     let stream = reference_stream();
     let mut g = group(c, "ablation/d2d_source_charge");
     for (name, charge) in [("charged", true), ("free", false)] {
-        let cfg = MachineConfig::mi100_like(8)
-            .with_cost(CostModel { d2d_charges_source: charge, ..CostModel::mi100_like() });
+        let cfg = MachineConfig::mi100_like(8).with_cost(CostModel {
+            d2d_charges_source: charge,
+            ..CostModel::mi100_like()
+        });
         g.bench_function(name, |b| {
             b.iter(|| {
                 let mut s = MiccoScheduler::new(ReuseBounds::new(0, 2, 0));

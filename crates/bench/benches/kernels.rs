@@ -14,7 +14,9 @@ use micco_tensor::{
 
 fn bench_batched_matmul(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/batched_matmul");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for &dim in &[64usize, 128] {
         let batch = 4;
         let a = BatchedMatrix::from_fn(batch, dim, |b, i, j| {
@@ -23,7 +25,11 @@ fn bench_batched_matmul(c: &mut Criterion) {
         let bm = BatchedMatrix::from_fn(batch, dim, |b, i, j| {
             Complex64::new(j as f64 * 0.02, (b + i) as f64 * 0.005)
         });
-        g.throughput(Throughput::Elements(contraction_flops(ContractionKind::Meson, batch, dim)));
+        g.throughput(Throughput::Elements(contraction_flops(
+            ContractionKind::Meson,
+            batch,
+            dim,
+        )));
         g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bch, _| {
             bch.iter(|| black_box(a.matmul(&bm).unwrap()));
         });
@@ -33,7 +39,9 @@ fn bench_batched_matmul(c: &mut Criterion) {
 
 fn bench_tensor3_contract(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/tensor3_contract");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for &dim in &[16usize, 32] {
         let batch = 4;
         let a = BatchedTensor3::from_fn(batch, dim, |b, i, j, k| {
@@ -42,7 +50,11 @@ fn bench_tensor3_contract(c: &mut Criterion) {
         let t = BatchedTensor3::from_fn(batch, dim, |b, i, j, k| {
             Complex64::new(k as f64 * 0.02, (b + i + j) as f64 * 0.004)
         });
-        g.throughput(Throughput::Elements(contraction_flops(ContractionKind::Baryon, batch, dim)));
+        g.throughput(Throughput::Elements(contraction_flops(
+            ContractionKind::Baryon,
+            batch,
+            dim,
+        )));
         g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bch, _| {
             bch.iter(|| black_box(a.contract(&t).unwrap()));
         });
@@ -52,7 +64,9 @@ fn bench_tensor3_contract(c: &mut Criterion) {
 
 fn bench_trace_inner(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/trace_inner");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     let a = BatchedMatrix::identity(8, 128);
     let b = BatchedMatrix::identity(8, 128);
     g.bench_function("dim128_batch8", |bch| {
@@ -66,7 +80,9 @@ fn bench_trace_inner(c: &mut Criterion) {
 /// asserted by unit tests — so only time differs).
 fn bench_gemm_blocking(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels/gemm_blocking");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_secs(1));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(1));
     for &n in &[128usize, 384] {
         let a = Matrix::from_fn(n, |i, j| Complex64::new(i as f64 * 0.01, j as f64 * 0.02));
         let b = Matrix::from_fn(n, |i, j| Complex64::new(j as f64 * 0.03, i as f64 * 0.01));

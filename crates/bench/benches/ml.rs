@@ -19,13 +19,18 @@ fn synthetic(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
             ]
         })
         .collect();
-    let y: Vec<f64> = x.iter().map(|r| r[0] * 2.0 + (r[2] * 6.0).floor() + r[3]).collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| r[0] * 2.0 + (r[2] * 6.0).floor() + r[3])
+        .collect();
     (x, y)
 }
 
 fn bench_ml(c: &mut Criterion) {
     let mut g = c.benchmark_group("ml");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
 
     let (x, y) = synthetic(300);
     let mut forest = RandomForestRegressor::paper_default(1);

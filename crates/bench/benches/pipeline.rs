@@ -11,7 +11,9 @@ use micco_redstar::{al_rhopi, build_correlator, enumerate_diagrams, f0d2, Preset
 
 fn bench_pipeline(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
-    g.sample_size(10).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(900));
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(900));
 
     g.bench_function("wick_enumerate_6_hadrons", |b| {
         let ops: Vec<_> = (0..6)

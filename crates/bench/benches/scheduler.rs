@@ -14,7 +14,9 @@ use micco_workload::{RepeatDistribution, WorkloadSpec};
 
 fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
     let mut g = c.benchmark_group("scheduler");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
     g
 }
 
@@ -29,9 +31,16 @@ fn bench_assign_throughput(c: &mut Criterion) {
     let cfg = MachineConfig::mi100_like(8);
     let mut group = quick(c);
     for (name, mk) in [
-        ("micco", Box::new(|| Box::new(MiccoScheduler::new(ReuseBounds::new(0, 2, 0))) as Box<dyn Scheduler>)
-            as Box<dyn Fn() -> Box<dyn Scheduler>>),
-        ("groute", Box::new(|| Box::new(GrouteScheduler::new()) as Box<dyn Scheduler>)),
+        (
+            "micco",
+            Box::new(|| {
+                Box::new(MiccoScheduler::new(ReuseBounds::new(0, 2, 0))) as Box<dyn Scheduler>
+            }) as Box<dyn Fn() -> Box<dyn Scheduler>>,
+        ),
+        (
+            "groute",
+            Box::new(|| Box::new(GrouteScheduler::new()) as Box<dyn Scheduler>),
+        ),
     ] {
         group.bench_function(BenchmarkId::new("assign_vector64", name), |b| {
             b.iter(|| {
@@ -53,7 +62,10 @@ fn bench_assign_throughput(c: &mut Criterion) {
 }
 
 fn bench_pattern_classification(c: &mut Criterion) {
-    let stream = WorkloadSpec::new(64, 384).with_repeat_rate(0.9).with_vectors(2).generate();
+    let stream = WorkloadSpec::new(64, 384)
+        .with_repeat_rate(0.9)
+        .with_vectors(2)
+        .generate();
     let cfg = MachineConfig::mi100_like(8);
     let mut machine = SimMachine::new(cfg);
     // warm residency
@@ -73,5 +85,9 @@ fn bench_pattern_classification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_assign_throughput, bench_pattern_classification);
+criterion_group!(
+    benches,
+    bench_assign_throughput,
+    bench_pattern_classification
+);
 criterion_main!(benches);

@@ -14,16 +14,27 @@ const MB: u64 = 1 << 20;
 fn task(i: u64, mod_tensors: u64, bytes: u64) -> ContractionTask {
     ContractionTask {
         id: TaskId(i),
-        a: TensorDesc { id: TensorId(i % mod_tensors), bytes },
-        b: TensorDesc { id: TensorId((i * 7 + 3) % mod_tensors), bytes },
-        out: TensorDesc { id: TensorId(1_000_000 + i), bytes },
+        a: TensorDesc {
+            id: TensorId(i % mod_tensors),
+            bytes,
+        },
+        b: TensorDesc {
+            id: TensorId((i * 7 + 3) % mod_tensors),
+            bytes,
+        },
+        out: TensorDesc {
+            id: TensorId(1_000_000 + i),
+            bytes,
+        },
         flops: 1_000_000,
     }
 }
 
 fn bench_execute(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
-    g.sample_size(20).warm_up_time(Duration::from_millis(200)).measurement_time(Duration::from_millis(800));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
 
     g.bench_function("execute_1k_tasks_roomy", |b| {
         b.iter(|| {
@@ -54,7 +65,8 @@ fn bench_execute(c: &mut Criterion) {
     g.bench_function("holders_lookup", |b| {
         let mut m = SimMachine::new(MachineConfig::mi100_like(8));
         for i in 0..512u64 {
-            m.execute(&task(i, 256, MB), GpuId((i % 8) as usize)).unwrap();
+            m.execute(&task(i, 256, MB), GpuId((i % 8) as usize))
+                .unwrap();
         }
         b.iter(|| {
             use micco_gpusim::MachineView;

@@ -7,7 +7,9 @@
 //! MICCO fixed (0,2,0), MICCO unbounded (pure data-centric, Fig. 2 case ①).
 
 use micco_bench::{distributions, run, standard_stream, DEFAULT_GPUS, DEFAULT_TENSOR_SIZE};
-use micco_core::{CodaScheduler, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler, Scheduler};
+use micco_core::{
+    CodaScheduler, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler, Scheduler,
+};
 use micco_gpusim::MachineConfig;
 
 fn contenders() -> Vec<Box<dyn Scheduler>> {
@@ -23,7 +25,9 @@ fn contenders() -> Vec<Box<dyn Scheduler>> {
 
 fn main() {
     let cfg = MachineConfig::mi100_like(DEFAULT_GPUS);
-    println!("# Scheduler Matrix (GFLOPS; vector 64, tensor {DEFAULT_TENSOR_SIZE}, {DEFAULT_GPUS} GPUs)");
+    println!(
+        "# Scheduler Matrix (GFLOPS; vector 64, tensor {DEFAULT_TENSOR_SIZE}, {DEFAULT_GPUS} GPUs)"
+    );
     for (dist, dist_name) in distributions() {
         println!("\n## {dist_name}");
         let headers: Vec<String> = std::iter::once("rate".to_owned())

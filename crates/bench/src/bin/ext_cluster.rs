@@ -42,8 +42,8 @@ fn main() {
     let mut rows = Vec::new();
     for (nodes, gpus) in [(1usize, 8usize), (2, 4), (4, 2)] {
         let cfg = ClusterConfig::mi100_cluster(nodes, gpus);
-        let flat = run_cluster_schedule(&mut FlatClusterScheduler::new(), &stream, &cfg)
-            .expect("fits");
+        let flat =
+            run_cluster_schedule(&mut FlatClusterScheduler::new(), &stream, &cfg).expect("fits");
         let mut hier = HierarchicalScheduler::new(nodes, 16, ReuseBounds::new(0, 2, 0));
         let h = run_cluster_schedule(&mut hier, &stream, &cfg).expect("fits");
         rows.push(vec![

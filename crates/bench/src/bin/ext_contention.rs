@@ -25,7 +25,11 @@ fn main() {
             };
             let cfg = MachineConfig::mi100_like(DEFAULT_GPUS).with_cost(cost);
             let groute = run(&mut GrouteScheduler::new(), &stream, &cfg);
-            let micco = run(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream, &cfg);
+            let micco = run(
+                &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+                &stream,
+                &cfg,
+            );
             rows.push(vec![
                 label.to_owned(),
                 format!("{:.0}", groute.gflops),

@@ -53,7 +53,13 @@ fn main() {
     print!(
         "{}",
         markdown_table(
-            &["program", "unique steps", "MICCO time (ms)", "mapping (1) share", "mean mem-ops"],
+            &[
+                "program",
+                "unique steps",
+                "MICCO time (ms)",
+                "mapping (1) share",
+                "mean mem-ops"
+            ],
             &rows
         )
     );

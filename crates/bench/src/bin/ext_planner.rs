@@ -23,14 +23,24 @@ fn main() {
         let shared = build_correlator_shared(&spec);
         let time = |p: &micco_redstar::CorrelatorProgram| {
             let mut s = MiccoScheduler::new(ReuseBounds::new(0, 2, 0));
-            run_schedule(&mut s, &p.stream, &cfg).expect("fits").elapsed_secs()
+            run_schedule(&mut s, &p.stream, &cfg)
+                .expect("fits")
+                .elapsed_secs()
         };
         let ti = time(&isolated);
         let ts = time(&shared);
         rows.push(vec![
             spec.name.clone(),
-            format!("{} ({:.1}%)", isolated.unique_steps, isolated.cse_savings() * 100.0),
-            format!("{} ({:.1}%)", shared.unique_steps, shared.cse_savings() * 100.0),
+            format!(
+                "{} ({:.1}%)",
+                isolated.unique_steps,
+                isolated.cse_savings() * 100.0
+            ),
+            format!(
+                "{} ({:.1}%)",
+                shared.unique_steps,
+                shared.cse_savings() * 100.0
+            ),
             format!("{:.2}x", ti / ts),
         ]);
     }

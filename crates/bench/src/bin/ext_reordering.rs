@@ -6,7 +6,9 @@
 //! pressure where an evicted tensor cannot be reused later. This binary
 //! quantifies the effect for MICCO at several oversubscription levels.
 
-use micco_bench::{distributions, markdown_table, run, standard_stream, DEFAULT_GPUS, DEFAULT_TENSOR_SIZE};
+use micco_bench::{
+    distributions, markdown_table, run, standard_stream, DEFAULT_GPUS, DEFAULT_TENSOR_SIZE,
+};
 use micco_core::{reorder_stream, reuse_clustered_order, MiccoScheduler, ReuseBounds};
 use micco_gpusim::MachineConfig;
 
@@ -35,7 +37,11 @@ fn main() {
                 &cfg,
             );
             rows.push(vec![
-                if oversub > 0.0 { format!("{:.0}%", oversub * 100.0) } else { "none".into() },
+                if oversub > 0.0 {
+                    format!("{:.0}%", oversub * 100.0)
+                } else {
+                    "none".into()
+                },
                 format!("{:.0}", base.gflops),
                 format!("{:.0}", reord.gflops),
                 format!("{:.2}x", base.elapsed_secs / reord.elapsed_secs),
@@ -44,7 +50,12 @@ fn main() {
         print!(
             "{}",
             markdown_table(
-                &["oversubscription", "front-end order", "clustered order", "gain"],
+                &[
+                    "oversubscription",
+                    "front-end order",
+                    "clustered order",
+                    "gain"
+                ],
                 &rows
             )
         );

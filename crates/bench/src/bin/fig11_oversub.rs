@@ -9,14 +9,16 @@
 //! geomean speedups 1.4× (Gaussian) and 1.2× (Uniform).
 
 use micco_bench::{
-    distributions, geomean, run, standard_stream, tuned_fixed_micco,
-    DEFAULT_GPUS, DEFAULT_TENSOR_SIZE,
+    distributions, geomean, run, standard_stream, tuned_fixed_micco, DEFAULT_GPUS,
+    DEFAULT_TENSOR_SIZE,
 };
 use micco_core::GrouteScheduler;
 use micco_gpusim::MachineConfig;
 
 fn main() {
-    println!("# Fig. 11 — Memory Oversubscription (vector 64, tensor {DEFAULT_TENSOR_SIZE}, rate 50%)");
+    println!(
+        "# Fig. 11 — Memory Oversubscription (vector 64, tensor {DEFAULT_TENSOR_SIZE}, rate 50%)"
+    );
     for (dist, dist_name) in distributions() {
         println!("\n## {dist_name}");
         let mut rows = Vec::new();
@@ -53,7 +55,11 @@ fn main() {
             "{dist_name}: MICCO GFLOPS falls {first_gf:.0} → {last_gf:.0} as pressure grows; \
              geomean speedup {:.2}x (paper: {}), max {:.2}x (paper: up to 1.9x)",
             geomean(&speedups),
-            if dist_name == "Uniform" { "1.2x" } else { "1.4x" },
+            if dist_name == "Uniform" {
+                "1.2x"
+            } else {
+                "1.4x"
+            },
             speedups.iter().copied().fold(0.0, f64::max),
         );
     }

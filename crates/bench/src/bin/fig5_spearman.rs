@@ -17,13 +17,23 @@ use micco_ml::spearman_matrix;
 
 fn main() {
     let machine = MachineConfig::mi100_like(8);
-    let tc = TrainingConfig { samples: 200, seed: 0x5EA, ..TrainingConfig::default() };
+    let tc = TrainingConfig {
+        samples: 200,
+        seed: 0x5EA,
+        ..TrainingConfig::default()
+    };
     eprintln!("# labelling {} samples by grid search…", tc.samples);
     let samples = build_training_set(&tc, &machine);
 
     // Columns in the paper's ordering.
     let names = [
-        "DataDist", "VectorSize", "RepeatRate", "TensorSize", "bound_1", "bound_2", "bound_3",
+        "DataDist",
+        "VectorSize",
+        "RepeatRate",
+        "TensorSize",
+        "bound_1",
+        "bound_2",
+        "bound_3",
         "GFLOPS",
     ];
     let columns: Vec<Vec<f64>> = vec![
@@ -38,7 +48,10 @@ fn main() {
     ];
     let m = spearman_matrix(&columns);
 
-    println!("# Fig. 5 — Spearman correlation heatmap ({} samples)", samples.len());
+    println!(
+        "# Fig. 5 — Spearman correlation heatmap ({} samples)",
+        samples.len()
+    );
     print!("{:>11}", "");
     for n in names {
         print!("{n:>11}");
@@ -59,7 +72,11 @@ fn main() {
         let rho = m[i][gflops];
         println!(
             "  ρ({n}, GFLOPS) = {rho:+.2} {}",
-            if rho > 0.0 { "(positive, as reported)" } else { "(paper reports positive)" }
+            if rho > 0.0 {
+                "(positive, as reported)"
+            } else {
+                "(paper reports positive)"
+            }
         );
     }
 }

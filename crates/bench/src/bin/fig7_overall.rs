@@ -9,8 +9,7 @@
 //! 1.65× (Gaussian); MICCO-optimal up to 1.89× over MICCO-naive.
 
 use micco_bench::{
-    distributions, geomean, run, standard_stream, trained_model, DEFAULT_GPUS,
-    DEFAULT_TENSOR_SIZE,
+    distributions, geomean, run, standard_stream, trained_model, DEFAULT_GPUS, DEFAULT_TENSOR_SIZE,
 };
 use micco_core::{GrouteScheduler, MiccoScheduler};
 use micco_gpusim::MachineConfig;
@@ -34,8 +33,11 @@ fn main() {
                 let stream = standard_stream(vs, DEFAULT_TENSOR_SIZE, rate, dist, 11);
                 let groute = run(&mut GrouteScheduler::new(), &stream, &cfg);
                 let naive = run(&mut MiccoScheduler::naive(), &stream, &cfg);
-                let opt =
-                    run(&mut MiccoScheduler::with_provider(model.clone()), &stream, &cfg);
+                let opt = run(
+                    &mut MiccoScheduler::with_provider(model.clone()),
+                    &stream,
+                    &cfg,
+                );
                 let speedup = groute.elapsed_secs / opt.elapsed_secs;
                 speedups.push(speedup);
                 naive_ratio.push(naive.elapsed_secs / opt.elapsed_secs);
@@ -49,7 +51,13 @@ fn main() {
             }
             micco_bench::report::emit(
                 &format!("fig7_{}_v{vs}", dist_name.to_lowercase()),
-                &["repeated rate", "Groute", "MICCO-naive", "MICCO-optimal", "speedup*"],
+                &[
+                    "repeated rate",
+                    "Groute",
+                    "MICCO-naive",
+                    "MICCO-optimal",
+                    "speedup*",
+                ],
                 &rows,
             );
         }

@@ -36,7 +36,12 @@ fn main() {
         }
         micco_bench::report::emit(
             &format!("fig8_{}", dist_name.to_lowercase()),
-            &["bounds", "case(1) v64 r50%", "case(2) v16 r25%", "case(3) v32 r75%"],
+            &[
+                "bounds",
+                "case(1) v64 r50%",
+                "case(2) v16 r25%",
+                "case(3) v32 r75%",
+            ],
             &rows,
         );
         for (i, &(_, vs, rate)) in cases.iter().enumerate() {

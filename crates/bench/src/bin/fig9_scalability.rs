@@ -8,9 +8,7 @@
 //! make full data reuse harder); the speedup widens with more GPUs (1.18×
 //! at 2 GPUs → 1.68× at 8).
 
-use micco_bench::{
-    distributions, run, standard_stream, tuned_fixed_micco, DEFAULT_TENSOR_SIZE,
-};
+use micco_bench::{distributions, run, standard_stream, tuned_fixed_micco, DEFAULT_TENSOR_SIZE};
 use micco_core::GrouteScheduler;
 use micco_gpusim::MachineConfig;
 

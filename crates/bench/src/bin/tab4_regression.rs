@@ -8,7 +8,6 @@
 //! Paper reference: 0.57 / 0.91 / 0.95 — the relation is non-linear, which
 //! is why MICCO ships a random forest.
 
-
 use micco_core::tuner::{build_training_set, TrainingConfig};
 use micco_gpusim::MachineConfig;
 use micco_ml::{
@@ -18,8 +17,14 @@ use micco_ml::{
 
 fn main() {
     let machine = MachineConfig::mi100_like(8);
-    let tc = TrainingConfig { seeds_per_sample: 12, ..TrainingConfig::default() };
-    eprintln!("# labelling {} samples by grid search (27 settings each)…", tc.samples);
+    let tc = TrainingConfig {
+        seeds_per_sample: 12,
+        ..TrainingConfig::default()
+    };
+    eprintln!(
+        "# labelling {} samples by grid search (27 settings each)…",
+        tc.samples
+    );
     let samples = build_training_set(&tc, &machine);
 
     // One dataset per bound output.
@@ -67,7 +72,12 @@ fn main() {
     println!("# Table IV — R² Score of Regression Models (300 samples, 20% test)");
     micco_bench::report::emit(
         "tab4_regression",
-        &["output", "Linear Regression", "Gradient Boosting", "RandomForest"],
+        &[
+            "output",
+            "Linear Regression",
+            "Gradient Boosting",
+            "RandomForest",
+        ],
         &rows,
     );
     println!("\nPaper: 0.57 / 0.91 / 0.95. The reproduction claim is the *ordering*");

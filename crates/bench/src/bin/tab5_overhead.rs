@@ -10,8 +10,7 @@
 //! overhead is a vanishing fraction of execution time.
 
 use micco_bench::{
-    distributions, standard_stream, trained_model, DEFAULT_GPUS,
-    DEFAULT_TENSOR_SIZE,
+    distributions, standard_stream, trained_model, DEFAULT_GPUS, DEFAULT_TENSOR_SIZE,
 };
 use micco_core::{run_schedule, MiccoScheduler};
 use micco_gpusim::MachineConfig;
@@ -38,7 +37,12 @@ fn main() {
     }
     micco_bench::report::emit(
         "tab5_overhead",
-        &["Distribution", "Scheduling Overhead (ms)", "Total Time (ms)", "fraction"],
+        &[
+            "Distribution",
+            "Scheduling Overhead (ms)",
+            "Total Time (ms)",
+            "fraction",
+        ],
         &rows,
     );
     println!("\nPaper: Uniform 8.27 / 4925.73 ms, Gaussian 8.52 / 1550.88 ms — the");

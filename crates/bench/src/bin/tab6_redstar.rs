@@ -10,7 +10,6 @@
 //! cross-diagram sharing) at reproduction scale; the claim under test is
 //! that MICCO's gains carry from synthetic streams to Redstar-shaped ones.
 
-
 use micco_core::{run_schedule, GrouteScheduler, MiccoScheduler, ReuseBounds};
 use micco_gpusim::MachineConfig;
 use micco_redstar::{al_rhopi, build_correlator, f0d2, f0d4, PresetScale};
@@ -20,8 +19,9 @@ fn main() {
     println!("# Table VI — Real Many-body Correlation Functions (8 GPUs, 16 time slices)");
     let mut rows = Vec::new();
     let paper = [("al_rhopi", 1.49), ("f0d2", 1.41), ("f0d4", 1.36)];
-    for (build, (pname, pspeed)) in
-        [al_rhopi as fn(PresetScale) -> _, f0d2, f0d4].iter().zip(paper)
+    for (build, (pname, pspeed)) in [al_rhopi as fn(PresetScale) -> _, f0d2, f0d4]
+        .iter()
+        .zip(paper)
     {
         let spec = build(PresetScale::Paper);
         eprintln!("# building {} (this enumerates every diagram)…", spec.name);
@@ -29,8 +29,8 @@ fn main() {
         // Size memory to the per-vector peak so the large correlators run
         // under pressure, as the paper's 4.6 TB jobs do on 8×32 GB.
         let cfg_run = cfg.with_oversubscription(program.stream.peak_vector_bytes() * 2, 1.0);
-        let groute = run_schedule(&mut GrouteScheduler::new(), &program.stream, &cfg_run)
-            .expect("fits");
+        let groute =
+            run_schedule(&mut GrouteScheduler::new(), &program.stream, &cfg_run).expect("fits");
         // MICCO with the small-bounds setting that Fig. 8 favours; real
         // Redstar deployments would use the regression model identically.
         let mut micco = MiccoScheduler::new(ReuseBounds::new(0, 2, 0));
@@ -39,7 +39,10 @@ fn main() {
         rows.push(vec![
             spec.name.clone(),
             spec.tensor_dim.to_string(),
-            format!("{:.2} GiB", program.working_set_bytes as f64 / (1u64 << 30) as f64),
+            format!(
+                "{:.2} GiB",
+                program.working_set_bytes as f64 / (1u64 << 30) as f64
+            ),
             format!("{}", program.graph_count),
             format!("{:.1}%", program.cse_savings() * 100.0),
             format!("{speedup:.2}x"),

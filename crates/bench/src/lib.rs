@@ -90,7 +90,11 @@ pub fn run(s: &mut dyn Scheduler, stream: &TensorPairStream, cfg: &MachineConfig
 /// `samples = 300` reproduces Table IV's setup exactly; figure binaries may
 /// use fewer for faster start-up.
 pub fn trained_model(samples: usize, machine: &MachineConfig, seed: u64) -> RegressionBounds {
-    let tc = TrainingConfig { samples, seed, ..TrainingConfig::default() };
+    let tc = TrainingConfig {
+        samples,
+        seed,
+        ..TrainingConfig::default()
+    };
     let training = build_training_set(&tc, machine);
     RegressionBounds::train(&training, seed)
 }
@@ -134,7 +138,10 @@ pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 
 /// Both repeated-data distributions with their paper names.
 pub fn distributions() -> [(RepeatDistribution, &'static str); 2] {
-    [(RepeatDistribution::Uniform, "Uniform"), (RepeatDistribution::Gaussian, "Gaussian")]
+    [
+        (RepeatDistribution::Uniform, "Uniform"),
+        (RepeatDistribution::Gaussian, "Gaussian"),
+    ]
 }
 
 #[cfg(test)]

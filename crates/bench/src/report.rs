@@ -25,10 +25,21 @@ fn csv_field(s: &str) -> String {
 /// Render rows as CSV text.
 pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&headers.iter().map(|h| csv_field(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| csv_field(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
-        out.push_str(&row.iter().map(|f| csv_field(f)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &row.iter()
+                .map(|f| csv_field(f))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
     }
     out
@@ -45,7 +56,9 @@ pub fn emit(name: &str, headers: &[&str], rows: &[Vec<String>]) {
         return;
     }
     let path = dir.join(format!("{name}.csv"));
-    match std::fs::File::create(&path).and_then(|mut f| f.write_all(to_csv(headers, rows).as_bytes())) {
+    match std::fs::File::create(&path)
+        .and_then(|mut f| f.write_all(to_csv(headers, rows).as_bytes()))
+    {
         Ok(()) => eprintln!("# wrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
@@ -63,7 +76,10 @@ mod tests {
 
     #[test]
     fn csv_quoting() {
-        let csv = to_csv(&["x"], &[vec!["has,comma".into()], vec!["has\"quote".into()]]);
+        let csv = to_csv(
+            &["x"],
+            &[vec!["has,comma".into()], vec!["has\"quote".into()]],
+        );
         assert!(csv.contains("\"has,comma\""));
         assert!(csv.contains("\"has\"\"quote\""));
     }

@@ -30,7 +30,11 @@ pub enum ArgError {
 impl std::fmt::Display for ArgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ArgError::BadValue { key, value, expected } => {
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
                 write!(f, "--{key}: cannot parse '{value}' as {expected}")
             }
             ArgError::UnexpectedPositional(p) => write!(f, "unexpected argument '{p}'"),
@@ -53,7 +57,8 @@ impl Args {
             if let Some(key) = tok.strip_prefix("--") {
                 let takes_value = it.peek().map(|n| !n.starts_with("--")).unwrap_or(false);
                 if takes_value {
-                    args.options.insert(key.to_owned(), it.next().expect("peeked"));
+                    args.options
+                        .insert(key.to_owned(), it.next().expect("peeked"));
                 } else {
                     args.flags.push(key.to_owned());
                 }
@@ -157,7 +162,10 @@ mod tests {
     #[test]
     fn list_parsing() {
         let a = parse("sweep --values 1,2,3").unwrap();
-        assert_eq!(a.parse_list_or("values", vec![9usize]).unwrap(), vec![1, 2, 3]);
+        assert_eq!(
+            a.parse_list_or("values", vec![9usize]).unwrap(),
+            vec![1, 2, 3]
+        );
         assert_eq!(a.parse_list_or("other", vec![9usize]).unwrap(), vec![9]);
         let bad = parse("sweep --values 1,x").unwrap();
         assert!(bad.parse_list_or::<usize>("values", vec![]).is_err());
@@ -165,7 +173,10 @@ mod tests {
 
     #[test]
     fn unexpected_positional_rejected() {
-        assert!(matches!(parse("run stray"), Err(ArgError::UnexpectedPositional(_))));
+        assert!(matches!(
+            parse("run stray"),
+            Err(ArgError::UnexpectedPositional(_))
+        ));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use micco_core::{
     run_schedule, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler,
     ScheduleReport, Scheduler,
 };
-use micco_exec::{execute_stream, TensorShape};
+use micco_exec::{execute_stream_opts, ExecOptions, TensorShape};
 use micco_gpusim::{CostModel, MachineConfig, SimMachine};
 use micco_redstar::{al_rhopi, build_correlator, f0d2, f0d4, kk_pipi, nucleon_pipi, PresetScale};
 use micco_workload::{DataCharacteristics, RepeatDistribution, TensorPairStream, WorkloadSpec};
@@ -24,7 +24,8 @@ commands:
   synthetic   run one scheduler on a synthetic workload
               --vector-size N --tensor-size N --rate F --dist uniform|gaussian|zipf
               --vectors N --gpus N --seed N --scheduler micco|groute|rr
-              --bounds A,B,C --oversub F --async-copy --mappings
+              --bounds A,B,C --oversub F --overlap (alias --async-copy)
+              --prefetch-tasks K --mappings
   redstar     run a Table VI correlator preset
               --preset al_rhopi|f0d2|f0d4|nucleon_pipi|kk_pipi --scale paper|ci --gpus N
   sweep       compare MICCO vs Groute across one parameter
@@ -37,6 +38,7 @@ commands:
               (same options as synthetic, plus --mappings)
   exec        actually compute a synthetic workload on worker threads
               --vector-size N --tensor-size N --batch N --workers N --seed N
+              --steal (reuse-aware work stealing) --prefetch (warm operands)
   trace       run a workload and write a chrome://tracing JSON
               --out FILE plus the synthetic options
   info        print the default cost model and platform assumptions
@@ -69,7 +71,9 @@ fn parse_dist(s: &str) -> Result<RepeatDistribution, String> {
         "uniform" => Ok(RepeatDistribution::Uniform),
         "gaussian" => Ok(RepeatDistribution::Gaussian),
         "zipf" => Ok(RepeatDistribution::Zipf),
-        other => Err(format!("unknown distribution '{other}' (uniform|gaussian|zipf)")),
+        other => Err(format!(
+            "unknown distribution '{other}' (uniform|gaussian|zipf)"
+        )),
     }
 }
 
@@ -89,15 +93,25 @@ fn build_scheduler(args: &Args) -> Result<Box<dyn Scheduler>, String> {
         "micco-naive" => Ok(Box::new(MiccoScheduler::naive())),
         "groute" => Ok(Box::new(GrouteScheduler::new())),
         "rr" | "round-robin" => Ok(Box::new(RoundRobinScheduler::new())),
-        other => Err(format!("unknown scheduler '{other}' (micco|micco-naive|groute|rr)")),
+        other => Err(format!(
+            "unknown scheduler '{other}' (micco|micco-naive|groute|rr)"
+        )),
     }
 }
 
 fn machine_for(args: &Args, stream: &TensorPairStream) -> Result<MachineConfig, String> {
     let gpus: usize = args.parse_or("gpus", 8).map_err(|e| e.to_string())?;
     let mut cfg = MachineConfig::mi100_like(gpus);
-    if args.flag("async-copy") {
-        cfg = cfg.with_cost(CostModel::mi100_like().with_async_copy());
+    // `--overlap` is the pipelined-execution spelling; `--async-copy` is
+    // kept as the original alias
+    if args.flag("async-copy") || args.flag("overlap") {
+        cfg = cfg.with_cost(cfg.cost.with_async_copy());
+    }
+    let prefetch: usize = args
+        .parse_or("prefetch-tasks", 0)
+        .map_err(|e| e.to_string())?;
+    if prefetch > 0 {
+        cfg = cfg.with_cost(cfg.cost.with_prefetch_tasks(prefetch));
     }
     let oversub: f64 = args.parse_or("oversub", 0.0).map_err(|e| e.to_string())?;
     if oversub > 0.0 {
@@ -132,8 +146,10 @@ fn synthetic_stream(args: &Args) -> Result<TensorPairStream, String> {
         return micco_workload::from_text(&text).map_err(|e| e.to_string());
     }
     let mut spec = WorkloadSpec::new(
-        args.parse_or("vector-size", 64).map_err(|e| e.to_string())?,
-        args.parse_or("tensor-size", 384).map_err(|e| e.to_string())?,
+        args.parse_or("vector-size", 64)
+            .map_err(|e| e.to_string())?,
+        args.parse_or("tensor-size", 384)
+            .map_err(|e| e.to_string())?,
     )
     .with_repeat_rate(args.parse_or("rate", 0.5).map_err(|e| e.to_string())?)
     .with_distribution(parse_dist(&args.str_or("dist", "uniform"))?)
@@ -143,7 +159,11 @@ fn synthetic_stream(args: &Args) -> Result<TensorPairStream, String> {
     if let Some(dims) = args.get("dims") {
         let dims: Vec<usize> = dims
             .split(',')
-            .map(|d| d.trim().parse().map_err(|_| format!("bad --dims entry '{d}'")))
+            .map(|d| {
+                d.trim()
+                    .parse()
+                    .map_err(|_| format!("bad --dims entry '{d}'"))
+            })
             .collect::<Result<_, _>>()?;
         spec = spec.with_dim_choices(dims);
     }
@@ -192,7 +212,11 @@ fn redstar(args: &Args) -> Result<(), String> {
         "f0d4" => f0d4(scale),
         "nucleon_pipi" => nucleon_pipi(scale),
         "kk_pipi" => kk_pipi(scale),
-        other => return Err(format!("unknown preset '{other}' (al_rhopi|f0d2|f0d4|nucleon_pipi|kk_pipi)")),
+        other => {
+            return Err(format!(
+                "unknown preset '{other}' (al_rhopi|f0d2|f0d4|nucleon_pipi|kk_pipi)"
+            ))
+        }
     };
     println!("building correlator {}…", spec.name);
     let program = build_correlator(&spec);
@@ -206,8 +230,8 @@ fn redstar(args: &Args) -> Result<(), String> {
         program.working_set_bytes as f64 / (1u64 << 30) as f64,
     );
     let cfg = machine_for(args, &program.stream)?;
-    let groute =
-        run_schedule(&mut GrouteScheduler::new(), &program.stream, &cfg).map_err(|e| e.to_string())?;
+    let groute = run_schedule(&mut GrouteScheduler::new(), &program.stream, &cfg)
+        .map_err(|e| e.to_string())?;
     let mut micco = MiccoScheduler::new(parse_bounds(args)?);
     let m = run_schedule(&mut micco, &program.stream, &cfg).map_err(|e| e.to_string())?;
     print_report(&groute);
@@ -234,9 +258,14 @@ fn sweep(args: &Args) -> Result<(), String> {
         )
         .map_err(|e| e.to_string())?;
 
-    println!("{:<12} {:>12} {:>12} {:>10}", param, "Groute GF", "MICCO GF", "speedup");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        param, "Groute GF", "MICCO GF", "speedup"
+    );
     for v in values {
-        let mut spec = WorkloadSpec::new(64, 384).with_repeat_rate(0.5).with_vectors(8);
+        let mut spec = WorkloadSpec::new(64, 384)
+            .with_repeat_rate(0.5)
+            .with_vectors(8);
         let mut cfg = MachineConfig::mi100_like(gpus);
         match param.as_str() {
             "rate" => spec = spec.with_repeat_rate(v),
@@ -268,7 +297,11 @@ fn sweep(args: &Args) -> Result<(), String> {
 fn train(args: &Args) -> Result<(), String> {
     let samples: usize = args.parse_or("samples", 40).map_err(|e| e.to_string())?;
     let seed: u64 = args.parse_or("seed", 7).map_err(|e| e.to_string())?;
-    let tc = TrainingConfig { samples, seed, ..TrainingConfig::default() };
+    let tc = TrainingConfig {
+        samples,
+        seed,
+        ..TrainingConfig::default()
+    };
     println!("labelling {samples} samples by bound sweeps (deterministic)…");
     let set = build_training_set(&tc, &MachineConfig::mi100_like(8));
     let model = RegressionBounds::train(&set, seed);
@@ -282,7 +315,12 @@ fn train(args: &Args) -> Result<(), String> {
                 repeated_rate: rate,
                 distribution_bias: bias,
             };
-            println!("{:<8} {:<8} {:>12}", rate, bias, model.predict(&c).to_string());
+            println!(
+                "{:<8} {:<8} {:>12}",
+                rate,
+                bias,
+                model.predict(&c).to_string()
+            );
         }
     }
     Ok(())
@@ -290,7 +328,9 @@ fn train(args: &Args) -> Result<(), String> {
 
 fn cluster(args: &Args) -> Result<(), String> {
     let nodes: usize = args.parse_or("nodes", 2).map_err(|e| e.to_string())?;
-    let gpus: usize = args.parse_or("gpus-per-node", 4).map_err(|e| e.to_string())?;
+    let gpus: usize = args
+        .parse_or("gpus-per-node", 4)
+        .map_err(|e| e.to_string())?;
     let vectors: usize = args.parse_or("vectors", 8).map_err(|e| e.to_string())?;
     let stream = WorkloadSpec::new(64, 384)
         .with_repeat_rate(0.5)
@@ -312,7 +352,10 @@ fn cluster(args: &Args) -> Result<(), String> {
             r.inter_bytes as f64 / (1 << 20) as f64
         );
     }
-    println!("hierarchical speedup: {:.2}x", flat.elapsed_secs / h.elapsed_secs);
+    println!(
+        "hierarchical speedup: {:.2}x",
+        flat.elapsed_secs / h.elapsed_secs
+    );
     Ok(())
 }
 
@@ -336,7 +379,12 @@ fn compare(args: &Args) -> Result<(), String> {
             }
             Some(b) => b / r.elapsed_secs(),
         };
-        print!("{:<24} {:>9.0} GFLOPS  {:>7.2}x vs rr", r.scheduler, r.gflops(), speedup);
+        print!(
+            "{:<24} {:>9.0} GFLOPS  {:>7.2}x vs rr",
+            r.scheduler,
+            r.gflops(),
+            speedup
+        );
         if args.flag("mappings") {
             let hist = micco_core::mapping_histogram(&stream, &r.assignments, &cfg);
             print!("  | {hist}");
@@ -348,10 +396,13 @@ fn compare(args: &Args) -> Result<(), String> {
 
 fn exec(args: &Args) -> Result<(), String> {
     let batch: usize = args.parse_or("batch", 4).map_err(|e| e.to_string())?;
-    let dim: usize = args.parse_or("tensor-size", 96).map_err(|e| e.to_string())?;
+    let dim: usize = args
+        .parse_or("tensor-size", 96)
+        .map_err(|e| e.to_string())?;
     let workers: usize = args.parse_or("workers", 4).map_err(|e| e.to_string())?;
     let stream = WorkloadSpec::new(
-        args.parse_or("vector-size", 16).map_err(|e| e.to_string())?,
+        args.parse_or("vector-size", 16)
+            .map_err(|e| e.to_string())?,
         dim,
     )
     .with_batch(batch)
@@ -362,12 +413,20 @@ fn exec(args: &Args) -> Result<(), String> {
     let cfg = MachineConfig::mi100_like(workers);
     let mut sched = build_scheduler(args)?;
     let report = run_schedule(sched.as_mut(), &stream, &cfg).map_err(|e| e.to_string())?;
-    let out = execute_stream(
+    let mut opts = ExecOptions::default();
+    if args.flag("steal") {
+        opts = opts.with_steal();
+    }
+    if args.flag("prefetch") {
+        opts = opts.with_prefetch();
+    }
+    let out = execute_stream_opts(
         &stream,
         &report.assignments,
         workers,
         TensorShape { batch, dim },
         args.parse_or("seed", 0).map_err(|e| e.to_string())?,
+        opts,
     );
     println!(
         "{}: computed {} kernels on {workers} threads in {:.1} ms (simulated {:.3} ms)",
@@ -376,7 +435,13 @@ fn exec(args: &Args) -> Result<(), String> {
         out.wall_secs * 1e3,
         report.elapsed_secs() * 1e3
     );
-    println!("tasks per worker: {:?}", out.per_worker_tasks);
+    println!("tasks per worker (assigned): {:?}", out.per_worker_tasks);
+    if opts.steal {
+        println!(
+            "tasks per worker (executed): {:?} ({} stolen)",
+            out.per_worker_executed, out.steals
+        );
+    }
     println!("checksum: {}", out.checksum);
     Ok(())
 }
@@ -404,11 +469,26 @@ fn trace(args: &Args) -> Result<(), String> {
 fn info() {
     let c = CostModel::mi100_like();
     println!("MICCO reproduction — simulated platform defaults");
-    println!("  device throughput : {:.0} GFLOP/s (batched complex GEMM)", c.device_gflops);
-    println!("  host→device       : {:.0} GiB/s + {:.0} µs latency", c.h2d_gib_s, c.transfer_latency_us);
-    println!("  device→device     : {:.0} GiB/s (+source charge: {})", c.d2d_gib_s, c.d2d_charges_source);
-    println!("  alloc / evict     : {:.0} µs / {:.0} µs (+write-back for intermediates)", c.alloc_latency_us, c.evict_latency_us);
-    println!("  async copy        : {} (enable with --async-copy)", c.async_copy);
+    println!(
+        "  device throughput : {:.0} GFLOP/s (batched complex GEMM)",
+        c.device_gflops
+    );
+    println!(
+        "  host→device       : {:.0} GiB/s + {:.0} µs latency",
+        c.h2d_gib_s, c.transfer_latency_us
+    );
+    println!(
+        "  device→device     : {:.0} GiB/s (+source charge: {})",
+        c.d2d_gib_s, c.d2d_charges_source
+    );
+    println!(
+        "  alloc / evict     : {:.0} µs / {:.0} µs (+write-back for intermediates)",
+        c.alloc_latency_us, c.evict_latency_us
+    );
+    println!(
+        "  async copy        : {} (enable with --async-copy)",
+        c.async_copy
+    );
     println!("  device memory     : 32 GiB per GPU (MI100-like)");
     println!("  eviction policy   : LRU (FIFO / largest-first available)");
     println!();
@@ -442,6 +522,12 @@ mod tests {
     #[test]
     fn synthetic_oversub_and_async() {
         run("synthetic --vector-size 8 --tensor-size 64 --vectors 2 --gpus 2 --oversub 1.5 --async-copy")
+            .unwrap();
+    }
+
+    #[test]
+    fn synthetic_overlap_and_prefetch_window() {
+        run("synthetic --vector-size 8 --tensor-size 64 --vectors 2 --gpus 2 --overlap --prefetch-tasks 2")
             .unwrap();
     }
 
@@ -483,6 +569,12 @@ mod tests {
     #[test]
     fn exec_runs_small() {
         run("exec --vector-size 4 --tensor-size 16 --vectors 2 --workers 2").unwrap();
+    }
+
+    #[test]
+    fn exec_with_stealing_and_prefetch() {
+        run("exec --vector-size 4 --tensor-size 16 --vectors 2 --workers 2 --steal --prefetch")
+            .unwrap();
     }
 
     #[test]

@@ -134,7 +134,9 @@ impl SimCluster {
     pub fn new(config: ClusterConfig) -> Self {
         SimCluster {
             config,
-            machines: (0..config.nodes).map(|_| SimMachine::new(config.node)).collect(),
+            machines: (0..config.nodes)
+                .map(|_| SimMachine::new(config.node))
+                .collect(),
             intermediates: HashSet::new(),
             inter_transfers: 0,
             inter_bytes: 0,
@@ -242,7 +244,9 @@ impl ClusterView for SimCluster {
 
     fn node_stage_busy(&self, n: NodeId) -> f64 {
         let m = &self.machines[n.0];
-        (0..m.num_gpus()).map(|g| m.stage_busy_secs(GpuId(g))).fold(0.0, f64::max)
+        (0..m.num_gpus())
+            .map(|g| m.stage_busy_secs(GpuId(g)))
+            .fold(0.0, f64::max)
     }
 }
 
@@ -256,9 +260,18 @@ mod tests {
     fn task(id: u64, a: u64, b: u64, out: u64) -> ContractionTask {
         ContractionTask {
             id: TaskId(id),
-            a: TensorDesc { id: TensorId(a), bytes: MB },
-            b: TensorDesc { id: TensorId(b), bytes: MB },
-            out: TensorDesc { id: TensorId(out), bytes: MB },
+            a: TensorDesc {
+                id: TensorId(a),
+                bytes: MB,
+            },
+            b: TensorDesc {
+                id: TensorId(b),
+                bytes: MB,
+            },
+            out: TensorDesc {
+                id: TensorId(out),
+                bytes: MB,
+            },
             flops: 1_000_000_000,
         }
     }
@@ -289,11 +302,13 @@ mod tests {
         c.execute(&task(0, 1, 2, 100), NodeId(0), GpuId(0)).unwrap();
         c.barrier();
         // consume the intermediate 100 on the other node
-        c.execute(&task(1, 100, 3, 101), NodeId(1), GpuId(0)).unwrap();
+        c.execute(&task(1, 100, 3, 101), NodeId(1), GpuId(0))
+            .unwrap();
         assert_eq!(c.inter_transfers(), 1);
         assert_eq!(c.inter_bytes, MB);
         // consuming it again on node 1 is now local
-        c.execute(&task(2, 100, 4, 102), NodeId(1), GpuId(0)).unwrap();
+        c.execute(&task(2, 100, 4, 102), NodeId(1), GpuId(0))
+            .unwrap();
         assert_eq!(c.inter_transfers(), 1);
     }
 
@@ -301,7 +316,8 @@ mod tests {
     fn consuming_intermediate_locally_is_free_of_network() {
         let mut c = cluster(2, 1);
         c.execute(&task(0, 1, 2, 100), NodeId(0), GpuId(0)).unwrap();
-        c.execute(&task(1, 100, 3, 101), NodeId(0), GpuId(0)).unwrap();
+        c.execute(&task(1, 100, 3, 101), NodeId(0), GpuId(0))
+            .unwrap();
         assert_eq!(c.inter_transfers(), 0);
     }
 

@@ -29,4 +29,6 @@ pub mod cluster;
 pub mod hierarchical;
 
 pub use cluster::{ClusterConfig, ClusterReport, ClusterView, NodeId, SimCluster};
-pub use hierarchical::{run_cluster_schedule, ClusterScheduler, FlatClusterScheduler, HierarchicalScheduler};
+pub use hierarchical::{
+    run_cluster_schedule, ClusterScheduler, FlatClusterScheduler, HierarchicalScheduler,
+};

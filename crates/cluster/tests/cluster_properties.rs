@@ -10,7 +10,14 @@ use micco_core::ReuseBounds;
 use micco_workload::{RepeatDistribution, TensorPairStream, WorkloadSpec};
 
 fn spec() -> impl Strategy<Value = WorkloadSpec> {
-    (2usize..16, 16usize..64, 0.0f64..=1.0, any::<bool>(), 1usize..4, any::<u64>())
+    (
+        2usize..16,
+        16usize..64,
+        0.0f64..=1.0,
+        any::<bool>(),
+        1usize..4,
+        any::<u64>(),
+    )
         .prop_map(|(vs, dim, rate, gaussian, nv, seed)| {
             WorkloadSpec::new(vs, dim)
                 .with_repeat_rate(rate)

@@ -120,20 +120,33 @@ mod tests {
 
     #[test]
     fn groute_balances_busy_time() {
-        let stream = WorkloadSpec::new(32, 128).with_repeat_rate(0.0).with_vectors(2).generate();
-        let r =
-            run_schedule(&mut GrouteScheduler::new(), &stream, &MachineConfig::mi100_like(4))
-                .unwrap();
+        let stream = WorkloadSpec::new(32, 128)
+            .with_repeat_rate(0.0)
+            .with_vectors(2)
+            .generate();
+        let r = run_schedule(
+            &mut GrouteScheduler::new(),
+            &stream,
+            &MachineConfig::mi100_like(4),
+        )
+        .unwrap();
         // with homogeneous tasks and no reuse, busy times should be near equal
-        assert!(r.stats.imbalance() < 1.1, "imbalance {}", r.stats.imbalance());
+        assert!(
+            r.stats.imbalance() < 1.1,
+            "imbalance {}",
+            r.stats.imbalance()
+        );
     }
 
     #[test]
     fn groute_uses_all_devices() {
         let stream = WorkloadSpec::new(16, 64).with_vectors(1).generate();
-        let r =
-            run_schedule(&mut GrouteScheduler::new(), &stream, &MachineConfig::mi100_like(8))
-                .unwrap();
+        let r = run_schedule(
+            &mut GrouteScheduler::new(),
+            &stream,
+            &MachineConfig::mi100_like(8),
+        )
+        .unwrap();
         let mut used: Vec<usize> = r.assignments.iter().map(|a| a.gpu.0).collect();
         used.sort_unstable();
         used.dedup();
@@ -164,7 +177,10 @@ mod tests {
     fn coda_placement_is_static() {
         // the same tensor pair always lands on the same device, across
         // vectors and machine states
-        let stream = WorkloadSpec::new(8, 64).with_repeat_rate(0.9).with_vectors(3).generate();
+        let stream = WorkloadSpec::new(8, 64)
+            .with_repeat_rate(0.9)
+            .with_vectors(3)
+            .generate();
         let cfg = MachineConfig::mi100_like(4);
         let r1 = run_schedule(&mut CodaScheduler::new(), &stream, &cfg).unwrap();
         let r2 = run_schedule(&mut CodaScheduler::new(), &stream, &cfg).unwrap();
@@ -172,7 +188,12 @@ mod tests {
         // tasks sharing the same larger operand land together
         use std::collections::HashMap;
         let mut by_operand: HashMap<u64, Vec<usize>> = HashMap::new();
-        for (v, a) in stream.vectors.iter().flat_map(|v| &v.tasks).zip(&r1.assignments) {
+        for (v, a) in stream
+            .vectors
+            .iter()
+            .flat_map(|v| &v.tasks)
+            .zip(&r1.assignments)
+        {
             by_operand.entry(v.a.id.0).or_default().push(a.gpu.0);
         }
         for (_, gpus) in by_operand {
@@ -183,7 +204,10 @@ mod tests {
     #[test]
     fn coda_repeats_colocate_and_reuse() {
         // with heavy reuse, CODA gets reuse hits (its whole selling point)
-        let stream = WorkloadSpec::new(32, 128).with_repeat_rate(0.9).with_vectors(4).generate();
+        let stream = WorkloadSpec::new(32, 128)
+            .with_repeat_rate(0.9)
+            .with_vectors(4)
+            .generate();
         let cfg = MachineConfig::mi100_like(4);
         let coda = run_schedule(&mut CodaScheduler::new(), &stream, &cfg).unwrap();
         assert!(coda.stats.total_reuse_hits() > 0);

@@ -23,7 +23,9 @@ pub struct ReuseBounds {
 impl ReuseBounds {
     /// Build from the three per-class bounds.
     pub const fn new(same: usize, one: usize, new: usize) -> Self {
-        ReuseBounds { bounds: [same, one, new] }
+        ReuseBounds {
+            bounds: [same, one, new],
+        }
     }
 
     /// All-zero bounds — the *MICCO-naive* configuration of the evaluation

@@ -107,6 +107,42 @@ impl std::fmt::Display for ScheduleReport {
     }
 }
 
+/// Execution-engine options applied on top of a [`MachineConfig`] —
+/// what the CLI's `--overlap`/`--prefetch-tasks` flags carry into the
+/// simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriverOptions {
+    /// Enable the asynchronous copy engine (copy/compute overlap).
+    pub overlap: bool,
+    /// Staging-buffer depth bounding DMA lookahead (`0` = unbounded;
+    /// only meaningful with `overlap`).
+    pub prefetch_tasks: usize,
+}
+
+impl DriverOptions {
+    /// Options with copy/compute overlap enabled.
+    pub fn with_overlap(mut self) -> Self {
+        self.overlap = true;
+        self
+    }
+
+    /// Options with a staging window of `k` tasks.
+    pub fn with_prefetch_tasks(mut self, k: usize) -> Self {
+        self.prefetch_tasks = k;
+        self
+    }
+
+    /// `config` with these options applied to its cost model.
+    pub fn apply(&self, config: &MachineConfig) -> MachineConfig {
+        let mut cfg = *config;
+        if self.overlap {
+            cfg.cost.async_copy = true;
+        }
+        cfg.cost.prefetch_tasks = self.prefetch_tasks;
+        cfg
+    }
+}
+
 /// Run `scheduler` over `stream` on a fresh machine built from `config`.
 pub fn run_schedule(
     scheduler: &mut dyn Scheduler,
@@ -115,6 +151,36 @@ pub fn run_schedule(
 ) -> Result<ScheduleReport, ScheduleError> {
     let mut machine = SimMachine::new(*config);
     run_schedule_on(scheduler, stream, &mut machine)
+}
+
+/// [`run_schedule`] with [`DriverOptions`] layered onto the machine's cost
+/// model — the entry point for overlap experiments.
+///
+/// # Examples
+///
+/// ```
+/// use micco_core::{run_schedule_with, DriverOptions, RoundRobinScheduler};
+/// use micco_gpusim::MachineConfig;
+/// use micco_workload::WorkloadSpec;
+///
+/// let stream = WorkloadSpec::new(8, 64).with_vectors(2).generate();
+/// let cfg = MachineConfig::mi100_like(2);
+/// let sync = run_schedule_with(
+///     &mut RoundRobinScheduler::new(), &stream, &cfg, DriverOptions::default(),
+/// ).unwrap();
+/// let overlapped = run_schedule_with(
+///     &mut RoundRobinScheduler::new(), &stream, &cfg, DriverOptions::default().with_overlap(),
+/// ).unwrap();
+/// // overlapping copies with compute never slows the simulated run down
+/// assert!(overlapped.elapsed_secs() <= sync.elapsed_secs());
+/// ```
+pub fn run_schedule_with(
+    scheduler: &mut dyn Scheduler,
+    stream: &TensorPairStream,
+    config: &MachineConfig,
+    options: DriverOptions,
+) -> Result<ScheduleReport, ScheduleError> {
+    run_schedule(scheduler, stream, &options.apply(config))
 }
 
 /// Run `scheduler` over `stream` on an existing machine (lets callers enable
@@ -134,7 +200,10 @@ pub fn run_schedule_on(
             overhead += t0.elapsed().as_secs_f64();
             machine
                 .execute(task, gpu)
-                .map_err(|source| ScheduleError::Exec { task: task.id, source })?;
+                .map_err(|source| ScheduleError::Exec {
+                    task: task.id,
+                    source,
+                })?;
             assignments.push(Assignment { task: task.id, gpu });
         }
         machine.barrier();
@@ -155,7 +224,10 @@ mod tests {
 
     #[test]
     fn round_robin_runs_and_reports() {
-        let stream = WorkloadSpec::new(8, 64).with_vectors(3).with_seed(1).generate();
+        let stream = WorkloadSpec::new(8, 64)
+            .with_vectors(3)
+            .with_seed(1)
+            .generate();
         let mut s = RoundRobinScheduler::new();
         let report = run_schedule(&mut s, &stream, &MachineConfig::mi100_like(4)).unwrap();
         assert_eq!(report.assignments.len(), stream.total_tasks());
@@ -209,6 +281,43 @@ mod tests {
         assert_eq!(r.summary(), r.to_string());
         assert!(r.summary().contains("round-robin"));
         assert!(r.summary().contains("GFLOPS"));
+    }
+
+    #[test]
+    fn driver_options_apply_to_cost_model() {
+        let cfg = MachineConfig::mi100_like(2);
+        let applied = DriverOptions::default()
+            .with_overlap()
+            .with_prefetch_tasks(2)
+            .apply(&cfg);
+        assert!(applied.cost.async_copy);
+        assert_eq!(applied.cost.prefetch_tasks, 2);
+        // defaults leave the config untouched
+        assert_eq!(DriverOptions::default().apply(&cfg), cfg);
+    }
+
+    #[test]
+    fn overlap_run_matches_async_config_and_keeps_assignments_comparable() {
+        let stream = WorkloadSpec::new(8, 64)
+            .with_vectors(2)
+            .with_seed(4)
+            .generate();
+        let cfg = MachineConfig::mi100_like(2);
+        let via_options = run_schedule_with(
+            &mut RoundRobinScheduler::new(),
+            &stream,
+            &cfg,
+            DriverOptions::default().with_overlap(),
+        )
+        .unwrap();
+        let via_cost = run_schedule(
+            &mut RoundRobinScheduler::new(),
+            &stream,
+            &cfg.with_cost(cfg.cost.with_async_copy()),
+        )
+        .unwrap();
+        assert_eq!(via_options.stats, via_cost.stats);
+        assert_eq!(via_options.assignments, via_cost.assignments);
     }
 
     #[test]

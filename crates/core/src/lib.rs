@@ -44,7 +44,10 @@ pub mod tuner;
 
 pub use baselines::{CodaScheduler, GrouteScheduler, RoundRobinScheduler};
 pub use bounds::{BoundsProvider, FixedBounds, ReuseBounds};
-pub use driver::{run_schedule, Assignment, ScheduleError, ScheduleReport, Scheduler};
+pub use driver::{
+    run_schedule, run_schedule_with, Assignment, DriverOptions, ScheduleError, ScheduleReport,
+    Scheduler,
+};
 pub use mapping::{mapping_histogram, Mapping, MappingHistogram};
 pub use micco::MiccoScheduler;
 pub use model::RegressionBounds;

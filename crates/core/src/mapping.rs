@@ -143,7 +143,8 @@ impl MappingHistogram {
         if self.total() == 0 {
             return 0.0;
         }
-        let ops: u64 = self.counts[1] + self.counts[2]
+        let ops: u64 = self.counts[1]
+            + self.counts[2]
             + 2 * (self.counts[3] + self.counts[4] + self.counts[5] + self.counts[6]);
         ops as f64 / self.total() as f64
     }
@@ -180,7 +181,9 @@ pub fn mapping_histogram(
         for task in &vector.tasks {
             let gpu = assignments[idx].gpu;
             hist.record(Mapping::classify(task, gpu, &machine));
-            machine.execute(task, gpu).expect("assignments came from a successful run");
+            machine
+                .execute(task, gpu)
+                .expect("assignments came from a successful run");
             idx += 1;
         }
         machine.barrier();
@@ -199,9 +202,18 @@ mod tests {
     fn task(a: u64, b: u64, out: u64) -> ContractionTask {
         ContractionTask {
             id: TaskId(out),
-            a: TensorDesc { id: TensorId(a), bytes: 1 << 20 },
-            b: TensorDesc { id: TensorId(b), bytes: 1 << 20 },
-            out: TensorDesc { id: TensorId(out), bytes: 1 << 20 },
+            a: TensorDesc {
+                id: TensorId(a),
+                bytes: 1 << 20,
+            },
+            b: TensorDesc {
+                id: TensorId(b),
+                bytes: 1 << 20,
+            },
+            out: TensorDesc {
+                id: TensorId(out),
+                bytes: 1 << 20,
+            },
             flops: 1,
         }
     }
@@ -251,11 +263,17 @@ mod tests {
 
     #[test]
     fn micco_shifts_mass_towards_mapping_one() {
-        let stream = WorkloadSpec::new(64, 128).with_repeat_rate(0.8).with_vectors(5).generate();
+        let stream = WorkloadSpec::new(64, 128)
+            .with_repeat_rate(0.8)
+            .with_vectors(5)
+            .generate();
         let cfg = MachineConfig::mi100_like(4);
-        let micco =
-            run_schedule(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream, &cfg)
-                .unwrap();
+        let micco = run_schedule(
+            &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+            &stream,
+            &cfg,
+        )
+        .unwrap();
         let groute = run_schedule(&mut GrouteScheduler::new(), &stream, &cfg).unwrap();
         let hm = mapping_histogram(&stream, &micco.assignments, &cfg);
         let hg = mapping_histogram(&stream, &groute.assignments, &cfg);

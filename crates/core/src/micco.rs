@@ -100,7 +100,12 @@ impl<P: BoundsProvider> MiccoScheduler<P> {
 
     /// Alg. 2: pick from the candidate queue, toggling between the
     /// computation-centric and memory-eviction-sensitive policies.
-    fn select(&mut self, candidates: &[GpuId], task: &ContractionTask, view: &dyn MachineView) -> GpuId {
+    fn select(
+        &mut self,
+        candidates: &[GpuId],
+        task: &ContractionTask,
+        view: &dyn MachineView,
+    ) -> GpuId {
         debug_assert!(!candidates.is_empty());
         let evict_risk = candidates.iter().any(|g| view.would_evict(*g, task));
         // (primary, secondary) sort key per candidate. The computation-
@@ -158,9 +163,7 @@ impl<P: BoundsProvider> Scheduler for MiccoScheduler<P> {
         }
 
         // Step II (mappings (2)/(3)): devices holding one operand.
-        if candidates.is_empty()
-            && (!class.holders_a.is_empty() || !class.holders_b.is_empty())
-        {
+        if candidates.is_empty() && (!class.holders_a.is_empty() || !class.holders_b.is_empty()) {
             for &g in class.holders_a.iter().chain(&class.holders_b) {
                 if self.state.available(g, bounds.get(1)) && !candidates.contains(&g) {
                     candidates.push(g);
@@ -201,9 +204,18 @@ mod tests {
     fn task(a: u64, b: u64, out: u64) -> ContractionTask {
         ContractionTask {
             id: TaskId(out),
-            a: TensorDesc { id: TensorId(a), bytes: MB },
-            b: TensorDesc { id: TensorId(b), bytes: MB },
-            out: TensorDesc { id: TensorId(out), bytes: MB },
+            a: TensorDesc {
+                id: TensorId(a),
+                bytes: MB,
+            },
+            b: TensorDesc {
+                id: TensorId(b),
+                bytes: MB,
+            },
+            out: TensorDesc {
+                id: TensorId(out),
+                bytes: MB,
+            },
             flops: 1_000_000,
         }
     }
@@ -298,7 +310,10 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let stream = WorkloadSpec::new(32, 128).with_repeat_rate(0.7).with_vectors(4).generate();
+        let stream = WorkloadSpec::new(32, 128)
+            .with_repeat_rate(0.7)
+            .with_vectors(4)
+            .generate();
         let cfg = MachineConfig::mi100_like(4);
         let run = |seed| {
             let mut s = MiccoScheduler::new(ReuseBounds::new(0, 2, 0)).with_seed(seed);
@@ -316,9 +331,12 @@ mod tests {
             .with_seed(3)
             .generate();
         let cfg = MachineConfig::mi100_like(8);
-        let micco =
-            run_schedule(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream, &cfg)
-                .unwrap();
+        let micco = run_schedule(
+            &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+            &stream,
+            &cfg,
+        )
+        .unwrap();
         let groute = run_schedule(&mut GrouteScheduler::new(), &stream, &cfg).unwrap();
         let speedup = micco.speedup_over(&groute);
         assert!(
@@ -339,7 +357,10 @@ mod tests {
     fn progress_under_pathological_bounds() {
         // bounds 0 with balance 1: every device saturates instantly, the
         // least-loaded fallback must still assign every pair
-        let stream = WorkloadSpec::new(16, 64).with_repeat_rate(1.0).with_vectors(2).generate();
+        let stream = WorkloadSpec::new(16, 64)
+            .with_repeat_rate(1.0)
+            .with_vectors(2)
+            .generate();
         let cfg = MachineConfig::mi100_like(2);
         let r = run_schedule(&mut MiccoScheduler::naive(), &stream, &cfg).unwrap();
         assert_eq!(r.assignments.len(), stream.total_tasks());
@@ -415,8 +436,10 @@ mod tests {
         // pass must classify as TwoRepeatedSame and stay on the same GPU
         let mut m = SimMachine::new(MachineConfig::mi100_like(4));
         m.enable_trace();
-        let stream =
-            TensorPairStream::new(vec![vector_of(vec![task(1, 2, 100)]), vector_of(vec![task(1, 2, 101)])]);
+        let stream = TensorPairStream::new(vec![
+            vector_of(vec![task(1, 2, 100)]),
+            vector_of(vec![task(1, 2, 101)]),
+        ]);
         let mut s = MiccoScheduler::new(ReuseBounds::new(2, 2, 2));
         let r = run_schedule_on(&mut s, &stream, &mut m).unwrap();
         assert_eq!(r.assignments[0].gpu, r.assignments[1].gpu);

@@ -65,7 +65,11 @@ mod tests {
     use super::*;
 
     fn sample(features: [f64; 4], bounds: [usize; 3]) -> TuneSample {
-        TuneSample { features, bounds, gflops: 1.0 }
+        TuneSample {
+            features,
+            bounds,
+            gflops: 1.0,
+        }
     }
 
     fn characteristics(features: [f64; 4]) -> DataCharacteristics {

@@ -66,8 +66,11 @@ pub struct ClassifiedPair {
 pub fn classify(task: &ContractionTask, view: &dyn MachineView) -> ClassifiedPair {
     let holders_a = view.holders(task.a.id);
     let holders_b = view.holders(task.b.id);
-    let holders_both: Vec<GpuId> =
-        holders_a.iter().copied().filter(|g| holders_b.contains(g)).collect();
+    let holders_both: Vec<GpuId> = holders_a
+        .iter()
+        .copied()
+        .filter(|g| holders_b.contains(g))
+        .collect();
     let pattern = if !holders_both.is_empty() {
         LocalReusePattern::TwoRepeatedSame
     } else if !holders_a.is_empty() && !holders_b.is_empty() {
@@ -77,7 +80,12 @@ pub fn classify(task: &ContractionTask, view: &dyn MachineView) -> ClassifiedPai
     } else {
         LocalReusePattern::TwoNew
     };
-    ClassifiedPair { pattern, holders_a, holders_b, holders_both }
+    ClassifiedPair {
+        pattern,
+        holders_a,
+        holders_b,
+        holders_both,
+    }
 }
 
 #[cfg(test)]
@@ -89,9 +97,18 @@ mod tests {
     fn task(a: u64, b: u64, out: u64) -> ContractionTask {
         ContractionTask {
             id: TaskId(out),
-            a: TensorDesc { id: TensorId(a), bytes: 100 },
-            b: TensorDesc { id: TensorId(b), bytes: 100 },
-            out: TensorDesc { id: TensorId(out), bytes: 100 },
+            a: TensorDesc {
+                id: TensorId(a),
+                bytes: 100,
+            },
+            b: TensorDesc {
+                id: TensorId(b),
+                bytes: 100,
+            },
+            out: TensorDesc {
+                id: TensorId(out),
+                bytes: 100,
+            },
             flops: 1,
         }
     }
@@ -165,7 +182,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(LocalReusePattern::TwoRepeatedSame.to_string(), "TwoRepeatedSame");
+        assert_eq!(
+            LocalReusePattern::TwoRepeatedSame.to_string(),
+            "TwoRepeatedSame"
+        );
         assert_eq!(LocalReusePattern::TwoNew.to_string(), "TwoNew");
     }
 }

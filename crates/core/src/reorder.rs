@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn order_is_a_permutation() {
-        let stream = WorkloadSpec::new(32, 64).with_repeat_rate(0.7).with_vectors(3).generate();
+        let stream = WorkloadSpec::new(32, 64)
+            .with_repeat_rate(0.7)
+            .with_vectors(3)
+            .generate();
         for v in &stream.vectors {
             let mut order = reuse_clustered_order(v);
             order.sort_unstable();
@@ -139,7 +142,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let stream = WorkloadSpec::new(64, 64).with_repeat_rate(0.8).with_vectors(2).generate();
+        let stream = WorkloadSpec::new(64, 64)
+            .with_repeat_rate(0.8)
+            .with_vectors(2)
+            .generate();
         for v in &stream.vectors {
             assert_eq!(reuse_clustered_order(v), reuse_clustered_order(v));
         }
@@ -147,7 +153,10 @@ mod tests {
 
     #[test]
     fn reorder_stream_preserves_task_multiset() {
-        let stream = WorkloadSpec::new(16, 64).with_repeat_rate(0.5).with_vectors(3).generate();
+        let stream = WorkloadSpec::new(16, 64)
+            .with_repeat_rate(0.5)
+            .with_vectors(3)
+            .generate();
         let reordered = reorder_stream(&stream, reuse_clustered_order);
         assert_eq!(reordered.total_tasks(), stream.total_tasks());
         assert_eq!(reordered.total_flops(), stream.total_flops());
@@ -165,7 +174,11 @@ mod tests {
         // measure: mean index distance between consecutive uses of a tensor
         // vector 0 is all-fresh by construction; measure the second vector,
         // where intra-vector repeats exist
-        let stream = WorkloadSpec::new(64, 64).with_repeat_rate(0.8).with_vectors(2).with_seed(4).generate();
+        let stream = WorkloadSpec::new(64, 64)
+            .with_repeat_rate(0.8)
+            .with_vectors(2)
+            .with_seed(4)
+            .generate();
         let adjacency = |v: &Vector| {
             let mut last: HashMap<TensorId, usize> = HashMap::new();
             let mut dist = 0usize;
@@ -183,6 +196,9 @@ mod tests {
         };
         let before = adjacency(&stream.vectors[1]);
         let after = adjacency(&reorder_stream(&stream, reuse_clustered_order).vectors[1]);
-        assert!(after < before, "mean reuse distance {after:.2} !< {before:.2}");
+        assert!(
+            after < before,
+            "mean reuse distance {after:.2} !< {before:.2}"
+        );
     }
 }

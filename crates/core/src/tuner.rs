@@ -273,7 +273,11 @@ pub fn build_training_set(tc: &TrainingConfig, machine: &MachineConfig) -> Vec<T
             .with_vectors(tc.vectors_per_stream)
             .with_seed(tc.seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
             let streams: Vec<_> = (0..tc.seeds_per_sample as u64)
-                .map(|r| spec.clone().with_seed(spec.seed.wrapping_add(r * 0x1_0001)).generate())
+                .map(|r| {
+                    spec.clone()
+                        .with_seed(spec.seed.wrapping_add(r * 0x1_0001))
+                        .generate()
+                })
                 .collect();
             let machine = match tc.oversubscription {
                 Some(rate) => machine.with_oversubscription(streams[0].unique_bytes(), rate),
@@ -317,7 +321,10 @@ mod tests {
 
     #[test]
     fn grid_search_returns_argmax() {
-        let stream = WorkloadSpec::new(16, 128).with_repeat_rate(0.6).with_vectors(2).generate();
+        let stream = WorkloadSpec::new(16, 128)
+            .with_repeat_rate(0.6)
+            .with_vectors(2)
+            .generate();
         let cfg = small_machine();
         let candidates = [[0, 0, 0], [0, 2, 0]];
         let (best, gf) = grid_search(&stream, &cfg, &candidates);
@@ -334,7 +341,10 @@ mod tests {
         let stream = WorkloadSpec::new(16, 128).with_vectors(2).generate();
         let cfg = small_machine();
         let b = ReuseBounds::new(0, 2, 0);
-        assert_eq!(evaluate_bounds(&stream, &cfg, b), evaluate_bounds(&stream, &cfg, b));
+        assert_eq!(
+            evaluate_bounds(&stream, &cfg, b),
+            evaluate_bounds(&stream, &cfg, b)
+        );
     }
 
     #[test]
@@ -353,7 +363,13 @@ mod tests {
 
     #[test]
     fn training_set_small_smoke() {
-        let tc = TrainingConfig { samples: 4, vectors_per_stream: 2, seed: 1, seeds_per_sample: 2, ..TrainingConfig::default() };
+        let tc = TrainingConfig {
+            samples: 4,
+            vectors_per_stream: 2,
+            seed: 1,
+            seeds_per_sample: 2,
+            ..TrainingConfig::default()
+        };
         let samples = build_training_set(&tc, &small_machine());
         assert_eq!(samples.len(), 4);
         for s in &samples {

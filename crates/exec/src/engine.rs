@@ -1,11 +1,29 @@
 //! The stage-parallel execution engine.
+//!
+//! Two execution modes share the same checksum contract:
+//!
+//! - **static** (the default): each worker runs exactly the tasks its
+//!   device was assigned, in order — a faithful replay of the schedule.
+//! - **work stealing** ([`ExecOptions::steal`]): per-worker deques with
+//!   *reuse-aware* intra-stage stealing — an idle worker may only take a
+//!   victim's task when it already holds both operands (the tasks a
+//!   device could run without extra transfers), mirroring the
+//!   data-centric placement rule the schedulers optimise for.
+//!
+//! Either way the per-task outputs are identical, so the order-fixed
+//! checksum reduction is bit-identical across modes, schedulers, and
+//! worker counts.
 
+use std::collections::{HashSet, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::Mutex;
+
 use micco_core::Assignment;
 use micco_tensor::Complex64;
-use micco_workload::TensorPairStream;
+use micco_workload::{TensorId, TensorPairStream, Vector};
 
 use crate::store::TensorStore;
 
@@ -19,15 +37,51 @@ pub struct TensorShape {
     pub dim: usize,
 }
 
+/// Tuning knobs for [`execute_stream_opts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Reuse-aware intra-stage work stealing: idle workers take tasks from
+    /// the back of other workers' queues, but only tasks whose operands
+    /// they already hold (no extra transfers on the modelled device).
+    pub steal: bool,
+    /// Overlap operand staging with compute: a per-stage prefetch thread
+    /// warms the tensor store with the stage's operands while workers
+    /// crunch — the execution-engine analogue of the simulator's
+    /// asynchronous copy engine.
+    pub prefetch: bool,
+}
+
+impl ExecOptions {
+    /// Options with stealing enabled.
+    pub fn with_steal(mut self) -> Self {
+        self.steal = true;
+        self
+    }
+
+    /// Options with operand prefetch enabled.
+    pub fn with_prefetch(mut self) -> Self {
+        self.prefetch = true;
+        self
+    }
+}
+
 /// Result of executing a stream.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecOutcome {
     /// Wall-clock seconds of the parallel execution.
     pub wall_secs: f64,
-    /// Kernels computed per worker.
+    /// Kernels *assigned* per worker by the schedule (the conformance
+    /// contract against `ScheduleReport.assignments` — independent of
+    /// stealing).
     pub per_worker_tasks: Vec<usize>,
+    /// Kernels actually *executed* per worker. Equal to
+    /// `per_worker_tasks` unless stealing moved work.
+    pub per_worker_executed: Vec<usize>,
+    /// Tasks that ran on a different worker than assigned.
+    pub steals: usize,
     /// Order-independent checksum: per-task output traces summed in task
-    /// order (bit-identical across schedulers and worker counts).
+    /// order (bit-identical across schedulers, worker counts, and
+    /// execution modes).
     pub checksum: Complex64,
     /// Total kernels computed.
     pub kernels: usize,
@@ -70,6 +124,53 @@ pub fn execute_stream(
     shape: TensorShape,
     seed: u64,
 ) -> ExecOutcome {
+    execute_stream_opts(
+        stream,
+        assignments,
+        workers,
+        shape,
+        seed,
+        ExecOptions::default(),
+    )
+}
+
+/// [`execute_stream`] with explicit [`ExecOptions`] — the entry point for
+/// work stealing and operand prefetch.
+///
+/// # Examples
+///
+/// ```
+/// use micco_core::{run_schedule, MiccoScheduler, ReuseBounds};
+/// use micco_exec::{execute_stream, execute_stream_opts, ExecOptions, TensorShape};
+/// use micco_gpusim::MachineConfig;
+/// use micco_workload::WorkloadSpec;
+///
+/// let shape = TensorShape { batch: 2, dim: 8 };
+/// let stream = WorkloadSpec::new(6, shape.dim).with_batch(shape.batch).with_vectors(2).generate();
+/// let report = run_schedule(
+///     &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+///     &stream,
+///     &MachineConfig::mi100_like(2),
+/// ).unwrap();
+/// let opts = ExecOptions::default().with_steal().with_prefetch();
+/// let stolen = execute_stream_opts(&stream, &report.assignments, 2, shape, 7, opts);
+/// let replayed = execute_stream(&stream, &report.assignments, 2, shape, 7);
+/// // stealing may move work between workers but never changes the physics
+/// assert_eq!(stolen.checksum, replayed.checksum);
+/// assert_eq!(stolen.per_worker_tasks, replayed.per_worker_tasks);
+/// ```
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`execute_stream`].
+pub fn execute_stream_opts(
+    stream: &TensorPairStream,
+    assignments: &[Assignment],
+    workers: usize,
+    shape: TensorShape,
+    seed: u64,
+    opts: ExecOptions,
+) -> ExecOutcome {
     assert!(workers > 0, "need at least one worker");
     assert_eq!(
         assignments.len(),
@@ -79,6 +180,11 @@ pub fn execute_stream(
     let store = TensorStore::new(shape.batch, shape.dim, seed);
     let t0 = Instant::now();
     let mut per_worker_tasks = vec![0usize; workers];
+    let mut per_worker_executed = vec![0usize; workers];
+    let steals = AtomicUsize::new(0);
+    // the modelled residency of each worker's device: operands and outputs
+    // of tasks it executed (persists across stages, like device memory)
+    let mut residents: Vec<HashSet<TensorId>> = vec![HashSet::new(); workers];
     // per-task traces, collected in global task order so the final
     // checksum reduction is order-fixed regardless of thread interleaving
     let mut traces: Vec<Complex64> = vec![Complex64::ZERO; stream.total_tasks()];
@@ -89,41 +195,38 @@ pub fn execute_stream(
         // partition this stage's task indices per worker
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); workers];
         for (i, a) in stage_assign.iter().enumerate() {
-            assert!(a.gpu.0 < workers, "assignment to device {} ≥ {workers}", a.gpu.0);
-            debug_assert_eq!(a.task, vector.tasks[i].id, "assignment order must match stream");
+            assert!(
+                a.gpu.0 < workers,
+                "assignment to device {} ≥ {workers}",
+                a.gpu.0
+            );
+            debug_assert_eq!(
+                a.task, vector.tasks[i].id,
+                "assignment order must match stream"
+            );
             buckets[a.gpu.0].push(i);
         }
         for (w, b) in buckets.iter().enumerate() {
             per_worker_tasks[w] += b.len();
         }
-        // one scoped thread per non-empty bucket; the scope join is the
-        // stage barrier
-        let trace_slices = split_by_buckets(&mut traces[offset..offset + vector.len()], &buckets);
-        crossbeam::thread::scope(|scope| {
-            for (bucket, slots) in buckets.iter().zip(trace_slices) {
-                if bucket.is_empty() {
-                    continue;
-                }
-                let store = &store;
-                scope.spawn(move |_| {
-                    for (&i, slot) in bucket.iter().zip(slots) {
-                        let task = &vector.tasks[i];
-                        let a = store.fetch(task.a.id);
-                        let b = store.fetch(task.b.id);
-                        let out = a.matmul(&b).expect("uniform shapes");
-                        // sequential per-element trace: no cross-thread
-                        // reduction ⇒ bitwise determinism
-                        let mut tr = Complex64::ZERO;
-                        for bi in 0..out.batch() {
-                            tr += out.element(bi).trace();
-                        }
-                        *slot = tr;
-                        store.insert(task.out.id, Arc::new(out));
-                    }
-                });
+        let stage_traces = &mut traces[offset..offset + vector.len()];
+        if opts.steal {
+            run_stage_stealing(
+                vector,
+                &buckets,
+                &mut residents,
+                &store,
+                stage_traces,
+                &steals,
+                &mut per_worker_executed,
+                opts.prefetch,
+            );
+        } else {
+            run_stage_static(vector, &buckets, &store, stage_traces, opts.prefetch);
+            for (w, b) in buckets.iter().enumerate() {
+                per_worker_executed[w] += b.len();
             }
-        })
-        .expect("worker panicked");
+        }
         offset += vector.len();
     }
 
@@ -131,9 +234,157 @@ pub fn execute_stream(
     ExecOutcome {
         wall_secs: t0.elapsed().as_secs_f64(),
         per_worker_tasks,
+        per_worker_executed,
+        steals: steals.into_inner(),
         checksum,
         kernels: stream.total_tasks(),
     }
+}
+
+/// Run one task's kernel: fetch operands, contract, register the output,
+/// and return the per-task trace (computed sequentially per batch element —
+/// no cross-thread reduction ⇒ bitwise determinism).
+fn run_task(store: &TensorStore, vector: &Vector, i: usize) -> Complex64 {
+    let task = &vector.tasks[i];
+    let a = store.fetch(task.a.id);
+    let b = store.fetch(task.b.id);
+    let out = a.matmul(&b).expect("uniform shapes");
+    let mut tr = Complex64::ZERO;
+    for bi in 0..out.batch() {
+        tr += out.element(bi).trace();
+    }
+    store.insert(task.out.id, Arc::new(out));
+    tr
+}
+
+/// Static replay: one scoped thread per non-empty bucket; the scope join
+/// is the stage barrier.
+fn run_stage_static(
+    vector: &Vector,
+    buckets: &[Vec<usize>],
+    store: &TensorStore,
+    stage_traces: &mut [Complex64],
+    prefetch: bool,
+) {
+    let trace_slices = split_by_buckets(stage_traces, buckets);
+    crossbeam::thread::scope(|scope| {
+        if prefetch {
+            scope.spawn(move |_| {
+                for t in &vector.tasks {
+                    store.fetch(t.a.id);
+                    store.fetch(t.b.id);
+                }
+            });
+        }
+        for (bucket, slots) in buckets.iter().zip(trace_slices) {
+            if bucket.is_empty() {
+                continue;
+            }
+            scope.spawn(move |_| {
+                for (&i, slot) in bucket.iter().zip(slots) {
+                    *slot = run_task(store, vector, i);
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+}
+
+/// Work-stealing stage: per-worker deques; a worker drains its own queue
+/// from the front, then scans victims' queues from the back for tasks
+/// whose operands it already holds. Results come back through the join
+/// handles tagged with their stage-local task index, so the caller writes
+/// them into the order-fixed trace array.
+#[allow(clippy::too_many_arguments)]
+fn run_stage_stealing(
+    vector: &Vector,
+    buckets: &[Vec<usize>],
+    residents: &mut [HashSet<TensorId>],
+    store: &TensorStore,
+    stage_traces: &mut [Complex64],
+    steals: &AtomicUsize,
+    per_worker_executed: &mut [usize],
+    prefetch: bool,
+) {
+    let queues: Vec<Mutex<VecDeque<usize>>> = buckets
+        .iter()
+        .map(|b| Mutex::new(b.iter().copied().collect()))
+        .collect();
+    let results: Vec<Vec<(usize, Complex64)>> = crossbeam::thread::scope(|scope| {
+        if prefetch {
+            scope.spawn(move |_| {
+                for t in &vector.tasks {
+                    store.fetch(t.a.id);
+                    store.fetch(t.b.id);
+                }
+            });
+        }
+        let handles: Vec<_> = residents
+            .iter_mut()
+            .enumerate()
+            .map(|(w, resident)| {
+                let queues = &queues;
+                scope.spawn(move |_| {
+                    let mut done: Vec<(usize, Complex64)> = Vec::new();
+                    loop {
+                        let own = queues[w].lock().pop_front();
+                        let (i, stolen) = match own {
+                            Some(i) => (i, false),
+                            None => match steal_one(queues, w, vector, resident) {
+                                Some(i) => (i, true),
+                                None => break,
+                            },
+                        };
+                        let tr = run_task(store, vector, i);
+                        let task = &vector.tasks[i];
+                        resident.insert(task.a.id);
+                        resident.insert(task.b.id);
+                        resident.insert(task.out.id);
+                        if stolen {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        done.push((i, tr));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("worker panicked");
+    for (w, rs) in results.into_iter().enumerate() {
+        per_worker_executed[w] += rs.len();
+        for (i, tr) in rs {
+            stage_traces[i] = tr;
+        }
+    }
+}
+
+/// Pop one steal-eligible task for `thief`: scanning other workers'
+/// queues, take from the *back* (the victim's coldest work) the first
+/// task whose operands the thief already holds.
+fn steal_one(
+    queues: &[Mutex<VecDeque<usize>>],
+    thief: usize,
+    vector: &Vector,
+    resident: &HashSet<TensorId>,
+) -> Option<usize> {
+    for (v, queue) in queues.iter().enumerate() {
+        if v == thief {
+            continue;
+        }
+        let mut q = queue.lock();
+        if let Some(pos) = q.iter().rposition(|&i| {
+            let t = &vector.tasks[i];
+            resident.contains(&t.a.id) && resident.contains(&t.b.id)
+        }) {
+            return q.remove(pos);
+        }
+    }
+    None
 }
 
 /// Split `slice` into per-bucket mutable views: bucket `w` receives one
@@ -165,7 +416,9 @@ fn split_by_buckets<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use micco_core::{run_schedule, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler, Scheduler};
+    use micco_core::{
+        run_schedule, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler, Scheduler,
+    };
     use micco_gpusim::MachineConfig;
     use micco_workload::WorkloadSpec;
 
@@ -180,7 +433,11 @@ mod tests {
             .generate()
     }
 
-    fn assignments_for(s: &mut dyn Scheduler, stream: &TensorPairStream, gpus: usize) -> Vec<Assignment> {
+    fn assignments_for(
+        s: &mut dyn Scheduler,
+        stream: &TensorPairStream,
+        gpus: usize,
+    ) -> Vec<Assignment> {
         run_schedule(s, stream, &MachineConfig::mi100_like(gpus))
             .expect("fits")
             .assignments
@@ -192,7 +449,10 @@ mod tests {
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 4);
         let out = execute_stream(&stream, &assignments, 4, SHAPE, 5);
         assert_eq!(out.kernels, stream.total_tasks());
-        assert_eq!(out.per_worker_tasks.iter().sum::<usize>(), stream.total_tasks());
+        assert_eq!(
+            out.per_worker_tasks.iter().sum::<usize>(),
+            stream.total_tasks()
+        );
         assert!(out.checksum.is_finite());
         assert!(out.wall_secs >= 0.0);
     }
@@ -221,8 +481,7 @@ mod tests {
         let stream = stream();
         let mut reference = None;
         for gpus in [1usize, 2, 3, 8] {
-            let assignments =
-                assignments_for(&mut RoundRobinScheduler::new(), &stream, gpus);
+            let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, gpus);
             let out = execute_stream(&stream, &assignments, gpus, SHAPE, 5);
             if let Some(r) = reference {
                 assert_eq!(out.checksum, r, "{gpus} workers changed the checksum");
@@ -274,6 +533,138 @@ mod tests {
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
         let got = execute_stream(&stream, &assignments, 2, SHAPE, 77).checksum;
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stealing_preserves_checksum_and_totals() {
+        let stream = stream();
+        for workers in [1usize, 2, 4] {
+            let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, workers);
+            let base = execute_stream(&stream, &assignments, workers, SHAPE, 5);
+            let stolen = execute_stream_opts(
+                &stream,
+                &assignments,
+                workers,
+                SHAPE,
+                5,
+                ExecOptions::default().with_steal(),
+            );
+            assert_eq!(stolen.checksum, base.checksum, "{workers} workers");
+            assert_eq!(stolen.per_worker_tasks, base.per_worker_tasks);
+            assert_eq!(
+                stolen.per_worker_executed.iter().sum::<usize>(),
+                stream.total_tasks(),
+                "every task executed exactly once"
+            );
+            assert_eq!(stolen.kernels, stream.total_tasks());
+        }
+    }
+
+    #[test]
+    fn prefetch_is_checksum_neutral() {
+        let stream = stream();
+        let assignments = assignments_for(&mut MiccoScheduler::naive(), &stream, 3);
+        let base = execute_stream(&stream, &assignments, 3, SHAPE, 9);
+        for opts in [
+            ExecOptions::default().with_prefetch(),
+            ExecOptions::default().with_steal().with_prefetch(),
+        ] {
+            let out = execute_stream_opts(&stream, &assignments, 3, SHAPE, 9, opts);
+            assert_eq!(out.checksum, base.checksum, "{opts:?}");
+        }
+    }
+
+    #[test]
+    fn static_mode_reports_zero_steals() {
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
+        let out = execute_stream(&stream, &assignments, 2, SHAPE, 5);
+        assert_eq!(out.steals, 0);
+        assert_eq!(out.per_worker_executed, out.per_worker_tasks);
+    }
+
+    #[test]
+    fn steals_only_move_work_between_workers() {
+        // a lopsided hand-built schedule: everything on worker 0, so worker
+        // 1 can only help via stealing — and only for operands it holds
+        // (none at first, so stage 1 must not be stolen)
+        let stream = stream();
+        let assignments: Vec<Assignment> = stream
+            .vectors
+            .iter()
+            .flat_map(|v| v.tasks.iter())
+            .map(|t| Assignment {
+                task: t.id,
+                gpu: micco_gpusim::GpuId(0),
+            })
+            .collect();
+        let out = execute_stream_opts(
+            &stream,
+            &assignments,
+            2,
+            SHAPE,
+            5,
+            ExecOptions::default().with_steal(),
+        );
+        assert_eq!(out.per_worker_tasks, vec![stream.total_tasks(), 0]);
+        assert_eq!(
+            out.per_worker_executed.iter().sum::<usize>(),
+            stream.total_tasks()
+        );
+        assert_eq!(
+            out.steals, out.per_worker_executed[1],
+            "worker 1 only runs stolen work"
+        );
+        // worker 1 held nothing when stage 0 started, so every stage-0 task
+        // stayed on worker 0 — reuse-aware stealing never moves cold tasks
+        let stage0 = stream.vectors[0].len();
+        assert!(out.per_worker_executed[0] >= stage0);
+        // and the physics is unchanged
+        let base = execute_stream(&stream, &assignments, 2, SHAPE, 5);
+        assert_eq!(out.checksum, base.checksum);
+    }
+
+    #[test]
+    fn steal_one_is_reuse_aware_and_takes_from_the_back() {
+        use micco_workload::{ContractionTask, TaskId, TensorDesc};
+        let t = |id: u64, a: u64, b: u64, out: u64| ContractionTask {
+            id: TaskId(id),
+            a: TensorDesc {
+                id: TensorId(a),
+                bytes: 1,
+            },
+            b: TensorDesc {
+                id: TensorId(b),
+                bytes: 1,
+            },
+            out: TensorDesc {
+                id: TensorId(out),
+                bytes: 1,
+            },
+            flops: 0,
+        };
+        // tasks 0 and 2 use tensors {1,2}; task 1 uses {3,4}
+        let vector = Vector::new(vec![t(0, 1, 2, 10), t(1, 3, 4, 11), t(2, 1, 2, 12)]);
+        let queues = vec![
+            Mutex::new(VecDeque::from(vec![0usize, 1, 2])),
+            Mutex::new(VecDeque::new()),
+        ];
+        let resident: HashSet<TensorId> = [TensorId(1), TensorId(2)].into_iter().collect();
+        // the thief takes eligible work back-to-front, skipping task 1
+        assert_eq!(steal_one(&queues, 1, &vector, &resident), Some(2));
+        assert_eq!(steal_one(&queues, 1, &vector, &resident), Some(0));
+        assert_eq!(
+            steal_one(&queues, 1, &vector, &resident),
+            None,
+            "task 1 is cold"
+        );
+        assert_eq!(
+            queues[0].lock().len(),
+            1,
+            "ineligible work stays with its owner"
+        );
+        // a worker never steals from itself
+        assert_eq!(steal_one(&queues, 0, &vector, &resident), None);
     }
 
     #[test]

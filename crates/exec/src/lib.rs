@@ -18,5 +18,5 @@
 pub mod engine;
 pub mod store;
 
-pub use engine::{execute_stream, ExecOutcome, TensorShape};
+pub use engine::{execute_stream, execute_stream_opts, ExecOptions, ExecOutcome, TensorShape};
 pub use store::TensorStore;

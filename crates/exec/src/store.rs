@@ -39,7 +39,12 @@ pub struct TensorStore {
 impl TensorStore {
     /// Store for uniform-shape streams.
     pub fn new(batch: usize, dim: usize, seed: u64) -> Self {
-        TensorStore { batch, dim, seed, map: RwLock::new(HashMap::new()) }
+        TensorStore {
+            batch,
+            dim,
+            seed,
+            map: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Fetch a tensor, generating the deterministic leaf if absent.

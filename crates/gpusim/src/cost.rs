@@ -40,6 +40,14 @@ pub struct CostModel {
     /// keep the per-device model easy to reason about; flipping it on makes
     /// memory operations even more dominant, widening every reuse gap.
     pub shared_h2d_link: bool,
+    /// Staging-buffer depth for asynchronous copies. `0` means the DMA
+    /// engine may run arbitrarily far ahead of the compute queue
+    /// (unbounded lookahead — the idealised model). `k ≥ 1` models `k`
+    /// staging buffers: the transfer for task `i` cannot start before the
+    /// kernel of task `i - k` has finished, because its buffer is still in
+    /// use (`k = 2` is classic double buffering). Ignored when
+    /// `async_copy` is off.
+    pub prefetch_tasks: usize,
 }
 
 impl CostModel {
@@ -55,6 +63,7 @@ impl CostModel {
             d2d_charges_source: true,
             async_copy: false,
             shared_h2d_link: false,
+            prefetch_tasks: 0,
         }
     }
 
@@ -67,6 +76,13 @@ impl CostModel {
     /// The same model with asynchronous copies enabled.
     pub fn with_async_copy(mut self) -> Self {
         self.async_copy = true;
+        self
+    }
+
+    /// The same model with a bounded staging window of `k` tasks for the
+    /// DMA engine (`0` restores unbounded lookahead).
+    pub fn with_prefetch_tasks(mut self, k: usize) -> Self {
+        self.prefetch_tasks = k;
         self
     }
 

@@ -105,6 +105,16 @@ struct Gpu {
     stage_start: f64,
     /// Flops assigned this stage.
     stage_flops: u64,
+    /// Copy-engine busy intervals of the current stage, in absolute time.
+    /// Appended in nondecreasing order and pairwise disjoint (each copy
+    /// starts at or after the previous one's end), which lets the barrier
+    /// intersect them against `kernel_intervals` with one linear pass.
+    copy_intervals: Vec<(f64, f64)>,
+    /// Compute-engine busy intervals of the current stage, one per task
+    /// (zero-length for zero-flop tasks), in absolute time. Also sorted
+    /// and disjoint. Doubles as the kernel-completion history that bounds
+    /// the DMA engine's lookahead under `prefetch_tasks`.
+    kernel_intervals: Vec<(f64, f64)>,
 }
 
 impl Gpu {
@@ -112,6 +122,47 @@ impl Gpu {
     fn time(&self) -> f64 {
         self.compute_time.max(self.dma_time)
     }
+
+    /// Record `secs` of copy-engine work starting no earlier than the
+    /// engine's current position, returning when it completes. With a
+    /// bounded staging window (`prefetch ≥ 1`) the transfer additionally
+    /// waits until the kernel `prefetch` tasks back has freed its buffer.
+    fn push_copy(&mut self, secs: f64, prefetch: usize) -> f64 {
+        if secs <= 0.0 {
+            // no transfer: the staging window must not advance the engine
+            return self.dma_time;
+        }
+        let mut start = self.dma_time;
+        if prefetch > 0 {
+            let done = self.kernel_intervals.len();
+            if done >= prefetch {
+                start = start.max(self.kernel_intervals[done - prefetch].1);
+            }
+        }
+        let end = start + secs;
+        self.copy_intervals.push((start, end));
+        self.dma_time = end;
+        end
+    }
+}
+
+/// Total length of the intersection of two sorted, pairwise-disjoint
+/// interval lists (the time both engines were busy at once).
+fn intersect_secs(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut total) = (0, 0, 0.0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
 }
 
 /// The simulated node.
@@ -165,6 +216,8 @@ impl SimMachine {
                 dma_time: 0.0,
                 stage_start: 0.0,
                 stage_flops: 0,
+                copy_intervals: Vec::new(),
+                kernel_intervals: Vec::new(),
             })
             .collect();
         SimMachine {
@@ -218,7 +271,10 @@ impl SimMachine {
     /// Execute `task` on device `gpu`, advancing its clock.
     pub fn execute(&mut self, task: &ContractionTask, gpu: GpuId) -> Result<(), ExecError> {
         if gpu.0 >= self.gpus.len() {
-            return Err(ExecError::BadGpu { gpu, num_gpus: self.gpus.len() });
+            return Err(ExecError::BadGpu {
+                gpu,
+                num_gpus: self.gpus.len(),
+            });
         }
         let mut mem_secs = 0.0;
 
@@ -248,16 +304,24 @@ impl SimMachine {
                     // charging the source throttles hot-tensor fan-out from
                     // a single holder (and is what real peer DMA does).
                     if self.config.cost.d2d_charges_source {
-                        self.gpus[src.0].dma_time += secs;
+                        // the peer's outgoing copy is not gated by its own
+                        // staging buffers, so no prefetch bound here
+                        self.gpus[src.0].push_copy(secs, 0);
                         if !self.config.cost.async_copy {
                             // serialised device: DMA work delays compute too
-                            self.gpus[src.0].compute_time = self.gpus[src.0].compute_time.max(self.gpus[src.0].dma_time);
+                            self.gpus[src.0].compute_time =
+                                self.gpus[src.0].compute_time.max(self.gpus[src.0].dma_time);
                         }
                         self.stats.per_gpu[src.0].memory_secs += secs;
                     }
                     self.stats.per_gpu[gpu.0].d2d_count += 1;
                     self.stats.per_gpu[gpu.0].d2d_bytes += d.bytes;
-                    self.record(Event::D2d { src, dst: gpu, tensor: d.id, bytes: d.bytes });
+                    self.record(Event::D2d {
+                        src,
+                        dst: gpu,
+                        tensor: d.id,
+                        bytes: d.bytes,
+                    });
                 }
                 None => {
                     let secs = self.config.cost.h2d_secs(d.bytes);
@@ -268,15 +332,20 @@ impl SimMachine {
                         // the link for its duration. Approximate the start
                         // as the device's current DMA position plus the mem
                         // time already queued for this task.
-                        let start =
-                            self.host_link_free.max(self.gpus[gpu.0].time() + mem_secs - secs);
+                        let start = self
+                            .host_link_free
+                            .max(self.gpus[gpu.0].time() + mem_secs - secs);
                         let wait = start - (self.gpus[gpu.0].time() + mem_secs - secs);
                         mem_secs += wait;
                         self.host_link_free = start + secs;
                     }
                     self.stats.per_gpu[gpu.0].h2d_count += 1;
                     self.stats.per_gpu[gpu.0].h2d_bytes += d.bytes;
-                    self.record(Event::H2d { gpu, tensor: d.id, bytes: d.bytes });
+                    self.record(Event::H2d {
+                        gpu,
+                        tensor: d.id,
+                        bytes: d.bytes,
+                    });
                 }
             }
         }
@@ -299,7 +368,11 @@ impl SimMachine {
 
         // Kernel.
         let compute_secs = self.config.cost.compute_secs(task.flops);
-        self.record(Event::Kernel { gpu, task: task.id, secs: compute_secs });
+        self.record(Event::Kernel {
+            gpu,
+            task: task.id,
+            secs: compute_secs,
+        });
 
         // Unpin the working set.
         for id in [task.a.id, task.b.id, task.out.id] {
@@ -326,15 +399,23 @@ impl SimMachine {
 
         let g = &mut self.gpus[gpu.0];
         if self.config.cost.async_copy {
-            // DMA engine runs its queue independently; the kernel starts
-            // once both the compute engine is free and the operands landed.
-            g.dma_time += mem_secs;
+            // DMA engine runs its queue independently (bounded by the
+            // staging window when `prefetch_tasks` is set); the kernel
+            // starts once both the compute engine is free and the
+            // operands landed.
+            g.push_copy(mem_secs, self.config.cost.prefetch_tasks);
             let start = g.compute_time.max(g.dma_time);
-            g.compute_time = start + compute_secs;
+            let finish = start + compute_secs;
+            g.kernel_intervals.push((start, finish));
+            g.compute_time = finish;
         } else {
             // fully serialised device: memory ops then kernel
             let start = g.compute_time.max(g.dma_time);
+            if mem_secs > 0.0 {
+                g.copy_intervals.push((start, start + mem_secs));
+            }
             let finish = start + mem_secs + compute_secs;
+            g.kernel_intervals.push((start + mem_secs, finish));
             g.compute_time = finish;
             g.dma_time = finish;
         }
@@ -361,26 +442,60 @@ impl SimMachine {
             if writeback {
                 self.stats.per_gpu[gpu.0].writeback_bytes += ev.bytes;
             }
-            self.record(Event::Evict { gpu, tensor: ev.id, writeback });
+            self.record(Event::Evict {
+                gpu,
+                tensor: ev.id,
+                writeback,
+            });
         }
         secs
     }
 
     /// End the current stage: all device clocks advance to the stage
     /// makespan, per-stage counters reset, and the makespan is recorded.
+    ///
+    /// This is also where the dual-timeline accounting settles: for every
+    /// device the copy-engine and compute-engine busy intervals of the
+    /// stage are intersected to attribute the span to copy, compute,
+    /// overlap (both engines busy), and idle (neither busy — waiting at
+    /// this barrier for slower peers, or a kernel stalled on operands).
+    /// The per-device invariant `compute + copy − overlap + idle == span`
+    /// holds exactly.
     pub fn barrier(&mut self) {
         let end = self.gpus.iter().map(|g| g.time()).fold(0.0, f64::max);
         let start = self.gpus.first().map(|g| g.stage_start).unwrap_or(0.0);
         let makespan = end - start;
         self.stats.stage_makespans.push(makespan);
         self.stats.elapsed_secs = end;
-        self.record(Event::Barrier { stage: self.stage_index, makespan });
+        for i in 0..self.gpus.len() {
+            let g = &self.gpus[i];
+            let copy_secs: f64 = g.copy_intervals.iter().map(|(a, b)| b - a).sum();
+            let compute_secs: f64 = g.kernel_intervals.iter().map(|(a, b)| b - a).sum();
+            let overlap_secs = intersect_secs(&g.copy_intervals, &g.kernel_intervals);
+            let idle_secs = (makespan - (copy_secs + compute_secs - overlap_secs)).max(0.0);
+            self.stats.per_gpu[i].overlap_secs += overlap_secs;
+            self.stats.per_gpu[i].idle_secs += idle_secs;
+            self.record(Event::StageBreakdown {
+                gpu: GpuId(i),
+                stage: self.stage_index,
+                copy_secs,
+                compute_secs,
+                overlap_secs,
+                idle_secs,
+            });
+        }
+        self.record(Event::Barrier {
+            stage: self.stage_index,
+            makespan,
+        });
         self.stage_index += 1;
         for g in &mut self.gpus {
             g.compute_time = end;
             g.dma_time = end;
             g.stage_start = end;
             g.stage_flops = 0;
+            g.copy_intervals.clear();
+            g.kernel_intervals.clear();
         }
     }
 
@@ -401,7 +516,7 @@ impl SimMachine {
     pub fn add_memory_delay(&mut self, g: GpuId, secs: f64) {
         assert!(secs >= 0.0, "negative delay");
         let gpu = &mut self.gpus[g.0];
-        gpu.dma_time += secs;
+        gpu.push_copy(secs, 0);
         if !self.config.cost.async_copy {
             gpu.compute_time = gpu.compute_time.max(gpu.dma_time);
         }
@@ -503,6 +618,7 @@ mod tests {
             d2d_charges_source: false,
             async_copy: false,
             shared_h2d_link: false,
+            prefetch_tasks: 0,
         }
     }
 
@@ -511,12 +627,15 @@ mod tests {
         let cfg = MachineConfig {
             num_gpus: 2,
             mem_bytes: 100 * GIB,
-            cost: CostModel { d2d_charges_source: true, ..unit_cost() },
+            cost: CostModel {
+                d2d_charges_source: true,
+                ..unit_cost()
+            },
             eviction: EvictionPolicy::Lru,
         };
         let mut m = SimMachine::new(cfg);
         m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap(); // 2 s on gpu0
-        // gpu1 pulls tensor 1 from gpu0: 0.5 s on gpu1 AND 0.5 s added to gpu0
+                                                                   // gpu1 pulls tensor 1 from gpu0: 0.5 s on gpu1 AND 0.5 s added to gpu0
         m.execute(&task(1, 1, 3, 101, GIB, 0), GpuId(1)).unwrap();
         assert!((m.device_time(GpuId(0)) - 2.5).abs() < 1e-9);
         assert!((m.device_time(GpuId(1)) - 1.5).abs() < 1e-9);
@@ -539,9 +658,18 @@ mod tests {
     fn task(id: u64, a: u64, b: u64, out: u64, bytes: u64, flops: u64) -> ContractionTask {
         ContractionTask {
             id: TaskId(id),
-            a: TensorDesc { id: TensorId(a), bytes },
-            b: TensorDesc { id: TensorId(b), bytes },
-            out: TensorDesc { id: TensorId(out), bytes },
+            a: TensorDesc {
+                id: TensorId(a),
+                bytes,
+            },
+            b: TensorDesc {
+                id: TensorId(b),
+                bytes,
+            },
+            out: TensorDesc {
+                id: TensorId(out),
+                bytes,
+            },
             flops,
         }
     }
@@ -556,7 +684,11 @@ mod tests {
         assert_eq!(s.per_gpu[0].h2d_count, 2);
         assert_eq!(s.per_gpu[0].d2d_count, 0);
         // 2 GiB over 1 GiB/s + 1 GF over 1 GFLOPS = 3 s
-        assert!((s.elapsed_secs - 3.0).abs() < 1e-9, "elapsed {}", s.elapsed_secs);
+        assert!(
+            (s.elapsed_secs - 3.0).abs() < 1e-9,
+            "elapsed {}",
+            s.elapsed_secs
+        );
         assert_eq!(s.total_tasks(), 1);
     }
 
@@ -614,7 +746,11 @@ mod tests {
         // the evicted output (tensor 100) pays a write-back
         assert!(trace.events().iter().any(|e| matches!(
             e,
-            Event::Evict { tensor: TensorId(100), writeback: true, .. }
+            Event::Evict {
+                tensor: TensorId(100),
+                writeback: true,
+                ..
+            }
         )));
         assert_eq!(s.per_gpu[0].writeback_bytes, GIB);
     }
@@ -624,7 +760,7 @@ mod tests {
         let mut m = machine(1, 3 * GIB);
         m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap();
         m.execute(&task(1, 3, 100, 101, GIB, 0), GpuId(0)).unwrap(); // 100 reused
-        // force 100 out, then back in, then out again
+                                                                     // force 100 out, then back in, then out again
         m.execute(&task(2, 4, 5, 102, GIB, 0), GpuId(0)).unwrap();
         m.execute(&task(3, 100, 6, 103, GIB, 0), GpuId(0)).unwrap();
         m.execute(&task(4, 7, 8, 104, GIB, 0), GpuId(0)).unwrap();
@@ -634,7 +770,16 @@ mod tests {
             .unwrap()
             .events()
             .iter()
-            .filter(|e| matches!(e, Event::Evict { tensor: TensorId(100), writeback: true, .. }))
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Evict {
+                        tensor: TensorId(100),
+                        writeback: true,
+                        ..
+                    }
+                )
+            })
             .count() as u64;
         assert_eq!(wb, 1, "tensor 100 must pay write-back exactly once");
     }
@@ -653,14 +798,21 @@ mod tests {
         let mut m = machine(2, GIB);
         let t = task(0, 1, 2, 100, 1, 0);
         let err = m.execute(&t, GpuId(5)).unwrap_err();
-        assert_eq!(err, ExecError::BadGpu { gpu: GpuId(5), num_gpus: 2 });
+        assert_eq!(
+            err,
+            ExecError::BadGpu {
+                gpu: GpuId(5),
+                num_gpus: 2
+            }
+        );
         assert!(err.to_string().contains("out of range"));
     }
 
     #[test]
     fn barrier_aligns_clocks_and_resets_stage_counters() {
         let mut m = machine(2, 100 * GIB);
-        m.execute(&task(0, 1, 2, 100, GIB, 2_000_000_000), GpuId(0)).unwrap();
+        m.execute(&task(0, 1, 2, 100, GIB, 2_000_000_000), GpuId(0))
+            .unwrap();
         assert!(m.stage_busy_secs(GpuId(0)) > 0.0);
         assert_eq!(m.stage_busy_secs(GpuId(1)), 0.0);
         assert_eq!(m.stage_flops(GpuId(0)), 2_000_000_000);
@@ -675,7 +827,8 @@ mod tests {
     fn makespan_is_max_over_devices() {
         let mut m = machine(2, 100 * GIB);
         m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap(); // 2 s
-        m.execute(&task(1, 3, 4, 101, GIB, 1_000_000_000), GpuId(1)).unwrap(); // 3 s
+        m.execute(&task(1, 3, 4, 101, GIB, 1_000_000_000), GpuId(1))
+            .unwrap(); // 3 s
         m.barrier();
         assert!((m.stats().elapsed_secs - 3.0).abs() < 1e-9);
     }
@@ -740,7 +893,8 @@ mod tests {
     #[test]
     fn stats_gflops_nonzero_after_work() {
         let mut m = machine(1, 100 * GIB);
-        m.execute(&task(0, 1, 2, 100, GIB, 5_000_000_000), GpuId(0)).unwrap();
+        m.execute(&task(0, 1, 2, 100, GIB, 5_000_000_000), GpuId(0))
+            .unwrap();
         m.barrier();
         assert!(m.stats().gflops() > 0.0);
     }
@@ -749,7 +903,10 @@ mod tests {
         let cfg = MachineConfig {
             num_gpus: gpus,
             mem_bytes: mem,
-            cost: CostModel { async_copy: true, ..unit_cost() },
+            cost: CostModel {
+                async_copy: true,
+                ..unit_cost()
+            },
             eviction: EvictionPolicy::Lru,
         };
         SimMachine::new(cfg)
@@ -759,19 +916,27 @@ mod tests {
     fn async_copy_overlaps_transfers_with_compute() {
         let mut m = async_machine(1, 100 * GIB);
         // task 0: 2 s transfers + 2 s compute → kernel runs [2, 4)
-        m.execute(&task(0, 1, 2, 100, GIB, 2_000_000_000), GpuId(0)).unwrap();
+        m.execute(&task(0, 1, 2, 100, GIB, 2_000_000_000), GpuId(0))
+            .unwrap();
         // task 1: its 2 s of transfers run [2, 4) on the DMA engine while
         // task 0 computes; kernel starts at max(4, 4) = 4, ends 6
-        m.execute(&task(1, 3, 4, 101, GIB, 2_000_000_000), GpuId(0)).unwrap();
+        m.execute(&task(1, 3, 4, 101, GIB, 2_000_000_000), GpuId(0))
+            .unwrap();
         m.barrier();
-        assert!((m.stats().elapsed_secs - 6.0).abs() < 1e-9, "elapsed {}", m.stats().elapsed_secs);
+        assert!(
+            (m.stats().elapsed_secs - 6.0).abs() < 1e-9,
+            "elapsed {}",
+            m.stats().elapsed_secs
+        );
     }
 
     #[test]
     fn sync_mode_serialises_the_same_sequence() {
         let mut m = machine(1, 100 * GIB);
-        m.execute(&task(0, 1, 2, 100, GIB, 2_000_000_000), GpuId(0)).unwrap();
-        m.execute(&task(1, 3, 4, 101, GIB, 2_000_000_000), GpuId(0)).unwrap();
+        m.execute(&task(0, 1, 2, 100, GIB, 2_000_000_000), GpuId(0))
+            .unwrap();
+        m.execute(&task(1, 3, 4, 101, GIB, 2_000_000_000), GpuId(0))
+            .unwrap();
         m.barrier();
         // 2+2 transfers + 2+2 compute, fully serial
         assert!((m.stats().elapsed_secs - 8.0).abs() < 1e-9);
@@ -799,7 +964,8 @@ mod tests {
     fn async_kernel_still_waits_for_operands() {
         let mut m = async_machine(1, 100 * GIB);
         // one task: transfers 2 s then compute 1 s — no overlap possible
-        m.execute(&task(0, 1, 2, 100, GIB, 1_000_000_000), GpuId(0)).unwrap();
+        m.execute(&task(0, 1, 2, 100, GIB, 1_000_000_000), GpuId(0))
+            .unwrap();
         m.barrier();
         assert!((m.stats().elapsed_secs - 3.0).abs() < 1e-9);
     }
@@ -816,9 +982,18 @@ mod tests {
                 let a = i % 5; // cyclic over 5 tensors
                 tasks.push(ContractionTask {
                     id: TaskId(i),
-                    a: TensorDesc { id: TensorId(a), bytes: GIB },
-                    b: TensorDesc { id: TensorId(a), bytes: GIB },
-                    out: TensorDesc { id: TensorId(1000 + i), bytes: 1 },
+                    a: TensorDesc {
+                        id: TensorId(a),
+                        bytes: GIB,
+                    },
+                    b: TensorDesc {
+                        id: TensorId(a),
+                        bytes: GIB,
+                    },
+                    out: TensorDesc {
+                        id: TensorId(1000 + i),
+                        bytes: 1,
+                    },
                     flops: 0,
                 });
             }
@@ -858,19 +1033,46 @@ mod tests {
         use micco_workload::{TaskId, TensorDesc, TensorPairStream, Vector};
         let t = ContractionTask {
             id: TaskId(0),
-            a: TensorDesc { id: TensorId(1), bytes: 1 },
-            b: TensorDesc { id: TensorId(2), bytes: 1 },
-            out: TensorDesc { id: TensorId(3), bytes: 1 },
+            a: TensorDesc {
+                id: TensorId(1),
+                bytes: 1,
+            },
+            b: TensorDesc {
+                id: TensorId(2),
+                bytes: 1,
+            },
+            out: TensorDesc {
+                id: TensorId(3),
+                bytes: 1,
+            },
             flops: 0,
         };
         let mut t2 = t.clone();
         t2.id = TaskId(1);
-        t2.a = TensorDesc { id: TensorId(3), bytes: 1 };
+        t2.a = TensorDesc {
+            id: TensorId(3),
+            bytes: 1,
+        };
         let stream = TensorPairStream::new(vec![Vector::new(vec![t, t2])]);
         let oracle = build_oracle(&stream);
-        assert_eq!(oracle[&TensorId(1)], [0u64].into_iter().collect::<std::collections::VecDeque<_>>());
-        assert_eq!(oracle[&TensorId(2)], [0u64, 1].into_iter().collect::<std::collections::VecDeque<_>>());
-        assert_eq!(oracle[&TensorId(3)], [1u64].into_iter().collect::<std::collections::VecDeque<_>>());
+        assert_eq!(
+            oracle[&TensorId(1)],
+            [0u64]
+                .into_iter()
+                .collect::<std::collections::VecDeque<_>>()
+        );
+        assert_eq!(
+            oracle[&TensorId(2)],
+            [0u64, 1]
+                .into_iter()
+                .collect::<std::collections::VecDeque<_>>()
+        );
+        assert_eq!(
+            oracle[&TensorId(3)],
+            [1u64]
+                .into_iter()
+                .collect::<std::collections::VecDeque<_>>()
+        );
     }
 
     #[test]
@@ -881,7 +1083,10 @@ mod tests {
             let cfg = MachineConfig {
                 num_gpus: 2,
                 mem_bytes: 100 * GIB,
-                cost: CostModel { shared_h2d_link: shared, ..unit_cost() },
+                cost: CostModel {
+                    shared_h2d_link: shared,
+                    ..unit_cost()
+                },
                 eviction: EvictionPolicy::Lru,
             };
             let mut m = SimMachine::new(cfg);
@@ -902,17 +1107,24 @@ mod tests {
             let cfg = MachineConfig {
                 num_gpus: 1,
                 mem_bytes: 100 * GIB,
-                cost: CostModel { shared_h2d_link: shared, ..unit_cost() },
+                cost: CostModel {
+                    shared_h2d_link: shared,
+                    ..unit_cost()
+                },
                 eviction: EvictionPolicy::Lru,
             };
             let mut m = SimMachine::new(cfg);
             for i in 0..4u64 {
-                m.execute(&task(i, 10 + i, 20 + i, 100 + i, GIB / 2, 0), GpuId(0)).unwrap();
+                m.execute(&task(i, 10 + i, 20 + i, 100 + i, GIB / 2, 0), GpuId(0))
+                    .unwrap();
             }
             m.barrier();
             m.stats().elapsed_secs
         };
-        assert!((run(false) - run(true)).abs() < 1e-9, "one device never contends with itself");
+        assert!(
+            (run(false) - run(true)).abs() < 1e-9,
+            "one device never contends with itself"
+        );
     }
 
     #[test]
@@ -922,5 +1134,189 @@ mod tests {
         m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap();
         m.barrier();
         assert!((m.stats().elapsed_secs - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn async_overlap_is_attributed_exactly() {
+        let mut m = async_machine(1, 100 * GIB);
+        // task 0: copies [0,2), kernel [2,4); task 1: copies [2,4) (overlap
+        // with task 0's kernel), kernel [4,6)
+        m.execute(&task(0, 1, 2, 100, GIB, 2_000_000_000), GpuId(0))
+            .unwrap();
+        m.execute(&task(1, 3, 4, 101, GIB, 2_000_000_000), GpuId(0))
+            .unwrap();
+        m.barrier();
+        let g = &m.stats().per_gpu[0];
+        assert!(
+            (g.overlap_secs - 2.0).abs() < 1e-9,
+            "overlap {}",
+            g.overlap_secs
+        );
+        assert!((g.idle_secs - 0.0).abs() < 1e-9, "idle {}", g.idle_secs);
+        assert!((g.occupied_secs() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sync_mode_never_overlaps() {
+        let mut m = machine(1, 100 * GIB);
+        m.execute(&task(0, 1, 2, 100, GIB, 2_000_000_000), GpuId(0))
+            .unwrap();
+        m.execute(&task(1, 3, 4, 101, GIB, 2_000_000_000), GpuId(0))
+            .unwrap();
+        m.barrier();
+        let g = &m.stats().per_gpu[0];
+        assert_eq!(g.overlap_secs, 0.0);
+        assert_eq!(g.idle_secs, 0.0);
+        assert!((g.occupied_secs() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_time_counts_barrier_waits() {
+        let mut m = machine(2, 100 * GIB);
+        m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap(); // 2 s
+        m.barrier();
+        let s = m.stats();
+        // gpu1 did nothing: its whole stage span is idle
+        assert!((s.per_gpu[1].idle_secs - 2.0).abs() < 1e-9);
+        assert_eq!(s.per_gpu[0].idle_secs, 0.0);
+    }
+
+    /// The dual-timeline invariant: per device, compute + copy − overlap +
+    /// idle reconstructs the elapsed span exactly, in every mode.
+    #[test]
+    fn timeline_breakdown_sums_to_elapsed() {
+        for (async_copy, charge_source) in
+            [(false, false), (false, true), (true, false), (true, true)]
+        {
+            let cfg = MachineConfig {
+                num_gpus: 3,
+                mem_bytes: 4 * GIB,
+                cost: CostModel {
+                    async_copy,
+                    d2d_charges_source: charge_source,
+                    ..unit_cost()
+                },
+                eviction: EvictionPolicy::Lru,
+            };
+            let mut m = SimMachine::new(cfg);
+            for i in 0..24u64 {
+                let t = task(i, i % 6, (i + 2) % 9, 1000 + i, GIB / 4, 300_000_000);
+                m.execute(&t, GpuId((i % 3) as usize)).unwrap();
+                if i % 9 == 8 {
+                    m.barrier();
+                }
+            }
+            m.barrier();
+            let s = m.stats();
+            for (i, g) in s.per_gpu.iter().enumerate() {
+                let reconstructed = g.compute_secs + g.memory_secs - g.overlap_secs + g.idle_secs;
+                assert!(
+                    (reconstructed - s.elapsed_secs).abs() < 1e-9,
+                    "async={async_copy} charge={charge_source} gpu{i}: {} vs elapsed {}",
+                    reconstructed,
+                    s.elapsed_secs
+                );
+                if !async_copy {
+                    assert_eq!(g.overlap_secs, 0.0, "sync mode produced overlap");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_breakdown_events_reconstruct_makespans() {
+        let mut m = machine(2, 100 * GIB);
+        m.enable_trace();
+        m.execute(&task(0, 1, 2, 100, GIB, 1_000_000_000), GpuId(0))
+            .unwrap();
+        m.barrier();
+        m.execute(&task(1, 3, 4, 101, GIB, 0), GpuId(1)).unwrap();
+        m.barrier();
+        let trace = m.trace().unwrap();
+        let breakdowns: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::StageBreakdown { .. }))
+            .collect();
+        assert_eq!(breakdowns.len(), 4, "one per device per stage");
+        for e in breakdowns {
+            if let Event::StageBreakdown {
+                stage,
+                copy_secs,
+                compute_secs,
+                overlap_secs,
+                idle_secs,
+                ..
+            } = e
+            {
+                let makespan = m.stats().stage_makespans[*stage];
+                let sum = copy_secs + compute_secs - overlap_secs + idle_secs;
+                assert!(
+                    (sum - makespan).abs() < 1e-9,
+                    "stage {stage}: {sum} vs {makespan}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefetch_window_bounds_dma_lookahead() {
+        // copy-bound stream: 2 s of transfers, 1 s kernel per task
+        let run = |prefetch: usize| {
+            let cfg = MachineConfig {
+                num_gpus: 1,
+                mem_bytes: 100 * GIB,
+                cost: CostModel {
+                    async_copy: true,
+                    prefetch_tasks: prefetch,
+                    ..unit_cost()
+                },
+                eviction: EvictionPolicy::Lru,
+            };
+            let mut m = SimMachine::new(cfg);
+            for i in 0..3u64 {
+                let t = task(i, 10 + 2 * i, 11 + 2 * i, 100 + i, GIB, 1_000_000_000);
+                m.execute(&t, GpuId(0)).unwrap();
+            }
+            m.barrier();
+            m.stats().elapsed_secs
+        };
+        // unbounded: copies [0,2)[2,4)[4,6), kernels [2,3)[4,5)[6,7) → 7 s
+        assert!((run(0) - 7.0).abs() < 1e-9, "unbounded {}", run(0));
+        // single buffer: transfer i waits for kernel i−1 → 9 s
+        assert!((run(1) - 9.0).abs() < 1e-9, "k=1 {}", run(1));
+        // double buffering suffices for this copy-bound stream
+        assert!((run(2) - 7.0).abs() < 1e-9, "k=2 {}", run(2));
+        // the window only ever delays transfers, never speeds them up
+        assert!(run(1) >= run(2) && run(2) >= run(0));
+    }
+
+    #[test]
+    fn prefetch_window_ignored_in_sync_mode() {
+        let run = |prefetch: usize| {
+            let cfg = MachineConfig {
+                num_gpus: 1,
+                mem_bytes: 100 * GIB,
+                cost: CostModel {
+                    prefetch_tasks: prefetch,
+                    ..unit_cost()
+                },
+                eviction: EvictionPolicy::Lru,
+            };
+            let mut m = SimMachine::new(cfg);
+            for i in 0..3u64 {
+                m.execute(
+                    &task(i, 10 + i, 20 + i, 100 + i, GIB, 1_000_000_000),
+                    GpuId(0),
+                )
+                .unwrap();
+            }
+            m.barrier();
+            m.stats().elapsed_secs
+        };
+        assert!(
+            (run(0) - run(2)).abs() < 1e-9,
+            "sync mode has no DMA lookahead to bound"
+        );
     }
 }

@@ -100,7 +100,13 @@ pub struct DeviceMemory {
 impl DeviceMemory {
     /// Empty device of the given capacity.
     pub fn new(capacity: u64, policy: EvictionPolicy) -> Self {
-        DeviceMemory { capacity, used: 0, policy, resident: HashMap::new(), clock: 0 }
+        DeviceMemory {
+            capacity,
+            used: 0,
+            policy,
+            resident: HashMap::new(),
+            clock: 0,
+        }
     }
 
     /// Device capacity in bytes.
@@ -170,7 +176,10 @@ impl DeviceMemory {
         bytes: u64,
         provenance: Provenance,
     ) -> Result<Vec<Evicted>, AllocError> {
-        debug_assert!(!self.holds(id), "allocate called for resident tensor {id:?}");
+        debug_assert!(
+            !self.holds(id),
+            "allocate called for resident tensor {id:?}"
+        );
         if self.holds(id) {
             self.touch(id);
             return Ok(Vec::new());
@@ -182,7 +191,10 @@ impl DeviceMemory {
             .map(|e| e.bytes)
             .sum();
         if bytes > self.free() + evictable || bytes > self.capacity {
-            return Err(AllocError::WontFit { requested: bytes, capacity: self.capacity });
+            return Err(AllocError::WontFit {
+                requested: bytes,
+                capacity: self.capacity,
+            });
         }
         let mut evicted = Vec::new();
         while self.free() < bytes {
@@ -224,14 +236,14 @@ impl DeviceMemory {
 
     fn pick_victim(&self) -> Option<TensorId> {
         let candidates = self.resident.iter().filter(|(_, e)| !e.pinned);
-        
+
         match self.policy {
-            EvictionPolicy::Lru => {
-                candidates.min_by_key(|(id, e)| (e.last_use, id.0)).map(|(id, _)| *id)
-            }
-            EvictionPolicy::Fifo => {
-                candidates.min_by_key(|(id, e)| (e.allocated_at, id.0)).map(|(id, _)| *id)
-            }
+            EvictionPolicy::Lru => candidates
+                .min_by_key(|(id, e)| (e.last_use, id.0))
+                .map(|(id, _)| *id),
+            EvictionPolicy::Fifo => candidates
+                .min_by_key(|(id, e)| (e.allocated_at, id.0))
+                .map(|(id, _)| *id),
             EvictionPolicy::LargestFirst => candidates
                 .max_by_key(|(id, e)| (e.bytes, u64::MAX - id.0))
                 .map(|(id, _)| *id),
@@ -305,7 +317,14 @@ mod tests {
         let ev = alloc_unpinned(&mut m, 4, 80);
         // evicting the single 60 B tensor frees enough; smaller-first LRU
         // would have needed two victims
-        assert_eq!(ev, vec![Evicted { id: tid(1), bytes: 60, writeback: false }]);
+        assert_eq!(
+            ev,
+            vec![Evicted {
+                id: tid(1),
+                bytes: 60,
+                writeback: false
+            }]
+        );
     }
 
     #[test]
@@ -323,7 +342,13 @@ mod tests {
         let mut m = mem(100, EvictionPolicy::Lru);
         m.allocate(tid(1), 80, Provenance::HostBacked).unwrap(); // pinned
         let err = m.allocate(tid(2), 40, Provenance::HostBacked).unwrap_err();
-        assert_eq!(err, AllocError::WontFit { requested: 40, capacity: 100 });
+        assert_eq!(
+            err,
+            AllocError::WontFit {
+                requested: 40,
+                capacity: 100
+            }
+        );
     }
 
     #[test]
@@ -392,7 +417,10 @@ mod tests {
 
     #[test]
     fn alloc_error_display() {
-        let e = AllocError::WontFit { requested: 5, capacity: 3 };
+        let e = AllocError::WontFit {
+            requested: 5,
+            capacity: 3,
+        };
         assert!(e.to_string().contains("cannot fit"));
     }
 }

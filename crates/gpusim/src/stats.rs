@@ -27,12 +27,27 @@ pub struct GpuStats {
     pub writeback_bytes: u64,
     /// Reused inputs: operands already resident when the task arrived.
     pub reuse_hits: u64,
+    /// Seconds during which the copy engine and the compute engine were
+    /// busy *simultaneously* on this device. Only asynchronous copies can
+    /// produce overlap; in the synchronous model this stays 0.
+    pub overlap_secs: f64,
+    /// Seconds this device spent with both engines idle while its stages
+    /// were still open (waiting at barriers for slower peers, or a kernel
+    /// stalled on its own operands).
+    pub idle_secs: f64,
 }
 
 impl GpuStats {
     /// Total busy seconds (compute + memory operations).
     pub fn busy_secs(&self) -> f64 {
         self.compute_secs + self.memory_secs
+    }
+
+    /// Occupied wall-clock seconds: busy time with doubly-counted overlap
+    /// removed. `occupied_secs + idle_secs` equals the device's share of
+    /// the elapsed stage spans.
+    pub fn occupied_secs(&self) -> f64 {
+        self.compute_secs + self.memory_secs - self.overlap_secs
     }
 
     /// Fraction of busy time spent in kernels (the rest is memory
@@ -108,6 +123,16 @@ impl ExecStats {
         self.per_gpu.iter().map(|g| g.reuse_hits).sum()
     }
 
+    /// Total copy/compute overlap seconds across devices.
+    pub fn total_overlap_secs(&self) -> f64 {
+        self.per_gpu.iter().map(|g| g.overlap_secs).sum()
+    }
+
+    /// Total idle seconds across devices.
+    pub fn total_idle_secs(&self) -> f64 {
+        self.per_gpu.iter().map(|g| g.idle_secs).sum()
+    }
+
     /// Utilisation of device `g`: busy seconds over elapsed seconds.
     /// With asynchronous copies the two engines overlap, so this can
     /// exceed 1.0 (both engines busy at once).
@@ -124,7 +149,9 @@ impl ExecStats {
         if self.per_gpu.is_empty() {
             return 0.0;
         }
-        (0..self.per_gpu.len()).map(|g| self.utilization(g)).sum::<f64>()
+        (0..self.per_gpu.len())
+            .map(|g| self.utilization(g))
+            .sum::<f64>()
             / self.per_gpu.len() as f64
     }
 
@@ -158,8 +185,15 @@ impl std::fmt::Display for ExecStats {
         for (i, g) in self.per_gpu.iter().enumerate() {
             writeln!(
                 f,
-                "  gpu{i}: tasks {} compute {:.6}s mem {:.6}s h2d {} d2d {} evict {}",
-                g.tasks, g.compute_secs, g.memory_secs, g.h2d_count, g.d2d_count, g.evictions
+                "  gpu{i}: tasks {} compute {:.6}s mem {:.6}s overlap {:.6}s idle {:.6}s h2d {} d2d {} evict {}",
+                g.tasks,
+                g.compute_secs,
+                g.memory_secs,
+                g.overlap_secs,
+                g.idle_secs,
+                g.h2d_count,
+                g.d2d_count,
+                g.evictions
             )?;
         }
         Ok(())

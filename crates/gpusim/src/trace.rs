@@ -63,6 +63,23 @@ pub enum Event {
         /// Stage makespan in seconds.
         makespan: f64,
     },
+    /// Per-device timeline breakdown of one stage, emitted just before the
+    /// matching [`Event::Barrier`]. `copy_secs + compute_secs -
+    /// overlap_secs + idle_secs` equals the stage makespan.
+    StageBreakdown {
+        /// Device.
+        gpu: GpuId,
+        /// Stage index (0-based).
+        stage: usize,
+        /// Copy-engine busy seconds in this stage.
+        copy_secs: f64,
+        /// Compute-engine busy seconds in this stage.
+        compute_secs: f64,
+        /// Seconds both engines ran simultaneously.
+        overlap_secs: f64,
+        /// Seconds both engines sat idle inside the stage span.
+        idle_secs: f64,
+    },
 }
 
 /// An append-only event log.
@@ -136,8 +153,26 @@ impl Trace {
                     usize::MAX,
                     format!("\"makespan\":{makespan}"),
                 ),
+                Event::StageBreakdown {
+                    gpu,
+                    stage,
+                    copy_secs,
+                    compute_secs,
+                    overlap_secs,
+                    idle_secs,
+                } => (
+                    format!("stage{stage} breakdown"),
+                    gpu.0,
+                    format!(
+                        "\"copy_secs\":{copy_secs},\"compute_secs\":{compute_secs},\"overlap_secs\":{overlap_secs},\"idle_secs\":{idle_secs}"
+                    ),
+                ),
             };
-            let args = if args.is_empty() { String::new() } else { format!(",\"args\":{{{args}}}") };
+            let args = if args.is_empty() {
+                String::new()
+            } else {
+                format!(",\"args\":{{{args}}}")
+            };
             records.push(format!(
                 "{{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\"tid\":{}{args}}}",
                 esc(&name),
@@ -155,8 +190,14 @@ mod tests {
     #[test]
     fn push_and_count() {
         let mut t = Trace::default();
-        t.push(Event::ReuseHit { gpu: GpuId(0), tensor: TensorId(1) });
-        t.push(Event::Barrier { stage: 0, makespan: 1.0 });
+        t.push(Event::ReuseHit {
+            gpu: GpuId(0),
+            tensor: TensorId(1),
+        });
+        t.push(Event::Barrier {
+            stage: 0,
+            makespan: 1.0,
+        });
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.count(|e| matches!(e, Event::ReuseHit { .. })), 1);
         t.clear();
@@ -166,11 +207,31 @@ mod tests {
     #[test]
     fn chrome_json_is_wellformed_enough() {
         let mut t = Trace::default();
-        t.push(Event::H2d { gpu: GpuId(0), tensor: TensorId(1), bytes: 64 });
-        t.push(Event::D2d { src: GpuId(0), dst: GpuId(1), tensor: TensorId(1), bytes: 64 });
-        t.push(Event::Evict { gpu: GpuId(1), tensor: TensorId(1), writeback: true });
-        t.push(Event::Kernel { gpu: GpuId(1), task: micco_workload::TaskId(5), secs: 0.25 });
-        t.push(Event::Barrier { stage: 0, makespan: 1.5 });
+        t.push(Event::H2d {
+            gpu: GpuId(0),
+            tensor: TensorId(1),
+            bytes: 64,
+        });
+        t.push(Event::D2d {
+            src: GpuId(0),
+            dst: GpuId(1),
+            tensor: TensorId(1),
+            bytes: 64,
+        });
+        t.push(Event::Evict {
+            gpu: GpuId(1),
+            tensor: TensorId(1),
+            writeback: true,
+        });
+        t.push(Event::Kernel {
+            gpu: GpuId(1),
+            task: micco_workload::TaskId(5),
+            secs: 0.25,
+        });
+        t.push(Event::Barrier {
+            stage: 0,
+            makespan: 1.5,
+        });
         let json = t.to_chrome_json();
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert_eq!(json.matches("\"ph\":\"i\"").count(), 5);

@@ -10,10 +10,20 @@ use micco_workload::{ContractionTask, TaskId, TensorDesc, TensorId};
 
 #[derive(Debug, Clone)]
 enum MemOp {
-    Alloc { id: u64, bytes: u64, device_created: bool },
-    Touch { id: u64 },
-    Discard { id: u64 },
-    Unpin { id: u64 },
+    Alloc {
+        id: u64,
+        bytes: u64,
+        device_created: bool,
+    },
+    Touch {
+        id: u64,
+    },
+    Discard {
+        id: u64,
+    },
+    Unpin {
+        id: u64,
+    },
 }
 
 fn mem_op() -> impl Strategy<Value = MemOp> {

@@ -123,7 +123,10 @@ impl ContractionGraph {
 
     /// Degree of a node.
     pub fn degree(&self, id: NodeId) -> usize {
-        self.edges.iter().filter(|(a, b)| *a == id || *b == id).count()
+        self.edges
+            .iter()
+            .filter(|(a, b)| *a == id || *b == id)
+            .count()
     }
 
     /// Split the graph into its connected components (each returned graph
@@ -223,7 +226,12 @@ mod tests {
     use super::*;
 
     pub(crate) fn meson(label: u64) -> HadronNode {
-        HadronNode { label, kind: ContractionKind::Meson, batch: 2, dim: 8 }
+        HadronNode {
+            label,
+            kind: ContractionKind::Meson,
+            batch: 2,
+            dim: 8,
+        }
     }
 
     #[test]
@@ -272,8 +280,16 @@ mod tests {
     fn shape_mismatch_rejected() {
         let mut g = ContractionGraph::new();
         let a = g.add_node(meson(1));
-        let b = g.add_node(HadronNode { label: 2, kind: ContractionKind::Meson, batch: 2, dim: 16 });
-        assert!(matches!(g.add_edge(a, b), Err(GraphError::ShapeMismatch(_, _))));
+        let b = g.add_node(HadronNode {
+            label: 2,
+            kind: ContractionKind::Meson,
+            batch: 2,
+            dim: 16,
+        });
+        assert!(matches!(
+            g.add_edge(a, b),
+            Err(GraphError::ShapeMismatch(_, _))
+        ));
     }
 
     #[test]
@@ -321,8 +337,10 @@ mod tests {
             c.validate().unwrap();
         }
         // labels preserved
-        let labels: Vec<Vec<u64>> =
-            comps.iter().map(|c| c.nodes().iter().map(|x| x.label).collect()).collect();
+        let labels: Vec<Vec<u64>> = comps
+            .iter()
+            .map(|c| c.nodes().iter().map(|x| x.label).collect())
+            .collect();
         assert_eq!(labels, vec![vec![1, 2], vec![3, 4]]);
     }
 
@@ -346,7 +364,9 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(GraphError::Disconnected.to_string().contains("disconnected"));
+        assert!(GraphError::Disconnected
+            .to_string()
+            .contains("disconnected"));
         assert!(GraphError::SelfLoop(NodeId(3)).to_string().contains("3"));
     }
 }

@@ -72,15 +72,17 @@ pub fn plan_contraction(
 
     // Working copies: nodes may grow as intermediates appear.
     let mut nodes: Vec<Option<HadronNode>> = graph.nodes().iter().copied().map(Some).collect();
-    let mut edges: Vec<(usize, usize)> =
-        graph.edges().iter().map(|(a, b)| (a.0, b.0)).collect();
+    let mut edges: Vec<(usize, usize)> = graph.edges().iter().map(|(a, b)| (a.0, b.0)).collect();
     let mut alive = nodes.len();
     let mut steps = Vec::new();
 
     while alive > 2 {
         let idx = pick_edge(&edges, &nodes, order);
         let (i, j) = edges[idx];
-        let (ni, nj) = (nodes[i].expect("endpoint alive"), nodes[j].expect("endpoint alive"));
+        let (ni, nj) = (
+            nodes[i].expect("endpoint alive"),
+            nodes[j].expect("endpoint alive"),
+        );
         let out_label = combine_labels(ni.label, nj.label);
         steps.push(ContractionStep {
             lhs: ni.label,
@@ -93,7 +95,10 @@ pub fn plan_contraction(
         });
         // Merge: new node k replaces i and j.
         let k = nodes.len();
-        nodes.push(Some(HadronNode { label: out_label, ..ni }));
+        nodes.push(Some(HadronNode {
+            label: out_label,
+            ..ni
+        }));
         nodes[i] = None;
         nodes[j] = None;
         alive -= 1;
@@ -110,7 +115,10 @@ pub fn plan_contraction(
 
     // Final reduction of the last two nodes.
     let mut last = nodes.iter().flatten();
-    let (na, nb) = (*last.next().expect("two alive"), *last.next().expect("two alive"));
+    let (na, nb) = (
+        *last.next().expect("two alive"),
+        *last.next().expect("two alive"),
+    );
     let out_label = combine_labels(na.label, nb.label).wrapping_add(1); // distinct from a mid-plan merge
     steps.push(ContractionStep {
         lhs: na.label,
@@ -146,7 +154,12 @@ mod tests {
     use crate::graph::NodeId;
 
     fn meson(label: u64) -> HadronNode {
-        HadronNode { label, kind: ContractionKind::Meson, batch: 2, dim: 8 }
+        HadronNode {
+            label,
+            kind: ContractionKind::Meson,
+            batch: 2,
+            dim: 8,
+        }
     }
 
     fn chain(n: usize) -> ContractionGraph {
@@ -196,7 +209,10 @@ mod tests {
         let g2 = chain(5);
         let p1 = plan_contraction(&g1, EdgeOrder::MinDegree).unwrap();
         let p2 = plan_contraction(&g2, EdgeOrder::MinDegree).unwrap();
-        assert_eq!(p1, p2, "same graph must produce the same plan (CSE across graphs)");
+        assert_eq!(
+            p1, p2,
+            "same graph must produce the same plan (CSE across graphs)"
+        );
     }
 
     #[test]

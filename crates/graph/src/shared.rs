@@ -20,9 +20,7 @@ use crate::plan::{combine_labels, ContractionStep, PlanOutput};
 /// Returns one plan per input graph (same order). Each individual plan is
 /// valid in isolation (dependency-ordered, one final step); the gain over
 /// per-graph planning is in cross-plan step sharing.
-pub fn plan_contraction_shared(
-    graphs: &[ContractionGraph],
-) -> Result<Vec<PlanOutput>, GraphError> {
+pub fn plan_contraction_shared(graphs: &[ContractionGraph]) -> Result<Vec<PlanOutput>, GraphError> {
     for g in graphs {
         g.validate()?;
     }
@@ -87,8 +85,10 @@ pub fn plan_contraction_shared(
             }
             // find an edge realising this label pair
             let found = w.edges.iter().position(|&(i, j)| {
-                let (a, b) =
-                    (w.nodes[i].expect("alive").label, w.nodes[j].expect("alive").label);
+                let (a, b) = (
+                    w.nodes[i].expect("alive").label,
+                    w.nodes[j].expect("alive").label,
+                );
                 let key = if a <= b { (a, b) } else { (b, a) };
                 key == pair
             });
@@ -106,7 +106,10 @@ pub fn plan_contraction_shared(
                 is_final: false,
             });
             let k = w.nodes.len();
-            w.nodes.push(Some(HadronNode { label: out_label, ..ni }));
+            w.nodes.push(Some(HadronNode {
+                label: out_label,
+                ..ni
+            }));
             w.nodes[i] = None;
             w.nodes[j] = None;
             w.alive -= 1;
@@ -126,8 +129,10 @@ pub fn plan_contraction_shared(
         .into_iter()
         .map(|mut w| {
             let mut last = w.nodes.iter().flatten();
-            let (na, nb) =
-                (*last.next().expect("two alive"), *last.next().expect("two alive"));
+            let (na, nb) = (
+                *last.next().expect("two alive"),
+                *last.next().expect("two alive"),
+            );
             let out_label = combine_labels(na.label, nb.label).wrapping_add(1);
             w.steps.push(ContractionStep {
                 lhs: na.label,
@@ -146,13 +151,18 @@ pub fn plan_contraction_shared(
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use crate::plan::{plan_contraction, EdgeOrder};
     use crate::stage::{build_stream, InternTable};
     use micco_tensor::ContractionKind;
 
     fn meson(label: u64) -> HadronNode {
-        HadronNode { label, kind: ContractionKind::Meson, batch: 2, dim: 8 }
+        HadronNode {
+            label,
+            kind: ContractionKind::Meson,
+            batch: 2,
+            dim: 8,
+        }
     }
 
     /// A family of chains sharing the prefix 1–2–3 but with distinct tails.

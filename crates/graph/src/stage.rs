@@ -90,8 +90,7 @@ pub fn build_stream(plans: &[PlanOutput], intern: &mut InternTable) -> StagedPro
 
     // Level by dependency depth: a label not produced by any step is a leaf
     // (level 0); a produced label sits one above its operands.
-    let produced: HashMap<u64, &ContractionStep> =
-        unique.iter().map(|s| (s.out, s)).collect();
+    let produced: HashMap<u64, &ContractionStep> = unique.iter().map(|s| (s.out, s)).collect();
     let mut level_memo: HashMap<u64, usize> = HashMap::new();
     fn level_of(
         label: u64,
@@ -136,9 +135,18 @@ pub fn build_stream(plans: &[PlanOutput], intern: &mut InternTable) -> StagedPro
                 };
                 let task = ContractionTask {
                     id: TaskId(next_task),
-                    a: TensorDesc { id: intern.intern(s.lhs), bytes: bytes_full },
-                    b: TensorDesc { id: intern.intern(s.rhs), bytes: bytes_full },
-                    out: TensorDesc { id: intern.intern(s.out), bytes: out_bytes },
+                    a: TensorDesc {
+                        id: intern.intern(s.lhs),
+                        bytes: bytes_full,
+                    },
+                    b: TensorDesc {
+                        id: intern.intern(s.rhs),
+                        bytes: bytes_full,
+                    },
+                    out: TensorDesc {
+                        id: intern.intern(s.out),
+                        bytes: out_bytes,
+                    },
                     flops: contraction_flops(s.kind, s.batch, s.dim),
                 };
                 next_task += 1;
@@ -163,7 +171,12 @@ mod tests {
     use micco_tensor::ContractionKind;
 
     fn meson(label: u64) -> HadronNode {
-        HadronNode { label, kind: ContractionKind::Meson, batch: 2, dim: 8 }
+        HadronNode {
+            label,
+            kind: ContractionKind::Meson,
+            batch: 2,
+            dim: 8,
+        }
     }
 
     fn chain(labels: &[u64]) -> ContractionGraph {
@@ -207,7 +220,7 @@ mod tests {
         let staged = build_stream(&[plan(&[1, 2, 10]), plan(&[1, 2, 20])], &mut intern);
         assert_eq!(staged.total_steps, 4);
         assert_eq!(staged.unique_steps, 3); // 1⊗2 shared
-        // stage 1 has the shared step; stage 2 the two finals
+                                            // stage 1 has the shared step; stage 2 the two finals
         assert_eq!(staged.stream.vectors[0].len(), 1);
         assert_eq!(staged.stream.vectors[1].len(), 2);
     }

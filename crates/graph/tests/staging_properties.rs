@@ -10,16 +10,26 @@ use micco_graph::{
 use micco_tensor::ContractionKind;
 
 fn meson(label: u64) -> HadronNode {
-    HadronNode { label, kind: ContractionKind::Meson, batch: 2, dim: 8 }
+    HadronNode {
+        label,
+        kind: ContractionKind::Meson,
+        batch: 2,
+        dim: 8,
+    }
 }
 
 /// Random connected multigraph: a spanning chain plus extra random edges.
 fn connected_graph() -> impl Strategy<Value = ContractionGraph> {
-    (2usize..10, proptest::collection::vec((0usize..10, 0usize..10), 0..8), any::<u64>())
+    (
+        2usize..10,
+        proptest::collection::vec((0usize..10, 0usize..10), 0..8),
+        any::<u64>(),
+    )
         .prop_map(|(n, extras, label_base)| {
             let mut g = ContractionGraph::new();
-            let ids: Vec<_> =
-                (0..n).map(|i| g.add_node(meson(label_base.wrapping_add(i as u64)))).collect();
+            let ids: Vec<_> = (0..n)
+                .map(|i| g.add_node(meson(label_base.wrapping_add(i as u64))))
+                .collect();
             for w in ids.windows(2) {
                 g.add_edge(w[0], w[1]).unwrap();
             }

@@ -36,7 +36,12 @@ impl RandomForestRegressor {
     /// Forest with explicit hyper-parameters.
     pub fn new(n_trees: usize, tree_params: TreeParams, seed: u64) -> Self {
         assert!(n_trees > 0, "need at least one tree");
-        RandomForestRegressor { n_trees, tree_params, seed, trees: Vec::new() }
+        RandomForestRegressor {
+            n_trees,
+            tree_params,
+            seed,
+            trees: Vec::new(),
+        }
     }
 
     /// The paper's configuration: 150 trees, default CART parameters.
@@ -60,12 +65,7 @@ impl RandomForestRegressor {
     /// when feature `j`'s column is shuffled (deterministically, by `seed`),
     /// normalised by the baseline MSE. Larger = the model leans on that
     /// feature harder; ≈0 = the feature is ignored.
-    pub fn permutation_importance(
-        &self,
-        x: &[Vec<f64>],
-        y: &[f64],
-        seed: u64,
-    ) -> Vec<f64> {
+    pub fn permutation_importance(&self, x: &[Vec<f64>], y: &[f64], seed: u64) -> Vec<f64> {
         assert!(self.is_fitted(), "importance before fit");
         assert_eq!(x.len(), y.len(), "x and y must have equal length");
         assert!(!x.is_empty(), "empty inputs");
@@ -149,9 +149,14 @@ mod tests {
         let (x, y) = noisy_quadratic(100);
         let mut rf = RandomForestRegressor::new(20, TreeParams::default(), 2);
         rf.fit(&x, &y);
-        let (lo, hi) = y.iter().fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
+        let (lo, hi) = y
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(l, h), &v| (l.min(v), h.max(v)));
         for p in rf.predict(&x) {
-            assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "prediction {p} outside [{lo}, {hi}]");
+            assert!(
+                p >= lo - 1e-9 && p <= hi + 1e-9,
+                "prediction {p} outside [{lo}, {hi}]"
+            );
         }
         // extrapolation is also clamped to the hull (trees cannot extrapolate)
         let far = rf.predict_one(&[100.0]);

@@ -37,7 +37,10 @@ impl GradientBoostingRegressor {
         GradientBoostingRegressor::new(
             150,
             0.1,
-            TreeParams { max_depth: 3, ..TreeParams::default() },
+            TreeParams {
+                max_depth: 3,
+                ..TreeParams::default()
+            },
         )
     }
 
@@ -73,9 +76,7 @@ impl Regressor for GradientBoostingRegressor {
 
     fn predict_one(&self, row: &[f64]) -> f64 {
         assert!(self.is_fitted(), "predict before fit");
-        self.base
-            + self.learning_rate
-                * self.stages.iter().map(|t| t.predict_one(row)).sum::<f64>()
+        self.base + self.learning_rate * self.stages.iter().map(|t| t.predict_one(row)).sum::<f64>()
     }
 }
 
@@ -85,7 +86,9 @@ mod tests {
     use crate::metrics::r2_score;
 
     fn sine(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
-        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64 * 6.28]).collect();
+        let x: Vec<Vec<f64>> = (0..n)
+            .map(|i| vec![i as f64 / n as f64 * std::f64::consts::TAU])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| r[0].sin()).collect();
         (x, y)
     }
@@ -104,7 +107,10 @@ mod tests {
         let mut gb = GradientBoostingRegressor::new(
             1,
             0.1,
-            TreeParams { max_depth: 1, ..TreeParams::default() },
+            TreeParams {
+                max_depth: 1,
+                ..TreeParams::default()
+            },
         );
         gb.fit(&x, &y);
         // prediction must stay close to the mean with one shrunk stage
@@ -121,14 +127,20 @@ mod tests {
             let mut gb = GradientBoostingRegressor::new(
                 stages,
                 0.1,
-                TreeParams { max_depth: 3, ..TreeParams::default() },
+                TreeParams {
+                    max_depth: 3,
+                    ..TreeParams::default()
+                },
             );
             gb.fit(&x, &y);
             r2_score(&y, &gb.predict(&x))
         };
         let few = r2(5);
         let many = r2(100);
-        assert!(many > few, "r2 with 100 stages {many} <= with 5 stages {few}");
+        assert!(
+            many > few,
+            "r2 with 100 stages {many} <= with 5 stages {few}"
+        );
     }
 
     #[test]

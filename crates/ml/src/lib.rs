@@ -57,7 +57,15 @@ mod tests {
         let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
         let y: Vec<f64> = x
             .iter()
-            .map(|r| if r[0] < 0.3 { 0.0 } else if r[0] < 0.7 { 2.0 } else { 1.0 })
+            .map(|r| {
+                if r[0] < 0.3 {
+                    0.0
+                } else if r[0] < 0.7 {
+                    2.0
+                } else {
+                    1.0
+                }
+            })
             .collect();
 
         let mut lin = LinearRegression::new();

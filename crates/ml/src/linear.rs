@@ -39,7 +39,7 @@ impl Regressor for LinearRegression {
         assert_eq!(x.len(), y.len(), "x and y must have equal length");
         assert!(!x.is_empty(), "cannot fit on zero rows");
         let d = x[0].len() + 1; // +1 intercept column
-        // Build Xᵀ X and Xᵀ y with an implicit leading 1 per row.
+                                // Build Xᵀ X and Xᵀ y with an implicit leading 1 per row.
         let mut a = vec![vec![0.0; d]; d];
         let mut b = vec![0.0; d];
         for (row, &target) in x.iter().zip(y) {
@@ -64,7 +64,13 @@ impl Regressor for LinearRegression {
     fn predict_one(&self, row: &[f64]) -> f64 {
         assert!(self.fitted, "predict before fit");
         assert_eq!(row.len(), self.weights.len(), "feature width mismatch");
-        self.intercept + self.weights.iter().zip(row).map(|(w, v)| w * v).sum::<f64>()
+        self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .map(|(w, v)| w * v)
+                .sum::<f64>()
     }
 }
 

@@ -24,14 +24,24 @@ pub fn r2_score(truth: &[f64], pred: &[f64]) -> f64 {
 pub fn mse(truth: &[f64], pred: &[f64]) -> f64 {
     assert_eq!(truth.len(), pred.len(), "length mismatch");
     assert!(!truth.is_empty(), "empty inputs");
-    truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / truth.len() as f64
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum::<f64>()
+        / truth.len() as f64
 }
 
 /// Mean absolute error.
 pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
     assert_eq!(truth.len(), pred.len(), "length mismatch");
     assert!(!truth.is_empty(), "empty inputs");
-    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
 }
 
 #[cfg(test)]

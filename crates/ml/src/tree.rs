@@ -21,14 +21,26 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: 12, min_samples_split: 2, min_samples_leaf: 1, max_features: None }
+        TreeParams {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
     }
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Node {
-    Leaf { value: f64 },
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A fitted CART regression tree.
@@ -43,7 +55,11 @@ impl DecisionTreeRegressor {
     /// Unfitted tree with the given parameters; `seed` drives the feature
     /// subsampling when `max_features` is set.
     pub fn new(params: TreeParams, seed: u64) -> Self {
-        DecisionTreeRegressor { params, nodes: Vec::new(), seed }
+        DecisionTreeRegressor {
+            params,
+            nodes: Vec::new(),
+            seed,
+        }
     }
 
     /// Whether [`Regressor::fit`] has been called.
@@ -109,7 +125,12 @@ impl DecisionTreeRegressor {
                 let (l_idx, r_idx) = idx.split_at_mut(split_at);
                 let left = self.build(x, y, l_idx, depth + 1, rng);
                 let right = self.build(x, y, r_idx, depth + 1, rng);
-                self.nodes[node] = Node::Split { feature, threshold, left, right };
+                self.nodes[node] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 node
             }
         }
@@ -183,8 +204,17 @@ impl Regressor for DecisionTreeRegressor {
         loop {
             match self.nodes[i] {
                 Node::Leaf { value } => return value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[feature] <= threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[feature] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -199,7 +229,10 @@ mod tests {
     fn grid_xy() -> (Vec<Vec<f64>>, Vec<f64>) {
         // y = 1 if x0 > 0.5 else 0 — one split suffices
         let x: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 19.0]).collect();
-        let y: Vec<f64> = x.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         (x, y)
     }
 
@@ -216,7 +249,10 @@ mod tests {
     fn depth_zero_is_mean_predictor() {
         let (x, y) = grid_xy();
         let mut t = DecisionTreeRegressor::new(
-            TreeParams { max_depth: 0, ..TreeParams::default() },
+            TreeParams {
+                max_depth: 0,
+                ..TreeParams::default()
+            },
             0,
         );
         t.fit(&x, &y);
@@ -232,7 +268,10 @@ mod tests {
     fn min_samples_leaf_respected() {
         let (x, y) = grid_xy();
         let mut t = DecisionTreeRegressor::new(
-            TreeParams { min_samples_leaf: 8, ..TreeParams::default() },
+            TreeParams {
+                min_samples_leaf: 8,
+                ..TreeParams::default()
+            },
             0,
         );
         t.fit(&x, &y);
@@ -309,7 +348,10 @@ mod tests {
     #[test]
     fn deterministic_with_feature_subsampling() {
         let (x, y) = grid_xy();
-        let params = TreeParams { max_features: Some(1), ..TreeParams::default() };
+        let params = TreeParams {
+            max_features: Some(1),
+            ..TreeParams::default()
+        };
         let mut t1 = DecisionTreeRegressor::new(params, 42);
         let mut t2 = DecisionTreeRegressor::new(params, 42);
         t1.fit(&x, &y);

@@ -55,14 +55,22 @@ impl Splitmix {
 }
 
 /// Deterministic leaf payload for a hadron label.
-pub fn leaf_tensor(kind: ContractionKind, label: u64, batch: usize, dim: usize, seed: u64) -> HadronTensor {
+pub fn leaf_tensor(
+    kind: ContractionKind,
+    label: u64,
+    batch: usize,
+    dim: usize,
+    seed: u64,
+) -> HadronTensor {
     let mut rng = Splitmix::new(label, seed);
     match kind {
         ContractionKind::Meson => {
             HadronTensor::Mat(BatchedMatrix::from_fn(batch, dim, |_, _, _| rng.complex()))
         }
         ContractionKind::Baryon => {
-            HadronTensor::T3(BatchedTensor3::from_fn(batch, dim, |_, _, _, _| rng.complex()))
+            HadronTensor::T3(BatchedTensor3::from_fn(batch, dim, |_, _, _, _| {
+                rng.complex()
+            }))
         }
     }
 }
@@ -197,7 +205,10 @@ mod tests {
         assert_eq!(kernels, p.unique_steps);
         // baryon tasks carry n⁴ flops, mesons n³
         let bar = p.stream.vectors[0].tasks[0].flops;
-        let mes = build_correlator(&tiny_spec(ContractionKind::Meson)).stream.vectors[0].tasks[0]
+        let mes = build_correlator(&tiny_spec(ContractionKind::Meson))
+            .stream
+            .vectors[0]
+            .tasks[0]
             .flops;
         assert_eq!(bar, mes * 6, "n⁴ vs n³ at dim 6");
     }

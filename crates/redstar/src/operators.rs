@@ -26,7 +26,11 @@ pub struct MesonOperator {
 impl MesonOperator {
     /// Construct an operator.
     pub fn new(name: &str, quark: Flavor, antiquark: Flavor) -> Self {
-        MesonOperator { name: name.to_owned(), quark, antiquark }
+        MesonOperator {
+            name: name.to_owned(),
+            quark,
+            antiquark,
+        }
     }
 }
 

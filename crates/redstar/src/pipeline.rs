@@ -120,8 +120,11 @@ pub fn build_job(specs: &[CorrelatorSpec]) -> CorrelatorProgram {
         all_plans.extend(plan_contraction_shared(slice_graphs).expect("validated components"));
     }
     let mut intern = InternTable::new();
-    let StagedProgram { stream, total_steps, unique_steps } =
-        build_stream(&all_plans, &mut intern);
+    let StagedProgram {
+        stream,
+        total_steps,
+        unique_steps,
+    } = build_stream(&all_plans, &mut intern);
     let working_set_bytes = stream.unique_bytes();
     CorrelatorProgram {
         name: names.join("+"),
@@ -159,8 +162,7 @@ fn lower_graphs(spec: &CorrelatorSpec) -> (usize, Vec<Vec<ContractionGraph>>) {
                         .enumerate()
                         .map(|(i, op)| {
                             let is_sink = i >= src_n;
-                            let momentum =
-                                if is_sink { km[i - src_n] } else { sm[i] };
+                            let momentum = if is_sink { km[i - src_n] } else { sm[i] };
                             g.add_node(HadronNode {
                                 label: node_label(&op.name, is_sink, momentum, t),
                                 kind: spec.kind,
@@ -186,7 +188,8 @@ fn lower_graphs(spec: &CorrelatorSpec) -> (usize, Vec<Vec<ContractionGraph>>) {
                         .collect();
                     edge_keys.sort_unstable();
                     for (_, _, h, target) in edge_keys {
-                        g.add_edge(ids[h], ids[target]).expect("diagram edges are valid");
+                        g.add_edge(ids[h], ids[target])
+                            .expect("diagram edges are valid");
                     }
                     // Disconnected diagrams (e.g. the two-2-cycle
                     // derangements of four-hadron systems) factorise into
@@ -228,7 +231,11 @@ fn build_correlator_impl(spec: &CorrelatorSpec, shared: bool) -> CorrelatorProgr
     }
 
     let mut intern = InternTable::new();
-    let StagedProgram { stream, total_steps, unique_steps } = build_stream(&plans, &mut intern);
+    let StagedProgram {
+        stream,
+        total_steps,
+        unique_steps,
+    } = build_stream(&plans, &mut intern);
     let working_set_bytes = stream.unique_bytes();
     CorrelatorProgram {
         name: spec.name.clone(),
@@ -308,7 +315,9 @@ mod tests {
     #[test]
     fn momentum_assignment_respects_sum() {
         let combos = momentum_assignments(&[-1, 0, 1], 3, 0);
-        assert!(combos.iter().all(|c| c.iter().map(|&m| m as i32).sum::<i32>() == 0));
+        assert!(combos
+            .iter()
+            .all(|c| c.iter().map(|&m| m as i32).sum::<i32>() == 0));
         // count: solutions of a+b+c=0 over {-1,0,1}^3 = 7
         assert_eq!(combos.len(), 7);
     }
@@ -316,10 +325,17 @@ mod tests {
     #[test]
     fn node_label_distinguishes_role_time_momentum() {
         let base = node_label("pi", false, 0, 1);
-        assert_eq!(base, node_label("pi", false, 0, 5), "source labels ignore t");
+        assert_eq!(
+            base,
+            node_label("pi", false, 0, 5),
+            "source labels ignore t"
+        );
         assert_ne!(node_label("pi", true, 0, 1), node_label("pi", true, 0, 2));
         assert_ne!(node_label("pi", true, 1, 1), node_label("pi", true, 0, 1));
-        assert_ne!(node_label("pi", false, 0, 1), node_label("rho", false, 0, 1));
+        assert_ne!(
+            node_label("pi", false, 0, 1),
+            node_label("rho", false, 0, 1)
+        );
     }
 
     #[test]
@@ -400,6 +416,9 @@ mod tests {
         // numeric model — see the `numeric` module docs.)
         let (vi, _) = crate::numeric::evaluate_plans(&isolated.plans, 4);
         let (vs, _) = crate::numeric::evaluate_plans(&shared.plans, 4);
-        assert!((vi - vs).abs() < 1e-6, "triangle traces must agree: {vi} vs {vs}");
+        assert!(
+            (vi - vs).abs() < 1e-6,
+            "triangle traces must agree: {vi} vs {vs}"
+        );
     }
 }

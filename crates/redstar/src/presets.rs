@@ -54,7 +54,10 @@ pub fn al_rhopi(scale: PresetScale) -> CorrelatorSpec {
         kind: micco_tensor::ContractionKind::Meson,
         name: "al_rhopi".into(),
         source: vec![op("a1", Flavor::Up, Flavor::Up)],
-        sink: vec![op("rho", Flavor::Up, Flavor::Up), op("pi", Flavor::Up, Flavor::Up)],
+        sink: vec![
+            op("rho", Flavor::Up, Flavor::Up),
+            op("pi", Flavor::Up, Flavor::Up),
+        ],
         momenta: vec![-1, 0, 1],
         time_slices: scale.time_slices(),
         tensor_dim: scale.dim(128),
@@ -71,8 +74,14 @@ pub fn f0d2(scale: PresetScale) -> CorrelatorSpec {
     CorrelatorSpec {
         kind: micco_tensor::ContractionKind::Meson,
         name: "f0d2".into(),
-        source: vec![op("f0", Flavor::Up, Flavor::Up), op("pi+", Flavor::Up, Flavor::Up)],
-        sink: vec![op("pi1", Flavor::Up, Flavor::Up), op("pi2", Flavor::Up, Flavor::Up)],
+        source: vec![
+            op("f0", Flavor::Up, Flavor::Up),
+            op("pi+", Flavor::Up, Flavor::Up),
+        ],
+        sink: vec![
+            op("pi1", Flavor::Up, Flavor::Up),
+            op("pi2", Flavor::Up, Flavor::Up),
+        ],
         momenta: vec![-1, 0, 1],
         time_slices: scale.time_slices(),
         tensor_dim: scale.dim(256),
@@ -88,8 +97,14 @@ pub fn f0d4(scale: PresetScale) -> CorrelatorSpec {
     CorrelatorSpec {
         kind: micco_tensor::ContractionKind::Meson,
         name: "f0d4".into(),
-        source: vec![op("f0", Flavor::Up, Flavor::Up), op("sigma", Flavor::Up, Flavor::Up)],
-        sink: vec![op("pi1", Flavor::Up, Flavor::Up), op("pi2", Flavor::Up, Flavor::Up)],
+        source: vec![
+            op("f0", Flavor::Up, Flavor::Up),
+            op("sigma", Flavor::Up, Flavor::Up),
+        ],
+        sink: vec![
+            op("pi1", Flavor::Up, Flavor::Up),
+            op("pi2", Flavor::Up, Flavor::Up),
+        ],
         momenta: vec![-2, 0, 2],
         time_slices: scale.time_slices(),
         tensor_dim: scale.dim(256),
@@ -107,7 +122,10 @@ pub fn nucleon_pipi(scale: PresetScale) -> CorrelatorSpec {
         kind: micco_tensor::ContractionKind::Baryon,
         name: "nucleon_pipi".into(),
         source: vec![op("N", Flavor::Up, Flavor::Up)],
-        sink: vec![op("N'", Flavor::Up, Flavor::Up), op("pi", Flavor::Up, Flavor::Up)],
+        sink: vec![
+            op("N'", Flavor::Up, Flavor::Up),
+            op("pi", Flavor::Up, Flavor::Up),
+        ],
         momenta: vec![-1, 0, 1],
         time_slices: scale.time_slices(),
         // rank-3 payloads are n³ elements; keep dims modest even at paper
@@ -133,7 +151,10 @@ pub fn kk_pipi(scale: PresetScale) -> CorrelatorSpec {
             op("K+", Flavor::Up, Flavor::Strange),
             op("K-", Flavor::Strange, Flavor::Up),
         ],
-        sink: vec![op("pi1", Flavor::Up, Flavor::Up), op("pi2", Flavor::Up, Flavor::Up)],
+        sink: vec![
+            op("pi1", Flavor::Up, Flavor::Up),
+            op("pi2", Flavor::Up, Flavor::Up),
+        ],
         momenta: vec![-1, 0, 1],
         time_slices: scale.time_slices(),
         tensor_dim: scale.dim(256),
@@ -176,7 +197,10 @@ mod tests {
         assert!(p.graph_count > 0);
         let t = &p.stream.vectors[0].tasks[0];
         // baryon contraction flops = batch · n⁴ · 8
-        assert_eq!(t.flops, (spec.batch as u64) * (spec.tensor_dim as u64).pow(4) * 8);
+        assert_eq!(
+            t.flops,
+            (spec.batch as u64) * (spec.tensor_dim as u64).pow(4) * 8
+        );
     }
 
     #[test]

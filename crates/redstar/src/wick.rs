@@ -48,7 +48,9 @@ fn dfs(
         return;
     }
     if h == hadrons.len() {
-        out.push(Diagram { pairing: pairing.clone() });
+        out.push(Diagram {
+            pairing: pairing.clone(),
+        });
         return;
     }
     for target in 0..hadrons.len() {
@@ -78,7 +80,12 @@ mod tests {
     #[test]
     fn two_hadrons_have_one_diagram() {
         let d = enumerate_diagrams(&[op("a"), op("b")], 100);
-        assert_eq!(d, vec![Diagram { pairing: vec![1, 0] }]);
+        assert_eq!(
+            d,
+            vec![Diagram {
+                pairing: vec![1, 0]
+            }]
+        );
     }
 
     #[test]
@@ -86,8 +93,12 @@ mod tests {
         // derangements of 3 elements: (1,2,0) and (2,0,1)
         let d = enumerate_diagrams(&[op("a"), op("b"), op("c")], 100);
         assert_eq!(d.len(), 2);
-        assert!(d.contains(&Diagram { pairing: vec![1, 2, 0] }));
-        assert!(d.contains(&Diagram { pairing: vec![2, 0, 1] }));
+        assert!(d.contains(&Diagram {
+            pairing: vec![1, 2, 0]
+        }));
+        assert!(d.contains(&Diagram {
+            pairing: vec![2, 0, 1]
+        }));
     }
 
     #[test]

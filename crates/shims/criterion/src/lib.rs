@@ -1,0 +1,247 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! Benchmarks compile and run, timing each closure over a handful of
+//! iterations and printing mean wall time per iteration — no statistical
+//! machinery, plots, or baselines. Enough to eyeball relative performance
+//! in an offline container and to keep `cargo build --benches` green.
+
+use std::time::{Duration, Instant};
+
+/// Re-export point for `black_box` (upstream criterion deprecated its own
+/// in favour of `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Measurement backends (only wall time here).
+pub mod measurement {
+    /// Wall-clock measurement marker.
+    pub struct WallTime;
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Declared throughput of one benchmark iteration.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (or flops) per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Runs one benchmark body.
+pub struct Bencher {
+    iters: u32,
+    mean_secs: f64,
+}
+
+impl Bencher {
+    /// Time `f` over a few iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        let t0 = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.mean_secs = t0.elapsed().as_secs_f64() / self.iters as f64;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a, M = measurement::WallTime> {
+    name: String,
+    iters: u32,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Accepted for API compatibility; the shim keys iteration count off
+    /// this sample size.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u32).clamp(1, 50);
+        self
+    }
+
+    /// Accepted for API compatibility (ignored).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (ignored).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Record the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            mean_secs: 0.0,
+        };
+        f(&mut b);
+        self.report(&id.into(), b.mean_secs);
+        self
+    }
+
+    /// Run one benchmark with an input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            iters: self.iters,
+            mean_secs: 0.0,
+        };
+        f(&mut b, input);
+        self.report(&id.into(), b.mean_secs);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, mean_secs: f64) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean_secs > 0.0 => {
+                format!(" | {:.3} Gelem/s", n as f64 / mean_secs / 1e9)
+            }
+            Some(Throughput::Bytes(n)) if mean_secs > 0.0 => {
+                format!(" | {:.3} GiB/s", n as f64 / mean_secs / (1u64 << 30) as f64)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {:.6} ms/iter{rate}",
+            self.name,
+            id.id,
+            mean_secs * 1e3
+        );
+    }
+
+    /// Finish the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark registry / runner.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: 10,
+            throughput: None,
+            _criterion: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name).bench_function("run", f);
+        self
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1))
+            .throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.bench_function(BenchmarkId::new("mul", 3), |b| b.iter(|| 3u64 * 3));
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_and_api_run() {
+        benches();
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).id, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+        assert_eq!(BenchmarkId::from("s").id, "s");
+    }
+}

@@ -1,0 +1,91 @@
+//! Offline drop-in subset of the `crossbeam` API: scoped threads, backed by
+//! `std::thread::scope` (stable since Rust 1.63).
+//!
+//! Semantic difference from upstream: a panicking child thread propagates
+//! through `std::thread::scope` and unwinds the caller directly instead of
+//! surfacing as `Err` from [`thread::scope`] — callers here all `.expect()`
+//! the result, so both shapes abort the run identically.
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle; children spawned through it may borrow from the
+    /// caller's stack.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a child thread. The closure receives the scope (crossbeam
+        /// passes it so children can spawn grandchildren).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped child.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the child and take its result.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Run `f` with a scope; returns once every spawned child has joined.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let mut results = vec![0u64; 2];
+        let (left, right) = results.split_at_mut(1);
+        crossbeam_scope_alias::scope(|s| {
+            let d = &data;
+            s.spawn(move |_| left[0] = d[..2].iter().sum());
+            s.spawn(move |_| right[0] = d[2..].iter().sum());
+        })
+        .unwrap();
+        assert_eq!(results, vec![3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_arg() {
+        let hit = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam_scope_alias::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hit.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(hit.load(std::sync::atomic::Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn join_returns_child_value() {
+        let v = crossbeam_scope_alias::scope(|s| s.spawn(|_| 41).join().unwrap() + 1).unwrap();
+        assert_eq!(v, 42);
+    }
+
+    use super::thread as crossbeam_scope_alias;
+}

@@ -1,0 +1,138 @@
+//! The case runner's config, RNG, and error type.
+
+/// How many cases each property runs (the subset of `ProptestConfig` this
+/// workspace uses).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // upstream defaults to 256; 64 keeps the workspace's large
+        // simulator properties fast on small CI hosts
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws a fresh case.
+    Reject(String),
+    /// A `prop_assert*!` failed; the runner panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic per-test RNG (splitmix64 seeded from the test's name), so
+/// every run of a property test sees the same case sequence.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name picks well-separated starting states
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_rngs_are_stable_and_distinct() {
+        let seq = |name: &str| {
+            let mut r = TestRng::for_test(name);
+            (0..4).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq("a"), seq("a"));
+        assert_ne!(seq("a"), seq("b"));
+    }
+
+    #[test]
+    fn config_defaults_and_overrides() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    // The macro surface, exercised end to end.
+    crate::proptest! {
+        #[test]
+        fn macro_default_config_runs(x in 0u64..10, flag in crate::strategy::any::<bool>()) {
+            crate::prop_assert!(x < 10);
+            crate::prop_assert_eq!(flag, flag);
+            crate::prop_assert_ne!(x, x + 1);
+        }
+    }
+
+    crate::proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_assume_rejects_without_failing(x in 0u64..4) {
+            crate::prop_assume!(x != 1);
+            crate::prop_assert_ne!(x, 1);
+        }
+
+        #[test]
+        fn macro_handles_multiple_fns_and_patterns((a, b) in (0u64..5, 5u64..9)) {
+            crate::prop_assert!(a < b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn macro_failure_panics_with_case_number() {
+        // No `#[test]` on the inner fn: attributes pass through the macro,
+        // and rustc cannot test items nested inside a function.
+        crate::proptest! {
+            fn inner(x in 0u64..2) {
+                crate::prop_assert!(x < 1, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline drop-in subset of the `rand_distr` 0.4 API: the [`Normal`]
+//! distribution (all this workspace uses), sampled via Box–Muller.
+
+use rand::{Rng, RngCore};
+
+/// A distribution that can be sampled with any [`RngCore`].
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore>(&self, rng: &mut R) -> T;
+}
+
+/// Invalid parameters for [`Normal::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// Standard deviation was not finite and positive.
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be finite and positive")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// Gaussian distribution with the given mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Build a normal distribution; `std_dev` must be finite and positive.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !(std_dev.is_finite() && std_dev > 0.0) {
+            return Err(NormalError::BadVariance);
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 is kept away from 0 so ln is finite.
+        let u1 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2 = rng.gen_range(0.0f64..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_sigma() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn moments_are_roughly_right() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut r = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sd {}", var.sqrt());
+    }
+}

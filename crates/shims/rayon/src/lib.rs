@@ -1,0 +1,70 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! `par_iter`-style entry points return the corresponding *sequential*
+//! standard-library iterators: every adaptor downstream (`zip`, `map`,
+//! `enumerate`, `sum`, …) then compiles and behaves identically, minus the
+//! parallelism. The build host for this workspace is a single-core
+//! container, so sequential execution is also the fastest execution.
+
+/// The prelude, mirroring `rayon::prelude`.
+pub mod prelude {
+    /// Parallel-iterator entry points on shared slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for `par_iter`.
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+        /// Sequential stand-in for `par_chunks`.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    /// Parallel-iterator entry points on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for `par_iter_mut`.
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+        /// Sequential stand-in for `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T, S: AsRef<[T]> + ?Sized> ParallelSlice<T> for S {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.as_ref().iter()
+        }
+
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.as_ref().chunks(size)
+        }
+    }
+
+    impl<T, S: AsMut<[T]> + ?Sized> ParallelSliceMut<T> for S {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.as_mut().iter_mut()
+        }
+
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.as_mut().chunks_mut(size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn slice_entry_points_match_sequential() {
+        let v = vec![1u64, 2, 3, 4, 5, 6];
+        assert_eq!(v.par_iter().sum::<u64>(), 21);
+        let pairs: Vec<u64> = v.par_chunks(2).map(|c| c.iter().sum()).collect();
+        assert_eq!(pairs, vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn mutable_chunks_write_through() {
+        let mut v = vec![0u64; 6];
+        v.par_chunks_mut(3)
+            .zip([1u64, 2])
+            .for_each(|(chunk, fill)| chunk.fill(fill));
+        assert_eq!(v, vec![1, 1, 1, 2, 2, 2]);
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, vec![2, 2, 2, 3, 3, 3]);
+    }
+}

@@ -24,7 +24,11 @@ pub struct BatchedMatrix {
 impl BatchedMatrix {
     /// Zero-initialised batch.
     pub fn zeros(batch: usize, n: usize) -> Self {
-        BatchedMatrix { batch, n, data: vec![Complex64::ZERO; batch * n * n] }
+        BatchedMatrix {
+            batch,
+            n,
+            data: vec![Complex64::ZERO; batch * n * n],
+        }
     }
 
     /// Batch of identity matrices.
@@ -39,7 +43,11 @@ impl BatchedMatrix {
     }
 
     /// Build from a generator over `(batch, row, col)`.
-    pub fn from_fn(batch: usize, n: usize, mut f: impl FnMut(usize, usize, usize) -> Complex64) -> Self {
+    pub fn from_fn(
+        batch: usize,
+        n: usize,
+        mut f: impl FnMut(usize, usize, usize) -> Complex64,
+    ) -> Self {
         let mut data = Vec::with_capacity(batch * n * n);
         for b in 0..batch {
             for i in 0..n {
@@ -123,13 +131,17 @@ impl BatchedMatrix {
                 }
                 acc
             })
-            .reduce(|| Complex64::ZERO, |x, y| x + y);
+            .fold(Complex64::ZERO, |x, y| x + y);
         Ok(total)
     }
 
     /// Frobenius norm over the whole batch.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.par_iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+        self.data
+            .par_iter()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Element-wise maximum absolute difference (for tests).
@@ -154,7 +166,11 @@ pub struct BatchedTensor3 {
 impl BatchedTensor3 {
     /// Zero-initialised batch.
     pub fn zeros(batch: usize, n: usize) -> Self {
-        BatchedTensor3 { batch, n, data: vec![Complex64::ZERO; batch * n * n * n] }
+        BatchedTensor3 {
+            batch,
+            n,
+            data: vec![Complex64::ZERO; batch * n * n * n],
+        }
     }
 
     /// Build from a generator over `(batch, i, j, k)`.
@@ -241,13 +257,17 @@ impl BatchedTensor3 {
                 }
                 acc
             })
-            .reduce(|| Complex64::ZERO, |x, y| x + y);
+            .fold(Complex64::ZERO, |x, y| x + y);
         Ok(total)
     }
 
     /// Frobenius norm over the whole batch.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.par_iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+        self.data
+            .par_iter()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Element-wise maximum absolute difference (for tests).

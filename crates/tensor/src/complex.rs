@@ -41,7 +41,10 @@ impl Complex64 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Complex64 { re: self.re, im: -self.im }
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared modulus `|z|^2`.

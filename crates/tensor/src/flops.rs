@@ -81,7 +81,10 @@ mod tests {
 
     #[test]
     fn meson_flops() {
-        assert_eq!(contraction_flops(ContractionKind::Meson, 1, 100), 100u64.pow(3) * 8);
+        assert_eq!(
+            contraction_flops(ContractionKind::Meson, 1, 100),
+            100u64.pow(3) * 8
+        );
         assert_eq!(
             contraction_flops(ContractionKind::Meson, 7, 100),
             7 * 100u64.pow(3) * 8

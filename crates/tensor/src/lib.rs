@@ -133,7 +133,9 @@ mod tests {
         let a = BatchedMatrix::identity(2, 3);
         let b = BatchedMatrix::identity(2, 3);
         let c = a.matmul(&b).unwrap();
-        let h = HadronTensor::Mat(a).contract(&HadronTensor::Mat(b)).unwrap();
+        let h = HadronTensor::Mat(a)
+            .contract(&HadronTensor::Mat(b))
+            .unwrap();
         assert_eq!(h, HadronTensor::Mat(c));
     }
 
@@ -165,7 +167,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = TensorError::ShapeMismatch { lhs: (1, 2), rhs: (3, 4) };
+        let e = TensorError::ShapeMismatch {
+            lhs: (1, 2),
+            rhs: (3, 4),
+        };
         assert!(e.to_string().contains("shape mismatch"));
         assert!(TensorError::KindMismatch.to_string().contains("meson"));
     }

@@ -13,7 +13,10 @@ pub struct Matrix {
 impl Matrix {
     /// Zero matrix of mode length `n`.
     pub fn zeros(n: usize) -> Self {
-        Matrix { n, data: vec![Complex64::ZERO; n * n] }
+        Matrix {
+            n,
+            data: vec![Complex64::ZERO; n * n],
+        }
     }
 
     /// Identity matrix of mode length `n`.
@@ -67,7 +70,10 @@ impl Matrix {
     /// ordering; see the Rust Performance Book on iteration order).
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, TensorError> {
         if self.n != rhs.n {
-            return Err(TensorError::ShapeMismatch { lhs: (1, self.n), rhs: (1, rhs.n) });
+            return Err(TensorError::ShapeMismatch {
+                lhs: (1, self.n),
+                rhs: (1, rhs.n),
+            });
         }
         let n = self.n;
         let mut out = Matrix::zeros(n);
@@ -78,7 +84,10 @@ impl Matrix {
     /// `tr(self · rhs)` without materialising the product.
     pub fn trace_inner(&self, rhs: &Matrix) -> Result<Complex64, TensorError> {
         if self.n != rhs.n {
-            return Err(TensorError::ShapeMismatch { lhs: (1, self.n), rhs: (1, rhs.n) });
+            return Err(TensorError::ShapeMismatch {
+                lhs: (1, self.n),
+                rhs: (1, rhs.n),
+            });
         }
         let n = self.n;
         let mut acc = Complex64::ZERO;
@@ -212,7 +221,10 @@ mod tests {
     fn shape_mismatch_is_error() {
         let a = Matrix::zeros(2);
         let b = Matrix::zeros(3);
-        assert!(matches!(a.matmul(&b), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
         assert!(a.trace_inner(&b).is_err());
     }
 
@@ -272,7 +284,10 @@ mod tests {
             let mut blocked = vec![Complex64::ZERO; n * n];
             gemm_naive(a.as_slice(), b.as_slice(), &mut naive, n);
             gemm_blocked(a.as_slice(), b.as_slice(), &mut blocked, n);
-            assert_eq!(naive, blocked, "n = {n}: float addition order must be preserved");
+            assert_eq!(
+                naive, blocked,
+                "n = {n}: float addition order must be preserved"
+            );
         }
     }
 }

@@ -22,7 +22,10 @@ pub struct Tensor3 {
 impl Tensor3 {
     /// Zero tensor of mode length `n`.
     pub fn zeros(n: usize) -> Self {
-        Tensor3 { n, data: vec![Complex64::ZERO; n * n * n] }
+        Tensor3 {
+            n,
+            data: vec![Complex64::ZERO; n * n * n],
+        }
     }
 
     /// Build from a generator over `(i, j, k)`.
@@ -66,7 +69,10 @@ impl Tensor3 {
     /// `out[i,j,k] = Σ_a self[i,j,a] · rhs[a,j,k]`.
     pub fn contract(&self, rhs: &Tensor3) -> Result<Tensor3, TensorError> {
         if self.n != rhs.n {
-            return Err(TensorError::ShapeMismatch { lhs: (1, self.n), rhs: (1, rhs.n) });
+            return Err(TensorError::ShapeMismatch {
+                lhs: (1, self.n),
+                rhs: (1, rhs.n),
+            });
         }
         let n = self.n;
         let mut out = Tensor3::zeros(n);
@@ -78,7 +84,10 @@ impl Tensor3 {
     /// (final reduction when a graph is down to two baryon nodes).
     pub fn inner(&self, rhs: &Tensor3) -> Result<Complex64, TensorError> {
         if self.n != rhs.n {
-            return Err(TensorError::ShapeMismatch { lhs: (1, self.n), rhs: (1, rhs.n) });
+            return Err(TensorError::ShapeMismatch {
+                lhs: (1, self.n),
+                rhs: (1, rhs.n),
+            });
         }
         let n = self.n;
         let mut acc = Complex64::ZERO;

@@ -11,21 +11,18 @@ fn cpx() -> impl Strategy<Value = Complex64> {
 }
 
 fn matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    proptest::collection::vec(cpx(), n * n).prop_map(move |v| {
-        Matrix::from_fn(n, |i, j| v[i * n + j])
-    })
+    proptest::collection::vec(cpx(), n * n)
+        .prop_map(move |v| Matrix::from_fn(n, |i, j| v[i * n + j]))
 }
 
 fn tensor3(n: usize) -> impl Strategy<Value = Tensor3> {
-    proptest::collection::vec(cpx(), n * n * n).prop_map(move |v| {
-        Tensor3::from_fn(n, |i, j, k| v[(i * n + j) * n + k])
-    })
+    proptest::collection::vec(cpx(), n * n * n)
+        .prop_map(move |v| Tensor3::from_fn(n, |i, j, k| v[(i * n + j) * n + k]))
 }
 
 fn batched(batch: usize, n: usize) -> impl Strategy<Value = BatchedMatrix> {
-    proptest::collection::vec(cpx(), batch * n * n).prop_map(move |v| {
-        BatchedMatrix::from_fn(batch, n, |b, i, j| v[(b * n + i) * n + j])
-    })
+    proptest::collection::vec(cpx(), batch * n * n)
+        .prop_map(move |v| BatchedMatrix::from_fn(batch, n, |b, i, j| v[(b * n + i) * n + j]))
 }
 
 proptest! {

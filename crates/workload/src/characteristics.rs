@@ -63,8 +63,16 @@ impl DataCharacteristics {
             seen.insert(t.out.id);
         }
 
-        let repeated_rate = if slots == 0 { 0.0 } else { repeats as f64 / slots as f64 };
-        let tensor_bytes = if slots == 0 { 0.0 } else { bytes_sum as f64 / slots as f64 };
+        let repeated_rate = if slots == 0 {
+            0.0
+        } else {
+            repeats as f64 / slots as f64
+        };
+        let tensor_bytes = if slots == 0 {
+            0.0
+        } else {
+            bytes_sum as f64 / slots as f64
+        };
         DataCharacteristics {
             vector_size: vector.len(),
             tensor_bytes,
@@ -127,7 +135,10 @@ mod tests {
 
     fn measure_stream(s: &TensorPairStream) -> Vec<DataCharacteristics> {
         let mut seen = HashSet::new();
-        s.vectors.iter().map(|v| DataCharacteristics::measure(v, &mut seen)).collect()
+        s.vectors
+            .iter()
+            .map(|v| DataCharacteristics::measure(v, &mut seen))
+            .collect()
     }
 
     #[test]
@@ -175,8 +186,7 @@ mod tests {
     fn even_repeats_have_low_bias() {
         // four repeats across four distinct targets, one hit each
         let v = Vector::new(vec![task(0, 1, 2, 100), task(1, 3, 4, 101)]);
-        let mut seen: HashSet<TensorId> =
-            [1, 2, 3, 4].into_iter().map(TensorId).collect();
+        let mut seen: HashSet<TensorId> = [1, 2, 3, 4].into_iter().map(TensorId).collect();
         let c = DataCharacteristics::measure(&v, &mut seen);
         assert_eq!(c.repeated_rate, 1.0);
         assert!(c.distribution_bias < 1e-9);
@@ -184,9 +194,21 @@ mod tests {
 
     #[test]
     fn gaussian_workload_measures_more_biased_than_uniform() {
-        let spec = WorkloadSpec::new(64, 64).with_repeat_rate(0.75).with_vectors(6).with_seed(5);
-        let u = measure_stream(&spec.clone().with_distribution(RepeatDistribution::Uniform).generate());
-        let g = measure_stream(&spec.with_distribution(RepeatDistribution::Gaussian).generate());
+        let spec = WorkloadSpec::new(64, 64)
+            .with_repeat_rate(0.75)
+            .with_vectors(6)
+            .with_seed(5);
+        let u = measure_stream(
+            &spec
+                .clone()
+                .with_distribution(RepeatDistribution::Uniform)
+                .generate(),
+        );
+        let g = measure_stream(
+            &spec
+                .with_distribution(RepeatDistribution::Gaussian)
+                .generate(),
+        );
         let mean = |cs: &[DataCharacteristics]| {
             cs.iter().map(|c| c.distribution_bias).sum::<f64>() / cs.len() as f64
         };
@@ -200,7 +222,10 @@ mod tests {
 
     #[test]
     fn measured_rate_close_to_spec_rate() {
-        let spec = WorkloadSpec::new(64, 64).with_repeat_rate(0.5).with_vectors(8).with_seed(11);
+        let spec = WorkloadSpec::new(64, 64)
+            .with_repeat_rate(0.5)
+            .with_vectors(8)
+            .with_seed(11);
         let cs = measure_stream(&spec.generate());
         // skip the warm-up vector
         let mean: f64 =

@@ -177,7 +177,10 @@ impl WorkloadSpec {
     /// Enable per-vector size variation: pair counts drawn from `sizes`.
     pub fn with_vector_size_choices(mut self, sizes: Vec<usize>) -> Self {
         assert!(!sizes.is_empty(), "need at least one vector size choice");
-        assert!(sizes.iter().all(|&s| s > 0), "vector sizes must be positive");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "vector sizes must be positive"
+        );
         self.vector_size_choices = Some(sizes);
         self
     }
@@ -317,7 +320,10 @@ mod tests {
 
     #[test]
     fn first_vector_is_all_fresh() {
-        let s = WorkloadSpec::new(16, 32).with_repeat_rate(1.0).with_vectors(3).generate();
+        let s = WorkloadSpec::new(16, 32)
+            .with_repeat_rate(1.0)
+            .with_vectors(3)
+            .generate();
         let mut ids: HashSet<TensorId> = HashSet::new();
         for t in &s.vectors[0].tasks {
             ids.insert(t.a.id);
@@ -348,7 +354,10 @@ mod tests {
 
     #[test]
     fn zero_repeat_rate_all_fresh() {
-        let s = WorkloadSpec::new(16, 32).with_repeat_rate(0.0).with_vectors(3).generate();
+        let s = WorkloadSpec::new(16, 32)
+            .with_repeat_rate(0.0)
+            .with_vectors(3)
+            .generate();
         assert_eq!(measured_repeat_rate(&s), 0.0);
         // 3 vectors * 16 pairs * 2 slots distinct inputs
         let mut ids: HashSet<TensorId> = HashSet::new();
@@ -363,7 +372,11 @@ mod tests {
 
     #[test]
     fn full_repeat_rate_reuses_heavily() {
-        let s = WorkloadSpec::new(32, 32).with_repeat_rate(1.0).with_vectors(4).with_seed(1).generate();
+        let s = WorkloadSpec::new(32, 32)
+            .with_repeat_rate(1.0)
+            .with_vectors(4)
+            .with_seed(1)
+            .generate();
         // Past the all-fresh seed vector, everything repeats.
         let r = measured_repeat_rate(&s);
         assert_eq!(r, 1.0, "measured repeat rate {r}");
@@ -384,7 +397,10 @@ mod tests {
 
     #[test]
     fn gaussian_concentrates_repeats() {
-        let base = WorkloadSpec::new(64, 32).with_repeat_rate(0.8).with_vectors(8).with_seed(3);
+        let base = WorkloadSpec::new(64, 32)
+            .with_repeat_rate(0.8)
+            .with_vectors(8)
+            .with_seed(3);
         let count_hot = |s: &TensorPairStream| {
             let mut counts: HashMap<TensorId, usize> = HashMap::new();
             for v in &s.vectors {
@@ -396,9 +412,17 @@ mod tests {
             // Max appearance count of any single tensor.
             counts.values().copied().max().unwrap_or(0)
         };
-        let uniform = count_hot(&base.clone().with_distribution(RepeatDistribution::Uniform).generate());
-        let gaussian =
-            count_hot(&base.with_distribution(RepeatDistribution::Gaussian).generate());
+        let uniform = count_hot(
+            &base
+                .clone()
+                .with_distribution(RepeatDistribution::Uniform)
+                .generate(),
+        );
+        let gaussian = count_hot(
+            &base
+                .with_distribution(RepeatDistribution::Gaussian)
+                .generate(),
+        );
         assert!(
             gaussian > uniform,
             "gaussian hot count {gaussian} should exceed uniform {uniform}"
@@ -407,7 +431,10 @@ mod tests {
 
     #[test]
     fn outputs_are_unique_and_disjoint_from_inputs() {
-        let s = WorkloadSpec::new(16, 32).with_repeat_rate(0.9).with_vectors(4).generate();
+        let s = WorkloadSpec::new(16, 32)
+            .with_repeat_rate(0.9)
+            .with_vectors(4)
+            .generate();
         let mut outs = HashSet::new();
         for v in &s.vectors {
             for t in &v.tasks {
@@ -426,7 +453,10 @@ mod tests {
 
     #[test]
     fn zipf_concentrates_harder_than_uniform_with_a_tail() {
-        let base = WorkloadSpec::new(64, 32).with_repeat_rate(0.8).with_vectors(8).with_seed(3);
+        let base = WorkloadSpec::new(64, 32)
+            .with_repeat_rate(0.8)
+            .with_vectors(8)
+            .with_seed(3);
         let counts = |s: &TensorPairStream| {
             let mut c: HashMap<TensorId, usize> = HashMap::new();
             for v in &s.vectors {
@@ -437,7 +467,12 @@ mod tests {
             }
             c
         };
-        let uniform = counts(&base.clone().with_distribution(RepeatDistribution::Uniform).generate());
+        let uniform = counts(
+            &base
+                .clone()
+                .with_distribution(RepeatDistribution::Uniform)
+                .generate(),
+        );
         let zipf = counts(&base.with_distribution(RepeatDistribution::Zipf).generate());
         let max = |c: &HashMap<TensorId, usize>| c.values().copied().max().unwrap();
         assert!(
@@ -447,7 +482,11 @@ mod tests {
             max(&uniform)
         );
         // long tail: a decent number of distinct tensors still get hit
-        assert!(zipf.len() > uniform.len() / 4, "zipf tail too short: {}", zipf.len());
+        assert!(
+            zipf.len() > uniform.len() / 4,
+            "zipf tail too short: {}",
+            zipf.len()
+        );
     }
 
     #[test]

@@ -104,9 +104,18 @@ pub fn from_text(text: &str) -> Result<TensorPairStream, StreamFormatError> {
             }
             let task = ContractionTask {
                 id: TaskId(nums[0]),
-                a: TensorDesc { id: TensorId(nums[1]), bytes: nums[2] },
-                b: TensorDesc { id: TensorId(nums[3]), bytes: nums[4] },
-                out: TensorDesc { id: TensorId(nums[5]), bytes: nums[6] },
+                a: TensorDesc {
+                    id: TensorId(nums[1]),
+                    bytes: nums[2],
+                },
+                b: TensorDesc {
+                    id: TensorId(nums[3]),
+                    bytes: nums[4],
+                },
+                out: TensorDesc {
+                    id: TensorId(nums[5]),
+                    bytes: nums[6],
+                },
                 flops: nums[7],
             };
             vectors
@@ -131,7 +140,10 @@ mod tests {
 
     #[test]
     fn roundtrip_is_exact() {
-        let stream = WorkloadSpec::new(16, 128).with_repeat_rate(0.6).with_vectors(4).generate();
+        let stream = WorkloadSpec::new(16, 128)
+            .with_repeat_rate(0.6)
+            .with_vectors(4)
+            .generate();
         let text = to_text(&stream);
         let back = from_text(&text).unwrap();
         assert_eq!(stream, back);

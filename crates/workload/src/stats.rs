@@ -64,7 +64,11 @@ impl StreamStats {
             tasks: stream.total_tasks(),
             flops: stream.total_flops(),
             distinct_inputs: distinct,
-            repeat_fraction: if slots == 0 { 0.0 } else { repeats as f64 / slots as f64 },
+            repeat_fraction: if slots == 0 {
+                0.0
+            } else {
+                repeats as f64 / slots as f64
+            },
             mean_uses_per_tensor: if distinct == 0 {
                 0.0
             } else {
@@ -73,11 +77,7 @@ impl StreamStats {
             max_uses,
             working_set_bytes: stream.unique_bytes(),
             peak_stage_bytes: stream.peak_vector_bytes(),
-            tasks_per_stage: (
-                if per_stage.is_empty() { 0 } else { min_t },
-                mean_t,
-                max_t,
-            ),
+            tasks_per_stage: (if per_stage.is_empty() { 0 } else { min_t }, mean_t, max_t),
         }
     }
 }
@@ -118,7 +118,10 @@ mod tests {
 
     #[test]
     fn fresh_stream_has_no_repeats() {
-        let s = WorkloadSpec::new(8, 32).with_repeat_rate(0.0).with_vectors(3).generate();
+        let s = WorkloadSpec::new(8, 32)
+            .with_repeat_rate(0.0)
+            .with_vectors(3)
+            .generate();
         let st = StreamStats::measure(&s);
         assert_eq!(st.repeat_fraction, 0.0);
         assert_eq!(st.distinct_inputs, 8 * 3 * 2);
@@ -137,14 +140,21 @@ mod tests {
             .with_vectors(4)
             .generate();
         let st = StreamStats::measure(&s);
-        assert!(st.repeat_fraction > 0.4, "repeat fraction {}", st.repeat_fraction);
+        assert!(
+            st.repeat_fraction > 0.4,
+            "repeat fraction {}",
+            st.repeat_fraction
+        );
         assert!(st.mean_uses_per_tensor > 1.5);
         assert!(st.max_uses > 3);
     }
 
     #[test]
     fn consistency_with_stream_accessors() {
-        let s = WorkloadSpec::new(16, 48).with_repeat_rate(0.5).with_vectors(3).generate();
+        let s = WorkloadSpec::new(16, 48)
+            .with_repeat_rate(0.5)
+            .with_vectors(3)
+            .generate();
         let st = StreamStats::measure(&s);
         assert_eq!(st.tasks, s.total_tasks());
         assert_eq!(st.flops, s.total_flops());

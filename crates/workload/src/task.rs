@@ -28,7 +28,10 @@ pub struct TensorDesc {
 impl TensorDesc {
     /// Describe a hadron tensor of the given kind/batch/dim.
     pub fn new(id: TensorId, kind: ContractionKind, batch: usize, dim: usize) -> Self {
-        TensorDesc { id, bytes: tensor_bytes(kind, batch, dim) }
+        TensorDesc {
+            id,
+            bytes: tensor_bytes(kind, batch, dim),
+        }
     }
 }
 
@@ -113,11 +116,7 @@ impl Vector {
 
     /// Total distinct input tensors (repeats within the vector counted once).
     pub fn unique_input_tensors(&self) -> usize {
-        let mut ids: Vec<TensorId> = self
-            .tasks
-            .iter()
-            .flat_map(|t| [t.a.id, t.b.id])
-            .collect();
+        let mut ids: Vec<TensorId> = self.tasks.iter().flat_map(|t| [t.a.id, t.b.id]).collect();
         ids.sort_unstable();
         ids.dedup();
         ids.len()
@@ -174,7 +173,11 @@ impl TensorPairStream {
 
     /// Largest single-vector working set in bytes (peak concurrent demand).
     pub fn peak_vector_bytes(&self) -> u64 {
-        self.vectors.iter().map(Vector::unique_bytes).max().unwrap_or(0)
+        self.vectors
+            .iter()
+            .map(Vector::unique_bytes)
+            .max()
+            .unwrap_or(0)
     }
 }
 

@@ -10,7 +10,15 @@ use micco_workload::{
 };
 
 fn spec() -> impl Strategy<Value = WorkloadSpec> {
-    (1usize..32, 4usize..64, 0.0f64..=1.0, any::<bool>(), 1usize..6, any::<u64>(), 1usize..6)
+    (
+        1usize..32,
+        4usize..64,
+        0.0f64..=1.0,
+        any::<bool>(),
+        1usize..6,
+        any::<u64>(),
+        1usize..6,
+    )
         .prop_map(|(vs, dim, rate, gaussian, nv, seed, batch)| {
             WorkloadSpec::new(vs, dim)
                 .with_repeat_rate(rate)

@@ -17,7 +17,11 @@ fn main() {
     // Offline phase: label sampled workloads by sweeping reuse bounds on
     // the simulator (the paper labels 300 samples; 40 keeps this example
     // fast), then train the random forests.
-    let tc = TrainingConfig { samples: 40, seed: 99, ..TrainingConfig::default() };
+    let tc = TrainingConfig {
+        samples: 40,
+        seed: 99,
+        ..TrainingConfig::default()
+    };
     println!("labelling {} training samples by bound sweeps…", tc.samples);
     let samples = build_training_set(&tc, &machine);
     let model = RegressionBounds::train(&samples, 99);

@@ -43,7 +43,11 @@ fn main() {
     // the labelled samples and measure permutation importances of the four
     // data characteristics for the dominant second bound.
     println!("labelling 40 samples for feature-importance analysis…");
-    let tc = TrainingConfig { samples: 40, seed: 12, ..TrainingConfig::default() };
+    let tc = TrainingConfig {
+        samples: 40,
+        seed: 12,
+        ..TrainingConfig::default()
+    };
     let samples = build_training_set(&tc, &cfg);
     let x: Vec<Vec<f64>> = samples.iter().map(|s| s.features.to_vec()).collect();
     let y: Vec<f64> = samples.iter().map(|s| s.bounds[1] as f64).collect();

@@ -44,7 +44,10 @@ fn main() {
     )
     .expect("workload fits the machine");
 
-    println!("\n{:<22} {:>10} {:>12} {:>8} {:>8} {:>10}", "scheduler", "GFLOPS", "elapsed", "h2d", "d2d", "reuse hits");
+    println!(
+        "\n{:<22} {:>10} {:>12} {:>8} {:>8} {:>10}",
+        "scheduler", "GFLOPS", "elapsed", "h2d", "d2d", "reuse hits"
+    );
     for r in [&groute, &micco] {
         println!(
             "{:<22} {:>10.0} {:>10.2}ms {:>8} {:>8} {:>10}",

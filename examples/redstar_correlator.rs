@@ -45,8 +45,8 @@ fn main() {
 
     // Schedule on the simulated node.
     let machine = MachineConfig::mi100_like(8);
-    let groute = run_schedule(&mut GrouteScheduler::new(), &program.stream, &machine)
-        .expect("fits");
+    let groute =
+        run_schedule(&mut GrouteScheduler::new(), &program.stream, &machine).expect("fits");
     let micco = run_schedule(
         &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
         &program.stream,

@@ -44,8 +44,8 @@
 //! ```
 
 pub use micco_cluster as cluster;
-pub use micco_exec as exec;
 pub use micco_core as sched;
+pub use micco_exec as exec;
 pub use micco_gpusim as gpusim;
 pub use micco_graph as graph;
 pub use micco_ml as ml;
@@ -56,8 +56,8 @@ pub use micco_workload as workload;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use micco_core::{
-        run_schedule, Assignment, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler,
-        ScheduleReport, Scheduler,
+        run_schedule, Assignment, GrouteScheduler, MiccoScheduler, ReuseBounds,
+        RoundRobinScheduler, ScheduleReport, Scheduler,
     };
     pub use micco_gpusim::{CostModel, MachineConfig, MachineState, SimMachine};
     pub use micco_workload::{RepeatDistribution, TensorPairStream, Vector, WorkloadSpec};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algebra_properties-641ba86813f35626.d: crates/tensor/tests/algebra_properties.rs
+
+/root/repo/target/debug/deps/algebra_properties-641ba86813f35626: crates/tensor/tests/algebra_properties.rs
+
+crates/tensor/tests/algebra_properties.rs:

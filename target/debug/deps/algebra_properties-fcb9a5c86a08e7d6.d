@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algebra_properties-fcb9a5c86a08e7d6.d: crates/tensor/tests/algebra_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgebra_properties-fcb9a5c86a08e7d6.rmeta: crates/tensor/tests/algebra_properties.rs Cargo.toml
+
+crates/tensor/tests/algebra_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

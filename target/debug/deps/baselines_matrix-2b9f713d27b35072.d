@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_matrix-2b9f713d27b35072.d: crates/bench/src/bin/baselines_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_matrix-2b9f713d27b35072.rmeta: crates/bench/src/bin/baselines_matrix.rs Cargo.toml
+
+crates/bench/src/bin/baselines_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

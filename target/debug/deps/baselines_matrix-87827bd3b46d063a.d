@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_matrix-87827bd3b46d063a.d: crates/bench/src/bin/baselines_matrix.rs
+
+/root/repo/target/debug/deps/baselines_matrix-87827bd3b46d063a: crates/bench/src/bin/baselines_matrix.rs
+
+crates/bench/src/bin/baselines_matrix.rs:

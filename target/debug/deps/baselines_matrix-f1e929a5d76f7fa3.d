@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines_matrix-f1e929a5d76f7fa3.d: crates/bench/src/bin/baselines_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_matrix-f1e929a5d76f7fa3.rmeta: crates/bench/src/bin/baselines_matrix.rs Cargo.toml
+
+crates/bench/src/bin/baselines_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

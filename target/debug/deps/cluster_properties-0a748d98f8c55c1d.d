@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_properties-0a748d98f8c55c1d.d: crates/cluster/tests/cluster_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_properties-0a748d98f8c55c1d.rmeta: crates/cluster/tests/cluster_properties.rs Cargo.toml
+
+crates/cluster/tests/cluster_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

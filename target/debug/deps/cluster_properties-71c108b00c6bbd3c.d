@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_properties-71c108b00c6bbd3c.d: crates/cluster/tests/cluster_properties.rs
+
+/root/repo/target/debug/deps/cluster_properties-71c108b00c6bbd3c: crates/cluster/tests/cluster_properties.rs
+
+crates/cluster/tests/cluster_properties.rs:

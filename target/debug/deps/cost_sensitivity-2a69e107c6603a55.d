@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cost_sensitivity-2a69e107c6603a55.d: tests/cost_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_sensitivity-2a69e107c6603a55.rmeta: tests/cost_sensitivity.rs Cargo.toml
+
+tests/cost_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_sensitivity-da5b5afb63e4e0ce.d: tests/cost_sensitivity.rs
+
+/root/repo/target/debug/deps/cost_sensitivity-da5b5afb63e4e0ce: tests/cost_sensitivity.rs
+
+tests/cost_sensitivity.rs:

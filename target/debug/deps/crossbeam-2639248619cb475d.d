@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-2639248619cb475d.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-2639248619cb475d.rlib: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-2639248619cb475d.rmeta: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-c91de196ee75eee7.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-c91de196ee75eee7: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-21f572cf4b6fed2b.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-21f572cf4b6fed2b: tests/end_to_end.rs
+
+tests/end_to_end.rs:

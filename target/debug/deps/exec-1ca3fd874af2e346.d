@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec-1ca3fd874af2e346.d: crates/bench/benches/exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec-1ca3fd874af2e346.rmeta: crates/bench/benches/exec.rs Cargo.toml
+
+crates/bench/benches/exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_conformance-70169f89fbac1317.d: tests/exec_conformance.rs
+
+/root/repo/target/debug/deps/exec_conformance-70169f89fbac1317: tests/exec_conformance.rs
+
+tests/exec_conformance.rs:

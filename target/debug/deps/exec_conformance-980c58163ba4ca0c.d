@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec_conformance-980c58163ba4ca0c.d: tests/exec_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec_conformance-980c58163ba4ca0c.rmeta: tests/exec_conformance.rs Cargo.toml
+
+tests/exec_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_async_copy-39435f3d2416fc2b.d: crates/bench/src/bin/ext_async_copy.rs
+
+/root/repo/target/debug/deps/ext_async_copy-39435f3d2416fc2b: crates/bench/src/bin/ext_async_copy.rs
+
+crates/bench/src/bin/ext_async_copy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_async_copy-7bf77c99b1b3cd95.d: crates/bench/src/bin/ext_async_copy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_async_copy-7bf77c99b1b3cd95.rmeta: crates/bench/src/bin/ext_async_copy.rs Cargo.toml
+
+crates/bench/src/bin/ext_async_copy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

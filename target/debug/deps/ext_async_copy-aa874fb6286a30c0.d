@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_async_copy-aa874fb6286a30c0.d: crates/bench/src/bin/ext_async_copy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_async_copy-aa874fb6286a30c0.rmeta: crates/bench/src/bin/ext_async_copy.rs Cargo.toml
+
+crates/bench/src/bin/ext_async_copy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

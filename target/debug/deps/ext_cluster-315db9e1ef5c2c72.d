@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_cluster-315db9e1ef5c2c72.d: crates/bench/src/bin/ext_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_cluster-315db9e1ef5c2c72.rmeta: crates/bench/src/bin/ext_cluster.rs Cargo.toml
+
+crates/bench/src/bin/ext_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_cluster-834073ee44956e85.d: crates/bench/src/bin/ext_cluster.rs
+
+/root/repo/target/debug/deps/ext_cluster-834073ee44956e85: crates/bench/src/bin/ext_cluster.rs
+
+crates/bench/src/bin/ext_cluster.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_contention-19636053f0aa9b58.d: crates/bench/src/bin/ext_contention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_contention-19636053f0aa9b58.rmeta: crates/bench/src/bin/ext_contention.rs Cargo.toml
+
+crates/bench/src/bin/ext_contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_contention-cb952151589e307d.d: crates/bench/src/bin/ext_contention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_contention-cb952151589e307d.rmeta: crates/bench/src/bin/ext_contention.rs Cargo.toml
+
+crates/bench/src/bin/ext_contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

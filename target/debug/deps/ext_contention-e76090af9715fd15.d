@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_contention-e76090af9715fd15.d: crates/bench/src/bin/ext_contention.rs
+
+/root/repo/target/debug/deps/ext_contention-e76090af9715fd15: crates/bench/src/bin/ext_contention.rs
+
+crates/bench/src/bin/ext_contention.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_job-142cb90e8535a33f.d: crates/bench/src/bin/ext_job.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_job-142cb90e8535a33f.rmeta: crates/bench/src/bin/ext_job.rs Cargo.toml
+
+crates/bench/src/bin/ext_job.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

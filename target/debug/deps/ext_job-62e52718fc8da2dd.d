@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_job-62e52718fc8da2dd.d: crates/bench/src/bin/ext_job.rs
+
+/root/repo/target/debug/deps/ext_job-62e52718fc8da2dd: crates/bench/src/bin/ext_job.rs
+
+crates/bench/src/bin/ext_job.rs:

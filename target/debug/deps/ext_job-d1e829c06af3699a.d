@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_job-d1e829c06af3699a.d: crates/bench/src/bin/ext_job.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_job-d1e829c06af3699a.rmeta: crates/bench/src/bin/ext_job.rs Cargo.toml
+
+crates/bench/src/bin/ext_job.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_planner-249acda9aa0bb828.d: crates/bench/src/bin/ext_planner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_planner-249acda9aa0bb828.rmeta: crates/bench/src/bin/ext_planner.rs Cargo.toml
+
+crates/bench/src/bin/ext_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

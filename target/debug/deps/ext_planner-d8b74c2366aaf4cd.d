@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_planner-d8b74c2366aaf4cd.d: crates/bench/src/bin/ext_planner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_planner-d8b74c2366aaf4cd.rmeta: crates/bench/src/bin/ext_planner.rs Cargo.toml
+
+crates/bench/src/bin/ext_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

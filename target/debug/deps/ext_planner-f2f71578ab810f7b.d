@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_planner-f2f71578ab810f7b.d: crates/bench/src/bin/ext_planner.rs
+
+/root/repo/target/debug/deps/ext_planner-f2f71578ab810f7b: crates/bench/src/bin/ext_planner.rs
+
+crates/bench/src/bin/ext_planner.rs:

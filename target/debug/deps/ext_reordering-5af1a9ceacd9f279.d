@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_reordering-5af1a9ceacd9f279.d: crates/bench/src/bin/ext_reordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_reordering-5af1a9ceacd9f279.rmeta: crates/bench/src/bin/ext_reordering.rs Cargo.toml
+
+crates/bench/src/bin/ext_reordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_reordering-d324c4915bee5ec8.d: crates/bench/src/bin/ext_reordering.rs
+
+/root/repo/target/debug/deps/ext_reordering-d324c4915bee5ec8: crates/bench/src/bin/ext_reordering.rs
+
+crates/bench/src/bin/ext_reordering.rs:

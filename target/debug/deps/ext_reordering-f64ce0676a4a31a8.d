@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ext_reordering-f64ce0676a4a31a8.d: crates/bench/src/bin/ext_reordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_reordering-f64ce0676a4a31a8.rmeta: crates/bench/src/bin/ext_reordering.rs Cargo.toml
+
+crates/bench/src/bin/ext_reordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_claims-bd6d77f90fbba6d1.d: tests/extension_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_claims-bd6d77f90fbba6d1.rmeta: tests/extension_claims.rs Cargo.toml
+
+tests/extension_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

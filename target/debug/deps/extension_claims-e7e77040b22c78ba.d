@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_claims-e7e77040b22c78ba.d: tests/extension_claims.rs
+
+/root/repo/target/debug/deps/extension_claims-e7e77040b22c78ba: tests/extension_claims.rs
+
+tests/extension_claims.rs:

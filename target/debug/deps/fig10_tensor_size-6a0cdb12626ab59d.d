@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_tensor_size-6a0cdb12626ab59d.d: crates/bench/src/bin/fig10_tensor_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_tensor_size-6a0cdb12626ab59d.rmeta: crates/bench/src/bin/fig10_tensor_size.rs Cargo.toml
+
+crates/bench/src/bin/fig10_tensor_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_tensor_size-8014e36a7b0314cd.d: crates/bench/src/bin/fig10_tensor_size.rs
+
+/root/repo/target/debug/deps/fig10_tensor_size-8014e36a7b0314cd: crates/bench/src/bin/fig10_tensor_size.rs
+
+crates/bench/src/bin/fig10_tensor_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_tensor_size-93c816f84e142abb.d: crates/bench/src/bin/fig10_tensor_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_tensor_size-93c816f84e142abb.rmeta: crates/bench/src/bin/fig10_tensor_size.rs Cargo.toml
+
+crates/bench/src/bin/fig10_tensor_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

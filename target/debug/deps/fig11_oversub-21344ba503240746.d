@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_oversub-21344ba503240746.d: crates/bench/src/bin/fig11_oversub.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_oversub-21344ba503240746.rmeta: crates/bench/src/bin/fig11_oversub.rs Cargo.toml
+
+crates/bench/src/bin/fig11_oversub.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

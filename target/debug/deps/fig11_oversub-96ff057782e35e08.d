@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_oversub-96ff057782e35e08.d: crates/bench/src/bin/fig11_oversub.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_oversub-96ff057782e35e08.rmeta: crates/bench/src/bin/fig11_oversub.rs Cargo.toml
+
+crates/bench/src/bin/fig11_oversub.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

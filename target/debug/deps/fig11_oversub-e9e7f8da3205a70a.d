@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_oversub-e9e7f8da3205a70a.d: crates/bench/src/bin/fig11_oversub.rs
+
+/root/repo/target/debug/deps/fig11_oversub-e9e7f8da3205a70a: crates/bench/src/bin/fig11_oversub.rs
+
+crates/bench/src/bin/fig11_oversub.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_spearman-5ecc880ac26d4c35.d: crates/bench/src/bin/fig5_spearman.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_spearman-5ecc880ac26d4c35.rmeta: crates/bench/src/bin/fig5_spearman.rs Cargo.toml
+
+crates/bench/src/bin/fig5_spearman.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_spearman-b22e1fc9963785c6.d: crates/bench/src/bin/fig5_spearman.rs
+
+/root/repo/target/debug/deps/fig5_spearman-b22e1fc9963785c6: crates/bench/src/bin/fig5_spearman.rs
+
+crates/bench/src/bin/fig5_spearman.rs:

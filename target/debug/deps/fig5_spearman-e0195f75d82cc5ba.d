@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_spearman-e0195f75d82cc5ba.d: crates/bench/src/bin/fig5_spearman.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_spearman-e0195f75d82cc5ba.rmeta: crates/bench/src/bin/fig5_spearman.rs Cargo.toml
+
+crates/bench/src/bin/fig5_spearman.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_overall-25bd35eefd155324.d: crates/bench/src/bin/fig7_overall.rs
+
+/root/repo/target/debug/deps/fig7_overall-25bd35eefd155324: crates/bench/src/bin/fig7_overall.rs
+
+crates/bench/src/bin/fig7_overall.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_overall-47114fe7b36c0382.d: crates/bench/src/bin/fig7_overall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_overall-47114fe7b36c0382.rmeta: crates/bench/src/bin/fig7_overall.rs Cargo.toml
+
+crates/bench/src/bin/fig7_overall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_overall-d950e6891f9a5ae6.d: crates/bench/src/bin/fig7_overall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_overall-d950e6891f9a5ae6.rmeta: crates/bench/src/bin/fig7_overall.rs Cargo.toml
+
+crates/bench/src/bin/fig7_overall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

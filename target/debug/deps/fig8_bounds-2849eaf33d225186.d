@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_bounds-2849eaf33d225186.d: crates/bench/src/bin/fig8_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_bounds-2849eaf33d225186.rmeta: crates/bench/src/bin/fig8_bounds.rs Cargo.toml
+
+crates/bench/src/bin/fig8_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_bounds-fa7a4f560f42403e.d: crates/bench/src/bin/fig8_bounds.rs
+
+/root/repo/target/debug/deps/fig8_bounds-fa7a4f560f42403e: crates/bench/src/bin/fig8_bounds.rs
+
+crates/bench/src/bin/fig8_bounds.rs:

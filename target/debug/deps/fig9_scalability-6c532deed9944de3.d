@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_scalability-6c532deed9944de3.d: crates/bench/src/bin/fig9_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_scalability-6c532deed9944de3.rmeta: crates/bench/src/bin/fig9_scalability.rs Cargo.toml
+
+crates/bench/src/bin/fig9_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_scalability-8e859f5996ee0013.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/debug/deps/fig9_scalability-8e859f5996ee0013: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator_properties-4e5637838a193c57.d: crates/workload/tests/generator_properties.rs
+
+/root/repo/target/debug/deps/generator_properties-4e5637838a193c57: crates/workload/tests/generator_properties.rs
+
+crates/workload/tests/generator_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generator_properties-956f2f794be59f32.d: crates/workload/tests/generator_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerator_properties-956f2f794be59f32.rmeta: crates/workload/tests/generator_properties.rs Cargo.toml
+
+crates/workload/tests/generator_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_properties-4a8503470c36f0f5.d: crates/gpusim/tests/memory_properties.rs
+
+/root/repo/target/debug/deps/memory_properties-4a8503470c36f0f5: crates/gpusim/tests/memory_properties.rs
+
+crates/gpusim/tests/memory_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_properties-c680e6d44a894d2c.d: crates/gpusim/tests/memory_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_properties-c680e6d44a894d2c.rmeta: crates/gpusim/tests/memory_properties.rs Cargo.toml
+
+crates/gpusim/tests/memory_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

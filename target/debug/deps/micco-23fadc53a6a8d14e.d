@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micco-23fadc53a6a8d14e.d: src/lib.rs
+
+/root/repo/target/debug/deps/micco-23fadc53a6a8d14e: src/lib.rs
+
+src/lib.rs:

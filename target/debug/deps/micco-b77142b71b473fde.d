@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/micco-b77142b71b473fde.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmicco-b77142b71b473fde.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmicco-b77142b71b473fde.rmeta: src/lib.rs
+
+src/lib.rs:

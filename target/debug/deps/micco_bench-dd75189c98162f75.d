@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/micco_bench-dd75189c98162f75.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmicco_bench-dd75189c98162f75.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmicco_bench-dd75189c98162f75.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/micco_bench-f403b9cf83621512.d: crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicco_bench-f403b9cf83621512.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/micco_bench-f8d30a8881493b00.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/micco_bench-f8d30a8881493b00: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

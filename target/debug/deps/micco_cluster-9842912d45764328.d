@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/micco_cluster-9842912d45764328.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+
+/root/repo/target/debug/deps/micco_cluster-9842912d45764328: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/hierarchical.rs:

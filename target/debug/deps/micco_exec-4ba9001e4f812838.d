@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/micco_exec-4ba9001e4f812838.d: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicco_exec-4ba9001e4f812838.rmeta: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs Cargo.toml
+
+crates/exec/src/lib.rs:
+crates/exec/src/engine.rs:
+crates/exec/src/store.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micco_exec-db00df0ba346f47b.d: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs
+
+/root/repo/target/debug/deps/libmicco_exec-db00df0ba346f47b.rlib: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs
+
+/root/repo/target/debug/deps/libmicco_exec-db00df0ba346f47b.rmeta: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/engine.rs:
+crates/exec/src/store.rs:

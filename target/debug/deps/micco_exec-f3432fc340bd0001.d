@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/micco_exec-f3432fc340bd0001.d: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs
+
+/root/repo/target/debug/deps/micco_exec-f3432fc340bd0001: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/engine.rs:
+crates/exec/src/store.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/micco_gpusim-1634ca21cad244b1.d: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicco_gpusim-1634ca21cad244b1.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs Cargo.toml
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/cost.rs:
+crates/gpusim/src/machine.rs:
+crates/gpusim/src/memory.rs:
+crates/gpusim/src/stats.rs:
+crates/gpusim/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

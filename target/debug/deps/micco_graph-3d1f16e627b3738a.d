@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micco_graph-3d1f16e627b3738a.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs
+
+/root/repo/target/debug/deps/micco_graph-3d1f16e627b3738a: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/plan.rs:
+crates/graph/src/shared.rs:
+crates/graph/src/stage.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/micco_graph-c1b6a299a5b1f022.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicco_graph-c1b6a299a5b1f022.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/plan.rs:
+crates/graph/src/shared.rs:
+crates/graph/src/stage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

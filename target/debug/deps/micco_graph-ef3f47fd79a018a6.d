@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/micco_graph-ef3f47fd79a018a6.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs
+
+/root/repo/target/debug/deps/libmicco_graph-ef3f47fd79a018a6.rlib: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs
+
+/root/repo/target/debug/deps/libmicco_graph-ef3f47fd79a018a6.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/plan.rs:
+crates/graph/src/shared.rs:
+crates/graph/src/stage.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/micco_ml-f7036d335a772b2e.d: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libmicco_ml-f7036d335a772b2e.rlib: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libmicco_ml-f7036d335a772b2e.rmeta: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/gbm.rs:
+crates/ml/src/linear.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/spearman.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/micco_redstar-435cae84c344f3e4.d: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs
+
+/root/repo/target/debug/deps/libmicco_redstar-435cae84c344f3e4.rlib: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs
+
+/root/repo/target/debug/deps/libmicco_redstar-435cae84c344f3e4.rmeta: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs
+
+crates/redstar/src/lib.rs:
+crates/redstar/src/numeric.rs:
+crates/redstar/src/operators.rs:
+crates/redstar/src/pipeline.rs:
+crates/redstar/src/presets.rs:
+crates/redstar/src/wick.rs:

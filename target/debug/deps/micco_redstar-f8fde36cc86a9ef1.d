@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/micco_redstar-f8fde36cc86a9ef1.d: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs
+
+/root/repo/target/debug/deps/micco_redstar-f8fde36cc86a9ef1: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs
+
+crates/redstar/src/lib.rs:
+crates/redstar/src/numeric.rs:
+crates/redstar/src/operators.rs:
+crates/redstar/src/pipeline.rs:
+crates/redstar/src/presets.rs:
+crates/redstar/src/wick.rs:

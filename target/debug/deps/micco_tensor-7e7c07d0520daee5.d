@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/micco_tensor-7e7c07d0520daee5.d: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs
+
+/root/repo/target/debug/deps/micco_tensor-7e7c07d0520daee5: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/batched.rs:
+crates/tensor/src/complex.rs:
+crates/tensor/src/flops.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/tensor3.rs:

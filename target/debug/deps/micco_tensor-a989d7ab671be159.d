@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/micco_tensor-a989d7ab671be159.d: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicco_tensor-a989d7ab671be159.rmeta: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/batched.rs:
+crates/tensor/src/complex.rs:
+crates/tensor/src/flops.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/tensor3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

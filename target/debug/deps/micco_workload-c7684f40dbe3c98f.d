@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/micco_workload-c7684f40dbe3c98f.d: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs
+
+/root/repo/target/debug/deps/libmicco_workload-c7684f40dbe3c98f.rlib: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs
+
+/root/repo/target/debug/deps/libmicco_workload-c7684f40dbe3c98f.rmeta: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/characteristics.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/serialize.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/task.rs:

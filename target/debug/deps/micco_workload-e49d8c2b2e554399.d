@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/micco_workload-e49d8c2b2e554399.d: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs
+
+/root/repo/target/debug/deps/micco_workload-e49d8c2b2e554399: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/characteristics.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/serialize.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/task.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ml-49ba9a8dc1f10fd1.d: crates/bench/benches/ml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libml-49ba9a8dc1f10fd1.rmeta: crates/bench/benches/ml.rs Cargo.toml
+
+crates/bench/benches/ml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_pipeline-741490f1bf35a62f.d: tests/model_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_pipeline-741490f1bf35a62f.rmeta: tests/model_pipeline.rs Cargo.toml
+
+tests/model_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

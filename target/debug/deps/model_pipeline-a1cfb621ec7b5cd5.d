@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_pipeline-a1cfb621ec7b5cd5.d: tests/model_pipeline.rs
+
+/root/repo/target/debug/deps/model_pipeline-a1cfb621ec7b5cd5: tests/model_pipeline.rs
+
+tests/model_pipeline.rs:

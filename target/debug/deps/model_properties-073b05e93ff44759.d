@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-073b05e93ff44759.d: crates/ml/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-073b05e93ff44759: crates/ml/tests/model_properties.rs
+
+crates/ml/tests/model_properties.rs:

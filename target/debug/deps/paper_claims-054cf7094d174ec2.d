@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-054cf7094d174ec2.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-054cf7094d174ec2: tests/paper_claims.rs
+
+tests/paper_claims.rs:

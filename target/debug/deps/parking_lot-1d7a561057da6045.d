@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-1d7a561057da6045.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-1d7a561057da6045.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-1d7a561057da6045.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_properties-629e3eb5c90a3c3a.d: tests/pipeline_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_properties-629e3eb5c90a3c3a.rmeta: tests/pipeline_properties.rs Cargo.toml
+
+tests/pipeline_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

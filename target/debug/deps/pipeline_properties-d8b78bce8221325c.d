@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-d8b78bce8221325c.d: tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-d8b78bce8221325c: tests/pipeline_properties.rs
+
+tests/pipeline_properties.rs:

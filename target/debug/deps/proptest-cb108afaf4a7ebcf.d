@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-cb108afaf4a7ebcf.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-cb108afaf4a7ebcf.rlib: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-cb108afaf4a7ebcf.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs
+
+crates/shims/proptest/src/lib.rs:
+crates/shims/proptest/src/strategy.rs:
+crates/shims/proptest/src/test_runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_distr-3212ea50aacb5ab6.d: crates/shims/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_distr-3212ea50aacb5ab6.rmeta: crates/shims/rand_distr/src/lib.rs Cargo.toml
+
+crates/shims/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

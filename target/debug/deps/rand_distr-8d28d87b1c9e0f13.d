@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_distr-8d28d87b1c9e0f13.d: crates/shims/rand_distr/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_distr-8d28d87b1c9e0f13.rmeta: crates/shims/rand_distr/src/lib.rs Cargo.toml
+
+crates/shims/rand_distr/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-9b5a89ace180679f.d: crates/shims/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/rand_distr-9b5a89ace180679f: crates/shims/rand_distr/src/lib.rs
+
+crates/shims/rand_distr/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-c48d666afcd4d73c.d: crates/shims/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-c48d666afcd4d73c.rlib: crates/shims/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-c48d666afcd4d73c.rmeta: crates/shims/rand_distr/src/lib.rs
+
+crates/shims/rand_distr/src/lib.rs:

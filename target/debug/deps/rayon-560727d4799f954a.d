@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-560727d4799f954a.d: crates/shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-560727d4799f954a.rmeta: crates/shims/rayon/src/lib.rs Cargo.toml
+
+crates/shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rayon-79cfc6b5f4f7943a.d: crates/shims/rayon/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librayon-79cfc6b5f4f7943a.rmeta: crates/shims/rayon/src/lib.rs Cargo.toml
+
+crates/shims/rayon/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

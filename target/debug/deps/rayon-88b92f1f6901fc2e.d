@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-88b92f1f6901fc2e.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-88b92f1f6901fc2e: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-b8d8d8c3dec3680a.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-b8d8d8c3dec3680a.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-b8d8d8c3dec3680a.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

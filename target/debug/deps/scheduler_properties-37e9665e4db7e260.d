@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_properties-37e9665e4db7e260.d: tests/scheduler_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_properties-37e9665e4db7e260.rmeta: tests/scheduler_properties.rs Cargo.toml
+
+tests/scheduler_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

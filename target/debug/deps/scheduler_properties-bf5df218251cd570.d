@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_properties-bf5df218251cd570.d: tests/scheduler_properties.rs
+
+/root/repo/target/debug/deps/scheduler_properties-bf5df218251cd570: tests/scheduler_properties.rs
+
+tests/scheduler_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/staging_properties-48b49a1968cb0428.d: crates/graph/tests/staging_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstaging_properties-48b49a1968cb0428.rmeta: crates/graph/tests/staging_properties.rs Cargo.toml
+
+crates/graph/tests/staging_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/staging_properties-a8a4d0931e3f8bdb.d: crates/graph/tests/staging_properties.rs
+
+/root/repo/target/debug/deps/staging_properties-a8a4d0931e3f8bdb: crates/graph/tests/staging_properties.rs
+
+crates/graph/tests/staging_properties.rs:

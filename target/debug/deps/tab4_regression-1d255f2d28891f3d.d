@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab4_regression-1d255f2d28891f3d.d: crates/bench/src/bin/tab4_regression.rs
+
+/root/repo/target/debug/deps/tab4_regression-1d255f2d28891f3d: crates/bench/src/bin/tab4_regression.rs
+
+crates/bench/src/bin/tab4_regression.rs:

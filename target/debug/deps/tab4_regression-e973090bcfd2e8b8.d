@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab4_regression-e973090bcfd2e8b8.d: crates/bench/src/bin/tab4_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab4_regression-e973090bcfd2e8b8.rmeta: crates/bench/src/bin/tab4_regression.rs Cargo.toml
+
+crates/bench/src/bin/tab4_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab5_overhead-93488c50a8030d4f.d: crates/bench/src/bin/tab5_overhead.rs
+
+/root/repo/target/debug/deps/tab5_overhead-93488c50a8030d4f: crates/bench/src/bin/tab5_overhead.rs
+
+crates/bench/src/bin/tab5_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab5_overhead-d75de96f73f68505.d: crates/bench/src/bin/tab5_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab5_overhead-d75de96f73f68505.rmeta: crates/bench/src/bin/tab5_overhead.rs Cargo.toml
+
+crates/bench/src/bin/tab5_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

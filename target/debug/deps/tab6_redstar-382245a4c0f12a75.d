@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab6_redstar-382245a4c0f12a75.d: crates/bench/src/bin/tab6_redstar.rs
+
+/root/repo/target/debug/deps/tab6_redstar-382245a4c0f12a75: crates/bench/src/bin/tab6_redstar.rs
+
+crates/bench/src/bin/tab6_redstar.rs:

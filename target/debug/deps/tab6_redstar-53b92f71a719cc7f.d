@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab6_redstar-53b92f71a719cc7f.d: crates/bench/src/bin/tab6_redstar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab6_redstar-53b92f71a719cc7f.rmeta: crates/bench/src/bin/tab6_redstar.rs Cargo.toml
+
+crates/bench/src/bin/tab6_redstar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

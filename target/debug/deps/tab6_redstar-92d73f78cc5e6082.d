@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tab6_redstar-92d73f78cc5e6082.d: crates/bench/src/bin/tab6_redstar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab6_redstar-92d73f78cc5e6082.rmeta: crates/bench/src/bin/tab6_redstar.rs Cargo.toml
+
+crates/bench/src/bin/tab6_redstar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

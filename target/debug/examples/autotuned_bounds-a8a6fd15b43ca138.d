@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autotuned_bounds-a8a6fd15b43ca138.d: examples/autotuned_bounds.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautotuned_bounds-a8a6fd15b43ca138.rmeta: examples/autotuned_bounds.rs Cargo.toml
+
+examples/autotuned_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotuned_bounds-f2db205eed6c9bf4.d: examples/autotuned_bounds.rs
+
+/root/repo/target/debug/examples/autotuned_bounds-f2db205eed6c9bf4: examples/autotuned_bounds.rs
+
+examples/autotuned_bounds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heterogeneous-160d3c27e81d784e.d: examples/heterogeneous.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneous-160d3c27e81d784e.rmeta: examples/heterogeneous.rs Cargo.toml
+
+examples/heterogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

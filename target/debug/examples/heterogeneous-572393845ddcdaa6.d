@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous-572393845ddcdaa6.d: examples/heterogeneous.rs
+
+/root/repo/target/debug/examples/heterogeneous-572393845ddcdaa6: examples/heterogeneous.rs
+
+examples/heterogeneous.rs:

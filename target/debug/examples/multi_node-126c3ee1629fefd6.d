@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_node-126c3ee1629fefd6.d: examples/multi_node.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_node-126c3ee1629fefd6.rmeta: examples/multi_node.rs Cargo.toml
+
+examples/multi_node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

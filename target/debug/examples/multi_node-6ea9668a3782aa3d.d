@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_node-6ea9668a3782aa3d.d: examples/multi_node.rs
+
+/root/repo/target/debug/examples/multi_node-6ea9668a3782aa3d: examples/multi_node.rs
+
+examples/multi_node.rs:

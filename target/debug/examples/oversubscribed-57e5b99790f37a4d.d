@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oversubscribed-57e5b99790f37a4d.d: examples/oversubscribed.rs
+
+/root/repo/target/debug/examples/oversubscribed-57e5b99790f37a4d: examples/oversubscribed.rs
+
+examples/oversubscribed.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/oversubscribed-8d660dd2d15f9584.d: examples/oversubscribed.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboversubscribed-8d660dd2d15f9584.rmeta: examples/oversubscribed.rs Cargo.toml
+
+examples/oversubscribed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_execution-28731ce0114f9948.d: examples/parallel_execution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_execution-28731ce0114f9948.rmeta: examples/parallel_execution.rs Cargo.toml
+
+examples/parallel_execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

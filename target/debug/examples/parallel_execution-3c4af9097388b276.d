@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_execution-3c4af9097388b276.d: examples/parallel_execution.rs
+
+/root/repo/target/debug/examples/parallel_execution-3c4af9097388b276: examples/parallel_execution.rs
+
+examples/parallel_execution.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-1ea6d37f2cb35fa7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-1ea6d37f2cb35fa7: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/redstar_correlator-18327556ae9fd75e.d: examples/redstar_correlator.rs
+
+/root/repo/target/debug/examples/redstar_correlator-18327556ae9fd75e: examples/redstar_correlator.rs
+
+examples/redstar_correlator.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/redstar_correlator-2612370e9c549c35.d: examples/redstar_correlator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libredstar_correlator-2612370e9c549c35.rmeta: examples/redstar_correlator.rs Cargo.toml
+
+examples/redstar_correlator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-fe442e9e8ac80be1.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-fe442e9e8ac80be1.rlib: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-fe442e9e8ac80be1.rmeta: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_async_copy-a86cdc98a663f1e5.d: crates/bench/src/bin/ext_async_copy.rs
+
+/root/repo/target/release/deps/ext_async_copy-a86cdc98a663f1e5: crates/bench/src/bin/ext_async_copy.rs
+
+crates/bench/src/bin/ext_async_copy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/micco-1c79b4bcf268c138.d: src/lib.rs
+
+/root/repo/target/release/deps/libmicco-1c79b4bcf268c138.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmicco-1c79b4bcf268c138.rmeta: src/lib.rs
+
+src/lib.rs:

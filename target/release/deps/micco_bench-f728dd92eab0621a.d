@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/micco_bench-f728dd92eab0621a.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmicco_bench-f728dd92eab0621a.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmicco_bench-f728dd92eab0621a.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/micco_cluster-37991e8f4b288bd1.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+
+/root/repo/target/release/deps/libmicco_cluster-37991e8f4b288bd1.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+
+/root/repo/target/release/deps/libmicco_cluster-37991e8f4b288bd1.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/hierarchical.rs:

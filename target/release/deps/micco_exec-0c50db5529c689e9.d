@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/micco_exec-0c50db5529c689e9.d: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs
+
+/root/repo/target/release/deps/libmicco_exec-0c50db5529c689e9.rlib: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs
+
+/root/repo/target/release/deps/libmicco_exec-0c50db5529c689e9.rmeta: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/engine.rs:
+crates/exec/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/micco_graph-c6153680f1e19701.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs
+
+/root/repo/target/release/deps/libmicco_graph-c6153680f1e19701.rlib: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs
+
+/root/repo/target/release/deps/libmicco_graph-c6153680f1e19701.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/plan.rs:
+crates/graph/src/shared.rs:
+crates/graph/src/stage.rs:

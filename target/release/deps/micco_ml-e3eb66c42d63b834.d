@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/micco_ml-e3eb66c42d63b834.d: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libmicco_ml-e3eb66c42d63b834.rlib: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs
+
+/root/repo/target/release/deps/libmicco_ml-e3eb66c42d63b834.rmeta: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/gbm.rs:
+crates/ml/src/linear.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/spearman.rs:
+crates/ml/src/tree.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/micco_redstar-e0b3f99b95d6b9f3.d: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs
+
+/root/repo/target/release/deps/libmicco_redstar-e0b3f99b95d6b9f3.rlib: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs
+
+/root/repo/target/release/deps/libmicco_redstar-e0b3f99b95d6b9f3.rmeta: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs
+
+crates/redstar/src/lib.rs:
+crates/redstar/src/numeric.rs:
+crates/redstar/src/operators.rs:
+crates/redstar/src/pipeline.rs:
+crates/redstar/src/presets.rs:
+crates/redstar/src/wick.rs:

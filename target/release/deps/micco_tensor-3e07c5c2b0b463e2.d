@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/micco_tensor-3e07c5c2b0b463e2.d: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs
+
+/root/repo/target/release/deps/libmicco_tensor-3e07c5c2b0b463e2.rlib: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs
+
+/root/repo/target/release/deps/libmicco_tensor-3e07c5c2b0b463e2.rmeta: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/batched.rs:
+crates/tensor/src/complex.rs:
+crates/tensor/src/flops.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/tensor3.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/micco_workload-77e46b0f559f26f1.d: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs
+
+/root/repo/target/release/deps/libmicco_workload-77e46b0f559f26f1.rlib: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs
+
+/root/repo/target/release/deps/libmicco_workload-77e46b0f559f26f1.rmeta: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/characteristics.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/serialize.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/task.rs:

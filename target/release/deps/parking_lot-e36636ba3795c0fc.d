@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e36636ba3795c0fc.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e36636ba3795c0fc.rlib: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e36636ba3795c0fc.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

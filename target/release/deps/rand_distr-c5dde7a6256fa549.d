@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-c5dde7a6256fa549.d: crates/shims/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-c5dde7a6256fa549.rlib: crates/shims/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-c5dde7a6256fa549.rmeta: crates/shims/rand_distr/src/lib.rs
+
+crates/shims/rand_distr/src/lib.rs:

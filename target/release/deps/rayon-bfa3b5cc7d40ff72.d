@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-bfa3b5cc7d40ff72.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-bfa3b5cc7d40ff72.rlib: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-bfa3b5cc7d40ff72.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

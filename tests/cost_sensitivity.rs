@@ -32,7 +32,10 @@ fn compare(cost: CostModel) -> (f64, f64) {
 #[test]
 fn ordering_survives_2x_compute_rate() {
     for factor in [0.5, 1.0, 2.0] {
-        let cost = CostModel { device_gflops: 10_000.0 * factor, ..CostModel::mi100_like() };
+        let cost = CostModel {
+            device_gflops: 10_000.0 * factor,
+            ..CostModel::mi100_like()
+        };
         let (groute, micco) = compare(cost);
         assert!(
             micco <= groute * 1.01,
@@ -44,18 +47,30 @@ fn ordering_survives_2x_compute_rate() {
 #[test]
 fn ordering_survives_2x_h2d_bandwidth() {
     for factor in [0.5, 2.0] {
-        let cost = CostModel { h2d_gib_s: 12.0 * factor, ..CostModel::mi100_like() };
+        let cost = CostModel {
+            h2d_gib_s: 12.0 * factor,
+            ..CostModel::mi100_like()
+        };
         let (groute, micco) = compare(cost);
-        assert!(micco <= groute * 1.01, "factor {factor}: micco {micco} vs groute {groute}");
+        assert!(
+            micco <= groute * 1.01,
+            "factor {factor}: micco {micco} vs groute {groute}"
+        );
     }
 }
 
 #[test]
 fn ordering_survives_2x_d2d_bandwidth() {
     for factor in [0.5, 2.0] {
-        let cost = CostModel { d2d_gib_s: 25.0 * factor, ..CostModel::mi100_like() };
+        let cost = CostModel {
+            d2d_gib_s: 25.0 * factor,
+            ..CostModel::mi100_like()
+        };
         let (groute, micco) = compare(cost);
-        assert!(micco <= groute * 1.01, "factor {factor}: micco {micco} vs groute {groute}");
+        assert!(
+            micco <= groute * 1.01,
+            "factor {factor}: micco {micco} vs groute {groute}"
+        );
     }
 }
 
@@ -68,13 +83,19 @@ fn ordering_survives_latency_perturbation() {
             ..CostModel::mi100_like()
         };
         let (groute, micco) = compare(cost);
-        assert!(micco <= groute * 1.01, "factor {factor}: micco {micco} vs groute {groute}");
+        assert!(
+            micco <= groute * 1.01,
+            "factor {factor}: micco {micco} vs groute {groute}"
+        );
     }
 }
 
 #[test]
 fn ordering_survives_disabling_source_charging() {
-    let cost = CostModel { d2d_charges_source: false, ..CostModel::mi100_like() };
+    let cost = CostModel {
+        d2d_charges_source: false,
+        ..CostModel::mi100_like()
+    };
     let (groute, micco) = compare(cost);
     assert!(micco <= groute * 1.01, "micco {micco} vs groute {groute}");
 }
@@ -83,8 +104,16 @@ fn ordering_survives_disabling_source_charging() {
 fn reuse_advantage_grows_with_memory_cost() {
     // When transfers get slower, MICCO's advantage must widen (its whole
     // point is avoiding transfers).
-    let slow = CostModel { h2d_gib_s: 6.0, d2d_gib_s: 12.0, ..CostModel::mi100_like() };
-    let fast = CostModel { h2d_gib_s: 48.0, d2d_gib_s: 100.0, ..CostModel::mi100_like() };
+    let slow = CostModel {
+        h2d_gib_s: 6.0,
+        d2d_gib_s: 12.0,
+        ..CostModel::mi100_like()
+    };
+    let fast = CostModel {
+        h2d_gib_s: 48.0,
+        d2d_gib_s: 100.0,
+        ..CostModel::mi100_like()
+    };
     let (g_slow, m_slow) = compare(slow);
     let (g_fast, m_fast) = compare(fast);
     let speedup_slow = g_slow / m_slow;

@@ -26,7 +26,12 @@ fn every_scheduler_completes_a_redstar_program() {
     for mut s in schedulers() {
         let r = run_schedule(s.as_mut(), &program.stream, &cfg)
             .unwrap_or_else(|e| panic!("{} failed: {e}", s.name()));
-        assert_eq!(r.stats.total_tasks() as usize, program.stream.total_tasks(), "{}", s.name());
+        assert_eq!(
+            r.stats.total_tasks() as usize,
+            program.stream.total_tasks(),
+            "{}",
+            s.name()
+        );
         assert!(r.gflops() > 0.0, "{}", s.name());
         assert_eq!(r.stats.stage_makespans.len(), program.stream.vectors.len());
     }
@@ -139,8 +144,12 @@ fn large_stream_scales() {
         .generate();
     let cfg = MachineConfig::mi100_like(8);
     let start = std::time::Instant::now();
-    let r = run_schedule(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream, &cfg)
-        .expect("fits");
+    let r = run_schedule(
+        &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+        &stream,
+        &cfg,
+    )
+    .expect("fits");
     assert_eq!(r.stats.total_tasks() as usize, stream.total_tasks());
     assert_eq!(
         r.stats.total_h2d() + r.stats.total_d2d() + r.stats.total_reuse_hits(),

@@ -6,14 +6,19 @@ use micco::cluster::{
 };
 use micco::gpusim::{CostModel, MachineConfig};
 use micco::prelude::*;
-use micco::redstar::{build_correlator, build_correlator_shared, build_job, f0d2, f0d4, PresetScale};
+use micco::redstar::{
+    build_correlator, build_correlator_shared, build_job, f0d2, f0d4, PresetScale,
+};
 use micco::sched::{mapping_histogram, GrouteScheduler};
 
 /// Async copy (future work): never slower, and faster on transfer-heavy
 /// streams.
 #[test]
 fn async_copy_helps() {
-    let stream = WorkloadSpec::new(64, 384).with_repeat_rate(0.25).with_vectors(6).generate();
+    let stream = WorkloadSpec::new(64, 384)
+        .with_repeat_rate(0.25)
+        .with_vectors(6)
+        .generate();
     let run = |async_copy: bool| {
         let cost = if async_copy {
             CostModel::mi100_like().with_async_copy()
@@ -21,20 +26,31 @@ fn async_copy_helps() {
             CostModel::mi100_like()
         };
         let cfg = MachineConfig::mi100_like(8).with_cost(cost);
-        run_schedule(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream, &cfg)
-            .unwrap()
-            .elapsed_secs()
+        run_schedule(
+            &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+            &stream,
+            &cfg,
+        )
+        .unwrap()
+        .elapsed_secs()
     };
     let sync = run(false);
     let overlapped = run(true);
-    assert!(overlapped < sync, "async {overlapped} must beat sync {sync}");
+    assert!(
+        overlapped < sync,
+        "async {overlapped} must beat sync {sync}"
+    );
 }
 
 /// Cluster (future work): hierarchical scheduling eliminates network
 /// traffic relative to the flat baseline on chained stages.
 #[test]
 fn hierarchical_cluster_cuts_network_traffic() {
-    let base = WorkloadSpec::new(32, 384).with_repeat_rate(0.5).with_vectors(6).with_seed(3).generate();
+    let base = WorkloadSpec::new(32, 384)
+        .with_repeat_rate(0.5)
+        .with_vectors(6)
+        .with_seed(3)
+        .generate();
     let mut vectors = base.vectors.clone();
     for v in 1..vectors.len() {
         let prev: Vec<_> = vectors[v - 1].tasks.iter().map(|t| t.out).collect();
@@ -49,7 +65,10 @@ fn hierarchical_cluster_cuts_network_traffic() {
     let flat = run_cluster_schedule(&mut FlatClusterScheduler::new(), &stream, &cfg).unwrap();
     let mut hier = HierarchicalScheduler::new(2, 16, ReuseBounds::new(0, 2, 0));
     let h = run_cluster_schedule(&mut hier, &stream, &cfg).unwrap();
-    assert!(flat.inter_transfers > 0, "the baseline must actually cross the network");
+    assert!(
+        flat.inter_transfers > 0,
+        "the baseline must actually cross the network"
+    );
     assert!(h.inter_transfers < flat.inter_transfers / 2);
     assert!(h.elapsed_secs <= flat.elapsed_secs);
 }
@@ -75,8 +94,10 @@ fn joint_planning_reduces_work() {
 fn job_dedupes_across_correlators() {
     // the two f0 systems share the f0 source and the pion sinks
     let specs = vec![f0d2(PresetScale::Paper), f0d4(PresetScale::Paper)];
-    let separate: usize =
-        specs.iter().map(|s| build_correlator_shared(s).unique_steps).sum();
+    let separate: usize = specs
+        .iter()
+        .map(|s| build_correlator_shared(s).unique_steps)
+        .sum();
     let job = build_job(&specs);
     assert!(
         job.unique_steps < separate,
@@ -91,10 +112,17 @@ fn job_dedupes_across_correlators() {
 /// memory operations per task than Groute's on reuse-heavy streams.
 #[test]
 fn micco_mapping_histogram_dominates() {
-    let stream = WorkloadSpec::new(64, 256).with_repeat_rate(0.75).with_vectors(5).generate();
+    let stream = WorkloadSpec::new(64, 256)
+        .with_repeat_rate(0.75)
+        .with_vectors(5)
+        .generate();
     let cfg = MachineConfig::mi100_like(8);
-    let micco =
-        run_schedule(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream, &cfg).unwrap();
+    let micco = run_schedule(
+        &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+        &stream,
+        &cfg,
+    )
+    .unwrap();
     let groute = run_schedule(&mut GrouteScheduler::new(), &stream, &cfg).unwrap();
     let hm = mapping_histogram(&stream, &micco.assignments, &cfg);
     let hg = mapping_histogram(&stream, &groute.assignments, &cfg);
@@ -108,14 +136,21 @@ fn micco_mapping_histogram_dominates() {
 fn clairvoyant_eviction_upper_bound() {
     use micco::gpusim::{EvictionPolicy, SimMachine};
     use micco::sched::driver::run_schedule_on;
-    let stream = WorkloadSpec::new(48, 384).with_repeat_rate(0.6).with_vectors(6).with_seed(5).generate();
+    let stream = WorkloadSpec::new(48, 384)
+        .with_repeat_rate(0.6)
+        .with_vectors(6)
+        .with_seed(5)
+        .generate();
     let run = |policy: EvictionPolicy| {
         let cfg = MachineConfig::mi100_like(4)
             .with_oversubscription(stream.unique_bytes(), 1.5)
             .with_eviction(policy);
         let mut machine = SimMachine::new(cfg).with_oracle(&stream);
         let mut s = MiccoScheduler::new(ReuseBounds::new(0, 2, 0));
-        run_schedule_on(&mut s, &stream, &mut machine).unwrap().stats.total_evictions()
+        run_schedule_on(&mut s, &stream, &mut machine)
+            .unwrap()
+            .stats
+            .total_evictions()
     };
     let lru = run(EvictionPolicy::Lru);
     let belady = run(EvictionPolicy::Clairvoyant);

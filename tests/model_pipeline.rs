@@ -53,7 +53,10 @@ fn candidate_values_span_paper_range() {
     let vals = candidate_bound_values(128, 8);
     assert_eq!(vals.first(), Some(&0));
     assert_eq!(vals.last(), Some(&112));
-    assert!(vals.windows(2).all(|w| w[0] < w[1]), "strictly increasing: {vals:?}");
+    assert!(
+        vals.windows(2).all(|w| w[0] < w[1]),
+        "strictly increasing: {vals:?}"
+    );
     // single GPU: balance = slots → max 0
     assert_eq!(candidate_bound_values(16, 1), vec![0]);
 }

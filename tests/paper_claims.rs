@@ -10,7 +10,12 @@ use micco::sched::tuner::{build_training_set, TrainingConfig};
 use micco::sched::GrouteScheduler;
 
 fn mini_stream(vs: usize, rate: f64, dist: RepeatDistribution, seed: u64) -> TensorPairStream {
-    WorkloadSpec::new(vs, 384).with_repeat_rate(rate).with_distribution(dist).with_vectors(6).with_seed(seed).generate()
+    WorkloadSpec::new(vs, 384)
+        .with_repeat_rate(rate)
+        .with_distribution(dist)
+        .with_vectors(6)
+        .with_seed(seed)
+        .generate()
 }
 
 /// Speedup of tuned MICCO over Groute. Fig. 7 evaluates MICCO-*optimal*
@@ -21,7 +26,11 @@ fn micco_vs_groute(stream: &TensorPairStream, cfg: &MachineConfig) -> f64 {
     let groute = run_schedule(&mut GrouteScheduler::new(), stream, cfg).unwrap();
     let best = [ReuseBounds::naive(), ReuseBounds::new(0, 2, 0)]
         .into_iter()
-        .map(|b| run_schedule(&mut MiccoScheduler::new(b), stream, cfg).unwrap().elapsed_secs())
+        .map(|b| {
+            run_schedule(&mut MiccoScheduler::new(b), stream, cfg)
+                .unwrap()
+                .elapsed_secs()
+        })
         .fold(f64::MAX, f64::min);
     groute.elapsed_secs() / best
 }
@@ -47,9 +56,15 @@ fn fig7_micco_never_loses() {
 #[test]
 fn fig7_speedup_grows_with_rate() {
     let cfg = MachineConfig::mi100_like(8);
-    let low = micco_vs_groute(&mini_stream(64, 0.25, RepeatDistribution::Uniform, 11), &cfg);
+    let low = micco_vs_groute(
+        &mini_stream(64, 0.25, RepeatDistribution::Uniform, 11),
+        &cfg,
+    );
     let high = micco_vs_groute(&mini_stream(64, 1.0, RepeatDistribution::Uniform, 11), &cfg);
-    assert!(high > low, "speedup at rate 1.0 ({high:.3}) must exceed rate 0.25 ({low:.3})");
+    assert!(
+        high > low,
+        "speedup at rate 1.0 ({high:.3}) must exceed rate 0.25 ({low:.3})"
+    );
 }
 
 /// Fig. 9: speedup widens with GPU count (reuse gets harder, MICCO helps more).
@@ -58,7 +73,10 @@ fn fig9_speedup_widens_with_gpus() {
     let stream = mini_stream(64, 0.5, RepeatDistribution::Uniform, 17);
     let two = micco_vs_groute(&stream, &MachineConfig::mi100_like(2));
     let eight = micco_vs_groute(&stream, &MachineConfig::mi100_like(8));
-    assert!(eight > two, "8-GPU speedup {eight:.3} must exceed 2-GPU {two:.3}");
+    assert!(
+        eight > two,
+        "8-GPU speedup {eight:.3} must exceed 2-GPU {two:.3}"
+    );
 }
 
 /// Fig. 10: GFLOPS grows with tensor size; MICCO wins at every size.
@@ -67,9 +85,16 @@ fn fig10_tensor_size_orderings() {
     let cfg = MachineConfig::mi100_like(8);
     let mut prev_gflops = 0.0;
     for dim in [128usize, 384, 768] {
-        let stream = WorkloadSpec::new(64, dim).with_repeat_rate(0.5).with_vectors(6).with_seed(19).generate();
+        let stream = WorkloadSpec::new(64, dim)
+            .with_repeat_rate(0.5)
+            .with_vectors(6)
+            .with_seed(19)
+            .generate();
         let groute = run_schedule(&mut GrouteScheduler::new(), &stream, &cfg).unwrap();
-        assert!(groute.gflops() > prev_gflops, "GFLOPS must grow with tensor size");
+        assert!(
+            groute.gflops() > prev_gflops,
+            "GFLOPS must grow with tensor size"
+        );
         prev_gflops = groute.gflops();
         assert!(micco_vs_groute(&stream, &cfg) > 1.0, "dim {dim}");
     }
@@ -82,9 +107,12 @@ fn fig11_oversubscription_orderings() {
     let mut prev = f64::MAX;
     for rate in [1.25, 2.0] {
         let cfg = MachineConfig::mi100_like(8).with_oversubscription(stream.unique_bytes(), rate);
-        let micco =
-            run_schedule(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream, &cfg)
-                .unwrap();
+        let micco = run_schedule(
+            &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+            &stream,
+            &cfg,
+        )
+        .unwrap();
         assert!(micco.gflops() < prev, "GFLOPS must fall with pressure");
         prev = micco.gflops();
         assert!(micco_vs_groute(&stream, &cfg) > 1.0, "oversub {rate}");
@@ -96,7 +124,10 @@ fn fig11_oversubscription_orderings() {
 /// the dominant output.
 #[test]
 fn tab4_forest_beats_linear() {
-    let tc = TrainingConfig { samples: 80, ..TrainingConfig::default() };
+    let tc = TrainingConfig {
+        samples: 80,
+        ..TrainingConfig::default()
+    };
     let samples = build_training_set(&tc, &MachineConfig::mi100_like(8));
     let x: Vec<Vec<f64>> = samples.iter().map(|s| s.features.to_vec()).collect();
     // bound 2 (index 1) carries the strongest signal in our response surface
@@ -119,8 +150,12 @@ fn tab4_forest_beats_linear() {
 fn tab5_overhead_is_small() {
     let stream = mini_stream(64, 0.5, RepeatDistribution::Uniform, 29);
     let cfg = MachineConfig::mi100_like(8);
-    let r = run_schedule(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream, &cfg)
-        .unwrap();
+    let r = run_schedule(
+        &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+        &stream,
+        &cfg,
+    )
+    .unwrap();
     assert!(
         r.scheduling_overhead_secs < r.elapsed_secs() * 0.25,
         "overhead {:.6}s vs total {:.6}s",
@@ -145,10 +180,16 @@ fn tab6_redstar_wins() {
 /// with achieved GFLOPS over the training population.
 #[test]
 fn fig5_tensor_size_drives_gflops() {
-    let tc = TrainingConfig { samples: 40, ..TrainingConfig::default() };
+    let tc = TrainingConfig {
+        samples: 40,
+        ..TrainingConfig::default()
+    };
     let samples = build_training_set(&tc, &MachineConfig::mi100_like(8));
     let tensor_bytes: Vec<f64> = samples.iter().map(|s| s.features[1]).collect();
     let gflops: Vec<f64> = samples.iter().map(|s| s.gflops).collect();
     let rho = spearman(&tensor_bytes, &gflops);
-    assert!(rho > 0.5, "ρ(TensorSize, GFLOPS) = {rho:.2} must be strongly positive");
+    assert!(
+        rho > 0.5,
+        "ρ(TensorSize, GFLOPS) = {rho:.2} must be strongly positive"
+    );
 }

@@ -11,12 +11,12 @@ use micco::workload::{RepeatDistribution, WorkloadSpec};
 /// Strategy: a modest random workload spec.
 fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
     (
-        1usize..24,          // vector size (pairs per stage)
-        8usize..64,          // tensor dim
-        0.0f64..=1.0,        // repeat rate
-        any::<bool>(),       // distribution
-        1usize..5,           // vectors
-        any::<u64>(),        // seed
+        1usize..24,    // vector size (pairs per stage)
+        8usize..64,    // tensor dim
+        0.0f64..=1.0,  // repeat rate
+        any::<bool>(), // distribution
+        1usize..5,     // vectors
+        any::<u64>(),  // seed
     )
         .prop_map(|(vs, dim, rate, gaussian, nv, seed)| {
             WorkloadSpec::new(vs, dim)
