@@ -38,7 +38,13 @@ fn bench_exec_scaling(c: &mut Criterion) {
         .expect("fits")
         .assignments;
         g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
-            b.iter(|| black_box(execute_stream(&stream, &assignments, w, shape, 3).checksum));
+            b.iter(|| {
+                black_box(
+                    execute_stream(&stream, &assignments, w, shape, 3)
+                        .unwrap()
+                        .checksum,
+                )
+            });
         });
     }
     g.finish();

@@ -119,7 +119,8 @@ fn checksum_validation() {
             ExecOptions::default().with_steal(),
             ExecOptions::default().with_steal().with_prefetch(),
         ] {
-            let out = execute_stream_opts(&stream, &report.assignments, workers, shape, 17, opts);
+            let out = execute_stream_opts(&stream, &report.assignments, workers, shape, 17, opts)
+                .expect("schedule covers the stream");
             match reference {
                 None => reference = Some(out.checksum),
                 Some(r) => assert_eq!(

@@ -12,7 +12,7 @@
 use micco_bench::{
     distributions, standard_stream, trained_model, DEFAULT_GPUS, DEFAULT_TENSOR_SIZE,
 };
-use micco_core::{run_schedule, MiccoScheduler};
+use micco_core::{run_schedule_with, DriverOptions, MiccoScheduler};
 use micco_gpusim::MachineConfig;
 
 fn main() {
@@ -25,7 +25,14 @@ fn main() {
     for (dist, dist_name) in distributions() {
         let stream = standard_stream(64, DEFAULT_TENSOR_SIZE, 0.5, dist, 29);
         let mut sched = MiccoScheduler::with_provider(model.clone());
-        let report = run_schedule(&mut sched, &stream, &cfg).expect("workload fits");
+        // overhead timing is opt-in since the decide/execute split
+        let report = run_schedule_with(
+            &mut sched,
+            &stream,
+            &cfg,
+            DriverOptions::default().with_measure_overhead(),
+        )
+        .expect("workload fits");
         let overhead_ms = report.scheduling_overhead_secs * 1e3;
         let total_ms = report.elapsed_secs() * 1e3;
         rows.push(vec![

@@ -27,7 +27,7 @@ pub mod report;
 
 use micco_core::model::RegressionBounds;
 use micco_core::tuner::{build_training_set, TrainingConfig};
-use micco_core::{run_schedule, MiccoScheduler, ReuseBounds, ScheduleReport, Scheduler};
+use micco_core::{MiccoScheduler, ReuseBounds, ScheduleReport, Scheduler};
 use micco_gpusim::MachineConfig;
 use micco_workload::{RepeatDistribution, TensorPairStream, WorkloadSpec};
 
@@ -80,9 +80,17 @@ impl From<&ScheduleReport> for RunPoint {
 
 /// Run one scheduler over a stream, panicking with a readable message if
 /// the workload does not fit the machine (experiments are sized to fit).
+///
+/// Scheduling-overhead timing is opted in (it is off by default since the
+/// plan-IR split) so [`RunPoint::overhead_secs`] stays meaningful.
 pub fn run(s: &mut dyn Scheduler, stream: &TensorPairStream, cfg: &MachineConfig) -> RunPoint {
-    let report = run_schedule(s, stream, cfg)
-        .unwrap_or_else(|e| panic!("experiment workload must fit the machine: {e}"));
+    let report = micco_core::run_schedule_with(
+        s,
+        stream,
+        cfg,
+        micco_core::DriverOptions::default().with_measure_overhead(),
+    )
+    .unwrap_or_else(|e| panic!("experiment workload must fit the machine: {e}"));
     RunPoint::from(&report)
 }
 

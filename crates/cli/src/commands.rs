@@ -6,10 +6,13 @@ use micco_cluster::{
 use micco_core::model::RegressionBounds;
 use micco_core::tuner::{build_training_set, TrainingConfig};
 use micco_core::{
-    run_schedule, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler,
+    execute_plan, plan_schedule_with, run_schedule, run_schedule_with, DriverOptions,
+    GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler, SchedulePlan,
     ScheduleReport, Scheduler,
 };
-use micco_exec::{execute_stream_opts, ExecOptions, TensorShape};
+use micco_exec::{
+    execute_plan_opts as execute_plan_real, execute_stream_opts, ExecOptions, TensorShape,
+};
 use micco_gpusim::{CostModel, MachineConfig, SimMachine};
 use micco_redstar::{al_rhopi, build_correlator, f0d2, f0d4, kk_pipi, nucleon_pipi, PresetScale};
 use micco_workload::{DataCharacteristics, RepeatDistribution, TensorPairStream, WorkloadSpec};
@@ -39,12 +42,21 @@ commands:
   exec        actually compute a synthetic workload on worker threads
               --vector-size N --tensor-size N --batch N --workers N --seed N
               --steal (reuse-aware work stealing) --prefetch (warm operands)
+  plan        decide a schedule without executing and write the plan IR
+              --out FILE plus the synthetic options (workload + scheduler)
+  execute     execute a previously written plan on a rebuilt workload
+              --plan FILE --backend sim|real; sim replays on the simulator,
+              real computes kernels (--batch N --tensor-size N --seed N
+              must match the workload; --steal/--prefetch as in exec)
+  replay      re-execute a plan several times and verify determinism
+              --plan FILE --times N plus the workload options
   trace       run a workload and write a chrome://tracing JSON
               --out FILE plus the synthetic options
   info        print the default cost model and platform assumptions
 
 common synthetic options also accept --save FILE / --load FILE to persist
-or replay the exact workload (text format, see micco_workload::serialize)";
+or replay the exact workload (text format, see micco_workload::serialize);
+plan/execute/replay validate the plan's workload fingerprint before running";
 
 /// Dispatch a parsed command line.
 pub fn dispatch(args: &Args) -> Result<(), String> {
@@ -56,6 +68,9 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         Some("cluster") => cluster(args),
         Some("compare") => compare(args),
         Some("exec") => exec(args),
+        Some("plan") => plan(args),
+        Some("execute") => execute(args),
+        Some("replay") => replay(args),
         Some("trace") => trace(args),
         Some("info") => {
             info();
@@ -92,15 +107,26 @@ fn build_scheduler(args: &Args) -> Result<Box<dyn Scheduler>, String> {
         "micco" => Ok(Box::new(MiccoScheduler::new(parse_bounds(args)?))),
         "micco-naive" => Ok(Box::new(MiccoScheduler::naive())),
         "groute" => Ok(Box::new(GrouteScheduler::new())),
+        "coda" => Ok(Box::new(micco_core::CodaScheduler::new())),
         "rr" | "round-robin" => Ok(Box::new(RoundRobinScheduler::new())),
         other => Err(format!(
-            "unknown scheduler '{other}' (micco|micco-naive|groute|rr)"
+            "unknown scheduler '{other}' (micco|micco-naive|groute|coda|rr)"
         )),
     }
 }
 
 fn machine_for(args: &Args, stream: &TensorPairStream) -> Result<MachineConfig, String> {
     let gpus: usize = args.parse_or("gpus", 8).map_err(|e| e.to_string())?;
+    machine_with_gpus(args, stream, gpus)
+}
+
+/// [`machine_for`] with the device count fixed by the caller (plans carry
+/// their own).
+fn machine_with_gpus(
+    args: &Args,
+    stream: &TensorPairStream,
+    gpus: usize,
+) -> Result<MachineConfig, String> {
     let mut cfg = MachineConfig::mi100_like(gpus);
     // `--overlap` is the pipelined-execution spelling; `--async-copy` is
     // kept as the original alias
@@ -191,7 +217,14 @@ fn synthetic(args: &Args) -> Result<(), String> {
         if cfg.cost.async_copy { ", async copy" } else { "" },
     );
     let mut sched = build_scheduler(args)?;
-    let report = run_schedule(sched.as_mut(), &stream, &cfg).map_err(|e| e.to_string())?;
+    // the report prints a scheduling-overhead column, so opt into timing
+    let report = run_schedule_with(
+        sched.as_mut(),
+        &stream,
+        &cfg,
+        DriverOptions::default().with_measure_overhead(),
+    )
+    .map_err(|e| e.to_string())?;
     print_report(&report);
     if args.flag("mappings") {
         let hist = micco_core::mapping_histogram(&stream, &report.assignments, &cfg);
@@ -230,10 +263,12 @@ fn redstar(args: &Args) -> Result<(), String> {
         program.working_set_bytes as f64 / (1u64 << 30) as f64,
     );
     let cfg = machine_for(args, &program.stream)?;
-    let groute = run_schedule(&mut GrouteScheduler::new(), &program.stream, &cfg)
+    let opts = DriverOptions::default().with_measure_overhead();
+    let groute = run_schedule_with(&mut GrouteScheduler::new(), &program.stream, &cfg, opts)
         .map_err(|e| e.to_string())?;
     let mut micco = MiccoScheduler::new(parse_bounds(args)?);
-    let m = run_schedule(&mut micco, &program.stream, &cfg).map_err(|e| e.to_string())?;
+    let m =
+        run_schedule_with(&mut micco, &program.stream, &cfg, opts).map_err(|e| e.to_string())?;
     print_report(&groute);
     print_report(&m);
     println!("speedup MICCO/Groute: {:.2}x", m.speedup_over(&groute));
@@ -427,7 +462,8 @@ fn exec(args: &Args) -> Result<(), String> {
         TensorShape { batch, dim },
         args.parse_or("seed", 0).map_err(|e| e.to_string())?,
         opts,
-    );
+    )
+    .map_err(|e| e.to_string())?;
     println!(
         "{}: computed {} kernels on {workers} threads in {:.1} ms (simulated {:.3} ms)",
         report.scheduler,
@@ -443,6 +479,122 @@ fn exec(args: &Args) -> Result<(), String> {
         );
     }
     println!("checksum: {}", out.checksum);
+    Ok(())
+}
+
+/// Decide a schedule without executing it: write the plan IR to `--out`.
+fn plan(args: &Args) -> Result<(), String> {
+    let stream = synthetic_stream(args)?;
+    let cfg = machine_for(args, &stream)?;
+    let mut sched = build_scheduler(args)?;
+    let plan = plan_schedule_with(
+        sched.as_mut(),
+        &stream,
+        &cfg,
+        DriverOptions::default().with_measure_overhead(),
+    )
+    .map_err(|e| e.to_string())?;
+    let out = args.str_or("out", "micco-plan.txt");
+    std::fs::write(&out, plan.to_text()).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "plan: {} | {} stages, {} tasks on {} GPUs | fingerprint {:#018x}",
+        plan.scheduler,
+        plan.stages.len(),
+        plan.total_tasks(),
+        plan.num_gpus,
+        plan.fingerprint,
+    );
+    println!(
+        "decide overhead {:.3} ms; wrote {out}",
+        plan.overhead_secs * 1e3
+    );
+    Ok(())
+}
+
+/// Read a plan written by [`plan`] from `--plan FILE`.
+fn load_plan(args: &Args) -> Result<SchedulePlan, String> {
+    let path = args
+        .get("plan")
+        .ok_or_else(|| "this command needs --plan FILE".to_owned())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    SchedulePlan::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Execute a previously decided plan on the rebuilt workload, on the
+/// simulator (`--backend sim`, the default) or with real kernels
+/// (`--backend real`).
+fn execute(args: &Args) -> Result<(), String> {
+    let plan = load_plan(args)?;
+    let stream = synthetic_stream(args)?;
+    match args.str_or("backend", "sim").as_str() {
+        "sim" => {
+            let cfg = machine_with_gpus(args, &stream, plan.num_gpus)?;
+            let mut machine = SimMachine::new(cfg);
+            let report = execute_plan(&plan, &stream, &mut machine).map_err(|e| e.to_string())?;
+            print_report(&report);
+        }
+        "real" => {
+            let batch: usize = args.parse_or("batch", 4).map_err(|e| e.to_string())?;
+            let dim: usize = args
+                .parse_or("tensor-size", 384)
+                .map_err(|e| e.to_string())?;
+            let seed: u64 = args.parse_or("seed", 0).map_err(|e| e.to_string())?;
+            let mut opts = ExecOptions::default();
+            if args.flag("steal") {
+                opts = opts.with_steal();
+            }
+            if args.flag("prefetch") {
+                opts = opts.with_prefetch();
+            }
+            let out = execute_plan_real(&stream, &plan, TensorShape { batch, dim }, seed, opts)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{}: computed {} kernels on {} threads in {:.1} ms",
+                plan.scheduler,
+                out.kernels,
+                plan.num_gpus,
+                out.wall_secs * 1e3
+            );
+            println!("tasks per worker (assigned): {:?}", out.per_worker_tasks);
+            println!("checksum: {}", out.checksum);
+        }
+        other => return Err(format!("unknown backend '{other}' (sim|real)")),
+    }
+    Ok(())
+}
+
+/// Replay a plan `--times N` times on fresh simulators and verify the
+/// outcome is identical on every run (plans are deterministic artifacts).
+fn replay(args: &Args) -> Result<(), String> {
+    let plan = load_plan(args)?;
+    let stream = synthetic_stream(args)?;
+    let times: usize = args.parse_or("times", 3).map_err(|e| e.to_string())?;
+    if times == 0 {
+        return Err("--times must be at least 1".into());
+    }
+    let cfg = machine_with_gpus(args, &stream, plan.num_gpus)?;
+    let mut reference: Option<ScheduleReport> = None;
+    for _ in 0..times {
+        let mut machine = SimMachine::new(cfg);
+        let report = execute_plan(&plan, &stream, &mut machine).map_err(|e| e.to_string())?;
+        match &reference {
+            None => reference = Some(report),
+            Some(r) => {
+                if report.assignments != r.assignments || report.elapsed_secs() != r.elapsed_secs()
+                {
+                    return Err("replay diverged between runs".into());
+                }
+            }
+        }
+    }
+    let r = reference.expect("times >= 1");
+    println!(
+        "replayed {} × {} tasks: {:.0} GFLOPS | elapsed {:.3} ms | identical on all {times} runs",
+        times,
+        r.assignments.len(),
+        r.gflops(),
+        r.elapsed_secs() * 1e3
+    );
     Ok(())
 }
 
@@ -575,6 +727,67 @@ mod tests {
     fn exec_with_stealing_and_prefetch() {
         run("exec --vector-size 4 --tensor-size 16 --vectors 2 --workers 2 --steal --prefetch")
             .unwrap();
+    }
+
+    #[test]
+    fn plan_execute_replay_roundtrip_sim_and_real() {
+        let dir = std::env::temp_dir();
+        let plan_path = dir.join(format!("micco-cli-plan-{}.txt", std::process::id()));
+        let wl = "--vector-size 4 --tensor-size 16 --batch 2 --vectors 2 --seed 3";
+        run(&format!(
+            "plan {wl} --gpus 2 --scheduler micco --out {}",
+            plan_path.display()
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&plan_path).unwrap();
+        assert!(text.starts_with("micco-plan v1"));
+        // sim backend replays the plan on the simulator
+        run(&format!("execute {wl} --plan {}", plan_path.display())).unwrap();
+        // real backend computes actual kernels from the same plan
+        run(&format!(
+            "execute {wl} --plan {} --backend real",
+            plan_path.display()
+        ))
+        .unwrap();
+        // replay verifies determinism across repeated executions
+        run(&format!(
+            "replay {wl} --plan {} --times 2",
+            plan_path.display()
+        ))
+        .unwrap();
+        let _ = std::fs::remove_file(plan_path);
+    }
+
+    #[test]
+    fn execute_rejects_mismatched_workload() {
+        let dir = std::env::temp_dir();
+        let plan_path = dir.join(format!("micco-cli-plan-drift-{}.txt", std::process::id()));
+        run(&format!(
+            "plan --vector-size 4 --tensor-size 16 --vectors 2 --seed 3 --gpus 2 --out {}",
+            plan_path.display()
+        ))
+        .unwrap();
+        // different seed ⇒ different stream ⇒ fingerprint mismatch
+        let err = run(&format!(
+            "execute --vector-size 4 --tensor-size 16 --vectors 2 --seed 4 --plan {}",
+            plan_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+        let _ = std::fs::remove_file(plan_path);
+    }
+
+    #[test]
+    fn plan_and_execute_report_bad_inputs() {
+        assert!(run("execute").is_err());
+        assert!(run("replay").is_err());
+        assert!(run("execute --plan /nonexistent/plan.txt").is_err());
+        let dir = std::env::temp_dir();
+        let p = dir.join(format!("micco-cli-badplan-{}.txt", std::process::id()));
+        std::fs::write(&p, "micco-plan v99\n").unwrap();
+        let err = run(&format!("execute --plan {}", p.display())).unwrap_err();
+        assert!(err.contains("not supported"), "{err}");
+        let _ = std::fs::remove_file(p);
     }
 
     #[test]

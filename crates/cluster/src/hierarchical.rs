@@ -5,7 +5,7 @@ use micco_core::{MiccoScheduler, ReuseBounds, Scheduler};
 use micco_gpusim::GpuId;
 use micco_workload::{ContractionTask, TensorPairStream, Vector};
 
-use crate::cluster::{ClusterConfig, ClusterReport, ClusterView, NodeId, SimCluster};
+use crate::cluster::{ClusterConfig, ClusterReport, ClusterView, NodeId};
 
 /// A scheduler that places tasks onto `(node, gpu)` pairs.
 pub trait ClusterScheduler {
@@ -147,21 +147,27 @@ impl ClusterScheduler for HierarchicalScheduler {
 }
 
 /// Drive a cluster scheduler over a stream on a fresh cluster.
+///
+/// Since the plan-IR split this is a thin composition: decide the whole
+/// placement on a [`crate::ShadowCluster`] via
+/// [`crate::plan_cluster_schedule`], then replay the resulting
+/// [`crate::ClusterPlan`] on a fresh [`crate::SimCluster`] via
+/// [`crate::execute_cluster_plan`]. Results are identical to the old
+/// interleaved loop because both passes share the cluster's one
+/// state-transition function.
 pub fn run_cluster_schedule(
     scheduler: &mut dyn ClusterScheduler,
     stream: &TensorPairStream,
     config: &ClusterConfig,
 ) -> Result<ClusterReport, micco_gpusim::ExecError> {
-    let mut cluster = SimCluster::new(*config);
-    for vector in &stream.vectors {
-        scheduler.begin_vector(vector, &cluster);
-        for task in &vector.tasks {
-            let (node, gpu) = scheduler.assign(task, &cluster);
-            cluster.execute(task, node, gpu)?;
+    let plan = crate::plan::plan_cluster_schedule(scheduler, stream, config)?;
+    match crate::plan::execute_cluster_plan(&plan, stream, config) {
+        Ok(report) => Ok(report),
+        Err(crate::plan::ClusterError::Exec(e)) => Err(e),
+        Err(crate::plan::ClusterError::Plan(e)) => {
+            unreachable!("freshly decided plan failed validation: {e}")
         }
-        cluster.barrier();
     }
-    Ok(cluster.report(scheduler.name()))
 }
 
 #[cfg(test)]

@@ -27,8 +27,16 @@
 
 pub mod cluster;
 pub mod hierarchical;
+pub mod plan;
 
-pub use cluster::{ClusterConfig, ClusterReport, ClusterView, NodeId, SimCluster};
+pub use cluster::{
+    ClusterConfig, ClusterReport, ClusterSim, ClusterView, NodeId, NodeMachine, ShadowCluster,
+    SimCluster,
+};
 pub use hierarchical::{
     run_cluster_schedule, ClusterScheduler, FlatClusterScheduler, HierarchicalScheduler,
+};
+pub use plan::{
+    execute_cluster_plan, plan_cluster_schedule, ClusterAssignment, ClusterError, ClusterPlan,
+    ClusterPlanError,
 };

@@ -1,10 +1,23 @@
-//! The scheduling driver: interleaves online scheduling with simulated
-//! execution and reports both achieved performance and scheduler overhead.
+//! The scheduling driver, split into *decide* and *execute*.
+//!
+//! [`plan_schedule`] runs the scheduler against a lightweight
+//! [`ShadowMachine`] (full scheduler-visible state, no statistics) and
+//! produces a [`SchedulePlan`]; [`execute_plan`] replays a validated plan
+//! on a [`SimMachine`] and reports achieved performance. [`run_schedule`]
+//! and [`run_schedule_with`] are thin compositions of the two with
+//! unchanged signatures — and, because the shadow and the simulator share
+//! one state-transition function, unchanged results. The interleaved
+//! [`run_schedule_on`] remains for warm machines and tracing.
 
 use std::time::Instant;
 
-use micco_gpusim::{ExecError, ExecStats, GpuId, MachineConfig, MachineView, SimMachine};
+use micco_gpusim::{
+    ExecError, ExecStats, GpuId, MachineConfig, MachineView, ShadowMachine, SimMachine,
+};
 use micco_workload::{ContractionTask, TensorPairStream, Vector};
+
+use crate::bounds::ReuseBounds;
+use crate::plan::{PlanError, PlanStage, SchedulePlan};
 
 /// An online multi-GPU scheduler.
 ///
@@ -19,6 +32,12 @@ pub trait Scheduler {
     fn begin_vector(&mut self, vector: &Vector, view: &dyn MachineView);
     /// Pick the device for one tensor pair.
     fn assign(&mut self, task: &ContractionTask, view: &dyn MachineView) -> GpuId;
+    /// The reuse bounds in effect for the current vector, when the
+    /// scheduler uses any (recorded into [`SchedulePlan`] stages by the
+    /// planner). Defaults to `None` for bound-free schedulers.
+    fn stage_bounds(&self) -> Option<ReuseBounds> {
+        None
+    }
 }
 
 /// A single placement decision (exposed for tests and traces).
@@ -40,6 +59,8 @@ pub enum ScheduleError {
         /// Underlying machine error.
         source: ExecError,
     },
+    /// A plan failed validation against the stream or machine.
+    Plan(PlanError),
 }
 
 impl std::fmt::Display for ScheduleError {
@@ -48,11 +69,18 @@ impl std::fmt::Display for ScheduleError {
             ScheduleError::Exec { task, source } => {
                 write!(f, "execution of task {:?} failed: {source}", task)
             }
+            ScheduleError::Plan(e) => write!(f, "invalid plan: {e}"),
         }
     }
 }
 
 impl std::error::Error for ScheduleError {}
+
+impl From<PlanError> for ScheduleError {
+    fn from(e: PlanError) -> Self {
+        ScheduleError::Plan(e)
+    }
+}
 
 /// Outcome of [`run_schedule`].
 #[derive(Debug, Clone, PartialEq)]
@@ -62,7 +90,8 @@ pub struct ScheduleReport {
     /// Simulated execution statistics.
     pub stats: ExecStats,
     /// Real wall-clock seconds spent inside `Scheduler::assign` — the
-    /// paper's "scheduling overhead" (Table V).
+    /// paper's "scheduling overhead" (Table V). Measured only when
+    /// [`DriverOptions::measure_overhead`] is set; `0.0` otherwise.
     pub scheduling_overhead_secs: f64,
     /// Every placement decision, in task order.
     pub assignments: Vec<Assignment>,
@@ -117,6 +146,12 @@ pub struct DriverOptions {
     /// Staging-buffer depth bounding DMA lookahead (`0` = unbounded;
     /// only meaningful with `overlap`).
     pub prefetch_tasks: usize,
+    /// Time every `Scheduler::assign` call with a wall-clock pair and
+    /// report the total as `scheduling_overhead_secs`. Off by default:
+    /// the syscall pair per task inflates reported overhead for
+    /// sub-microsecond schedulers and adds noise to benchmarks that only
+    /// care about simulated time.
+    pub measure_overhead: bool,
 }
 
 impl DriverOptions {
@@ -132,6 +167,12 @@ impl DriverOptions {
         self
     }
 
+    /// Options with per-task scheduling-overhead timing enabled.
+    pub fn with_measure_overhead(mut self) -> Self {
+        self.measure_overhead = true;
+        self
+    }
+
     /// `config` with these options applied to its cost model.
     pub fn apply(&self, config: &MachineConfig) -> MachineConfig {
         let mut cfg = *config;
@@ -143,14 +184,113 @@ impl DriverOptions {
     }
 }
 
+/// Decide a schedule without simulating: run `scheduler` over `stream`
+/// against a [`ShadowMachine`] built from `config` and capture every
+/// placement into a [`SchedulePlan`].
+///
+/// The shadow tracks exactly the state schedulers can observe through
+/// [`MachineView`] — residency, occupancy, evictions, stage load — so the
+/// decisions are identical to what the interleaved driver would make, at a
+/// fraction of the cost (no statistics, no trace, no attribution).
+pub fn plan_schedule(
+    scheduler: &mut dyn Scheduler,
+    stream: &TensorPairStream,
+    config: &MachineConfig,
+) -> Result<SchedulePlan, ScheduleError> {
+    plan_schedule_with(scheduler, stream, config, DriverOptions::default())
+}
+
+/// [`plan_schedule`] with [`DriverOptions`] layered onto the cost model
+/// (overlap changes timing, which changes what load-aware schedulers see).
+pub fn plan_schedule_with(
+    scheduler: &mut dyn Scheduler,
+    stream: &TensorPairStream,
+    config: &MachineConfig,
+    options: DriverOptions,
+) -> Result<SchedulePlan, ScheduleError> {
+    let cfg = options.apply(config);
+    let mut shadow = ShadowMachine::new(cfg);
+    let mut overhead = 0.0;
+    let mut stages = Vec::with_capacity(stream.vectors.len());
+    for vector in &stream.vectors {
+        scheduler.begin_vector(vector, &shadow);
+        let bounds = scheduler.stage_bounds();
+        let mut assignments = Vec::with_capacity(vector.tasks.len());
+        for task in &vector.tasks {
+            let gpu = if options.measure_overhead {
+                let t0 = Instant::now();
+                let gpu = scheduler.assign(task, &shadow);
+                overhead += t0.elapsed().as_secs_f64();
+                gpu
+            } else {
+                scheduler.assign(task, &shadow)
+            };
+            shadow
+                .execute(task, gpu)
+                .map_err(|source| ScheduleError::Exec {
+                    task: task.id,
+                    source,
+                })?;
+            assignments.push(Assignment { task: task.id, gpu });
+        }
+        shadow.barrier();
+        stages.push(PlanStage {
+            bounds,
+            assignments,
+        });
+    }
+    Ok(SchedulePlan {
+        scheduler: scheduler.name(),
+        num_gpus: cfg.num_gpus,
+        fingerprint: stream.fingerprint(),
+        overhead_secs: overhead,
+        stages,
+    })
+}
+
+/// Execute a validated plan on `machine`, one stage per stream vector with
+/// a barrier between stages. The plan is checked against the stream and
+/// the machine first ([`SchedulePlan::validate_for`]); a plan decided for
+/// a different workload or device count is a typed error, not a panic.
+pub fn execute_plan(
+    plan: &SchedulePlan,
+    stream: &TensorPairStream,
+    machine: &mut SimMachine,
+) -> Result<ScheduleReport, ScheduleError> {
+    plan.validate_for(stream, MachineView::num_gpus(machine))?;
+    let mut assignments = Vec::with_capacity(plan.total_tasks());
+    for (vector, stage) in stream.vectors.iter().zip(&plan.stages) {
+        for (task, a) in vector.tasks.iter().zip(&stage.assignments) {
+            machine
+                .execute(task, a.gpu)
+                .map_err(|source| ScheduleError::Exec {
+                    task: task.id,
+                    source,
+                })?;
+            assignments.push(*a);
+        }
+        machine.barrier();
+    }
+    Ok(ScheduleReport {
+        scheduler: plan.scheduler.clone(),
+        stats: machine.stats().clone(),
+        scheduling_overhead_secs: plan.overhead_secs,
+        assignments,
+    })
+}
+
 /// Run `scheduler` over `stream` on a fresh machine built from `config`.
+///
+/// Since the decide/execute split this is a composition of
+/// [`plan_schedule`] and [`execute_plan`]; assignments and statistics are
+/// identical to the historical interleaved driver (a conformance test
+/// enforces it for every scheduler).
 pub fn run_schedule(
     scheduler: &mut dyn Scheduler,
     stream: &TensorPairStream,
     config: &MachineConfig,
 ) -> Result<ScheduleReport, ScheduleError> {
-    let mut machine = SimMachine::new(*config);
-    run_schedule_on(scheduler, stream, &mut machine)
+    run_schedule_with(scheduler, stream, config, DriverOptions::default())
 }
 
 /// [`run_schedule`] with [`DriverOptions`] layered onto the machine's cost
@@ -180,24 +320,26 @@ pub fn run_schedule_with(
     config: &MachineConfig,
     options: DriverOptions,
 ) -> Result<ScheduleReport, ScheduleError> {
-    run_schedule(scheduler, stream, &options.apply(config))
+    let cfg = options.apply(config);
+    let plan = plan_schedule_with(scheduler, stream, &cfg, options)?;
+    let mut machine = SimMachine::new(cfg);
+    execute_plan(&plan, stream, &mut machine)
 }
 
 /// Run `scheduler` over `stream` on an existing machine (lets callers enable
-/// tracing or chain multiple streams on warm devices).
+/// tracing or chain multiple streams on warm devices). This is the
+/// interleaved path: decisions and execution advance the same machine, so
+/// it works from any starting state — but produces no reusable plan.
 pub fn run_schedule_on(
     scheduler: &mut dyn Scheduler,
     stream: &TensorPairStream,
     machine: &mut SimMachine,
 ) -> Result<ScheduleReport, ScheduleError> {
-    let mut overhead = 0.0;
     let mut assignments = Vec::with_capacity(stream.total_tasks());
     for vector in &stream.vectors {
         scheduler.begin_vector(vector, machine);
         for task in &vector.tasks {
-            let t0 = Instant::now();
             let gpu = scheduler.assign(task, machine);
-            overhead += t0.elapsed().as_secs_f64();
             machine
                 .execute(task, gpu)
                 .map_err(|source| ScheduleError::Exec {
@@ -211,7 +353,7 @@ pub fn run_schedule_on(
     Ok(ScheduleReport {
         scheduler: scheduler.name(),
         stats: machine.stats().clone(),
-        scheduling_overhead_secs: overhead,
+        scheduling_overhead_secs: 0.0,
         assignments,
     })
 }
@@ -326,5 +468,63 @@ mod tests {
         let cfg = MachineConfig::mi100_like(2);
         let r = run_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
         assert_eq!(r.stats.stage_makespans.len(), 5);
+    }
+
+    #[test]
+    fn overhead_zero_unless_opted_in() {
+        let stream = WorkloadSpec::new(8, 64).with_vectors(2).generate();
+        let cfg = MachineConfig::mi100_like(2);
+        let silent = run_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+        assert_eq!(silent.scheduling_overhead_secs, 0.0);
+        let measured = run_schedule_with(
+            &mut RoundRobinScheduler::new(),
+            &stream,
+            &cfg,
+            DriverOptions::default().with_measure_overhead(),
+        )
+        .unwrap();
+        assert!(measured.scheduling_overhead_secs > 0.0);
+        // timing never changes the decisions or the simulated outcome
+        assert_eq!(silent.assignments, measured.assignments);
+        assert_eq!(silent.stats, measured.stats);
+    }
+
+    #[test]
+    fn composition_matches_interleaved_path() {
+        let stream = WorkloadSpec::new(12, 96)
+            .with_vectors(3)
+            .with_seed(9)
+            .generate();
+        let cfg = MachineConfig::mi100_like(3);
+        let composed = run_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+        let mut machine = SimMachine::new(cfg);
+        let interleaved =
+            run_schedule_on(&mut RoundRobinScheduler::new(), &stream, &mut machine).unwrap();
+        assert_eq!(composed.assignments, interleaved.assignments);
+        assert_eq!(composed.stats, interleaved.stats);
+    }
+
+    #[test]
+    fn execute_plan_rejects_mismatched_stream() {
+        let stream = WorkloadSpec::new(8, 64).with_vectors(2).generate();
+        let cfg = MachineConfig::mi100_like(2);
+        let plan = plan_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+        let other = WorkloadSpec::new(8, 64)
+            .with_vectors(2)
+            .with_seed(99)
+            .generate();
+        let mut machine = SimMachine::new(cfg);
+        let err = execute_plan(&plan, &other, &mut machine).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::Plan(PlanError::FingerprintMismatch { .. })
+        ));
+        // and a machine with the wrong shape is rejected too
+        let mut small = SimMachine::new(MachineConfig::mi100_like(1));
+        let err = execute_plan(&plan, &stream, &mut small).unwrap_err();
+        assert!(matches!(
+            err,
+            ScheduleError::Plan(PlanError::DeviceCountMismatch { .. })
+        ));
     }
 }

@@ -38,6 +38,7 @@ pub mod mapping;
 pub mod micco;
 pub mod model;
 pub mod pattern;
+pub mod plan;
 pub mod reorder;
 pub mod state;
 pub mod tuner;
@@ -45,12 +46,13 @@ pub mod tuner;
 pub use baselines::{CodaScheduler, GrouteScheduler, RoundRobinScheduler};
 pub use bounds::{BoundsProvider, FixedBounds, ReuseBounds};
 pub use driver::{
-    run_schedule, run_schedule_with, Assignment, DriverOptions, ScheduleError, ScheduleReport,
-    Scheduler,
+    execute_plan, plan_schedule, plan_schedule_with, run_schedule, run_schedule_on,
+    run_schedule_with, Assignment, DriverOptions, ScheduleError, ScheduleReport, Scheduler,
 };
 pub use mapping::{mapping_histogram, Mapping, MappingHistogram};
 pub use micco::MiccoScheduler;
 pub use model::RegressionBounds;
 pub use pattern::LocalReusePattern;
+pub use plan::{PlanCache, PlanError, PlanFormatError, PlanStage, SchedulePlan, PLAN_VERSION};
 pub use reorder::{reorder_stream, reuse_clustered_order};
 pub use state::VectorState;

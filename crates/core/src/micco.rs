@@ -146,6 +146,10 @@ impl<P: BoundsProvider> Scheduler for MiccoScheduler<P> {
         self.state.begin(vector, view.num_gpus());
     }
 
+    fn stage_bounds(&self) -> Option<ReuseBounds> {
+        Some(self.bounds)
+    }
+
     fn assign(&mut self, task: &ContractionTask, view: &dyn MachineView) -> GpuId {
         let class = classify(task, view);
         let bounds = self.bounds;

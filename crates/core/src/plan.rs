@@ -1,0 +1,726 @@
+//! The schedule-plan IR: a durable, validated placement artifact.
+//!
+//! A [`SchedulePlan`] is what [`crate::plan_schedule`] produces and what
+//! [`crate::execute_plan`] (and the real executor in `micco-exec`, and the
+//! cluster driver) consume: per-stage assignment vectors, the scheduler
+//! name and reuse bounds that produced them, and a content-hash
+//! **fingerprint** of the workload the plan was decided for. Splitting
+//! decide from execute makes the plan cacheable (hadron nodes repeat
+//! across thousands of contraction graphs — the same schedule is worth
+//! reusing), replayable across backends, and shippable between processes.
+//!
+//! Plans serialize to a versioned line-oriented text format (the same
+//! no-dependency idiom as `micco-workload`'s stream format):
+//!
+//! ```text
+//! micco-plan v1
+//! scheduler micco[fixed(0,2,0)]
+//! gpus 4
+//! fingerprint 9322391459459612643
+//! overhead 0
+//! stage bounds 0 2 0
+//! assign 0 1
+//! assign 1 3
+//! stage
+//! assign 2 0
+//! ```
+//!
+//! Future format versions bump the header; parsers reject versions they do
+//! not understand with [`PlanFormatError::UnsupportedVersion`] rather than
+//! misreading them.
+
+use std::collections::HashMap;
+
+use micco_gpusim::{GpuId, MachineConfig};
+use micco_workload::{TaskId, TensorPairStream};
+
+use crate::bounds::ReuseBounds;
+use crate::driver::{plan_schedule_with, Assignment, DriverOptions, ScheduleError, Scheduler};
+
+/// Plan format version written by [`SchedulePlan::to_text`].
+pub const PLAN_VERSION: u32 = 1;
+
+const HEADER_PREFIX: &str = "micco-plan v";
+
+/// One stage of a plan: the bounds the scheduler used for the vector (if
+/// it uses bounds at all) and the placement of each of its tasks, in
+/// stream order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PlanStage {
+    /// Reuse bounds in effect while this stage was decided (`None` for
+    /// schedulers without bounds, e.g. round-robin).
+    pub bounds: Option<ReuseBounds>,
+    /// One placement per task of the stage vector, in task order.
+    pub assignments: Vec<Assignment>,
+}
+
+/// A complete schedule: who runs where, decided ahead of execution.
+///
+/// # Examples
+///
+/// ```
+/// use micco_core::{plan_schedule, RoundRobinScheduler, SchedulePlan};
+/// use micco_gpusim::MachineConfig;
+/// use micco_workload::WorkloadSpec;
+///
+/// let stream = WorkloadSpec::new(8, 64).with_vectors(2).generate();
+/// let cfg = MachineConfig::mi100_like(2);
+/// let plan = plan_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+/// // round-trips through the text format exactly
+/// let back = SchedulePlan::from_text(&plan.to_text()).unwrap();
+/// assert_eq!(plan, back);
+/// // and validates against the stream it was planned for
+/// assert!(plan.validate(&stream).is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulePlan {
+    /// Name of the scheduler that decided the plan.
+    pub scheduler: String,
+    /// Number of devices the plan targets (every assignment is in range).
+    pub num_gpus: usize,
+    /// [`TensorPairStream::fingerprint`] of the workload the plan was
+    /// decided for.
+    pub fingerprint: u64,
+    /// Wall-clock seconds spent inside `Scheduler::assign` while deciding
+    /// (0.0 unless planned with [`DriverOptions::measure_overhead`]).
+    pub overhead_secs: f64,
+    /// Per-stage assignments, one entry per stream vector.
+    pub stages: Vec<PlanStage>,
+}
+
+/// A plan that does not fit the stream or machine it was asked to run on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The plan was decided for a different workload.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the plan.
+        plan: u64,
+        /// Fingerprint of the stream offered for execution.
+        stream: u64,
+    },
+    /// Stage counts differ.
+    StageCountMismatch {
+        /// Stages in the plan.
+        plan: usize,
+        /// Vectors in the stream.
+        stream: usize,
+    },
+    /// A stage covers a different number of tasks than its vector.
+    StageLenMismatch {
+        /// Stage index.
+        stage: usize,
+        /// Assignments in the plan stage.
+        plan: usize,
+        /// Tasks in the stream vector.
+        stream: usize,
+    },
+    /// A stage assigns a task other than the one at that position.
+    TaskMismatch {
+        /// Stage index.
+        stage: usize,
+        /// Position within the stage.
+        index: usize,
+        /// Task the plan assigns.
+        plan: TaskId,
+        /// Task the stream has there.
+        stream: TaskId,
+    },
+    /// An assignment targets a device the plan itself declares out of range.
+    GpuOutOfRange {
+        /// Offending task.
+        task: TaskId,
+        /// Target device.
+        gpu: GpuId,
+        /// Devices the plan targets.
+        num_gpus: usize,
+    },
+    /// The executing machine has a different device count than the plan.
+    DeviceCountMismatch {
+        /// Devices the plan targets.
+        plan: usize,
+        /// Devices the machine has.
+        machine: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::FingerprintMismatch { plan, stream } => write!(
+                f,
+                "plan fingerprint {plan:#x} does not match stream fingerprint {stream:#x}"
+            ),
+            PlanError::StageCountMismatch { plan, stream } => {
+                write!(f, "plan has {plan} stages, stream has {stream} vectors")
+            }
+            PlanError::StageLenMismatch {
+                stage,
+                plan,
+                stream,
+            } => write!(
+                f,
+                "stage {stage}: plan assigns {plan} tasks, vector has {stream}"
+            ),
+            PlanError::TaskMismatch {
+                stage,
+                index,
+                plan,
+                stream,
+            } => write!(
+                f,
+                "stage {stage} position {index}: plan assigns task {plan:?}, stream has {stream:?}"
+            ),
+            PlanError::GpuOutOfRange {
+                task,
+                gpu,
+                num_gpus,
+            } => write!(
+                f,
+                "task {task:?} assigned to {gpu} but plan targets {num_gpus} devices"
+            ),
+            PlanError::DeviceCountMismatch { plan, machine } => write!(
+                f,
+                "plan targets {plan} devices but the machine has {machine}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Serialisation/parse errors for the plan text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanFormatError {
+    /// Missing or malformed header line.
+    BadHeader,
+    /// The header declares a format version this parser does not speak.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// A malformed line, with its 1-based line number.
+    BadLine {
+        /// Line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// An `assign` line appeared before any `stage` line.
+    AssignOutsideStage {
+        /// Line number.
+        line: usize,
+    },
+    /// A required field never appeared.
+    MissingField {
+        /// Field name.
+        field: &'static str,
+    },
+}
+
+impl std::fmt::Display for PlanFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanFormatError::BadHeader => {
+                write!(f, "missing '{HEADER_PREFIX}{PLAN_VERSION}' header")
+            }
+            PlanFormatError::UnsupportedVersion { found } => write!(
+                f,
+                "plan format v{found} is not supported (this build reads v{PLAN_VERSION})"
+            ),
+            PlanFormatError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            PlanFormatError::AssignOutsideStage { line } => {
+                write!(f, "line {line}: assign before any 'stage' marker")
+            }
+            PlanFormatError::MissingField { field } => write!(f, "missing '{field}' field"),
+        }
+    }
+}
+
+impl std::error::Error for PlanFormatError {}
+
+impl SchedulePlan {
+    /// Total assignments across all stages.
+    pub fn total_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.assignments.len()).sum()
+    }
+
+    /// All assignments flattened into stream order (what slice-based
+    /// consumers like the real executor take).
+    pub fn flat_assignments(&self) -> Vec<Assignment> {
+        self.stages
+            .iter()
+            .flat_map(|s| s.assignments.iter().copied())
+            .collect()
+    }
+
+    /// Check the plan against the stream it is about to run on: matching
+    /// fingerprint, one stage per vector, every task covered exactly once
+    /// in order, every device within the plan's declared range.
+    pub fn validate(&self, stream: &TensorPairStream) -> Result<(), PlanError> {
+        let fp = stream.fingerprint();
+        if self.fingerprint != fp {
+            return Err(PlanError::FingerprintMismatch {
+                plan: self.fingerprint,
+                stream: fp,
+            });
+        }
+        if self.stages.len() != stream.vectors.len() {
+            return Err(PlanError::StageCountMismatch {
+                plan: self.stages.len(),
+                stream: stream.vectors.len(),
+            });
+        }
+        for (si, (stage, vector)) in self.stages.iter().zip(&stream.vectors).enumerate() {
+            if stage.assignments.len() != vector.tasks.len() {
+                return Err(PlanError::StageLenMismatch {
+                    stage: si,
+                    plan: stage.assignments.len(),
+                    stream: vector.tasks.len(),
+                });
+            }
+            for (i, (a, t)) in stage.assignments.iter().zip(&vector.tasks).enumerate() {
+                if a.task != t.id {
+                    return Err(PlanError::TaskMismatch {
+                        stage: si,
+                        index: i,
+                        plan: a.task,
+                        stream: t.id,
+                    });
+                }
+                if a.gpu.0 >= self.num_gpus {
+                    return Err(PlanError::GpuOutOfRange {
+                        task: a.task,
+                        gpu: a.gpu,
+                        num_gpus: self.num_gpus,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`Self::validate`] plus a device-count check against the executing
+    /// machine.
+    pub fn validate_for(
+        &self,
+        stream: &TensorPairStream,
+        machine_gpus: usize,
+    ) -> Result<(), PlanError> {
+        self.validate(stream)?;
+        if self.num_gpus != machine_gpus {
+            return Err(PlanError::DeviceCountMismatch {
+                plan: self.num_gpus,
+                machine: machine_gpus,
+            });
+        }
+        Ok(())
+    }
+
+    /// Serialise to the versioned text format. Round-trips exactly through
+    /// [`Self::from_text`] (the overhead float is stored as its bit
+    /// pattern).
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(96 + self.total_tasks() * 12);
+        out.push_str(HEADER_PREFIX);
+        out.push_str(&PLAN_VERSION.to_string());
+        out.push('\n');
+        out.push_str(&format!("scheduler {}\n", self.scheduler));
+        out.push_str(&format!("gpus {}\n", self.num_gpus));
+        out.push_str(&format!("fingerprint {}\n", self.fingerprint));
+        out.push_str(&format!("overhead {}\n", self.overhead_secs.to_bits()));
+        for stage in &self.stages {
+            match stage.bounds {
+                Some(b) => {
+                    let [x, y, z] = b.as_array();
+                    out.push_str(&format!("stage bounds {x} {y} {z}\n"));
+                }
+                None => out.push_str("stage\n"),
+            }
+            for a in &stage.assignments {
+                out.push_str(&format!("assign {} {}\n", a.task.0, a.gpu.0));
+            }
+        }
+        out
+    }
+
+    /// Parse the text format. Blank lines and `#` comments are ignored;
+    /// unknown versions and malformed lines are typed errors.
+    pub fn from_text(text: &str) -> Result<SchedulePlan, PlanFormatError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, l)) => {
+                let l = l.trim();
+                let version: u32 = l
+                    .strip_prefix(HEADER_PREFIX)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or(PlanFormatError::BadHeader)?;
+                if version != PLAN_VERSION {
+                    return Err(PlanFormatError::UnsupportedVersion { found: version });
+                }
+            }
+            None => return Err(PlanFormatError::BadHeader),
+        }
+        let mut scheduler: Option<String> = None;
+        let mut num_gpus: Option<usize> = None;
+        let mut fingerprint: Option<u64> = None;
+        let mut overhead_bits: u64 = 0;
+        let mut stages: Vec<PlanStage> = Vec::new();
+        for (idx, raw) in lines {
+            let line_no = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let bad = |reason: String| PlanFormatError::BadLine {
+                line: line_no,
+                reason,
+            };
+            if let Some(rest) = line.strip_prefix("scheduler ") {
+                scheduler = Some(rest.trim().to_owned());
+            } else if let Some(rest) = line.strip_prefix("gpus ") {
+                num_gpus =
+                    Some(rest.trim().parse().map_err(|_| {
+                        bad(format!("'{}' is not an unsigned integer", rest.trim()))
+                    })?);
+            } else if let Some(rest) = line.strip_prefix("fingerprint ") {
+                fingerprint =
+                    Some(rest.trim().parse().map_err(|_| {
+                        bad(format!("'{}' is not an unsigned integer", rest.trim()))
+                    })?);
+            } else if let Some(rest) = line.strip_prefix("overhead ") {
+                overhead_bits = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad(format!("'{}' is not an unsigned integer", rest.trim())))?;
+            } else if line == "stage" {
+                stages.push(PlanStage::default());
+            } else if let Some(rest) = line.strip_prefix("stage bounds ") {
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                if fields.len() != 3 {
+                    return Err(bad(format!("expected 3 bounds, got {}", fields.len())));
+                }
+                let mut nums = [0usize; 3];
+                for (slot, f) in nums.iter_mut().zip(&fields) {
+                    *slot = f
+                        .parse()
+                        .map_err(|_| bad(format!("'{f}' is not an unsigned integer")))?;
+                }
+                stages.push(PlanStage {
+                    bounds: Some(ReuseBounds::from(nums)),
+                    assignments: Vec::new(),
+                });
+            } else if let Some(rest) = line.strip_prefix("assign ") {
+                let fields: Vec<&str> = rest.split_whitespace().collect();
+                if fields.len() != 2 {
+                    return Err(bad(format!("expected 2 fields, got {}", fields.len())));
+                }
+                let task: u64 = fields[0]
+                    .parse()
+                    .map_err(|_| bad(format!("'{}' is not an unsigned integer", fields[0])))?;
+                let gpu: usize = fields[1]
+                    .parse()
+                    .map_err(|_| bad(format!("'{}' is not an unsigned integer", fields[1])))?;
+                stages
+                    .last_mut()
+                    .ok_or(PlanFormatError::AssignOutsideStage { line: line_no })?
+                    .assignments
+                    .push(Assignment {
+                        task: TaskId(task),
+                        gpu: GpuId(gpu),
+                    });
+            } else {
+                return Err(bad(format!("unrecognised line '{line}'")));
+            }
+        }
+        Ok(SchedulePlan {
+            scheduler: scheduler.ok_or(PlanFormatError::MissingField { field: "scheduler" })?,
+            num_gpus: num_gpus.ok_or(PlanFormatError::MissingField { field: "gpus" })?,
+            fingerprint: fingerprint.ok_or(PlanFormatError::MissingField {
+                field: "fingerprint",
+            })?,
+            overhead_secs: f64::from_bits(overhead_bits),
+            stages,
+        })
+    }
+}
+
+/// In-memory plan cache: repeated streams skip scheduling entirely.
+///
+/// Keys combine the stream fingerprint with the scheduler name and the
+/// machine/driver configuration, so a cache may safely serve multiple
+/// schedulers and machine shapes at once. Any mutation of the stream —
+/// task order, tensor footprints, vector boundaries — changes the
+/// fingerprint and misses.
+///
+/// # Examples
+///
+/// ```
+/// use micco_core::{PlanCache, RoundRobinScheduler};
+/// use micco_gpusim::MachineConfig;
+/// use micco_workload::WorkloadSpec;
+///
+/// let stream = WorkloadSpec::new(8, 64).with_vectors(2).generate();
+/// let cfg = MachineConfig::mi100_like(2);
+/// let mut cache = PlanCache::new();
+/// let opts = Default::default();
+/// cache.plan_for(&mut RoundRobinScheduler::new(), &stream, &cfg, opts).unwrap();
+/// cache.plan_for(&mut RoundRobinScheduler::new(), &stream, &cfg, opts).unwrap();
+/// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// ```
+#[derive(Default)]
+pub struct PlanCache {
+    plans: HashMap<u64, SchedulePlan>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// The plan for `(scheduler, stream, config, options)` — served from
+    /// cache when the same combination was planned before (the scheduler
+    /// is not invoked at all on a hit), decided via
+    /// [`crate::plan_schedule_with`] otherwise.
+    pub fn plan_for(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        stream: &TensorPairStream,
+        config: &MachineConfig,
+        options: DriverOptions,
+    ) -> Result<&SchedulePlan, ScheduleError> {
+        let key = Self::key(&scheduler.name(), stream, config, options);
+        match self.plans.entry(key) {
+            std::collections::hash_map::Entry::Occupied(_) => self.hits += 1,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(plan_schedule_with(scheduler, stream, config, options)?);
+                self.misses += 1;
+            }
+        }
+        Ok(&self.plans[&key])
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (i.e. plans actually decided) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    fn key(
+        scheduler: &str,
+        stream: &TensorPairStream,
+        config: &MachineConfig,
+        options: DriverOptions,
+    ) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(stream.fingerprint());
+        for b in scheduler.bytes() {
+            mix(b as u64);
+        }
+        mix(config.num_gpus as u64);
+        mix(config.mem_bytes);
+        mix(config.cost.device_gflops.to_bits());
+        mix(config.cost.h2d_gib_s.to_bits());
+        mix(config.cost.d2d_gib_s.to_bits());
+        mix(config.cost.transfer_latency_us.to_bits());
+        mix(config.cost.alloc_latency_us.to_bits());
+        mix(config.cost.evict_latency_us.to_bits());
+        mix(config.cost.d2d_charges_source as u64);
+        mix(config.cost.async_copy as u64);
+        mix(config.cost.shared_h2d_link as u64);
+        mix(config.cost.prefetch_tasks as u64);
+        mix(config.eviction as u64);
+        mix(options.overlap as u64);
+        mix(options.prefetch_tasks as u64);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::RoundRobinScheduler;
+    use crate::driver::plan_schedule;
+    use micco_workload::WorkloadSpec;
+
+    fn plan_fixture() -> (TensorPairStream, SchedulePlan) {
+        let stream = WorkloadSpec::new(8, 48)
+            .with_vectors(3)
+            .with_seed(5)
+            .generate();
+        let cfg = MachineConfig::mi100_like(3);
+        let plan = plan_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+        (stream, plan)
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        let (_, plan) = plan_fixture();
+        let back = SchedulePlan::from_text(&plan.to_text()).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn bounds_survive_roundtrip() {
+        let mut plan = plan_fixture().1;
+        plan.stages[0].bounds = Some(ReuseBounds::new(0, 2, 0));
+        plan.stages[1].bounds = Some(ReuseBounds::unbounded());
+        plan.overhead_secs = 1.5e-7;
+        let back = SchedulePlan::from_text(&plan.to_text()).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let text = "micco-plan v2\nscheduler x\ngpus 1\nfingerprint 0\n";
+        assert_eq!(
+            SchedulePlan::from_text(text),
+            Err(PlanFormatError::UnsupportedVersion { found: 2 })
+        );
+        assert!(SchedulePlan::from_text(text)
+            .unwrap_err()
+            .to_string()
+            .contains("not supported"));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(
+            SchedulePlan::from_text("nope\n"),
+            Err(PlanFormatError::BadHeader)
+        );
+        assert_eq!(SchedulePlan::from_text(""), Err(PlanFormatError::BadHeader));
+        assert_eq!(
+            SchedulePlan::from_text("micco-plan vX\n"),
+            Err(PlanFormatError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn assign_outside_stage_rejected() {
+        let text = "micco-plan v1\nscheduler x\ngpus 1\nfingerprint 0\nassign 0 0\n";
+        assert!(matches!(
+            SchedulePlan::from_text(text),
+            Err(PlanFormatError::AssignOutsideStage { line: 5 })
+        ));
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let text = "micco-plan v1\ngpus 1\nfingerprint 0\n";
+        assert_eq!(
+            SchedulePlan::from_text(text),
+            Err(PlanFormatError::MissingField { field: "scheduler" })
+        );
+    }
+
+    #[test]
+    fn malformed_lines_rejected_with_position() {
+        let text = "micco-plan v1\nscheduler x\ngpus one\n";
+        match SchedulePlan::from_text(text) {
+            Err(PlanFormatError::BadLine { line, reason }) => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("'one'"));
+            }
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+        let text = "micco-plan v1\nscheduler x\ngpus 1\nfingerprint 0\nwat\n";
+        assert!(matches!(
+            SchedulePlan::from_text(text),
+            Err(PlanFormatError::BadLine { line: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "micco-plan v1\n# comment\n\nscheduler rr\ngpus 2\nfingerprint 7\noverhead 0\nstage\nassign 0 1\n";
+        let plan = SchedulePlan::from_text(text).unwrap();
+        assert_eq!(plan.scheduler, "rr");
+        assert_eq!(plan.total_tasks(), 1);
+        assert_eq!(plan.stages[0].assignments[0].gpu, GpuId(1));
+    }
+
+    #[test]
+    fn validate_catches_every_mismatch_class() {
+        let (stream, plan) = plan_fixture();
+        assert_eq!(plan.validate(&stream), Ok(()));
+
+        let mut other = stream.clone();
+        other.vectors[0].tasks[0].flops += 1;
+        assert!(matches!(
+            plan.validate(&other),
+            Err(PlanError::FingerprintMismatch { .. })
+        ));
+
+        let mut p = plan.clone();
+        p.fingerprint = stream.fingerprint();
+        p.stages.pop();
+        assert!(matches!(
+            p.validate(&stream),
+            Err(PlanError::StageCountMismatch { .. })
+        ));
+
+        let mut p = plan.clone();
+        p.stages[1].assignments.pop();
+        assert!(matches!(
+            p.validate(&stream),
+            Err(PlanError::StageLenMismatch { stage: 1, .. })
+        ));
+
+        let mut p = plan.clone();
+        p.stages[0].assignments[0].task = TaskId(u64::MAX);
+        assert!(matches!(
+            p.validate(&stream),
+            Err(PlanError::TaskMismatch {
+                stage: 0,
+                index: 0,
+                ..
+            })
+        ));
+
+        let mut p = plan.clone();
+        p.stages[0].assignments[0].gpu = GpuId(99);
+        assert!(matches!(
+            p.validate(&stream),
+            Err(PlanError::GpuOutOfRange { .. })
+        ));
+
+        assert!(matches!(
+            plan.validate_for(&stream, plan.num_gpus + 1),
+            Err(PlanError::DeviceCountMismatch { .. })
+        ));
+        assert_eq!(plan.validate_for(&stream, plan.num_gpus), Ok(()));
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        let e = PlanError::FingerprintMismatch { plan: 1, stream: 2 };
+        assert!(e.to_string().contains("fingerprint"));
+        let e = PlanFormatError::MissingField { field: "gpus" };
+        assert!(e.to_string().contains("gpus"));
+    }
+}

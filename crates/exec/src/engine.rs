@@ -15,13 +15,14 @@
 //! worker counts.
 
 use std::collections::{HashSet, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use micco_core::Assignment;
+use micco_core::{Assignment, PlanError, SchedulePlan};
 use micco_tensor::Complex64;
 use micco_workload::{TensorId, TensorPairStream, Vector};
 
@@ -62,6 +63,64 @@ impl ExecOptions {
     pub fn with_prefetch(mut self) -> Self {
         self.prefetch = true;
         self
+    }
+}
+
+/// Why the execution engine refused to run a schedule.
+///
+/// These used to be `panic!`/`assert!` contract violations; they are now
+/// typed errors so callers (the CLI in particular) can report them without
+/// aborting the process.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// `workers == 0` — there is nobody to run the kernels.
+    NoWorkers,
+    /// The assignment slice does not cover the stream's tasks.
+    AssignmentShortfall {
+        /// Tasks in the stream.
+        expected: usize,
+        /// Assignments provided.
+        got: usize,
+    },
+    /// An assignment names a device outside the worker pool.
+    DeviceOutOfRange {
+        /// Offending device index.
+        gpu: usize,
+        /// Worker-pool size.
+        workers: usize,
+    },
+    /// A [`SchedulePlan`] failed validation against the stream.
+    Plan(PlanError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NoWorkers => write!(f, "need at least one worker"),
+            ExecError::AssignmentShortfall { expected, got } => write!(
+                f,
+                "assignments must cover every task: stream has {expected}, got {got}"
+            ),
+            ExecError::DeviceOutOfRange { gpu, workers } => {
+                write!(f, "assignment to device {gpu} ≥ {workers} workers")
+            }
+            ExecError::Plan(e) => write!(f, "invalid plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Plan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PlanError> for ExecError {
+    fn from(e: PlanError) -> Self {
+        ExecError::Plan(e)
     }
 }
 
@@ -108,22 +167,23 @@ pub struct ExecOutcome {
 ///     &stream,
 ///     &MachineConfig::mi100_like(2),
 /// ).unwrap();
-/// let out = execute_stream(&stream, &report.assignments, 2, shape, 7);
+/// let out = execute_stream(&stream, &report.assignments, 2, shape, 7).unwrap();
 /// assert_eq!(out.kernels, stream.total_tasks());
 /// assert!(out.checksum.is_finite());
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `assignments` does not cover every task of `stream`, or if an
-/// assignment names a device ≥ `workers`.
+/// Returns [`ExecError`] if `assignments` does not cover every task of
+/// `stream`, if an assignment names a device ≥ `workers`, or if
+/// `workers == 0`.
 pub fn execute_stream(
     stream: &TensorPairStream,
     assignments: &[Assignment],
     workers: usize,
     shape: TensorShape,
     seed: u64,
-) -> ExecOutcome {
+) -> Result<ExecOutcome, ExecError> {
     execute_stream_opts(
         stream,
         assignments,
@@ -153,16 +213,16 @@ pub fn execute_stream(
 ///     &MachineConfig::mi100_like(2),
 /// ).unwrap();
 /// let opts = ExecOptions::default().with_steal().with_prefetch();
-/// let stolen = execute_stream_opts(&stream, &report.assignments, 2, shape, 7, opts);
-/// let replayed = execute_stream(&stream, &report.assignments, 2, shape, 7);
+/// let stolen = execute_stream_opts(&stream, &report.assignments, 2, shape, 7, opts).unwrap();
+/// let replayed = execute_stream(&stream, &report.assignments, 2, shape, 7).unwrap();
 /// // stealing may move work between workers but never changes the physics
 /// assert_eq!(stolen.checksum, replayed.checksum);
 /// assert_eq!(stolen.per_worker_tasks, replayed.per_worker_tasks);
 /// ```
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics under the same conditions as [`execute_stream`].
+/// Fails under the same conditions as [`execute_stream`].
 pub fn execute_stream_opts(
     stream: &TensorPairStream,
     assignments: &[Assignment],
@@ -170,13 +230,105 @@ pub fn execute_stream_opts(
     shape: TensorShape,
     seed: u64,
     opts: ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    if workers == 0 {
+        return Err(ExecError::NoWorkers);
+    }
+    if assignments.len() != stream.total_tasks() {
+        return Err(ExecError::AssignmentShortfall {
+            expected: stream.total_tasks(),
+            got: assignments.len(),
+        });
+    }
+    if let Some(a) = assignments.iter().find(|a| a.gpu.0 >= workers) {
+        return Err(ExecError::DeviceOutOfRange {
+            gpu: a.gpu.0,
+            workers,
+        });
+    }
+    Ok(execute_unchecked(
+        stream,
+        assignments,
+        workers,
+        shape,
+        seed,
+        opts,
+    ))
+}
+
+/// Execute a validated [`SchedulePlan`] with real kernels — the plan-IR
+/// entry point of the engine. The plan's device count sizes the worker
+/// pool, and [`SchedulePlan::validate`] runs first, so a stale or foreign
+/// plan is a typed error instead of a panic deep in a worker thread.
+///
+/// # Examples
+///
+/// ```
+/// use micco_core::{plan_schedule, MiccoScheduler, ReuseBounds};
+/// use micco_exec::{execute_plan, TensorShape};
+/// use micco_gpusim::MachineConfig;
+/// use micco_workload::WorkloadSpec;
+///
+/// let shape = TensorShape { batch: 2, dim: 8 };
+/// let stream = WorkloadSpec::new(4, shape.dim).with_batch(shape.batch).with_vectors(2).generate();
+/// let plan = plan_schedule(
+///     &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+///     &stream,
+///     &MachineConfig::mi100_like(2),
+/// ).unwrap();
+/// let out = execute_plan(&stream, &plan, shape, 7).unwrap();
+/// assert_eq!(out.kernels, stream.total_tasks());
+/// ```
+///
+/// # Errors
+///
+/// Returns [`ExecError::Plan`] when the plan does not validate against
+/// `stream`, and [`ExecError::NoWorkers`] for a zero-device plan.
+pub fn execute_plan(
+    stream: &TensorPairStream,
+    plan: &SchedulePlan,
+    shape: TensorShape,
+    seed: u64,
+) -> Result<ExecOutcome, ExecError> {
+    execute_plan_opts(stream, plan, shape, seed, ExecOptions::default())
+}
+
+/// [`execute_plan`] with explicit [`ExecOptions`].
+///
+/// # Errors
+///
+/// Fails under the same conditions as [`execute_plan`].
+pub fn execute_plan_opts(
+    stream: &TensorPairStream,
+    plan: &SchedulePlan,
+    shape: TensorShape,
+    seed: u64,
+    opts: ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    plan.validate(stream)?;
+    if plan.num_gpus == 0 {
+        return Err(ExecError::NoWorkers);
+    }
+    Ok(execute_unchecked(
+        stream,
+        &plan.flat_assignments(),
+        plan.num_gpus,
+        shape,
+        seed,
+        opts,
+    ))
+}
+
+/// The engine proper. Inputs are already validated: `workers > 0`, one
+/// assignment per task, every device in range.
+fn execute_unchecked(
+    stream: &TensorPairStream,
+    assignments: &[Assignment],
+    workers: usize,
+    shape: TensorShape,
+    seed: u64,
+    opts: ExecOptions,
 ) -> ExecOutcome {
-    assert!(workers > 0, "need at least one worker");
-    assert_eq!(
-        assignments.len(),
-        stream.total_tasks(),
-        "assignments must cover every task"
-    );
     let store = TensorStore::new(shape.batch, shape.dim, seed);
     let t0 = Instant::now();
     let mut per_worker_tasks = vec![0usize; workers];
@@ -195,11 +347,6 @@ pub fn execute_stream_opts(
         // partition this stage's task indices per worker
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); workers];
         for (i, a) in stage_assign.iter().enumerate() {
-            assert!(
-                a.gpu.0 < workers,
-                "assignment to device {} ≥ {workers}",
-                a.gpu.0
-            );
             debug_assert_eq!(
                 a.task, vector.tasks[i].id,
                 "assignment order must match stream"
@@ -447,7 +594,7 @@ mod tests {
     fn executes_and_counts() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 4);
-        let out = execute_stream(&stream, &assignments, 4, SHAPE, 5);
+        let out = execute_stream(&stream, &assignments, 4, SHAPE, 5).unwrap();
         assert_eq!(out.kernels, stream.total_tasks());
         assert_eq!(
             out.per_worker_tasks.iter().sum::<usize>(),
@@ -469,7 +616,11 @@ mod tests {
         ];
         for s in schedulers.iter_mut() {
             let assignments = assignments_for(s.as_mut(), &stream, 4);
-            checksums.push(execute_stream(&stream, &assignments, 4, SHAPE, 5).checksum);
+            checksums.push(
+                execute_stream(&stream, &assignments, 4, SHAPE, 5)
+                    .unwrap()
+                    .checksum,
+            );
         }
         for w in checksums.windows(2) {
             assert_eq!(w[0], w[1], "placement must never change the physics");
@@ -482,7 +633,7 @@ mod tests {
         let mut reference = None;
         for gpus in [1usize, 2, 3, 8] {
             let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, gpus);
-            let out = execute_stream(&stream, &assignments, gpus, SHAPE, 5);
+            let out = execute_stream(&stream, &assignments, gpus, SHAPE, 5).unwrap();
             if let Some(r) = reference {
                 assert_eq!(out.checksum, r, "{gpus} workers changed the checksum");
             } else {
@@ -495,8 +646,12 @@ mod tests {
     fn repeated_runs_are_bit_identical() {
         let stream = stream();
         let assignments = assignments_for(&mut MiccoScheduler::naive(), &stream, 3);
-        let a = execute_stream(&stream, &assignments, 3, SHAPE, 9).checksum;
-        let b = execute_stream(&stream, &assignments, 3, SHAPE, 9).checksum;
+        let a = execute_stream(&stream, &assignments, 3, SHAPE, 9)
+            .unwrap()
+            .checksum;
+        let b = execute_stream(&stream, &assignments, 3, SHAPE, 9)
+            .unwrap()
+            .checksum;
         assert_eq!(a, b);
     }
 
@@ -504,8 +659,12 @@ mod tests {
     fn seed_changes_checksum() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
-        let a = execute_stream(&stream, &assignments, 2, SHAPE, 1).checksum;
-        let b = execute_stream(&stream, &assignments, 2, SHAPE, 2).checksum;
+        let a = execute_stream(&stream, &assignments, 2, SHAPE, 1)
+            .unwrap()
+            .checksum;
+        let b = execute_stream(&stream, &assignments, 2, SHAPE, 2)
+            .unwrap()
+            .checksum;
         assert_ne!(a, b);
     }
 
@@ -531,7 +690,9 @@ mod tests {
             expect += tr;
         }
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
-        let got = execute_stream(&stream, &assignments, 2, SHAPE, 77).checksum;
+        let got = execute_stream(&stream, &assignments, 2, SHAPE, 77)
+            .unwrap()
+            .checksum;
         assert_eq!(got, expect);
     }
 
@@ -540,7 +701,7 @@ mod tests {
         let stream = stream();
         for workers in [1usize, 2, 4] {
             let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, workers);
-            let base = execute_stream(&stream, &assignments, workers, SHAPE, 5);
+            let base = execute_stream(&stream, &assignments, workers, SHAPE, 5).unwrap();
             let stolen = execute_stream_opts(
                 &stream,
                 &assignments,
@@ -548,7 +709,8 @@ mod tests {
                 SHAPE,
                 5,
                 ExecOptions::default().with_steal(),
-            );
+            )
+            .unwrap();
             assert_eq!(stolen.checksum, base.checksum, "{workers} workers");
             assert_eq!(stolen.per_worker_tasks, base.per_worker_tasks);
             assert_eq!(
@@ -564,12 +726,12 @@ mod tests {
     fn prefetch_is_checksum_neutral() {
         let stream = stream();
         let assignments = assignments_for(&mut MiccoScheduler::naive(), &stream, 3);
-        let base = execute_stream(&stream, &assignments, 3, SHAPE, 9);
+        let base = execute_stream(&stream, &assignments, 3, SHAPE, 9).unwrap();
         for opts in [
             ExecOptions::default().with_prefetch(),
             ExecOptions::default().with_steal().with_prefetch(),
         ] {
-            let out = execute_stream_opts(&stream, &assignments, 3, SHAPE, 9, opts);
+            let out = execute_stream_opts(&stream, &assignments, 3, SHAPE, 9, opts).unwrap();
             assert_eq!(out.checksum, base.checksum, "{opts:?}");
         }
     }
@@ -578,7 +740,7 @@ mod tests {
     fn static_mode_reports_zero_steals() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
-        let out = execute_stream(&stream, &assignments, 2, SHAPE, 5);
+        let out = execute_stream(&stream, &assignments, 2, SHAPE, 5).unwrap();
         assert_eq!(out.steals, 0);
         assert_eq!(out.per_worker_executed, out.per_worker_tasks);
     }
@@ -605,7 +767,8 @@ mod tests {
             SHAPE,
             5,
             ExecOptions::default().with_steal(),
-        );
+        )
+        .unwrap();
         assert_eq!(out.per_worker_tasks, vec![stream.total_tasks(), 0]);
         assert_eq!(
             out.per_worker_executed.iter().sum::<usize>(),
@@ -620,7 +783,7 @@ mod tests {
         let stage0 = stream.vectors[0].len();
         assert!(out.per_worker_executed[0] >= stage0);
         // and the physics is unchanged
-        let base = execute_stream(&stream, &assignments, 2, SHAPE, 5);
+        let base = execute_stream(&stream, &assignments, 2, SHAPE, 5).unwrap();
         assert_eq!(out.checksum, base.checksum);
     }
 
@@ -668,17 +831,84 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cover every task")]
-    fn short_assignments_panic() {
+    fn short_assignments_are_a_typed_error() {
         let stream = stream();
-        execute_stream(&stream, &[], 2, SHAPE, 0);
+        let err = execute_stream(&stream, &[], 2, SHAPE, 0).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::AssignmentShortfall {
+                expected: stream.total_tasks(),
+                got: 0
+            }
+        );
+        assert!(err.to_string().contains("cover every task"));
     }
 
     #[test]
-    #[should_panic(expected = "at least one worker")]
-    fn zero_workers_panic() {
+    fn zero_workers_are_a_typed_error() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 1);
-        execute_stream(&stream, &assignments, 0, SHAPE, 0);
+        let err = execute_stream(&stream, &assignments, 0, SHAPE, 0).unwrap_err();
+        assert_eq!(err, ExecError::NoWorkers);
+        assert!(err.to_string().contains("at least one worker"));
+    }
+
+    #[test]
+    fn out_of_range_device_is_a_typed_error() {
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 4);
+        let err = execute_stream(&stream, &assignments, 2, SHAPE, 0).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::DeviceOutOfRange { gpu, workers: 2 } if gpu >= 2
+        ));
+    }
+
+    #[test]
+    fn plan_path_matches_slice_path() {
+        use micco_core::{plan_schedule, run_schedule};
+        use micco_gpusim::MachineConfig;
+
+        let stream = stream();
+        let cfg = MachineConfig::mi100_like(3);
+        let report = run_schedule(
+            &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+            &stream,
+            &cfg,
+        )
+        .unwrap();
+        let plan = plan_schedule(
+            &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+            &stream,
+            &cfg,
+        )
+        .unwrap();
+        let via_slices = execute_stream(&stream, &report.assignments, 3, SHAPE, 5).unwrap();
+        let via_plan = execute_plan(&stream, &plan, SHAPE, 5).unwrap();
+        assert_eq!(via_plan.checksum, via_slices.checksum);
+        assert_eq!(via_plan.per_worker_tasks, via_slices.per_worker_tasks);
+        assert_eq!(via_plan.kernels, via_slices.kernels);
+    }
+
+    #[test]
+    fn stale_plan_is_rejected_before_any_kernel_runs() {
+        use micco_core::{plan_schedule, PlanError};
+        use micco_gpusim::MachineConfig;
+
+        let stream = stream();
+        let plan = plan_schedule(
+            &mut RoundRobinScheduler::new(),
+            &stream,
+            &MachineConfig::mi100_like(2),
+        )
+        .unwrap();
+        // mutate the workload after planning: the fingerprint catches it
+        let mut drifted = stream.clone();
+        drifted.vectors[0].tasks[0].flops += 1;
+        let err = execute_plan(&drifted, &plan, SHAPE, 5).unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::Plan(PlanError::FingerprintMismatch { .. })
+        ));
     }
 }

@@ -18,5 +18,8 @@
 pub mod engine;
 pub mod store;
 
-pub use engine::{execute_stream, execute_stream_opts, ExecOptions, ExecOutcome, TensorShape};
+pub use engine::{
+    execute_plan, execute_plan_opts, execute_stream, execute_stream_opts, ExecError, ExecOptions,
+    ExecOutcome, TensorShape,
+};
 pub use store::TensorStore;

@@ -30,12 +30,14 @@
 pub mod cost;
 pub mod machine;
 pub mod memory;
+pub mod shadow;
 pub mod stats;
 pub mod trace;
 
 pub use cost::{CostModel, MachineConfig};
-pub use machine::{build_oracle, ExecError, GpuId, MachineView, SimMachine};
+pub use machine::{build_oracle, DeviceView, ExecError, GpuId, MachineView, SimMachine};
 pub use memory::{DeviceMemory, EvictionPolicy, Provenance};
+pub use shadow::ShadowMachine;
 pub use stats::{ExecStats, GpuStats};
 pub use trace::{Event, Trace};
 

@@ -11,15 +11,22 @@
 //! Stage vectors are separated by [`SimMachine::barrier`], which aligns all
 //! device clocks to the stage makespan (stages are sequential in the
 //! application).
+//!
+//! Since the decide/execute split, the actual state-transition function
+//! lives in [`crate::shadow::ShadowMachine`]; `SimMachine` composes a
+//! shadow with the observational layer (statistics, event trace, per-stage
+//! attribution). Both the planning path and the simulation path therefore
+//! share one implementation and cannot drift apart.
 
-use std::collections::{HashMap, VecDeque};
-
-use micco_workload::{ContractionTask, TensorId, TensorPairStream};
+use micco_workload::{ContractionTask, TaskId, TensorId, TensorPairStream};
 
 use crate::cost::MachineConfig;
-use crate::memory::{AllocError, DeviceMemory, Provenance};
+use crate::memory::AllocError;
+use crate::shadow::{intersect_secs, ExecObserver, ShadowMachine};
 use crate::stats::ExecStats;
 use crate::trace::{Event, Trace};
+
+pub use crate::shadow::build_oracle;
 
 /// Index of a simulated device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -92,77 +99,109 @@ pub trait MachineView {
     }
 }
 
-struct Gpu {
-    mem: DeviceMemory,
-    /// When the compute engine finishes its queued kernels.
-    compute_time: f64,
-    /// When the DMA engine finishes its queued memory operations. In
-    /// synchronous mode this is kept fused with `compute_time`; with
-    /// `async_copy` the two engines run concurrently and a kernel only
-    /// waits for its own operands.
-    dma_time: f64,
-    /// Start of the current stage on the shared clock.
-    stage_start: f64,
-    /// Flops assigned this stage.
-    stage_flops: u64,
-    /// Copy-engine busy intervals of the current stage, in absolute time.
-    /// Appended in nondecreasing order and pairwise disjoint (each copy
-    /// starts at or after the previous one's end), which lets the barrier
-    /// intersect them against `kernel_intervals` with one linear pass.
-    copy_intervals: Vec<(f64, f64)>,
-    /// Compute-engine busy intervals of the current stage, one per task
-    /// (zero-length for zero-flop tasks), in absolute time. Also sorted
-    /// and disjoint. Doubles as the kernel-completion history that bounds
-    /// the DMA engine's lookahead under `prefetch_tasks`.
-    kernel_intervals: Vec<(f64, f64)>,
+/// The residency/occupancy queries schedulers actually use, distilled to
+/// four methods. Blanket-implemented for every [`MachineView`] — both
+/// [`SimMachine`] and [`ShadowMachine`] satisfy it, so code written against
+/// `DeviceView` runs unchanged on the full simulator and on the lightweight
+/// decide-phase shadow.
+pub trait DeviceView {
+    /// Number of devices.
+    fn num_gpus(&self) -> usize;
+    /// Whether tensor `t` is resident on device `g`.
+    fn is_resident(&self, g: GpuId, t: TensorId) -> bool;
+    /// Bytes still free on device `g`.
+    fn free_bytes(&self, g: GpuId) -> u64;
+    /// Current-stage load of device `g` in busy seconds.
+    fn device_load(&self, g: GpuId) -> f64;
 }
 
-impl Gpu {
-    /// When this device finishes all queued work.
-    fn time(&self) -> f64 {
-        self.compute_time.max(self.dma_time)
+impl<M: MachineView + ?Sized> DeviceView for M {
+    fn num_gpus(&self) -> usize {
+        MachineView::num_gpus(self)
     }
 
-    /// Record `secs` of copy-engine work starting no earlier than the
-    /// engine's current position, returning when it completes. With a
-    /// bounded staging window (`prefetch ≥ 1`) the transfer additionally
-    /// waits until the kernel `prefetch` tasks back has freed its buffer.
-    fn push_copy(&mut self, secs: f64, prefetch: usize) -> f64 {
-        if secs <= 0.0 {
-            // no transfer: the staging window must not advance the engine
-            return self.dma_time;
-        }
-        let mut start = self.dma_time;
-        if prefetch > 0 {
-            let done = self.kernel_intervals.len();
-            if done >= prefetch {
-                start = start.max(self.kernel_intervals[done - prefetch].1);
-            }
-        }
-        let end = start + secs;
-        self.copy_intervals.push((start, end));
-        self.dma_time = end;
-        end
+    fn is_resident(&self, g: GpuId, t: TensorId) -> bool {
+        self.holds(g, t)
+    }
+
+    fn free_bytes(&self, g: GpuId) -> u64 {
+        self.mem_capacity().saturating_sub(self.mem_used(g))
+    }
+
+    fn device_load(&self, g: GpuId) -> f64 {
+        self.stage_busy_secs(g)
     }
 }
 
-/// Total length of the intersection of two sorted, pairwise-disjoint
-/// interval lists (the time both engines were busy at once).
-fn intersect_secs(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
-    let (mut i, mut j, mut total) = (0, 0, 0.0);
-    while i < a.len() && j < b.len() {
-        let lo = a[i].0.max(b[j].0);
-        let hi = a[i].1.min(b[j].1);
-        if hi > lo {
-            total += hi - lo;
-        }
-        if a[i].1 <= b[j].1 {
-            i += 1;
-        } else {
-            j += 1;
+/// The observer that turns shadow state transitions into statistics and
+/// trace events — the entire difference between planning and simulating.
+struct StatsObserver<'a> {
+    stats: &'a mut ExecStats,
+    trace: Option<&'a mut Trace>,
+}
+
+impl StatsObserver<'_> {
+    fn record(&mut self, e: Event) {
+        if let Some(t) = self.trace.as_deref_mut() {
+            t.push(e);
         }
     }
-    total
+}
+
+impl ExecObserver for StatsObserver<'_> {
+    fn reuse_hit(&mut self, gpu: GpuId, tensor: TensorId) {
+        self.stats.per_gpu[gpu.0].reuse_hits += 1;
+        self.record(Event::ReuseHit { gpu, tensor });
+    }
+
+    fn alloc(&mut self, gpu: GpuId) {
+        self.stats.per_gpu[gpu.0].allocs += 1;
+    }
+
+    fn h2d(&mut self, gpu: GpuId, tensor: TensorId, bytes: u64) {
+        self.stats.per_gpu[gpu.0].h2d_count += 1;
+        self.stats.per_gpu[gpu.0].h2d_bytes += bytes;
+        self.record(Event::H2d { gpu, tensor, bytes });
+    }
+
+    fn d2d(&mut self, src: GpuId, dst: GpuId, tensor: TensorId, bytes: u64) {
+        self.stats.per_gpu[dst.0].d2d_count += 1;
+        self.stats.per_gpu[dst.0].d2d_bytes += bytes;
+        self.record(Event::D2d {
+            src,
+            dst,
+            tensor,
+            bytes,
+        });
+    }
+
+    fn source_charge(&mut self, src: GpuId, secs: f64) {
+        self.stats.per_gpu[src.0].memory_secs += secs;
+    }
+
+    fn evict(&mut self, gpu: GpuId, tensor: TensorId, writeback: bool, bytes: u64) {
+        self.stats.per_gpu[gpu.0].evictions += 1;
+        if writeback {
+            self.stats.per_gpu[gpu.0].writeback_bytes += bytes;
+        }
+        self.record(Event::Evict {
+            gpu,
+            tensor,
+            writeback,
+        });
+    }
+
+    fn kernel(&mut self, gpu: GpuId, task: TaskId, secs: f64) {
+        self.record(Event::Kernel { gpu, task, secs });
+    }
+
+    fn task_done(&mut self, gpu: GpuId, flops: u64, compute_secs: f64, mem_secs: f64) {
+        let s = &mut self.stats.per_gpu[gpu.0];
+        s.tasks += 1;
+        s.flops += flops;
+        s.compute_secs += compute_secs;
+        s.memory_secs += mem_secs;
+    }
 }
 
 /// The simulated node.
@@ -189,47 +228,20 @@ fn intersect_secs(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
 /// assert!(machine.stats().elapsed_secs > 0.0);
 /// ```
 pub struct SimMachine {
-    config: MachineConfig,
-    gpus: Vec<Gpu>,
+    shadow: ShadowMachine,
     stats: ExecStats,
     trace: Option<Trace>,
     stage_index: usize,
-    /// Provenance override: tensors that have been written back to the host
-    /// keep a host copy, so later evictions of re-fetched copies are cheap.
-    host_copies: HashMap<TensorId, ()>,
-    /// Next-use oracle for the clairvoyant eviction policy: per tensor, the
-    /// queue of global task indices (in execution order) that will use it.
-    oracle: Option<HashMap<TensorId, VecDeque<u64>>>,
-    /// Global task counter (drives the oracle).
-    task_counter: u64,
-    /// When the shared host link is next free (`shared_h2d_link` only).
-    host_link_free: f64,
 }
 
 impl SimMachine {
     /// Build an idle machine from a configuration.
     pub fn new(config: MachineConfig) -> Self {
-        let gpus = (0..config.num_gpus)
-            .map(|_| Gpu {
-                mem: DeviceMemory::new(config.mem_bytes, config.eviction),
-                compute_time: 0.0,
-                dma_time: 0.0,
-                stage_start: 0.0,
-                stage_flops: 0,
-                copy_intervals: Vec::new(),
-                kernel_intervals: Vec::new(),
-            })
-            .collect();
         SimMachine {
-            config,
-            gpus,
+            shadow: ShadowMachine::new(config),
             stats: ExecStats::new(config.num_gpus),
             trace: None,
             stage_index: 0,
-            host_copies: HashMap::new(),
-            oracle: None,
-            task_counter: 0,
-            host_link_free: 0.0,
         }
     }
 
@@ -237,13 +249,13 @@ impl SimMachine {
     /// is about to execute (tasks must then be executed in stream order).
     /// Only meaningful with [`crate::memory::EvictionPolicy::Clairvoyant`].
     pub fn with_oracle(mut self, stream: &TensorPairStream) -> Self {
-        self.oracle = Some(build_oracle(stream));
+        self.shadow.set_oracle(stream);
         self
     }
 
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
-        &self.config
+        self.shadow.config()
     }
 
     /// Turn on event tracing (off by default).
@@ -270,185 +282,11 @@ impl SimMachine {
 
     /// Execute `task` on device `gpu`, advancing its clock.
     pub fn execute(&mut self, task: &ContractionTask, gpu: GpuId) -> Result<(), ExecError> {
-        if gpu.0 >= self.gpus.len() {
-            return Err(ExecError::BadGpu {
-                gpu,
-                num_gpus: self.gpus.len(),
-            });
-        }
-        let mut mem_secs = 0.0;
-
-        // Stage both inputs, pinning them for the duration of the task.
-        for d in [task.a, task.b] {
-            if self.gpus[gpu.0].mem.holds(d.id) {
-                self.gpus[gpu.0].mem.touch(d.id);
-                self.gpus[gpu.0].mem.set_pinned(d.id, true);
-                self.stats.per_gpu[gpu.0].reuse_hits += 1;
-                self.record(Event::ReuseHit { gpu, tensor: d.id });
-                continue;
-            }
-            // Source selection: prefer a peer copy (faster link) else host.
-            let peer = self.holders(d.id).into_iter().find(|g| *g != gpu);
-            mem_secs += self.config.cost.alloc_secs(d.bytes);
-            self.stats.per_gpu[gpu.0].allocs += 1;
-            let evicted = self.gpus[gpu.0]
-                .mem
-                .allocate(d.id, d.bytes, Provenance::HostBacked)
-                .map_err(|source| ExecError::OutOfMemory { gpu, source })?;
-            mem_secs += self.charge_evictions(gpu, &evicted);
-            match peer {
-                Some(src) => {
-                    let secs = self.config.cost.d2d_secs(d.bytes);
-                    mem_secs += secs;
-                    // Peer copies occupy the source's memory controller too;
-                    // charging the source throttles hot-tensor fan-out from
-                    // a single holder (and is what real peer DMA does).
-                    if self.config.cost.d2d_charges_source {
-                        // the peer's outgoing copy is not gated by its own
-                        // staging buffers, so no prefetch bound here
-                        self.gpus[src.0].push_copy(secs, 0);
-                        if !self.config.cost.async_copy {
-                            // serialised device: DMA work delays compute too
-                            self.gpus[src.0].compute_time =
-                                self.gpus[src.0].compute_time.max(self.gpus[src.0].dma_time);
-                        }
-                        self.stats.per_gpu[src.0].memory_secs += secs;
-                    }
-                    self.stats.per_gpu[gpu.0].d2d_count += 1;
-                    self.stats.per_gpu[gpu.0].d2d_bytes += d.bytes;
-                    self.record(Event::D2d {
-                        src,
-                        dst: gpu,
-                        tensor: d.id,
-                        bytes: d.bytes,
-                    });
-                }
-                None => {
-                    let secs = self.config.cost.h2d_secs(d.bytes);
-                    mem_secs += secs;
-                    if self.config.cost.shared_h2d_link {
-                        // all devices share the PCIe root: this transfer can
-                        // only start once the link is free, and it occupies
-                        // the link for its duration. Approximate the start
-                        // as the device's current DMA position plus the mem
-                        // time already queued for this task.
-                        let start = self
-                            .host_link_free
-                            .max(self.gpus[gpu.0].time() + mem_secs - secs);
-                        let wait = start - (self.gpus[gpu.0].time() + mem_secs - secs);
-                        mem_secs += wait;
-                        self.host_link_free = start + secs;
-                    }
-                    self.stats.per_gpu[gpu.0].h2d_count += 1;
-                    self.stats.per_gpu[gpu.0].h2d_bytes += d.bytes;
-                    self.record(Event::H2d {
-                        gpu,
-                        tensor: d.id,
-                        bytes: d.bytes,
-                    });
-                }
-            }
-        }
-
-        // Allocate the output. A recompute of an intermediate that is still
-        // resident (e.g. replaying a stream on a warm machine) overwrites
-        // in place — no new allocation.
-        if self.gpus[gpu.0].mem.holds(task.out.id) {
-            self.gpus[gpu.0].mem.touch(task.out.id);
-            self.gpus[gpu.0].mem.set_pinned(task.out.id, true);
-        } else {
-            mem_secs += self.config.cost.alloc_secs(task.out.bytes);
-            self.stats.per_gpu[gpu.0].allocs += 1;
-            let evicted = self.gpus[gpu.0]
-                .mem
-                .allocate(task.out.id, task.out.bytes, Provenance::DeviceCreated)
-                .map_err(|source| ExecError::OutOfMemory { gpu, source })?;
-            mem_secs += self.charge_evictions(gpu, &evicted);
-        }
-
-        // Kernel.
-        let compute_secs = self.config.cost.compute_secs(task.flops);
-        self.record(Event::Kernel {
-            gpu,
-            task: task.id,
-            secs: compute_secs,
-        });
-
-        // Unpin the working set.
-        for id in [task.a.id, task.b.id, task.out.id] {
-            self.gpus[gpu.0].mem.set_pinned(id, false);
-        }
-
-        // Clairvoyant oracle: advance each touched tensor's use queue past
-        // the current position and feed the next use to every device
-        // holding a copy.
-        if let Some(oracle) = self.oracle.as_mut() {
-            let now = self.task_counter;
-            for id in [task.a.id, task.b.id, task.out.id] {
-                let queue = oracle.entry(id).or_default();
-                while queue.front().is_some_and(|&u| u <= now) {
-                    queue.pop_front();
-                }
-                let next = queue.front().copied().unwrap_or(u64::MAX);
-                for g in &mut self.gpus {
-                    g.mem.set_next_use(id, next);
-                }
-            }
-            self.task_counter += 1;
-        }
-
-        let g = &mut self.gpus[gpu.0];
-        if self.config.cost.async_copy {
-            // DMA engine runs its queue independently (bounded by the
-            // staging window when `prefetch_tasks` is set); the kernel
-            // starts once both the compute engine is free and the
-            // operands landed.
-            g.push_copy(mem_secs, self.config.cost.prefetch_tasks);
-            let start = g.compute_time.max(g.dma_time);
-            let finish = start + compute_secs;
-            g.kernel_intervals.push((start, finish));
-            g.compute_time = finish;
-        } else {
-            // fully serialised device: memory ops then kernel
-            let start = g.compute_time.max(g.dma_time);
-            if mem_secs > 0.0 {
-                g.copy_intervals.push((start, start + mem_secs));
-            }
-            let finish = start + mem_secs + compute_secs;
-            g.kernel_intervals.push((start + mem_secs, finish));
-            g.compute_time = finish;
-            g.dma_time = finish;
-        }
-        g.stage_flops += task.flops;
-        let s = &mut self.stats.per_gpu[gpu.0];
-        s.tasks += 1;
-        s.flops += task.flops;
-        s.compute_secs += compute_secs;
-        s.memory_secs += mem_secs;
-        Ok(())
-    }
-
-    fn charge_evictions(&mut self, gpu: GpuId, evicted: &[crate::memory::Evicted]) -> f64 {
-        let mut secs = 0.0;
-        for ev in evicted {
-            // A write-back is only paid the first time device-created data
-            // leaves a device; afterwards the host holds a copy.
-            let writeback = ev.writeback && !self.host_copies.contains_key(&ev.id);
-            if ev.writeback {
-                self.host_copies.insert(ev.id, ());
-            }
-            secs += self.config.cost.evict_secs(ev.bytes, writeback);
-            self.stats.per_gpu[gpu.0].evictions += 1;
-            if writeback {
-                self.stats.per_gpu[gpu.0].writeback_bytes += ev.bytes;
-            }
-            self.record(Event::Evict {
-                gpu,
-                tensor: ev.id,
-                writeback,
-            });
-        }
-        secs
+        let mut obs = StatsObserver {
+            stats: &mut self.stats,
+            trace: self.trace.as_mut(),
+        };
+        self.shadow.execute_observed(task, gpu, &mut obs)
     }
 
     /// End the current stage: all device clocks advance to the stage
@@ -462,13 +300,23 @@ impl SimMachine {
     /// The per-device invariant `compute + copy − overlap + idle == span`
     /// holds exactly.
     pub fn barrier(&mut self) {
-        let end = self.gpus.iter().map(|g| g.time()).fold(0.0, f64::max);
-        let start = self.gpus.first().map(|g| g.stage_start).unwrap_or(0.0);
+        let end = self
+            .shadow
+            .gpus
+            .iter()
+            .map(|g| g.time())
+            .fold(0.0, f64::max);
+        let start = self
+            .shadow
+            .gpus
+            .first()
+            .map(|g| g.stage_start)
+            .unwrap_or(0.0);
         let makespan = end - start;
         self.stats.stage_makespans.push(makespan);
         self.stats.elapsed_secs = end;
-        for i in 0..self.gpus.len() {
-            let g = &self.gpus[i];
+        for i in 0..self.shadow.gpus.len() {
+            let g = &self.shadow.gpus[i];
             let copy_secs: f64 = g.copy_intervals.iter().map(|(a, b)| b - a).sum();
             let compute_secs: f64 = g.kernel_intervals.iter().map(|(a, b)| b - a).sum();
             let overlap_secs = intersect_secs(&g.copy_intervals, &g.kernel_intervals);
@@ -489,112 +337,72 @@ impl SimMachine {
             makespan,
         });
         self.stage_index += 1;
-        for g in &mut self.gpus {
-            g.compute_time = end;
-            g.dma_time = end;
-            g.stage_start = end;
-            g.stage_flops = 0;
-            g.copy_intervals.clear();
-            g.kernel_intervals.clear();
-        }
+        self.shadow.barrier();
     }
 
     /// Absolute clock of device `g` (seconds since run start): when both
     /// its compute and DMA engines are done.
     pub fn device_time(&self, g: GpuId) -> f64 {
-        self.gpus[g.0].time()
+        self.shadow.device_time(g)
     }
 
     /// Latest clock over all devices.
     pub fn max_device_time(&self) -> f64 {
-        self.gpus.iter().map(|g| g.time()).fold(0.0, f64::max)
+        self.shadow.max_device_time()
     }
 
     /// Charge extra memory-operation time to device `g`'s DMA engine —
     /// used by the cluster layer (`micco-cluster`) to account inter-node
     /// transfers that happen outside this node.
     pub fn add_memory_delay(&mut self, g: GpuId, secs: f64) {
-        assert!(secs >= 0.0, "negative delay");
-        let gpu = &mut self.gpus[g.0];
-        gpu.push_copy(secs, 0);
-        if !self.config.cost.async_copy {
-            gpu.compute_time = gpu.compute_time.max(gpu.dma_time);
-        }
+        self.shadow.add_memory_delay(g, secs);
         self.stats.per_gpu[g.0].memory_secs += secs;
     }
 
     /// Advance every device clock to at least `t` (a cross-machine barrier
     /// helper for the cluster layer). Clocks never move backwards.
     pub fn advance_to(&mut self, t: f64) {
-        for g in &mut self.gpus {
-            g.compute_time = g.compute_time.max(t);
-            g.dma_time = g.dma_time.max(t);
-        }
+        self.shadow.advance_to(t);
     }
 
     /// Number of tensors resident on device `g`.
     pub fn resident_count(&self, g: GpuId) -> usize {
-        self.gpus[g.0].mem.resident_count()
+        self.shadow.resident_count(g)
     }
 }
 
 impl MachineView for SimMachine {
     fn num_gpus(&self) -> usize {
-        self.gpus.len()
+        MachineView::num_gpus(&self.shadow)
     }
 
     fn mem_capacity(&self) -> u64 {
-        self.config.mem_bytes
+        self.shadow.mem_capacity()
     }
 
     fn mem_used(&self, g: GpuId) -> u64 {
-        self.gpus[g.0].mem.used()
+        self.shadow.mem_used(g)
     }
 
     fn holds(&self, g: GpuId, t: TensorId) -> bool {
-        self.gpus[g.0].mem.holds(t)
+        self.shadow.holds(g, t)
     }
 
     fn holders(&self, t: TensorId) -> Vec<GpuId> {
-        (0..self.gpus.len())
-            .filter(|i| self.gpus[*i].mem.holds(t))
-            .map(GpuId)
-            .collect()
+        self.shadow.holders(t)
     }
 
     fn stage_flops(&self, g: GpuId) -> u64 {
-        self.gpus[g.0].stage_flops
+        self.shadow.stage_flops(g)
     }
 
     fn stage_busy_secs(&self, g: GpuId) -> f64 {
-        self.gpus[g.0].time() - self.gpus[g.0].stage_start
+        self.shadow.stage_busy_secs(g)
     }
 
     fn bytes_needed(&self, g: GpuId, task: &ContractionTask) -> u64 {
-        let mut need = task.out.bytes;
-        if !self.holds(g, task.a.id) {
-            need += task.a.bytes;
-        }
-        if !self.holds(g, task.b.id) && task.b.id != task.a.id {
-            need += task.b.bytes;
-        }
-        need
+        self.shadow.bytes_needed(g, task)
     }
-}
-
-/// Build the next-use oracle for a stream: per tensor, the global task
-/// indices (execution order) at which it appears as an operand.
-pub fn build_oracle(stream: &TensorPairStream) -> HashMap<TensorId, VecDeque<u64>> {
-    let mut oracle: HashMap<TensorId, VecDeque<u64>> = HashMap::new();
-    let mut idx = 0u64;
-    for v in &stream.vectors {
-        for t in &v.tasks {
-            oracle.entry(t.a.id).or_default().push_back(idx);
-            oracle.entry(t.b.id).or_default().push_back(idx);
-            idx += 1;
-        }
-    }
-    oracle
 }
 
 #[cfg(test)]
@@ -728,6 +536,20 @@ mod tests {
         let m = machine(1, 100 * GIB);
         let t = task(0, 7, 7, 100, GIB, 0);
         assert_eq!(m.bytes_needed(GpuId(0), &t), 2 * GIB); // one input + output
+    }
+
+    #[test]
+    fn device_view_blanket_impl_matches_machine_view() {
+        let mut m = machine(2, 3 * GIB);
+        m.execute(&task(0, 1, 2, 100, GIB, 0), GpuId(0)).unwrap();
+        let dv: &dyn MachineView = &m;
+        assert_eq!(DeviceView::num_gpus(dv), 2);
+        assert!(dv.is_resident(GpuId(0), TensorId(1)));
+        assert!(!dv.is_resident(GpuId(1), TensorId(1)));
+        assert_eq!(dv.free_bytes(GpuId(0)), 0);
+        assert_eq!(dv.free_bytes(GpuId(1)), 3 * GIB);
+        assert!(dv.device_load(GpuId(0)) > 0.0);
+        assert_eq!(dv.device_load(GpuId(1)), 0.0);
     }
 
     #[test]

@@ -1,0 +1,592 @@
+//! The decide-phase machine: scheduler-visible state without observation.
+//!
+//! [`ShadowMachine`] advances exactly the state a scheduler can query
+//! through [`MachineView`] — per-device residency (with evictions), memory
+//! occupancy, stage load, and the dual compute/DMA clocks — but keeps no
+//! statistics, no event trace and no per-stage attribution. It is the
+//! substrate `micco_core::plan_schedule` drives to *decide* a schedule
+//! without paying for a full simulation.
+//!
+//! [`crate::SimMachine`] is a thin observing wrapper over this type: it
+//! delegates every state transition here and layers statistics/tracing on
+//! top through the crate-internal `ExecObserver` hooks. Sharing the
+//! transition function
+//! (rather than duplicating it) is what makes the planned and the
+//! interleaved paths agree bit-for-bit.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use micco_workload::{ContractionTask, TaskId, TensorId, TensorPairStream};
+
+use crate::cost::MachineConfig;
+use crate::machine::{ExecError, GpuId, MachineView};
+use crate::memory::{DeviceMemory, Provenance};
+
+/// Observation hooks called by [`ShadowMachine::execute_observed`] at the
+/// exact points the original interleaved simulator recorded statistics and
+/// trace events. All methods default to no-ops, so the pure decide path
+/// costs nothing.
+pub(crate) trait ExecObserver {
+    fn reuse_hit(&mut self, _gpu: GpuId, _tensor: TensorId) {}
+    fn alloc(&mut self, _gpu: GpuId) {}
+    fn h2d(&mut self, _gpu: GpuId, _tensor: TensorId, _bytes: u64) {}
+    fn d2d(&mut self, _src: GpuId, _dst: GpuId, _tensor: TensorId, _bytes: u64) {}
+    fn source_charge(&mut self, _src: GpuId, _secs: f64) {}
+    fn evict(&mut self, _gpu: GpuId, _tensor: TensorId, _writeback: bool, _bytes: u64) {}
+    fn kernel(&mut self, _gpu: GpuId, _task: TaskId, _secs: f64) {}
+    fn task_done(&mut self, _gpu: GpuId, _flops: u64, _compute_secs: f64, _mem_secs: f64) {}
+}
+
+/// The no-op observer used by the pure decide path.
+pub(crate) struct NullObserver;
+
+impl ExecObserver for NullObserver {}
+
+/// Per-device shadow state: memory, the two engine clocks, and the busy
+/// intervals of the current stage.
+pub(crate) struct ShadowGpu {
+    pub(crate) mem: DeviceMemory,
+    /// When the compute engine finishes its queued kernels.
+    pub(crate) compute_time: f64,
+    /// When the DMA engine finishes its queued memory operations. In
+    /// synchronous mode this is kept fused with `compute_time`; with
+    /// `async_copy` the two engines run concurrently and a kernel only
+    /// waits for its own operands.
+    pub(crate) dma_time: f64,
+    /// Start of the current stage on the shared clock.
+    pub(crate) stage_start: f64,
+    /// Flops assigned this stage.
+    pub(crate) stage_flops: u64,
+    /// Copy-engine busy intervals of the current stage, in absolute time.
+    /// Appended in nondecreasing order and pairwise disjoint (each copy
+    /// starts at or after the previous one's end), which lets the barrier
+    /// intersect them against `kernel_intervals` with one linear pass.
+    pub(crate) copy_intervals: Vec<(f64, f64)>,
+    /// Compute-engine busy intervals of the current stage, one per task
+    /// (zero-length for zero-flop tasks), in absolute time. Also sorted
+    /// and disjoint. Doubles as the kernel-completion history that bounds
+    /// the DMA engine's lookahead under `prefetch_tasks`.
+    pub(crate) kernel_intervals: Vec<(f64, f64)>,
+}
+
+impl ShadowGpu {
+    /// When this device finishes all queued work.
+    pub(crate) fn time(&self) -> f64 {
+        self.compute_time.max(self.dma_time)
+    }
+
+    /// Record `secs` of copy-engine work starting no earlier than the
+    /// engine's current position, returning when it completes. With a
+    /// bounded staging window (`prefetch ≥ 1`) the transfer additionally
+    /// waits until the kernel `prefetch` tasks back has freed its buffer.
+    pub(crate) fn push_copy(&mut self, secs: f64, prefetch: usize) -> f64 {
+        if secs <= 0.0 {
+            // no transfer: the staging window must not advance the engine
+            return self.dma_time;
+        }
+        let mut start = self.dma_time;
+        if prefetch > 0 {
+            let done = self.kernel_intervals.len();
+            if done >= prefetch {
+                start = start.max(self.kernel_intervals[done - prefetch].1);
+            }
+        }
+        let end = start + secs;
+        self.copy_intervals.push((start, end));
+        self.dma_time = end;
+        end
+    }
+}
+
+/// Total length of the intersection of two sorted, pairwise-disjoint
+/// interval lists (the time both engines were busy at once).
+pub(crate) fn intersect_secs(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
+    let (mut i, mut j, mut total) = (0, 0, 0.0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// The lightweight decide-phase machine.
+///
+/// Tracks residency, occupancy and timing exactly as [`crate::SimMachine`]
+/// does — schedulers cannot tell the two apart through [`MachineView`] —
+/// but records no statistics and no trace.
+///
+/// # Examples
+///
+/// ```
+/// use micco_gpusim::{GpuId, MachineConfig, MachineView, ShadowMachine};
+/// use micco_workload::{ContractionTask, TaskId, TensorDesc, TensorId};
+///
+/// let mut shadow = ShadowMachine::new(MachineConfig::mi100_like(2));
+/// let task = ContractionTask {
+///     id: TaskId(0),
+///     a: TensorDesc { id: TensorId(1), bytes: 1 << 20 },
+///     b: TensorDesc { id: TensorId(2), bytes: 1 << 20 },
+///     out: TensorDesc { id: TensorId(3), bytes: 1 << 20 },
+///     flops: 1_000_000,
+/// };
+/// shadow.execute(&task, GpuId(0)).unwrap();
+/// shadow.barrier();
+/// // residency and clocks advance just like on the full simulator
+/// assert!(shadow.holds(GpuId(0), TensorId(1)));
+/// assert!(shadow.max_device_time() > 0.0);
+/// ```
+pub struct ShadowMachine {
+    config: MachineConfig,
+    pub(crate) gpus: Vec<ShadowGpu>,
+    /// Provenance override: tensors that have been written back to the host
+    /// keep a host copy, so later evictions of re-fetched copies are cheap.
+    host_copies: HashSet<TensorId>,
+    /// Next-use oracle for the clairvoyant eviction policy: per tensor, the
+    /// queue of global task indices (in execution order) that will use it.
+    oracle: Option<HashMap<TensorId, VecDeque<u64>>>,
+    /// Global task counter (drives the oracle).
+    task_counter: u64,
+    /// When the shared host link is next free (`shared_h2d_link` only).
+    host_link_free: f64,
+}
+
+impl ShadowMachine {
+    /// Build an idle shadow machine from a configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        let gpus = (0..config.num_gpus)
+            .map(|_| ShadowGpu {
+                mem: DeviceMemory::new(config.mem_bytes, config.eviction),
+                compute_time: 0.0,
+                dma_time: 0.0,
+                stage_start: 0.0,
+                stage_flops: 0,
+                copy_intervals: Vec::new(),
+                kernel_intervals: Vec::new(),
+            })
+            .collect();
+        ShadowMachine {
+            config,
+            gpus,
+            host_copies: HashSet::new(),
+            oracle: None,
+            task_counter: 0,
+            host_link_free: 0.0,
+        }
+    }
+
+    /// Arm the clairvoyant eviction oracle with the full stream the machine
+    /// is about to execute (tasks must then be executed in stream order).
+    /// Only meaningful with [`crate::memory::EvictionPolicy::Clairvoyant`].
+    pub fn with_oracle(mut self, stream: &TensorPairStream) -> Self {
+        self.set_oracle(stream);
+        self
+    }
+
+    /// Arm the oracle in place (used by wrappers that own a shadow).
+    pub fn set_oracle(&mut self, stream: &TensorPairStream) {
+        self.oracle = Some(build_oracle(stream));
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Execute `task` on device `gpu`, advancing its clock (no observation).
+    pub fn execute(&mut self, task: &ContractionTask, gpu: GpuId) -> Result<(), ExecError> {
+        self.execute_observed(task, gpu, &mut NullObserver)
+    }
+
+    /// The shared state-transition function: execute `task` on `gpu`,
+    /// reporting every observable effect (transfers, evictions, kernel,
+    /// totals) to `obs` at the same points the original interleaved
+    /// simulator recorded them.
+    pub(crate) fn execute_observed(
+        &mut self,
+        task: &ContractionTask,
+        gpu: GpuId,
+        obs: &mut dyn ExecObserver,
+    ) -> Result<(), ExecError> {
+        if gpu.0 >= self.gpus.len() {
+            return Err(ExecError::BadGpu {
+                gpu,
+                num_gpus: self.gpus.len(),
+            });
+        }
+        let mut mem_secs = 0.0;
+
+        // Stage both inputs, pinning them for the duration of the task.
+        for d in [task.a, task.b] {
+            if self.gpus[gpu.0].mem.holds(d.id) {
+                self.gpus[gpu.0].mem.touch(d.id);
+                self.gpus[gpu.0].mem.set_pinned(d.id, true);
+                obs.reuse_hit(gpu, d.id);
+                continue;
+            }
+            // Source selection: prefer a peer copy (faster link) else host.
+            let peer = self.holders(d.id).into_iter().find(|g| *g != gpu);
+            mem_secs += self.config.cost.alloc_secs(d.bytes);
+            obs.alloc(gpu);
+            let evicted = self.gpus[gpu.0]
+                .mem
+                .allocate(d.id, d.bytes, Provenance::HostBacked)
+                .map_err(|source| ExecError::OutOfMemory { gpu, source })?;
+            mem_secs += self.charge_evictions(gpu, &evicted, obs);
+            match peer {
+                Some(src) => {
+                    let secs = self.config.cost.d2d_secs(d.bytes);
+                    mem_secs += secs;
+                    // Peer copies occupy the source's memory controller too;
+                    // charging the source throttles hot-tensor fan-out from
+                    // a single holder (and is what real peer DMA does).
+                    if self.config.cost.d2d_charges_source {
+                        // the peer's outgoing copy is not gated by its own
+                        // staging buffers, so no prefetch bound here
+                        self.gpus[src.0].push_copy(secs, 0);
+                        if !self.config.cost.async_copy {
+                            // serialised device: DMA work delays compute too
+                            self.gpus[src.0].compute_time =
+                                self.gpus[src.0].compute_time.max(self.gpus[src.0].dma_time);
+                        }
+                        obs.source_charge(src, secs);
+                    }
+                    obs.d2d(src, gpu, d.id, d.bytes);
+                }
+                None => {
+                    let secs = self.config.cost.h2d_secs(d.bytes);
+                    mem_secs += secs;
+                    if self.config.cost.shared_h2d_link {
+                        // all devices share the PCIe root: this transfer can
+                        // only start once the link is free, and it occupies
+                        // the link for its duration. Approximate the start
+                        // as the device's current DMA position plus the mem
+                        // time already queued for this task.
+                        let start = self
+                            .host_link_free
+                            .max(self.gpus[gpu.0].time() + mem_secs - secs);
+                        let wait = start - (self.gpus[gpu.0].time() + mem_secs - secs);
+                        mem_secs += wait;
+                        self.host_link_free = start + secs;
+                    }
+                    obs.h2d(gpu, d.id, d.bytes);
+                }
+            }
+        }
+
+        // Allocate the output. A recompute of an intermediate that is still
+        // resident (e.g. replaying a stream on a warm machine) overwrites
+        // in place — no new allocation.
+        if self.gpus[gpu.0].mem.holds(task.out.id) {
+            self.gpus[gpu.0].mem.touch(task.out.id);
+            self.gpus[gpu.0].mem.set_pinned(task.out.id, true);
+        } else {
+            mem_secs += self.config.cost.alloc_secs(task.out.bytes);
+            obs.alloc(gpu);
+            let evicted = self.gpus[gpu.0]
+                .mem
+                .allocate(task.out.id, task.out.bytes, Provenance::DeviceCreated)
+                .map_err(|source| ExecError::OutOfMemory { gpu, source })?;
+            mem_secs += self.charge_evictions(gpu, &evicted, obs);
+        }
+
+        // Kernel.
+        let compute_secs = self.config.cost.compute_secs(task.flops);
+        obs.kernel(gpu, task.id, compute_secs);
+
+        // Unpin the working set.
+        for id in [task.a.id, task.b.id, task.out.id] {
+            self.gpus[gpu.0].mem.set_pinned(id, false);
+        }
+
+        // Clairvoyant oracle: advance each touched tensor's use queue past
+        // the current position and feed the next use to every device
+        // holding a copy.
+        if let Some(oracle) = self.oracle.as_mut() {
+            let now = self.task_counter;
+            for id in [task.a.id, task.b.id, task.out.id] {
+                let queue = oracle.entry(id).or_default();
+                while queue.front().is_some_and(|&u| u <= now) {
+                    queue.pop_front();
+                }
+                let next = queue.front().copied().unwrap_or(u64::MAX);
+                for g in &mut self.gpus {
+                    g.mem.set_next_use(id, next);
+                }
+            }
+            self.task_counter += 1;
+        }
+
+        let g = &mut self.gpus[gpu.0];
+        if self.config.cost.async_copy {
+            // DMA engine runs its queue independently (bounded by the
+            // staging window when `prefetch_tasks` is set); the kernel
+            // starts once both the compute engine is free and the
+            // operands landed.
+            g.push_copy(mem_secs, self.config.cost.prefetch_tasks);
+            let start = g.compute_time.max(g.dma_time);
+            let finish = start + compute_secs;
+            g.kernel_intervals.push((start, finish));
+            g.compute_time = finish;
+        } else {
+            // fully serialised device: memory ops then kernel
+            let start = g.compute_time.max(g.dma_time);
+            if mem_secs > 0.0 {
+                g.copy_intervals.push((start, start + mem_secs));
+            }
+            let finish = start + mem_secs + compute_secs;
+            g.kernel_intervals.push((start + mem_secs, finish));
+            g.compute_time = finish;
+            g.dma_time = finish;
+        }
+        g.stage_flops += task.flops;
+        obs.task_done(gpu, task.flops, compute_secs, mem_secs);
+        Ok(())
+    }
+
+    fn charge_evictions(
+        &mut self,
+        gpu: GpuId,
+        evicted: &[crate::memory::Evicted],
+        obs: &mut dyn ExecObserver,
+    ) -> f64 {
+        let mut secs = 0.0;
+        for ev in evicted {
+            // A write-back is only paid the first time device-created data
+            // leaves a device; afterwards the host holds a copy.
+            let writeback = ev.writeback && !self.host_copies.contains(&ev.id);
+            if ev.writeback {
+                self.host_copies.insert(ev.id);
+            }
+            secs += self.config.cost.evict_secs(ev.bytes, writeback);
+            obs.evict(gpu, ev.id, writeback, ev.bytes);
+        }
+        secs
+    }
+
+    /// End the current stage: all device clocks advance to the stage
+    /// makespan, per-stage state resets. Returns `(stage_start, end)` on
+    /// the shared clock so observing wrappers can attribute the span.
+    pub fn barrier(&mut self) -> (f64, f64) {
+        let end = self.gpus.iter().map(|g| g.time()).fold(0.0, f64::max);
+        let start = self.gpus.first().map(|g| g.stage_start).unwrap_or(0.0);
+        for g in &mut self.gpus {
+            g.compute_time = end;
+            g.dma_time = end;
+            g.stage_start = end;
+            g.stage_flops = 0;
+            g.copy_intervals.clear();
+            g.kernel_intervals.clear();
+        }
+        (start, end)
+    }
+
+    /// Absolute clock of device `g` (seconds since run start): when both
+    /// its compute and DMA engines are done.
+    pub fn device_time(&self, g: GpuId) -> f64 {
+        self.gpus[g.0].time()
+    }
+
+    /// Latest clock over all devices.
+    pub fn max_device_time(&self) -> f64 {
+        self.gpus.iter().map(|g| g.time()).fold(0.0, f64::max)
+    }
+
+    /// Charge extra memory-operation time to device `g`'s DMA engine —
+    /// used by the cluster layer to account inter-node transfers that
+    /// happen outside this node.
+    pub fn add_memory_delay(&mut self, g: GpuId, secs: f64) {
+        assert!(secs >= 0.0, "negative delay");
+        let gpu = &mut self.gpus[g.0];
+        gpu.push_copy(secs, 0);
+        if !self.config.cost.async_copy {
+            gpu.compute_time = gpu.compute_time.max(gpu.dma_time);
+        }
+    }
+
+    /// Advance every device clock to at least `t` (a cross-machine barrier
+    /// helper for the cluster layer). Clocks never move backwards.
+    pub fn advance_to(&mut self, t: f64) {
+        for g in &mut self.gpus {
+            g.compute_time = g.compute_time.max(t);
+            g.dma_time = g.dma_time.max(t);
+        }
+    }
+
+    /// Number of tensors resident on device `g`.
+    pub fn resident_count(&self, g: GpuId) -> usize {
+        self.gpus[g.0].mem.resident_count()
+    }
+}
+
+impl MachineView for ShadowMachine {
+    fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    fn mem_capacity(&self) -> u64 {
+        self.config.mem_bytes
+    }
+
+    fn mem_used(&self, g: GpuId) -> u64 {
+        self.gpus[g.0].mem.used()
+    }
+
+    fn holds(&self, g: GpuId, t: TensorId) -> bool {
+        self.gpus[g.0].mem.holds(t)
+    }
+
+    fn holders(&self, t: TensorId) -> Vec<GpuId> {
+        (0..self.gpus.len())
+            .filter(|i| self.gpus[*i].mem.holds(t))
+            .map(GpuId)
+            .collect()
+    }
+
+    fn stage_flops(&self, g: GpuId) -> u64 {
+        self.gpus[g.0].stage_flops
+    }
+
+    fn stage_busy_secs(&self, g: GpuId) -> f64 {
+        self.gpus[g.0].time() - self.gpus[g.0].stage_start
+    }
+
+    fn bytes_needed(&self, g: GpuId, task: &ContractionTask) -> u64 {
+        let mut need = task.out.bytes;
+        if !self.holds(g, task.a.id) {
+            need += task.a.bytes;
+        }
+        if !self.holds(g, task.b.id) && task.b.id != task.a.id {
+            need += task.b.bytes;
+        }
+        need
+    }
+}
+
+/// Build the next-use oracle for a stream: per tensor, the global task
+/// indices (execution order) at which it appears as an operand.
+pub fn build_oracle(stream: &TensorPairStream) -> HashMap<TensorId, VecDeque<u64>> {
+    let mut oracle: HashMap<TensorId, VecDeque<u64>> = HashMap::new();
+    let mut idx = 0u64;
+    for v in &stream.vectors {
+        for t in &v.tasks {
+            oracle.entry(t.a.id).or_default().push_back(idx);
+            oracle.entry(t.b.id).or_default().push_back(idx);
+            idx += 1;
+        }
+    }
+    oracle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::SimMachine;
+    use micco_workload::{TaskId, TensorDesc, Vector, WorkloadSpec};
+
+    fn task(id: u64, a: u64, b: u64, out: u64, bytes: u64, flops: u64) -> ContractionTask {
+        ContractionTask {
+            id: TaskId(id),
+            a: TensorDesc {
+                id: TensorId(a),
+                bytes,
+            },
+            b: TensorDesc {
+                id: TensorId(b),
+                bytes,
+            },
+            out: TensorDesc {
+                id: TensorId(out),
+                bytes,
+            },
+            flops,
+        }
+    }
+
+    /// The shadow and the full simulator expose indistinguishable views at
+    /// every step of an arbitrary placement sequence.
+    #[test]
+    fn shadow_view_matches_sim_view_step_by_step() {
+        let stream = WorkloadSpec::new(12, 96)
+            .with_repeat_rate(0.7)
+            .with_vectors(3)
+            .with_seed(11)
+            .generate();
+        for cfg in [
+            MachineConfig::mi100_like(3),
+            MachineConfig::mi100_like(3)
+                .with_cost(crate::CostModel::mi100_like().with_async_copy()),
+        ] {
+            let mut sim = SimMachine::new(cfg);
+            let mut shadow = ShadowMachine::new(cfg);
+            let mut i = 0usize;
+            for v in &stream.vectors {
+                for t in &v.tasks {
+                    let gpu = GpuId(i % 3);
+                    i += 1;
+                    sim.execute(t, gpu).unwrap();
+                    shadow.execute(t, gpu).unwrap();
+                    for g in (0..3).map(GpuId) {
+                        assert_eq!(sim.mem_used(g), shadow.mem_used(g));
+                        assert_eq!(sim.stage_flops(g), shadow.stage_flops(g));
+                        assert!((sim.stage_busy_secs(g) - shadow.stage_busy_secs(g)).abs() == 0.0);
+                        assert_eq!(sim.holds(g, t.a.id), shadow.holds(g, t.a.id));
+                    }
+                    assert_eq!(sim.holders(t.out.id), shadow.holders(t.out.id));
+                }
+                sim.barrier();
+                shadow.barrier();
+                assert_eq!(sim.max_device_time(), shadow.max_device_time());
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_returns_stage_span() {
+        let mut m = ShadowMachine::new(MachineConfig::mi100_like(2));
+        m.execute(&task(0, 1, 2, 100, 1 << 30, 1_000_000_000), GpuId(0))
+            .unwrap();
+        let (start, end) = m.barrier();
+        assert_eq!(start, 0.0);
+        assert!(end > 0.0);
+        let (s2, e2) = m.barrier();
+        assert_eq!(s2, e2, "empty stage has zero span");
+    }
+
+    #[test]
+    fn oracle_paths_match_sim() {
+        let mut tasks = Vec::new();
+        for i in 0..30u64 {
+            tasks.push(task(i, i % 5, (i + 1) % 5, 1000 + i, 1 << 28, 0));
+        }
+        let stream = micco_workload::TensorPairStream::new(vec![Vector::new(tasks)]);
+        let cfg = MachineConfig {
+            num_gpus: 1,
+            mem_bytes: 4 * (1 << 28) + (1 << 20),
+            cost: crate::CostModel::mi100_like(),
+            eviction: crate::memory::EvictionPolicy::Clairvoyant,
+        };
+        let mut sim = SimMachine::new(cfg).with_oracle(&stream);
+        let mut shadow = ShadowMachine::new(cfg).with_oracle(&stream);
+        for t in &stream.vectors[0].tasks {
+            sim.execute(t, GpuId(0)).unwrap();
+            shadow.execute(t, GpuId(0)).unwrap();
+            assert_eq!(sim.mem_used(GpuId(0)), shadow.mem_used(GpuId(0)));
+        }
+        assert_eq!(sim.max_device_time(), shadow.max_device_time());
+    }
+
+    #[test]
+    fn bad_gpu_still_reported() {
+        let mut m = ShadowMachine::new(MachineConfig::mi100_like(1));
+        let err = m.execute(&task(0, 1, 2, 3, 1, 0), GpuId(4)).unwrap_err();
+        assert!(matches!(err, ExecError::BadGpu { .. }));
+    }
+}

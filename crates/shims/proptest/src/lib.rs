@@ -2,8 +2,9 @@
 //!
 //! Supports the subset this workspace's property tests use: the
 //! [`proptest!`] macro (with an optional `#![proptest_config(..)]` header),
-//! [`Strategy`] over ranges / tuples / [`Just`] / [`any`] /
-//! [`collection::vec`], `prop_map`, [`prop_oneof!`], and the
+//! [`strategy::Strategy`] over ranges / tuples / [`strategy::Just`] /
+//! [`strategy::any`] / [`collection::vec`], `prop_map`, [`prop_oneof!`],
+//! and the
 //! `prop_assert*` / `prop_assume!` macros. Failing inputs are reported via
 //! their `Debug` form where available; there is **no shrinking** — a
 //! failing case prints the case number and seed so it can be replayed by

@@ -179,6 +179,40 @@ impl TensorPairStream {
             .max()
             .unwrap_or(0)
     }
+
+    /// Content hash of the whole stream (64-bit FNV-1a over every task
+    /// field plus the stage boundaries). Any change to the stream — task
+    /// order, tensor identity or footprint, flops, vector count — changes
+    /// the fingerprint; equal streams always fingerprint equal. Schedule
+    /// plans carry this value so a plan can be checked against the stream
+    /// it is replayed on, and plan caches key on it.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |value: u64| {
+            for byte in value.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        for v in &self.vectors {
+            // a stage marker keeps [t0 | t1] distinct from [t0, t1]
+            mix(u64::MAX);
+            mix(v.tasks.len() as u64);
+            for t in &v.tasks {
+                mix(t.id.0);
+                mix(t.a.id.0);
+                mix(t.a.bytes);
+                mix(t.b.id.0);
+                mix(t.b.bytes);
+                mix(t.out.id.0);
+                mix(t.out.bytes);
+                mix(t.flops);
+            }
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -248,5 +282,35 @@ mod tests {
         assert!(v.is_empty());
         assert_eq!(v.unique_bytes(), 0);
         assert_eq!(TensorPairStream::default().peak_vector_bytes(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let base = TensorPairStream::new(vec![
+            Vector::new(vec![task(0, 1, 2, 100)]),
+            Vector::new(vec![task(1, 1, 3, 101), task(2, 100, 2, 102)]),
+        ]);
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+
+        // task order within a vector matters
+        let mut reordered = base.clone();
+        reordered.vectors[1].tasks.reverse();
+        assert_ne!(base.fingerprint(), reordered.fingerprint());
+
+        // moving a stage boundary matters even with identical task lists
+        let flat = TensorPairStream::new(vec![Vector::new(
+            base.vectors.iter().flat_map(|v| v.tasks.clone()).collect(),
+        )]);
+        assert_ne!(base.fingerprint(), flat.fingerprint());
+
+        // any field change matters
+        let mut heavier = base.clone();
+        heavier.vectors[0].tasks[0].flops += 1;
+        assert_ne!(base.fingerprint(), heavier.fingerprint());
+
+        // trailing empty vectors are structurally different streams
+        let mut padded = base.clone();
+        padded.vectors.push(Vector::default());
+        assert_ne!(base.fingerprint(), padded.fingerprint());
     }
 }

@@ -42,7 +42,8 @@ fn main() {
     ];
     for s in schedulers.iter_mut() {
         let report = run_schedule(s.as_mut(), &stream, &machine).expect("fits");
-        let out = execute_stream(&stream, &report.assignments, workers, shape, 2026);
+        let out = execute_stream(&stream, &report.assignments, workers, shape, 2026)
+            .expect("schedule covers the stream");
         checksums.push(out.checksum);
         println!(
             "{:<22} {:>12.3} {:>12.3} {:>14} {:>28}",

@@ -42,6 +42,26 @@
 //! .expect("workload fits the machine");
 //! assert!(report.gflops() > 0.0);
 //! ```
+//!
+//! ## Decide once, execute later
+//!
+//! Scheduling decisions can be captured into a [`sched::SchedulePlan`]
+//! against a shadow machine, serialized, and replayed on a fresh machine —
+//! the assignments and statistics match the interleaved run exactly:
+//!
+//! ```
+//! use micco::prelude::*;
+//!
+//! let workload = WorkloadSpec::new(8, 64).with_vectors(2).with_seed(1).generate();
+//! let cfg = MachineConfig::mi100_like(2);
+//! let plan = plan_schedule(&mut RoundRobinScheduler::new(), &workload, &cfg)
+//!     .expect("workload fits");
+//! let restored = SchedulePlan::from_text(&plan.to_text()).expect("round-trips");
+//! let mut machine = SimMachine::new(cfg);
+//! let report = execute_plan(&restored, &workload, &mut machine)
+//!     .expect("plan matches this workload");
+//! assert_eq!(report.assignments.len(), plan.total_tasks());
+//! ```
 
 pub use micco_cluster as cluster;
 pub use micco_core as sched;
@@ -56,9 +76,12 @@ pub use micco_workload as workload;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use micco_core::{
-        run_schedule, Assignment, GrouteScheduler, MiccoScheduler, ReuseBounds,
-        RoundRobinScheduler, ScheduleReport, Scheduler,
+        execute_plan, plan_schedule, plan_schedule_with, run_schedule, run_schedule_with,
+        Assignment, DriverOptions, GrouteScheduler, MiccoScheduler, PlanCache, ReuseBounds,
+        RoundRobinScheduler, SchedulePlan, ScheduleReport, Scheduler,
     };
-    pub use micco_gpusim::{CostModel, MachineConfig, MachineState, SimMachine};
+    pub use micco_gpusim::{
+        CostModel, DeviceView, MachineConfig, MachineState, ShadowMachine, SimMachine,
+    };
     pub use micco_workload::{RepeatDistribution, TensorPairStream, Vector, WorkloadSpec};
 }

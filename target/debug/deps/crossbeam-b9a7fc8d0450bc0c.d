@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-b9a7fc8d0450bc0c.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-b9a7fc8d0450bc0c.rmeta: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/micco_bench-dc3a8fce49d47a39.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmicco_bench-dc3a8fce49d47a39.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/micco_cluster-197194ff23e9340a.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs Cargo.toml
+/root/repo/target/debug/deps/micco_cluster-197194ff23e9340a.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_cluster-197194ff23e9340a.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_cluster-197194ff23e9340a.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs Cargo.toml
 
 crates/cluster/src/lib.rs:
 crates/cluster/src/cluster.rs:
 crates/cluster/src/hierarchical.rs:
+crates/cluster/src/plan.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

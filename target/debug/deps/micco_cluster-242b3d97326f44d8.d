@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/micco_cluster-242b3d97326f44d8.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+/root/repo/target/debug/deps/libmicco_cluster-242b3d97326f44d8.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/hierarchical.rs:
+crates/cluster/src/plan.rs:

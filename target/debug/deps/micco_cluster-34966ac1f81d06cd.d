@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/micco_cluster-34966ac1f81d06cd.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+/root/repo/target/debug/deps/micco_cluster-34966ac1f81d06cd.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
 
-/root/repo/target/debug/deps/libmicco_cluster-34966ac1f81d06cd.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+/root/repo/target/debug/deps/libmicco_cluster-34966ac1f81d06cd.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
 
-/root/repo/target/debug/deps/libmicco_cluster-34966ac1f81d06cd.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+/root/repo/target/debug/deps/libmicco_cluster-34966ac1f81d06cd.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
 
 crates/cluster/src/lib.rs:
 crates/cluster/src/cluster.rs:
 crates/cluster/src/hierarchical.rs:
+crates/cluster/src/plan.rs:

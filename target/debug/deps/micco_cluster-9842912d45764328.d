@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_cluster-9842912d45764328.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+/root/repo/target/debug/deps/micco_cluster-9842912d45764328.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
 
-/root/repo/target/debug/deps/micco_cluster-9842912d45764328: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+/root/repo/target/debug/deps/micco_cluster-9842912d45764328: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
 
 crates/cluster/src/lib.rs:
 crates/cluster/src/cluster.rs:
 crates/cluster/src/hierarchical.rs:
+crates/cluster/src/plan.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/micco_core-7e6b64b80e59f617.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/plan.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
+
+/root/repo/target/debug/deps/libmicco_core-7e6b64b80e59f617.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/plan.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
+
+crates/core/src/lib.rs:
+crates/core/src/baselines.rs:
+crates/core/src/bounds.rs:
+crates/core/src/driver.rs:
+crates/core/src/mapping.rs:
+crates/core/src/micco.rs:
+crates/core/src/model.rs:
+crates/core/src/pattern.rs:
+crates/core/src/plan.rs:
+crates/core/src/reorder.rs:
+crates/core/src/state.rs:
+crates/core/src/tuner.rs:

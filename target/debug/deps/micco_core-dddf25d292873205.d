@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/micco_core-dddf25d292873205.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
+/root/repo/target/debug/deps/micco_core-dddf25d292873205.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/plan.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
 
-/root/repo/target/debug/deps/micco_core-dddf25d292873205: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
+/root/repo/target/debug/deps/micco_core-dddf25d292873205: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/plan.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
 
 crates/core/src/lib.rs:
 crates/core/src/baselines.rs:
@@ -10,6 +10,7 @@ crates/core/src/mapping.rs:
 crates/core/src/micco.rs:
 crates/core/src/model.rs:
 crates/core/src/pattern.rs:
+crates/core/src/plan.rs:
 crates/core/src/reorder.rs:
 crates/core/src/state.rs:
 crates/core/src/tuner.rs:

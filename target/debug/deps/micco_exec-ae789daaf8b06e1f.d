@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/micco_exec-ae789daaf8b06e1f.d: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs
+
+/root/repo/target/debug/deps/libmicco_exec-ae789daaf8b06e1f.rmeta: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs
+
+crates/exec/src/lib.rs:
+crates/exec/src/engine.rs:
+crates/exec/src/store.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/micco_gpusim-015e719c2fa1fcef.d: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
+
+/root/repo/target/debug/deps/libmicco_gpusim-015e719c2fa1fcef.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
+
+crates/gpusim/src/lib.rs:
+crates/gpusim/src/cost.rs:
+crates/gpusim/src/machine.rs:
+crates/gpusim/src/memory.rs:
+crates/gpusim/src/shadow.rs:
+crates/gpusim/src/stats.rs:
+crates/gpusim/src/trace.rs:

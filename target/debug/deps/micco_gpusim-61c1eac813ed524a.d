@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/micco_gpusim-61c1eac813ed524a.d: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
+/root/repo/target/debug/deps/micco_gpusim-61c1eac813ed524a.d: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
 
-/root/repo/target/debug/deps/libmicco_gpusim-61c1eac813ed524a.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
+/root/repo/target/debug/deps/libmicco_gpusim-61c1eac813ed524a.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
 
-/root/repo/target/debug/deps/libmicco_gpusim-61c1eac813ed524a.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
+/root/repo/target/debug/deps/libmicco_gpusim-61c1eac813ed524a.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
 
 crates/gpusim/src/lib.rs:
 crates/gpusim/src/cost.rs:
 crates/gpusim/src/machine.rs:
 crates/gpusim/src/memory.rs:
+crates/gpusim/src/shadow.rs:
 crates/gpusim/src/stats.rs:
 crates/gpusim/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micco_graph-5fec8507292273d8.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs
+
+/root/repo/target/debug/deps/libmicco_graph-5fec8507292273d8.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/plan.rs:
+crates/graph/src/shared.rs:
+crates/graph/src/stage.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/micco_ml-cc06c7f4ee8349da.d: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs
+
+/root/repo/target/debug/deps/libmicco_ml-cc06c7f4ee8349da.rmeta: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/dataset.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/gbm.rs:
+crates/ml/src/linear.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/spearman.rs:
+crates/ml/src/tree.rs:

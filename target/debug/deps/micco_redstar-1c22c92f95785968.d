@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/micco_redstar-1c22c92f95785968.d: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs
+
+/root/repo/target/debug/deps/libmicco_redstar-1c22c92f95785968.rmeta: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs
+
+crates/redstar/src/lib.rs:
+crates/redstar/src/numeric.rs:
+crates/redstar/src/operators.rs:
+crates/redstar/src/pipeline.rs:
+crates/redstar/src/presets.rs:
+crates/redstar/src/wick.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/micco_tensor-2bd8832c8eeb0f08.d: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs
+
+/root/repo/target/debug/deps/libmicco_tensor-2bd8832c8eeb0f08.rmeta: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/batched.rs:
+crates/tensor/src/complex.rs:
+crates/tensor/src/flops.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/tensor3.rs:

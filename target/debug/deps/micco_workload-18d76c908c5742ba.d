@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/micco_workload-18d76c908c5742ba.d: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs
+
+/root/repo/target/debug/deps/libmicco_workload-18d76c908c5742ba.rmeta: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/characteristics.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/serialize.rs:
+crates/workload/src/stats.rs:
+crates/workload/src/task.rs:

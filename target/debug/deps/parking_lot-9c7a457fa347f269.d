@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-9c7a457fa347f269.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-9c7a457fa347f269.rmeta: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_conformance-e86ece7eb666930c.d: tests/plan_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_conformance-e86ece7eb666930c.rmeta: tests/plan_conformance.rs Cargo.toml
+
+tests/plan_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_conformance-f9e1711a4cd40514.d: tests/plan_conformance.rs
+
+/root/repo/target/debug/deps/plan_conformance-f9e1711a4cd40514: tests/plan_conformance.rs
+
+tests/plan_conformance.rs:

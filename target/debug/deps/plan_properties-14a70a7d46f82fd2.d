@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/plan_properties-14a70a7d46f82fd2.d: tests/plan_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_properties-14a70a7d46f82fd2.rmeta: tests/plan_properties.rs Cargo.toml
+
+tests/plan_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_properties-c8aa567549cc5f48.d: tests/plan_properties.rs
+
+/root/repo/target/debug/deps/plan_properties-c8aa567549cc5f48: tests/plan_properties.rs
+
+tests/plan_properties.rs:

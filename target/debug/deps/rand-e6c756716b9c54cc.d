@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-e6c756716b9c54cc.d: crates/shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-e6c756716b9c54cc.rmeta: crates/shims/rand/src/lib.rs
+
+crates/shims/rand/src/lib.rs:

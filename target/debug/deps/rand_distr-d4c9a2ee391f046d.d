@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-d4c9a2ee391f046d.d: crates/shims/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-d4c9a2ee391f046d.rmeta: crates/shims/rand_distr/src/lib.rs
+
+crates/shims/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-b986a02aa0c9fc1e.d: crates/shims/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-b986a02aa0c9fc1e.rmeta: crates/shims/rayon/src/lib.rs
+
+crates/shims/rayon/src/lib.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["micco_tensor",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.SubAssign.html\" title=\"trait core::ops::arith::SubAssign\">SubAssign</a> for <a class=\"struct\" href=\"micco_tensor/complex/struct.Complex64.html\" title=\"struct micco_tensor::complex::Complex64\">Complex64</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[324]}

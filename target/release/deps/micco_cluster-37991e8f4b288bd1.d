@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/micco_cluster-37991e8f4b288bd1.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+/root/repo/target/release/deps/micco_cluster-37991e8f4b288bd1.d: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
 
-/root/repo/target/release/deps/libmicco_cluster-37991e8f4b288bd1.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+/root/repo/target/release/deps/libmicco_cluster-37991e8f4b288bd1.rlib: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
 
-/root/repo/target/release/deps/libmicco_cluster-37991e8f4b288bd1.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs
+/root/repo/target/release/deps/libmicco_cluster-37991e8f4b288bd1.rmeta: crates/cluster/src/lib.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
 
 crates/cluster/src/lib.rs:
 crates/cluster/src/cluster.rs:
 crates/cluster/src/hierarchical.rs:
+crates/cluster/src/plan.rs:

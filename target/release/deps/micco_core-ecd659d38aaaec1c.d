@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/micco_core-ecd659d38aaaec1c.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
+/root/repo/target/release/deps/micco_core-ecd659d38aaaec1c.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/plan.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
 
-/root/repo/target/release/deps/libmicco_core-ecd659d38aaaec1c.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
+/root/repo/target/release/deps/libmicco_core-ecd659d38aaaec1c.rlib: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/plan.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
 
-/root/repo/target/release/deps/libmicco_core-ecd659d38aaaec1c.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
+/root/repo/target/release/deps/libmicco_core-ecd659d38aaaec1c.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/plan.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs
 
 crates/core/src/lib.rs:
 crates/core/src/baselines.rs:
@@ -12,6 +12,7 @@ crates/core/src/mapping.rs:
 crates/core/src/micco.rs:
 crates/core/src/model.rs:
 crates/core/src/pattern.rs:
+crates/core/src/plan.rs:
 crates/core/src/reorder.rs:
 crates/core/src/state.rs:
 crates/core/src/tuner.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/release/deps/micco_gpusim-ec2382ee4c0f5c57.d: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
+/root/repo/target/release/deps/micco_gpusim-ec2382ee4c0f5c57.d: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
 
-/root/repo/target/release/deps/libmicco_gpusim-ec2382ee4c0f5c57.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
+/root/repo/target/release/deps/libmicco_gpusim-ec2382ee4c0f5c57.rlib: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
 
-/root/repo/target/release/deps/libmicco_gpusim-ec2382ee4c0f5c57.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
+/root/repo/target/release/deps/libmicco_gpusim-ec2382ee4c0f5c57.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs
 
 crates/gpusim/src/lib.rs:
 crates/gpusim/src/cost.rs:
 crates/gpusim/src/machine.rs:
 crates/gpusim/src/memory.rs:
+crates/gpusim/src/shadow.rs:
 crates/gpusim/src/stats.rs:
 crates/gpusim/src/trace.rs:

@@ -50,7 +50,7 @@ fn real_execution_matches_simulated_kernel_and_worker_counts() {
     let cfg = MachineConfig::mi100_like(WORKERS);
     for mut s in schedulers() {
         let report = run_schedule(s.as_mut(), &stream, &cfg).expect("workload fits");
-        let out = execute_stream(&stream, &report.assignments, WORKERS, SHAPE, 23);
+        let out = execute_stream(&stream, &report.assignments, WORKERS, SHAPE, 23).expect("valid");
 
         // Kernel counts: real engine, simulator, and stream all agree.
         assert_eq!(out.kernels, stream.total_tasks());
@@ -79,7 +79,9 @@ fn checksum_is_independent_of_the_scheduler() {
         let report = run_schedule(s.as_mut(), &stream, &cfg).expect("workload fits");
         checksums.push((
             s.name(),
-            execute_stream(&stream, &report.assignments, WORKERS, SHAPE, 23).checksum,
+            execute_stream(&stream, &report.assignments, WORKERS, SHAPE, 23)
+                .expect("valid")
+                .checksum,
         ));
     }
     for (name, c) in &checksums[1..] {
@@ -117,8 +119,8 @@ fn overlap_changes_timing_only_never_placements_or_physics() {
     assert!(overlapped.elapsed_secs() <= sync.elapsed_secs());
 
     // So the real engine replays both to the same outcome, bit for bit.
-    let a = execute_stream(&stream, &sync.assignments, WORKERS, SHAPE, 23);
-    let b = execute_stream(&stream, &overlapped.assignments, WORKERS, SHAPE, 23);
+    let a = execute_stream(&stream, &sync.assignments, WORKERS, SHAPE, 23).expect("valid");
+    let b = execute_stream(&stream, &overlapped.assignments, WORKERS, SHAPE, 23).expect("valid");
     assert_eq!(a.checksum, b.checksum);
     assert_eq!(a.per_worker_tasks, b.per_worker_tasks);
 }
@@ -135,13 +137,14 @@ fn stealing_keeps_the_conformance_contract_intact() {
     .expect("workload fits");
     let expected = assigned_counts(&report, WORKERS);
 
-    let baseline = execute_stream(&stream, &report.assignments, WORKERS, SHAPE, 23);
+    let baseline = execute_stream(&stream, &report.assignments, WORKERS, SHAPE, 23).expect("valid");
     for opts in [
         ExecOptions::default().with_steal(),
         ExecOptions::default().with_prefetch(),
         ExecOptions::default().with_steal().with_prefetch(),
     ] {
-        let out = execute_stream_opts(&stream, &report.assignments, WORKERS, SHAPE, 23, opts);
+        let out = execute_stream_opts(&stream, &report.assignments, WORKERS, SHAPE, 23, opts)
+            .expect("valid");
         // Assigned counts report the *schedule*, not who ran what…
         assert_eq!(out.per_worker_tasks, expected, "{opts:?}");
         // …executed counts report reality, and conserve work.
@@ -170,7 +173,8 @@ fn conformance_holds_across_worker_counts() {
             SHAPE,
             23,
             ExecOptions::default().with_steal(),
-        );
+        )
+        .expect("valid");
         assert_eq!(out.per_worker_tasks, assigned_counts(&report, workers));
         assert_eq!(out.kernels, stream.total_tasks());
         checksums.push(out.checksum);

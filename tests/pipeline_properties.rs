@@ -54,8 +54,10 @@ proptest! {
             &stream, &cfg, DriverOptions::default(),
         ).expect("fits");
         for opts in [ExecOptions::default(), ExecOptions::default().with_steal().with_prefetch()] {
-            let a = execute_stream_opts(&stream, &report.assignments, workers, SHAPE, 5, opts);
-            let b = execute_stream_opts(&stream, &report.assignments, workers, SHAPE, 5, opts);
+            let a = execute_stream_opts(&stream, &report.assignments, workers, SHAPE, 5, opts)
+                .expect("valid schedule");
+            let b = execute_stream_opts(&stream, &report.assignments, workers, SHAPE, 5, opts)
+                .expect("valid schedule");
             prop_assert_eq!(a.checksum, b.checksum);
             prop_assert_eq!(a.per_worker_tasks, b.per_worker_tasks);
             prop_assert_eq!(a.kernels, b.kernels);
@@ -94,9 +96,11 @@ proptest! {
             &mut GrouteScheduler::new(), &stream, &cfg, opts,
         ).expect("fits");
         let a = execute_stream_opts(
-            &stream, &g_sync.assignments, 3, SHAPE, 5, ExecOptions::default());
+            &stream, &g_sync.assignments, 3, SHAPE, 5, ExecOptions::default())
+            .expect("valid schedule");
         let b = execute_stream_opts(
-            &stream, &g_over.assignments, 3, SHAPE, 5, ExecOptions::default());
+            &stream, &g_over.assignments, 3, SHAPE, 5, ExecOptions::default())
+            .expect("valid schedule");
         prop_assert_eq!(a.checksum, b.checksum);
         prop_assert_eq!(a.kernels, b.kernels);
     }
@@ -117,7 +121,8 @@ proptest! {
         ).expect("fits");
         let stolen = execute_stream_opts(
             &stream, &report.assignments, workers, SHAPE, 5,
-            ExecOptions::default().with_steal());
+            ExecOptions::default().with_steal())
+            .expect("valid schedule");
         // Work conservation across the whole run.
         prop_assert_eq!(stolen.per_worker_executed.iter().sum::<usize>(), stolen.kernels);
         prop_assert_eq!(stolen.kernels, stream.total_tasks());
@@ -127,7 +132,8 @@ proptest! {
         prop_assert_eq!(&stolen.per_worker_tasks, &assigned);
         // Same physics as the barrier-per-stage static engine.
         let static_run = execute_stream_opts(
-            &stream, &report.assignments, workers, SHAPE, 5, ExecOptions::default());
+            &stream, &report.assignments, workers, SHAPE, 5, ExecOptions::default())
+            .expect("valid schedule");
         prop_assert_eq!(stolen.checksum, static_run.checksum);
     }
 
