@@ -1,0 +1,473 @@
+//! Diagnostic codes, severities, and the aggregated [`Report`].
+//!
+//! Codes are **stable**: once published they never change meaning or
+//! number (DESIGN.md §10 carries the registry). Consumers key on the
+//! string id (`MICCO-E001`), so renames here would break CI pipelines and
+//! editor integrations downstream.
+
+use micco_gpusim::GpuId;
+use micco_workload::TaskId;
+
+/// How bad a diagnostic is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Purely informational — a missed optimisation with no correctness
+    /// or performance-invariant impact.
+    Info,
+    /// A MICCO invariant (reuse bound, balance cap, eviction hygiene) is
+    /// violated; the plan runs but performs worse than it should.
+    Warning,
+    /// The plan cannot execute as written (capacity, structure, identity).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case name used in JSON output and `--deny` values.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// SARIF 2.1.0 `level` for this severity.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Info => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parse a user-supplied threshold (`info`/`note`, `warn`/`warning`,
+    /// `error`). Returns `None` for anything else.
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" | "note" => Some(Severity::Info),
+            "warn" | "warning" | "warnings" => Some(Severity::Warning),
+            "error" | "errors" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The stable diagnostic code registry (DESIGN.md §10).
+///
+/// `E` codes are errors (the plan cannot run as written), `W` codes are
+/// warnings (a scheduling invariant of the paper is violated), `I` codes
+/// are informational (wasted work that costs bandwidth, not correctness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// `MICCO-E001 capacity-exceeded` — a placement needs more bytes than
+    /// the device can free even after evicting every unpinned tensor.
+    CapacityExceeded,
+    /// `MICCO-E002 assignment-out-of-range` — an assignment targets a
+    /// device outside the plan's declared `gpus` range.
+    AssignmentOutOfRange,
+    /// `MICCO-E003 plan-structure-mismatch` — stage/task shape disagrees
+    /// with the workload (missing stage, short stage, wrong task id).
+    PlanStructureMismatch,
+    /// `MICCO-E004 fingerprint-mismatch` — the plan was decided for a
+    /// different workload than the one offered.
+    FingerprintMismatch,
+    /// `MICCO-E005 device-count-mismatch` — the plan's device count
+    /// differs from the machine configuration under analysis.
+    DeviceCountMismatch,
+    /// `MICCO-W101 reuse-bound-violated` — a placement lands on a device
+    /// that fails every reuse-bound availability gate applicable to its
+    /// pattern class (Alg. 1), without being the least-loaded fallback.
+    ReuseBoundViolated,
+    /// `MICCO-W102 balance-cap-exceeded` — a device's per-vector tensor
+    /// slots exceed `max(bounds) + balanceNum` beyond the tolerated
+    /// overshoot (assignments move two slots at a time).
+    BalanceCapExceeded,
+    /// `MICCO-W201 eviction-thrash` — a tensor was evicted from a device
+    /// and re-fetched onto the same device within the thrash window.
+    EvictionThrash,
+    /// `MICCO-W202 missed-reuse` — a `TwoRepeatedSame`/`OneRepeated`-style
+    /// pair was placed off a resident device the bounds allowed (Fig. 4:
+    /// a free reuse left on the table).
+    MissedReuse,
+    /// `MICCO-I301 dead-transfer` — an evicted tensor paid a write-back to
+    /// the host but is never used again; the transfer moved dead data.
+    DeadTransfer,
+}
+
+impl Code {
+    /// Every code, in registry order (drives the SARIF rules array, so
+    /// `ruleIndex` values stay stable).
+    pub const ALL: [Code; 10] = [
+        Code::CapacityExceeded,
+        Code::AssignmentOutOfRange,
+        Code::PlanStructureMismatch,
+        Code::FingerprintMismatch,
+        Code::DeviceCountMismatch,
+        Code::ReuseBoundViolated,
+        Code::BalanceCapExceeded,
+        Code::EvictionThrash,
+        Code::MissedReuse,
+        Code::DeadTransfer,
+    ];
+
+    /// Stable string id, e.g. `"MICCO-E001"`.
+    pub fn id(self) -> &'static str {
+        match self {
+            Code::CapacityExceeded => "MICCO-E001",
+            Code::AssignmentOutOfRange => "MICCO-E002",
+            Code::PlanStructureMismatch => "MICCO-E003",
+            Code::FingerprintMismatch => "MICCO-E004",
+            Code::DeviceCountMismatch => "MICCO-E005",
+            Code::ReuseBoundViolated => "MICCO-W101",
+            Code::BalanceCapExceeded => "MICCO-W102",
+            Code::EvictionThrash => "MICCO-W201",
+            Code::MissedReuse => "MICCO-W202",
+            Code::DeadTransfer => "MICCO-I301",
+        }
+    }
+
+    /// Stable kebab-case rule name, e.g. `"capacity-exceeded"`.
+    pub fn slug(self) -> &'static str {
+        match self {
+            Code::CapacityExceeded => "capacity-exceeded",
+            Code::AssignmentOutOfRange => "assignment-out-of-range",
+            Code::PlanStructureMismatch => "plan-structure-mismatch",
+            Code::FingerprintMismatch => "fingerprint-mismatch",
+            Code::DeviceCountMismatch => "device-count-mismatch",
+            Code::ReuseBoundViolated => "reuse-bound-violated",
+            Code::BalanceCapExceeded => "balance-cap-exceeded",
+            Code::EvictionThrash => "eviction-thrash",
+            Code::MissedReuse => "missed-reuse",
+            Code::DeadTransfer => "dead-transfer",
+        }
+    }
+
+    /// Default severity of the code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::CapacityExceeded
+            | Code::AssignmentOutOfRange
+            | Code::PlanStructureMismatch
+            | Code::FingerprintMismatch
+            | Code::DeviceCountMismatch => Severity::Error,
+            Code::ReuseBoundViolated
+            | Code::BalanceCapExceeded
+            | Code::EvictionThrash
+            | Code::MissedReuse => Severity::Warning,
+            Code::DeadTransfer => Severity::Info,
+        }
+    }
+
+    /// One-line rule description (the SARIF `shortDescription`).
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::CapacityExceeded => {
+                "a placement cannot fit device memory even after evicting every unpinned tensor"
+            }
+            Code::AssignmentOutOfRange => {
+                "an assignment targets a device outside the plan's declared range"
+            }
+            Code::PlanStructureMismatch => {
+                "plan stage/task structure disagrees with the workload stream"
+            }
+            Code::FingerprintMismatch => "the plan was decided for a different workload",
+            Code::DeviceCountMismatch => {
+                "the plan targets a different device count than the machine"
+            }
+            Code::ReuseBoundViolated => {
+                "a placement fails every reuse-bound availability gate applicable to it"
+            }
+            Code::BalanceCapExceeded => {
+                "a device's per-vector load exceeds the bound-plus-balance cap"
+            }
+            Code::EvictionThrash => {
+                "a tensor was evicted and re-fetched onto the same device within the thrash window"
+            }
+            Code::MissedReuse => {
+                "a pair with resident operands was placed off an available holder device"
+            }
+            Code::DeadTransfer => "an evicted tensor paid a write-back but is never used again",
+        }
+    }
+}
+
+impl std::fmt::Display for Code {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.id(), self.slug())
+    }
+}
+
+/// One finding: a code, where it points in the plan, a human message, and
+/// a machine-readable payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The registry code.
+    pub code: Code,
+    /// Stage (vector) index the finding refers to.
+    pub stage: Option<usize>,
+    /// Position within the stage's assignment list.
+    pub index: Option<usize>,
+    /// The task involved.
+    pub task: Option<TaskId>,
+    /// The device involved.
+    pub gpu: Option<GpuId>,
+    /// 1-based line in the canonical plan text (`SchedulePlan::to_text`)
+    /// the finding anchors to, when the source is a plan file.
+    pub line: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Machine payload: ordered key/value pairs (kept as strings so the
+    /// JSON/SARIF encoders stay dependency-free).
+    pub payload: Vec<(String, String)>,
+}
+
+impl Diagnostic {
+    /// A diagnostic with only a code and a message; attach coordinates
+    /// with the builder methods.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            stage: None,
+            index: None,
+            task: None,
+            gpu: None,
+            line: None,
+            message: message.into(),
+            payload: Vec::new(),
+        }
+    }
+
+    /// The diagnostic's severity (delegates to the code registry).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Attach stage/index coordinates.
+    pub fn at(mut self, stage: usize, index: usize) -> Self {
+        self.stage = Some(stage);
+        self.index = Some(index);
+        self
+    }
+
+    /// Attach a stage coordinate only (stage-scoped findings).
+    pub fn at_stage(mut self, stage: usize) -> Self {
+        self.stage = Some(stage);
+        self
+    }
+
+    /// Attach the task involved.
+    pub fn for_task(mut self, task: TaskId) -> Self {
+        self.task = Some(task);
+        self
+    }
+
+    /// Attach the device involved.
+    pub fn on_gpu(mut self, gpu: GpuId) -> Self {
+        self.gpu = Some(gpu);
+        self
+    }
+
+    /// Attach a 1-based plan-text line.
+    pub fn at_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// Append a payload entry.
+    pub fn with(mut self, key: impl Into<String>, value: impl std::fmt::Display) -> Self {
+        self.payload.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// One-line `severity[CODE]: message (coordinates)` rendering.
+    pub fn render(&self) -> String {
+        let mut coords = Vec::new();
+        if let Some(s) = self.stage {
+            coords.push(format!("stage {s}"));
+        }
+        if let Some(i) = self.index {
+            coords.push(format!("index {i}"));
+        }
+        if let Some(t) = self.task {
+            coords.push(format!("task {}", t.0));
+        }
+        if let Some(g) = self.gpu {
+            coords.push(format!("gpu {}", g.0));
+        }
+        if let Some(l) = self.line {
+            coords.push(format!("line {l}"));
+        }
+        let suffix = if coords.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", coords.join(", "))
+        };
+        format!(
+            "{}[{}]: {}{}",
+            self.severity().as_str(),
+            self.code.id(),
+            self.message,
+            suffix
+        )
+    }
+}
+
+/// All diagnostics of one analysis, with severity accounting and the
+/// JSON / SARIF / text encoders ([`Report::to_json`], [`Report::to_sarif`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Findings in the order the analyzer produced them (stream order for
+    /// the semantic pass).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Append one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Append every finding of another report.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// True when nothing was found.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Number of findings at exactly `sev`.
+    pub fn count(&self, sev: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == sev)
+            .count()
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Warning-severity findings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Info-severity findings.
+    pub fn infos(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    /// The worst severity present, if any.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity()).max()
+    }
+
+    /// `--deny`-style gate: true when any finding is at or above
+    /// `threshold` (a CI consumer should then fail the build).
+    pub fn denies(&self, threshold: Severity) -> bool {
+        self.worst().is_some_and(|w| w >= threshold)
+    }
+
+    /// Whether any finding carries `code`.
+    pub fn has(&self, code: Code) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+
+    /// All findings carrying `code`.
+    pub fn with_code(&self, code: Code) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Human text rendering: one line per finding plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} error(s), {} warning(s), {} info(s)\n",
+            self.errors(),
+            self.warnings(),
+            self.infos()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_is_ordered() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::parse("warn"), Some(Severity::Warning));
+        assert_eq!(Severity::parse("note"), Some(Severity::Info));
+        assert_eq!(Severity::parse("bogus"), None);
+    }
+
+    #[test]
+    fn code_registry_is_consistent() {
+        let mut ids: Vec<&str> = Code::ALL.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), Code::ALL.len(), "duplicate code ids");
+        for c in Code::ALL {
+            assert!(c.id().starts_with("MICCO-"));
+            let class = c.id().as_bytes()[6] as char;
+            let expected = match c.severity() {
+                Severity::Error => 'E',
+                Severity::Warning => 'W',
+                Severity::Info => 'I',
+            };
+            assert_eq!(class, expected, "{}: id class vs severity", c.id());
+            assert!(!c.slug().is_empty() && !c.summary().is_empty());
+        }
+    }
+
+    #[test]
+    fn report_accounting_and_deny() {
+        let mut r = Report::new();
+        assert!(r.is_clean() && !r.denies(Severity::Info));
+        r.push(Diagnostic::new(Code::DeadTransfer, "dead"));
+        r.push(Diagnostic::new(Code::MissedReuse, "missed").at(1, 2));
+        assert_eq!((r.errors(), r.warnings(), r.infos()), (0, 1, 1));
+        assert_eq!(r.worst(), Some(Severity::Warning));
+        assert!(r.denies(Severity::Warning) && r.denies(Severity::Info));
+        assert!(!r.denies(Severity::Error));
+        assert!(r.has(Code::MissedReuse) && !r.has(Code::CapacityExceeded));
+        assert_eq!(r.with_code(Code::MissedReuse).len(), 1);
+    }
+
+    #[test]
+    fn render_includes_coordinates() {
+        let d = Diagnostic::new(Code::CapacityExceeded, "boom")
+            .at(0, 3)
+            .for_task(TaskId(7))
+            .on_gpu(GpuId(1))
+            .at_line(9)
+            .with("requested", 128u64);
+        let s = d.render();
+        assert!(s.contains("error[MICCO-E001]"));
+        assert!(s.contains("stage 0") && s.contains("task 7") && s.contains("line 9"));
+        let mut r = Report::new();
+        r.push(d);
+        assert!(r.render_text().contains("1 error(s)"));
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # micco-analysis
+//!
+//! A static plan verifier and lint engine over the `SchedulePlan` IR.
+//!
+//! PR 2 made schedules first-class data; this crate makes them
+//! *checkable without executing them*. The paper's invariants — local
+//! reuse patterns (Fig. 4), reuse bounds (Table II), `balanceNum` load
+//! caps (Alg. 1), memory-capacity/eviction safety — are all decidable
+//! from the task stream and residency maps alone, so an abstract
+//! interpreter can replay a plan symbolically and flag violations before
+//! any GPU time is spent.
+//!
+//! The pieces:
+//!
+//! * [`analyze_plan`] / [`analyze_plan_with`] — structural pass
+//!   (fingerprint, shape, device ranges) then a semantic replay of the
+//!   plan through the shared [`micco_gpusim::ShadowMachine`] transition
+//!   function, tracking per-GPU residency, occupancy under the configured
+//!   eviction policy, and per-stage load counts;
+//! * [`analyze_placements`] — the semantic pass over raw `(task, gpu)`
+//!   placements, reused by the cluster layer's per-node projections;
+//! * [`Code`] — the stable diagnostic registry (`MICCO-E001
+//!   capacity-exceeded` … `MICCO-I301 dead-transfer`, DESIGN.md §10);
+//! * [`Report`] — aggregation, severity thresholds (`--deny warnings`
+//!   style via [`Report::denies`]), and JSON / SARIF 2.1.0 / text
+//!   encodings.
+//!
+//! ```
+//! use micco_analysis::{analyze_plan, Code, Severity};
+//! use micco_core::{plan_schedule, RoundRobinScheduler};
+//! use micco_gpusim::MachineConfig;
+//! use micco_workload::WorkloadSpec;
+//!
+//! let stream = WorkloadSpec::new(8, 64).with_vectors(2).generate();
+//! let cfg = MachineConfig::mi100_like(2);
+//! let mut plan = plan_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+//! assert!(!analyze_plan(&plan, &stream, &cfg).denies(Severity::Warning));
+//!
+//! // corrupt the plan: the analyzer pins the exact assignment
+//! plan.stages[0].assignments[0].gpu = micco_gpusim::GpuId(99);
+//! let report = analyze_plan(&plan, &stream, &cfg);
+//! assert!(report.has(Code::AssignmentOutOfRange));
+//! assert!(report.denies(Severity::Error));
+//! ```
+
+pub mod diag;
+pub mod engine;
+mod render;
+
+pub use diag::{Code, Diagnostic, Report, Severity};
+pub use engine::{
+    analyze_placements, analyze_plan, analyze_plan_with, assignment_line, stage_line,
+    AnalysisConfig, PlacedStage,
+};

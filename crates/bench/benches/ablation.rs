@@ -3,6 +3,10 @@
 //! d2d source charging. Each variant runs the same reference workload;
 //! compare the reported simulated times across group entries.
 
+// Bench bodies unwrap freely: a bench that cannot set up its workload
+// should abort, same as a test.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

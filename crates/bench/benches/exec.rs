@@ -7,6 +7,10 @@
 //! the engine's locking (one `RwLock` around the store) does not
 //! serialise.
 
+// Bench bodies unwrap freely: a bench that cannot set up its workload
+// should abort, same as a test.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -2,6 +2,10 @@
 //! real deployment would dispatch to hipBLAS. These calibrate the
 //! simulator's flop-rate assumptions against this host's CPU.
 
+// Bench bodies unwrap freely: a bench that cannot set up its workload
+// should abort, same as a test.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};

@@ -1,6 +1,10 @@
 //! ML micro-benchmarks: the per-vector inference cost the paper claims is
 //! negligible (Fig. 6 step (2)), forest training, and Spearman's ρ.
 
+// Bench bodies unwrap freely: a bench that cannot set up its workload
+// should abort, same as a test.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

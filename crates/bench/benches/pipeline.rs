@@ -1,6 +1,10 @@
 //! Front-end pipeline benchmarks: Wick enumeration, graph lowering,
 //! staging/CSE — the preprocessing a Redstar job pays before scheduling.
 
+// Bench bodies unwrap freely: a bench that cannot set up its workload
+// should abort, same as a test.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -2,6 +2,10 @@
 //! baselines (the quantity Table V's "scheduling overhead" aggregates),
 //! plus local-reuse-pattern classification.
 
+// Bench bodies unwrap freely: a bench that cannot set up its workload
+// should abort, same as a test.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -1,6 +1,10 @@
 //! Simulator micro-benchmarks: task execution (residency bookkeeping,
 //! transfer/compute accounting) and the eviction path under pressure.
 
+// Bench bodies unwrap freely: a bench that cannot set up its workload
+// should abort, same as a test.
+#![allow(clippy::unwrap_used)]
+
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};

@@ -90,7 +90,7 @@ pub fn run(s: &mut dyn Scheduler, stream: &TensorPairStream, cfg: &MachineConfig
         cfg,
         micco_core::DriverOptions::default().with_measure_overhead(),
     )
-    .unwrap_or_else(|e| panic!("experiment workload must fit the machine: {e}"));
+    .expect("experiment workload must fit the machine");
     RunPoint::from(&report)
 }
 

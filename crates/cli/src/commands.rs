@@ -1,5 +1,6 @@
 //! Subcommand implementations.
 
+use micco_analysis::{analyze_plan_with, AnalysisConfig, Report, Severity};
 use micco_cluster::{
     run_cluster_schedule, ClusterConfig, FlatClusterScheduler, HierarchicalScheduler,
 };
@@ -43,7 +44,13 @@ commands:
               --vector-size N --tensor-size N --batch N --workers N --seed N
               --steal (reuse-aware work stealing) --prefetch (warm operands)
   plan        decide a schedule without executing and write the plan IR
-              --out FILE plus the synthetic options (workload + scheduler)
+              --out FILE plus the synthetic options (workload + scheduler);
+              --lint runs the static verifier on the freshly decided plan
+  lint        statically verify a plan against the rebuilt workload
+              --plan FILE --format text|json|sarif --deny error|warn|info
+              --mem-mib N (shrink device memory) --thrash-window N
+              plus the workload options; exits non-zero when any finding
+              reaches the --deny threshold (default: error)
   execute     execute a previously written plan on a rebuilt workload
               --plan FILE --backend sim|real; sim replays on the simulator,
               real computes kernels (--batch N --tensor-size N --seed N
@@ -69,6 +76,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         Some("compare") => compare(args),
         Some("exec") => exec(args),
         Some("plan") => plan(args),
+        Some("lint") => lint(args),
         Some("execute") => execute(args),
         Some("replay") => replay(args),
         Some("trace") => trace(args),
@@ -508,7 +516,66 @@ fn plan(args: &Args) -> Result<(), String> {
         "decide overhead {:.3} ms; wrote {out}",
         plan.overhead_secs * 1e3
     );
+    if args.flag("lint") {
+        let report = analyze_plan_with(&plan, &stream, &cfg, &analysis_config(args)?);
+        emit_report(&report, args, &out)?;
+    }
     Ok(())
+}
+
+/// Parse the analyzer tunables shared by `lint` and `plan --lint`.
+fn analysis_config(args: &Args) -> Result<AnalysisConfig, String> {
+    let defaults = AnalysisConfig::default();
+    Ok(AnalysisConfig {
+        thrash_window: args
+            .parse_or("thrash-window", defaults.thrash_window)
+            .map_err(|e| e.to_string())?,
+        ..defaults
+    })
+}
+
+/// Print a report in the requested `--format` and apply the `--deny`
+/// severity gate (default: error). Returns `Err` — a non-zero exit — when
+/// any finding reaches the threshold.
+fn emit_report(report: &Report, args: &Args, artifact: &str) -> Result<(), String> {
+    match args.str_or("format", "text").as_str() {
+        "text" => print!("{}", report.render_text()),
+        "json" => println!("{}", report.to_json()),
+        "sarif" => println!("{}", report.to_sarif(artifact)),
+        other => return Err(format!("unknown format '{other}' (text|json|sarif)")),
+    }
+    let deny = args.str_or("deny", "error");
+    let threshold = Severity::parse(&deny)
+        .ok_or_else(|| format!("unknown --deny level '{deny}' (error|warn|info)"))?;
+    if report.denies(threshold) {
+        return Err(format!(
+            "lint failed: {} error(s), {} warning(s), {} info(s) — findings at or above '{}' are denied",
+            report.errors(),
+            report.warnings(),
+            report.infos(),
+            threshold.as_str()
+        ));
+    }
+    Ok(())
+}
+
+/// Statically verify a plan file against the rebuilt workload: replay it
+/// through the abstract interpreter and report diagnostics without
+/// spending any (simulated) GPU time.
+fn lint(args: &Args) -> Result<(), String> {
+    let path = args
+        .get("plan")
+        .ok_or_else(|| "lint needs --plan FILE".to_owned())?
+        .to_owned();
+    let plan = load_plan(args)?;
+    let stream = synthetic_stream(args)?;
+    let mut cfg = machine_with_gpus(args, &stream, plan.num_gpus)?;
+    let mem_mib: u64 = args.parse_or("mem-mib", 0).map_err(|e| e.to_string())?;
+    if mem_mib > 0 {
+        cfg = cfg.with_mem_bytes(mem_mib << 20);
+    }
+    let report = analyze_plan_with(&plan, &stream, &cfg, &analysis_config(args)?);
+    emit_report(&report, args, &path)
 }
 
 /// Read a plan written by [`plan`] from `--plan FILE`.
@@ -788,6 +855,62 @@ mod tests {
         let err = run(&format!("execute --plan {}", p.display())).unwrap_err();
         assert!(err.contains("not supported"), "{err}");
         let _ = std::fs::remove_file(p);
+    }
+
+    #[test]
+    fn lint_accepts_clean_plan() {
+        let dir = std::env::temp_dir();
+        let plan_path = dir.join(format!("micco-cli-lint-{}.txt", std::process::id()));
+        let wl = "--vector-size 4 --tensor-size 16 --vectors 2 --seed 3";
+        // plan --lint verifies the freshly decided plan inline
+        run(&format!(
+            "plan {wl} --gpus 2 --scheduler micco --lint --out {}",
+            plan_path.display()
+        ))
+        .unwrap();
+        for format in ["text", "json", "sarif"] {
+            run(&format!(
+                "lint {wl} --plan {} --format {format} --deny warn",
+                plan_path.display()
+            ))
+            .unwrap();
+        }
+        assert!(run(&format!(
+            "lint {wl} --plan {} --format bogus",
+            plan_path.display()
+        ))
+        .is_err());
+        assert!(run(&format!(
+            "lint {wl} --plan {} --deny bogus",
+            plan_path.display()
+        ))
+        .is_err());
+        assert!(run("lint").is_err());
+        let _ = std::fs::remove_file(plan_path);
+    }
+
+    #[test]
+    fn lint_denies_capacity_violation() {
+        let dir = std::env::temp_dir();
+        let plan_path = dir.join(format!("micco-cli-lint-oom-{}.txt", std::process::id()));
+        // 384³ batched tensors are ~9 MiB each: a 1 MiB device cannot hold
+        // a single working set, so the replay reports MICCO-E001
+        let wl = "--vector-size 4 --tensor-size 384 --vectors 1 --seed 3";
+        run(&format!("plan {wl} --gpus 2 --out {}", plan_path.display())).unwrap();
+        let err = run(&format!(
+            "lint {wl} --plan {} --mem-mib 1",
+            plan_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("lint failed"), "{err}");
+        // a different workload geometry ⇒ fingerprint mismatch ⇒ denied
+        let err = run(&format!(
+            "lint --vector-size 4 --tensor-size 128 --vectors 1 --seed 3 --plan {}",
+            plan_path.display()
+        ))
+        .unwrap_err();
+        assert!(err.contains("lint failed"), "{err}");
+        let _ = std::fs::remove_file(plan_path);
     }
 
     #[test]

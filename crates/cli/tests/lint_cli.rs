@@ -1,0 +1,111 @@
+//! End-to-end tests of the `micco lint` command against the checked-in
+//! golden fixtures: exit codes, JSON and SARIF payloads, and coordinate
+//! anchoring — the same invocation CI runs.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixtures() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures")
+}
+
+/// The flags that rebuild the golden workload (mirrors how the fixture was
+/// generated; `--load` keeps this independent of the generator defaults).
+fn workload_args(cmd: &mut Command) {
+    cmd.arg("--load")
+        .arg(fixtures().join("golden_workload.txt"));
+}
+
+fn lint(extra: &[&str], plan: &str) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_micco"));
+    cmd.arg("lint").arg("--plan").arg(plan);
+    workload_args(&mut cmd);
+    cmd.args(extra);
+    cmd.output().expect("spawn micco")
+}
+
+fn golden_plan() -> String {
+    fixtures()
+        .join("golden_plan.txt")
+        .to_string_lossy()
+        .into_owned()
+}
+
+#[test]
+fn golden_plan_lints_clean_in_every_format() {
+    for format in ["text", "json", "sarif"] {
+        let out = lint(&["--format", format, "--deny", "warn"], &golden_plan());
+        assert!(
+            out.status.success(),
+            "format {format}: {}{}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let out = lint(&["--format", "json", "--deny", "warn"], &golden_plan());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"diagnostics\":[]"), "{stdout}");
+}
+
+#[test]
+fn corrupted_plan_fails_with_e002_and_line_anchor() {
+    let text = std::fs::read_to_string(golden_plan()).expect("fixture");
+    // point the first assignment at a device far outside the plan's grid
+    let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+    let (lineno, line) = lines
+        .iter_mut()
+        .enumerate()
+        .find(|(_, l)| l.starts_with("assign "))
+        .expect("plan has assignments");
+    let task = line.split_whitespace().nth(1).expect("task id").to_owned();
+    *line = format!("assign {task} 99");
+    let corrupted = std::env::temp_dir().join(format!("micco-lint-e2e-{}.txt", std::process::id()));
+    std::fs::write(&corrupted, lines.join("\n") + "\n").expect("write temp plan");
+    let path = corrupted.to_string_lossy().into_owned();
+
+    let out = lint(&["--format", "json"], &path);
+    assert!(!out.status.success(), "corrupted plan must be denied");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"code\":\"MICCO-E002\""), "{json}");
+    assert!(json.contains("\"stage\":0,\"index\":0"), "{json}");
+    assert!(json.contains(&format!("\"task\":{task}")), "{json}");
+    assert!(json.contains("\"gpu\":99"), "{json}");
+    assert!(json.contains(&format!("\"line\":{}", lineno + 1)), "{json}");
+
+    let out = lint(&["--format", "sarif"], &path);
+    assert!(!out.status.success());
+    let sarif = String::from_utf8_lossy(&out.stdout);
+    assert!(sarif.contains("\"ruleId\":\"MICCO-E002\""), "{sarif}");
+    assert!(sarif.contains("\"level\":\"error\""), "{sarif}");
+    assert!(
+        sarif.contains(&format!("\"startLine\":{}", lineno + 1)),
+        "{sarif}"
+    );
+    // the artifact URI is the plan path the user passed
+    assert!(sarif.contains("micco-lint-e2e"), "{sarif}");
+
+    let _ = std::fs::remove_file(corrupted);
+}
+
+#[test]
+fn shrunken_memory_reports_e001_with_coordinates() {
+    // 96³ batched tensors are ~576 KiB each; a 1 MiB device cannot hold a
+    // 3-tensor working set, so every placement trips MICCO-E001
+    let out = lint(&["--format", "json", "--mem-mib", "1"], &golden_plan());
+    assert!(!out.status.success(), "capacity violation must be denied");
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"code\":\"MICCO-E001\""), "{json}");
+    assert!(
+        json.contains("\"stage\":0,\"index\":0,\"task\":0"),
+        "{json}"
+    );
+    let out = lint(&["--format", "sarif", "--mem-mib", "1"], &golden_plan());
+    assert!(!out.status.success());
+    let sarif = String::from_utf8_lossy(&out.stdout);
+    assert!(sarif.contains("\"ruleId\":\"MICCO-E001\""), "{sarif}");
+
+    // the same gate is reachable as an exit code alone: text format
+    let out = lint(&["--mem-mib", "1"], &golden_plan());
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("MICCO-E001"));
+}

@@ -25,10 +25,12 @@
 //!   intermediates, gated by a node-level reuse bound) followed by the
 //!   standard intra-node MICCO heuristic on the chosen node.
 
+pub mod analysis;
 pub mod cluster;
 pub mod hierarchical;
 pub mod plan;
 
+pub use analysis::{analyze_cluster_plan, analyze_cluster_plan_with, ClusterAnalysis};
 pub use cluster::{
     ClusterConfig, ClusterReport, ClusterSim, ClusterView, NodeId, NodeMachine, ShadowCluster,
     SimCluster,

@@ -37,7 +37,7 @@ pub mod trace;
 pub use cost::{CostModel, MachineConfig};
 pub use machine::{build_oracle, DeviceView, ExecError, GpuId, MachineView, SimMachine};
 pub use memory::{DeviceMemory, EvictionPolicy, Provenance};
-pub use shadow::ShadowMachine;
+pub use shadow::{ExecObserver, NullObserver, ShadowMachine};
 pub use stats::{ExecStats, GpuStats};
 pub use trace::{Event, Trace};
 

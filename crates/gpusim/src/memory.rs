@@ -416,6 +416,99 @@ mod tests {
     }
 
     #[test]
+    fn all_pinned_device_rejects_any_allocation() {
+        let mut m = mem(100, EvictionPolicy::Lru);
+        m.allocate(tid(1), 60, Provenance::HostBacked).unwrap(); // pinned
+        m.allocate(tid(2), 40, Provenance::DeviceCreated).unwrap(); // pinned
+                                                                    // fully pinned and fully occupied: nothing can be evicted
+        let err = m.allocate(tid(3), 1, Provenance::HostBacked).unwrap_err();
+        assert_eq!(
+            err,
+            AllocError::WontFit {
+                requested: 1,
+                capacity: 100
+            }
+        );
+        assert_eq!(m.resident_count(), 2, "failed alloc must not evict");
+        assert_eq!(m.used(), 100);
+        // unpinning one makes the same request succeed
+        m.set_pinned(tid(2), false);
+        let ev = m.allocate(tid(3), 1, Provenance::HostBacked).unwrap();
+        assert_eq!(ev[0].id, tid(2));
+        assert!(ev[0].writeback, "device-created victim pays a write-back");
+    }
+
+    #[test]
+    fn zero_capacity_device_rejects_everything_but_stays_consistent() {
+        let mut m = mem(0, EvictionPolicy::Lru);
+        assert_eq!((m.capacity(), m.free(), m.used()), (0, 0, 0));
+        for bytes in [1u64, 100] {
+            assert_eq!(
+                m.allocate(tid(1), bytes, Provenance::HostBacked),
+                Err(AllocError::WontFit {
+                    requested: bytes,
+                    capacity: 0
+                })
+            );
+        }
+        assert_eq!(m.resident_count(), 0);
+        assert!(!m.discard(tid(1)));
+        // zero-byte allocations are degenerate but must not corrupt state
+        assert!(m.allocate(tid(2), 0, Provenance::HostBacked).is_ok());
+        assert!(m.holds(tid(2)));
+        assert_eq!(m.used(), 0);
+    }
+
+    #[test]
+    fn clairvoyant_prefers_furthest_next_use() {
+        let mut m = mem(100, EvictionPolicy::Clairvoyant);
+        alloc_unpinned(&mut m, 1, 40);
+        alloc_unpinned(&mut m, 2, 40);
+        m.set_next_use(tid(1), 5);
+        m.set_next_use(tid(2), 50); // used furthest in the future
+        let ev = alloc_unpinned(&mut m, 3, 40);
+        assert_eq!(ev[0].id, tid(2));
+        // a never-again tensor (the default MAX) loses to any finite use
+        m.set_next_use(tid(1), 5);
+        let ev = alloc_unpinned(&mut m, 4, 40);
+        assert_eq!(ev[0].id, tid(3), "tensor 3 has next_use = MAX");
+    }
+
+    #[test]
+    fn set_next_use_is_policy_neutral_for_non_clairvoyant() {
+        // feeding oracle positions must not perturb LRU/FIFO ordering
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Fifo] {
+            let mut m = mem(100, policy);
+            alloc_unpinned(&mut m, 1, 40);
+            alloc_unpinned(&mut m, 2, 40);
+            m.touch(tid(1)); // tensor 2 is LRU; tensor 1 is FIFO-oldest
+            m.set_next_use(tid(1), 1000);
+            m.set_next_use(tid(2), 1);
+            let ev = alloc_unpinned(&mut m, 3, 40);
+            let expected = match policy {
+                EvictionPolicy::Lru => tid(2),
+                _ => tid(1),
+            };
+            assert_eq!(ev[0].id, expected, "{policy:?}");
+        }
+        // no-op on absent tensors
+        let mut m = mem(10, EvictionPolicy::Clairvoyant);
+        m.set_next_use(tid(9), 3);
+        assert_eq!(m.resident_count(), 0);
+    }
+
+    #[test]
+    fn discard_non_resident_is_a_clean_no_op() {
+        let mut m = mem(100, EvictionPolicy::Lru);
+        alloc_unpinned(&mut m, 1, 40);
+        assert!(!m.discard(tid(2)), "absent id");
+        assert_eq!((m.used(), m.resident_count()), (40, 1));
+        assert!(m.discard(tid(1)));
+        assert!(!m.discard(tid(1)), "double discard");
+        assert_eq!((m.used(), m.resident_count()), (0, 0));
+    }
+
+    #[test]
     fn alloc_error_display() {
         let e = AllocError::WontFit {
             requested: 5,

@@ -9,10 +9,11 @@
 //!
 //! [`crate::SimMachine`] is a thin observing wrapper over this type: it
 //! delegates every state transition here and layers statistics/tracing on
-//! top through the crate-internal `ExecObserver` hooks. Sharing the
-//! transition function
+//! top through the [`ExecObserver`] hooks. Sharing the transition function
 //! (rather than duplicating it) is what makes the planned and the
-//! interleaved paths agree bit-for-bit.
+//! interleaved paths agree bit-for-bit. The same hooks are public so
+//! offline tools (the `micco-analysis` plan linter) can replay placements
+//! and watch transfers/evictions without any stats machinery.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -26,19 +27,34 @@ use crate::memory::{DeviceMemory, Provenance};
 /// exact points the original interleaved simulator recorded statistics and
 /// trace events. All methods default to no-ops, so the pure decide path
 /// costs nothing.
-pub(crate) trait ExecObserver {
+///
+/// This trait is public so pure consumers — the statistics layer inside
+/// this crate, but also offline tools like the `micco-analysis` plan
+/// linter — can replay placements through the one shared state-transition
+/// function and watch every transfer and eviction without any stats
+/// machinery.
+pub trait ExecObserver {
+    /// An operand of the task was already resident on the executing device.
     fn reuse_hit(&mut self, _gpu: GpuId, _tensor: TensorId) {}
+    /// A buffer was allocated on `gpu` (operand staging or output).
     fn alloc(&mut self, _gpu: GpuId) {}
+    /// `bytes` of `tensor` were copied host → `gpu`.
     fn h2d(&mut self, _gpu: GpuId, _tensor: TensorId, _bytes: u64) {}
+    /// `bytes` of `tensor` were copied peer `src` → `dst`.
     fn d2d(&mut self, _src: GpuId, _dst: GpuId, _tensor: TensorId, _bytes: u64) {}
+    /// A peer copy occupied `src`'s memory controller for `secs`.
     fn source_charge(&mut self, _src: GpuId, _secs: f64) {}
+    /// `tensor` was evicted from `gpu` (`writeback` when device-created
+    /// data had to be written back to the host).
     fn evict(&mut self, _gpu: GpuId, _tensor: TensorId, _writeback: bool, _bytes: u64) {}
+    /// The contraction kernel of `task` ran for `secs` on `gpu`.
     fn kernel(&mut self, _gpu: GpuId, _task: TaskId, _secs: f64) {}
+    /// The task finished; totals for the whole execute call.
     fn task_done(&mut self, _gpu: GpuId, _flops: u64, _compute_secs: f64, _mem_secs: f64) {}
 }
 
 /// The no-op observer used by the pure decide path.
-pub(crate) struct NullObserver;
+pub struct NullObserver;
 
 impl ExecObserver for NullObserver {}
 
@@ -209,7 +225,7 @@ impl ShadowMachine {
     /// reporting every observable effect (transfers, evictions, kernel,
     /// totals) to `obs` at the same points the original interleaved
     /// simulator recorded them.
-    pub(crate) fn execute_observed(
+    pub fn execute_observed(
         &mut self,
         task: &ContractionTask,
         gpu: GpuId,
@@ -423,6 +439,31 @@ impl ShadowMachine {
     /// Number of tensors resident on device `g`.
     pub fn resident_count(&self, g: GpuId) -> usize {
         self.gpus[g.0].mem.resident_count()
+    }
+
+    /// Read-only access to device `g`'s memory map (residency, occupancy,
+    /// pinning). Offline analyzers use this to inspect the residency state
+    /// the replay produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `g` is out of range; guard with
+    /// [`MachineView::num_gpus`].
+    pub fn memory(&self, g: GpuId) -> &DeviceMemory {
+        &self.gpus[g.0].mem
+    }
+
+    /// Mutable access to device `g`'s memory map. An analyzer that keeps
+    /// replaying after an [`ExecError::OutOfMemory`] uses this to unpin the
+    /// operands the failed task left staged, restoring the pre-task
+    /// eviction surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `g` is out of range; guard with
+    /// [`MachineView::num_gpus`].
+    pub fn memory_mut(&mut self, g: GpuId) -> &mut DeviceMemory {
+        &mut self.gpus[g.0].mem
     }
 }
 

@@ -1,5 +1,9 @@
 //! Property-based tests of graph contraction planning and staging.
 
+// Strategy closures unwrap freely (clippy's allow-unwrap-in-tests only
+// covers `#[test]` bodies, not helper functions in integration-test files).
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 
 use std::collections::{HashMap, HashSet};

@@ -30,6 +30,21 @@ EXT_BINS=(
 echo "== building =="
 cargo build --release -p micco-bench
 
+# Fail loudly before running anything if a binary did not build: a missing
+# target would otherwise surface as a confusing mid-run cargo error after
+# minutes of experiments.
+missing=0
+for b in "${PAPER_BINS[@]}" "${EXT_BINS[@]}"; do
+  if [[ ! -x "target/release/$b" ]]; then
+    echo "error: expected experiment binary target/release/$b is missing" >&2
+    missing=1
+  fi
+done
+if [[ "$missing" -ne 0 ]]; then
+  echo "error: build did not produce every experiment binary; aborting" >&2
+  exit 1
+fi
+
 for b in "${PAPER_BINS[@]}" "${EXT_BINS[@]}"; do
   echo "== $b =="
   cargo run --release -q -p micco-bench --bin "$b" | tee "results/$b.txt"

@@ -18,6 +18,7 @@
 //! * [`redstar`] — the Redstar-like correlation-function front end
 //! * [`cluster`] — the multi-node extension (the paper's future work)
 //! * [`exec`] — multi-threaded CPU execution engine (real kernels)
+//! * [`analysis`] — static plan verifier / lint engine over the plan IR
 //!
 //! ## Quickstart
 //!
@@ -63,6 +64,7 @@
 //! assert_eq!(report.assignments.len(), plan.total_tasks());
 //! ```
 
+pub use micco_analysis as analysis;
 pub use micco_cluster as cluster;
 pub use micco_core as sched;
 pub use micco_exec as exec;
@@ -75,6 +77,10 @@ pub use micco_workload as workload;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
+    pub use micco_analysis::{
+        analyze_plan, analyze_plan_with, AnalysisConfig, Code as LintCode, Report as LintReport,
+        Severity as LintSeverity,
+    };
     pub use micco_core::{
         execute_plan, plan_schedule, plan_schedule_with, run_schedule, run_schedule_with,
         Assignment, DriverOptions, GrouteScheduler, MiccoScheduler, PlanCache, ReuseBounds,

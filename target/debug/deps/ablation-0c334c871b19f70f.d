@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ablation-0c334c871b19f70f.d: /root/repo/clippy.toml crates/bench/benches/ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation-0c334c871b19f70f.rmeta: /root/repo/clippy.toml crates/bench/benches/ablation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/algebra_properties-fcb9a5c86a08e7d6.d: crates/tensor/tests/algebra_properties.rs Cargo.toml
+/root/repo/target/debug/deps/algebra_properties-fcb9a5c86a08e7d6.d: /root/repo/clippy.toml crates/tensor/tests/algebra_properties.rs Cargo.toml
 
-/root/repo/target/debug/deps/libalgebra_properties-fcb9a5c86a08e7d6.rmeta: crates/tensor/tests/algebra_properties.rs Cargo.toml
+/root/repo/target/debug/deps/libalgebra_properties-fcb9a5c86a08e7d6.rmeta: /root/repo/clippy.toml crates/tensor/tests/algebra_properties.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/tensor/tests/algebra_properties.rs:
 Cargo.toml:
 

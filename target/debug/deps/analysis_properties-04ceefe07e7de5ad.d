@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/analysis_properties-04ceefe07e7de5ad.d: /root/repo/clippy.toml tests/analysis_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libanalysis_properties-04ceefe07e7de5ad.rmeta: /root/repo/clippy.toml tests/analysis_properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/analysis_properties.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/analysis_properties-566177ef1f0dd809.d: tests/analysis_properties.rs
+
+/root/repo/target/debug/deps/analysis_properties-566177ef1f0dd809: tests/analysis_properties.rs
+
+tests/analysis_properties.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo

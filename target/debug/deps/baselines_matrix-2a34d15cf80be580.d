@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines_matrix-2a34d15cf80be580.d: crates/bench/src/bin/baselines_matrix.rs
+
+/root/repo/target/debug/deps/baselines_matrix-2a34d15cf80be580: crates/bench/src/bin/baselines_matrix.rs
+
+crates/bench/src/bin/baselines_matrix.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baselines_matrix-eab43ae070f3ae6b.d: /root/repo/clippy.toml crates/bench/src/bin/baselines_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_matrix-eab43ae070f3ae6b.rmeta: /root/repo/clippy.toml crates/bench/src/bin/baselines_matrix.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/baselines_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

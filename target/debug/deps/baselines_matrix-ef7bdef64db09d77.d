@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/baselines_matrix-ef7bdef64db09d77.d: /root/repo/clippy.toml crates/bench/src/bin/baselines_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines_matrix-ef7bdef64db09d77.rmeta: /root/repo/clippy.toml crates/bench/src/bin/baselines_matrix.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/baselines_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

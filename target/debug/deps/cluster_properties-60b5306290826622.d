@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_properties-60b5306290826622.d: crates/cluster/tests/cluster_properties.rs
+
+/root/repo/target/debug/deps/cluster_properties-60b5306290826622: crates/cluster/tests/cluster_properties.rs
+
+crates/cluster/tests/cluster_properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cluster_properties-72a5ee729fc623fe.d: /root/repo/clippy.toml crates/cluster/tests/cluster_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_properties-72a5ee729fc623fe.rmeta: /root/repo/clippy.toml crates/cluster/tests/cluster_properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/cluster/tests/cluster_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cost_sensitivity-527fb677def0901a.d: /root/repo/clippy.toml tests/cost_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcost_sensitivity-527fb677def0901a.rmeta: /root/repo/clippy.toml tests/cost_sensitivity.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/cost_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

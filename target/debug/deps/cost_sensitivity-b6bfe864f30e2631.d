@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cost_sensitivity-b6bfe864f30e2631.d: tests/cost_sensitivity.rs
+
+/root/repo/target/debug/deps/cost_sensitivity-b6bfe864f30e2631: tests/cost_sensitivity.rs
+
+tests/cost_sensitivity.rs:

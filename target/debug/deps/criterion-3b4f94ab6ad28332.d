@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/criterion-3b4f94ab6ad28332.d: crates/shims/criterion/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/criterion-3b4f94ab6ad28332.d: /root/repo/clippy.toml crates/shims/criterion/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcriterion-3b4f94ab6ad28332.rmeta: crates/shims/criterion/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libcriterion-3b4f94ab6ad28332.rmeta: /root/repo/clippy.toml crates/shims/criterion/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/criterion/src/lib.rs:
 Cargo.toml:
 

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/criterion-da128c7702728a97.d: crates/shims/criterion/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/criterion-da128c7702728a97.d: /root/repo/clippy.toml crates/shims/criterion/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcriterion-da128c7702728a97.rmeta: crates/shims/criterion/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libcriterion-da128c7702728a97.rmeta: /root/repo/clippy.toml crates/shims/criterion/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/criterion/src/lib.rs:
 Cargo.toml:
 

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/crossbeam-1cc541437e81b3c3.d: crates/shims/crossbeam/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/crossbeam-1cc541437e81b3c3.d: /root/repo/clippy.toml crates/shims/crossbeam/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcrossbeam-1cc541437e81b3c3.rmeta: crates/shims/crossbeam/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libcrossbeam-1cc541437e81b3c3.rmeta: /root/repo/clippy.toml crates/shims/crossbeam/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/crossbeam/src/lib.rs:
 Cargo.toml:
 

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/crossbeam-ad4a71058d65350f.d: crates/shims/crossbeam/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/crossbeam-ad4a71058d65350f.d: /root/repo/clippy.toml crates/shims/crossbeam/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/libcrossbeam-ad4a71058d65350f.rmeta: crates/shims/crossbeam/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libcrossbeam-ad4a71058d65350f.rmeta: /root/repo/clippy.toml crates/shims/crossbeam/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/crossbeam/src/lib.rs:
 Cargo.toml:
 

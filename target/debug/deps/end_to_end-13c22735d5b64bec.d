@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-13c22735d5b64bec.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-13c22735d5b64bec: tests/end_to_end.rs
+
+tests/end_to_end.rs:

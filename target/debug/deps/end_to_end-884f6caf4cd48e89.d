@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/end_to_end-884f6caf4cd48e89.d: /root/repo/clippy.toml tests/end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end-884f6caf4cd48e89.rmeta: /root/repo/clippy.toml tests/end_to_end.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exec-aaf8590052e5970f.d: /root/repo/clippy.toml crates/bench/benches/exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec-aaf8590052e5970f.rmeta: /root/repo/clippy.toml crates/bench/benches/exec.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/exec_conformance-181e30dd088f9d42.d: /root/repo/clippy.toml tests/exec_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec_conformance-181e30dd088f9d42.rmeta: /root/repo/clippy.toml tests/exec_conformance.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/exec_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

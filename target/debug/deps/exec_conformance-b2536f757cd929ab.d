@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_conformance-b2536f757cd929ab.d: tests/exec_conformance.rs
+
+/root/repo/target/debug/deps/exec_conformance-b2536f757cd929ab: tests/exec_conformance.rs
+
+tests/exec_conformance.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ext_async_copy-14ae7634931629ef.d: /root/repo/clippy.toml crates/bench/src/bin/ext_async_copy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_async_copy-14ae7634931629ef.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ext_async_copy.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ext_async_copy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

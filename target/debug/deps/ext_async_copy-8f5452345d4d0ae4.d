@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ext_async_copy-8f5452345d4d0ae4.d: /root/repo/clippy.toml crates/bench/src/bin/ext_async_copy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_async_copy-8f5452345d4d0ae4.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ext_async_copy.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ext_async_copy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_async_copy-a6e1c0491892ce58.d: crates/bench/src/bin/ext_async_copy.rs
+
+/root/repo/target/debug/deps/ext_async_copy-a6e1c0491892ce58: crates/bench/src/bin/ext_async_copy.rs
+
+crates/bench/src/bin/ext_async_copy.rs:

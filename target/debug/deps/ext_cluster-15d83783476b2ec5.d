@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ext_cluster-15d83783476b2ec5.d: /root/repo/clippy.toml crates/bench/src/bin/ext_cluster.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_cluster-15d83783476b2ec5.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ext_cluster.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ext_cluster.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

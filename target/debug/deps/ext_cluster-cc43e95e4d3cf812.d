@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_cluster-cc43e95e4d3cf812.d: crates/bench/src/bin/ext_cluster.rs
+
+/root/repo/target/debug/deps/ext_cluster-cc43e95e4d3cf812: crates/bench/src/bin/ext_cluster.rs
+
+crates/bench/src/bin/ext_cluster.rs:

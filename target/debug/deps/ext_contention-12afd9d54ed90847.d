@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ext_contention-12afd9d54ed90847.d: /root/repo/clippy.toml crates/bench/src/bin/ext_contention.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_contention-12afd9d54ed90847.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ext_contention.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ext_contention.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

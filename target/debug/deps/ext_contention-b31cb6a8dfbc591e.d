@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_contention-b31cb6a8dfbc591e.d: crates/bench/src/bin/ext_contention.rs
+
+/root/repo/target/debug/deps/ext_contention-b31cb6a8dfbc591e: crates/bench/src/bin/ext_contention.rs
+
+crates/bench/src/bin/ext_contention.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ext_job-1d3117778dcccf6f.d: /root/repo/clippy.toml crates/bench/src/bin/ext_job.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_job-1d3117778dcccf6f.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ext_job.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ext_job.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

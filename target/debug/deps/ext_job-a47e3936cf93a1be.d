@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_job-a47e3936cf93a1be.d: crates/bench/src/bin/ext_job.rs
+
+/root/repo/target/debug/deps/ext_job-a47e3936cf93a1be: crates/bench/src/bin/ext_job.rs
+
+crates/bench/src/bin/ext_job.rs:

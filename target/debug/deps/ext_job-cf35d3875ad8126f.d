@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ext_job-cf35d3875ad8126f.d: /root/repo/clippy.toml crates/bench/src/bin/ext_job.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_job-cf35d3875ad8126f.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ext_job.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ext_job.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_planner-32c99503cfc48e3d.d: crates/bench/src/bin/ext_planner.rs
+
+/root/repo/target/debug/deps/ext_planner-32c99503cfc48e3d: crates/bench/src/bin/ext_planner.rs
+
+crates/bench/src/bin/ext_planner.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ext_planner-967499fe14a059a1.d: /root/repo/clippy.toml crates/bench/src/bin/ext_planner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_planner-967499fe14a059a1.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ext_planner.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ext_planner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ext_reordering-dba962e42877fe0b.d: crates/bench/src/bin/ext_reordering.rs
+
+/root/repo/target/debug/deps/ext_reordering-dba962e42877fe0b: crates/bench/src/bin/ext_reordering.rs
+
+crates/bench/src/bin/ext_reordering.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ext_reordering-ee2d2e1d3f0f034e.d: /root/repo/clippy.toml crates/bench/src/bin/ext_reordering.rs Cargo.toml
+
+/root/repo/target/debug/deps/libext_reordering-ee2d2e1d3f0f034e.rmeta: /root/repo/clippy.toml crates/bench/src/bin/ext_reordering.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/ext_reordering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

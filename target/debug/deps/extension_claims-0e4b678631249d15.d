@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_claims-0e4b678631249d15.d: tests/extension_claims.rs
+
+/root/repo/target/debug/deps/extension_claims-0e4b678631249d15: tests/extension_claims.rs
+
+tests/extension_claims.rs:

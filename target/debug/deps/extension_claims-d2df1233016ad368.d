@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/extension_claims-d2df1233016ad368.d: /root/repo/clippy.toml tests/extension_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_claims-d2df1233016ad368.rmeta: /root/repo/clippy.toml tests/extension_claims.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/extension_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_tensor_size-83a8b965acdd1721.d: crates/bench/src/bin/fig10_tensor_size.rs
+
+/root/repo/target/debug/deps/fig10_tensor_size-83a8b965acdd1721: crates/bench/src/bin/fig10_tensor_size.rs
+
+crates/bench/src/bin/fig10_tensor_size.rs:

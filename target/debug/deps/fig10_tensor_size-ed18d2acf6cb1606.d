@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig10_tensor_size-ed18d2acf6cb1606.d: /root/repo/clippy.toml crates/bench/src/bin/fig10_tensor_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_tensor_size-ed18d2acf6cb1606.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig10_tensor_size.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig10_tensor_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

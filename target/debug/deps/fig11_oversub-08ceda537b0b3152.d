@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_oversub-08ceda537b0b3152.d: crates/bench/src/bin/fig11_oversub.rs
+
+/root/repo/target/debug/deps/fig11_oversub-08ceda537b0b3152: crates/bench/src/bin/fig11_oversub.rs
+
+crates/bench/src/bin/fig11_oversub.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig11_oversub-bbd4e462d4d7952f.d: /root/repo/clippy.toml crates/bench/src/bin/fig11_oversub.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_oversub-bbd4e462d4d7952f.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig11_oversub.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig11_oversub.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

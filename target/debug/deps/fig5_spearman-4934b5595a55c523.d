@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig5_spearman-4934b5595a55c523.d: /root/repo/clippy.toml crates/bench/src/bin/fig5_spearman.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_spearman-4934b5595a55c523.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig5_spearman.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig5_spearman.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

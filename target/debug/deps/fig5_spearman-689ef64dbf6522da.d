@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_spearman-689ef64dbf6522da.d: crates/bench/src/bin/fig5_spearman.rs
+
+/root/repo/target/debug/deps/fig5_spearman-689ef64dbf6522da: crates/bench/src/bin/fig5_spearman.rs
+
+crates/bench/src/bin/fig5_spearman.rs:

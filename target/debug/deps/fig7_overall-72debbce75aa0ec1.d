@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_overall-72debbce75aa0ec1.d: crates/bench/src/bin/fig7_overall.rs
+
+/root/repo/target/debug/deps/fig7_overall-72debbce75aa0ec1: crates/bench/src/bin/fig7_overall.rs
+
+crates/bench/src/bin/fig7_overall.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig7_overall-7eaacb67d3bf7c26.d: /root/repo/clippy.toml crates/bench/src/bin/fig7_overall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_overall-7eaacb67d3bf7c26.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig7_overall.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig7_overall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_bounds-4a8bf0e59be8afaa.d: crates/bench/src/bin/fig8_bounds.rs
+
+/root/repo/target/debug/deps/fig8_bounds-4a8bf0e59be8afaa: crates/bench/src/bin/fig8_bounds.rs
+
+crates/bench/src/bin/fig8_bounds.rs:

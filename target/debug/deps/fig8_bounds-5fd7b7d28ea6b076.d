@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig8_bounds-5fd7b7d28ea6b076.d: /root/repo/clippy.toml crates/bench/src/bin/fig8_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_bounds-5fd7b7d28ea6b076.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig8_bounds.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig8_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig9_scalability-4b31631e480a9ce6.d: /root/repo/clippy.toml crates/bench/src/bin/fig9_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_scalability-4b31631e480a9ce6.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig9_scalability.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig9_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_scalability-a103cc4e70cec722.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/debug/deps/fig9_scalability-a103cc4e70cec722: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

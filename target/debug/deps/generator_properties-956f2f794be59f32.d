@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/generator_properties-956f2f794be59f32.d: crates/workload/tests/generator_properties.rs Cargo.toml
+/root/repo/target/debug/deps/generator_properties-956f2f794be59f32.d: /root/repo/clippy.toml crates/workload/tests/generator_properties.rs Cargo.toml
 
-/root/repo/target/debug/deps/libgenerator_properties-956f2f794be59f32.rmeta: crates/workload/tests/generator_properties.rs Cargo.toml
+/root/repo/target/debug/deps/libgenerator_properties-956f2f794be59f32.rmeta: /root/repo/clippy.toml crates/workload/tests/generator_properties.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/workload/tests/generator_properties.rs:
 Cargo.toml:
 

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/kernels-5eb505cf1cd49c94.d: /root/repo/clippy.toml crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-5eb505cf1cd49c94.rmeta: /root/repo/clippy.toml crates/bench/benches/kernels.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lint_cli-02b4266183480fd1.d: /root/repo/clippy.toml crates/cli/tests/lint_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_cli-02b4266183480fd1.rmeta: /root/repo/clippy.toml crates/cli/tests/lint_cli.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/cli/tests/lint_cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_micco=placeholder:micco
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/cli
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

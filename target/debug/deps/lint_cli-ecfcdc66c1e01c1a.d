@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lint_cli-ecfcdc66c1e01c1a.d: crates/cli/tests/lint_cli.rs
+
+/root/repo/target/debug/deps/lint_cli-ecfcdc66c1e01c1a: crates/cli/tests/lint_cli.rs
+
+crates/cli/tests/lint_cli.rs:
+
+# env-dep:CARGO_BIN_EXE_micco=/root/repo/target/debug/micco
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/cli

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/memory_properties-c680e6d44a894d2c.d: crates/gpusim/tests/memory_properties.rs Cargo.toml
+/root/repo/target/debug/deps/memory_properties-c680e6d44a894d2c.d: /root/repo/clippy.toml crates/gpusim/tests/memory_properties.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmemory_properties-c680e6d44a894d2c.rmeta: crates/gpusim/tests/memory_properties.rs Cargo.toml
+/root/repo/target/debug/deps/libmemory_properties-c680e6d44a894d2c.rmeta: /root/repo/clippy.toml crates/gpusim/tests/memory_properties.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/gpusim/tests/memory_properties.rs:
 Cargo.toml:
 

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/micco-51782b422668845b.d: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+/root/repo/target/debug/deps/micco-51782b422668845b: crates/cli/src/main.rs crates/cli/src/args.rs crates/cli/src/commands.rs
+
+crates/cli/src/main.rs:
+crates/cli/src/args.rs:
+crates/cli/src/commands.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micco-5d9db8b40730a02d.d: src/lib.rs
+
+/root/repo/target/debug/deps/micco-5d9db8b40730a02d: src/lib.rs
+
+src/lib.rs:

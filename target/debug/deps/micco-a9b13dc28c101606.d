@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/micco-a9b13dc28c101606.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmicco-a9b13dc28c101606.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmicco-a9b13dc28c101606.rmeta: src/lib.rs
+
+src/lib.rs:

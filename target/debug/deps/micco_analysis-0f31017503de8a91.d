@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/micco_analysis-0f31017503de8a91.d: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs
+
+/root/repo/target/debug/deps/micco_analysis-0f31017503de8a91: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/render.rs:

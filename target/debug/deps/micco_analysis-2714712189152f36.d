@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/micco_analysis-2714712189152f36.d: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs
+
+/root/repo/target/debug/deps/libmicco_analysis-2714712189152f36.rmeta: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/render.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/micco_analysis-6e880298c3f30ce4.d: /root/repo/clippy.toml crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicco_analysis-6e880298c3f30ce4.rmeta: /root/repo/clippy.toml crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/analysis/src/lib.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/micco_analysis-edbc113f8abec0f0.d: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs
+
+/root/repo/target/debug/deps/libmicco_analysis-edbc113f8abec0f0.rlib: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs
+
+/root/repo/target/debug/deps/libmicco_analysis-edbc113f8abec0f0.rmeta: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/render.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/micco_bench-14a9925ce0f42840.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmicco_bench-14a9925ce0f42840.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

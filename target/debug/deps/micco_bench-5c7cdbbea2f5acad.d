@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/micco_bench-5c7cdbbea2f5acad.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmicco_bench-5c7cdbbea2f5acad.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libmicco_bench-5c7cdbbea2f5acad.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/micco_bench-8b5da34abac4262b.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicco_bench-8b5da34abac4262b.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

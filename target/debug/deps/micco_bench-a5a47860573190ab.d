@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/micco_bench-a5a47860573190ab.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/micco_bench-a5a47860573190ab: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/micco_bench-c301dcdd963f1b83.d: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicco_bench-c301dcdd963f1b83.rmeta: /root/repo/clippy.toml crates/bench/src/lib.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

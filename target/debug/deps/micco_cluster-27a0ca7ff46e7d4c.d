@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micco_cluster-27a0ca7ff46e7d4c.d: crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+/root/repo/target/debug/deps/micco_cluster-27a0ca7ff46e7d4c: crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/analysis.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/hierarchical.rs:
+crates/cluster/src/plan.rs:

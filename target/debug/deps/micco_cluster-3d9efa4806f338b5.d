@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micco_cluster-3d9efa4806f338b5.d: crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+/root/repo/target/debug/deps/libmicco_cluster-3d9efa4806f338b5.rmeta: crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/analysis.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/hierarchical.rs:
+crates/cluster/src/plan.rs:

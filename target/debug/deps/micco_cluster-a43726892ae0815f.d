@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/micco_cluster-a43726892ae0815f.d: crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+/root/repo/target/debug/deps/libmicco_cluster-a43726892ae0815f.rlib: crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+/root/repo/target/debug/deps/libmicco_cluster-a43726892ae0815f.rmeta: crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/analysis.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/hierarchical.rs:
+crates/cluster/src/plan.rs:

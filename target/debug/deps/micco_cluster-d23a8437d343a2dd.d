@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/micco_cluster-d23a8437d343a2dd.d: /root/repo/clippy.toml crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicco_cluster-d23a8437d343a2dd.rmeta: /root/repo/clippy.toml crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/cluster/src/lib.rs:
+crates/cluster/src/analysis.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/hierarchical.rs:
+crates/cluster/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_core-ca830dfd88be5f5e.d: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/plan.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs Cargo.toml
+/root/repo/target/debug/deps/micco_core-ca830dfd88be5f5e.d: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/plan.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_core-ca830dfd88be5f5e.rmeta: crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/plan.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_core-ca830dfd88be5f5e.rmeta: /root/repo/clippy.toml crates/core/src/lib.rs crates/core/src/baselines.rs crates/core/src/bounds.rs crates/core/src/driver.rs crates/core/src/mapping.rs crates/core/src/micco.rs crates/core/src/model.rs crates/core/src/pattern.rs crates/core/src/plan.rs crates/core/src/reorder.rs crates/core/src/state.rs crates/core/src/tuner.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/core/src/lib.rs:
 crates/core/src/baselines.rs:
 crates/core/src/bounds.rs:

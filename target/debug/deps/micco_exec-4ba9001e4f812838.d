@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_exec-4ba9001e4f812838.d: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/micco_exec-4ba9001e4f812838.d: /root/repo/clippy.toml crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_exec-4ba9001e4f812838.rmeta: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_exec-4ba9001e4f812838.rmeta: /root/repo/clippy.toml crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/exec/src/lib.rs:
 crates/exec/src/engine.rs:
 crates/exec/src/store.rs:

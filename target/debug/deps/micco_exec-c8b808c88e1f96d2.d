@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_exec-c8b808c88e1f96d2.d: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/micco_exec-c8b808c88e1f96d2.d: /root/repo/clippy.toml crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_exec-c8b808c88e1f96d2.rmeta: crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_exec-c8b808c88e1f96d2.rmeta: /root/repo/clippy.toml crates/exec/src/lib.rs crates/exec/src/engine.rs crates/exec/src/store.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/exec/src/lib.rs:
 crates/exec/src/engine.rs:
 crates/exec/src/store.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_gpusim-45b098298c26ddd6.d: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/micco_gpusim-45b098298c26ddd6.d: /root/repo/clippy.toml crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_gpusim-45b098298c26ddd6.rmeta: crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_gpusim-45b098298c26ddd6.rmeta: /root/repo/clippy.toml crates/gpusim/src/lib.rs crates/gpusim/src/cost.rs crates/gpusim/src/machine.rs crates/gpusim/src/memory.rs crates/gpusim/src/shadow.rs crates/gpusim/src/stats.rs crates/gpusim/src/trace.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/gpusim/src/lib.rs:
 crates/gpusim/src/cost.rs:
 crates/gpusim/src/machine.rs:

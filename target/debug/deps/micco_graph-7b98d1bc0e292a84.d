@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_graph-7b98d1bc0e292a84.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs Cargo.toml
+/root/repo/target/debug/deps/micco_graph-7b98d1bc0e292a84.d: /root/repo/clippy.toml crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_graph-7b98d1bc0e292a84.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_graph-7b98d1bc0e292a84.rmeta: /root/repo/clippy.toml crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/graph/src/lib.rs:
 crates/graph/src/graph.rs:
 crates/graph/src/plan.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_graph-c1b6a299a5b1f022.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs Cargo.toml
+/root/repo/target/debug/deps/micco_graph-c1b6a299a5b1f022.d: /root/repo/clippy.toml crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_graph-c1b6a299a5b1f022.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_graph-c1b6a299a5b1f022.rmeta: /root/repo/clippy.toml crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/plan.rs crates/graph/src/shared.rs crates/graph/src/stage.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/graph/src/lib.rs:
 crates/graph/src/graph.rs:
 crates/graph/src/plan.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_ml-2c0d7379398547e1.d: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs Cargo.toml
+/root/repo/target/debug/deps/micco_ml-2c0d7379398547e1.d: /root/repo/clippy.toml crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_ml-2c0d7379398547e1.rmeta: crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_ml-2c0d7379398547e1.rmeta: /root/repo/clippy.toml crates/ml/src/lib.rs crates/ml/src/dataset.rs crates/ml/src/forest.rs crates/ml/src/gbm.rs crates/ml/src/linear.rs crates/ml/src/metrics.rs crates/ml/src/spearman.rs crates/ml/src/tree.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/ml/src/lib.rs:
 crates/ml/src/dataset.rs:
 crates/ml/src/forest.rs:

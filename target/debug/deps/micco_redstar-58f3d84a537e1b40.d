@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_redstar-58f3d84a537e1b40.d: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs Cargo.toml
+/root/repo/target/debug/deps/micco_redstar-58f3d84a537e1b40.d: /root/repo/clippy.toml crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_redstar-58f3d84a537e1b40.rmeta: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_redstar-58f3d84a537e1b40.rmeta: /root/repo/clippy.toml crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/redstar/src/lib.rs:
 crates/redstar/src/numeric.rs:
 crates/redstar/src/operators.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_redstar-96cec4a55be20fd5.d: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs Cargo.toml
+/root/repo/target/debug/deps/micco_redstar-96cec4a55be20fd5.d: /root/repo/clippy.toml crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_redstar-96cec4a55be20fd5.rmeta: crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_redstar-96cec4a55be20fd5.rmeta: /root/repo/clippy.toml crates/redstar/src/lib.rs crates/redstar/src/numeric.rs crates/redstar/src/operators.rs crates/redstar/src/pipeline.rs crates/redstar/src/presets.rs crates/redstar/src/wick.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/redstar/src/lib.rs:
 crates/redstar/src/numeric.rs:
 crates/redstar/src/operators.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_tensor-4ab5ccaeea595347.d: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs Cargo.toml
+/root/repo/target/debug/deps/micco_tensor-4ab5ccaeea595347.d: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_tensor-4ab5ccaeea595347.rmeta: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_tensor-4ab5ccaeea595347.rmeta: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/tensor/src/lib.rs:
 crates/tensor/src/batched.rs:
 crates/tensor/src/complex.rs:

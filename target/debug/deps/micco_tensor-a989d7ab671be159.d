@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_tensor-a989d7ab671be159.d: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs Cargo.toml
+/root/repo/target/debug/deps/micco_tensor-a989d7ab671be159.d: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_tensor-a989d7ab671be159.rmeta: crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_tensor-a989d7ab671be159.rmeta: /root/repo/clippy.toml crates/tensor/src/lib.rs crates/tensor/src/batched.rs crates/tensor/src/complex.rs crates/tensor/src/flops.rs crates/tensor/src/matrix.rs crates/tensor/src/tensor3.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/tensor/src/lib.rs:
 crates/tensor/src/batched.rs:
 crates/tensor/src/complex.rs:

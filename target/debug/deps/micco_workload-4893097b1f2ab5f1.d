@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/micco_workload-4893097b1f2ab5f1.d: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs Cargo.toml
+/root/repo/target/debug/deps/micco_workload-4893097b1f2ab5f1.d: /root/repo/clippy.toml crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmicco_workload-4893097b1f2ab5f1.rmeta: crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs Cargo.toml
+/root/repo/target/debug/deps/libmicco_workload-4893097b1f2ab5f1.rmeta: /root/repo/clippy.toml crates/workload/src/lib.rs crates/workload/src/characteristics.rs crates/workload/src/generator.rs crates/workload/src/serialize.rs crates/workload/src/stats.rs crates/workload/src/task.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/workload/src/lib.rs:
 crates/workload/src/characteristics.rs:
 crates/workload/src/generator.rs:

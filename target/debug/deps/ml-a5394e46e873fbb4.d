@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ml-a5394e46e873fbb4.d: /root/repo/clippy.toml crates/bench/benches/ml.rs Cargo.toml
+
+/root/repo/target/debug/deps/libml-a5394e46e873fbb4.rmeta: /root/repo/clippy.toml crates/bench/benches/ml.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/ml.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_pipeline-0a471c0710da5350.d: tests/model_pipeline.rs
+
+/root/repo/target/debug/deps/model_pipeline-0a471c0710da5350: tests/model_pipeline.rs
+
+tests/model_pipeline.rs:

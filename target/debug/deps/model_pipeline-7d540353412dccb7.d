@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/model_pipeline-7d540353412dccb7.d: /root/repo/clippy.toml tests/model_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_pipeline-7d540353412dccb7.rmeta: /root/repo/clippy.toml tests/model_pipeline.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/model_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

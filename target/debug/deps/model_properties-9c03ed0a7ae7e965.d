@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/model_properties-9c03ed0a7ae7e965.d: crates/ml/tests/model_properties.rs Cargo.toml
+/root/repo/target/debug/deps/model_properties-9c03ed0a7ae7e965.d: /root/repo/clippy.toml crates/ml/tests/model_properties.rs Cargo.toml
 
-/root/repo/target/debug/deps/libmodel_properties-9c03ed0a7ae7e965.rmeta: crates/ml/tests/model_properties.rs Cargo.toml
+/root/repo/target/debug/deps/libmodel_properties-9c03ed0a7ae7e965.rmeta: /root/repo/clippy.toml crates/ml/tests/model_properties.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/ml/tests/model_properties.rs:
 Cargo.toml:
 

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paper_claims-687f8c20c209de3c.d: /root/repo/clippy.toml tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-687f8c20c209de3c.rmeta: /root/repo/clippy.toml tests/paper_claims.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-8830153db1bfaae5.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-8830153db1bfaae5: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/parking_lot-4681cfa3a74552c2.d: crates/shims/parking_lot/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/parking_lot-4681cfa3a74552c2.d: /root/repo/clippy.toml crates/shims/parking_lot/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/libparking_lot-4681cfa3a74552c2.rmeta: crates/shims/parking_lot/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libparking_lot-4681cfa3a74552c2.rmeta: /root/repo/clippy.toml crates/shims/parking_lot/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/parking_lot/src/lib.rs:
 Cargo.toml:
 

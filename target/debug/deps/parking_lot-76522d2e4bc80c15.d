@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/parking_lot-76522d2e4bc80c15.d: crates/shims/parking_lot/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/parking_lot-76522d2e4bc80c15.d: /root/repo/clippy.toml crates/shims/parking_lot/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/libparking_lot-76522d2e4bc80c15.rmeta: crates/shims/parking_lot/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libparking_lot-76522d2e4bc80c15.rmeta: /root/repo/clippy.toml crates/shims/parking_lot/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/parking_lot/src/lib.rs:
 Cargo.toml:
 

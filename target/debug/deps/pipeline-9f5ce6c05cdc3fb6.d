@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pipeline-9f5ce6c05cdc3fb6.d: /root/repo/clippy.toml crates/bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-9f5ce6c05cdc3fb6.rmeta: /root/repo/clippy.toml crates/bench/benches/pipeline.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pipeline_properties-0e7fbd5e1de847e0.d: /root/repo/clippy.toml tests/pipeline_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_properties-0e7fbd5e1de847e0.rmeta: /root/repo/clippy.toml tests/pipeline_properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/pipeline_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_properties-e79b75950216191e.d: tests/pipeline_properties.rs
+
+/root/repo/target/debug/deps/pipeline_properties-e79b75950216191e: tests/pipeline_properties.rs
+
+tests/pipeline_properties.rs:

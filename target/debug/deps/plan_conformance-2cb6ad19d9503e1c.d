@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plan_conformance-2cb6ad19d9503e1c.d: /root/repo/clippy.toml tests/plan_conformance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_conformance-2cb6ad19d9503e1c.rmeta: /root/repo/clippy.toml tests/plan_conformance.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/plan_conformance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

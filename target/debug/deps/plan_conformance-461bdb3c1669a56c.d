@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_conformance-461bdb3c1669a56c.d: tests/plan_conformance.rs
+
+/root/repo/target/debug/deps/plan_conformance-461bdb3c1669a56c: tests/plan_conformance.rs
+
+tests/plan_conformance.rs:

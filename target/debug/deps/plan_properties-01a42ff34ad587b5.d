@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/plan_properties-01a42ff34ad587b5.d: /root/repo/clippy.toml tests/plan_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplan_properties-01a42ff34ad587b5.rmeta: /root/repo/clippy.toml tests/plan_properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/plan_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

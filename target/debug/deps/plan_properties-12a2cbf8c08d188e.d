@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/plan_properties-12a2cbf8c08d188e.d: tests/plan_properties.rs
+
+/root/repo/target/debug/deps/plan_properties-12a2cbf8c08d188e: tests/plan_properties.rs
+
+tests/plan_properties.rs:

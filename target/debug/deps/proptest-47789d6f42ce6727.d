@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/proptest-47789d6f42ce6727.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs Cargo.toml
+/root/repo/target/debug/deps/proptest-47789d6f42ce6727.d: /root/repo/clippy.toml crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs Cargo.toml
 
-/root/repo/target/debug/deps/libproptest-47789d6f42ce6727.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs Cargo.toml
+/root/repo/target/debug/deps/libproptest-47789d6f42ce6727.rmeta: /root/repo/clippy.toml crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/proptest/src/lib.rs:
 crates/shims/proptest/src/strategy.rs:
 crates/shims/proptest/src/test_runner.rs:

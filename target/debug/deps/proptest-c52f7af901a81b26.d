@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/proptest-c52f7af901a81b26.d: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs Cargo.toml
+/root/repo/target/debug/deps/proptest-c52f7af901a81b26.d: /root/repo/clippy.toml crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs Cargo.toml
 
-/root/repo/target/debug/deps/libproptest-c52f7af901a81b26.rmeta: crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs Cargo.toml
+/root/repo/target/debug/deps/libproptest-c52f7af901a81b26.rmeta: /root/repo/clippy.toml crates/shims/proptest/src/lib.rs crates/shims/proptest/src/strategy.rs crates/shims/proptest/src/test_runner.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/proptest/src/lib.rs:
 crates/shims/proptest/src/strategy.rs:
 crates/shims/proptest/src/test_runner.rs:

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/rand-674253b958d1dde3.d: crates/shims/rand/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/rand-674253b958d1dde3.d: /root/repo/clippy.toml crates/shims/rand/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/librand-674253b958d1dde3.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/librand-674253b958d1dde3.rmeta: /root/repo/clippy.toml crates/shims/rand/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/rand/src/lib.rs:
 Cargo.toml:
 

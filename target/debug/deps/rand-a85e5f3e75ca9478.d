@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/rand-a85e5f3e75ca9478.d: crates/shims/rand/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/rand-a85e5f3e75ca9478.d: /root/repo/clippy.toml crates/shims/rand/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/librand-a85e5f3e75ca9478.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/librand-a85e5f3e75ca9478.rmeta: /root/repo/clippy.toml crates/shims/rand/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/rand/src/lib.rs:
 Cargo.toml:
 

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/rand_distr-3212ea50aacb5ab6.d: crates/shims/rand_distr/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/rand_distr-3212ea50aacb5ab6.d: /root/repo/clippy.toml crates/shims/rand_distr/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/librand_distr-3212ea50aacb5ab6.rmeta: crates/shims/rand_distr/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/librand_distr-3212ea50aacb5ab6.rmeta: /root/repo/clippy.toml crates/shims/rand_distr/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/rand_distr/src/lib.rs:
 Cargo.toml:
 

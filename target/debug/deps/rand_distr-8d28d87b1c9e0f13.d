@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/rand_distr-8d28d87b1c9e0f13.d: crates/shims/rand_distr/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/rand_distr-8d28d87b1c9e0f13.d: /root/repo/clippy.toml crates/shims/rand_distr/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/librand_distr-8d28d87b1c9e0f13.rmeta: crates/shims/rand_distr/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/librand_distr-8d28d87b1c9e0f13.rmeta: /root/repo/clippy.toml crates/shims/rand_distr/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/rand_distr/src/lib.rs:
 Cargo.toml:
 

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/rayon-560727d4799f954a.d: crates/shims/rayon/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/rayon-560727d4799f954a.d: /root/repo/clippy.toml crates/shims/rayon/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/librayon-560727d4799f954a.rmeta: crates/shims/rayon/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/librayon-560727d4799f954a.rmeta: /root/repo/clippy.toml crates/shims/rayon/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/rayon/src/lib.rs:
 Cargo.toml:
 

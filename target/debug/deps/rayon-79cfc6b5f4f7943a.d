@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/rayon-79cfc6b5f4f7943a.d: crates/shims/rayon/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/rayon-79cfc6b5f4f7943a.d: /root/repo/clippy.toml crates/shims/rayon/src/lib.rs Cargo.toml
 
-/root/repo/target/debug/deps/librayon-79cfc6b5f4f7943a.rmeta: crates/shims/rayon/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/librayon-79cfc6b5f4f7943a.rmeta: /root/repo/clippy.toml crates/shims/rayon/src/lib.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/shims/rayon/src/lib.rs:
 Cargo.toml:
 

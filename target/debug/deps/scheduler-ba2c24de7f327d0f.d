@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scheduler-ba2c24de7f327d0f.d: /root/repo/clippy.toml crates/bench/benches/scheduler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler-ba2c24de7f327d0f.rmeta: /root/repo/clippy.toml crates/bench/benches/scheduler.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/scheduler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

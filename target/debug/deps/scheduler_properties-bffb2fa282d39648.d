@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scheduler_properties-bffb2fa282d39648.d: /root/repo/clippy.toml tests/scheduler_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_properties-bffb2fa282d39648.rmeta: /root/repo/clippy.toml tests/scheduler_properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/scheduler_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_properties-fbd030814a149ac7.d: tests/scheduler_properties.rs
+
+/root/repo/target/debug/deps/scheduler_properties-fbd030814a149ac7: tests/scheduler_properties.rs
+
+tests/scheduler_properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/simulator-57efaaf0d322dcdb.d: /root/repo/clippy.toml crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimulator-57efaaf0d322dcdb.rmeta: /root/repo/clippy.toml crates/bench/benches/simulator.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,7 +1,8 @@
-/root/repo/target/debug/deps/staging_properties-48b49a1968cb0428.d: crates/graph/tests/staging_properties.rs Cargo.toml
+/root/repo/target/debug/deps/staging_properties-48b49a1968cb0428.d: /root/repo/clippy.toml crates/graph/tests/staging_properties.rs Cargo.toml
 
-/root/repo/target/debug/deps/libstaging_properties-48b49a1968cb0428.rmeta: crates/graph/tests/staging_properties.rs Cargo.toml
+/root/repo/target/debug/deps/libstaging_properties-48b49a1968cb0428.rmeta: /root/repo/clippy.toml crates/graph/tests/staging_properties.rs Cargo.toml
 
+/root/repo/clippy.toml:
 crates/graph/tests/staging_properties.rs:
 Cargo.toml:
 

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab4_regression-68aa2a470d5a5cd6.d: crates/bench/src/bin/tab4_regression.rs
+
+/root/repo/target/debug/deps/tab4_regression-68aa2a470d5a5cd6: crates/bench/src/bin/tab4_regression.rs
+
+crates/bench/src/bin/tab4_regression.rs:

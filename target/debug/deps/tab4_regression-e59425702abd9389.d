@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tab4_regression-e59425702abd9389.d: /root/repo/clippy.toml crates/bench/src/bin/tab4_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab4_regression-e59425702abd9389.rmeta: /root/repo/clippy.toml crates/bench/src/bin/tab4_regression.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/tab4_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

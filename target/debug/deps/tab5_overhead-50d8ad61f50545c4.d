@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab5_overhead-50d8ad61f50545c4.d: crates/bench/src/bin/tab5_overhead.rs
+
+/root/repo/target/debug/deps/tab5_overhead-50d8ad61f50545c4: crates/bench/src/bin/tab5_overhead.rs
+
+crates/bench/src/bin/tab5_overhead.rs:

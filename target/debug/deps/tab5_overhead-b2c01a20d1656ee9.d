@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tab5_overhead-b2c01a20d1656ee9.d: /root/repo/clippy.toml crates/bench/src/bin/tab5_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab5_overhead-b2c01a20d1656ee9.rmeta: /root/repo/clippy.toml crates/bench/src/bin/tab5_overhead.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/tab5_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

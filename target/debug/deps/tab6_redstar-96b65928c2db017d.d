@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tab6_redstar-96b65928c2db017d.d: /root/repo/clippy.toml crates/bench/src/bin/tab6_redstar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab6_redstar-96b65928c2db017d.rmeta: /root/repo/clippy.toml crates/bench/src/bin/tab6_redstar.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/tab6_redstar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tab6_redstar-ae825c2f640f656a.d: crates/bench/src/bin/tab6_redstar.rs
+
+/root/repo/target/debug/deps/tab6_redstar-ae825c2f640f656a: crates/bench/src/bin/tab6_redstar.rs
+
+crates/bench/src/bin/tab6_redstar.rs:

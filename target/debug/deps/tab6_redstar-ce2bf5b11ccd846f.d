@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/tab6_redstar-ce2bf5b11ccd846f.d: /root/repo/clippy.toml crates/bench/src/bin/tab6_redstar.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtab6_redstar-ce2bf5b11ccd846f.rmeta: /root/repo/clippy.toml crates/bench/src/bin/tab6_redstar.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/tab6_redstar.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotuned_bounds-6cdf6746873d24a5.d: examples/autotuned_bounds.rs
+
+/root/repo/target/debug/examples/autotuned_bounds-6cdf6746873d24a5: examples/autotuned_bounds.rs
+
+examples/autotuned_bounds.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/autotuned_bounds-b96e27d563d337e7.d: /root/repo/clippy.toml examples/autotuned_bounds.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautotuned_bounds-b96e27d563d337e7.rmeta: /root/repo/clippy.toml examples/autotuned_bounds.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/autotuned_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/heterogeneous-67032e7ad3e44cc8.d: /root/repo/clippy.toml examples/heterogeneous.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheterogeneous-67032e7ad3e44cc8.rmeta: /root/repo/clippy.toml examples/heterogeneous.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/heterogeneous.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heterogeneous-9fd0bd23d37fe265.d: examples/heterogeneous.rs
+
+/root/repo/target/debug/examples/heterogeneous-9fd0bd23d37fe265: examples/heterogeneous.rs
+
+examples/heterogeneous.rs:

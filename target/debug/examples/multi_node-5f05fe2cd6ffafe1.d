@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/multi_node-5f05fe2cd6ffafe1.d: /root/repo/clippy.toml examples/multi_node.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_node-5f05fe2cd6ffafe1.rmeta: /root/repo/clippy.toml examples/multi_node.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/multi_node.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_node-f6fe2e5e10019088.d: examples/multi_node.rs
+
+/root/repo/target/debug/examples/multi_node-f6fe2e5e10019088: examples/multi_node.rs
+
+examples/multi_node.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/oversubscribed-658392f516d83557.d: examples/oversubscribed.rs
+
+/root/repo/target/debug/examples/oversubscribed-658392f516d83557: examples/oversubscribed.rs
+
+examples/oversubscribed.rs:

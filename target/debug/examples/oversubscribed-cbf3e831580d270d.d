@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/oversubscribed-cbf3e831580d270d.d: /root/repo/clippy.toml examples/oversubscribed.rs Cargo.toml
+
+/root/repo/target/debug/examples/liboversubscribed-cbf3e831580d270d.rmeta: /root/repo/clippy.toml examples/oversubscribed.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/oversubscribed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_execution-bbb153c651cb2aac.d: examples/parallel_execution.rs
+
+/root/repo/target/debug/examples/parallel_execution-bbb153c651cb2aac: examples/parallel_execution.rs
+
+examples/parallel_execution.rs:

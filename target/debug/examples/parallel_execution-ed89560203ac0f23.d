@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/parallel_execution-ed89560203ac0f23.d: /root/repo/clippy.toml examples/parallel_execution.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_execution-ed89560203ac0f23.rmeta: /root/repo/clippy.toml examples/parallel_execution.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/parallel_execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

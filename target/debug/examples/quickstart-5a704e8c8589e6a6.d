@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/quickstart-5a704e8c8589e6a6.d: /root/repo/clippy.toml examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-5a704e8c8589e6a6.rmeta: /root/repo/clippy.toml examples/quickstart.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

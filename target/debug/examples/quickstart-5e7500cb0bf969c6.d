@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5e7500cb0bf969c6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5e7500cb0bf969c6: examples/quickstart.rs
+
+examples/quickstart.rs:

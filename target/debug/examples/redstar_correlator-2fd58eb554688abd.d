@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/redstar_correlator-2fd58eb554688abd.d: /root/repo/clippy.toml examples/redstar_correlator.rs Cargo.toml
+
+/root/repo/target/debug/examples/libredstar_correlator-2fd58eb554688abd.rmeta: /root/repo/clippy.toml examples/redstar_correlator.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/redstar_correlator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

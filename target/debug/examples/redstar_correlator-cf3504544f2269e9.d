@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/redstar_correlator-cf3504544f2269e9.d: examples/redstar_correlator.rs
+
+/root/repo/target/debug/examples/redstar_correlator-cf3504544f2269e9: examples/redstar_correlator.rs
+
+examples/redstar_correlator.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/baselines_matrix-af8a111ff09eb49c.d: crates/bench/src/bin/baselines_matrix.rs
+
+/root/repo/target/release/deps/baselines_matrix-af8a111ff09eb49c: crates/bench/src/bin/baselines_matrix.rs
+
+crates/bench/src/bin/baselines_matrix.rs:

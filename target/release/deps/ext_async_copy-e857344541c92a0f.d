@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_async_copy-e857344541c92a0f.d: crates/bench/src/bin/ext_async_copy.rs
+
+/root/repo/target/release/deps/ext_async_copy-e857344541c92a0f: crates/bench/src/bin/ext_async_copy.rs
+
+crates/bench/src/bin/ext_async_copy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_cluster-5f7266f4cc7e28aa.d: crates/bench/src/bin/ext_cluster.rs
+
+/root/repo/target/release/deps/ext_cluster-5f7266f4cc7e28aa: crates/bench/src/bin/ext_cluster.rs
+
+crates/bench/src/bin/ext_cluster.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_contention-6eb704947ce4e321.d: crates/bench/src/bin/ext_contention.rs
+
+/root/repo/target/release/deps/ext_contention-6eb704947ce4e321: crates/bench/src/bin/ext_contention.rs
+
+crates/bench/src/bin/ext_contention.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_job-e3472d0f2978a7c6.d: crates/bench/src/bin/ext_job.rs
+
+/root/repo/target/release/deps/ext_job-e3472d0f2978a7c6: crates/bench/src/bin/ext_job.rs
+
+crates/bench/src/bin/ext_job.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_planner-59ce75b3573486f0.d: crates/bench/src/bin/ext_planner.rs
+
+/root/repo/target/release/deps/ext_planner-59ce75b3573486f0: crates/bench/src/bin/ext_planner.rs
+
+crates/bench/src/bin/ext_planner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ext_reordering-61947c0675ed0939.d: crates/bench/src/bin/ext_reordering.rs
+
+/root/repo/target/release/deps/ext_reordering-61947c0675ed0939: crates/bench/src/bin/ext_reordering.rs
+
+crates/bench/src/bin/ext_reordering.rs:

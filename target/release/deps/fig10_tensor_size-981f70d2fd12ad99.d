@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_tensor_size-981f70d2fd12ad99.d: crates/bench/src/bin/fig10_tensor_size.rs
+
+/root/repo/target/release/deps/fig10_tensor_size-981f70d2fd12ad99: crates/bench/src/bin/fig10_tensor_size.rs
+
+crates/bench/src/bin/fig10_tensor_size.rs:

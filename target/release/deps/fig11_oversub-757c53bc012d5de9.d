@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_oversub-757c53bc012d5de9.d: crates/bench/src/bin/fig11_oversub.rs
+
+/root/repo/target/release/deps/fig11_oversub-757c53bc012d5de9: crates/bench/src/bin/fig11_oversub.rs
+
+crates/bench/src/bin/fig11_oversub.rs:

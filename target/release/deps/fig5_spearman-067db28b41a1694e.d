@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_spearman-067db28b41a1694e.d: crates/bench/src/bin/fig5_spearman.rs
+
+/root/repo/target/release/deps/fig5_spearman-067db28b41a1694e: crates/bench/src/bin/fig5_spearman.rs
+
+crates/bench/src/bin/fig5_spearman.rs:

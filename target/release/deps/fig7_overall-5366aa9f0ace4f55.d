@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_overall-5366aa9f0ace4f55.d: crates/bench/src/bin/fig7_overall.rs
+
+/root/repo/target/release/deps/fig7_overall-5366aa9f0ace4f55: crates/bench/src/bin/fig7_overall.rs
+
+crates/bench/src/bin/fig7_overall.rs:

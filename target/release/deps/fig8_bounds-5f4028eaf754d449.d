@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_bounds-5f4028eaf754d449.d: crates/bench/src/bin/fig8_bounds.rs
+
+/root/repo/target/release/deps/fig8_bounds-5f4028eaf754d449: crates/bench/src/bin/fig8_bounds.rs
+
+crates/bench/src/bin/fig8_bounds.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_scalability-6f9cefeb8c061140.d: crates/bench/src/bin/fig9_scalability.rs
+
+/root/repo/target/release/deps/fig9_scalability-6f9cefeb8c061140: crates/bench/src/bin/fig9_scalability.rs
+
+crates/bench/src/bin/fig9_scalability.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/micco-c8b25c9dac29f9f3.d: src/lib.rs
+
+/root/repo/target/release/deps/libmicco-c8b25c9dac29f9f3.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmicco-c8b25c9dac29f9f3.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/micco_analysis-bd69f191192b7800.d: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs
+
+/root/repo/target/release/deps/libmicco_analysis-bd69f191192b7800.rlib: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs
+
+/root/repo/target/release/deps/libmicco_analysis-bd69f191192b7800.rmeta: crates/analysis/src/lib.rs crates/analysis/src/diag.rs crates/analysis/src/engine.rs crates/analysis/src/render.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/diag.rs:
+crates/analysis/src/engine.rs:
+crates/analysis/src/render.rs:

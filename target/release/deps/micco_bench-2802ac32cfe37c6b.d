@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/micco_bench-2802ac32cfe37c6b.d: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmicco_bench-2802ac32cfe37c6b.rlib: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libmicco_bench-2802ac32cfe37c6b.rmeta: crates/bench/src/lib.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/micco_cluster-f9889cdb0da2dd45.d: crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+/root/repo/target/release/deps/libmicco_cluster-f9889cdb0da2dd45.rlib: crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+/root/repo/target/release/deps/libmicco_cluster-f9889cdb0da2dd45.rmeta: crates/cluster/src/lib.rs crates/cluster/src/analysis.rs crates/cluster/src/cluster.rs crates/cluster/src/hierarchical.rs crates/cluster/src/plan.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/analysis.rs:
+crates/cluster/src/cluster.rs:
+crates/cluster/src/hierarchical.rs:
+crates/cluster/src/plan.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab4_regression-eaf75528ab080552.d: crates/bench/src/bin/tab4_regression.rs
+
+/root/repo/target/release/deps/tab4_regression-eaf75528ab080552: crates/bench/src/bin/tab4_regression.rs
+
+crates/bench/src/bin/tab4_regression.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab5_overhead-c7c25733440d30fe.d: crates/bench/src/bin/tab5_overhead.rs
+
+/root/repo/target/release/deps/tab5_overhead-c7c25733440d30fe: crates/bench/src/bin/tab5_overhead.rs
+
+crates/bench/src/bin/tab5_overhead.rs:

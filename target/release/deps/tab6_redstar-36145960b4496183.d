@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tab6_redstar-36145960b4496183.d: crates/bench/src/bin/tab6_redstar.rs
+
+/root/repo/target/release/deps/tab6_redstar-36145960b4496183: crates/bench/src/bin/tab6_redstar.rs
+
+crates/bench/src/bin/tab6_redstar.rs:

@@ -3,6 +3,10 @@
 //! refactor breaks one of these, the full experiment binaries would print
 //! tables contradicting the paper — these tests catch that in `cargo test`.
 
+// Test helpers unwrap freely (clippy's allow-unwrap-in-tests only covers
+// `#[test]` bodies, not helper functions in integration-test files).
+#![allow(clippy::unwrap_used)]
+
 use micco::gpusim::MachineConfig;
 use micco::ml::{r2_score, spearman, LinearRegression, RandomForestRegressor, Regressor};
 use micco::prelude::*;
