@@ -98,12 +98,17 @@ pub enum Code {
     /// `MICCO-I301 dead-transfer` — an evicted tensor paid a write-back to
     /// the host but is never used again; the transfer moved dead data.
     DeadTransfer,
+    /// `MICCO-W203 degraded-placement` — the plan carries a `+repair(…)`
+    /// lineage marker: it was re-placed onto surviving devices after a
+    /// permanent loss, so its placements no longer reflect the original
+    /// scheduler's reuse/balance decisions.
+    DegradedPlacement,
 }
 
 impl Code {
     /// Every code, in registry order (drives the SARIF rules array, so
     /// `ruleIndex` values stay stable).
-    pub const ALL: [Code; 10] = [
+    pub const ALL: [Code; 11] = [
         Code::CapacityExceeded,
         Code::AssignmentOutOfRange,
         Code::PlanStructureMismatch,
@@ -114,6 +119,7 @@ impl Code {
         Code::EvictionThrash,
         Code::MissedReuse,
         Code::DeadTransfer,
+        Code::DegradedPlacement,
     ];
 
     /// Stable string id, e.g. `"MICCO-E001"`.
@@ -129,6 +135,7 @@ impl Code {
             Code::EvictionThrash => "MICCO-W201",
             Code::MissedReuse => "MICCO-W202",
             Code::DeadTransfer => "MICCO-I301",
+            Code::DegradedPlacement => "MICCO-W203",
         }
     }
 
@@ -145,6 +152,7 @@ impl Code {
             Code::EvictionThrash => "eviction-thrash",
             Code::MissedReuse => "missed-reuse",
             Code::DeadTransfer => "dead-transfer",
+            Code::DegradedPlacement => "degraded-placement",
         }
     }
 
@@ -159,7 +167,8 @@ impl Code {
             Code::ReuseBoundViolated
             | Code::BalanceCapExceeded
             | Code::EvictionThrash
-            | Code::MissedReuse => Severity::Warning,
+            | Code::MissedReuse
+            | Code::DegradedPlacement => Severity::Warning,
             Code::DeadTransfer => Severity::Info,
         }
     }
@@ -193,6 +202,9 @@ impl Code {
                 "a pair with resident operands was placed off an available holder device"
             }
             Code::DeadTransfer => "an evicted tensor paid a write-back but is never used again",
+            Code::DegradedPlacement => {
+                "the plan was repaired onto surviving devices after a permanent loss"
+            }
         }
     }
 }

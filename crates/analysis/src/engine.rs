@@ -99,6 +99,24 @@ pub fn analyze_plan_with(
 ) -> Report {
     let mut report = Report::new();
 
+    // Lineage check before the structural gates: a repaired plan carries a
+    // `+repair(lost=…)` marker in its scheduler line, and the degraded
+    // placement is worth flagging even when the plan is otherwise broken.
+    if plan.scheduler.contains("+repair(") {
+        report.push(
+            Diagnostic::new(
+                Code::DegradedPlacement,
+                format!(
+                    "plan was repaired onto surviving devices ({}); placements no longer \
+                     reflect the original scheduler's reuse/balance decisions",
+                    plan.scheduler
+                ),
+            )
+            .at_line(2)
+            .with("scheduler", &plan.scheduler),
+        );
+    }
+
     let fp = stream.fingerprint();
     if plan.fingerprint != fp {
         report.push(
@@ -425,6 +443,10 @@ pub fn analyze_placements(
                         .for_task(task.id)
                         .on_gpu(bad),
                     );
+                }
+                Err(ExecError::DeviceLost { .. }) => {
+                    // The analysis shadow never arms a FaultPlan, so this
+                    // arm is unreachable; skip the placement defensively.
                 }
             }
 
@@ -882,5 +904,32 @@ mod tests {
         let stages: Vec<PlacedStage> = Vec::new();
         let cfg = MachineConfig::mi100_like(2);
         assert!(analyze_placements(&stages, &cfg, &AnalysisConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn repaired_plan_lints_degraded_placement() {
+        let stream = WorkloadSpec::new(16, 96)
+            .with_repeat_rate(0.7)
+            .with_vectors(3)
+            .with_seed(7)
+            .generate();
+        let cfg = MachineConfig::mi100_like(3);
+        let plan = plan_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+        assert!(!analyze_plan(&plan, &stream, &cfg).has(Code::DegradedPlacement));
+        let repaired = micco_core::repair_plan(&plan, &[GpuId(1)]).unwrap();
+        let r = analyze_plan(&repaired, &stream, &cfg);
+        assert!(
+            r.has(Code::DegradedPlacement),
+            "repaired plan must flag W203"
+        );
+        assert_eq!(
+            r.errors(),
+            0,
+            "degraded placement is a warning, not an error"
+        );
+        let d = &r.with_code(Code::DegradedPlacement)[0];
+        assert_eq!(d.severity(), crate::Severity::Warning);
+        assert_eq!(d.line, Some(2), "anchors to the scheduler line");
+        assert!(d.message.contains("+repair(lost=1)"));
     }
 }

@@ -12,7 +12,8 @@ use micco_core::{
     ScheduleReport, Scheduler,
 };
 use micco_exec::{
-    execute_plan_opts as execute_plan_real, execute_stream_opts, ExecOptions, TensorShape,
+    execute_plan_faults as execute_plan_real, execute_stream_faults, ExecOptions, FaultPlan,
+    TensorShape,
 };
 use micco_gpusim::{CostModel, MachineConfig, SimMachine};
 use micco_redstar::{al_rhopi, build_correlator, f0d2, f0d4, kk_pipi, nucleon_pipi, PresetScale};
@@ -43,6 +44,9 @@ commands:
   exec        actually compute a synthetic workload on worker threads
               --vector-size N --tensor-size N --batch N --workers N --seed N
               --steal (reuse-aware work stealing) --prefetch (warm operands)
+              --inject-faults SPEC (deterministic chaos: kernel:T[*N],
+              timeout:T[*N], lose:G@S, flake:G@S, comma-separated)
+              --retry MAX[,DELAY_US] (per-task retry budget with backoff)
   plan        decide a schedule without executing and write the plan IR
               --out FILE plus the synthetic options (workload + scheduler);
               --lint runs the static verifier on the freshly decided plan
@@ -54,7 +58,8 @@ commands:
   execute     execute a previously written plan on a rebuilt workload
               --plan FILE --backend sim|real; sim replays on the simulator,
               real computes kernels (--batch N --tensor-size N --seed N
-              must match the workload; --steal/--prefetch as in exec)
+              must match the workload; --steal/--prefetch and
+              --inject-faults/--retry as in exec)
   replay      re-execute a plan several times and verify determinism
               --plan FILE --times N plus the workload options
   trace       run a workload and write a chrome://tracing JSON
@@ -437,6 +442,51 @@ fn compare(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--inject-faults SPEC` into a deterministic [`FaultPlan`]
+/// (empty plan when the flag is absent).
+fn parse_faults(args: &Args) -> Result<FaultPlan, String> {
+    match args.get("inject-faults") {
+        Some(spec) => FaultPlan::parse(spec).map_err(|e| format!("--inject-faults: {e}")),
+        None => Ok(FaultPlan::none()),
+    }
+}
+
+/// Apply `--retry MAX[,DELAY_US]` to the execution options.
+fn apply_retry(args: &Args, opts: ExecOptions) -> Result<ExecOptions, String> {
+    let Some(spec) = args.get("retry") else {
+        return Ok(opts);
+    };
+    let mut parts = spec.splitn(2, ',');
+    let max: u32 = parts
+        .next()
+        .unwrap_or_default()
+        .trim()
+        .parse()
+        .map_err(|_| format!("--retry: bad attempt count in '{spec}'"))?;
+    let delay_us: u64 = match parts.next() {
+        Some(d) => d
+            .trim()
+            .parse()
+            .map_err(|_| format!("--retry: bad delay in '{spec}'"))?,
+        None => 0,
+    };
+    Ok(opts.retry(max, std::time::Duration::from_micros(delay_us)))
+}
+
+/// Print the chaos section of an execution report when faults were injected.
+fn print_chaos(faults: &FaultPlan, out: &micco_exec::ExecOutcome) {
+    if faults.fault_count() == 0 {
+        return;
+    }
+    println!(
+        "chaos: {} fault(s) injected | {} hit | {} retries | {} worker(s) lost",
+        faults.fault_count(),
+        out.faults,
+        out.retries,
+        out.lost_workers
+    );
+}
+
 fn exec(args: &Args) -> Result<(), String> {
     let batch: usize = args.parse_or("batch", 4).map_err(|e| e.to_string())?;
     let dim: usize = args
@@ -463,13 +513,16 @@ fn exec(args: &Args) -> Result<(), String> {
     if args.flag("prefetch") {
         opts = opts.with_prefetch();
     }
-    let out = execute_stream_opts(
+    opts = apply_retry(args, opts)?;
+    let faults = parse_faults(args)?;
+    let out = execute_stream_faults(
         &stream,
         &report.assignments,
         workers,
         TensorShape { batch, dim },
         args.parse_or("seed", 0).map_err(|e| e.to_string())?,
         opts,
+        &faults,
     )
     .map_err(|e| e.to_string())?;
     println!(
@@ -486,6 +539,7 @@ fn exec(args: &Args) -> Result<(), String> {
             out.per_worker_executed, out.steals
         );
     }
+    print_chaos(&faults, &out);
     println!("checksum: {}", out.checksum);
     Ok(())
 }
@@ -613,8 +667,17 @@ fn execute(args: &Args) -> Result<(), String> {
             if args.flag("prefetch") {
                 opts = opts.with_prefetch();
             }
-            let out = execute_plan_real(&stream, &plan, TensorShape { batch, dim }, seed, opts)
-                .map_err(|e| e.to_string())?;
+            opts = apply_retry(args, opts)?;
+            let faults = parse_faults(args)?;
+            let out = execute_plan_real(
+                &stream,
+                &plan,
+                TensorShape { batch, dim },
+                seed,
+                opts,
+                &faults,
+            )
+            .map_err(|e| e.to_string())?;
             println!(
                 "{}: computed {} kernels on {} threads in {:.1} ms",
                 plan.scheduler,
@@ -623,6 +686,7 @@ fn execute(args: &Args) -> Result<(), String> {
                 out.wall_secs * 1e3
             );
             println!("tasks per worker (assigned): {:?}", out.per_worker_tasks);
+            print_chaos(&faults, &out);
             println!("checksum: {}", out.checksum);
         }
         other => return Err(format!("unknown backend '{other}' (sim|real)")),
@@ -794,6 +858,51 @@ mod tests {
     fn exec_with_stealing_and_prefetch() {
         run("exec --vector-size 4 --tensor-size 16 --vectors 2 --workers 2 --steal --prefetch")
             .unwrap();
+    }
+
+    #[test]
+    fn exec_with_fault_injection_and_retry() {
+        // transient kernel fault on task 0 survives a 3-attempt budget
+        run(
+            "exec --vector-size 4 --tensor-size 16 --vectors 2 --workers 2 \
+             --inject-faults kernel:0 --retry 3",
+        )
+        .unwrap();
+        // permanent loss of gpu 1 at stage 1: survivors drain its queues
+        run(
+            "exec --vector-size 4 --tensor-size 16 --vectors 2 --workers 2 \
+             --inject-faults lose:1@1 --retry 2,10",
+        )
+        .unwrap();
+        // without a retry budget a kernel fault fails the run
+        let err = run(
+            "exec --vector-size 4 --tensor-size 16 --vectors 2 --workers 2 \
+             --inject-faults kernel:0",
+        )
+        .unwrap_err();
+        assert!(err.contains("failed"), "{err}");
+        // malformed specs are rejected up front
+        assert!(run("exec --workers 2 --inject-faults bogus:0").is_err());
+        assert!(run("exec --workers 2 --retry many").is_err());
+        assert!(run("exec --workers 2 --retry 3,slow").is_err());
+    }
+
+    #[test]
+    fn execute_real_with_fault_injection() {
+        let dir = std::env::temp_dir();
+        let plan_path = dir.join(format!("micco-cli-chaos-{}.txt", std::process::id()));
+        let wl = "--vector-size 4 --tensor-size 16 --batch 2 --vectors 2 --seed 3";
+        run(&format!(
+            "plan {wl} --gpus 2 --scheduler micco --out {}",
+            plan_path.display()
+        ))
+        .unwrap();
+        run(&format!(
+            "execute {wl} --plan {} --backend real --inject-faults kernel:1,lose:0@1 --retry 3",
+            plan_path.display()
+        ))
+        .unwrap();
+        let _ = std::fs::remove_file(plan_path);
     }
 
     #[test]

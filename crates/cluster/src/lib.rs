@@ -39,6 +39,6 @@ pub use hierarchical::{
     run_cluster_schedule, ClusterScheduler, FlatClusterScheduler, HierarchicalScheduler,
 };
 pub use plan::{
-    execute_cluster_plan, plan_cluster_schedule, ClusterAssignment, ClusterError, ClusterPlan,
-    ClusterPlanError,
+    execute_cluster_plan, plan_cluster_schedule, repair_cluster_plan, ClusterAssignment,
+    ClusterError, ClusterPlan, ClusterPlanError, ClusterRepairError,
 };

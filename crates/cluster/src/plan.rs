@@ -373,6 +373,105 @@ pub fn execute_cluster_plan(
     Ok(cluster.report(plan.scheduler.clone()))
 }
 
+/// Why a degraded-mode cluster repair could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterRepairError {
+    /// No lost nodes were named — nothing to repair.
+    NothingLost,
+    /// A named node is outside the plan's grid.
+    LostNodeOutOfRange {
+        /// Offending node index.
+        node: usize,
+        /// Nodes in the plan's grid.
+        nodes: usize,
+    },
+    /// Every node of the plan was lost.
+    NoSurvivors,
+}
+
+impl fmt::Display for ClusterRepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterRepairError::NothingLost => {
+                write!(f, "no lost nodes named, nothing to repair")
+            }
+            ClusterRepairError::LostNodeOutOfRange { node, nodes } => {
+                write!(f, "lost node {node} is outside the plan's {nodes} nodes")
+            }
+            ClusterRepairError::NoSurvivors => {
+                write!(f, "every node was lost, no survivor to repair onto")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClusterRepairError {}
+
+/// Degraded-mode cluster replan — the multi-node projection of
+/// [`micco_core::repair_plan`]: every assignment on a node in `lost` moves
+/// to the least-loaded surviving node of its stage (lowest index breaking
+/// ties), keeping its intra-node device index, which stays valid because
+/// `gpus_per_node` is unchanged. The repaired plan keeps the original
+/// grid, fingerprint and stage structure, so it still validates against
+/// the stream; the repair is recorded by appending `+repair(lost=node…)`
+/// to the scheduler line, and [`ClusterPlan::node_plans`] carries the
+/// marker into every node projection.
+///
+/// # Errors
+///
+/// [`ClusterRepairError::NothingLost`] for an empty `lost` list,
+/// [`ClusterRepairError::LostNodeOutOfRange`] for a node outside the
+/// grid, and [`ClusterRepairError::NoSurvivors`] when every node is lost.
+pub fn repair_cluster_plan(
+    plan: &ClusterPlan,
+    lost: &[NodeId],
+) -> Result<ClusterPlan, ClusterRepairError> {
+    if lost.is_empty() {
+        return Err(ClusterRepairError::NothingLost);
+    }
+    if let Some(n) = lost.iter().find(|n| n.0 >= plan.num_nodes) {
+        return Err(ClusterRepairError::LostNodeOutOfRange {
+            node: n.0,
+            nodes: plan.num_nodes,
+        });
+    }
+    let mut is_lost = vec![false; plan.num_nodes];
+    for n in lost {
+        is_lost[n.0] = true;
+    }
+    if is_lost.iter().all(|&l| l) {
+        return Err(ClusterRepairError::NoSurvivors);
+    }
+    let mut repaired = plan.clone();
+    for stage in &mut repaired.stages {
+        let mut load = vec![0usize; plan.num_nodes];
+        for a in stage.iter() {
+            if !is_lost[a.node.0] {
+                load[a.node.0] += 1;
+            }
+        }
+        for a in stage.iter_mut() {
+            if is_lost[a.node.0] {
+                if let Some(target) = (0..plan.num_nodes)
+                    .filter(|&n| !is_lost[n])
+                    .min_by_key(|&n| (load[n], n))
+                {
+                    a.node = NodeId(target);
+                    load[target] += 1;
+                }
+            }
+        }
+    }
+    let named: Vec<String> = is_lost
+        .iter()
+        .enumerate()
+        .filter(|&(_, &l)| l)
+        .map(|(n, _)| format!("node{n}"))
+        .collect();
+    repaired.scheduler = format!("{}+repair(lost={})", plan.scheduler, named.join(","));
+    Ok(repaired)
+}
+
 /// The plan format version cluster node plans serialize with (the ordinary
 /// single-node plan format).
 pub const NODE_PLAN_VERSION: u32 = PLAN_VERSION;
@@ -546,5 +645,102 @@ mod tests {
             num_gpus: 2,
         });
         assert!(xe.to_string().contains("execution failed"));
+    }
+
+    #[test]
+    fn cluster_repair_moves_every_orphan_onto_survivors() {
+        let stream = stream();
+        let cfg = ClusterConfig::mi100_cluster(3, 2);
+        let plan = plan_cluster_schedule(&mut FlatClusterScheduler::new(), &stream, &cfg).unwrap();
+        let repaired = repair_cluster_plan(&plan, &[NodeId(1)]).unwrap();
+        repaired.validate(&stream).unwrap();
+        assert_eq!(repaired.num_nodes, plan.num_nodes);
+        assert_eq!(repaired.gpus_per_node, plan.gpus_per_node);
+        assert_eq!(repaired.fingerprint, plan.fingerprint);
+        assert!(repaired.scheduler.ends_with("+repair(lost=node1)"));
+        for stage in &repaired.stages {
+            for a in stage {
+                assert_ne!(
+                    a.node,
+                    NodeId(1),
+                    "task {:?} still on the lost node",
+                    a.task
+                );
+                assert!(a.gpu.0 < repaired.gpus_per_node);
+            }
+        }
+        // the repaired plan still executes end to end
+        let report = execute_cluster_plan(&repaired, &stream, &cfg).unwrap();
+        assert_eq!(
+            report.evictions_per_node.len(),
+            cfg.nodes,
+            "per-node accounting keeps the full grid shape"
+        );
+        assert!(report.total_flops > 0);
+    }
+
+    #[test]
+    fn cluster_repair_is_deterministic_and_balances_load() {
+        let stream = stream();
+        let cfg = ClusterConfig::mi100_cluster(4, 2);
+        let plan = plan_cluster_schedule(&mut FlatClusterScheduler::new(), &stream, &cfg).unwrap();
+        let a = repair_cluster_plan(&plan, &[NodeId(0), NodeId(3)]).unwrap();
+        let b = repair_cluster_plan(&plan, &[NodeId(3), NodeId(0)]).unwrap();
+        assert_eq!(a, b, "repair must not depend on the lost-list order");
+        assert!(a.scheduler.ends_with("+repair(lost=node0,node3)"));
+        for stage in &a.stages {
+            let mut load = vec![0usize; a.num_nodes];
+            for asg in stage {
+                load[asg.node.0] += 1;
+            }
+            assert_eq!(load[0], 0);
+            assert_eq!(load[3], 0);
+            let survivors = [load[1], load[2]];
+            let (lo, hi) = (
+                *survivors.iter().min().unwrap(),
+                *survivors.iter().max().unwrap(),
+            );
+            assert!(hi - lo <= 1, "survivor loads {survivors:?} diverge");
+        }
+    }
+
+    #[test]
+    fn cluster_repair_marker_reaches_node_projections() {
+        let stream = stream();
+        let cfg = ClusterConfig::mi100_cluster(2, 4);
+        let plan = plan_cluster_schedule(&mut FlatClusterScheduler::new(), &stream, &cfg).unwrap();
+        let repaired = repair_cluster_plan(&plan, &[NodeId(0)]).unwrap();
+        for (n, node_plan) in repaired.node_plans().into_iter().enumerate() {
+            assert!(
+                node_plan.scheduler.contains("+repair("),
+                "node {n} projection lost the repair lineage"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_repair_rejects_degenerate_inputs() {
+        let stream = stream();
+        let cfg = ClusterConfig::mi100_cluster(2, 2);
+        let plan = plan_cluster_schedule(&mut FlatClusterScheduler::new(), &stream, &cfg).unwrap();
+        assert_eq!(
+            repair_cluster_plan(&plan, &[]),
+            Err(ClusterRepairError::NothingLost)
+        );
+        assert_eq!(
+            repair_cluster_plan(&plan, &[NodeId(9)]),
+            Err(ClusterRepairError::LostNodeOutOfRange { node: 9, nodes: 2 })
+        );
+        assert_eq!(
+            repair_cluster_plan(&plan, &[NodeId(0), NodeId(1)]),
+            Err(ClusterRepairError::NoSurvivors)
+        );
+        for e in [
+            ClusterRepairError::NothingLost,
+            ClusterRepairError::LostNodeOutOfRange { node: 9, nodes: 2 },
+            ClusterRepairError::NoSurvivors,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
     }
 }

@@ -53,6 +53,9 @@ pub use mapping::{mapping_histogram, Mapping, MappingHistogram};
 pub use micco::MiccoScheduler;
 pub use model::RegressionBounds;
 pub use pattern::LocalReusePattern;
-pub use plan::{PlanCache, PlanError, PlanFormatError, PlanStage, SchedulePlan, PLAN_VERSION};
+pub use plan::{
+    repair_plan, PlanCache, PlanError, PlanFormatError, PlanStage, RepairError, SchedulePlan,
+    PLAN_VERSION,
+};
 pub use reorder::{reorder_stream, reuse_clustered_order};
 pub use state::VectorState;

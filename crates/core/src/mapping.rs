@@ -118,9 +118,11 @@ impl MappingHistogram {
         self.counts[m.index()] += 1;
     }
 
-    /// Count of mapping with 1-based paper number `k`.
-    pub fn count(&self, k: usize) -> u64 {
-        self.counts[k - 1]
+    /// Count of mapping with 1-based paper number `k`, or `None` when `k`
+    /// is not one of the paper's seven mappings (`k = 0` used to underflow
+    /// the index and `k > 7` to read out of bounds — both panicked).
+    pub fn count(&self, k: usize) -> Option<u64> {
+        self.counts.get(k.checked_sub(1)?).copied()
     }
 
     /// Total placements recorded.
@@ -253,9 +255,13 @@ mod tests {
         h.record(Mapping::M3);
         h.record(Mapping::M7);
         assert_eq!(h.total(), 4);
-        assert_eq!(h.count(1), 2);
-        assert_eq!(h.count(3), 1);
-        assert_eq!(h.count(7), 1);
+        assert_eq!(h.count(1), Some(2));
+        assert_eq!(h.count(3), Some(1));
+        assert_eq!(h.count(7), Some(1));
+        // the paper numbering is 1-based: both edges are None, not panics
+        assert_eq!(h.count(0), None);
+        assert_eq!(h.count(8), None);
+        assert_eq!(h.count(usize::MAX), None);
         assert!((h.m1_fraction() - 0.5).abs() < 1e-12);
         assert!((h.mean_memory_ops() - 0.75).abs() < 1e-12);
         assert!(h.to_string().contains("(1)=2"));

@@ -238,6 +238,130 @@ impl std::fmt::Display for PlanFormatError {
 
 impl std::error::Error for PlanFormatError {}
 
+/// Why a degraded-mode repair could not be produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepairError {
+    /// No lost devices were named — nothing to repair.
+    NothingLost,
+    /// A named device is outside the plan's declared range.
+    LostGpuOutOfRange {
+        /// Offending device index.
+        gpu: usize,
+        /// Devices the plan targets.
+        num_gpus: usize,
+    },
+    /// Every device of the plan was lost — no survivor to repair onto.
+    NoSurvivors,
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::NothingLost => write!(f, "no lost devices named, nothing to repair"),
+            RepairError::LostGpuOutOfRange { gpu, num_gpus } => {
+                write!(
+                    f,
+                    "lost device {gpu} is outside the plan's {num_gpus} devices"
+                )
+            }
+            RepairError::NoSurvivors => {
+                write!(f, "every device was lost, no survivor to repair onto")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// Degraded-mode replan: re-place every assignment that targets a device
+/// in `lost` onto the least-loaded surviving device of its stage (lowest
+/// index breaking ties — the repair is deterministic).
+///
+/// The repaired plan keeps the original `num_gpus`, fingerprint, stage
+/// structure, and per-stage bounds, so it still passes
+/// [`SchedulePlan::validate`] against the original stream; the lost
+/// devices simply receive no work. The repair is recorded in the plan's
+/// lineage by appending `+repair(lost=…)` to the scheduler line (free
+/// text in the v1 format, so no format bump) — the analysis engine keys
+/// its degraded-placement diagnostic off that marker.
+///
+/// # Examples
+///
+/// ```
+/// use micco_core::{plan_schedule, repair_plan, RoundRobinScheduler};
+/// use micco_gpusim::{GpuId, MachineConfig};
+/// use micco_workload::WorkloadSpec;
+///
+/// let stream = WorkloadSpec::new(8, 64).with_vectors(2).generate();
+/// let plan = plan_schedule(
+///     &mut RoundRobinScheduler::new(),
+///     &stream,
+///     &MachineConfig::mi100_like(3),
+/// ).unwrap();
+/// let repaired = repair_plan(&plan, &[GpuId(1)]).unwrap();
+/// assert!(repaired.validate(&stream).is_ok());
+/// assert!(repaired.scheduler.ends_with("+repair(lost=1)"));
+/// assert!(repaired.flat_assignments().iter().all(|a| a.gpu != GpuId(1)));
+/// ```
+///
+/// # Errors
+///
+/// [`RepairError::NothingLost`] for an empty `lost` list,
+/// [`RepairError::LostGpuOutOfRange`] when a named device is not in the
+/// plan, and [`RepairError::NoSurvivors`] when every device was lost.
+pub fn repair_plan(plan: &SchedulePlan, lost: &[GpuId]) -> Result<SchedulePlan, RepairError> {
+    if lost.is_empty() {
+        return Err(RepairError::NothingLost);
+    }
+    if let Some(g) = lost.iter().find(|g| g.0 >= plan.num_gpus) {
+        return Err(RepairError::LostGpuOutOfRange {
+            gpu: g.0,
+            num_gpus: plan.num_gpus,
+        });
+    }
+    let mut is_lost = vec![false; plan.num_gpus];
+    for g in lost {
+        is_lost[g.0] = true;
+    }
+    if is_lost.iter().all(|&l| l) {
+        return Err(RepairError::NoSurvivors);
+    }
+    let mut repaired = plan.clone();
+    for stage in &mut repaired.stages {
+        // survivors' existing load in this stage, in assignment counts
+        let mut load = vec![0usize; plan.num_gpus];
+        for a in &stage.assignments {
+            if !is_lost[a.gpu.0] {
+                load[a.gpu.0] += 1;
+            }
+        }
+        for a in &mut stage.assignments {
+            if is_lost[a.gpu.0] {
+                if let Some(target) = (0..plan.num_gpus)
+                    .filter(|&g| !is_lost[g])
+                    .min_by_key(|&g| (load[g], g))
+                {
+                    a.gpu = GpuId(target);
+                    load[target] += 1;
+                }
+            }
+        }
+    }
+    let mut named: Vec<usize> = is_lost
+        .iter()
+        .enumerate()
+        .filter_map(|(g, &l)| l.then_some(g))
+        .collect();
+    named.sort_unstable();
+    let list = named
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    repaired.scheduler = format!("{}+repair(lost={list})", plan.scheduler);
+    Ok(repaired)
+}
+
 impl SchedulePlan {
     /// Total assignments across all stages.
     pub fn total_tasks(&self) -> usize {
@@ -714,6 +838,73 @@ mod tests {
             Err(PlanError::DeviceCountMismatch { .. })
         ));
         assert_eq!(plan.validate_for(&stream, plan.num_gpus), Ok(()));
+    }
+
+    #[test]
+    fn repair_moves_every_orphan_onto_survivors() {
+        let (stream, plan) = plan_fixture();
+        let repaired = repair_plan(&plan, &[GpuId(1)]).unwrap();
+        assert_eq!(repaired.validate(&stream), Ok(()));
+        assert_eq!(repaired.num_gpus, plan.num_gpus);
+        assert_eq!(repaired.fingerprint, plan.fingerprint);
+        assert!(repaired
+            .flat_assignments()
+            .iter()
+            .all(|a| a.gpu != GpuId(1)));
+        assert_eq!(repaired.total_tasks(), plan.total_tasks());
+        assert!(repaired.scheduler.ends_with("+repair(lost=1)"));
+        // bounds metadata is untouched by the repair
+        for (r, p) in repaired.stages.iter().zip(&plan.stages) {
+            assert_eq!(r.bounds, p.bounds);
+        }
+    }
+
+    #[test]
+    fn repair_is_deterministic_and_balances_load() {
+        let (_, plan) = plan_fixture();
+        let a = repair_plan(&plan, &[GpuId(0)]).unwrap();
+        let b = repair_plan(&plan, &[GpuId(0)]).unwrap();
+        assert_eq!(a, b);
+        // per stage, survivor loads stay within one task of each other
+        // when the original placement was balanced (round-robin fixture)
+        for stage in &a.stages {
+            let mut load = vec![0usize; a.num_gpus];
+            for asg in &stage.assignments {
+                load[asg.gpu.0] += 1;
+            }
+            let survivors: Vec<usize> = load[1..].to_vec();
+            let max = survivors.iter().max().copied().unwrap_or(0);
+            let min = survivors.iter().min().copied().unwrap_or(0);
+            assert!(max - min <= 1, "greedy repair must re-balance: {load:?}");
+        }
+    }
+
+    #[test]
+    fn repaired_plan_roundtrips_through_text() {
+        let (stream, plan) = plan_fixture();
+        let repaired = repair_plan(&plan, &[GpuId(2), GpuId(0)]).unwrap();
+        assert!(repaired.scheduler.contains("+repair(lost=0,2)"));
+        let back = SchedulePlan::from_text(&repaired.to_text()).unwrap();
+        assert_eq!(repaired, back);
+        assert_eq!(back.validate(&stream), Ok(()));
+    }
+
+    #[test]
+    fn repair_rejects_degenerate_inputs() {
+        let (_, plan) = plan_fixture();
+        assert_eq!(repair_plan(&plan, &[]), Err(RepairError::NothingLost));
+        assert_eq!(
+            repair_plan(&plan, &[GpuId(9)]),
+            Err(RepairError::LostGpuOutOfRange {
+                gpu: 9,
+                num_gpus: plan.num_gpus
+            })
+        );
+        assert_eq!(
+            repair_plan(&plan, &[GpuId(0), GpuId(1), GpuId(2)]),
+            Err(RepairError::NoSurvivors)
+        );
+        assert!(RepairError::NoSurvivors.to_string().contains("survivor"));
     }
 
     #[test]

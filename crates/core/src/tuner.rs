@@ -104,10 +104,25 @@ pub fn grid_search_regularized(
             (c, mean)
         })
         .collect();
-    let best = scored.iter().map(|(_, g)| *g).fold(0.0, f64::max);
+    // NaN-safe maximum: folding from 0.0 with `f64::max` silently drops
+    // NaN and negative scores, and the tolerance filter below could then
+    // reject every candidate and panic. `total_cmp` totally orders the
+    // scores, and clamping the threshold to `best` guarantees the best
+    // candidate always survives its own filter.
+    let best = scored
+        .iter()
+        .map(|(_, g)| *g)
+        .fold(f64::NEG_INFINITY, |acc, g| {
+            if g.total_cmp(&acc).is_gt() {
+                g
+            } else {
+                acc
+            }
+        });
+    let threshold = best.min(best * (1.0 - tolerance));
     let (setting, gflops) = scored
         .into_iter()
-        .filter(|(_, g)| *g >= best * (1.0 - tolerance))
+        .filter(|(_, g)| g.total_cmp(&threshold).is_ge())
         .min_by(|(a, ga), (b, gb)| {
             let norm = |s: &[usize; 3]| s.iter().sum::<usize>();
             norm(a).cmp(&norm(b)).then(a.cmp(b)).then(gb.total_cmp(ga))
@@ -176,10 +191,23 @@ pub fn optimal_bounds_full_range(
                 (v, mean_gflops(setting))
             })
             .collect();
-        let best = scored.iter().map(|(_, g)| *g).fold(0.0, f64::max);
+        // same NaN-safe fold + clamped threshold as
+        // `grid_search_regularized`: the component's best value always
+        // survives its own filter
+        let best = scored
+            .iter()
+            .map(|(_, g)| *g)
+            .fold(f64::NEG_INFINITY, |acc, g| {
+                if g.total_cmp(&acc).is_gt() {
+                    g
+                } else {
+                    acc
+                }
+            });
+        let threshold = best.min(best * (1.0 - tolerance));
         bounds[k] = scored
             .into_iter()
-            .filter(|(_, g)| *g >= best * (1.0 - tolerance))
+            .filter(|(_, g)| g.total_cmp(&threshold).is_ge())
             .map(|(v, _)| v)
             .min()
             .expect("the best setting survives its own filter");
@@ -359,6 +387,29 @@ mod tests {
         assert_eq!(f[1], (4 * 256 * 256 * 16) as f64); // tensor bytes
         assert!(f[2] > 0.2 && f[2] < 0.7, "repeat rate {}", f[2]);
         assert!((0.0..=1.0).contains(&f[3]));
+    }
+
+    #[test]
+    fn regularized_search_survives_degenerate_scores() {
+        // a machine too small for any setting: every candidate scores 0.0
+        // (run_schedule errors out-of-memory) — the search must pick the
+        // smallest setting instead of panicking on an emptied filter
+        let streams = vec![WorkloadSpec::new(16, 128)
+            .with_repeat_rate(0.5)
+            .with_vectors(2)
+            .generate()];
+        let tiny = MachineConfig::mi100_like(2).with_mem_bytes(1);
+        let (best, gf) = grid_search_regularized(&streams, &tiny, &bound_cube(), 0.02);
+        assert_eq!(best.as_array(), [0, 0, 0]);
+        assert_eq!(gf, 0.0);
+        let (best_fr, gf_fr) = optimal_bounds_full_range(&streams, &tiny, 0.02);
+        assert_eq!(best_fr.as_array(), [0, 0, 0]);
+        assert_eq!(gf_fr, 0.0);
+        // a pathological tolerance (> 1) pushes the old threshold above
+        // the best score; the clamped threshold keeps the filter non-empty
+        let cfg = small_machine();
+        let (_, gf) = grid_search_regularized(&streams, &cfg, &bound_cube(), -0.5);
+        assert!(gf > 0.0);
     }
 
     #[test]

@@ -14,16 +14,18 @@
 //! checksum reduction is bit-identical across modes, schedulers, and
 //! worker counts.
 
+use std::any::Any;
 use std::collections::{HashSet, VecDeque};
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 use micco_core::{Assignment, PlanError, SchedulePlan};
-use micco_tensor::Complex64;
+use micco_gpusim::FaultPlan;
+use micco_tensor::{Complex64, TensorError};
 use micco_workload::{TensorId, TensorPairStream, Vector};
 
 use crate::store::TensorStore;
@@ -50,6 +52,12 @@ pub struct ExecOptions {
     /// crunch — the execution-engine analogue of the simulator's
     /// asynchronous copy engine.
     pub prefetch: bool,
+    /// Maximum attempts per kernel under transient faults. `0` and `1`
+    /// both mean "no retry": the first transient failure is final.
+    pub max_attempts: u32,
+    /// Base delay of the exponential backoff between retry attempts:
+    /// attempt `n` waits `base_delay · 2^(n-1)`, capped at 100 ms.
+    pub base_delay: Duration,
 }
 
 impl ExecOptions {
@@ -62,6 +70,14 @@ impl ExecOptions {
     /// Options with operand prefetch enabled.
     pub fn with_prefetch(mut self) -> Self {
         self.prefetch = true;
+        self
+    }
+
+    /// Options with bounded-backoff retry: up to `max_attempts` attempts
+    /// per kernel, sleeping `base_delay · 2^(attempt-1)` between attempts.
+    pub fn retry(mut self, max_attempts: u32, base_delay: Duration) -> Self {
+        self.max_attempts = max_attempts;
+        self.base_delay = base_delay;
         self
     }
 }
@@ -91,6 +107,32 @@ pub enum ExecError {
     },
     /// A [`SchedulePlan`] failed validation against the stream.
     Plan(PlanError),
+    /// A kernel rejected its operands — the stream fed it incompatible
+    /// shapes.
+    ShapeMismatch {
+        /// Task whose contraction failed.
+        task: u64,
+        /// Left operand (batch, dim).
+        lhs: (usize, usize),
+        /// Right operand (batch, dim).
+        rhs: (usize, usize),
+    },
+    /// A worker thread failed: it panicked, or a transient fault outlived
+    /// the retry budget. A panic is caught at the join and reported here
+    /// instead of aborting the process.
+    WorkerFailed {
+        /// Device index of the failed worker, when attributable.
+        gpu: Option<usize>,
+        /// Task being executed when the worker failed, when known.
+        task: Option<u64>,
+        /// Human-readable failure cause (panic payload or fault detail).
+        cause: String,
+    },
+    /// Every worker was lost before `stage` — nobody left to drain it.
+    AllWorkersLost {
+        /// First stage with no surviving worker.
+        stage: usize,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -105,6 +147,24 @@ impl fmt::Display for ExecError {
                 write!(f, "assignment to device {gpu} ≥ {workers} workers")
             }
             ExecError::Plan(e) => write!(f, "invalid plan: {e}"),
+            ExecError::ShapeMismatch { task, lhs, rhs } => write!(
+                f,
+                "task {task}: shape mismatch lhs (batch {}, dim {}) vs rhs (batch {}, dim {})",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            ExecError::WorkerFailed { gpu, task, cause } => {
+                write!(f, "worker")?;
+                if let Some(g) = gpu {
+                    write!(f, " {g}")?;
+                }
+                if let Some(t) = task {
+                    write!(f, " (task {t})")?;
+                }
+                write!(f, " failed: {cause}")
+            }
+            ExecError::AllWorkersLost { stage } => {
+                write!(f, "all workers lost before stage {stage}")
+            }
         }
     }
 }
@@ -144,6 +204,14 @@ pub struct ExecOutcome {
     pub checksum: Complex64,
     /// Total kernels computed.
     pub kernels: usize,
+    /// Injected faults that fired during execution (kernel faults and
+    /// transfer timeouts; device losses are counted in `lost_workers`).
+    pub faults: u64,
+    /// Retried attempts after transient faults.
+    pub retries: u64,
+    /// Workers that were lost — transiently or permanently — in at least
+    /// one stage of the run.
+    pub lost_workers: usize,
 }
 
 /// Execute `stream` with real kernels on `workers` threads, following the
@@ -231,6 +299,41 @@ pub fn execute_stream_opts(
     seed: u64,
     opts: ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
+    execute_stream_faults(
+        stream,
+        assignments,
+        workers,
+        shape,
+        seed,
+        opts,
+        &FaultPlan::none(),
+    )
+}
+
+/// [`execute_stream_opts`] under a deterministic [`FaultPlan`] — the chaos
+/// entry point. Injected transfer timeouts re-stage operands, transient
+/// kernel faults burn attempts from the retry budget
+/// ([`ExecOptions::retry`]), and device losses remove workers (their
+/// queued tasks drain through the stealing path, so the checksum of a run
+/// with at least one surviving worker is bit-identical to the fault-free
+/// run).
+///
+/// # Errors
+///
+/// Fails under the same conditions as [`execute_stream`], plus
+/// [`ExecError::WorkerFailed`] when a transient fault outlives the retry
+/// budget and [`ExecError::AllWorkersLost`] when no worker survives a
+/// stage.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_stream_faults(
+    stream: &TensorPairStream,
+    assignments: &[Assignment],
+    workers: usize,
+    shape: TensorShape,
+    seed: u64,
+    opts: ExecOptions,
+    faults: &FaultPlan,
+) -> Result<ExecOutcome, ExecError> {
     if workers == 0 {
         return Err(ExecError::NoWorkers);
     }
@@ -246,14 +349,7 @@ pub fn execute_stream_opts(
             workers,
         });
     }
-    Ok(execute_unchecked(
-        stream,
-        assignments,
-        workers,
-        shape,
-        seed,
-        opts,
-    ))
+    execute_unchecked(stream, assignments, workers, shape, seed, opts, faults)
 }
 
 /// Execute a validated [`SchedulePlan`] with real kernels — the plan-IR
@@ -305,18 +401,90 @@ pub fn execute_plan_opts(
     seed: u64,
     opts: ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
+    execute_plan_faults(stream, plan, shape, seed, opts, &FaultPlan::none())
+}
+
+/// [`execute_plan_opts`] under a deterministic [`FaultPlan`] — the plan-IR
+/// chaos entry point.
+///
+/// # Errors
+///
+/// Fails under the same conditions as [`execute_plan`] and
+/// [`execute_stream_faults`].
+pub fn execute_plan_faults(
+    stream: &TensorPairStream,
+    plan: &SchedulePlan,
+    shape: TensorShape,
+    seed: u64,
+    opts: ExecOptions,
+    faults: &FaultPlan,
+) -> Result<ExecOutcome, ExecError> {
     plan.validate(stream)?;
     if plan.num_gpus == 0 {
         return Err(ExecError::NoWorkers);
     }
-    Ok(execute_unchecked(
+    execute_unchecked(
         stream,
         &plan.flat_assignments(),
         plan.num_gpus,
         shape,
         seed,
         opts,
-    ))
+        faults,
+    )
+}
+
+/// Shared fault-injection context handed down to the stage runners.
+struct FaultCtx<'a> {
+    faults: &'a FaultPlan,
+    max_attempts: u32,
+    base_delay: Duration,
+    fault_events: &'a AtomicU64,
+    retry_events: &'a AtomicU64,
+}
+
+impl FaultCtx<'_> {
+    /// Sleep the bounded exponential backoff before retry `attempt`.
+    fn backoff(&self, attempt: u32) {
+        if self.base_delay.is_zero() {
+            return;
+        }
+        let exp = attempt.saturating_sub(1).min(16);
+        let delay = self
+            .base_delay
+            .saturating_mul(1 << exp)
+            .min(Duration::from_millis(100));
+        std::thread::sleep(delay);
+    }
+}
+
+/// Render a worker thread's panic payload into a typed [`ExecError`].
+fn panic_to_error(gpu: Option<usize>, payload: Box<dyn Any + Send>) -> ExecError {
+    let cause = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    };
+    ExecError::WorkerFailed {
+        gpu,
+        task: None,
+        cause,
+    }
+}
+
+/// Fold an explicitly joined worker result into the engine's error type:
+/// a panic becomes [`ExecError::WorkerFailed`] instead of aborting the
+/// process.
+fn join_worker<T>(
+    gpu: usize,
+    joined: std::thread::Result<Result<T, ExecError>>,
+) -> Result<T, ExecError> {
+    match joined {
+        Ok(r) => r,
+        Err(payload) => Err(panic_to_error(Some(gpu), payload)),
+    }
 }
 
 /// The engine proper. Inputs are already validated: `workers > 0`, one
@@ -328,12 +496,26 @@ fn execute_unchecked(
     shape: TensorShape,
     seed: u64,
     opts: ExecOptions,
-) -> ExecOutcome {
+    faults: &FaultPlan,
+) -> Result<ExecOutcome, ExecError> {
     let store = TensorStore::new(shape.batch, shape.dim, seed);
     let t0 = Instant::now();
     let mut per_worker_tasks = vec![0usize; workers];
     let mut per_worker_executed = vec![0usize; workers];
     let steals = AtomicUsize::new(0);
+    let fault_events = AtomicU64::new(0);
+    let retry_events = AtomicU64::new(0);
+    let fx = FaultCtx {
+        faults,
+        max_attempts: opts.max_attempts,
+        base_delay: opts.base_delay,
+        fault_events: &fault_events,
+        retry_events: &retry_events,
+    };
+    // A device loss strands the victim's queue, so those runs go through
+    // the stealing path: survivors drain the lost workers' work.
+    let any_loss = (0..workers).any(|g| faults.loss_of(g).is_some());
+    let steal_mode = opts.steal || any_loss;
     // the modelled residency of each worker's device: operands and outputs
     // of tasks it executed (persists across stages, like device memory)
     let mut residents: Vec<HashSet<TensorId>> = vec![HashSet::new(); workers];
@@ -342,7 +524,18 @@ fn execute_unchecked(
     let mut traces: Vec<Complex64> = vec![Complex64::ZERO; stream.total_tasks()];
     let mut offset = 0usize;
 
-    for vector in &stream.vectors {
+    for (stage, vector) in stream.vectors.iter().enumerate() {
+        let lost: Vec<bool> = (0..workers).map(|w| faults.is_lost(w, stage)).collect();
+        if lost.iter().all(|&l| l) {
+            return Err(ExecError::AllWorkersLost { stage });
+        }
+        for (w, &l) in lost.iter().enumerate() {
+            if l {
+                // the device rebooted (transient) or died (permanent):
+                // either way its modelled memory is gone
+                residents[w].clear();
+            }
+        }
         let stage_assign = &assignments[offset..offset + vector.len()];
         // partition this stage's task indices per worker
         let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); workers];
@@ -357,7 +550,7 @@ fn execute_unchecked(
             per_worker_tasks[w] += b.len();
         }
         let stage_traces = &mut traces[offset..offset + vector.len()];
-        if opts.steal {
+        if steal_mode {
             run_stage_stealing(
                 vector,
                 &buckets,
@@ -367,9 +560,11 @@ fn execute_unchecked(
                 &steals,
                 &mut per_worker_executed,
                 opts.prefetch,
-            );
+                &fx,
+                &lost,
+            )?;
         } else {
-            run_stage_static(vector, &buckets, &store, stage_traces, opts.prefetch);
+            run_stage_static(vector, &buckets, &store, stage_traces, opts.prefetch, &fx)?;
             for (w, b) in buckets.iter().enumerate() {
                 per_worker_executed[w] += b.len();
             }
@@ -378,63 +573,143 @@ fn execute_unchecked(
     }
 
     let checksum = traces.iter().copied().sum();
-    ExecOutcome {
+    let stages = stream.vectors.len();
+    let lost_workers = (0..workers)
+        .filter(|&w| faults.loss_of(w).is_some_and(|(s, _)| s < stages))
+        .count();
+    Ok(ExecOutcome {
         wall_secs: t0.elapsed().as_secs_f64(),
         per_worker_tasks,
         per_worker_executed,
         steals: steals.into_inner(),
         checksum,
         kernels: stream.total_tasks(),
-    }
+        faults: fault_events.into_inner(),
+        retries: retry_events.into_inner(),
+        lost_workers,
+    })
 }
 
 /// Run one task's kernel: fetch operands, contract, register the output,
 /// and return the per-task trace (computed sequentially per batch element —
 /// no cross-thread reduction ⇒ bitwise determinism).
-fn run_task(store: &TensorStore, vector: &Vector, i: usize) -> Complex64 {
+fn run_task(store: &TensorStore, vector: &Vector, i: usize) -> Result<Complex64, ExecError> {
     let task = &vector.tasks[i];
     let a = store.fetch(task.a.id);
     let b = store.fetch(task.b.id);
-    let out = a.matmul(&b).expect("uniform shapes");
+    let out = a.matmul(&b).map_err(|e| match e {
+        TensorError::ShapeMismatch { lhs, rhs } => ExecError::ShapeMismatch {
+            task: task.id.0,
+            lhs,
+            rhs,
+        },
+        other => ExecError::WorkerFailed {
+            gpu: None,
+            task: Some(task.id.0),
+            cause: other.to_string(),
+        },
+    })?;
     let mut tr = Complex64::ZERO;
     for bi in 0..out.batch() {
         tr += out.element(bi).trace();
     }
     store.insert(task.out.id, Arc::new(out));
-    tr
+    Ok(tr)
+}
+
+/// [`run_task`] under the fault plan: a transfer timeout re-stages the
+/// operands once per charged retry; a transient kernel fault burns
+/// attempts from the retry budget (with exponential backoff) before its
+/// deterministic success — or exhausts the budget into a typed
+/// [`ExecError::WorkerFailed`].
+fn run_task_faulty(
+    store: &TensorStore,
+    vector: &Vector,
+    i: usize,
+    gpu: usize,
+    fx: &FaultCtx<'_>,
+) -> Result<Complex64, ExecError> {
+    let task = &vector.tasks[i];
+    let timeouts = fx.faults.transfer_retries(task.id.0);
+    if timeouts > 0 {
+        fx.fault_events.fetch_add(1, Ordering::Relaxed);
+        for attempt in 1..=timeouts {
+            fx.retry_events.fetch_add(1, Ordering::Relaxed);
+            fx.backoff(attempt);
+            store.fetch(task.a.id);
+            store.fetch(task.b.id);
+        }
+    }
+    let kernel_faults = fx.faults.kernel_failures(task.id.0);
+    if kernel_faults > 0 {
+        fx.fault_events.fetch_add(1, Ordering::Relaxed);
+        let budget = fx.max_attempts.max(1);
+        if kernel_faults >= budget {
+            return Err(ExecError::WorkerFailed {
+                gpu: Some(gpu),
+                task: Some(task.id.0),
+                cause: format!("transient kernel fault persisted through {budget} attempt(s)"),
+            });
+        }
+        for attempt in 1..=kernel_faults {
+            fx.retry_events.fetch_add(1, Ordering::Relaxed);
+            fx.backoff(attempt);
+        }
+    }
+    run_task(store, vector, i)
 }
 
 /// Static replay: one scoped thread per non-empty bucket; the scope join
-/// is the stage barrier.
+/// is the stage barrier. Every handle — workers and prefetcher — is
+/// joined explicitly, so a panicking thread surfaces as
+/// [`ExecError::WorkerFailed`] instead of unwinding through the scope.
 fn run_stage_static(
     vector: &Vector,
     buckets: &[Vec<usize>],
     store: &TensorStore,
     stage_traces: &mut [Complex64],
     prefetch: bool,
-) {
+    fx: &FaultCtx<'_>,
+) -> Result<(), ExecError> {
     let trace_slices = split_by_buckets(stage_traces, buckets);
-    crossbeam::thread::scope(|scope| {
-        if prefetch {
+    let scoped = crossbeam::thread::scope(|scope| -> Result<(), ExecError> {
+        let prefetcher = prefetch.then(|| {
             scope.spawn(move |_| {
                 for t in &vector.tasks {
                     store.fetch(t.a.id);
                     store.fetch(t.b.id);
                 }
-            });
-        }
-        for (bucket, slots) in buckets.iter().zip(trace_slices) {
-            if bucket.is_empty() {
-                continue;
+            })
+        });
+        let handles: Vec<_> = buckets
+            .iter()
+            .zip(trace_slices)
+            .enumerate()
+            .filter(|(_, (bucket, _))| !bucket.is_empty())
+            .map(|(w, (bucket, slots))| {
+                let h = scope.spawn(move |_| -> Result<(), ExecError> {
+                    for (&i, slot) in bucket.iter().zip(slots) {
+                        *slot = run_task_faulty(store, vector, i, w, fx)?;
+                    }
+                    Ok(())
+                });
+                (w, h)
+            })
+            .collect();
+        let mut first_err = None;
+        for (w, h) in handles {
+            if let Err(e) = join_worker(w, h.join()) {
+                first_err.get_or_insert(e);
             }
-            scope.spawn(move |_| {
-                for (&i, slot) in bucket.iter().zip(slots) {
-                    *slot = run_task(store, vector, i);
-                }
-            });
         }
-    })
-    .expect("worker panicked");
+        if let Some(h) = prefetcher {
+            if let Err(payload) = h.join() {
+                first_err.get_or_insert(panic_to_error(None, payload));
+            }
+        }
+        first_err.map_or(Ok(()), Err)
+    });
+    scoped.unwrap_or_else(|payload| Err(panic_to_error(None, payload)))
 }
 
 /// Work-stealing stage: per-worker deques; a worker drains its own queue
@@ -452,37 +727,44 @@ fn run_stage_stealing(
     steals: &AtomicUsize,
     per_worker_executed: &mut [usize],
     prefetch: bool,
-) {
+    fx: &FaultCtx<'_>,
+    lost: &[bool],
+) -> Result<(), ExecError> {
+    let workers = buckets.len();
     let queues: Vec<Mutex<VecDeque<usize>>> = buckets
         .iter()
         .map(|b| Mutex::new(b.iter().copied().collect()))
         .collect();
-    let results: Vec<Vec<(usize, Complex64)>> = crossbeam::thread::scope(|scope| {
-        if prefetch {
+    type StageDone = Vec<(usize, Complex64)>;
+    let scoped = crossbeam::thread::scope(|scope| -> Result<Vec<StageDone>, ExecError> {
+        let prefetcher = prefetch.then(|| {
             scope.spawn(move |_| {
                 for t in &vector.tasks {
                     store.fetch(t.a.id);
                     store.fetch(t.b.id);
                 }
-            });
-        }
+            })
+        });
+        // lost workers spawn no thread: their queues sit as carrion for
+        // the survivors' drain path in `steal_one`
         let handles: Vec<_> = residents
             .iter_mut()
             .enumerate()
+            .filter(|(w, _)| !lost[*w])
             .map(|(w, resident)| {
                 let queues = &queues;
-                scope.spawn(move |_| {
-                    let mut done: Vec<(usize, Complex64)> = Vec::new();
+                let h = scope.spawn(move |_| -> Result<StageDone, ExecError> {
+                    let mut done: StageDone = Vec::new();
                     loop {
                         let own = queues[w].lock().pop_front();
                         let (i, stolen) = match own {
                             Some(i) => (i, false),
-                            None => match steal_one(queues, w, vector, resident) {
+                            None => match steal_one(queues, w, vector, resident, lost) {
                                 Some(i) => (i, true),
                                 None => break,
                             },
                         };
-                        let tr = run_task(store, vector, i);
+                        let tr = run_task_faulty(store, vector, i, w, fx)?;
                         let task = &vector.tasks[i];
                         resident.insert(task.a.id);
                         resident.insert(task.b.id);
@@ -492,38 +774,64 @@ fn run_stage_stealing(
                         }
                         done.push((i, tr));
                     }
-                    done
-                })
+                    Ok(done)
+                });
+                (w, h)
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    .expect("worker panicked");
-    for (w, rs) in results.into_iter().enumerate() {
+        let mut per: Vec<StageDone> = vec![Vec::new(); workers];
+        let mut first_err = None;
+        for (w, h) in handles {
+            match join_worker(w, h.join()) {
+                Ok(done) => per[w] = done,
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        if let Some(h) = prefetcher {
+            if let Err(payload) = h.join() {
+                first_err.get_or_insert(panic_to_error(None, payload));
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(per),
+        }
+    });
+    let per = scoped.unwrap_or_else(|payload| Err(panic_to_error(None, payload)))?;
+    for (w, rs) in per.into_iter().enumerate() {
         per_worker_executed[w] += rs.len();
         for (i, tr) in rs {
             stage_traces[i] = tr;
         }
     }
+    Ok(())
 }
 
 /// Pop one steal-eligible task for `thief`: scanning other workers'
 /// queues, take from the *back* (the victim's coldest work) the first
-/// task whose operands the thief already holds.
+/// task whose operands the thief already holds. A *lost* victim cannot
+/// run anything itself, so its queue is drained from the *front*
+/// unconditionally — the reuse gate would strand its tasks.
 fn steal_one(
     queues: &[Mutex<VecDeque<usize>>],
     thief: usize,
     vector: &Vector,
     resident: &HashSet<TensorId>,
+    lost: &[bool],
 ) -> Option<usize> {
     for (v, queue) in queues.iter().enumerate() {
         if v == thief {
             continue;
         }
         let mut q = queue.lock();
+        if lost[v] {
+            if let Some(i) = q.pop_front() {
+                return Some(i);
+            }
+            continue;
+        }
         if let Some(pos) = q.iter().rposition(|&i| {
             let t = &vector.tasks[i];
             resident.contains(&t.a.id) && resident.contains(&t.b.id)
@@ -813,11 +1121,12 @@ mod tests {
             Mutex::new(VecDeque::new()),
         ];
         let resident: HashSet<TensorId> = [TensorId(1), TensorId(2)].into_iter().collect();
+        let alive = [false, false];
         // the thief takes eligible work back-to-front, skipping task 1
-        assert_eq!(steal_one(&queues, 1, &vector, &resident), Some(2));
-        assert_eq!(steal_one(&queues, 1, &vector, &resident), Some(0));
+        assert_eq!(steal_one(&queues, 1, &vector, &resident, &alive), Some(2));
+        assert_eq!(steal_one(&queues, 1, &vector, &resident, &alive), Some(0));
         assert_eq!(
-            steal_one(&queues, 1, &vector, &resident),
+            steal_one(&queues, 1, &vector, &resident, &alive),
             None,
             "task 1 is cold"
         );
@@ -827,7 +1136,14 @@ mod tests {
             "ineligible work stays with its owner"
         );
         // a worker never steals from itself
-        assert_eq!(steal_one(&queues, 0, &vector, &resident), None);
+        assert_eq!(steal_one(&queues, 0, &vector, &resident, &alive), None);
+        // a lost victim is drained from the front, reuse gate waived
+        let lost = [true, false];
+        assert_eq!(
+            steal_one(&queues, 1, &vector, &resident, &lost),
+            Some(1),
+            "cold work drains from a lost victim"
+        );
     }
 
     #[test]
@@ -862,6 +1178,199 @@ mod tests {
             err,
             ExecError::DeviceOutOfRange { gpu, workers: 2 } if gpu >= 2
         ));
+    }
+
+    #[test]
+    fn worker_panic_is_a_typed_error() {
+        let joined =
+            std::thread::spawn(|| -> Result<(), ExecError> { panic!("kernel crashed") }).join();
+        let err = join_worker(3, joined).unwrap_err();
+        assert!(matches!(
+            &err,
+            ExecError::WorkerFailed { gpu: Some(3), task: None, cause } if cause.contains("kernel crashed")
+        ));
+        assert!(err.to_string().contains("worker 3 failed"));
+        // a String payload is captured too
+        let joined = std::thread::spawn(|| -> Result<(), ExecError> {
+            panic!("{}", String::from("owned payload"))
+        })
+        .join();
+        assert!(matches!(
+            join_worker(0, joined).unwrap_err(),
+            ExecError::WorkerFailed { cause, .. } if cause.contains("owned payload")
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        use micco_workload::{ContractionTask, TaskId, TensorDesc};
+        let store = TensorStore::new(2, 4, 1);
+        // pre-register operand b with a different dim than the store default
+        store.insert(
+            TensorId(8),
+            Arc::new(micco_tensor::BatchedMatrix::identity(2, 6)),
+        );
+        let vector = Vector::new(vec![ContractionTask {
+            id: TaskId(0),
+            a: TensorDesc {
+                id: TensorId(7),
+                bytes: 1,
+            },
+            b: TensorDesc {
+                id: TensorId(8),
+                bytes: 1,
+            },
+            out: TensorDesc {
+                id: TensorId(9),
+                bytes: 1,
+            },
+            flops: 0,
+        }]);
+        let err = run_task(&store, &vector, 0).unwrap_err();
+        assert!(matches!(err, ExecError::ShapeMismatch { task: 0, .. }));
+        assert!(err.to_string().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn transient_faults_retry_to_the_same_checksum() {
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
+        let clean = execute_stream(&stream, &assignments, 2, SHAPE, 5).unwrap();
+        let t0 = stream.vectors[0].tasks[0].id.0;
+        let t1 = stream.vectors[0].tasks[1].id.0;
+        let faults = FaultPlan::none()
+            .with_kernel_fault(t0, 2)
+            .with_transfer_timeout(t1, 1);
+        let opts = ExecOptions::default().retry(4, Duration::ZERO);
+        let out = execute_stream_faults(&stream, &assignments, 2, SHAPE, 5, opts, &faults).unwrap();
+        assert_eq!(out.checksum, clean.checksum, "faults never change values");
+        assert_eq!(out.faults, 2);
+        assert_eq!(out.retries, 3);
+        assert_eq!(out.lost_workers, 0);
+        // the recovery is deterministic: same (seed, FaultPlan) ⇒ same run
+        let again =
+            execute_stream_faults(&stream, &assignments, 2, SHAPE, 5, opts, &faults).unwrap();
+        assert_eq!(again.checksum, out.checksum);
+        assert_eq!(again.retries, out.retries);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_worker_failed() {
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
+        let tid = stream.vectors[0].tasks[0].id.0;
+        let faults = FaultPlan::none().with_kernel_fault(tid, 3);
+        // default options: no retry budget, first transient failure is final
+        let err = execute_stream_faults(
+            &stream,
+            &assignments,
+            2,
+            SHAPE,
+            5,
+            ExecOptions::default(),
+            &faults,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::WorkerFailed { task: Some(t), .. } if t == tid
+        ));
+        // a budget larger than the fault count rides it out
+        let opts = ExecOptions::default().retry(4, Duration::ZERO);
+        assert!(execute_stream_faults(&stream, &assignments, 2, SHAPE, 5, opts, &faults).is_ok());
+    }
+
+    #[test]
+    fn permanent_single_gpu_loss_preserves_checksum() {
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
+        let clean = execute_stream(&stream, &assignments, 2, SHAPE, 5).unwrap();
+        // gpu 1 dies at stage 1 and never returns
+        let faults = FaultPlan::none().with_device_loss(1, 1, true);
+        let opts = ExecOptions::default();
+        let out = execute_stream_faults(&stream, &assignments, 2, SHAPE, 5, opts, &faults).unwrap();
+        assert_eq!(
+            out.checksum, clean.checksum,
+            "survivors drain the dead queue"
+        );
+        assert_eq!(out.lost_workers, 1);
+        assert_eq!(
+            out.per_worker_executed.iter().sum::<usize>(),
+            stream.total_tasks(),
+            "every task executed exactly once"
+        );
+        assert_eq!(out.per_worker_tasks, clean.per_worker_tasks);
+        let again =
+            execute_stream_faults(&stream, &assignments, 2, SHAPE, 5, opts, &faults).unwrap();
+        assert_eq!(again.checksum, out.checksum, "recovery is deterministic");
+    }
+
+    #[test]
+    fn transient_loss_returns_the_worker_next_stage() {
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 3);
+        let clean = execute_stream(&stream, &assignments, 3, SHAPE, 5).unwrap();
+        // gpu 2 flakes in stage 0 only
+        let faults = FaultPlan::none().with_device_loss(2, 0, false);
+        let out = execute_stream_faults(
+            &stream,
+            &assignments,
+            3,
+            SHAPE,
+            5,
+            ExecOptions::default(),
+            &faults,
+        )
+        .unwrap();
+        assert_eq!(out.checksum, clean.checksum);
+        assert_eq!(out.lost_workers, 1);
+        assert_eq!(
+            out.per_worker_executed.iter().sum::<usize>(),
+            stream.total_tasks()
+        );
+    }
+
+    #[test]
+    fn all_workers_lost_is_a_typed_error() {
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
+        let faults = FaultPlan::none()
+            .with_device_loss(0, 0, true)
+            .with_device_loss(1, 0, true);
+        let err = execute_stream_faults(
+            &stream,
+            &assignments,
+            2,
+            SHAPE,
+            5,
+            ExecOptions::default(),
+            &faults,
+        )
+        .unwrap_err();
+        assert_eq!(err, ExecError::AllWorkersLost { stage: 0 });
+        assert!(err.to_string().contains("all workers lost"));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_behavior_neutral() {
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
+        let base = execute_stream(&stream, &assignments, 2, SHAPE, 5).unwrap();
+        let via_faults = execute_stream_faults(
+            &stream,
+            &assignments,
+            2,
+            SHAPE,
+            5,
+            ExecOptions::default(),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(via_faults.checksum, base.checksum);
+        assert_eq!(via_faults.faults, 0);
+        assert_eq!(via_faults.retries, 0);
+        assert_eq!(via_faults.lost_workers, 0);
+        assert_eq!(via_faults.per_worker_executed, base.per_worker_executed);
     }
 
     #[test]

@@ -1,0 +1,333 @@
+//! Deterministic fault injection.
+//!
+//! A [`FaultPlan`] is a *schedule of failures*: which tasks suffer
+//! transient kernel faults or transfer timeouts, and which devices are
+//! lost at which stage (transiently for one stage, or permanently for the
+//! rest of the run). The plan is plain data — seeded, serializable through
+//! its builder calls, and completely deterministic — so a faulty run can
+//! be replayed bit-for-bit by handing the same `(seed, FaultPlan)` pair to
+//! the machine again.
+//!
+//! Faults are keyed by **task id** (kernel faults, transfer timeouts) or
+//! by **`(device, stage)`** (device loss), never by placement. That makes
+//! a plan meaningful both before and after a degraded-mode repair moves
+//! orphaned tasks to surviving devices: the same task still fails the same
+//! way wherever it lands.
+//!
+//! The default [`FaultPlan::none`] injects nothing; machines built without
+//! an explicit plan behave exactly as before the fault layer existed.
+
+use std::collections::HashMap;
+
+/// The kind of an injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A kernel launch failed once and must be retried.
+    TransientKernel,
+    /// A device dropped out for one stage and then recovered.
+    TransientDeviceLoss,
+    /// A device dropped out and never comes back.
+    PermanentDeviceLoss,
+    /// An operand transfer timed out and must be re-issued.
+    TransferTimeout,
+}
+
+impl FaultKind {
+    /// Stable lower-case name (used in traces and reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::TransientKernel => "transient-kernel",
+            FaultKind::TransientDeviceLoss => "transient-device-loss",
+            FaultKind::PermanentDeviceLoss => "permanent-device-loss",
+            FaultKind::TransferTimeout => "transfer-timeout",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A deterministic schedule of injected failures.
+///
+/// # Examples
+///
+/// ```
+/// use micco_gpusim::FaultPlan;
+///
+/// let plan = FaultPlan::none()
+///     .with_kernel_fault(3, 2)        // task 3's kernel fails twice
+///     .with_transfer_timeout(5, 1)    // task 5's staging times out once
+///     .with_device_loss(1, 0, true);  // gpu1 dies at stage 0, for good
+/// assert_eq!(plan.kernel_failures(3), 2);
+/// assert!(plan.is_lost(1, 7), "permanent loss persists");
+/// assert!(!plan.is_lost(0, 0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Task id → number of failed kernel attempts before success.
+    kernel: HashMap<u64, u32>,
+    /// Task id → number of timed-out transfer attempts before success.
+    timeout: HashMap<u64, u32>,
+    /// Device → (stage the loss fires at, whether it is permanent).
+    loss: HashMap<usize, (usize, bool)>,
+}
+
+impl FaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects no fault at all.
+    pub fn is_empty(&self) -> bool {
+        self.kernel.is_empty() && self.timeout.is_empty() && self.loss.is_empty()
+    }
+
+    /// Task `task`'s kernel fails `failures` times before succeeding.
+    pub fn with_kernel_fault(mut self, task: u64, failures: u32) -> Self {
+        if failures > 0 {
+            self.kernel.insert(task, failures);
+        }
+        self
+    }
+
+    /// Task `task`'s operand staging times out `retries` times before
+    /// completing.
+    pub fn with_transfer_timeout(mut self, task: u64, retries: u32) -> Self {
+        if retries > 0 {
+            self.timeout.insert(task, retries);
+        }
+        self
+    }
+
+    /// Device `gpu` is lost starting at `stage`: for that one stage when
+    /// `permanent` is false, for every stage from there on when true.
+    pub fn with_device_loss(mut self, gpu: usize, stage: usize, permanent: bool) -> Self {
+        self.loss.insert(gpu, (stage, permanent));
+        self
+    }
+
+    /// Failed kernel attempts injected for `task`.
+    pub fn kernel_failures(&self, task: u64) -> u32 {
+        self.kernel.get(&task).copied().unwrap_or(0)
+    }
+
+    /// Timed-out transfer attempts injected for `task`.
+    pub fn transfer_retries(&self, task: u64) -> u32 {
+        self.timeout.get(&task).copied().unwrap_or(0)
+    }
+
+    /// Whether device `gpu` is down during `stage`.
+    pub fn is_lost(&self, gpu: usize, stage: usize) -> bool {
+        match self.loss.get(&gpu) {
+            Some(&(s, true)) => stage >= s,
+            Some(&(s, false)) => stage == s,
+            None => false,
+        }
+    }
+
+    /// The loss entry for `gpu`, if any: `(stage, permanent)`.
+    pub fn loss_of(&self, gpu: usize) -> Option<(usize, bool)> {
+        self.loss.get(&gpu).copied()
+    }
+
+    /// Devices the plan removes permanently, in ascending id order, with
+    /// the stage each loss fires at.
+    pub fn permanent_losses(&self) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .loss
+            .iter()
+            .filter(|(_, &(_, permanent))| permanent)
+            .map(|(&g, &(s, _))| (g, s))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total number of injected fault events (each loss counts once).
+    pub fn fault_count(&self) -> usize {
+        self.kernel.len() + self.timeout.len() + self.loss.len()
+    }
+
+    /// Generate a random plan over a machine of `gpus` devices executing
+    /// `tasks` tasks across `stages` stages. Deterministic in `seed`. At
+    /// most `gpus − 1` devices are lost permanently, so at least one
+    /// survivor always remains.
+    pub fn random(seed: u64, gpus: usize, stages: usize, tasks: u64) -> Self {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            // splitmix64 — the same generator the tensor store seeds with
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan::none();
+        if tasks > 0 {
+            let kernel_faults = (next() % 3) as usize;
+            for _ in 0..kernel_faults {
+                plan = plan.with_kernel_fault(next() % tasks, 1 + (next() % 2) as u32);
+            }
+            let timeouts = (next() % 3) as usize;
+            for _ in 0..timeouts {
+                plan = plan.with_transfer_timeout(next() % tasks, 1 + (next() % 2) as u32);
+            }
+        }
+        if gpus > 1 && stages > 0 {
+            let losses = (next() % gpus as u64) as usize;
+            let mut permanent_left = gpus - 1;
+            for _ in 0..losses {
+                let gpu = (next() % gpus as u64) as usize;
+                let stage = (next() % stages as u64) as usize;
+                let permanent = permanent_left > 0 && next() % 2 == 0;
+                if plan.loss.contains_key(&gpu) {
+                    continue;
+                }
+                if permanent {
+                    permanent_left -= 1;
+                }
+                plan = plan.with_device_loss(gpu, stage, permanent);
+            }
+        }
+        plan
+    }
+
+    /// Parse a CLI fault spec: comma-separated events, each one of
+    ///
+    /// * `kernel:T` or `kernel:T*N` — task `T`'s kernel fails `N` times
+    ///   (default 1);
+    /// * `timeout:T` or `timeout:T*N` — task `T`'s staging times out `N`
+    ///   times (default 1);
+    /// * `lose:G@S` — device `G` is lost permanently at stage `S`;
+    /// * `flake:G@S` — device `G` is lost for stage `S` only.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (kind, rest) = part
+                .split_once(':')
+                .ok_or_else(|| format!("'{part}': expected kind:value"))?;
+            match kind {
+                "kernel" | "timeout" => {
+                    let (task, count) = match rest.split_once('*') {
+                        Some((t, n)) => (
+                            t.parse::<u64>()
+                                .map_err(|_| format!("'{t}': bad task id"))?,
+                            n.parse::<u32>().map_err(|_| format!("'{n}': bad count"))?,
+                        ),
+                        None => (
+                            rest.parse::<u64>()
+                                .map_err(|_| format!("'{rest}': bad task id"))?,
+                            1,
+                        ),
+                    };
+                    plan = if kind == "kernel" {
+                        plan.with_kernel_fault(task, count)
+                    } else {
+                        plan.with_transfer_timeout(task, count)
+                    };
+                }
+                "lose" | "flake" => {
+                    let (g, s) = rest
+                        .split_once('@')
+                        .ok_or_else(|| format!("'{rest}': expected GPU@STAGE"))?;
+                    let gpu = g.parse::<usize>().map_err(|_| format!("'{g}': bad gpu"))?;
+                    let stage = s
+                        .parse::<usize>()
+                        .map_err(|_| format!("'{s}': bad stage"))?;
+                    plan = plan.with_device_loss(gpu, stage, kind == "lose");
+                }
+                other => return Err(format!("'{other}': unknown fault kind")),
+            }
+        }
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert_eq!(p.kernel_failures(0), 0);
+        assert_eq!(p.transfer_retries(0), 0);
+        assert!(!p.is_lost(0, 0));
+        assert_eq!(p.fault_count(), 0);
+    }
+
+    #[test]
+    fn loss_semantics_transient_vs_permanent() {
+        let p = FaultPlan::none()
+            .with_device_loss(0, 2, false)
+            .with_device_loss(1, 3, true);
+        assert!(!p.is_lost(0, 1));
+        assert!(p.is_lost(0, 2));
+        assert!(!p.is_lost(0, 3), "transient loss recovers");
+        assert!(!p.is_lost(1, 2));
+        assert!(p.is_lost(1, 3) && p.is_lost(1, 99), "permanent loss sticks");
+        assert_eq!(p.permanent_losses(), vec![(1, 3)]);
+        assert_eq!(p.loss_of(0), Some((2, false)));
+        assert_eq!(p.loss_of(7), None);
+    }
+
+    #[test]
+    fn random_is_deterministic_and_leaves_a_survivor() {
+        for seed in 0..50u64 {
+            let a = FaultPlan::random(seed, 4, 3, 100);
+            let b = FaultPlan::random(seed, 4, 3, 100);
+            assert_eq!(a, b, "seed {seed} must reproduce the plan");
+            assert!(
+                a.permanent_losses().len() < 4,
+                "seed {seed} lost every device"
+            );
+        }
+        assert_ne!(
+            FaultPlan::random(1, 4, 3, 100),
+            FaultPlan::random(2, 4, 3, 100),
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_the_builder_calls() {
+        let p = FaultPlan::parse("kernel:3*2, timeout:5, lose:1@0, flake:2@4").unwrap();
+        assert_eq!(p.kernel_failures(3), 2);
+        assert_eq!(p.transfer_retries(5), 1);
+        assert_eq!(p.loss_of(1), Some((0, true)));
+        assert_eq!(p.loss_of(2), Some((4, false)));
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("kernel").is_err());
+        assert!(FaultPlan::parse("kernel:x").is_err());
+        assert!(FaultPlan::parse("kernel:1*y").is_err());
+        assert!(FaultPlan::parse("lose:1").is_err());
+        assert!(FaultPlan::parse("lose:a@b").is_err());
+        assert!(FaultPlan::parse("explode:1").is_err());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(FaultKind::TransientKernel.as_str(), "transient-kernel");
+        assert_eq!(FaultKind::TransferTimeout.to_string(), "transfer-timeout");
+        assert_eq!(
+            FaultKind::PermanentDeviceLoss.as_str(),
+            "permanent-device-loss"
+        );
+        assert_eq!(
+            FaultKind::TransientDeviceLoss.as_str(),
+            "transient-device-loss"
+        );
+    }
+}

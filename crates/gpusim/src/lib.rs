@@ -28,6 +28,7 @@
 //! the paper's `mapGPUTensor` / `mapGPUCom` / `mapGPUMem` structures.
 
 pub mod cost;
+pub mod fault;
 pub mod machine;
 pub mod memory;
 pub mod shadow;
@@ -35,6 +36,7 @@ pub mod stats;
 pub mod trace;
 
 pub use cost::{CostModel, MachineConfig};
+pub use fault::{FaultKind, FaultPlan};
 pub use machine::{build_oracle, DeviceView, ExecError, GpuId, MachineView, SimMachine};
 pub use memory::{DeviceMemory, EvictionPolicy, Provenance};
 pub use shadow::{ExecObserver, NullObserver, ShadowMachine};

@@ -56,6 +56,16 @@ pub enum ExecError {
         /// Underlying allocator error.
         source: AllocError,
     },
+    /// The device is down at this stage, per the machine's injected
+    /// [`crate::FaultPlan`].
+    DeviceLost {
+        /// The lost device.
+        gpu: GpuId,
+        /// Stage the loss was observed at.
+        stage: usize,
+        /// Whether the device never comes back.
+        permanent: bool,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -65,6 +75,15 @@ impl std::fmt::Display for ExecError {
                 write!(f, "{gpu} out of range (machine has {num_gpus} devices)")
             }
             ExecError::OutOfMemory { gpu, source } => write!(f, "{gpu} out of memory: {source}"),
+            ExecError::DeviceLost {
+                gpu,
+                stage,
+                permanent,
+            } => write!(
+                f,
+                "{gpu} lost at stage {stage} ({})",
+                if *permanent { "permanent" } else { "transient" }
+            ),
         }
     }
 }
@@ -202,6 +221,24 @@ impl ExecObserver for StatsObserver<'_> {
         s.compute_secs += compute_secs;
         s.memory_secs += mem_secs;
     }
+
+    fn fault(&mut self, gpu: GpuId, task: TaskId, kind: crate::fault::FaultKind) {
+        self.stats.per_gpu[gpu.0].faults += 1;
+        self.record(Event::Fault { gpu, task, kind });
+    }
+
+    fn retry(&mut self, gpu: GpuId, task: TaskId, attempt: u32) {
+        self.stats.per_gpu[gpu.0].retries += 1;
+        self.record(Event::Retry { gpu, task, attempt });
+    }
+
+    fn device_lost(&mut self, gpu: GpuId, stage: usize, permanent: bool) {
+        self.record(Event::DeviceLost {
+            gpu,
+            stage,
+            permanent,
+        });
+    }
 }
 
 /// The simulated node.
@@ -251,6 +288,22 @@ impl SimMachine {
     pub fn with_oracle(mut self, stream: &TensorPairStream) -> Self {
         self.shadow.set_oracle(stream);
         self
+    }
+
+    /// Arm the machine with a fault-injection plan (empty by default).
+    pub fn with_faults(mut self, faults: crate::fault::FaultPlan) -> Self {
+        self.shadow.set_faults(faults);
+        self
+    }
+
+    /// Arm the fault plan in place.
+    pub fn set_faults(&mut self, faults: crate::fault::FaultPlan) {
+        self.shadow.set_faults(faults);
+    }
+
+    /// The fault plan currently armed.
+    pub fn faults(&self) -> &crate::fault::FaultPlan {
+        self.shadow.faults()
     }
 
     /// The machine's configuration.

@@ -20,6 +20,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use micco_workload::{ContractionTask, TaskId, TensorId, TensorPairStream};
 
 use crate::cost::MachineConfig;
+use crate::fault::{FaultKind, FaultPlan};
 use crate::machine::{ExecError, GpuId, MachineView};
 use crate::memory::{DeviceMemory, Provenance};
 
@@ -51,6 +52,13 @@ pub trait ExecObserver {
     fn kernel(&mut self, _gpu: GpuId, _task: TaskId, _secs: f64) {}
     /// The task finished; totals for the whole execute call.
     fn task_done(&mut self, _gpu: GpuId, _flops: u64, _compute_secs: f64, _mem_secs: f64) {}
+    /// An injected fault from the machine's [`FaultPlan`] fired on `task`.
+    fn fault(&mut self, _gpu: GpuId, _task: TaskId, _kind: FaultKind) {}
+    /// Attempt `attempt` (1-based) of `task` re-ran after a transient fault.
+    fn retry(&mut self, _gpu: GpuId, _task: TaskId, _attempt: u32) {}
+    /// Device `gpu` was found lost at `stage` (`permanent` when it never
+    /// comes back).
+    fn device_lost(&mut self, _gpu: GpuId, _stage: usize, _permanent: bool) {}
 }
 
 /// The no-op observer used by the pure decide path.
@@ -172,6 +180,12 @@ pub struct ShadowMachine {
     task_counter: u64,
     /// When the shared host link is next free (`shared_h2d_link` only).
     host_link_free: f64,
+    /// Injected failures ([`FaultPlan::none`] by default: no behavioural
+    /// change whatsoever).
+    faults: FaultPlan,
+    /// Current stage index (counts `barrier` calls) — what device-loss
+    /// faults key on.
+    stage_index: usize,
 }
 
 impl ShadowMachine {
@@ -195,7 +209,31 @@ impl ShadowMachine {
             oracle: None,
             task_counter: 0,
             host_link_free: 0.0,
+            faults: FaultPlan::none(),
+            stage_index: 0,
         }
+    }
+
+    /// Arm the machine with a fault-injection plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.set_faults(faults);
+        self
+    }
+
+    /// Arm the fault plan in place (used by wrappers that own a shadow).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The fault plan currently armed.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The current stage index (number of barriers crossed so far) — the
+    /// coordinate device-loss faults fire on.
+    pub fn stage_index(&self) -> usize {
+        self.stage_index
     }
 
     /// Arm the clairvoyant eviction oracle with the full stream the machine
@@ -235,6 +273,16 @@ impl ShadowMachine {
             return Err(ExecError::BadGpu {
                 gpu,
                 num_gpus: self.gpus.len(),
+            });
+        }
+        if self.faults.is_lost(gpu.0, self.stage_index) {
+            let permanent = self.faults.loss_of(gpu.0).is_some_and(|(_, p)| p);
+            let stage = self.stage_index;
+            obs.device_lost(gpu, stage, permanent);
+            return Err(ExecError::DeviceLost {
+                gpu,
+                stage,
+                permanent,
             });
         }
         let mut mem_secs = 0.0;
@@ -297,6 +345,18 @@ impl ShadowMachine {
             }
         }
 
+        // Injected transfer timeouts: each timed-out attempt re-pays the
+        // full staging cost of this task's operands (residency itself is
+        // unaffected — retries change timing, never values).
+        let transfer_retries = self.faults.transfer_retries(task.id.0);
+        if transfer_retries > 0 && mem_secs > 0.0 {
+            obs.fault(gpu, task.id, FaultKind::TransferTimeout);
+            for attempt in 1..=transfer_retries {
+                obs.retry(gpu, task.id, attempt);
+            }
+            mem_secs *= 1.0 + f64::from(transfer_retries);
+        }
+
         // Allocate the output. A recompute of an intermediate that is still
         // resident (e.g. replaying a stream on a warm machine) overwrites
         // in place — no new allocation.
@@ -313,8 +373,17 @@ impl ShadowMachine {
             mem_secs += self.charge_evictions(gpu, &evicted, obs);
         }
 
-        // Kernel.
-        let compute_secs = self.config.cost.compute_secs(task.flops);
+        // Kernel. Injected transient kernel faults charge one full extra
+        // launch per failed attempt before the successful one.
+        let mut compute_secs = self.config.cost.compute_secs(task.flops);
+        let kernel_failures = self.faults.kernel_failures(task.id.0);
+        if kernel_failures > 0 {
+            obs.fault(gpu, task.id, FaultKind::TransientKernel);
+            for attempt in 1..=kernel_failures {
+                obs.retry(gpu, task.id, attempt);
+            }
+            compute_secs *= 1.0 + f64::from(kernel_failures);
+        }
         obs.kernel(gpu, task.id, compute_secs);
 
         // Unpin the working set.
@@ -401,6 +470,7 @@ impl ShadowMachine {
             g.copy_intervals.clear();
             g.kernel_intervals.clear();
         }
+        self.stage_index += 1;
         (start, end)
     }
 
@@ -629,5 +699,113 @@ mod tests {
         let mut m = ShadowMachine::new(MachineConfig::mi100_like(1));
         let err = m.execute(&task(0, 1, 2, 3, 1, 0), GpuId(4)).unwrap_err();
         assert!(matches!(err, ExecError::BadGpu { .. }));
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let stream = WorkloadSpec::new(10, 64)
+            .with_repeat_rate(0.5)
+            .with_vectors(2)
+            .with_seed(3)
+            .generate();
+        let cfg = MachineConfig::mi100_like(2);
+        let run = |faults: crate::fault::FaultPlan| {
+            let mut m = ShadowMachine::new(cfg).with_faults(faults);
+            let mut i = 0usize;
+            for v in &stream.vectors {
+                for t in &v.tasks {
+                    m.execute(t, GpuId(i % 2)).unwrap();
+                    i += 1;
+                }
+                m.barrier();
+            }
+            m.max_device_time()
+        };
+        assert_eq!(
+            run(crate::fault::FaultPlan::none()),
+            run(crate::fault::FaultPlan::default())
+        );
+    }
+
+    #[test]
+    fn lost_device_rejects_tasks_and_recovers_if_transient() {
+        let faults = crate::fault::FaultPlan::none().with_device_loss(0, 0, false);
+        let mut m = ShadowMachine::new(MachineConfig::mi100_like(2)).with_faults(faults);
+        let err = m
+            .execute(&task(0, 1, 2, 100, 1 << 20, 0), GpuId(0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::DeviceLost {
+                gpu: GpuId(0),
+                stage: 0,
+                permanent: false
+            }
+        );
+        // the peer is fine
+        m.execute(&task(0, 1, 2, 100, 1 << 20, 0), GpuId(1))
+            .unwrap();
+        m.barrier();
+        // transient loss: gpu0 is back in stage 1
+        m.execute(&task(1, 3, 4, 101, 1 << 20, 0), GpuId(0))
+            .unwrap();
+    }
+
+    #[test]
+    fn permanent_loss_persists_across_stages() {
+        let faults = crate::fault::FaultPlan::none().with_device_loss(1, 1, true);
+        let mut m = ShadowMachine::new(MachineConfig::mi100_like(2)).with_faults(faults);
+        m.execute(&task(0, 1, 2, 100, 1 << 20, 0), GpuId(1))
+            .unwrap();
+        m.barrier();
+        for _ in 0..3 {
+            let err = m
+                .execute(&task(1, 3, 4, 101, 1 << 20, 0), GpuId(1))
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                ExecError::DeviceLost {
+                    permanent: true,
+                    ..
+                }
+            ));
+            m.barrier();
+        }
+    }
+
+    #[test]
+    fn injected_kernel_fault_charges_extra_compute() {
+        let t = task(0, 1, 2, 100, 1 << 20, 1_000_000_000);
+        let clean = {
+            let mut m = ShadowMachine::new(MachineConfig::mi100_like(1));
+            m.execute(&t, GpuId(0)).unwrap();
+            m.max_device_time()
+        };
+        let faulty = {
+            let faults = crate::fault::FaultPlan::none().with_kernel_fault(0, 2);
+            let mut m = ShadowMachine::new(MachineConfig::mi100_like(1)).with_faults(faults);
+            m.execute(&t, GpuId(0)).unwrap();
+            m.max_device_time()
+        };
+        assert!(
+            faulty > clean,
+            "retries must cost time: {faulty} vs {clean}"
+        );
+    }
+
+    #[test]
+    fn injected_timeout_charges_extra_transfer_time() {
+        let t = task(0, 1, 2, 100, 1 << 28, 0);
+        let run = |faults: crate::fault::FaultPlan| {
+            let mut m = ShadowMachine::new(MachineConfig::mi100_like(1)).with_faults(faults);
+            m.execute(&t, GpuId(0)).unwrap();
+            m.max_device_time()
+        };
+        let clean = run(crate::fault::FaultPlan::none());
+        let faulty = run(crate::fault::FaultPlan::none().with_transfer_timeout(0, 1));
+        assert!(
+            faulty > clean,
+            "one timeout re-pays the staging cost: {faulty} vs {clean}"
+        );
     }
 }

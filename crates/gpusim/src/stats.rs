@@ -35,6 +35,11 @@ pub struct GpuStats {
     /// were still open (waiting at barriers for slower peers, or a kernel
     /// stalled on its own operands).
     pub idle_secs: f64,
+    /// Injected faults that fired on this device (kernel faults and
+    /// transfer timeouts; device losses are trace events only).
+    pub faults: u64,
+    /// Retried attempts after transient faults.
+    pub retries: u64,
 }
 
 impl GpuStats {
@@ -126,6 +131,16 @@ impl ExecStats {
     /// Total copy/compute overlap seconds across devices.
     pub fn total_overlap_secs(&self) -> f64 {
         self.per_gpu.iter().map(|g| g.overlap_secs).sum()
+    }
+
+    /// Total injected faults that fired across devices.
+    pub fn total_faults(&self) -> u64 {
+        self.per_gpu.iter().map(|g| g.faults).sum()
+    }
+
+    /// Total retried attempts across devices.
+    pub fn total_retries(&self) -> u64 {
+        self.per_gpu.iter().map(|g| g.retries).sum()
     }
 
     /// Total idle seconds across devices.

@@ -6,6 +6,7 @@
 
 use micco_workload::{TaskId, TensorId};
 
+use crate::fault::FaultKind;
 use crate::machine::GpuId;
 
 /// One simulator event.
@@ -79,6 +80,33 @@ pub enum Event {
         overlap_secs: f64,
         /// Seconds both engines sat idle inside the stage span.
         idle_secs: f64,
+    },
+    /// An injected fault fired while executing a task.
+    Fault {
+        /// Device the task ran on.
+        gpu: GpuId,
+        /// Task being executed.
+        task: TaskId,
+        /// What failed.
+        kind: FaultKind,
+    },
+    /// A task attempt re-ran after a transient fault.
+    Retry {
+        /// Device the task ran on.
+        gpu: GpuId,
+        /// Task being retried.
+        task: TaskId,
+        /// 1-based retry attempt number.
+        attempt: u32,
+    },
+    /// A device was found lost at a stage.
+    DeviceLost {
+        /// The lost device.
+        gpu: GpuId,
+        /// Stage the loss was observed at.
+        stage: usize,
+        /// Whether the device never comes back.
+        permanent: bool,
     },
 }
 
@@ -166,6 +194,25 @@ impl Trace {
                     format!(
                         "\"copy_secs\":{copy_secs},\"compute_secs\":{compute_secs},\"overlap_secs\":{overlap_secs},\"idle_secs\":{idle_secs}"
                     ),
+                ),
+                Event::Fault { gpu, task, kind } => (
+                    format!("fault task{} {}", task.0, kind.as_str()),
+                    gpu.0,
+                    format!("\"kind\":\"{}\"", kind.as_str()),
+                ),
+                Event::Retry { gpu, task, attempt } => (
+                    format!("retry task{}", task.0),
+                    gpu.0,
+                    format!("\"attempt\":{attempt}"),
+                ),
+                Event::DeviceLost {
+                    gpu,
+                    stage,
+                    permanent,
+                } => (
+                    format!("device lost gpu{}", gpu.0),
+                    gpu.0,
+                    format!("\"stage\":{stage},\"permanent\":{permanent}"),
                 ),
             };
             let args = if args.is_empty() {
