@@ -17,7 +17,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use micco_core::{run_schedule, MiccoScheduler, ReuseBounds};
-use micco_exec::{execute_stream, TensorShape};
+use micco_exec::{execute_assignments, ExecOptions, TensorShape, TensorStore};
 use micco_gpusim::MachineConfig;
 use micco_workload::WorkloadSpec;
 
@@ -33,6 +33,7 @@ fn bench_exec_scaling(c: &mut Criterion) {
     g.sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_secs(1));
+    let opts = ExecOptions::default();
     for workers in [1usize, 2, 4] {
         let assignments = run_schedule(
             &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
@@ -43,8 +44,9 @@ fn bench_exec_scaling(c: &mut Criterion) {
         .assignments;
         g.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
             b.iter(|| {
+                let store = TensorStore::new(shape.batch, shape.dim, 3);
                 black_box(
-                    execute_stream(&stream, &assignments, w, shape, 3)
+                    execute_assignments(&stream, &assignments, w, &store, &opts)
                         .unwrap()
                         .checksum,
                 )

@@ -20,7 +20,7 @@ use micco_core::{
     run_schedule_with, DriverOptions, GrouteScheduler, MiccoScheduler, ReuseBounds,
     RoundRobinScheduler,
 };
-use micco_exec::{execute_stream_opts, ExecOptions, TensorShape};
+use micco_exec::{execute_assignments, ExecOptions, TensorShape, TensorStore};
 use micco_gpusim::{CostModel, MachineConfig};
 use micco_workload::{RepeatDistribution, WorkloadSpec};
 
@@ -119,7 +119,8 @@ fn checksum_validation() {
             ExecOptions::default().with_steal(),
             ExecOptions::default().with_steal().with_prefetch(),
         ] {
-            let out = execute_stream_opts(&stream, &report.assignments, workers, shape, 17, opts)
+            let store = TensorStore::new(shape.batch, shape.dim, 17);
+            let out = execute_assignments(&stream, &report.assignments, workers, &store, &opts)
                 .expect("schedule covers the stream");
             match reference {
                 None => reference = Some(out.checksum),

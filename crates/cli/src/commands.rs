@@ -9,13 +9,13 @@ use micco_core::tuner::{build_training_set, TrainingConfig};
 use micco_core::{
     execute_plan, plan_schedule_with, run_schedule, run_schedule_with, DriverOptions,
     GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler, SchedulePlan,
-    ScheduleReport, Scheduler,
+    ScheduleReport, Scheduler, Session,
 };
 use micco_exec::{
-    execute_plan_faults as execute_plan_real, execute_stream_faults, ExecOptions, FaultPlan,
-    TensorShape,
+    execute_assignments, execute_plan as execute_plan_real, ExecOptions, FaultPlan, TensorStore,
 };
 use micco_gpusim::{CostModel, MachineConfig, SimMachine};
+use micco_obs::Recorder;
 use micco_redstar::{al_rhopi, build_correlator, f0d2, f0d4, kk_pipi, nucleon_pipi, PresetScale};
 use micco_workload::{DataCharacteristics, RepeatDistribution, TensorPairStream, WorkloadSpec};
 
@@ -31,6 +31,9 @@ commands:
               --vectors N --gpus N --seed N --scheduler micco|groute|rr
               --bounds A,B,C --oversub F --overlap (alias --async-copy)
               --prefetch-tasks K --mappings
+  run         synthetic run through the Session API, with optional telemetry
+              (same options as synthetic); --trace-out FILE records spans
+              and metrics and writes Perfetto-loadable JSON
   redstar     run a Table VI correlator preset
               --preset al_rhopi|f0d2|f0d4|nucleon_pipi|kk_pipi --scale paper|ci --gpus N
   sweep       compare MICCO vs Groute across one parameter
@@ -47,6 +50,7 @@ commands:
               --inject-faults SPEC (deterministic chaos: kernel:T[*N],
               timeout:T[*N], lose:G@S, flake:G@S, comma-separated)
               --retry MAX[,DELAY_US] (per-task retry budget with backoff)
+              --trace-out FILE (wall-clock Perfetto trace of the run)
   plan        decide a schedule without executing and write the plan IR
               --out FILE plus the synthetic options (workload + scheduler);
               --lint runs the static verifier on the freshly decided plan
@@ -59,11 +63,15 @@ commands:
               --plan FILE --backend sim|real; sim replays on the simulator,
               real computes kernels (--batch N --tensor-size N --seed N
               must match the workload; --steal/--prefetch and
-              --inject-faults/--retry as in exec)
+              --inject-faults/--retry as in exec); --trace-out FILE writes
+              Perfetto JSON for either backend
   replay      re-execute a plan several times and verify determinism
               --plan FILE --times N plus the workload options
-  trace       run a workload and write a chrome://tracing JSON
-              --out FILE plus the synthetic options
+  trace       run a workload and write a trace timeline
+              --out FILE plus the synthetic options; without --plan the
+              legacy chrome://tracing array is written, with --plan FILE
+              the plan is replayed through the Session API and a Perfetto
+              JSON (spans + metrics) is written instead
   info        print the default cost model and platform assumptions
 
 common synthetic options also accept --save FILE / --load FILE to persist
@@ -74,6 +82,7 @@ plan/execute/replay validate the plan's workload fingerprint before running";
 pub fn dispatch(args: &Args) -> Result<(), String> {
     match args.command.as_deref() {
         Some("synthetic") => synthetic(args),
+        Some("run") => run_session(args),
         Some("redstar") => redstar(args),
         Some("sweep") => sweep(args),
         Some("train") => train(args),
@@ -159,9 +168,71 @@ fn machine_with_gpus(
     Ok(cfg)
 }
 
-fn print_report(r: &ScheduleReport) {
+/// [`DriverOptions`] mirroring the machine flags. The [`Session`] applies
+/// its own options to the machine config, so overlap/prefetch must travel
+/// here too — otherwise the defaults would reset them.
+fn driver_options(args: &Args) -> Result<DriverOptions, String> {
+    let mut opts = DriverOptions::default().with_measure_overhead();
+    if args.flag("async-copy") || args.flag("overlap") {
+        opts = opts.with_overlap();
+    }
+    let prefetch: usize = args
+        .parse_or("prefetch-tasks", 0)
+        .map_err(|e| e.to_string())?;
+    if prefetch > 0 {
+        opts = opts.with_prefetch_tasks(prefetch);
+    }
+    Ok(opts)
+}
+
+/// Fresh recorder when `--trace-out FILE` was given, `None` otherwise.
+fn trace_recorder(args: &Args) -> Option<std::sync::Arc<Recorder>> {
+    args.get("trace-out").map(|_| Recorder::shared())
+}
+
+/// Write the recorder's timeline as Perfetto-loadable JSON to `path`.
+fn write_perfetto(recorder: &Recorder, path: &str) -> Result<(), String> {
+    std::fs::write(path, recorder.to_perfetto_json()).map_err(|e| format!("{path}: {e}"))?;
     println!(
-        "{}: {:.0} GFLOPS | elapsed {:.3} ms | overhead {:.3} ms",
+        "wrote {} trace event(s) to {path} (open in Perfetto / chrome://tracing)",
+        recorder.len()
+    );
+    Ok(())
+}
+
+/// `micco run`: the synthetic pipeline through the [`Session`] API, with
+/// optional end-to-end telemetry (`--trace-out FILE`).
+fn run_session(args: &Args) -> Result<(), String> {
+    let stream = synthetic_stream(args)?;
+    let cfg = machine_for(args, &stream)?;
+    let mut sched = build_scheduler(args)?;
+    let mut session = Session::new(cfg).with_options(driver_options(args)?);
+    let recorder = trace_recorder(args);
+    if let Some(r) = &recorder {
+        session = session.trace(r.clone()).metrics(r.metrics());
+    }
+    let report = session
+        .run(sched.as_mut(), &stream)
+        .map_err(|e| e.to_string())?;
+    print_report(&report);
+    if args.flag("mappings") {
+        let hist = micco_core::mapping_histogram(&stream, &report.assignments, session.config());
+        println!("  Fig. 4 mappings: {hist}");
+    }
+    if let Some(r) = &recorder {
+        write_perfetto(r, &args.str_or("trace-out", "micco-trace.json"))?;
+    }
+    Ok(())
+}
+
+fn print_report(r: &ScheduleReport) {
+    let exec_overhead = if r.execution_overhead_secs > 0.0 {
+        format!(" (+{:.3} ms exec)", r.execution_overhead_secs * 1e3)
+    } else {
+        String::new()
+    };
+    println!(
+        "{}: {:.0} GFLOPS | elapsed {:.3} ms | overhead {:.3} ms{exec_overhead}",
         r.scheduler,
         r.gflops(),
         r.elapsed_secs() * 1e3,
@@ -515,16 +586,15 @@ fn exec(args: &Args) -> Result<(), String> {
     }
     opts = apply_retry(args, opts)?;
     let faults = parse_faults(args)?;
-    let out = execute_stream_faults(
-        &stream,
-        &report.assignments,
-        workers,
-        TensorShape { batch, dim },
-        args.parse_or("seed", 0).map_err(|e| e.to_string())?,
-        opts,
-        &faults,
-    )
-    .map_err(|e| e.to_string())?;
+    opts = opts.with_faults(faults.clone());
+    let recorder = trace_recorder(args);
+    if let Some(r) = &recorder {
+        opts = opts.with_trace(r.clone());
+    }
+    let seed: u64 = args.parse_or("seed", 0).map_err(|e| e.to_string())?;
+    let store = TensorStore::new(batch, dim, seed);
+    let out = execute_assignments(&stream, &report.assignments, workers, &store, &opts)
+        .map_err(|e| e.to_string())?;
     println!(
         "{}: computed {} kernels on {workers} threads in {:.1} ms (simulated {:.3} ms)",
         report.scheduler,
@@ -541,6 +611,9 @@ fn exec(args: &Args) -> Result<(), String> {
     }
     print_chaos(&faults, &out);
     println!("checksum: {}", out.checksum);
+    if let Some(r) = &recorder {
+        write_perfetto(r, &args.str_or("trace-out", "micco-trace.json"))?;
+    }
     Ok(())
 }
 
@@ -647,11 +720,15 @@ fn load_plan(args: &Args) -> Result<SchedulePlan, String> {
 fn execute(args: &Args) -> Result<(), String> {
     let plan = load_plan(args)?;
     let stream = synthetic_stream(args)?;
+    let recorder = trace_recorder(args);
     match args.str_or("backend", "sim").as_str() {
         "sim" => {
             let cfg = machine_with_gpus(args, &stream, plan.num_gpus)?;
-            let mut machine = SimMachine::new(cfg);
-            let report = execute_plan(&plan, &stream, &mut machine).map_err(|e| e.to_string())?;
+            let mut session = Session::new(cfg).with_options(driver_options(args)?);
+            if let Some(r) = &recorder {
+                session = session.trace(r.clone()).metrics(r.metrics());
+            }
+            let report = session.replay(&plan, &stream).map_err(|e| e.to_string())?;
             print_report(&report);
         }
         "real" => {
@@ -669,15 +746,13 @@ fn execute(args: &Args) -> Result<(), String> {
             }
             opts = apply_retry(args, opts)?;
             let faults = parse_faults(args)?;
-            let out = execute_plan_real(
-                &stream,
-                &plan,
-                TensorShape { batch, dim },
-                seed,
-                opts,
-                &faults,
-            )
-            .map_err(|e| e.to_string())?;
+            opts = opts.with_faults(faults.clone());
+            if let Some(r) = &recorder {
+                opts = opts.with_trace(r.clone());
+            }
+            let store = TensorStore::new(batch, dim, seed);
+            let out =
+                execute_plan_real(&stream, &plan, &store, &opts).map_err(|e| e.to_string())?;
             println!(
                 "{}: computed {} kernels on {} threads in {:.1} ms",
                 plan.scheduler,
@@ -690,6 +765,9 @@ fn execute(args: &Args) -> Result<(), String> {
             println!("checksum: {}", out.checksum);
         }
         other => return Err(format!("unknown backend '{other}' (sim|real)")),
+    }
+    if let Some(r) = &recorder {
+        write_perfetto(r, &args.str_or("trace-out", "micco-trace.json"))?;
     }
     Ok(())
 }
@@ -732,6 +810,21 @@ fn replay(args: &Args) -> Result<(), String> {
 fn trace(args: &Args) -> Result<(), String> {
     let out_path = args.str_or("out", "micco-trace.json");
     let stream = synthetic_stream(args)?;
+    // with --plan, replay the plan file through the Session telemetry path
+    // and emit Perfetto JSON (spans + metrics) instead of the legacy array
+    if args.get("plan").is_some() {
+        let plan = load_plan(args)?;
+        let cfg = machine_with_gpus(args, &stream, plan.num_gpus)?;
+        let recorder = Recorder::shared();
+        let report = Session::new(cfg)
+            .with_options(driver_options(args)?)
+            .trace(recorder.clone())
+            .metrics(recorder.metrics())
+            .replay(&plan, &stream)
+            .map_err(|e| e.to_string())?;
+        print_report(&report);
+        return write_perfetto(&recorder, &out_path);
+    }
     let cfg = machine_for(args, &stream)?;
     let mut machine = SimMachine::new(cfg);
     machine.enable_trace();
@@ -1033,6 +1126,81 @@ mod tests {
         let text = std::fs::read_to_string(&out).unwrap();
         assert!(text.starts_with('['));
         let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn run_with_trace_out_writes_perfetto_json() {
+        let out = std::env::temp_dir().join(format!("micco-cli-run-{}.json", std::process::id()));
+        run(&format!(
+            "run --vector-size 4 --tensor-size 32 --vectors 2 --gpus 2 --overlap \
+             --mappings --trace-out {}",
+            out.display()
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.starts_with('{'), "perfetto export is an object");
+        assert!(text.contains("traceEvents"));
+        assert!(text.contains("\"run "), "run span is recorded");
+        let _ = std::fs::remove_file(out);
+        // without --trace-out the command still runs (no file written)
+        run("run --vector-size 4 --tensor-size 32 --vectors 1 --gpus 2").unwrap();
+    }
+
+    #[test]
+    fn trace_with_plan_writes_perfetto_json() {
+        let dir = std::env::temp_dir();
+        let plan_path = dir.join(format!("micco-cli-tp-plan-{}.txt", std::process::id()));
+        let out = dir.join(format!("micco-cli-tp-{}.json", std::process::id()));
+        let wl = "--vector-size 4 --tensor-size 16 --vectors 2 --seed 3";
+        run(&format!("plan {wl} --gpus 2 --out {}", plan_path.display())).unwrap();
+        run(&format!(
+            "trace {wl} --plan {} --out {}",
+            plan_path.display(),
+            out.display()
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.starts_with('{'));
+        assert!(text.contains("traceEvents"));
+        let _ = std::fs::remove_file(plan_path);
+        let _ = std::fs::remove_file(out);
+    }
+
+    #[test]
+    fn exec_and_execute_accept_trace_out() {
+        let dir = std::env::temp_dir();
+        let exec_out = dir.join(format!("micco-cli-exec-tr-{}.json", std::process::id()));
+        run(&format!(
+            "exec --vector-size 4 --tensor-size 16 --vectors 2 --workers 2 --trace-out {}",
+            exec_out.display()
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&exec_out).unwrap();
+        assert!(text.starts_with('{') && text.contains("traceEvents"));
+        let _ = std::fs::remove_file(exec_out);
+
+        let plan_path = dir.join(format!("micco-cli-ex-tr-plan-{}.txt", std::process::id()));
+        let wl = "--vector-size 4 --tensor-size 16 --batch 2 --vectors 2 --seed 3";
+        run(&format!("plan {wl} --gpus 2 --out {}", plan_path.display())).unwrap();
+        for backend in ["sim", "real"] {
+            let out = dir.join(format!(
+                "micco-cli-ex-tr-{backend}-{}.json",
+                std::process::id()
+            ));
+            run(&format!(
+                "execute {wl} --plan {} --backend {backend} --trace-out {}",
+                plan_path.display(),
+                out.display()
+            ))
+            .unwrap();
+            let text = std::fs::read_to_string(&out).unwrap();
+            assert!(
+                text.starts_with('{') && text.contains("traceEvents"),
+                "{backend} backend writes perfetto json"
+            );
+            let _ = std::fs::remove_file(out);
+        }
+        let _ = std::fs::remove_file(plan_path);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod analysis;
 pub mod cluster;
 pub mod hierarchical;
 pub mod plan;
+pub mod trace;
 
 pub use analysis::{analyze_cluster_plan, analyze_cluster_plan_with, ClusterAnalysis};
 pub use cluster::{
@@ -42,3 +43,4 @@ pub use plan::{
     execute_cluster_plan, plan_cluster_schedule, repair_cluster_plan, ClusterAssignment,
     ClusterError, ClusterPlan, ClusterPlanError, ClusterRepairError,
 };
+pub use trace::trace_cluster_plan;

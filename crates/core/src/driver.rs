@@ -93,6 +93,12 @@ pub struct ScheduleReport {
     /// paper's "scheduling overhead" (Table V). Measured only when
     /// [`DriverOptions::measure_overhead`] is set; `0.0` otherwise.
     pub scheduling_overhead_secs: f64,
+    /// Real wall-clock seconds spent replaying the plan on the simulator
+    /// (the cost of the execute phase itself, not the simulated time).
+    /// Measured only when [`DriverOptions::measure_overhead`] is set and
+    /// the run goes through [`execute_plan_with`] (or [`run_schedule_with`],
+    /// which forwards its options); `0.0` otherwise.
+    pub execution_overhead_secs: f64,
     /// Every placement decision, in task order.
     pub assignments: Vec<Assignment>,
 }
@@ -127,6 +133,13 @@ impl ScheduleReport {
             self.stats.imbalance(),
             self.scheduling_overhead_secs * 1e3,
         )
+    }
+
+    /// Total measured driver overhead: decide-phase (`Scheduler::assign`
+    /// timing) plus execute-phase wall clock. Only meaningful when the run
+    /// opted into [`DriverOptions::measure_overhead`].
+    pub fn total_overhead_secs(&self) -> f64 {
+        self.scheduling_overhead_secs + self.execution_overhead_secs
     }
 }
 
@@ -257,6 +270,22 @@ pub fn execute_plan(
     stream: &TensorPairStream,
     machine: &mut SimMachine,
 ) -> Result<ScheduleReport, ScheduleError> {
+    execute_plan_with(plan, stream, machine, DriverOptions::default())
+}
+
+/// [`execute_plan`] honouring [`DriverOptions`]: with `measure_overhead`
+/// set, the wall-clock cost of the execute phase is captured into
+/// [`ScheduleReport::execution_overhead_secs`], so plan-time and exec-time
+/// overhead are reported consistently. (Historically `measure_overhead`
+/// was silently ignored on the plan-replay path.) Timing never changes the
+/// simulated outcome — a test pins that.
+pub fn execute_plan_with(
+    plan: &SchedulePlan,
+    stream: &TensorPairStream,
+    machine: &mut SimMachine,
+    options: DriverOptions,
+) -> Result<ScheduleReport, ScheduleError> {
+    let t0 = options.measure_overhead.then(Instant::now);
     plan.validate_for(stream, MachineView::num_gpus(machine))?;
     let mut assignments = Vec::with_capacity(plan.total_tasks());
     for (vector, stage) in stream.vectors.iter().zip(&plan.stages) {
@@ -275,6 +304,7 @@ pub fn execute_plan(
         scheduler: plan.scheduler.clone(),
         stats: machine.stats().clone(),
         scheduling_overhead_secs: plan.overhead_secs,
+        execution_overhead_secs: t0.map_or(0.0, |t| t.elapsed().as_secs_f64()),
         assignments,
     })
 }
@@ -323,7 +353,7 @@ pub fn run_schedule_with(
     let cfg = options.apply(config);
     let plan = plan_schedule_with(scheduler, stream, &cfg, options)?;
     let mut machine = SimMachine::new(cfg);
-    execute_plan(&plan, stream, &mut machine)
+    execute_plan_with(&plan, stream, &mut machine, options)
 }
 
 /// Run `scheduler` over `stream` on an existing machine (lets callers enable
@@ -354,6 +384,7 @@ pub fn run_schedule_on(
         scheduler: scheduler.name(),
         stats: machine.stats().clone(),
         scheduling_overhead_secs: 0.0,
+        execution_overhead_secs: 0.0,
         assignments,
     })
 }
@@ -476,6 +507,7 @@ mod tests {
         let cfg = MachineConfig::mi100_like(2);
         let silent = run_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
         assert_eq!(silent.scheduling_overhead_secs, 0.0);
+        assert_eq!(silent.execution_overhead_secs, 0.0);
         let measured = run_schedule_with(
             &mut RoundRobinScheduler::new(),
             &stream,
@@ -487,6 +519,43 @@ mod tests {
         // timing never changes the decisions or the simulated outcome
         assert_eq!(silent.assignments, measured.assignments);
         assert_eq!(silent.stats, measured.stats);
+    }
+
+    #[test]
+    fn execute_phase_overhead_is_measured_when_opted_in() {
+        let stream = WorkloadSpec::new(8, 64).with_vectors(2).generate();
+        let cfg = MachineConfig::mi100_like(2);
+        let plan = plan_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+
+        // the plan-replay path honours measure_overhead (it used to be
+        // silently dropped here)
+        let mut machine = SimMachine::new(cfg);
+        let timed = execute_plan_with(
+            &plan,
+            &stream,
+            &mut machine,
+            DriverOptions::default().with_measure_overhead(),
+        )
+        .unwrap();
+        assert!(timed.execution_overhead_secs > 0.0);
+
+        // and measurement never perturbs the simulated outcome
+        let mut machine = SimMachine::new(cfg);
+        let silent = execute_plan(&plan, &stream, &mut machine).unwrap();
+        assert_eq!(silent.execution_overhead_secs, 0.0);
+        assert_eq!(silent.stats, timed.stats);
+        assert_eq!(silent.assignments, timed.assignments);
+        assert!(timed.total_overhead_secs() >= timed.execution_overhead_secs);
+
+        // composed runs forward the options to the execute phase
+        let composed = run_schedule_with(
+            &mut RoundRobinScheduler::new(),
+            &stream,
+            &cfg,
+            DriverOptions::default().with_measure_overhead(),
+        )
+        .unwrap();
+        assert!(composed.execution_overhead_secs > 0.0);
     }
 
     #[test]

@@ -40,14 +40,16 @@ pub mod model;
 pub mod pattern;
 pub mod plan;
 pub mod reorder;
+pub mod session;
 pub mod state;
 pub mod tuner;
 
 pub use baselines::{CodaScheduler, GrouteScheduler, RoundRobinScheduler};
 pub use bounds::{BoundsProvider, FixedBounds, ReuseBounds};
 pub use driver::{
-    execute_plan, plan_schedule, plan_schedule_with, run_schedule, run_schedule_on,
-    run_schedule_with, Assignment, DriverOptions, ScheduleError, ScheduleReport, Scheduler,
+    execute_plan, execute_plan_with, plan_schedule, plan_schedule_with, run_schedule,
+    run_schedule_on, run_schedule_with, Assignment, DriverOptions, ScheduleError, ScheduleReport,
+    Scheduler,
 };
 pub use mapping::{mapping_histogram, Mapping, MappingHistogram};
 pub use micco::MiccoScheduler;
@@ -58,4 +60,5 @@ pub use plan::{
     PLAN_VERSION,
 };
 pub use reorder::{reorder_stream, reuse_clustered_order};
+pub use session::{Planned, Session};
 pub use state::VectorState;

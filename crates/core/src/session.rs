@@ -1,0 +1,354 @@
+//! One front door for a scheduled run: [`Session`] bundles the machine
+//! shape ([`MachineConfig`]), the driver knobs ([`DriverOptions`]) and an
+//! optional telemetry sink ([`TraceSink`]) behind a fluent builder, so the
+//! decide/execute split reads as one sentence:
+//!
+//! ```
+//! use micco_core::{MiccoScheduler, ReuseBounds, Session};
+//! use micco_gpusim::MachineConfig;
+//! use micco_obs::Recorder;
+//! use micco_workload::WorkloadSpec;
+//!
+//! let stream = WorkloadSpec::new(8, 64).with_vectors(2).with_seed(3).generate();
+//! let recorder = Recorder::shared();
+//! let report = Session::new(MachineConfig::mi100_like(2))
+//!     .overlap(true)
+//!     .trace(recorder.clone())
+//!     .plan(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream)?
+//!     .execute(&stream)?;
+//! assert!(report.gflops() > 0.0);
+//! // the traced timeline is ready for Perfetto
+//! assert!(recorder.to_perfetto_json().contains("traceEvents"));
+//! # Ok::<(), micco_core::ScheduleError>(())
+//! ```
+//!
+//! A [`Session`] is cheap to clone and immutable once built: `plan` hands a
+//! [`Planned`] run back, which replays on fresh simulators as many times as
+//! needed — each execution re-attaches the session's sink and emits the
+//! run-level span that parents the observer's stage and task spans.
+
+use std::sync::Arc;
+
+use micco_gpusim::{MachineConfig, SimMachine};
+use micco_obs::{
+    MetricsRegistry, SpanObserver, TraceEvent, TraceSink, Track, CONTROL_PID, SECS_TO_US,
+};
+use micco_workload::TensorPairStream;
+
+use crate::driver::{
+    execute_plan_with, plan_schedule_with, DriverOptions, ScheduleError, ScheduleReport, Scheduler,
+};
+use crate::plan::SchedulePlan;
+
+/// A configured scheduling context: machine + driver options + telemetry.
+///
+/// See the [module docs](self) for the fluent flow. All builder methods
+/// take and return `self`, so a whole session can be assembled on one
+/// temporary; [`Session::plan`] borrows (`&self`) and clones the session
+/// into the returned [`Planned`], keeping the chain alive.
+#[derive(Clone)]
+pub struct Session {
+    config: MachineConfig,
+    options: DriverOptions,
+    sink: Option<Arc<dyn TraceSink>>,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("config", &self.config)
+            .field("options", &self.options)
+            .field("sink", &self.sink.as_ref().map(|_| "dyn TraceSink"))
+            .field("metrics", &self.metrics.as_ref().map(|_| "MetricsRegistry"))
+            .finish()
+    }
+}
+
+impl Session {
+    /// Session over `config` with default options and no telemetry.
+    pub fn new(config: MachineConfig) -> Self {
+        Session {
+            config,
+            options: DriverOptions::default(),
+            sink: None,
+            metrics: None,
+        }
+    }
+
+    /// Replace the driver options wholesale (for callers that already
+    /// assembled a [`DriverOptions`], e.g. from CLI flags).
+    pub fn with_options(mut self, options: DriverOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Toggle copy/compute overlap (the async-copy engine).
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.options.overlap = on;
+        self
+    }
+
+    /// Bound the DMA staging window to `k` tasks (`0` = unbounded).
+    pub fn prefetch_tasks(mut self, k: usize) -> Self {
+        self.options.prefetch_tasks = k;
+        self
+    }
+
+    /// Toggle wall-clock overhead measurement for both phases (decide-time
+    /// `Scheduler::assign` and execute-time plan replay).
+    pub fn measure_overhead(mut self, on: bool) -> Self {
+        self.options.measure_overhead = on;
+        self
+    }
+
+    /// Attach a telemetry sink; executions then carry a [`SpanObserver`]
+    /// on the simulator and emit a run-level control span.
+    pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Aggregate observer metrics into `registry` instead of a private
+    /// one (lets several sessions — or the real executor — share totals).
+    pub fn metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
+    }
+
+    /// The machine shape this session simulates.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// The driver options in effect.
+    pub fn options(&self) -> &DriverOptions {
+        &self.options
+    }
+
+    /// Decide a schedule for `stream` without executing it. The returned
+    /// [`Planned`] owns a clone of this session, so the fluent chain works
+    /// on temporaries and the plan can be executed repeatedly.
+    pub fn plan(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        stream: &TensorPairStream,
+    ) -> Result<Planned, ScheduleError> {
+        let plan = plan_schedule_with(scheduler, stream, &self.config, self.options)?;
+        Ok(Planned {
+            session: self.clone(),
+            plan,
+        })
+    }
+
+    /// Decide and execute in one call (`plan` + `execute`).
+    pub fn run(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        stream: &TensorPairStream,
+    ) -> Result<ScheduleReport, ScheduleError> {
+        self.plan(scheduler, stream)?.execute(stream)
+    }
+
+    /// Replay an externally decided plan (e.g. one deserialized with
+    /// [`SchedulePlan::from_text`]) under this session's machine, options
+    /// and telemetry — the plan-file counterpart of [`Session::run`].
+    pub fn replay(
+        &self,
+        plan: &SchedulePlan,
+        stream: &TensorPairStream,
+    ) -> Result<ScheduleReport, ScheduleError> {
+        let mut machine = self.machine();
+        let report = execute_plan_with(plan, stream, &mut machine, self.options)?;
+        self.record_run_span(plan, &report);
+        Ok(report)
+    }
+
+    /// Fresh simulator for this session, with the telemetry observer
+    /// attached when a sink is configured.
+    fn machine(&self) -> SimMachine {
+        let cfg = self.options.apply(&self.config);
+        let mut machine = SimMachine::new(cfg);
+        if let Some(sink) = &self.sink {
+            let mut obs = SpanObserver::new(Arc::clone(sink));
+            if let Some(metrics) = &self.metrics {
+                obs = obs.with_metrics(Arc::clone(metrics));
+            }
+            machine.set_observer(Box::new(obs));
+        }
+        machine
+    }
+
+    /// Emit the run-level span that parents the observer's stage spans,
+    /// carrying the measured overheads as span arguments so the timeline
+    /// reports them alongside the simulated time.
+    fn record_run_span(&self, plan: &SchedulePlan, report: &ScheduleReport) {
+        let Some(sink) = &self.sink else { return };
+        let mut args = vec![
+            ("scheduler".to_owned(), plan.scheduler.clone()),
+            ("stages".to_owned(), plan.stages.len().to_string()),
+            ("tasks".to_owned(), plan.total_tasks().to_string()),
+        ];
+        if self.options.measure_overhead {
+            args.push((
+                "scheduling_overhead_ms".to_owned(),
+                format!("{:.6}", report.scheduling_overhead_secs * 1e3),
+            ));
+            args.push((
+                "execution_overhead_ms".to_owned(),
+                format!("{:.6}", report.execution_overhead_secs * 1e3),
+            ));
+        }
+        sink.record(TraceEvent::Span {
+            pid: CONTROL_PID,
+            track: Track::Run,
+            name: format!("run {}", plan.scheduler),
+            start_us: 0.0,
+            dur_us: report.elapsed_secs() * SECS_TO_US,
+            args,
+        });
+    }
+}
+
+/// A decided schedule bound to the [`Session`] that produced it.
+#[derive(Debug, Clone)]
+pub struct Planned {
+    session: Session,
+    plan: SchedulePlan,
+}
+
+impl Planned {
+    /// The decided plan IR.
+    pub fn plan(&self) -> &SchedulePlan {
+        &self.plan
+    }
+
+    /// Unwrap into the plan IR (e.g. to serialize it with
+    /// [`SchedulePlan::to_text`]).
+    pub fn into_plan(self) -> SchedulePlan {
+        self.plan
+    }
+
+    /// The session this plan was decided under.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// Replay the plan on a fresh simulator built from the session,
+    /// recording telemetry when the session carries a sink.
+    pub fn execute(&self, stream: &TensorPairStream) -> Result<ScheduleReport, ScheduleError> {
+        self.session.replay(&self.plan, stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::RoundRobinScheduler;
+    use crate::bounds::ReuseBounds;
+    use crate::driver::run_schedule_with;
+    use crate::micco::MiccoScheduler;
+    use micco_obs::{reconcile_with_stats, Recorder};
+    use micco_workload::WorkloadSpec;
+
+    fn stream() -> TensorPairStream {
+        WorkloadSpec::new(10, 64)
+            .with_repeat_rate(0.5)
+            .with_vectors(3)
+            .with_seed(11)
+            .generate()
+    }
+
+    #[test]
+    fn session_run_matches_the_classic_driver() {
+        let stream = stream();
+        let cfg = MachineConfig::mi100_like(2);
+        let opts = DriverOptions::default()
+            .with_overlap()
+            .with_prefetch_tasks(2);
+        let classic = run_schedule_with(
+            &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
+            &stream,
+            &cfg,
+            opts,
+        )
+        .expect("fits");
+        let via_session = Session::new(cfg)
+            .with_options(opts)
+            .run(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream)
+            .expect("fits");
+        assert_eq!(classic.assignments, via_session.assignments);
+        assert_eq!(classic.stats, via_session.stats);
+    }
+
+    #[test]
+    fn fluent_chain_works_on_a_temporary_and_replays() {
+        let stream = stream();
+        let planned = Session::new(MachineConfig::mi100_like(2))
+            .overlap(true)
+            .prefetch_tasks(1)
+            .plan(&mut RoundRobinScheduler::new(), &stream)
+            .expect("fits");
+        let a = planned.execute(&stream).expect("replays");
+        let b = planned.execute(&stream).expect("replays");
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(planned.plan().stages.len(), stream.vectors.len());
+    }
+
+    #[test]
+    fn traced_session_reconciles_and_carries_a_run_span() {
+        let stream = stream();
+        let recorder = Recorder::shared();
+        let session = Session::new(MachineConfig::mi100_like(2))
+            .trace(recorder.clone())
+            .metrics(recorder.metrics())
+            .measure_overhead(true);
+        let report = session
+            .run(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream)
+            .expect("fits");
+        let events = recorder.events();
+        // per-device span totals reconstruct the simulator's accounting
+        reconcile_with_stats(&events, &report.stats, 0, 1e-9).expect("spans match stats");
+        // the run span parents the timeline and reports the overheads
+        let run_span = events
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::Span {
+                    pid: CONTROL_PID,
+                    track: Track::Run,
+                    dur_us,
+                    args,
+                    ..
+                } => Some((*dur_us, args.clone())),
+                _ => None,
+            })
+            .expect("session emits a run span");
+        assert!((run_span.0 - report.elapsed_secs() * SECS_TO_US).abs() < 1e-9);
+        assert!(run_span.1.iter().any(|(k, _)| k == "execution_overhead_ms"));
+        // metrics aggregate through the shared registry
+        let snap = recorder.metrics_snapshot();
+        assert_eq!(snap.counter("tasks"), report.stats.total_tasks());
+        // the execute-phase overhead was actually measured
+        assert!(report.execution_overhead_secs > 0.0);
+    }
+
+    #[test]
+    fn untraced_session_emits_nothing_and_changes_nothing() {
+        let stream = stream();
+        let cfg = MachineConfig::mi100_like(2);
+        let plain = Session::new(cfg)
+            .run(&mut RoundRobinScheduler::new(), &stream)
+            .expect("fits");
+        let recorder = Recorder::shared();
+        let traced = Session::new(cfg)
+            .trace(recorder.clone())
+            .run(&mut RoundRobinScheduler::new(), &stream)
+            .expect("fits");
+        assert_eq!(plain.assignments, traced.assignments);
+        assert_eq!(plain.stats, traced.stats);
+        assert!(!recorder.events().is_empty());
+        let debug = format!("{:?}", Session::new(cfg).trace(recorder));
+        assert!(debug.contains("dyn TraceSink"));
+    }
+}

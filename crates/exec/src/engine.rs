@@ -13,6 +13,25 @@
 //! Either way the per-task outputs are identical, so the order-fixed
 //! checksum reduction is bit-identical across modes, schedulers, and
 //! worker counts.
+//!
+//! ## One entry point
+//!
+//! All configuration — stealing, prefetch, retry budgets, fault plans,
+//! and the telemetry sink — travels in [`ExecOptions`]; the two canonical
+//! entry points are [`execute_plan`] (plan IR in, validated first) and
+//! [`execute_assignments`] (raw assignment slice in). The historical
+//! `execute_stream*`/`execute_plan_opts`/`execute_plan_faults` sprawl
+//! survives as deprecated wrappers over the same engine, so the checksums
+//! they produce are bit-for-bit those of the new path.
+//!
+//! ## Telemetry
+//!
+//! With [`ExecOptions::with_trace`] the engine records wall-clock spans to
+//! a [`micco_obs::TraceSink`]: one process per worker with compute and
+//! copy tracks (kernel spans and operand staging), control-process stage
+//! spans, steal flow arrows, and fault/retry instants — the same span
+//! taxonomy the simulator's `SpanObserver` emits, so sim and real
+//! timelines render side by side in Perfetto.
 
 use std::any::Any;
 use std::collections::{HashSet, VecDeque};
@@ -25,6 +44,7 @@ use parking_lot::Mutex;
 
 use micco_core::{Assignment, PlanError, SchedulePlan};
 use micco_gpusim::FaultPlan;
+use micco_obs::{FlowPoint, TraceEvent, TraceSink, Track, CONTROL_PID};
 use micco_tensor::{Complex64, TensorError};
 use micco_workload::{TensorId, TensorPairStream, Vector};
 
@@ -40,8 +60,10 @@ pub struct TensorShape {
     pub dim: usize,
 }
 
-/// Tuning knobs for [`execute_stream_opts`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Tuning knobs for [`execute_plan`] / [`execute_assignments`] — every
+/// engine behaviour that is not the schedule itself lives here: stealing,
+/// prefetch, the retry budget, the fault plan, and the telemetry sink.
+#[derive(Clone, Default)]
 pub struct ExecOptions {
     /// Reuse-aware intra-stage work stealing: idle workers take tasks from
     /// the back of other workers' queues, but only tasks whose operands
@@ -58,6 +80,26 @@ pub struct ExecOptions {
     /// Base delay of the exponential backoff between retry attempts:
     /// attempt `n` waits `base_delay · 2^(n-1)`, capped at 100 ms.
     pub base_delay: Duration,
+    /// Deterministic fault plan to inject (transfer timeouts, transient
+    /// kernel faults, device losses). [`FaultPlan::none`] — the default —
+    /// is behaviour-neutral.
+    pub faults: FaultPlan,
+    /// Telemetry sink for wall-clock spans. `None` (the default) records
+    /// nothing and costs nothing beyond per-task busy accounting.
+    pub trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for ExecOptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecOptions")
+            .field("steal", &self.steal)
+            .field("prefetch", &self.prefetch)
+            .field("max_attempts", &self.max_attempts)
+            .field("base_delay", &self.base_delay)
+            .field("faults", &self.faults)
+            .field("trace", &self.trace.as_ref().map(|_| "dyn TraceSink"))
+            .finish()
+    }
 }
 
 impl ExecOptions {
@@ -78,6 +120,18 @@ impl ExecOptions {
     pub fn retry(mut self, max_attempts: u32, base_delay: Duration) -> Self {
         self.max_attempts = max_attempts;
         self.base_delay = base_delay;
+        self
+    }
+
+    /// Options with a deterministic fault plan to inject.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Options recording wall-clock telemetry to `sink`.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
         self
     }
 }
@@ -196,6 +250,11 @@ pub struct ExecOutcome {
     /// Kernels actually *executed* per worker. Equal to
     /// `per_worker_tasks` unless stealing moved work.
     pub per_worker_executed: Vec<usize>,
+    /// Wall-clock seconds each worker spent inside kernels (operand
+    /// staging, backoff sleeps, and queue contention excluded). The
+    /// compute-track spans of a traced run sum to exactly these values —
+    /// the real-backend analogue of the simulator's per-GPU busy seconds.
+    pub per_worker_busy_secs: Vec<f64>,
     /// Tasks that ran on a different worker than assigned.
     pub steals: usize,
     /// Order-independent checksum: per-task output traces summed in task
@@ -214,28 +273,30 @@ pub struct ExecOutcome {
     pub lost_workers: usize,
 }
 
-/// Execute `stream` with real kernels on `workers` threads, following the
-/// per-task device `assignments` (one per task, in stream task order —
-/// exactly what [`micco_core::ScheduleReport::assignments`] provides).
-/// Devices map to worker threads; stages are barriers, as on the simulated
-/// machine.
+/// Execute `stream` with real kernels following the per-task device
+/// `assignments` (one per task, in stream task order — exactly what
+/// [`micco_core::ScheduleReport::assignments`] provides). Devices map to
+/// worker threads; stages are barriers, as on the simulated machine.
+/// Everything else — stealing, prefetch, retries, fault injection, and
+/// telemetry — is configured through [`ExecOptions`].
 ///
 /// # Examples
 ///
 /// ```
 /// use micco_core::{run_schedule, MiccoScheduler, ReuseBounds};
-/// use micco_exec::{execute_stream, TensorShape};
+/// use micco_exec::{execute_assignments, ExecOptions, TensorStore};
 /// use micco_gpusim::MachineConfig;
 /// use micco_workload::WorkloadSpec;
 ///
-/// let shape = TensorShape { batch: 2, dim: 8 };
-/// let stream = WorkloadSpec::new(4, shape.dim).with_batch(shape.batch).with_vectors(2).generate();
+/// let stream = WorkloadSpec::new(4, 8).with_batch(2).with_vectors(2).generate();
 /// let report = run_schedule(
 ///     &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
 ///     &stream,
 ///     &MachineConfig::mi100_like(2),
 /// ).unwrap();
-/// let out = execute_stream(&stream, &report.assignments, 2, shape, 7).unwrap();
+/// let store = TensorStore::new(2, 8, 7);
+/// let out = execute_assignments(&stream, &report.assignments, 2, &store, &ExecOptions::default())
+///     .unwrap();
 /// assert_eq!(out.kernels, stream.total_tasks());
 /// assert!(out.checksum.is_finite());
 /// ```
@@ -243,96 +304,16 @@ pub struct ExecOutcome {
 /// # Errors
 ///
 /// Returns [`ExecError`] if `assignments` does not cover every task of
-/// `stream`, if an assignment names a device ≥ `workers`, or if
-/// `workers == 0`.
-pub fn execute_stream(
+/// `stream`, if an assignment names a device ≥ `workers`, if
+/// `workers == 0`, or — under a fault plan — when a transient fault
+/// outlives the retry budget ([`ExecError::WorkerFailed`]) or no worker
+/// survives a stage ([`ExecError::AllWorkersLost`]).
+pub fn execute_assignments(
     stream: &TensorPairStream,
     assignments: &[Assignment],
     workers: usize,
-    shape: TensorShape,
-    seed: u64,
-) -> Result<ExecOutcome, ExecError> {
-    execute_stream_opts(
-        stream,
-        assignments,
-        workers,
-        shape,
-        seed,
-        ExecOptions::default(),
-    )
-}
-
-/// [`execute_stream`] with explicit [`ExecOptions`] — the entry point for
-/// work stealing and operand prefetch.
-///
-/// # Examples
-///
-/// ```
-/// use micco_core::{run_schedule, MiccoScheduler, ReuseBounds};
-/// use micco_exec::{execute_stream, execute_stream_opts, ExecOptions, TensorShape};
-/// use micco_gpusim::MachineConfig;
-/// use micco_workload::WorkloadSpec;
-///
-/// let shape = TensorShape { batch: 2, dim: 8 };
-/// let stream = WorkloadSpec::new(6, shape.dim).with_batch(shape.batch).with_vectors(2).generate();
-/// let report = run_schedule(
-///     &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
-///     &stream,
-///     &MachineConfig::mi100_like(2),
-/// ).unwrap();
-/// let opts = ExecOptions::default().with_steal().with_prefetch();
-/// let stolen = execute_stream_opts(&stream, &report.assignments, 2, shape, 7, opts).unwrap();
-/// let replayed = execute_stream(&stream, &report.assignments, 2, shape, 7).unwrap();
-/// // stealing may move work between workers but never changes the physics
-/// assert_eq!(stolen.checksum, replayed.checksum);
-/// assert_eq!(stolen.per_worker_tasks, replayed.per_worker_tasks);
-/// ```
-///
-/// # Errors
-///
-/// Fails under the same conditions as [`execute_stream`].
-pub fn execute_stream_opts(
-    stream: &TensorPairStream,
-    assignments: &[Assignment],
-    workers: usize,
-    shape: TensorShape,
-    seed: u64,
-    opts: ExecOptions,
-) -> Result<ExecOutcome, ExecError> {
-    execute_stream_faults(
-        stream,
-        assignments,
-        workers,
-        shape,
-        seed,
-        opts,
-        &FaultPlan::none(),
-    )
-}
-
-/// [`execute_stream_opts`] under a deterministic [`FaultPlan`] — the chaos
-/// entry point. Injected transfer timeouts re-stage operands, transient
-/// kernel faults burn attempts from the retry budget
-/// ([`ExecOptions::retry`]), and device losses remove workers (their
-/// queued tasks drain through the stealing path, so the checksum of a run
-/// with at least one surviving worker is bit-identical to the fault-free
-/// run).
-///
-/// # Errors
-///
-/// Fails under the same conditions as [`execute_stream`], plus
-/// [`ExecError::WorkerFailed`] when a transient fault outlives the retry
-/// budget and [`ExecError::AllWorkersLost`] when no worker survives a
-/// stage.
-#[allow(clippy::too_many_arguments)]
-pub fn execute_stream_faults(
-    stream: &TensorPairStream,
-    assignments: &[Assignment],
-    workers: usize,
-    shape: TensorShape,
-    seed: u64,
-    opts: ExecOptions,
-    faults: &FaultPlan,
+    store: &TensorStore,
+    opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
     if workers == 0 {
         return Err(ExecError::NoWorkers);
@@ -349,51 +330,139 @@ pub fn execute_stream_faults(
             workers,
         });
     }
-    execute_unchecked(stream, assignments, workers, shape, seed, opts, faults)
+    execute_unchecked(stream, assignments, workers, store, opts)
 }
 
-/// Execute a validated [`SchedulePlan`] with real kernels — the plan-IR
-/// entry point of the engine. The plan's device count sizes the worker
-/// pool, and [`SchedulePlan::validate`] runs first, so a stale or foreign
-/// plan is a typed error instead of a panic deep in a worker thread.
+/// Execute a validated [`SchedulePlan`] with real kernels — the canonical
+/// plan-IR entry point of the engine. The plan's device count sizes the
+/// worker pool, and [`SchedulePlan::validate`] runs first, so a stale or
+/// foreign plan is a typed error instead of a panic deep in a worker
+/// thread.
 ///
 /// # Examples
 ///
 /// ```
 /// use micco_core::{plan_schedule, MiccoScheduler, ReuseBounds};
-/// use micco_exec::{execute_plan, TensorShape};
+/// use micco_exec::{execute_plan, ExecOptions, TensorStore};
 /// use micco_gpusim::MachineConfig;
 /// use micco_workload::WorkloadSpec;
 ///
-/// let shape = TensorShape { batch: 2, dim: 8 };
-/// let stream = WorkloadSpec::new(4, shape.dim).with_batch(shape.batch).with_vectors(2).generate();
+/// let stream = WorkloadSpec::new(4, 8).with_batch(2).with_vectors(2).generate();
 /// let plan = plan_schedule(
 ///     &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
 ///     &stream,
 ///     &MachineConfig::mi100_like(2),
 /// ).unwrap();
-/// let out = execute_plan(&stream, &plan, shape, 7).unwrap();
+/// let store = TensorStore::new(2, 8, 7);
+/// let out = execute_plan(&stream, &plan, &store, &ExecOptions::default()).unwrap();
 /// assert_eq!(out.kernels, stream.total_tasks());
 /// ```
 ///
 /// # Errors
 ///
 /// Returns [`ExecError::Plan`] when the plan does not validate against
-/// `stream`, and [`ExecError::NoWorkers`] for a zero-device plan.
+/// `stream`, [`ExecError::NoWorkers`] for a zero-device plan, and the
+/// fault-path errors of [`execute_assignments`].
 pub fn execute_plan(
     stream: &TensorPairStream,
     plan: &SchedulePlan,
+    store: &TensorStore,
+    opts: &ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    plan.validate(stream)?;
+    if plan.num_gpus == 0 {
+        return Err(ExecError::NoWorkers);
+    }
+    execute_unchecked(stream, &plan.flat_assignments(), plan.num_gpus, store, opts)
+}
+
+/// Build the store the deprecated shape/seed entry points used to build
+/// internally, so their checksums stay bit-for-bit reproducible.
+fn legacy_store(shape: TensorShape, seed: u64) -> TensorStore {
+    TensorStore::new(shape.batch, shape.dim, seed)
+}
+
+/// Historical assignment-slice entry point.
+///
+/// # Errors
+///
+/// Fails under the same conditions as [`execute_assignments`].
+#[deprecated(since = "0.5.0", note = "use `execute_assignments` with `ExecOptions`")]
+pub fn execute_stream(
+    stream: &TensorPairStream,
+    assignments: &[Assignment],
+    workers: usize,
     shape: TensorShape,
     seed: u64,
 ) -> Result<ExecOutcome, ExecError> {
-    execute_plan_opts(stream, plan, shape, seed, ExecOptions::default())
+    execute_assignments(
+        stream,
+        assignments,
+        workers,
+        &legacy_store(shape, seed),
+        &ExecOptions::default(),
+    )
 }
 
-/// [`execute_plan`] with explicit [`ExecOptions`].
+/// Historical entry point for stealing/prefetch options.
+///
+/// # Errors
+///
+/// Fails under the same conditions as [`execute_assignments`].
+#[deprecated(since = "0.5.0", note = "use `execute_assignments` with `ExecOptions`")]
+pub fn execute_stream_opts(
+    stream: &TensorPairStream,
+    assignments: &[Assignment],
+    workers: usize,
+    shape: TensorShape,
+    seed: u64,
+    opts: ExecOptions,
+) -> Result<ExecOutcome, ExecError> {
+    execute_assignments(
+        stream,
+        assignments,
+        workers,
+        &legacy_store(shape, seed),
+        &opts,
+    )
+}
+
+/// Historical chaos entry point: options and fault plan as separate
+/// arguments. The fault plan now rides inside [`ExecOptions::faults`].
+///
+/// # Errors
+///
+/// Fails under the same conditions as [`execute_assignments`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use `execute_assignments`; the fault plan rides in `ExecOptions::faults`"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn execute_stream_faults(
+    stream: &TensorPairStream,
+    assignments: &[Assignment],
+    workers: usize,
+    shape: TensorShape,
+    seed: u64,
+    opts: ExecOptions,
+    faults: &FaultPlan,
+) -> Result<ExecOutcome, ExecError> {
+    let opts = opts.with_faults(faults.clone());
+    execute_assignments(
+        stream,
+        assignments,
+        workers,
+        &legacy_store(shape, seed),
+        &opts,
+    )
+}
+
+/// Historical plan-IR entry point with explicit options.
 ///
 /// # Errors
 ///
 /// Fails under the same conditions as [`execute_plan`].
+#[deprecated(since = "0.5.0", note = "use `execute_plan` with `ExecOptions`")]
 pub fn execute_plan_opts(
     stream: &TensorPairStream,
     plan: &SchedulePlan,
@@ -401,16 +470,18 @@ pub fn execute_plan_opts(
     seed: u64,
     opts: ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
-    execute_plan_faults(stream, plan, shape, seed, opts, &FaultPlan::none())
+    execute_plan(stream, plan, &legacy_store(shape, seed), &opts)
 }
 
-/// [`execute_plan_opts`] under a deterministic [`FaultPlan`] — the plan-IR
-/// chaos entry point.
+/// Historical plan-IR chaos entry point.
 ///
 /// # Errors
 ///
-/// Fails under the same conditions as [`execute_plan`] and
-/// [`execute_stream_faults`].
+/// Fails under the same conditions as [`execute_plan`].
+#[deprecated(
+    since = "0.5.0",
+    note = "use `execute_plan`; the fault plan rides in `ExecOptions::faults`"
+)]
 pub fn execute_plan_faults(
     stream: &TensorPairStream,
     plan: &SchedulePlan,
@@ -419,19 +490,64 @@ pub fn execute_plan_faults(
     opts: ExecOptions,
     faults: &FaultPlan,
 ) -> Result<ExecOutcome, ExecError> {
-    plan.validate(stream)?;
-    if plan.num_gpus == 0 {
-        return Err(ExecError::NoWorkers);
+    let opts = opts.with_faults(faults.clone());
+    execute_plan(stream, plan, &legacy_store(shape, seed), &opts)
+}
+
+/// Wall-clock telemetry shared by the stage runners: a sink, the run's
+/// epoch, and a flow-id counter for steal arrows.
+struct Telemetry {
+    sink: Arc<dyn TraceSink>,
+    t0: Instant,
+    next_flow: AtomicU64,
+}
+
+impl Telemetry {
+    /// Microseconds since the run started.
+    fn now_us(&self) -> f64 {
+        self.t0.elapsed().as_secs_f64() * 1e6
     }
-    execute_unchecked(
-        stream,
-        &plan.flat_assignments(),
-        plan.num_gpus,
-        shape,
-        seed,
-        opts,
-        faults,
-    )
+
+    fn span(&self, pid: u32, track: Track, name: String, start_us: f64, dur_us: f64) {
+        self.sink.record(TraceEvent::Span {
+            pid,
+            track,
+            name,
+            start_us,
+            dur_us,
+            args: Vec::new(),
+        });
+    }
+
+    fn instant(&self, pid: u32, track: Track, name: String, args: Vec<(String, String)>) {
+        self.sink.record(TraceEvent::Instant {
+            pid,
+            track,
+            name,
+            ts_us: self.now_us(),
+            args,
+        });
+    }
+
+    /// A steal arrow: victim's compute track → thief's compute track.
+    fn steal_flow(&self, victim: usize, thief: usize, task: u64) {
+        let id = self.next_flow.fetch_add(1, Ordering::Relaxed);
+        let ts_us = self.now_us();
+        self.sink.record(TraceEvent::Flow {
+            id,
+            name: format!("steal task {task}"),
+            from: FlowPoint {
+                pid: victim as u32,
+                track: Track::Compute,
+                ts_us,
+            },
+            to: FlowPoint {
+                pid: thief as u32,
+                track: Track::Compute,
+                ts_us,
+            },
+        });
+    }
 }
 
 /// Shared fault-injection context handed down to the stage runners.
@@ -441,6 +557,7 @@ struct FaultCtx<'a> {
     base_delay: Duration,
     fault_events: &'a AtomicU64,
     retry_events: &'a AtomicU64,
+    tele: Option<&'a Telemetry>,
 }
 
 impl FaultCtx<'_> {
@@ -493,15 +610,27 @@ fn execute_unchecked(
     stream: &TensorPairStream,
     assignments: &[Assignment],
     workers: usize,
-    shape: TensorShape,
-    seed: u64,
-    opts: ExecOptions,
-    faults: &FaultPlan,
+    store: &TensorStore,
+    opts: &ExecOptions,
 ) -> Result<ExecOutcome, ExecError> {
-    let store = TensorStore::new(shape.batch, shape.dim, seed);
     let t0 = Instant::now();
+    let tele = opts.trace.as_ref().map(|sink| Telemetry {
+        sink: Arc::clone(sink),
+        t0,
+        next_flow: AtomicU64::new(0),
+    });
+    if let Some(t) = &tele {
+        for w in 0..workers {
+            t.sink.record(TraceEvent::ProcessLabel {
+                pid: w as u32,
+                label: format!("worker{w}"),
+            });
+        }
+    }
+    let faults = &opts.faults;
     let mut per_worker_tasks = vec![0usize; workers];
     let mut per_worker_executed = vec![0usize; workers];
+    let mut per_worker_busy_secs = vec![0f64; workers];
     let steals = AtomicUsize::new(0);
     let fault_events = AtomicU64::new(0);
     let retry_events = AtomicU64::new(0);
@@ -511,6 +640,7 @@ fn execute_unchecked(
         base_delay: opts.base_delay,
         fault_events: &fault_events,
         retry_events: &retry_events,
+        tele: tele.as_ref(),
     };
     // A device loss strands the victim's queue, so those runs go through
     // the stealing path: survivors drain the lost workers' work.
@@ -525,6 +655,7 @@ fn execute_unchecked(
     let mut offset = 0usize;
 
     for (stage, vector) in stream.vectors.iter().enumerate() {
+        let stage_start_us = tele.as_ref().map(|t| t.now_us());
         let lost: Vec<bool> = (0..workers).map(|w| faults.is_lost(w, stage)).collect();
         if lost.iter().all(|&l| l) {
             return Err(ExecError::AllWorkersLost { stage });
@@ -534,6 +665,14 @@ fn execute_unchecked(
                 // the device rebooted (transient) or died (permanent):
                 // either way its modelled memory is gone
                 residents[w].clear();
+                if let Some(t) = &tele {
+                    t.instant(
+                        w as u32,
+                        Track::Compute,
+                        format!("device lost (stage {stage})"),
+                        Vec::new(),
+                    );
+                }
             }
         }
         let stage_assign = &assignments[offset..offset + vector.len()];
@@ -555,19 +694,37 @@ fn execute_unchecked(
                 vector,
                 &buckets,
                 &mut residents,
-                &store,
+                store,
                 stage_traces,
                 &steals,
                 &mut per_worker_executed,
+                &mut per_worker_busy_secs,
                 opts.prefetch,
                 &fx,
                 &lost,
             )?;
         } else {
-            run_stage_static(vector, &buckets, &store, stage_traces, opts.prefetch, &fx)?;
+            run_stage_static(
+                vector,
+                &buckets,
+                store,
+                stage_traces,
+                &mut per_worker_busy_secs,
+                opts.prefetch,
+                &fx,
+            )?;
             for (w, b) in buckets.iter().enumerate() {
                 per_worker_executed[w] += b.len();
             }
+        }
+        if let (Some(t), Some(start)) = (&tele, stage_start_us) {
+            t.span(
+                CONTROL_PID,
+                Track::Control,
+                format!("stage {stage}"),
+                start,
+                t.now_us() - start,
+            );
         }
         offset += vector.len();
     }
@@ -577,10 +734,15 @@ fn execute_unchecked(
     let lost_workers = (0..workers)
         .filter(|&w| faults.loss_of(w).is_some_and(|(s, _)| s < stages))
         .count();
+    if let Some(t) = &tele {
+        let end = t.now_us();
+        t.span(CONTROL_PID, Track::Run, "exec".to_owned(), 0.0, end);
+    }
     Ok(ExecOutcome {
         wall_secs: t0.elapsed().as_secs_f64(),
         per_worker_tasks,
         per_worker_executed,
+        per_worker_busy_secs,
         steals: steals.into_inner(),
         checksum,
         kernels: stream.total_tasks(),
@@ -617,22 +779,34 @@ fn run_task(store: &TensorStore, vector: &Vector, i: usize) -> Result<Complex64,
     Ok(tr)
 }
 
-/// [`run_task`] under the fault plan: a transfer timeout re-stages the
-/// operands once per charged retry; a transient kernel fault burns
-/// attempts from the retry budget (with exponential backoff) before its
-/// deterministic success — or exhausts the budget into a typed
-/// [`ExecError::WorkerFailed`].
+/// [`run_task`] under the fault plan and the telemetry layer. A transfer
+/// timeout re-stages the operands once per charged retry; a transient
+/// kernel fault burns attempts from the retry budget (with exponential
+/// backoff) before its deterministic success — or exhausts the budget into
+/// a typed [`ExecError::WorkerFailed`]. Returns the per-task trace plus
+/// the wall-clock seconds spent inside the kernel (the duration of the
+/// compute span it records when tracing is on — span sums and busy sums
+/// agree exactly by construction).
 fn run_task_faulty(
     store: &TensorStore,
     vector: &Vector,
     i: usize,
     gpu: usize,
     fx: &FaultCtx<'_>,
-) -> Result<Complex64, ExecError> {
+) -> Result<(Complex64, f64), ExecError> {
     let task = &vector.tasks[i];
+    let pid = gpu as u32;
     let timeouts = fx.faults.transfer_retries(task.id.0);
     if timeouts > 0 {
         fx.fault_events.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = fx.tele {
+            t.instant(
+                pid,
+                Track::Copy,
+                format!("transfer timeout task {}", task.id.0),
+                vec![("retries".to_owned(), timeouts.to_string())],
+            );
+        }
         for attempt in 1..=timeouts {
             fx.retry_events.fetch_add(1, Ordering::Relaxed);
             fx.backoff(attempt);
@@ -643,6 +817,14 @@ fn run_task_faulty(
     let kernel_faults = fx.faults.kernel_failures(task.id.0);
     if kernel_faults > 0 {
         fx.fault_events.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = fx.tele {
+            t.instant(
+                pid,
+                Track::Compute,
+                format!("fault task {}", task.id.0),
+                vec![("transient_failures".to_owned(), kernel_faults.to_string())],
+            );
+        }
         let budget = fx.max_attempts.max(1);
         if kernel_faults >= budget {
             return Err(ExecError::WorkerFailed {
@@ -653,10 +835,49 @@ fn run_task_faulty(
         }
         for attempt in 1..=kernel_faults {
             fx.retry_events.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = fx.tele {
+                t.instant(
+                    pid,
+                    Track::Compute,
+                    format!("retry task {}", task.id.0),
+                    vec![("attempt".to_owned(), attempt.to_string())],
+                );
+            }
             fx.backoff(attempt);
         }
     }
-    run_task(store, vector, i)
+    // operand staging: with tracing on, warm the store explicitly so the
+    // fetch cost lands on the worker's copy track (the fetches are cached,
+    // so the kernel's own fetches below are then free)
+    if let Some(t) = fx.tele {
+        let cs = t.now_us();
+        store.fetch(task.a.id);
+        store.fetch(task.b.id);
+        let ce = t.now_us();
+        if ce > cs {
+            t.span(
+                pid,
+                Track::Copy,
+                format!("fetch t{}/t{}", task.a.id.0, task.b.id.0),
+                cs,
+                ce - cs,
+            );
+        }
+    }
+    let span_start_us = fx.tele.map(|t| t.now_us());
+    let k0 = Instant::now();
+    let tr = run_task(store, vector, i)?;
+    let busy = k0.elapsed().as_secs_f64();
+    if let (Some(t), Some(start)) = (fx.tele, span_start_us) {
+        t.span(
+            pid,
+            Track::Compute,
+            format!("task {}", task.id.0),
+            start,
+            busy * 1e6,
+        );
+    }
+    Ok((tr, busy))
 }
 
 /// Static replay: one scoped thread per non-empty bucket; the scope join
@@ -668,11 +889,12 @@ fn run_stage_static(
     buckets: &[Vec<usize>],
     store: &TensorStore,
     stage_traces: &mut [Complex64],
+    per_worker_busy_secs: &mut [f64],
     prefetch: bool,
     fx: &FaultCtx<'_>,
 ) -> Result<(), ExecError> {
     let trace_slices = split_by_buckets(stage_traces, buckets);
-    let scoped = crossbeam::thread::scope(|scope| -> Result<(), ExecError> {
+    let scoped = crossbeam::thread::scope(|scope| -> Result<Vec<(usize, f64)>, ExecError> {
         let prefetcher = prefetch.then(|| {
             scope.spawn(move |_| {
                 for t in &vector.tasks {
@@ -687,19 +909,26 @@ fn run_stage_static(
             .enumerate()
             .filter(|(_, (bucket, _))| !bucket.is_empty())
             .map(|(w, (bucket, slots))| {
-                let h = scope.spawn(move |_| -> Result<(), ExecError> {
+                let h = scope.spawn(move |_| -> Result<f64, ExecError> {
+                    let mut busy = 0.0;
                     for (&i, slot) in bucket.iter().zip(slots) {
-                        *slot = run_task_faulty(store, vector, i, w, fx)?;
+                        let (tr, b) = run_task_faulty(store, vector, i, w, fx)?;
+                        *slot = tr;
+                        busy += b;
                     }
-                    Ok(())
+                    Ok(busy)
                 });
                 (w, h)
             })
             .collect();
+        let mut busy_per: Vec<(usize, f64)> = Vec::new();
         let mut first_err = None;
         for (w, h) in handles {
-            if let Err(e) = join_worker(w, h.join()) {
-                first_err.get_or_insert(e);
+            match join_worker(w, h.join()) {
+                Ok(busy) => busy_per.push((w, busy)),
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
             }
         }
         if let Some(h) = prefetcher {
@@ -707,9 +936,16 @@ fn run_stage_static(
                 first_err.get_or_insert(panic_to_error(None, payload));
             }
         }
-        first_err.map_or(Ok(()), Err)
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(busy_per),
+        }
     });
-    scoped.unwrap_or_else(|payload| Err(panic_to_error(None, payload)))
+    let busy_per = scoped.unwrap_or_else(|payload| Err(panic_to_error(None, payload)))?;
+    for (w, busy) in busy_per {
+        per_worker_busy_secs[w] += busy;
+    }
+    Ok(())
 }
 
 /// Work-stealing stage: per-worker deques; a worker drains its own queue
@@ -726,6 +962,7 @@ fn run_stage_stealing(
     stage_traces: &mut [Complex64],
     steals: &AtomicUsize,
     per_worker_executed: &mut [usize],
+    per_worker_busy_secs: &mut [f64],
     prefetch: bool,
     fx: &FaultCtx<'_>,
     lost: &[bool],
@@ -735,7 +972,7 @@ fn run_stage_stealing(
         .iter()
         .map(|b| Mutex::new(b.iter().copied().collect()))
         .collect();
-    type StageDone = Vec<(usize, Complex64)>;
+    type StageDone = (Vec<(usize, Complex64)>, f64);
     let scoped = crossbeam::thread::scope(|scope| -> Result<Vec<StageDone>, ExecError> {
         let prefetcher = prefetch.then(|| {
             scope.spawn(move |_| {
@@ -754,32 +991,37 @@ fn run_stage_stealing(
             .map(|(w, resident)| {
                 let queues = &queues;
                 let h = scope.spawn(move |_| -> Result<StageDone, ExecError> {
-                    let mut done: StageDone = Vec::new();
+                    let mut done: Vec<(usize, Complex64)> = Vec::new();
+                    let mut busy = 0.0;
                     loop {
                         let own = queues[w].lock().pop_front();
-                        let (i, stolen) = match own {
-                            Some(i) => (i, false),
+                        let (i, stolen_from) = match own {
+                            Some(i) => (i, None),
                             None => match steal_one(queues, w, vector, resident, lost) {
-                                Some(i) => (i, true),
+                                Some((victim, i)) => (i, Some(victim)),
                                 None => break,
                             },
                         };
-                        let tr = run_task_faulty(store, vector, i, w, fx)?;
+                        if let Some(victim) = stolen_from {
+                            steals.fetch_add(1, Ordering::Relaxed);
+                            if let Some(t) = fx.tele {
+                                t.steal_flow(victim, w, vector.tasks[i].id.0);
+                            }
+                        }
+                        let (tr, b) = run_task_faulty(store, vector, i, w, fx)?;
+                        busy += b;
                         let task = &vector.tasks[i];
                         resident.insert(task.a.id);
                         resident.insert(task.b.id);
                         resident.insert(task.out.id);
-                        if stolen {
-                            steals.fetch_add(1, Ordering::Relaxed);
-                        }
                         done.push((i, tr));
                     }
-                    Ok(done)
+                    Ok((done, busy))
                 });
                 (w, h)
             })
             .collect();
-        let mut per: Vec<StageDone> = vec![Vec::new(); workers];
+        let mut per: Vec<StageDone> = vec![(Vec::new(), 0.0); workers];
         let mut first_err = None;
         for (w, h) in handles {
             match join_worker(w, h.join()) {
@@ -800,8 +1042,9 @@ fn run_stage_stealing(
         }
     });
     let per = scoped.unwrap_or_else(|payload| Err(panic_to_error(None, payload)))?;
-    for (w, rs) in per.into_iter().enumerate() {
+    for (w, (rs, busy)) in per.into_iter().enumerate() {
         per_worker_executed[w] += rs.len();
+        per_worker_busy_secs[w] += busy;
         for (i, tr) in rs {
             stage_traces[i] = tr;
         }
@@ -813,14 +1056,15 @@ fn run_stage_stealing(
 /// queues, take from the *back* (the victim's coldest work) the first
 /// task whose operands the thief already holds. A *lost* victim cannot
 /// run anything itself, so its queue is drained from the *front*
-/// unconditionally — the reuse gate would strand its tasks.
+/// unconditionally — the reuse gate would strand its tasks. Returns the
+/// victim's index alongside the stolen stage-local task index.
 fn steal_one(
     queues: &[Mutex<VecDeque<usize>>],
     thief: usize,
     vector: &Vector,
     resident: &HashSet<TensorId>,
     lost: &[bool],
-) -> Option<usize> {
+) -> Option<(usize, usize)> {
     for (v, queue) in queues.iter().enumerate() {
         if v == thief {
             continue;
@@ -828,7 +1072,7 @@ fn steal_one(
         let mut q = queue.lock();
         if lost[v] {
             if let Some(i) = q.pop_front() {
-                return Some(i);
+                return Some((v, i));
             }
             continue;
         }
@@ -836,7 +1080,7 @@ fn steal_one(
             let t = &vector.tasks[i];
             resident.contains(&t.a.id) && resident.contains(&t.b.id)
         }) {
-            return q.remove(pos);
+            return q.remove(pos).map(|i| (v, i));
         }
     }
     None
@@ -875,6 +1119,7 @@ mod tests {
         run_schedule, GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler, Scheduler,
     };
     use micco_gpusim::MachineConfig;
+    use micco_obs::Recorder;
     use micco_workload::WorkloadSpec;
 
     const SHAPE: TensorShape = TensorShape { batch: 2, dim: 8 };
@@ -886,6 +1131,20 @@ mod tests {
             .with_vectors(3)
             .with_seed(21)
             .generate()
+    }
+
+    fn store(seed: u64) -> TensorStore {
+        TensorStore::new(SHAPE.batch, SHAPE.dim, seed)
+    }
+
+    fn exec(
+        stream: &TensorPairStream,
+        assignments: &[Assignment],
+        workers: usize,
+        seed: u64,
+        opts: &ExecOptions,
+    ) -> Result<ExecOutcome, ExecError> {
+        execute_assignments(stream, assignments, workers, &store(seed), opts)
     }
 
     fn assignments_for(
@@ -902,7 +1161,7 @@ mod tests {
     fn executes_and_counts() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 4);
-        let out = execute_stream(&stream, &assignments, 4, SHAPE, 5).unwrap();
+        let out = exec(&stream, &assignments, 4, 5, &ExecOptions::default()).unwrap();
         assert_eq!(out.kernels, stream.total_tasks());
         assert_eq!(
             out.per_worker_tasks.iter().sum::<usize>(),
@@ -910,6 +1169,8 @@ mod tests {
         );
         assert!(out.checksum.is_finite());
         assert!(out.wall_secs >= 0.0);
+        assert_eq!(out.per_worker_busy_secs.len(), 4);
+        assert!(out.per_worker_busy_secs.iter().all(|&b| b >= 0.0));
     }
 
     #[test]
@@ -925,7 +1186,7 @@ mod tests {
         for s in schedulers.iter_mut() {
             let assignments = assignments_for(s.as_mut(), &stream, 4);
             checksums.push(
-                execute_stream(&stream, &assignments, 4, SHAPE, 5)
+                exec(&stream, &assignments, 4, 5, &ExecOptions::default())
                     .unwrap()
                     .checksum,
             );
@@ -941,7 +1202,7 @@ mod tests {
         let mut reference = None;
         for gpus in [1usize, 2, 3, 8] {
             let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, gpus);
-            let out = execute_stream(&stream, &assignments, gpus, SHAPE, 5).unwrap();
+            let out = exec(&stream, &assignments, gpus, 5, &ExecOptions::default()).unwrap();
             if let Some(r) = reference {
                 assert_eq!(out.checksum, r, "{gpus} workers changed the checksum");
             } else {
@@ -954,10 +1215,10 @@ mod tests {
     fn repeated_runs_are_bit_identical() {
         let stream = stream();
         let assignments = assignments_for(&mut MiccoScheduler::naive(), &stream, 3);
-        let a = execute_stream(&stream, &assignments, 3, SHAPE, 9)
+        let a = exec(&stream, &assignments, 3, 9, &ExecOptions::default())
             .unwrap()
             .checksum;
-        let b = execute_stream(&stream, &assignments, 3, SHAPE, 9)
+        let b = exec(&stream, &assignments, 3, 9, &ExecOptions::default())
             .unwrap()
             .checksum;
         assert_eq!(a, b);
@@ -967,10 +1228,10 @@ mod tests {
     fn seed_changes_checksum() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
-        let a = execute_stream(&stream, &assignments, 2, SHAPE, 1)
+        let a = exec(&stream, &assignments, 2, 1, &ExecOptions::default())
             .unwrap()
             .checksum;
-        let b = execute_stream(&stream, &assignments, 2, SHAPE, 2)
+        let b = exec(&stream, &assignments, 2, 2, &ExecOptions::default())
             .unwrap()
             .checksum;
         assert_ne!(a, b);
@@ -985,10 +1246,13 @@ mod tests {
             .with_vectors(1)
             .with_seed(2)
             .generate();
-        let store = crate::store::TensorStore::new(SHAPE.batch, SHAPE.dim, 77);
+        let reference = crate::store::TensorStore::new(SHAPE.batch, SHAPE.dim, 77);
         let mut expect = Complex64::ZERO;
         for t in &stream.vectors[0].tasks {
-            let out = store.fetch(t.a.id).matmul(&store.fetch(t.b.id)).unwrap();
+            let out = reference
+                .fetch(t.a.id)
+                .matmul(&reference.fetch(t.b.id))
+                .unwrap();
             // group per task exactly as the engine does — float addition is
             // not associative, and the test demands bit equality
             let mut tr = Complex64::ZERO;
@@ -998,7 +1262,7 @@ mod tests {
             expect += tr;
         }
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
-        let got = execute_stream(&stream, &assignments, 2, SHAPE, 77)
+        let got = exec(&stream, &assignments, 2, 77, &ExecOptions::default())
             .unwrap()
             .checksum;
         assert_eq!(got, expect);
@@ -1009,14 +1273,13 @@ mod tests {
         let stream = stream();
         for workers in [1usize, 2, 4] {
             let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, workers);
-            let base = execute_stream(&stream, &assignments, workers, SHAPE, 5).unwrap();
-            let stolen = execute_stream_opts(
+            let base = exec(&stream, &assignments, workers, 5, &ExecOptions::default()).unwrap();
+            let stolen = exec(
                 &stream,
                 &assignments,
                 workers,
-                SHAPE,
                 5,
-                ExecOptions::default().with_steal(),
+                &ExecOptions::default().with_steal(),
             )
             .unwrap();
             assert_eq!(stolen.checksum, base.checksum, "{workers} workers");
@@ -1034,12 +1297,12 @@ mod tests {
     fn prefetch_is_checksum_neutral() {
         let stream = stream();
         let assignments = assignments_for(&mut MiccoScheduler::naive(), &stream, 3);
-        let base = execute_stream(&stream, &assignments, 3, SHAPE, 9).unwrap();
+        let base = exec(&stream, &assignments, 3, 9, &ExecOptions::default()).unwrap();
         for opts in [
             ExecOptions::default().with_prefetch(),
             ExecOptions::default().with_steal().with_prefetch(),
         ] {
-            let out = execute_stream_opts(&stream, &assignments, 3, SHAPE, 9, opts).unwrap();
+            let out = exec(&stream, &assignments, 3, 9, &opts).unwrap();
             assert_eq!(out.checksum, base.checksum, "{opts:?}");
         }
     }
@@ -1048,7 +1311,7 @@ mod tests {
     fn static_mode_reports_zero_steals() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
-        let out = execute_stream(&stream, &assignments, 2, SHAPE, 5).unwrap();
+        let out = exec(&stream, &assignments, 2, 5, &ExecOptions::default()).unwrap();
         assert_eq!(out.steals, 0);
         assert_eq!(out.per_worker_executed, out.per_worker_tasks);
     }
@@ -1068,13 +1331,12 @@ mod tests {
                 gpu: micco_gpusim::GpuId(0),
             })
             .collect();
-        let out = execute_stream_opts(
+        let out = exec(
             &stream,
             &assignments,
             2,
-            SHAPE,
             5,
-            ExecOptions::default().with_steal(),
+            &ExecOptions::default().with_steal(),
         )
         .unwrap();
         assert_eq!(out.per_worker_tasks, vec![stream.total_tasks(), 0]);
@@ -1091,7 +1353,7 @@ mod tests {
         let stage0 = stream.vectors[0].len();
         assert!(out.per_worker_executed[0] >= stage0);
         // and the physics is unchanged
-        let base = execute_stream(&stream, &assignments, 2, SHAPE, 5).unwrap();
+        let base = exec(&stream, &assignments, 2, 5, &ExecOptions::default()).unwrap();
         assert_eq!(out.checksum, base.checksum);
     }
 
@@ -1123,8 +1385,14 @@ mod tests {
         let resident: HashSet<TensorId> = [TensorId(1), TensorId(2)].into_iter().collect();
         let alive = [false, false];
         // the thief takes eligible work back-to-front, skipping task 1
-        assert_eq!(steal_one(&queues, 1, &vector, &resident, &alive), Some(2));
-        assert_eq!(steal_one(&queues, 1, &vector, &resident, &alive), Some(0));
+        assert_eq!(
+            steal_one(&queues, 1, &vector, &resident, &alive),
+            Some((0, 2))
+        );
+        assert_eq!(
+            steal_one(&queues, 1, &vector, &resident, &alive),
+            Some((0, 0))
+        );
         assert_eq!(
             steal_one(&queues, 1, &vector, &resident, &alive),
             None,
@@ -1141,7 +1409,7 @@ mod tests {
         let lost = [true, false];
         assert_eq!(
             steal_one(&queues, 1, &vector, &resident, &lost),
-            Some(1),
+            Some((0, 1)),
             "cold work drains from a lost victim"
         );
     }
@@ -1149,7 +1417,7 @@ mod tests {
     #[test]
     fn short_assignments_are_a_typed_error() {
         let stream = stream();
-        let err = execute_stream(&stream, &[], 2, SHAPE, 0).unwrap_err();
+        let err = exec(&stream, &[], 2, 0, &ExecOptions::default()).unwrap_err();
         assert_eq!(
             err,
             ExecError::AssignmentShortfall {
@@ -1164,7 +1432,7 @@ mod tests {
     fn zero_workers_are_a_typed_error() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 1);
-        let err = execute_stream(&stream, &assignments, 0, SHAPE, 0).unwrap_err();
+        let err = exec(&stream, &assignments, 0, 0, &ExecOptions::default()).unwrap_err();
         assert_eq!(err, ExecError::NoWorkers);
         assert!(err.to_string().contains("at least one worker"));
     }
@@ -1173,7 +1441,7 @@ mod tests {
     fn out_of_range_device_is_a_typed_error() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 4);
-        let err = execute_stream(&stream, &assignments, 2, SHAPE, 0).unwrap_err();
+        let err = exec(&stream, &assignments, 2, 0, &ExecOptions::default()).unwrap_err();
         assert!(matches!(
             err,
             ExecError::DeviceOutOfRange { gpu, workers: 2 } if gpu >= 2
@@ -1235,21 +1503,22 @@ mod tests {
     fn transient_faults_retry_to_the_same_checksum() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
-        let clean = execute_stream(&stream, &assignments, 2, SHAPE, 5).unwrap();
+        let clean = exec(&stream, &assignments, 2, 5, &ExecOptions::default()).unwrap();
         let t0 = stream.vectors[0].tasks[0].id.0;
         let t1 = stream.vectors[0].tasks[1].id.0;
         let faults = FaultPlan::none()
             .with_kernel_fault(t0, 2)
             .with_transfer_timeout(t1, 1);
-        let opts = ExecOptions::default().retry(4, Duration::ZERO);
-        let out = execute_stream_faults(&stream, &assignments, 2, SHAPE, 5, opts, &faults).unwrap();
+        let opts = ExecOptions::default()
+            .retry(4, Duration::ZERO)
+            .with_faults(faults);
+        let out = exec(&stream, &assignments, 2, 5, &opts).unwrap();
         assert_eq!(out.checksum, clean.checksum, "faults never change values");
         assert_eq!(out.faults, 2);
         assert_eq!(out.retries, 3);
         assert_eq!(out.lost_workers, 0);
         // the recovery is deterministic: same (seed, FaultPlan) ⇒ same run
-        let again =
-            execute_stream_faults(&stream, &assignments, 2, SHAPE, 5, opts, &faults).unwrap();
+        let again = exec(&stream, &assignments, 2, 5, &opts).unwrap();
         assert_eq!(again.checksum, out.checksum);
         assert_eq!(again.retries, out.retries);
     }
@@ -1261,14 +1530,12 @@ mod tests {
         let tid = stream.vectors[0].tasks[0].id.0;
         let faults = FaultPlan::none().with_kernel_fault(tid, 3);
         // default options: no retry budget, first transient failure is final
-        let err = execute_stream_faults(
+        let err = exec(
             &stream,
             &assignments,
             2,
-            SHAPE,
             5,
-            ExecOptions::default(),
-            &faults,
+            &ExecOptions::default().with_faults(faults.clone()),
         )
         .unwrap_err();
         assert!(matches!(
@@ -1276,19 +1543,21 @@ mod tests {
             ExecError::WorkerFailed { task: Some(t), .. } if t == tid
         ));
         // a budget larger than the fault count rides it out
-        let opts = ExecOptions::default().retry(4, Duration::ZERO);
-        assert!(execute_stream_faults(&stream, &assignments, 2, SHAPE, 5, opts, &faults).is_ok());
+        let opts = ExecOptions::default()
+            .retry(4, Duration::ZERO)
+            .with_faults(faults);
+        assert!(exec(&stream, &assignments, 2, 5, &opts).is_ok());
     }
 
     #[test]
     fn permanent_single_gpu_loss_preserves_checksum() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
-        let clean = execute_stream(&stream, &assignments, 2, SHAPE, 5).unwrap();
+        let clean = exec(&stream, &assignments, 2, 5, &ExecOptions::default()).unwrap();
         // gpu 1 dies at stage 1 and never returns
         let faults = FaultPlan::none().with_device_loss(1, 1, true);
-        let opts = ExecOptions::default();
-        let out = execute_stream_faults(&stream, &assignments, 2, SHAPE, 5, opts, &faults).unwrap();
+        let opts = ExecOptions::default().with_faults(faults);
+        let out = exec(&stream, &assignments, 2, 5, &opts).unwrap();
         assert_eq!(
             out.checksum, clean.checksum,
             "survivors drain the dead queue"
@@ -1300,8 +1569,7 @@ mod tests {
             "every task executed exactly once"
         );
         assert_eq!(out.per_worker_tasks, clean.per_worker_tasks);
-        let again =
-            execute_stream_faults(&stream, &assignments, 2, SHAPE, 5, opts, &faults).unwrap();
+        let again = exec(&stream, &assignments, 2, 5, &opts).unwrap();
         assert_eq!(again.checksum, out.checksum, "recovery is deterministic");
     }
 
@@ -1309,17 +1577,15 @@ mod tests {
     fn transient_loss_returns_the_worker_next_stage() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 3);
-        let clean = execute_stream(&stream, &assignments, 3, SHAPE, 5).unwrap();
+        let clean = exec(&stream, &assignments, 3, 5, &ExecOptions::default()).unwrap();
         // gpu 2 flakes in stage 0 only
         let faults = FaultPlan::none().with_device_loss(2, 0, false);
-        let out = execute_stream_faults(
+        let out = exec(
             &stream,
             &assignments,
             3,
-            SHAPE,
             5,
-            ExecOptions::default(),
-            &faults,
+            &ExecOptions::default().with_faults(faults),
         )
         .unwrap();
         assert_eq!(out.checksum, clean.checksum);
@@ -1337,14 +1603,12 @@ mod tests {
         let faults = FaultPlan::none()
             .with_device_loss(0, 0, true)
             .with_device_loss(1, 0, true);
-        let err = execute_stream_faults(
+        let err = exec(
             &stream,
             &assignments,
             2,
-            SHAPE,
             5,
-            ExecOptions::default(),
-            &faults,
+            &ExecOptions::default().with_faults(faults),
         )
         .unwrap_err();
         assert_eq!(err, ExecError::AllWorkersLost { stage: 0 });
@@ -1355,15 +1619,13 @@ mod tests {
     fn empty_fault_plan_is_behavior_neutral() {
         let stream = stream();
         let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
-        let base = execute_stream(&stream, &assignments, 2, SHAPE, 5).unwrap();
-        let via_faults = execute_stream_faults(
+        let base = exec(&stream, &assignments, 2, 5, &ExecOptions::default()).unwrap();
+        let via_faults = exec(
             &stream,
             &assignments,
             2,
-            SHAPE,
             5,
-            ExecOptions::default(),
-            &FaultPlan::none(),
+            &ExecOptions::default().with_faults(FaultPlan::none()),
         )
         .unwrap();
         assert_eq!(via_faults.checksum, base.checksum);
@@ -1392,8 +1654,8 @@ mod tests {
             &cfg,
         )
         .unwrap();
-        let via_slices = execute_stream(&stream, &report.assignments, 3, SHAPE, 5).unwrap();
-        let via_plan = execute_plan(&stream, &plan, SHAPE, 5).unwrap();
+        let via_slices = exec(&stream, &report.assignments, 3, 5, &ExecOptions::default()).unwrap();
+        let via_plan = execute_plan(&stream, &plan, &store(5), &ExecOptions::default()).unwrap();
         assert_eq!(via_plan.checksum, via_slices.checksum);
         assert_eq!(via_plan.per_worker_tasks, via_slices.per_worker_tasks);
         assert_eq!(via_plan.kernels, via_slices.kernels);
@@ -1414,10 +1676,160 @@ mod tests {
         // mutate the workload after planning: the fingerprint catches it
         let mut drifted = stream.clone();
         drifted.vectors[0].tasks[0].flops += 1;
-        let err = execute_plan(&drifted, &plan, SHAPE, 5).unwrap_err();
+        let err = execute_plan(&drifted, &plan, &store(5), &ExecOptions::default()).unwrap_err();
         assert!(matches!(
             err,
             ExecError::Plan(PlanError::FingerprintMismatch { .. })
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_new_api_bit_for_bit() {
+        use micco_core::plan_schedule;
+        use micco_gpusim::MachineConfig;
+
+        let stream = stream();
+        let cfg = MachineConfig::mi100_like(3);
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 3);
+        let plan = plan_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+        let faults = FaultPlan::none().with_kernel_fault(stream.vectors[0].tasks[0].id.0, 1);
+
+        let new_default = exec(&stream, &assignments, 3, 5, &ExecOptions::default()).unwrap();
+        let new_steal = exec(
+            &stream,
+            &assignments,
+            3,
+            5,
+            &ExecOptions::default().with_steal().with_prefetch(),
+        )
+        .unwrap();
+        let new_faulty = exec(
+            &stream,
+            &assignments,
+            3,
+            5,
+            &ExecOptions::default()
+                .retry(3, Duration::ZERO)
+                .with_faults(faults.clone()),
+        )
+        .unwrap();
+        let new_plan = execute_plan(&stream, &plan, &store(5), &ExecOptions::default()).unwrap();
+
+        let old = execute_stream(&stream, &assignments, 3, SHAPE, 5).unwrap();
+        assert_eq!(old.checksum, new_default.checksum);
+        assert_eq!(old.per_worker_tasks, new_default.per_worker_tasks);
+
+        let old = execute_stream_opts(
+            &stream,
+            &assignments,
+            3,
+            SHAPE,
+            5,
+            ExecOptions::default().with_steal().with_prefetch(),
+        )
+        .unwrap();
+        assert_eq!(old.checksum, new_steal.checksum);
+
+        let old = execute_stream_faults(
+            &stream,
+            &assignments,
+            3,
+            SHAPE,
+            5,
+            ExecOptions::default().retry(3, Duration::ZERO),
+            &faults,
+        )
+        .unwrap();
+        assert_eq!(old.checksum, new_faulty.checksum);
+        assert_eq!(old.faults, new_faulty.faults);
+        assert_eq!(old.retries, new_faulty.retries);
+
+        let old = execute_plan_opts(&stream, &plan, SHAPE, 5, ExecOptions::default()).unwrap();
+        assert_eq!(old.checksum, new_plan.checksum);
+
+        let old = execute_plan_faults(
+            &stream,
+            &plan,
+            SHAPE,
+            5,
+            ExecOptions::default().retry(3, Duration::ZERO),
+            &faults,
+        )
+        .unwrap();
+        assert_eq!(old.checksum, new_faulty.checksum);
+    }
+
+    #[test]
+    fn traced_run_spans_reconcile_with_busy_secs() {
+        use micco_obs::span_track_totals;
+
+        let stream = stream();
+        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 2);
+        let recorder = Recorder::shared();
+        let opts = ExecOptions::default()
+            .with_prefetch()
+            .with_trace(recorder.clone());
+        let out = exec(&stream, &assignments, 2, 5, &opts).unwrap();
+        let events = recorder.events();
+        // compute-track spans per worker sum to exactly the reported busy
+        // seconds — span durations and busy accounting share a measurement
+        let totals = span_track_totals(&events);
+        for (w, &busy) in out.per_worker_busy_secs.iter().enumerate() {
+            let spans = totals
+                .get(&(w as u32, Track::Compute))
+                .copied()
+                .unwrap_or(0.0);
+            assert!(
+                (spans - busy).abs() < 1e-9,
+                "worker {w}: spans {spans} vs busy {busy}"
+            );
+        }
+        // one control span per stage plus the run span
+        let stage_spans = events
+            .iter()
+            .filter(|e| {
+                matches!(e, TraceEvent::Span { pid, track, .. }
+                    if *pid == CONTROL_PID && *track == Track::Control)
+            })
+            .count();
+        assert_eq!(stage_spans, stream.vectors.len());
+        assert!(events.iter().any(|e| {
+            matches!(e, TraceEvent::Span { pid, track, name, .. }
+                if *pid == CONTROL_PID && *track == Track::Run && name == "exec")
+        }));
+        // worker processes are labelled
+        assert!(events.iter().any(|e| {
+            matches!(e, TraceEvent::ProcessLabel { pid: 0, label } if label == "worker0")
+        }));
+        // tracing never perturbs the physics
+        let untr = exec(&stream, &assignments, 2, 5, &ExecOptions::default()).unwrap();
+        assert_eq!(out.checksum, untr.checksum);
+    }
+
+    #[test]
+    fn traced_steals_emit_flow_arrows() {
+        let stream = stream();
+        // lopsided: all work on worker 0, worker 1 helps via stealing
+        let assignments: Vec<Assignment> = stream
+            .vectors
+            .iter()
+            .flat_map(|v| v.tasks.iter())
+            .map(|t| Assignment {
+                task: t.id,
+                gpu: micco_gpusim::GpuId(0),
+            })
+            .collect();
+        let recorder = Recorder::shared();
+        let opts = ExecOptions::default()
+            .with_steal()
+            .with_trace(recorder.clone());
+        let out = exec(&stream, &assignments, 2, 5, &opts).unwrap();
+        let flows = recorder
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Flow { name, .. } if name.starts_with("steal")))
+            .count();
+        assert_eq!(flows, out.steals, "one flow arrow per steal");
     }
 }

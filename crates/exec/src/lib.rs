@@ -19,11 +19,18 @@ pub mod engine;
 pub mod store;
 
 pub use engine::{
-    execute_plan, execute_plan_faults, execute_plan_opts, execute_stream, execute_stream_faults,
-    execute_stream_opts, ExecError, ExecOptions, ExecOutcome, TensorShape,
+    execute_assignments, execute_plan, ExecError, ExecOptions, ExecOutcome, TensorShape,
+};
+#[allow(deprecated)]
+pub use engine::{
+    execute_plan_faults, execute_plan_opts, execute_stream, execute_stream_faults,
+    execute_stream_opts,
 };
 pub use store::TensorStore;
 
 // Re-exported so chaos-testing callers don't need a direct gpusim
 // dependency just to describe the faults they inject.
 pub use micco_gpusim::{FaultKind, FaultPlan};
+// Re-exported so callers can wire a telemetry sink without a direct
+// micco-obs dependency.
+pub use micco_obs::{Recorder, TraceSink};

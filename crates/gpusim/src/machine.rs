@@ -241,6 +241,87 @@ impl ExecObserver for StatsObserver<'_> {
     }
 }
 
+/// Fans every observation out to the built-in statistics layer *and* an
+/// externally attached observer (see [`SimMachine::set_observer`]), so
+/// telemetry consumers see the exact same hook sequence the stats are
+/// computed from.
+struct TeeObserver<'a, 'b> {
+    stats: StatsObserver<'a>,
+    ext: &'b mut (dyn ExecObserver + Send),
+}
+
+impl ExecObserver for TeeObserver<'_, '_> {
+    fn reuse_hit(&mut self, gpu: GpuId, tensor: TensorId) {
+        self.stats.reuse_hit(gpu, tensor);
+        self.ext.reuse_hit(gpu, tensor);
+    }
+
+    fn alloc(&mut self, gpu: GpuId) {
+        self.stats.alloc(gpu);
+        self.ext.alloc(gpu);
+    }
+
+    fn h2d(&mut self, gpu: GpuId, tensor: TensorId, bytes: u64) {
+        self.stats.h2d(gpu, tensor, bytes);
+        self.ext.h2d(gpu, tensor, bytes);
+    }
+
+    fn d2d(&mut self, src: GpuId, dst: GpuId, tensor: TensorId, bytes: u64) {
+        self.stats.d2d(src, dst, tensor, bytes);
+        self.ext.d2d(src, dst, tensor, bytes);
+    }
+
+    fn source_charge(&mut self, src: GpuId, secs: f64) {
+        self.stats.source_charge(src, secs);
+        self.ext.source_charge(src, secs);
+    }
+
+    fn evict(&mut self, gpu: GpuId, tensor: TensorId, writeback: bool, bytes: u64) {
+        self.stats.evict(gpu, tensor, writeback, bytes);
+        self.ext.evict(gpu, tensor, writeback, bytes);
+    }
+
+    fn kernel(&mut self, gpu: GpuId, task: TaskId, secs: f64) {
+        self.stats.kernel(gpu, task, secs);
+        self.ext.kernel(gpu, task, secs);
+    }
+
+    fn task_done(&mut self, gpu: GpuId, flops: u64, compute_secs: f64, mem_secs: f64) {
+        self.stats.task_done(gpu, flops, compute_secs, mem_secs);
+        self.ext.task_done(gpu, flops, compute_secs, mem_secs);
+    }
+
+    fn fault(&mut self, gpu: GpuId, task: TaskId, kind: crate::fault::FaultKind) {
+        self.stats.fault(gpu, task, kind);
+        self.ext.fault(gpu, task, kind);
+    }
+
+    fn retry(&mut self, gpu: GpuId, task: TaskId, attempt: u32) {
+        self.stats.retry(gpu, task, attempt);
+        self.ext.retry(gpu, task, attempt);
+    }
+
+    fn device_lost(&mut self, gpu: GpuId, stage: usize, permanent: bool) {
+        self.stats.device_lost(gpu, stage, permanent);
+        self.ext.device_lost(gpu, stage, permanent);
+    }
+
+    fn copy_timed(&mut self, gpu: GpuId, start: f64, end: f64) {
+        self.stats.copy_timed(gpu, start, end);
+        self.ext.copy_timed(gpu, start, end);
+    }
+
+    fn kernel_timed(&mut self, gpu: GpuId, task: TaskId, start: f64, end: f64) {
+        self.stats.kernel_timed(gpu, task, start, end);
+        self.ext.kernel_timed(gpu, task, start, end);
+    }
+
+    fn stage_done(&mut self, stage: usize, start: f64, end: f64) {
+        self.stats.stage_done(stage, start, end);
+        self.ext.stage_done(stage, start, end);
+    }
+}
+
 /// The simulated node.
 ///
 /// # Examples
@@ -269,6 +350,7 @@ pub struct SimMachine {
     stats: ExecStats,
     trace: Option<Trace>,
     stage_index: usize,
+    observer: Option<Box<dyn ExecObserver + Send>>,
 }
 
 impl SimMachine {
@@ -279,6 +361,7 @@ impl SimMachine {
             stats: ExecStats::new(config.num_gpus),
             trace: None,
             stage_index: 0,
+            observer: None,
         }
     }
 
@@ -311,6 +394,26 @@ impl SimMachine {
         self.shadow.config()
     }
 
+    /// Attach an external [`ExecObserver`] (e.g. a telemetry span
+    /// recorder). It sees every observation hook the built-in statistics
+    /// layer sees — including the timed `copy_timed`/`kernel_timed`/
+    /// `stage_done` hooks — without perturbing the statistics themselves.
+    /// Replaces any previously attached observer.
+    pub fn set_observer(&mut self, observer: Box<dyn ExecObserver + Send>) {
+        self.observer = Some(observer);
+    }
+
+    /// Builder form of [`Self::set_observer`].
+    pub fn with_observer(mut self, observer: Box<dyn ExecObserver + Send>) -> Self {
+        self.set_observer(observer);
+        self
+    }
+
+    /// Detach and return the external observer, if one was attached.
+    pub fn take_observer(&mut self) -> Option<Box<dyn ExecObserver + Send>> {
+        self.observer.take()
+    }
+
     /// Turn on event tracing (off by default).
     pub fn enable_trace(&mut self) {
         self.trace = Some(Trace::default());
@@ -335,11 +438,20 @@ impl SimMachine {
 
     /// Execute `task` on device `gpu`, advancing its clock.
     pub fn execute(&mut self, task: &ContractionTask, gpu: GpuId) -> Result<(), ExecError> {
-        let mut obs = StatsObserver {
+        let stats = StatsObserver {
             stats: &mut self.stats,
             trace: self.trace.as_mut(),
         };
-        self.shadow.execute_observed(task, gpu, &mut obs)
+        match self.observer.as_deref_mut() {
+            Some(ext) => {
+                let mut tee = TeeObserver { stats, ext };
+                self.shadow.execute_observed(task, gpu, &mut tee)
+            }
+            None => {
+                let mut stats = stats;
+                self.shadow.execute_observed(task, gpu, &mut stats)
+            }
+        }
     }
 
     /// End the current stage: all device clocks advance to the stage
@@ -389,6 +501,9 @@ impl SimMachine {
             stage: self.stage_index,
             makespan,
         });
+        if let Some(obs) = self.observer.as_deref_mut() {
+            obs.stage_done(self.stage_index, start, end);
+        }
         self.stage_index += 1;
         self.shadow.barrier();
     }
@@ -408,8 +523,13 @@ impl SimMachine {
     /// used by the cluster layer (`micco-cluster`) to account inter-node
     /// transfers that happen outside this node.
     pub fn add_memory_delay(&mut self, g: GpuId, secs: f64) {
-        self.shadow.add_memory_delay(g, secs);
+        let (start, end) = self.shadow.add_memory_delay(g, secs);
         self.stats.per_gpu[g.0].memory_secs += secs;
+        if let Some(obs) = self.observer.as_deref_mut() {
+            if end > start {
+                obs.copy_timed(g, start, end);
+            }
+        }
     }
 
     /// Advance every device clock to at least `t` (a cross-machine barrier
@@ -1164,6 +1284,84 @@ mod tests {
         assert!((run(2) - 7.0).abs() < 1e-9, "k=2 {}", run(2));
         // the window only ever delays transfers, never speeds them up
         assert!(run(1) >= run(2) && run(2) >= run(0));
+    }
+
+    /// An attached external observer sees the timed hooks, and the spans
+    /// it collects reconstruct the per-device copy/compute stats exactly.
+    #[test]
+    fn external_observer_timed_hooks_match_stats() {
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Default, Clone)]
+        struct Collected {
+            copy: Vec<(usize, f64, f64)>,
+            kernel: Vec<(usize, f64, f64)>,
+            stages: Vec<(usize, f64, f64)>,
+        }
+        struct Collector(Arc<Mutex<Collected>>);
+        impl ExecObserver for Collector {
+            fn copy_timed(&mut self, gpu: GpuId, start: f64, end: f64) {
+                self.0.lock().unwrap().copy.push((gpu.0, start, end));
+            }
+            fn kernel_timed(&mut self, gpu: GpuId, _task: TaskId, start: f64, end: f64) {
+                self.0.lock().unwrap().kernel.push((gpu.0, start, end));
+            }
+            fn stage_done(&mut self, stage: usize, start: f64, end: f64) {
+                self.0.lock().unwrap().stages.push((stage, start, end));
+            }
+        }
+
+        for async_copy in [false, true] {
+            let cfg = MachineConfig {
+                num_gpus: 2,
+                mem_bytes: 100 * GIB,
+                cost: CostModel {
+                    async_copy,
+                    d2d_charges_source: true,
+                    ..unit_cost()
+                },
+                eviction: EvictionPolicy::Lru,
+            };
+            let shared = Arc::new(Mutex::new(Collected::default()));
+            let mut m = SimMachine::new(cfg).with_observer(Box::new(Collector(shared.clone())));
+            for i in 0..8u64 {
+                let t = task(i, i % 3, (i + 1) % 4, 1000 + i, GIB / 4, 300_000_000);
+                m.execute(&t, GpuId((i % 2) as usize)).unwrap();
+                if i == 3 {
+                    m.barrier();
+                }
+            }
+            m.barrier();
+            let got = shared.lock().unwrap().clone();
+            assert_eq!(got.stages.len(), 2, "one stage_done per barrier");
+            assert_eq!(got.stages[0].0, 0);
+            assert_eq!(got.stages[1].0, 1);
+            let s = m.stats();
+            for g in 0..2usize {
+                let copy: f64 = got
+                    .copy
+                    .iter()
+                    .filter(|(i, _, _)| *i == g)
+                    .map(|(_, a, b)| b - a)
+                    .sum();
+                let kernel: f64 = got
+                    .kernel
+                    .iter()
+                    .filter(|(i, _, _)| *i == g)
+                    .map(|(_, a, b)| b - a)
+                    .sum();
+                assert!(
+                    (copy - s.per_gpu[g].memory_secs).abs() < 1e-9,
+                    "async={async_copy} gpu{g}: copy spans {copy} vs memory_secs {}",
+                    s.per_gpu[g].memory_secs
+                );
+                assert!(
+                    (kernel - s.per_gpu[g].compute_secs).abs() < 1e-9,
+                    "async={async_copy} gpu{g}: kernel spans {kernel} vs compute_secs {}",
+                    s.per_gpu[g].compute_secs
+                );
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,22 @@ pub trait ExecObserver {
     /// Device `gpu` was found lost at `stage` (`permanent` when it never
     /// comes back).
     fn device_lost(&mut self, _gpu: GpuId, _stage: usize, _permanent: bool) {}
+    /// A copy-engine busy interval `[start, end)` landed on `gpu`, in
+    /// absolute simulated seconds since run start. Fired for operand
+    /// staging, and for the source side of a charged peer copy. Intervals
+    /// on one device are emitted in nondecreasing order and are pairwise
+    /// disjoint (mirroring the shadow device's copy-interval ledger), so timeline
+    /// consumers can lay them out on a per-device copy track directly.
+    fn copy_timed(&mut self, _gpu: GpuId, _start: f64, _end: f64) {}
+    /// The kernel of `task` occupied `gpu`'s compute engine over
+    /// `[start, end)` in absolute simulated seconds (zero-length for
+    /// zero-flop tasks). Emitted once per executed task, after
+    /// [`Self::kernel`], with the resolved engine timing.
+    fn kernel_timed(&mut self, _gpu: GpuId, _task: TaskId, _start: f64, _end: f64) {}
+    /// Stage `stage` closed, spanning `[start, end)` on the shared clock.
+    /// Fired by observing wrappers at their barrier, not by
+    /// [`ShadowMachine::execute_observed`] itself.
+    fn stage_done(&mut self, _stage: usize, _start: f64, _end: f64) {}
 }
 
 /// The no-op observer used by the pure decide path.
@@ -100,13 +116,15 @@ impl ShadowGpu {
     }
 
     /// Record `secs` of copy-engine work starting no earlier than the
-    /// engine's current position, returning when it completes. With a
-    /// bounded staging window (`prefetch ≥ 1`) the transfer additionally
-    /// waits until the kernel `prefetch` tasks back has freed its buffer.
-    pub(crate) fn push_copy(&mut self, secs: f64, prefetch: usize) -> f64 {
+    /// engine's current position, returning the `(start, end)` interval it
+    /// occupied (zero-length at the current position when `secs <= 0`).
+    /// With a bounded staging window (`prefetch ≥ 1`) the transfer
+    /// additionally waits until the kernel `prefetch` tasks back has freed
+    /// its buffer.
+    pub(crate) fn push_copy(&mut self, secs: f64, prefetch: usize) -> (f64, f64) {
         if secs <= 0.0 {
             // no transfer: the staging window must not advance the engine
-            return self.dma_time;
+            return (self.dma_time, self.dma_time);
         }
         let mut start = self.dma_time;
         if prefetch > 0 {
@@ -118,7 +136,7 @@ impl ShadowGpu {
         let end = start + secs;
         self.copy_intervals.push((start, end));
         self.dma_time = end;
-        end
+        (start, end)
     }
 }
 
@@ -314,13 +332,16 @@ impl ShadowMachine {
                     if self.config.cost.d2d_charges_source {
                         // the peer's outgoing copy is not gated by its own
                         // staging buffers, so no prefetch bound here
-                        self.gpus[src.0].push_copy(secs, 0);
+                        let (cs, ce) = self.gpus[src.0].push_copy(secs, 0);
                         if !self.config.cost.async_copy {
                             // serialised device: DMA work delays compute too
                             self.gpus[src.0].compute_time =
                                 self.gpus[src.0].compute_time.max(self.gpus[src.0].dma_time);
                         }
                         obs.source_charge(src, secs);
+                        if ce > cs {
+                            obs.copy_timed(src, cs, ce);
+                        }
                     }
                     obs.d2d(src, gpu, d.id, d.bytes);
                 }
@@ -410,28 +431,36 @@ impl ShadowMachine {
         }
 
         let g = &mut self.gpus[gpu.0];
+        let (kernel_start, kernel_end);
         if self.config.cost.async_copy {
             // DMA engine runs its queue independently (bounded by the
             // staging window when `prefetch_tasks` is set); the kernel
             // starts once both the compute engine is free and the
             // operands landed.
-            g.push_copy(mem_secs, self.config.cost.prefetch_tasks);
+            let (cs, ce) = g.push_copy(mem_secs, self.config.cost.prefetch_tasks);
+            if ce > cs {
+                obs.copy_timed(gpu, cs, ce);
+            }
             let start = g.compute_time.max(g.dma_time);
             let finish = start + compute_secs;
             g.kernel_intervals.push((start, finish));
             g.compute_time = finish;
+            (kernel_start, kernel_end) = (start, finish);
         } else {
             // fully serialised device: memory ops then kernel
             let start = g.compute_time.max(g.dma_time);
             if mem_secs > 0.0 {
                 g.copy_intervals.push((start, start + mem_secs));
+                obs.copy_timed(gpu, start, start + mem_secs);
             }
             let finish = start + mem_secs + compute_secs;
             g.kernel_intervals.push((start + mem_secs, finish));
             g.compute_time = finish;
             g.dma_time = finish;
+            (kernel_start, kernel_end) = (start + mem_secs, finish);
         }
         g.stage_flops += task.flops;
+        obs.kernel_timed(gpu, task.id, kernel_start, kernel_end);
         obs.task_done(gpu, task.flops, compute_secs, mem_secs);
         Ok(())
     }
@@ -487,14 +516,16 @@ impl ShadowMachine {
 
     /// Charge extra memory-operation time to device `g`'s DMA engine —
     /// used by the cluster layer to account inter-node transfers that
-    /// happen outside this node.
-    pub fn add_memory_delay(&mut self, g: GpuId, secs: f64) {
+    /// happen outside this node. Returns the `(start, end)` copy-engine
+    /// interval the delay occupied (zero-length when `secs == 0`).
+    pub fn add_memory_delay(&mut self, g: GpuId, secs: f64) -> (f64, f64) {
         assert!(secs >= 0.0, "negative delay");
         let gpu = &mut self.gpus[g.0];
-        gpu.push_copy(secs, 0);
+        let span = gpu.push_copy(secs, 0);
         if !self.config.cost.async_copy {
             gpu.compute_time = gpu.compute_time.max(gpu.dma_time);
         }
+        span
     }
 
     /// Advance every device clock to at least `t` (a cross-machine barrier

@@ -1,0 +1,144 @@
+//! # micco-obs — telemetry for MICCO runs
+//!
+//! The instrument panel of the stack: turns scheduler/executor activity
+//! into **hierarchical spans** (run → stage → task, with copy, compute,
+//! steal, retry and fault sub-events), a **counter/gauge metrics
+//! registry**, and a **Chrome-trace / Perfetto JSON exporter** — so a
+//! schedule can be *seen*, not just summarized.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  SimMachine ──ExecObserver hooks──▶ SpanObserver ─┐
+//!  micco-exec workers ──wall-clock records──────────┼─▶ TraceSink (Recorder)
+//!  Session / cluster projection ──run, stage spans──┘        │
+//!                                                  ┌─────────┴─────────┐
+//!                                            MetricsRegistry    to_perfetto_json
+//! ```
+//!
+//! Everything funnels through [`TraceSink`], a thread-safe append sink.
+//! The in-memory [`Recorder`] is the standard implementation; it pairs the
+//! event log with a [`MetricsRegistry`] and renders Perfetto JSON on
+//! demand. Simulated runs attach a [`SpanObserver`] to a
+//! `micco_gpusim::SimMachine`; the real executor records wall-clock spans
+//! directly from its workers. Both produce the same span taxonomy, so sim
+//! and real timelines are comparable side by side.
+//!
+//! ## Example: trace a simulated run
+//!
+//! ```
+//! use micco_gpusim::{GpuId, MachineConfig, SimMachine};
+//! use micco_obs::{reconcile_with_stats, Recorder, SpanObserver};
+//! use micco_workload::WorkloadSpec;
+//!
+//! let stream = WorkloadSpec::new(6, 48).with_vectors(2).with_seed(1).generate();
+//! let recorder = Recorder::shared();
+//! let obs = SpanObserver::new(recorder.clone()).with_metrics(recorder.metrics());
+//! let mut machine = SimMachine::new(MachineConfig::mi100_like(2))
+//!     .with_observer(Box::new(obs));
+//! let mut i = 0usize;
+//! for v in &stream.vectors {
+//!     for t in &v.tasks {
+//!         machine.execute(t, GpuId(i % 2)).unwrap();
+//!         i += 1;
+//!     }
+//!     machine.barrier();
+//! }
+//! // per-device span totals reconstruct the simulator's accounting
+//! reconcile_with_stats(&recorder.events(), machine.stats(), 0, 1e-9).unwrap();
+//! let json = recorder.to_perfetto_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod observer;
+pub mod perfetto;
+pub mod sink;
+pub mod span;
+
+pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use observer::{SpanObserver, SECS_TO_US};
+pub use perfetto::{reconcile_with_stats, span_track_totals, to_perfetto_json};
+pub use sink::{NullSink, Recorder, TraceSink};
+pub use span::{FlowPoint, TraceEvent, Track, CONTROL_PID};
+
+use micco_gpusim::{Event, Trace};
+
+/// Lossy import of a legacy [`micco_gpusim::Trace`] event log: renders the
+/// untimed event stream as control-track instants (one synthetic
+/// microsecond apart, mirroring `Trace::to_chrome_json`'s ordering
+/// semantics). Prefer attaching a [`SpanObserver`] for properly timed
+/// spans; this exists so pre-telemetry traces remain viewable through the
+/// same exporter.
+pub fn import_trace(trace: &Trace, sink: &dyn TraceSink) {
+    for (i, e) in trace.events().iter().enumerate() {
+        let ts_us = i as f64;
+        let (pid, name) = match e {
+            Event::H2d { gpu, tensor, bytes } => {
+                (gpu.0 as u32, format!("h2d t{} ({bytes} B)", tensor.0))
+            }
+            Event::D2d {
+                src, dst, tensor, ..
+            } => (src.0 as u32, format!("d2d t{} -> {dst}", tensor.0)),
+            Event::Evict { gpu, tensor, .. } => (gpu.0 as u32, format!("evict t{}", tensor.0)),
+            Event::ReuseHit { gpu, tensor } => (gpu.0 as u32, format!("reuse t{}", tensor.0)),
+            Event::Kernel { gpu, task, secs } => (
+                gpu.0 as u32,
+                format!("kernel task {} ({secs:.3e} s)", task.0),
+            ),
+            Event::Barrier { stage, makespan } => (
+                CONTROL_PID,
+                format!("barrier stage {stage} ({makespan:.3e} s)"),
+            ),
+            Event::StageBreakdown { gpu, stage, .. } => {
+                (gpu.0 as u32, format!("stage {stage} breakdown"))
+            }
+            Event::Fault { gpu, task, kind } => {
+                (gpu.0 as u32, format!("fault task {} ({kind:?})", task.0))
+            }
+            Event::Retry { gpu, task, attempt } => (
+                gpu.0 as u32,
+                format!("retry task {} (attempt {attempt})", task.0),
+            ),
+            Event::DeviceLost { gpu, stage, .. } => {
+                (gpu.0 as u32, format!("device lost (stage {stage})"))
+            }
+        };
+        sink.record(TraceEvent::Instant {
+            pid,
+            track: Track::Control,
+            name,
+            ts_us,
+            args: Vec::new(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use micco_gpusim::{GpuId, MachineConfig, SimMachine};
+    use micco_workload::WorkloadSpec;
+
+    #[test]
+    fn legacy_trace_imports_as_instants() {
+        let stream = WorkloadSpec::new(6, 32)
+            .with_vectors(1)
+            .with_seed(2)
+            .generate();
+        let mut machine = SimMachine::new(MachineConfig::mi100_like(2));
+        machine.enable_trace();
+        for (i, t) in stream.vectors[0].tasks.iter().enumerate() {
+            machine.execute(t, GpuId(i % 2)).unwrap();
+        }
+        machine.barrier();
+        let recorder = Recorder::new();
+        let trace = machine.trace().expect("trace enabled");
+        import_trace(trace, &recorder);
+        assert_eq!(recorder.len(), trace.events().len());
+        let json = recorder.to_perfetto_json();
+        assert!(json.contains("\"ph\":\"i\""));
+    }
+}

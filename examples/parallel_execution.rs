@@ -8,7 +8,7 @@
 //! cargo run --release --example parallel_execution
 //! ```
 
-use micco::exec::{execute_stream, TensorShape};
+use micco::exec::{execute_assignments, ExecOptions, TensorShape, TensorStore};
 use micco::prelude::*;
 use micco::sched::{GrouteScheduler, RoundRobinScheduler, Scheduler};
 
@@ -40,9 +40,11 @@ fn main() {
         Box::new(RoundRobinScheduler::new()),
         Box::new(MiccoScheduler::new(ReuseBounds::new(0, 2, 0))),
     ];
+    let opts = ExecOptions::default();
     for s in schedulers.iter_mut() {
         let report = run_schedule(s.as_mut(), &stream, &machine).expect("fits");
-        let out = execute_stream(&stream, &report.assignments, workers, shape, 2026)
+        let store = TensorStore::new(shape.batch, shape.dim, 2026);
+        let out = execute_assignments(&stream, &report.assignments, workers, &store, &opts)
             .expect("schedule covers the stream");
         checksums.push(out.checksum);
         println!(

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Validate a micco Perfetto/Chrome-trace JSON export.
+
+Stdlib-only structural check of the Trace Event Format subset micco-obs
+emits: the object form `{"displayTimeUnit": "ms", "traceEvents": [...]}`
+where every event is one of
+
+  M  metadata       (process_name / thread_name, args.name)
+  X  complete span  (name, cat, pid, tid, ts, dur >= 0)
+  i  instant        (name, cat, s, pid, tid, ts)
+  s  flow start     (name, id, pid, tid, ts)
+  f  flow finish    (name, id, bp, pid, tid, ts) — every id is paired
+
+Also enforces cross-event invariants: every pid referenced by a span or
+instant has a process_name record, every (pid, tid) lane a thread_name
+record, and every flow start has a matching finish.
+
+Usage: check_trace_schema.py TRACE.json [TRACE2.json ...]
+Exit status is non-zero on the first malformed file.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, path, msg):
+    if not cond:
+        fail(path, msg)
+
+
+def check_common(ev, path, i, fields):
+    for name, types in fields.items():
+        require(name in ev, path, f"event {i}: missing field '{name}': {ev}")
+        require(
+            isinstance(ev[name], types),
+            path,
+            f"event {i}: field '{name}' has type {type(ev[name]).__name__}: {ev}",
+        )
+
+
+NUM = (int, float)
+
+
+def check_file(path):
+    with open(path, encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as e:
+            fail(path, f"not valid JSON: {e}")
+
+    require(isinstance(doc, dict), path, "top level must be a JSON object")
+    require(
+        doc.get("displayTimeUnit") in ("ms", "ns"),
+        path,
+        "displayTimeUnit must be 'ms' or 'ns'",
+    )
+    events = doc.get("traceEvents")
+    require(isinstance(events, list), path, "traceEvents must be an array")
+    require(events, path, "traceEvents must not be empty")
+
+    procs, lanes = set(), set()
+    used_pids, used_lanes = set(), set()
+    flow_starts, flow_ends = {}, {}
+
+    for i, ev in enumerate(events):
+        require(isinstance(ev, dict), path, f"event {i} is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            check_common(ev, path, i, {"name": str, "pid": int, "tid": int, "args": dict})
+            require(
+                ev["name"] in ("process_name", "thread_name"),
+                path,
+                f"event {i}: unknown metadata '{ev['name']}'",
+            )
+            require(
+                isinstance(ev["args"].get("name"), str),
+                path,
+                f"event {i}: metadata args.name must be a string",
+            )
+            if ev["name"] == "process_name":
+                procs.add(ev["pid"])
+            else:
+                lanes.add((ev["pid"], ev["tid"]))
+        elif ph == "X":
+            check_common(
+                ev,
+                path,
+                i,
+                {"name": str, "cat": str, "pid": int, "tid": int, "ts": NUM, "dur": NUM},
+            )
+            require(ev["dur"] >= 0, path, f"event {i}: negative duration: {ev}")
+            used_pids.add(ev["pid"])
+            used_lanes.add((ev["pid"], ev["tid"]))
+        elif ph == "i":
+            check_common(
+                ev, path, i, {"name": str, "cat": str, "s": str, "pid": int, "tid": int, "ts": NUM}
+            )
+            used_pids.add(ev["pid"])
+            used_lanes.add((ev["pid"], ev["tid"]))
+        elif ph == "s":
+            check_common(ev, path, i, {"name": str, "id": int, "pid": int, "tid": int, "ts": NUM})
+            flow_starts[ev["id"]] = i
+        elif ph == "f":
+            check_common(
+                ev, path, i, {"name": str, "id": int, "bp": str, "pid": int, "tid": int, "ts": NUM}
+            )
+            flow_ends[ev["id"]] = i
+        else:
+            fail(path, f"event {i}: unknown phase {ph!r}: {ev}")
+
+    for pid in used_pids:
+        require(pid in procs, path, f"pid {pid} has spans but no process_name metadata")
+    for lane in used_lanes:
+        require(lane in lanes, path, f"lane {lane} has events but no thread_name metadata")
+    for fid, i in flow_starts.items():
+        require(fid in flow_ends, path, f"flow id {fid} (event {i}) starts but never finishes")
+    for fid, i in flow_ends.items():
+        require(fid in flow_starts, path, f"flow id {fid} (event {i}) finishes but never starts")
+
+    spans = sum(1 for e in events if e.get("ph") == "X")
+    print(f"{path}: ok — {len(events)} events, {spans} spans, {len(procs)} processes")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -19,6 +19,7 @@
 //! * [`cluster`] — the multi-node extension (the paper's future work)
 //! * [`exec`] — multi-threaded CPU execution engine (real kernels)
 //! * [`analysis`] — static plan verifier / lint engine over the plan IR
+//! * [`obs`] — telemetry: spans, metrics, Chrome-trace/Perfetto export
 //!
 //! ## Quickstart
 //!
@@ -63,6 +64,28 @@
 //!     .expect("plan matches this workload");
 //! assert_eq!(report.assignments.len(), plan.total_tasks());
 //! ```
+//!
+//! ## Sessions and telemetry
+//!
+//! [`sched::Session`] wraps the same flow in one fluent builder and wires
+//! an optional trace sink through every layer; the recorded timeline
+//! exports as Perfetto-loadable JSON:
+//!
+//! ```
+//! use micco::prelude::*;
+//!
+//! let workload = WorkloadSpec::new(8, 64).with_vectors(2).with_seed(1).generate();
+//! let recorder = Recorder::shared();
+//! let report = Session::new(MachineConfig::mi100_like(2))
+//!     .overlap(true)
+//!     .trace(recorder.clone())
+//!     .plan(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &workload)
+//!     .expect("workload fits")
+//!     .execute(&workload)
+//!     .expect("plan matches");
+//! assert!(report.gflops() > 0.0);
+//! assert!(recorder.to_perfetto_json().contains("traceEvents"));
+//! ```
 
 pub use micco_analysis as analysis;
 pub use micco_cluster as cluster;
@@ -71,6 +94,7 @@ pub use micco_exec as exec;
 pub use micco_gpusim as gpusim;
 pub use micco_graph as graph;
 pub use micco_ml as ml;
+pub use micco_obs as obs;
 pub use micco_redstar as redstar;
 pub use micco_tensor as tensor;
 pub use micco_workload as workload;
@@ -82,12 +106,14 @@ pub mod prelude {
         Severity as LintSeverity,
     };
     pub use micco_core::{
-        execute_plan, plan_schedule, plan_schedule_with, run_schedule, run_schedule_with,
-        Assignment, DriverOptions, GrouteScheduler, MiccoScheduler, PlanCache, ReuseBounds,
-        RoundRobinScheduler, SchedulePlan, ScheduleReport, Scheduler,
+        execute_plan, execute_plan_with, plan_schedule, plan_schedule_with, run_schedule,
+        run_schedule_with, Assignment, DriverOptions, GrouteScheduler, MiccoScheduler, PlanCache,
+        Planned, ReuseBounds, RoundRobinScheduler, SchedulePlan, ScheduleReport, Scheduler,
+        Session,
     };
     pub use micco_gpusim::{
         CostModel, DeviceView, MachineConfig, MachineState, ShadowMachine, SimMachine,
     };
+    pub use micco_obs::{MetricsRegistry, Recorder, SpanObserver, TraceSink};
     pub use micco_workload::{RepeatDistribution, TensorPairStream, Vector, WorkloadSpec};
 }

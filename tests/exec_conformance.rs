@@ -6,7 +6,7 @@
 //! simulator ran with copy/compute overlap, or whether the executor stole
 //! work between workers.
 
-use micco::exec::{execute_stream, execute_stream_opts, ExecOptions, TensorShape};
+use micco::exec::{execute_assignments, ExecOptions, TensorShape, TensorStore};
 use micco::gpusim::MachineConfig;
 use micco::sched::{
     run_schedule, run_schedule_with, DriverOptions, GrouteScheduler, MiccoScheduler, ReuseBounds,
@@ -24,6 +24,10 @@ fn stream() -> TensorPairStream {
         .with_vectors(4)
         .with_seed(23)
         .generate()
+}
+
+fn store() -> TensorStore {
+    TensorStore::new(SHAPE.batch, SHAPE.dim, 23)
 }
 
 fn schedulers() -> Vec<Box<dyn Scheduler>> {
@@ -50,7 +54,14 @@ fn real_execution_matches_simulated_kernel_and_worker_counts() {
     let cfg = MachineConfig::mi100_like(WORKERS);
     for mut s in schedulers() {
         let report = run_schedule(s.as_mut(), &stream, &cfg).expect("workload fits");
-        let out = execute_stream(&stream, &report.assignments, WORKERS, SHAPE, 23).expect("valid");
+        let out = execute_assignments(
+            &stream,
+            &report.assignments,
+            WORKERS,
+            &store(),
+            &ExecOptions::default(),
+        )
+        .expect("valid");
 
         // Kernel counts: real engine, simulator, and stream all agree.
         assert_eq!(out.kernels, stream.total_tasks());
@@ -79,9 +90,15 @@ fn checksum_is_independent_of_the_scheduler() {
         let report = run_schedule(s.as_mut(), &stream, &cfg).expect("workload fits");
         checksums.push((
             s.name(),
-            execute_stream(&stream, &report.assignments, WORKERS, SHAPE, 23)
-                .expect("valid")
-                .checksum,
+            execute_assignments(
+                &stream,
+                &report.assignments,
+                WORKERS,
+                &store(),
+                &ExecOptions::default(),
+            )
+            .expect("valid")
+            .checksum,
         ));
     }
     for (name, c) in &checksums[1..] {
@@ -119,8 +136,11 @@ fn overlap_changes_timing_only_never_placements_or_physics() {
     assert!(overlapped.elapsed_secs() <= sync.elapsed_secs());
 
     // So the real engine replays both to the same outcome, bit for bit.
-    let a = execute_stream(&stream, &sync.assignments, WORKERS, SHAPE, 23).expect("valid");
-    let b = execute_stream(&stream, &overlapped.assignments, WORKERS, SHAPE, 23).expect("valid");
+    let opts = ExecOptions::default();
+    let a =
+        execute_assignments(&stream, &sync.assignments, WORKERS, &store(), &opts).expect("valid");
+    let b = execute_assignments(&stream, &overlapped.assignments, WORKERS, &store(), &opts)
+        .expect("valid");
     assert_eq!(a.checksum, b.checksum);
     assert_eq!(a.per_worker_tasks, b.per_worker_tasks);
 }
@@ -137,13 +157,20 @@ fn stealing_keeps_the_conformance_contract_intact() {
     .expect("workload fits");
     let expected = assigned_counts(&report, WORKERS);
 
-    let baseline = execute_stream(&stream, &report.assignments, WORKERS, SHAPE, 23).expect("valid");
+    let baseline = execute_assignments(
+        &stream,
+        &report.assignments,
+        WORKERS,
+        &store(),
+        &ExecOptions::default(),
+    )
+    .expect("valid");
     for opts in [
         ExecOptions::default().with_steal(),
         ExecOptions::default().with_prefetch(),
         ExecOptions::default().with_steal().with_prefetch(),
     ] {
-        let out = execute_stream_opts(&stream, &report.assignments, WORKERS, SHAPE, 23, opts)
+        let out = execute_assignments(&stream, &report.assignments, WORKERS, &store(), &opts)
             .expect("valid");
         // Assigned counts report the *schedule*, not who ran what…
         assert_eq!(out.per_worker_tasks, expected, "{opts:?}");
@@ -166,13 +193,12 @@ fn conformance_holds_across_worker_counts() {
     for workers in [1usize, 2, 4, 6] {
         let cfg = MachineConfig::mi100_like(workers);
         let report = run_schedule(&mut GrouteScheduler::new(), &stream, &cfg).expect("fits");
-        let out = execute_stream_opts(
+        let out = execute_assignments(
             &stream,
             &report.assignments,
             workers,
-            SHAPE,
-            23,
-            ExecOptions::default().with_steal(),
+            &store(),
+            &ExecOptions::default().with_steal(),
         )
         .expect("valid");
         assert_eq!(out.per_worker_tasks, assigned_counts(&report, workers));

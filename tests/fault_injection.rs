@@ -13,9 +13,7 @@ use std::time::Duration;
 use proptest::prelude::*;
 
 use micco::analysis::{analyze_plan, Code};
-use micco::exec::{
-    execute_stream_faults, execute_stream_opts, ExecOptions, FaultPlan, TensorShape,
-};
+use micco::exec::{execute_assignments, ExecOptions, FaultPlan, TensorShape, TensorStore};
 use micco::gpusim::{GpuId, MachineConfig};
 use micco::sched::{
     plan_schedule, repair_plan, run_schedule, CodaScheduler, GrouteScheduler, MiccoScheduler,
@@ -43,6 +41,10 @@ fn stream(seed: u64) -> TensorPairStream {
         .generate()
 }
 
+fn store(seed: u64) -> TensorStore {
+    TensorStore::new(SHAPE.batch, SHAPE.dim, seed)
+}
+
 /// A retry budget that covers every transient fault `FaultPlan::random`
 /// can mint (at most 2 kernel failures per task), with no backoff sleep so
 /// the suite stays fast.
@@ -68,8 +70,8 @@ proptest! {
         let mut sched = scheduler(which);
         let report = run_schedule(sched.as_mut(), &stream, &cfg).expect("fits");
 
-        let clean = execute_stream_opts(
-            &stream, &report.assignments, workers, SHAPE, wl_seed, ExecOptions::default(),
+        let clean = execute_assignments(
+            &stream, &report.assignments, workers, &store(wl_seed), &ExecOptions::default(),
         ).expect("fault-free run");
 
         // `random` caps permanent losses at workers-1, so a survivor is
@@ -77,8 +79,9 @@ proptest! {
         let faults = FaultPlan::random(
             fault_seed, workers, stream.vectors.len(), stream.total_tasks() as u64,
         );
-        let chaotic = execute_stream_faults(
-            &stream, &report.assignments, workers, SHAPE, wl_seed, chaos_opts(), &faults,
+        let chaotic = execute_assignments(
+            &stream, &report.assignments, workers, &store(wl_seed),
+            &chaos_opts().with_faults(faults.clone()),
         ).expect("recovers with >=1 survivor");
 
         prop_assert_eq!(chaotic.checksum, clean.checksum,
@@ -111,11 +114,12 @@ proptest! {
         let faults = FaultPlan::random(
             fault_seed, workers, stream.vectors.len(), stream.total_tasks() as u64,
         );
-        let a = execute_stream_faults(
-            &stream, &report.assignments, workers, SHAPE, wl_seed, chaos_opts(), &faults,
+        let opts = chaos_opts().with_faults(faults.clone());
+        let a = execute_assignments(
+            &stream, &report.assignments, workers, &store(wl_seed), &opts,
         ).expect("recovers");
-        let b = execute_stream_faults(
-            &stream, &report.assignments, workers, SHAPE, wl_seed, chaos_opts(), &faults,
+        let b = execute_assignments(
+            &stream, &report.assignments, workers, &store(wl_seed), &opts,
         ).expect("recovers");
         prop_assert_eq!(a.checksum, b.checksum);
         prop_assert_eq!(a.faults, b.faults);
@@ -165,27 +169,19 @@ fn permanent_single_gpu_loss_is_recovered_exactly() {
     let workers = 3;
     let cfg = MachineConfig::mi100_like(workers);
     let report = run_schedule(&mut GrouteScheduler::new(), &stream, &cfg).expect("fits");
-    let clean = execute_stream_opts(
+    let clean = execute_assignments(
         &stream,
         &report.assignments,
         workers,
-        SHAPE,
-        77,
-        ExecOptions::default(),
+        &store(77),
+        &ExecOptions::default(),
     )
     .expect("fault-free run");
     let faults = FaultPlan::none().with_device_loss(1, 1, true);
+    let opts = chaos_opts().with_faults(faults);
     for _ in 0..2 {
-        let out = execute_stream_faults(
-            &stream,
-            &report.assignments,
-            workers,
-            SHAPE,
-            77,
-            chaos_opts(),
-            &faults,
-        )
-        .expect("two survivors drain the dead queue");
+        let out = execute_assignments(&stream, &report.assignments, workers, &store(77), &opts)
+            .expect("two survivors drain the dead queue");
         assert_eq!(out.checksum, clean.checksum);
         assert_eq!(out.lost_workers, 1);
     }

@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 
-use micco::exec::{execute_stream_opts, ExecOptions, TensorShape};
+use micco::exec::{execute_assignments, ExecOptions, TensorShape, TensorStore};
 use micco::gpusim::MachineConfig;
 use micco::sched::{
     run_schedule_with, DriverOptions, GrouteScheduler, MiccoScheduler, ReuseBounds,
@@ -14,6 +14,10 @@ use micco::sched::{
 use micco::workload::{RepeatDistribution, WorkloadSpec};
 
 const SHAPE: TensorShape = TensorShape { batch: 2, dim: 8 };
+
+fn store() -> TensorStore {
+    TensorStore::new(SHAPE.batch, SHAPE.dim, 5)
+}
 
 /// Strategy: a modest random workload with real-executable tensor shapes.
 fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
@@ -54,9 +58,9 @@ proptest! {
             &stream, &cfg, DriverOptions::default(),
         ).expect("fits");
         for opts in [ExecOptions::default(), ExecOptions::default().with_steal().with_prefetch()] {
-            let a = execute_stream_opts(&stream, &report.assignments, workers, SHAPE, 5, opts)
+            let a = execute_assignments(&stream, &report.assignments, workers, &store(), &opts)
                 .expect("valid schedule");
-            let b = execute_stream_opts(&stream, &report.assignments, workers, SHAPE, 5, opts)
+            let b = execute_assignments(&stream, &report.assignments, workers, &store(), &opts)
                 .expect("valid schedule");
             prop_assert_eq!(a.checksum, b.checksum);
             prop_assert_eq!(a.per_worker_tasks, b.per_worker_tasks);
@@ -95,11 +99,10 @@ proptest! {
         let g_over = run_schedule_with(
             &mut GrouteScheduler::new(), &stream, &cfg, opts,
         ).expect("fits");
-        let a = execute_stream_opts(
-            &stream, &g_sync.assignments, 3, SHAPE, 5, ExecOptions::default())
+        let exec_opts = ExecOptions::default();
+        let a = execute_assignments(&stream, &g_sync.assignments, 3, &store(), &exec_opts)
             .expect("valid schedule");
-        let b = execute_stream_opts(
-            &stream, &g_over.assignments, 3, SHAPE, 5, ExecOptions::default())
+        let b = execute_assignments(&stream, &g_over.assignments, 3, &store(), &exec_opts)
             .expect("valid schedule");
         prop_assert_eq!(a.checksum, b.checksum);
         prop_assert_eq!(a.kernels, b.kernels);
@@ -119,9 +122,9 @@ proptest! {
             &mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)),
             &stream, &cfg, DriverOptions::default(),
         ).expect("fits");
-        let stolen = execute_stream_opts(
-            &stream, &report.assignments, workers, SHAPE, 5,
-            ExecOptions::default().with_steal())
+        let stolen = execute_assignments(
+            &stream, &report.assignments, workers, &store(),
+            &ExecOptions::default().with_steal())
             .expect("valid schedule");
         // Work conservation across the whole run.
         prop_assert_eq!(stolen.per_worker_executed.iter().sum::<usize>(), stolen.kernels);
@@ -131,8 +134,8 @@ proptest! {
         for a in &report.assignments { assigned[a.gpu.0] += 1; }
         prop_assert_eq!(&stolen.per_worker_tasks, &assigned);
         // Same physics as the barrier-per-stage static engine.
-        let static_run = execute_stream_opts(
-            &stream, &report.assignments, workers, SHAPE, 5, ExecOptions::default())
+        let static_run = execute_assignments(
+            &stream, &report.assignments, workers, &store(), &ExecOptions::default())
             .expect("valid schedule");
         prop_assert_eq!(stolen.checksum, static_run.checksum);
     }

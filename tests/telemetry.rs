@@ -1,0 +1,333 @@
+//! End-to-end telemetry acceptance tests over the facade crate:
+//!
+//! 1. A golden Perfetto-JSON fixture pins the exporter's output for the
+//!    checked-in golden workload/plan pair (regenerate with
+//!    `MICCO_BLESS=1 cargo test --test telemetry`).
+//! 2. Property tests: traced runs produce well-nested spans
+//!    (run ⊇ stages ⊇ device activity), per-lane non-overlap, and metric
+//!    totals that equal the simulator's `GpuStats` aggregates.
+//! 3. Acceptance: per-GPU compute/copy span sums reconcile with the
+//!    simulator's busy/copy accounting on the sim backend, and per-worker
+//!    compute span sums reconcile with `per_worker_busy_secs` on the real
+//!    backend.
+//! 4. The deprecated exec entry points still produce bit-identical
+//!    checksums through the unified API.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use micco::exec::{execute_assignments, ExecOptions, TensorShape, TensorStore};
+use micco::gpusim::MachineConfig;
+use micco::obs::{
+    reconcile_with_stats, span_track_totals, Recorder, TraceEvent, Track, CONTROL_PID,
+};
+use micco::sched::{
+    run_schedule, MiccoScheduler, ReuseBounds, RoundRobinScheduler, SchedulePlan, ScheduleReport,
+    Session,
+};
+use micco::workload::WorkloadSpec;
+
+/// Run `spec` through a traced [`Session`] and hand back the recorder and
+/// report.
+fn traced_run(spec: &WorkloadSpec, gpus: usize, overlap: bool) -> (Arc<Recorder>, ScheduleReport) {
+    let stream = spec.generate();
+    let recorder = Recorder::shared();
+    let report = Session::new(MachineConfig::mi100_like(gpus))
+        .overlap(overlap)
+        .trace(recorder.clone())
+        .metrics(recorder.metrics())
+        .run(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream)
+        .expect("workload fits the machine");
+    (recorder, report)
+}
+
+/// All `(pid, track)` spans as `(start_us, end_us)` intervals.
+fn lane_intervals(events: &[TraceEvent]) -> Vec<((u32, Track), (f64, f64))> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span {
+                pid,
+                track,
+                start_us,
+                dur_us,
+                ..
+            } => Some(((*pid, *track), (*start_us, start_us + dur_us))),
+            _ => None,
+        })
+        .collect()
+}
+
+/// The single run-track span's `(start_us, end_us)`.
+fn run_span(events: &[TraceEvent]) -> (f64, f64) {
+    let runs: Vec<(f64, f64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Span {
+                pid: CONTROL_PID,
+                track: Track::Run,
+                start_us,
+                dur_us,
+                ..
+            } => Some((*start_us, start_us + dur_us)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(runs.len(), 1, "exactly one run span per session");
+    runs[0]
+}
+
+#[test]
+fn golden_perfetto_trace_is_stable() {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let wl = std::fs::read_to_string(format!("{root}/tests/fixtures/golden_workload.txt"))
+        .expect("golden workload fixture");
+    let stream = micco::workload::from_text(&wl).expect("fixture parses");
+    let plan_text = std::fs::read_to_string(format!("{root}/tests/fixtures/golden_plan.txt"))
+        .expect("golden plan fixture");
+    let plan = SchedulePlan::from_text(&plan_text).expect("fixture parses");
+
+    let recorder = Recorder::shared();
+    // default options: overhead timing off, so the export is a pure
+    // function of the (deterministic) simulated timeline
+    Session::new(MachineConfig::mi100_like(plan.num_gpus))
+        .trace(recorder.clone())
+        .metrics(recorder.metrics())
+        .replay(&plan, &stream)
+        .expect("fixture plan replays");
+    let json = recorder.to_perfetto_json();
+
+    let path = format!("{root}/tests/fixtures/golden_trace.json");
+    if std::env::var_os("MICCO_BLESS").is_some() {
+        std::fs::write(&path, &json).expect("write golden trace");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden trace fixture (regenerate with MICCO_BLESS=1)");
+    assert_eq!(
+        json, golden,
+        "perfetto export drifted from tests/fixtures/golden_trace.json; \
+         regenerate with MICCO_BLESS=1 if the change is intentional"
+    );
+}
+
+#[test]
+fn sim_session_spans_reconcile_with_gpu_stats() {
+    for overlap in [false, true] {
+        let spec = WorkloadSpec::new(10, 96)
+            .with_repeat_rate(0.6)
+            .with_vectors(3)
+            .with_seed(11);
+        let (recorder, report) = traced_run(&spec, 4, overlap);
+        let events = recorder.events();
+        // the acceptance criterion: per-GPU compute/copy span sums equal
+        // the simulator's busy/copy totals
+        reconcile_with_stats(&events, &report.stats, 0, 1e-9)
+            .unwrap_or_else(|e| panic!("overlap={overlap}: {e}"));
+        // and the run span covers the report's elapsed time
+        let (start, end) = run_span(&events);
+        assert!(start.abs() < 1e-9);
+        assert!((end / 1e6 - report.elapsed_secs()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn real_exec_spans_reconcile_with_busy_secs() {
+    const SHAPE: TensorShape = TensorShape { batch: 2, dim: 16 };
+    let stream = WorkloadSpec::new(6, SHAPE.dim)
+        .with_batch(SHAPE.batch)
+        .with_repeat_rate(0.5)
+        .with_vectors(2)
+        .with_seed(9)
+        .generate();
+    let workers = 2;
+    let report = run_schedule(
+        &mut RoundRobinScheduler::new(),
+        &stream,
+        &MachineConfig::mi100_like(workers),
+    )
+    .expect("workload fits");
+    let recorder = Recorder::shared();
+    let store = TensorStore::new(SHAPE.batch, SHAPE.dim, 9);
+    let opts = ExecOptions::default().with_trace(recorder.clone());
+    let out = execute_assignments(&stream, &report.assignments, workers, &store, &opts)
+        .expect("execution succeeds");
+    let totals = span_track_totals(&recorder.events());
+    for (w, &busy) in out.per_worker_busy_secs.iter().enumerate() {
+        let spans = totals
+            .get(&(w as u32, Track::Compute))
+            .copied()
+            .unwrap_or(0.0);
+        assert!(
+            (spans - busy).abs() < 1e-9,
+            "worker {w}: compute spans sum to {spans} s, busy accounting says {busy} s"
+        );
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_entry_points_checksum_match_the_unified_api() {
+    use micco::exec::{execute_plan, execute_plan_opts, execute_stream, execute_stream_opts};
+
+    const SHAPE: TensorShape = TensorShape { batch: 2, dim: 12 };
+    let stream = WorkloadSpec::new(5, SHAPE.dim)
+        .with_batch(SHAPE.batch)
+        .with_repeat_rate(0.4)
+        .with_vectors(2)
+        .with_seed(31)
+        .generate();
+    let workers = 2;
+    let cfg = MachineConfig::mi100_like(workers);
+    let report =
+        run_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).expect("workload fits");
+    let store = TensorStore::new(SHAPE.batch, SHAPE.dim, 31);
+
+    let new = execute_assignments(
+        &stream,
+        &report.assignments,
+        workers,
+        &store,
+        &ExecOptions::default(),
+    )
+    .expect("unified API runs");
+    let old = execute_stream(&stream, &report.assignments, workers, SHAPE, 31)
+        .expect("deprecated API runs");
+    assert_eq!(new.checksum, old.checksum, "execute_stream drifted");
+    let old_opts = execute_stream_opts(
+        &stream,
+        &report.assignments,
+        workers,
+        SHAPE,
+        31,
+        ExecOptions::default().with_steal(),
+    )
+    .expect("deprecated opts API runs");
+    assert_eq!(
+        new.checksum, old_opts.checksum,
+        "execute_stream_opts drifted"
+    );
+
+    let plan = micco::sched::plan_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg)
+        .expect("plan decides");
+    let new_plan = execute_plan(&stream, &plan, &store, &ExecOptions::default())
+        .expect("unified plan API runs");
+    let old_plan = execute_plan_opts(&stream, &plan, SHAPE, 31, ExecOptions::default())
+        .expect("deprecated plan API runs");
+    assert_eq!(
+        new.checksum, new_plan.checksum,
+        "plan vs assignments drifted"
+    );
+    assert_eq!(
+        new_plan.checksum, old_plan.checksum,
+        "execute_plan_opts drifted"
+    );
+}
+
+/// Strategy: a modest random workload.
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        1usize..10,   // pairs per stage
+        0.0f64..=1.0, // repeat rate
+        1usize..4,    // stages
+        any::<u64>(), // seed
+    )
+        .prop_map(|(vs, rate, nv, seed)| {
+            WorkloadSpec::new(vs, 64)
+                .with_repeat_rate(rate)
+                .with_vectors(nv)
+                .with_seed(seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Spans are well-nested: the run span contains every stage span and
+    /// every device span, and stage spans tile the run span contiguously.
+    #[test]
+    fn traced_spans_are_well_nested(
+        spec in spec_strategy(),
+        gpus in 1usize..4,
+        overlap in any::<bool>(),
+    ) {
+        let (recorder, report) = traced_run(&spec, gpus, overlap);
+        let events = recorder.events();
+        let (run_start, run_end) = run_span(&events);
+        let tol = 1e-6; // µs-scale float noise
+
+        let mut stages: Vec<(f64, f64)> = Vec::new();
+        for ((pid, track), (s, e)) in lane_intervals(&events) {
+            prop_assert!(s >= run_start - tol && e <= run_end + tol,
+                "span [{s}, {e}] escapes the run span [{run_start}, {run_end}]");
+            if pid == CONTROL_PID && track == Track::Control {
+                stages.push((s, e));
+            }
+        }
+        // stage spans tile [0, elapsed] in order, without gaps or overlap
+        prop_assert_eq!(stages.len(), spec.num_vectors);
+        let mut cursor = 0.0f64;
+        for (s, e) in stages {
+            prop_assert!((s - cursor).abs() < tol, "stage starts at {s}, expected {cursor}");
+            prop_assert!(e >= s - tol);
+            cursor = e;
+        }
+        prop_assert!((cursor - report.elapsed_secs() * 1e6).abs() < tol);
+    }
+
+    /// Within one `(pid, track)` lane, spans never overlap — each device
+    /// does one thing at a time per engine.
+    #[test]
+    fn device_lanes_never_overlap(
+        spec in spec_strategy(),
+        gpus in 1usize..4,
+        overlap in any::<bool>(),
+    ) {
+        let (recorder, _) = traced_run(&spec, gpus, overlap);
+        let mut lanes: std::collections::BTreeMap<(u32, Track), Vec<(f64, f64)>> =
+            std::collections::BTreeMap::new();
+        for (lane, iv) in lane_intervals(&recorder.events()) {
+            lanes.entry(lane).or_default().push(iv);
+        }
+        for ((pid, track), mut spans) in lanes {
+            if pid == CONTROL_PID {
+                continue; // control/run lanes checked by the nesting test
+            }
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                prop_assert!(
+                    w[1].0 >= w[0].1 - 1e-6,
+                    "pid {pid} {track:?}: span starting {} overlaps one ending {}",
+                    w[1].0, w[0].1
+                );
+            }
+        }
+    }
+
+    /// The metrics registry's totals equal the simulator's `GpuStats`
+    /// aggregates — two independent accountings of the same run.
+    #[test]
+    fn metric_totals_equal_gpu_stats(
+        spec in spec_strategy(),
+        gpus in 1usize..4,
+        overlap in any::<bool>(),
+    ) {
+        let (recorder, report) = traced_run(&spec, gpus, overlap);
+        let snap = recorder.metrics_snapshot();
+        let stats = &report.stats;
+        prop_assert_eq!(snap.counter("tasks"), stats.total_tasks());
+        prop_assert_eq!(snap.counter("h2d_count"), stats.total_h2d());
+        prop_assert_eq!(snap.counter("d2d_count"), stats.total_d2d());
+        prop_assert_eq!(snap.counter("reuse_hits"), stats.total_reuse_hits());
+        prop_assert_eq!(snap.counter("evictions"), stats.total_evictions());
+        prop_assert_eq!(snap.counter("stages"), spec.num_vectors as u64);
+        let compute: f64 = stats.per_gpu.iter().map(|g| g.compute_secs).sum();
+        let memory: f64 = stats.per_gpu.iter().map(|g| g.memory_secs).sum();
+        prop_assert!((snap.gauge("compute_secs") - compute).abs() < 1e-9);
+        // copy_span_secs accumulates the timed copy spans, the same
+        // quantity the stats book as memory time (memory_secs the gauge is
+        // per-task charged time, which overlap legitimately hides)
+        prop_assert!((snap.gauge("copy_span_secs") - memory).abs() < 1e-9);
+    }
+}
