@@ -26,6 +26,10 @@ impl Scheduler for GrouteScheduler {
         "groute".to_owned()
     }
 
+    fn write_name(&self, out: &mut dyn std::fmt::Write) -> std::fmt::Result {
+        out.write_str("groute")
+    }
+
     fn begin_vector(&mut self, _vector: &Vector, _view: &dyn MachineView) {}
 
     fn assign(&mut self, _task: &ContractionTask, view: &dyn MachineView) -> GpuId {
@@ -71,6 +75,10 @@ impl Scheduler for CodaScheduler {
         "coda".to_owned()
     }
 
+    fn write_name(&self, out: &mut dyn std::fmt::Write) -> std::fmt::Result {
+        out.write_str("coda")
+    }
+
     fn begin_vector(&mut self, _vector: &Vector, _view: &dyn MachineView) {}
 
     fn assign(&mut self, task: &ContractionTask, view: &dyn MachineView) -> GpuId {
@@ -100,6 +108,10 @@ impl RoundRobinScheduler {
 impl Scheduler for RoundRobinScheduler {
     fn name(&self) -> String {
         "round-robin".to_owned()
+    }
+
+    fn write_name(&self, out: &mut dyn std::fmt::Write) -> std::fmt::Result {
+        out.write_str("round-robin")
     }
 
     fn begin_vector(&mut self, _vector: &Vector, _view: &dyn MachineView) {}

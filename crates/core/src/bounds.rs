@@ -59,20 +59,20 @@ impl From<[usize; 3]> for ReuseBounds {
 
 impl std::fmt::Display for ReuseBounds {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let part = |v: usize| {
-            if v >= usize::MAX / 2 {
-                "inf".to_owned()
-            } else {
-                v.to_string()
+        // written piecewise (no temporary Strings): the plan cache hashes
+        // scheduler names through this impl on every lookup
+        f.write_str("(")?;
+        for (i, &v) in self.bounds.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
             }
-        };
-        write!(
-            f,
-            "({},{},{})",
-            part(self.bounds[0]),
-            part(self.bounds[1]),
-            part(self.bounds[2])
-        )
+            if v >= usize::MAX / 2 {
+                f.write_str("inf")?;
+            } else {
+                write!(f, "{v}")?;
+            }
+        }
+        f.write_str(")")
     }
 }
 
@@ -86,6 +86,11 @@ pub trait BoundsProvider {
     fn bounds_for(&mut self, characteristics: &DataCharacteristics) -> ReuseBounds;
     /// Human-readable name for reports.
     fn name(&self) -> String;
+    /// Write [`BoundsProvider::name`] into `out` without building a
+    /// `String` (see [`crate::Scheduler::write_name`]).
+    fn write_name(&self, out: &mut dyn std::fmt::Write) -> std::fmt::Result {
+        out.write_str(&self.name())
+    }
 }
 
 /// A constant bounds setting.
@@ -99,6 +104,10 @@ impl BoundsProvider for FixedBounds {
 
     fn name(&self) -> String {
         format!("fixed{}", self.0)
+    }
+
+    fn write_name(&self, out: &mut dyn std::fmt::Write) -> std::fmt::Result {
+        write!(out, "fixed{}", self.0)
     }
 }
 

@@ -16,8 +16,9 @@ use micco_gpusim::{
 };
 use micco_workload::{ContractionTask, TensorPairStream, Vector};
 
+use crate::arena::PlanArena;
 use crate::bounds::ReuseBounds;
-use crate::plan::{PlanError, PlanStage, SchedulePlan};
+use crate::plan::{PlanError, SchedulePlan};
 
 /// An online multi-GPU scheduler.
 ///
@@ -28,6 +29,13 @@ use crate::plan::{PlanError, PlanStage, SchedulePlan};
 pub trait Scheduler {
     /// Name for reports (e.g. `"micco(0,2,0)"`, `"groute"`).
     fn name(&self) -> String;
+    /// Write [`Scheduler::name`] into `out` without building a `String`.
+    /// The default forwards to `name()`; hot callers (the plan cache's
+    /// key computation) rely on overrides being allocation-free, and every
+    /// scheduler in this crate provides one.
+    fn write_name(&self, out: &mut dyn std::fmt::Write) -> std::fmt::Result {
+        out.write_str(&self.name())
+    }
     /// Called once per stage vector before its tasks are assigned.
     fn begin_vector(&mut self, vector: &Vector, view: &dyn MachineView);
     /// Pick the device for one tensor pair.
@@ -221,14 +229,32 @@ pub fn plan_schedule_with(
     config: &MachineConfig,
     options: DriverOptions,
 ) -> Result<SchedulePlan, ScheduleError> {
+    let mut arena = PlanArena::with_capacity(stream.total_tasks(), stream.vectors.len());
+    plan_schedule_in(scheduler, stream, config, options, &mut arena)
+}
+
+/// [`plan_schedule_with`] writing its working set into a caller-provided
+/// [`PlanArena`] — the allocation-amortised entry point for callers that
+/// plan repeatedly (the plan cache, the benches). The arena is reset on
+/// entry and left populated on return, ready for the next pass; the
+/// returned plan is identical to what [`plan_schedule_with`] produces.
+pub fn plan_schedule_in(
+    scheduler: &mut dyn Scheduler,
+    stream: &TensorPairStream,
+    config: &MachineConfig,
+    options: DriverOptions,
+    arena: &mut PlanArena,
+) -> Result<SchedulePlan, ScheduleError> {
     let cfg = options.apply(config);
     let mut shadow = ShadowMachine::new(cfg);
+    // Pre-intern every tensor of the stream so the per-symbol SoA tables
+    // are sized once instead of growing inside the hot loop.
+    shadow.reserve_stream(stream);
+    arena.reset();
     let mut overhead = 0.0;
-    let mut stages = Vec::with_capacity(stream.vectors.len());
     for vector in &stream.vectors {
         scheduler.begin_vector(vector, &shadow);
         let bounds = scheduler.stage_bounds();
-        let mut assignments = Vec::with_capacity(vector.tasks.len());
         for task in &vector.tasks {
             let gpu = if options.measure_overhead {
                 let t0 = Instant::now();
@@ -244,21 +270,17 @@ pub fn plan_schedule_with(
                     task: task.id,
                     source,
                 })?;
-            assignments.push(Assignment { task: task.id, gpu });
+            arena.push(Assignment { task: task.id, gpu });
         }
         shadow.barrier();
-        stages.push(PlanStage {
-            bounds,
-            assignments,
-        });
+        arena.close_stage(bounds);
     }
-    Ok(SchedulePlan {
-        scheduler: scheduler.name(),
-        num_gpus: cfg.num_gpus,
-        fingerprint: stream.fingerprint(),
-        overhead_secs: overhead,
-        stages,
-    })
+    Ok(arena.to_plan(
+        scheduler.name(),
+        cfg.num_gpus,
+        stream.fingerprint(),
+        overhead,
+    ))
 }
 
 /// Execute a validated plan on `machine`, one stage per stream vector with

@@ -31,6 +31,7 @@
 //! * [`model::RegressionBounds`] — the pre-trained random-forest provider
 //!   that predicts per-vector optimal bounds from data characteristics.
 
+pub mod arena;
 pub mod baselines;
 pub mod bounds;
 pub mod driver;
@@ -40,25 +41,28 @@ pub mod model;
 pub mod pattern;
 pub mod plan;
 pub mod reorder;
+pub mod seedref;
 pub mod session;
 pub mod state;
 pub mod tuner;
 
+pub use arena::PlanArena;
 pub use baselines::{CodaScheduler, GrouteScheduler, RoundRobinScheduler};
 pub use bounds::{BoundsProvider, FixedBounds, ReuseBounds};
 pub use driver::{
-    execute_plan, execute_plan_with, plan_schedule, plan_schedule_with, run_schedule,
-    run_schedule_on, run_schedule_with, Assignment, DriverOptions, ScheduleError, ScheduleReport,
-    Scheduler,
+    execute_plan, execute_plan_with, plan_schedule, plan_schedule_in, plan_schedule_with,
+    run_schedule, run_schedule_on, run_schedule_with, Assignment, DriverOptions, ScheduleError,
+    ScheduleReport, Scheduler,
 };
 pub use mapping::{mapping_histogram, Mapping, MappingHistogram};
 pub use micco::MiccoScheduler;
 pub use model::RegressionBounds;
 pub use pattern::LocalReusePattern;
 pub use plan::{
-    repair_plan, PlanCache, PlanError, PlanFormatError, PlanStage, RepairError, SchedulePlan,
-    PLAN_VERSION,
+    repair_plan, PlanCache, PlanError, PlanFormatError, PlanKey, PlanStage, RepairError,
+    SchedulePlan, PLAN_VERSION,
 };
 pub use reorder::{reorder_stream, reuse_clustered_order};
+pub use seedref::plan_schedule_seed;
 pub use session::{Planned, Session};
 pub use state::VectorState;

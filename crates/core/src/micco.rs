@@ -18,16 +18,27 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-
-use std::collections::HashSet;
+use rayon::prelude::*;
 
 use micco_gpusim::{GpuId, MachineView};
-use micco_workload::{ContractionTask, DataCharacteristics, TensorId, Vector};
+use micco_workload::{ContractionTask, DataCharacteristics, FastIdSet, TensorId, Vector};
 
 use crate::bounds::{BoundsProvider, FixedBounds, ReuseBounds};
 use crate::driver::Scheduler;
-use crate::pattern::classify;
+use crate::pattern::{classify_into, ClassifiedPair};
 use crate::state::VectorState;
+
+/// Reusable per-assign scratch: holder classification, the candidate
+/// queue, the per-candidate score cache, and the finalist list. Cleared
+/// and refilled on every [`MiccoScheduler::assign`] call so the steady
+/// state of a million-task plan allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct AssignScratch {
+    class: ClassifiedPair,
+    candidates: Vec<GpuId>,
+    keys: Vec<(f64, f64)>,
+    finalists: Vec<GpuId>,
+}
 
 /// The MICCO scheduler, generic over where its reuse bounds come from.
 ///
@@ -60,7 +71,8 @@ pub struct MiccoScheduler<P: BoundsProvider = FixedBounds> {
     state: VectorState,
     bounds: ReuseBounds,
     rng: StdRng,
-    seen: HashSet<TensorId>,
+    seen: FastIdSet<TensorId>,
+    scratch: AssignScratch,
 }
 
 impl MiccoScheduler<FixedBounds> {
@@ -83,7 +95,8 @@ impl<P: BoundsProvider> MiccoScheduler<P> {
             state: VectorState::default(),
             bounds: ReuseBounds::naive(),
             rng: StdRng::seed_from_u64(0x4d49_4343_4f00), // "MICCO"
-            seen: HashSet::new(),
+            seen: FastIdSet::default(),
+            scratch: AssignScratch::default(),
         }
     }
 
@@ -100,14 +113,24 @@ impl<P: BoundsProvider> MiccoScheduler<P> {
 
     /// Alg. 2: pick from the candidate queue, toggling between the
     /// computation-centric and memory-eviction-sensitive policies.
+    ///
+    /// Candidate scoring fans out through `rayon` (`par_iter`) and is
+    /// collected *in candidate order*; the reduction to the winner is then
+    /// a fixed-order sequential scan over that ordered score vector. The
+    /// extremum, the finalist list, and the single RNG draw per assignment
+    /// are therefore bit-identical to a fully sequential evaluation no
+    /// matter how the scoring work is scheduled.
     fn select(
-        &mut self,
+        rng: &mut StdRng,
+        keys: &mut Vec<(f64, f64)>,
+        finalists: &mut Vec<GpuId>,
         candidates: &[GpuId],
         task: &ContractionTask,
         view: &dyn MachineView,
     ) -> GpuId {
         debug_assert!(!candidates.is_empty());
-        let evict_risk = candidates.iter().any(|g| view.would_evict(*g, task));
+        // order-independent boolean OR over candidates
+        let evict_risk = candidates.par_iter().any(|g| view.would_evict(*g, task));
         // (primary, secondary) sort key per candidate. The computation-
         // centric policy ranks by least accumulated cost this stage
         // (`mapGPUCom`: busy time, so a device slowed by transfers is not
@@ -120,24 +143,31 @@ impl<P: BoundsProvider> MiccoScheduler<P> {
                 (view.stage_busy_secs(g), view.mem_used(g) as f64)
             }
         };
+        keys.clear();
+        keys.extend(candidates.par_iter().map(|&g| key(g)));
         let cmp = |a: &(f64, f64), b: &(f64, f64)| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1));
-        let best = candidates
-            .iter()
-            .map(|&g| key(g))
-            .min_by(|a, b| cmp(a, b))
-            .expect("non-empty");
-        let finalists: Vec<GpuId> = candidates
-            .iter()
-            .copied()
-            .filter(|&g| cmp(&key(g), &best) == std::cmp::Ordering::Equal)
-            .collect();
-        *finalists.choose(&mut self.rng).expect("non-empty")
+        let best = *keys.iter().min_by(|a, b| cmp(a, b)).expect("non-empty");
+        finalists.clear();
+        finalists.extend(
+            candidates
+                .iter()
+                .zip(keys.iter())
+                .filter(|(_, k)| cmp(k, &best) == std::cmp::Ordering::Equal)
+                .map(|(&g, _)| g),
+        );
+        *finalists.choose(rng).expect("non-empty")
     }
 }
 
 impl<P: BoundsProvider> Scheduler for MiccoScheduler<P> {
     fn name(&self) -> String {
         format!("micco[{}]", self.provider.name())
+    }
+
+    fn write_name(&self, out: &mut dyn std::fmt::Write) -> std::fmt::Result {
+        out.write_str("micco[")?;
+        self.provider.write_name(out)?;
+        out.write_str("]")
     }
 
     fn begin_vector(&mut self, vector: &Vector, view: &dyn MachineView) {
@@ -151,9 +181,15 @@ impl<P: BoundsProvider> Scheduler for MiccoScheduler<P> {
     }
 
     fn assign(&mut self, task: &ContractionTask, view: &dyn MachineView) -> GpuId {
-        let class = classify(task, view);
+        let AssignScratch {
+            class,
+            candidates,
+            keys,
+            finalists,
+        } = &mut self.scratch;
+        classify_into(task, view, class);
         let bounds = self.bounds;
-        let mut candidates: Vec<GpuId> = Vec::new();
+        candidates.clear();
 
         // Step I (data-centric, mapping (1)): devices holding both operands.
         if !class.holders_both.is_empty() {
@@ -189,7 +225,7 @@ impl<P: BoundsProvider> Scheduler for MiccoScheduler<P> {
             candidates.push(self.state.least_loaded());
         }
 
-        let gpu = self.select(&candidates, task, view);
+        let gpu = Self::select(&mut self.rng, keys, finalists, candidates, task, view);
         self.state.record(gpu);
         gpu
     }

@@ -62,30 +62,53 @@ pub struct ClassifiedPair {
     pub holders_both: Vec<GpuId>,
 }
 
+impl ClassifiedPair {
+    /// An empty classification usable as reusable scratch for
+    /// [`classify_into`].
+    pub fn empty() -> Self {
+        ClassifiedPair {
+            pattern: LocalReusePattern::TwoNew,
+            holders_a: Vec::new(),
+            holders_b: Vec::new(),
+            holders_both: Vec::new(),
+        }
+    }
+}
+
+impl Default for ClassifiedPair {
+    fn default() -> Self {
+        ClassifiedPair::empty()
+    }
+}
+
 /// Classify `task` against the machine's residency (Alg. 1, lines 2–4).
 pub fn classify(task: &ContractionTask, view: &dyn MachineView) -> ClassifiedPair {
-    let holders_a = view.holders(task.a.id);
-    let holders_b = view.holders(task.b.id);
-    let holders_both: Vec<GpuId> = holders_a
-        .iter()
-        .copied()
-        .filter(|g| holders_b.contains(g))
-        .collect();
-    let pattern = if !holders_both.is_empty() {
+    let mut out = ClassifiedPair::empty();
+    classify_into(task, view, &mut out);
+    out
+}
+
+/// Allocation-free [`classify`]: overwrite `out` in place, reusing its
+/// holder buffers. Produces exactly the classification `classify` would.
+pub fn classify_into(task: &ContractionTask, view: &dyn MachineView, out: &mut ClassifiedPair) {
+    view.holders_into(task.a.id, &mut out.holders_a);
+    view.holders_into(task.b.id, &mut out.holders_b);
+    out.holders_both.clear();
+    out.holders_both.extend(
+        out.holders_a
+            .iter()
+            .copied()
+            .filter(|g| out.holders_b.contains(g)),
+    );
+    out.pattern = if !out.holders_both.is_empty() {
         LocalReusePattern::TwoRepeatedSame
-    } else if !holders_a.is_empty() && !holders_b.is_empty() {
+    } else if !out.holders_a.is_empty() && !out.holders_b.is_empty() {
         LocalReusePattern::TwoRepeatedDiff
-    } else if !holders_a.is_empty() || !holders_b.is_empty() {
+    } else if !out.holders_a.is_empty() || !out.holders_b.is_empty() {
         LocalReusePattern::OneRepeated
     } else {
         LocalReusePattern::TwoNew
     };
-    ClassifiedPair {
-        pattern,
-        holders_a,
-        holders_b,
-        holders_both,
-    }
 }
 
 #[cfg(test)]
@@ -178,6 +201,18 @@ mod tests {
         let m = machine_with(&[(1, 0)]);
         let c = classify(&task(1, 1, 100), &m);
         assert_eq!(c.pattern, LocalReusePattern::TwoRepeatedSame);
+    }
+
+    #[test]
+    fn classify_into_reuses_scratch_and_matches_classify() {
+        let m = machine_with(&[(1, 0), (1, 1), (2, 1), (7, 0)]);
+        let mut scratch = ClassifiedPair::default();
+        // seed the scratch with stale garbage from a previous pair
+        classify_into(&task(7, 7, 300), &m, &mut scratch);
+        for t in [task(1, 2, 100), task(3, 4, 101), task(1, 9, 102)] {
+            classify_into(&t, &m, &mut scratch);
+            assert_eq!(scratch, classify(&t, &m));
+        }
     }
 
     #[test]

@@ -29,13 +29,12 @@
 //! not understand with [`PlanFormatError::UnsupportedVersion`] rather than
 //! misreading them.
 
-use std::collections::HashMap;
-
 use micco_gpusim::{GpuId, MachineConfig};
-use micco_workload::{TaskId, TensorPairStream};
+use micco_workload::{FastIdMap, TaskId, TensorPairStream};
 
+use crate::arena::PlanArena;
 use crate::bounds::ReuseBounds;
-use crate::driver::{plan_schedule_with, Assignment, DriverOptions, ScheduleError, Scheduler};
+use crate::driver::{plan_schedule_in, Assignment, DriverOptions, ScheduleError, Scheduler};
 
 /// Plan format version written by [`SchedulePlan::to_text`].
 pub const PLAN_VERSION: u32 = 1;
@@ -566,7 +565,59 @@ impl SchedulePlan {
             stages,
         })
     }
+
+    /// Content hash of the serialised plan: FNV-1a over the exact bytes of
+    /// [`Self::to_text`]. Two plans digest equal iff they serialise
+    /// identically (scheduler line, device count, workload fingerprint,
+    /// overhead bits, every stage bound and every assignment). This is
+    /// what the golden fingerprint corpus (`tests/fixtures/fingerprints.txt`)
+    /// pins across planner rewrites.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        for b in self.to_text().bytes() {
+            h.mix_byte(b);
+        }
+        h.0
+    }
 }
+
+/// Incremental FNV-1a accumulator; doubles as a [`std::fmt::Write`] sink
+/// so scheduler names hash through [`Scheduler::write_name`] without a
+/// `String` allocation.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    fn mix_byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+
+    #[inline]
+    fn mix(&mut self, value: u64) {
+        for b in value.to_le_bytes() {
+            self.mix_byte(b);
+        }
+    }
+}
+
+impl std::fmt::Write for Fnv {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        for b in s.bytes() {
+            self.mix_byte(b);
+        }
+        Ok(())
+    }
+}
+
+/// Opaque cache key identifying a `(scheduler, stream, config, options)`
+/// planning request (see [`PlanCache::key_for`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey(u64);
 
 /// In-memory plan cache: repeated streams skip scheduling entirely.
 ///
@@ -593,7 +644,8 @@ impl SchedulePlan {
 /// ```
 #[derive(Default)]
 pub struct PlanCache {
-    plans: HashMap<u64, SchedulePlan>,
+    plans: FastIdMap<u64, SchedulePlan>,
+    arena: PlanArena,
     hits: u64,
     misses: u64,
 }
@@ -607,7 +659,11 @@ impl PlanCache {
     /// The plan for `(scheduler, stream, config, options)` — served from
     /// cache when the same combination was planned before (the scheduler
     /// is not invoked at all on a hit), decided via
-    /// [`crate::plan_schedule_with`] otherwise.
+    /// [`crate::plan_schedule_in`] against the cache's reusable arena
+    /// otherwise. The hit path performs **zero heap allocations** (a test
+    /// with a counting allocator pins this): the key is accumulated
+    /// through [`Scheduler::write_name`] rather than a `name()` `String`,
+    /// and the plan is looked up once by its interned 64-bit key.
     pub fn plan_for(
         &mut self,
         scheduler: &mut dyn Scheduler,
@@ -615,15 +671,57 @@ impl PlanCache {
         config: &MachineConfig,
         options: DriverOptions,
     ) -> Result<&SchedulePlan, ScheduleError> {
-        let key = Self::key(&scheduler.name(), stream, config, options);
-        match self.plans.entry(key) {
-            std::collections::hash_map::Entry::Occupied(_) => self.hits += 1,
-            std::collections::hash_map::Entry::Vacant(slot) => {
-                slot.insert(plan_schedule_with(scheduler, stream, config, options)?);
-                self.misses += 1;
-            }
+        let key = Self::key_for(scheduler, stream, config, options);
+        if self.plans.contains_key(&key.0) {
+            self.hits += 1;
+        } else {
+            let plan = plan_schedule_in(scheduler, stream, config, options, &mut self.arena)?;
+            self.plans.insert(key.0, plan);
+            self.misses += 1;
         }
-        Ok(&self.plans[&key])
+        Ok(self
+            .plans
+            .get(&key.0)
+            .expect("present: checked or inserted"))
+    }
+
+    /// The cache key [`Self::plan_for`] would use for this request —
+    /// exposed so callers can probe with [`Self::get`] without planning.
+    /// Allocation-free for schedulers with an allocation-free
+    /// [`Scheduler::write_name`] (all schedulers in this crate).
+    pub fn key_for(
+        scheduler: &dyn Scheduler,
+        stream: &TensorPairStream,
+        config: &MachineConfig,
+        options: DriverOptions,
+    ) -> PlanKey {
+        let mut h = Fnv::new();
+        h.mix(stream.fingerprint());
+        scheduler
+            .write_name(&mut h)
+            .expect("hashing writer never fails");
+        h.mix(config.num_gpus as u64);
+        h.mix(config.mem_bytes);
+        h.mix(config.cost.device_gflops.to_bits());
+        h.mix(config.cost.h2d_gib_s.to_bits());
+        h.mix(config.cost.d2d_gib_s.to_bits());
+        h.mix(config.cost.transfer_latency_us.to_bits());
+        h.mix(config.cost.alloc_latency_us.to_bits());
+        h.mix(config.cost.evict_latency_us.to_bits());
+        h.mix(config.cost.d2d_charges_source as u64);
+        h.mix(config.cost.async_copy as u64);
+        h.mix(config.cost.shared_h2d_link as u64);
+        h.mix(config.cost.prefetch_tasks as u64);
+        h.mix(config.eviction as u64);
+        h.mix(options.overlap as u64);
+        h.mix(options.prefetch_tasks as u64);
+        PlanKey(h.0)
+    }
+
+    /// The cached plan under `key`, if any. Never plans and never touches
+    /// the hit/miss counters.
+    pub fn get(&self, key: PlanKey) -> Option<&SchedulePlan> {
+        self.plans.get(&key.0)
     }
 
     /// Cache hits so far.
@@ -644,43 +742,6 @@ impl PlanCache {
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.plans.is_empty()
-    }
-
-    fn key(
-        scheduler: &str,
-        stream: &TensorPairStream,
-        config: &MachineConfig,
-        options: DriverOptions,
-    ) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = FNV_OFFSET;
-        let mut mix = |value: u64| {
-            for byte in value.to_le_bytes() {
-                h ^= byte as u64;
-                h = h.wrapping_mul(FNV_PRIME);
-            }
-        };
-        mix(stream.fingerprint());
-        for b in scheduler.bytes() {
-            mix(b as u64);
-        }
-        mix(config.num_gpus as u64);
-        mix(config.mem_bytes);
-        mix(config.cost.device_gflops.to_bits());
-        mix(config.cost.h2d_gib_s.to_bits());
-        mix(config.cost.d2d_gib_s.to_bits());
-        mix(config.cost.transfer_latency_us.to_bits());
-        mix(config.cost.alloc_latency_us.to_bits());
-        mix(config.cost.evict_latency_us.to_bits());
-        mix(config.cost.d2d_charges_source as u64);
-        mix(config.cost.async_copy as u64);
-        mix(config.cost.shared_h2d_link as u64);
-        mix(config.cost.prefetch_tasks as u64);
-        mix(config.eviction as u64);
-        mix(options.overlap as u64);
-        mix(options.prefetch_tasks as u64);
-        h
     }
 }
 

@@ -38,7 +38,7 @@ pub mod trace;
 pub use cost::{CostModel, MachineConfig};
 pub use fault::{FaultKind, FaultPlan};
 pub use machine::{build_oracle, DeviceView, ExecError, GpuId, MachineView, SimMachine};
-pub use memory::{DeviceMemory, EvictionPolicy, Provenance};
+pub use memory::{AllocError, DeviceMemory, Evicted, EvictionPolicy, Provenance};
 pub use shadow::{ExecObserver, NullObserver, ShadowMachine};
 pub use stats::{ExecStats, GpuStats};
 pub use trace::{Event, Trace};

@@ -103,6 +103,13 @@ pub trait MachineView {
     fn holds(&self, g: GpuId, t: TensorId) -> bool;
     /// All devices holding a copy of tensor `t` (ascending id order).
     fn holders(&self, t: TensorId) -> Vec<GpuId>;
+    /// [`MachineView::holders`] into a caller-owned buffer (cleared first),
+    /// so hot loops can reuse one allocation per query site. Same ascending
+    /// order as `holders`.
+    fn holders_into(&self, t: TensorId, out: &mut Vec<GpuId>) {
+        out.clear();
+        out.extend(self.holders(t));
+    }
     /// Kernel flops assigned to device `g` in the current stage
     /// (`mapGPUCom`).
     fn stage_flops(&self, g: GpuId) -> u64;
@@ -563,6 +570,10 @@ impl MachineView for SimMachine {
 
     fn holders(&self, t: TensorId) -> Vec<GpuId> {
         self.shadow.holders(t)
+    }
+
+    fn holders_into(&self, t: TensorId, out: &mut Vec<GpuId>) {
+        self.shadow.holders_into(t, out);
     }
 
     fn stage_flops(&self, g: GpuId) -> u64 {

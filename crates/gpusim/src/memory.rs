@@ -5,10 +5,15 @@
 //! in-flight contraction are never evicted (a kernel's operands must stay
 //! mapped), so a device whose capacity cannot hold a single task's working
 //! set reports [`AllocError::WontFit`].
+//!
+//! Internally the resident set is a struct-of-arrays: parallel vectors of
+//! per-tensor fields kept dense by swap-removal, plus a fast-hash id→slot
+//! index. Victim selection scans the dense arrays linearly instead of
+//! walking a `HashMap`, and every tie-break includes the tensor id, so the
+//! chosen victim is a unique extremum — independent of slot order and
+//! bit-identical to the original map-based implementation.
 
-use std::collections::HashMap;
-
-use micco_workload::TensorId;
+use micco_workload::{FastIdMap, TensorId};
 
 /// Where a resident tensor's bits came from — decides eviction cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,18 +42,6 @@ pub enum EvictionPolicy {
     /// `SimMachine::with_oracle`); an offline upper bound for the eviction
     /// ablation, not something real hardware can do.
     Clairvoyant,
-}
-
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    bytes: u64,
-    provenance: Provenance,
-    last_use: u64,
-    allocated_at: u64,
-    pinned: bool,
-    /// Global task index of the next use (Clairvoyant only; `u64::MAX`
-    /// means never used again).
-    next_use: u64,
 }
 
 /// A tensor evicted by [`DeviceMemory::allocate`].
@@ -88,12 +81,29 @@ impl std::fmt::Display for AllocError {
 impl std::error::Error for AllocError {}
 
 /// Memory state of one simulated device.
+///
+/// Resident-tensor state lives in parallel dense vectors (one slot per
+/// resident tensor); `slot_of` maps id → slot and slots stay dense via
+/// swap-removal on eviction/discard.
 #[derive(Debug, Clone)]
 pub struct DeviceMemory {
     capacity: u64,
     used: u64,
     policy: EvictionPolicy,
-    resident: HashMap<TensorId, Entry>,
+    slot_of: FastIdMap<TensorId, u32>,
+    ids: Vec<TensorId>,
+    bytes: Vec<u64>,
+    last_use: Vec<u64>,
+    allocated_at: Vec<u64>,
+    /// Global task index of the next use (Clairvoyant only; `u64::MAX`
+    /// means never used again).
+    next_use: Vec<u64>,
+    pinned: Vec<bool>,
+    provenance: Vec<Provenance>,
+    /// Bytes of currently pinned tensors, maintained incrementally so the
+    /// per-allocation evictable-capacity check (`used - pinned_bytes`) is
+    /// O(1) instead of a scan over every resident tensor.
+    pinned_bytes: u64,
     clock: u64,
 }
 
@@ -104,7 +114,15 @@ impl DeviceMemory {
             capacity,
             used: 0,
             policy,
-            resident: HashMap::new(),
+            slot_of: FastIdMap::default(),
+            ids: Vec::new(),
+            bytes: Vec::new(),
+            last_use: Vec::new(),
+            allocated_at: Vec::new(),
+            next_use: Vec::new(),
+            pinned: Vec::new(),
+            provenance: Vec::new(),
+            pinned_bytes: 0,
             clock: 0,
         }
     }
@@ -126,41 +144,49 @@ impl DeviceMemory {
 
     /// Number of resident tensors.
     pub fn resident_count(&self) -> usize {
-        self.resident.len()
+        self.ids.len()
     }
 
     /// Whether `id` is resident.
+    #[inline]
     pub fn holds(&self, id: TensorId) -> bool {
-        self.resident.contains_key(&id)
+        self.slot_of.contains_key(&id)
     }
 
     /// Iterate over resident tensor ids (arbitrary order).
     pub fn resident_ids(&self) -> impl Iterator<Item = TensorId> + '_ {
-        self.resident.keys().copied()
+        self.ids.iter().copied()
     }
 
     /// Record a use of a resident tensor (refreshes LRU position). No-op if
     /// absent.
     pub fn touch(&mut self, id: TensorId) {
         self.clock += 1;
-        let clock = self.clock;
-        if let Some(e) = self.resident.get_mut(&id) {
-            e.last_use = clock;
+        if let Some(&s) = self.slot_of.get(&id) {
+            self.last_use[s as usize] = self.clock;
         }
     }
 
     /// Pin/unpin a resident tensor (pinned tensors are never victims).
     pub fn set_pinned(&mut self, id: TensorId, pinned: bool) {
-        if let Some(e) = self.resident.get_mut(&id) {
-            e.pinned = pinned;
+        if let Some(&s) = self.slot_of.get(&id) {
+            let slot = s as usize;
+            if self.pinned[slot] != pinned {
+                if pinned {
+                    self.pinned_bytes += self.bytes[slot];
+                } else {
+                    self.pinned_bytes -= self.bytes[slot];
+                }
+                self.pinned[slot] = pinned;
+            }
         }
     }
 
     /// Feed the clairvoyant policy a tensor's next-use position
     /// (`u64::MAX` = never again). No-op for absent tensors.
     pub fn set_next_use(&mut self, id: TensorId, next_use: u64) {
-        if let Some(e) = self.resident.get_mut(&id) {
-            e.next_use = next_use;
+        if let Some(&s) = self.slot_of.get(&id) {
+            self.next_use[s as usize] = next_use;
         }
     }
 
@@ -176,80 +202,120 @@ impl DeviceMemory {
         bytes: u64,
         provenance: Provenance,
     ) -> Result<Vec<Evicted>, AllocError> {
+        let mut evicted = Vec::new();
+        self.allocate_into(id, bytes, provenance, &mut evicted)?;
+        Ok(evicted)
+    }
+
+    /// [`DeviceMemory::allocate`], but appending victims to a caller-owned
+    /// buffer instead of returning a fresh `Vec` — the allocation-free form
+    /// the planner hot loop uses.
+    pub fn allocate_into(
+        &mut self,
+        id: TensorId,
+        bytes: u64,
+        provenance: Provenance,
+        evicted: &mut Vec<Evicted>,
+    ) -> Result<(), AllocError> {
         debug_assert!(
             !self.holds(id),
             "allocate called for resident tensor {id:?}"
         );
         if self.holds(id) {
             self.touch(id);
-            return Ok(Vec::new());
+            return Ok(());
         }
-        let evictable: u64 = self
-            .resident
-            .values()
-            .filter(|e| !e.pinned)
-            .map(|e| e.bytes)
-            .sum();
+        let evictable = self.used - self.pinned_bytes;
         if bytes > self.free() + evictable || bytes > self.capacity {
             return Err(AllocError::WontFit {
                 requested: bytes,
                 capacity: self.capacity,
             });
         }
-        let mut evicted = Vec::new();
         while self.free() < bytes {
             let victim = self.pick_victim().expect("evictable bytes were sufficient");
-            let e = self.resident.remove(&victim).expect("victim resident");
-            self.used -= e.bytes;
-            evicted.push(Evicted {
-                id: victim,
-                bytes: e.bytes,
-                writeback: e.provenance == Provenance::DeviceCreated,
-            });
+            evicted.push(self.remove_slot(victim));
         }
         self.clock += 1;
-        self.resident.insert(
-            id,
-            Entry {
-                bytes,
-                provenance,
-                last_use: self.clock,
-                allocated_at: self.clock,
-                pinned: true,
-                next_use: u64::MAX,
-            },
-        );
+        let slot = u32::try_from(self.ids.len()).expect("resident set exceeds u32 slots");
+        self.slot_of.insert(id, slot);
+        self.ids.push(id);
+        self.bytes.push(bytes);
+        self.last_use.push(self.clock);
+        self.allocated_at.push(self.clock);
+        self.next_use.push(u64::MAX);
+        self.pinned.push(true);
+        self.provenance.push(provenance);
         self.used += bytes;
-        Ok(evicted)
+        self.pinned_bytes += bytes;
+        Ok(())
     }
 
     /// Drop a resident tensor without cost accounting (used by tests and by
     /// the machine when invalidating stale copies).
     pub fn discard(&mut self, id: TensorId) -> bool {
-        if let Some(e) = self.resident.remove(&id) {
-            self.used -= e.bytes;
+        if let Some(&s) = self.slot_of.get(&id) {
+            self.remove_slot(s as usize);
             true
         } else {
             false
         }
     }
 
-    fn pick_victim(&self) -> Option<TensorId> {
-        let candidates = self.resident.iter().filter(|(_, e)| !e.pinned);
+    /// Swap-remove the tensor in `slot`, keeping slots dense and the
+    /// id→slot index consistent.
+    fn remove_slot(&mut self, slot: usize) -> Evicted {
+        let id = self.ids[slot];
+        let out = Evicted {
+            id,
+            bytes: self.bytes[slot],
+            writeback: self.provenance[slot] == Provenance::DeviceCreated,
+        };
+        self.used -= self.bytes[slot];
+        if self.pinned[slot] {
+            // only `discard` can remove a pinned tensor; victims are
+            // filtered to unpinned slots
+            self.pinned_bytes -= self.bytes[slot];
+        }
+        self.slot_of.remove(&id);
+        self.ids.swap_remove(slot);
+        self.bytes.swap_remove(slot);
+        self.last_use.swap_remove(slot);
+        self.allocated_at.swap_remove(slot);
+        self.next_use.swap_remove(slot);
+        self.pinned.swap_remove(slot);
+        self.provenance.swap_remove(slot);
+        if slot < self.ids.len() {
+            // the former tail tensor now lives in `slot`
+            self.slot_of.insert(self.ids[slot], slot as u32);
+        }
+        out
+    }
+
+    /// Slot of the eviction victim under the active policy.
+    ///
+    /// Every policy's key ends in the tensor id (or its complement), so the
+    /// extremum is unique and the scan order over slots cannot change the
+    /// outcome — this must match the original `HashMap`-iteration
+    /// implementation victim-for-victim.
+    fn pick_victim(&self) -> Option<usize> {
+        let candidates = (0..self.ids.len()).filter(|&s| !self.pinned[s]);
 
         match self.policy {
-            EvictionPolicy::Lru => candidates
-                .min_by_key(|(id, e)| (e.last_use, id.0))
-                .map(|(id, _)| *id),
-            EvictionPolicy::Fifo => candidates
-                .min_by_key(|(id, e)| (e.allocated_at, id.0))
-                .map(|(id, _)| *id),
-            EvictionPolicy::LargestFirst => candidates
-                .max_by_key(|(id, e)| (e.bytes, u64::MAX - id.0))
-                .map(|(id, _)| *id),
-            EvictionPolicy::Clairvoyant => candidates
-                .max_by_key(|(id, e)| (e.next_use, u64::MAX - e.last_use, u64::MAX - id.0))
-                .map(|(id, _)| *id),
+            EvictionPolicy::Lru => candidates.min_by_key(|&s| (self.last_use[s], self.ids[s].0)),
+            EvictionPolicy::Fifo => {
+                candidates.min_by_key(|&s| (self.allocated_at[s], self.ids[s].0))
+            }
+            EvictionPolicy::LargestFirst => {
+                candidates.max_by_key(|&s| (self.bytes[s], u64::MAX - self.ids[s].0))
+            }
+            EvictionPolicy::Clairvoyant => candidates.max_by_key(|&s| {
+                (
+                    self.next_use[s],
+                    u64::MAX - self.last_use[s],
+                    u64::MAX - self.ids[s].0,
+                )
+            }),
         }
     }
 }
@@ -506,6 +572,58 @@ mod tests {
         assert!(m.discard(tid(1)));
         assert!(!m.discard(tid(1)), "double discard");
         assert_eq!((m.used(), m.resident_count()), (0, 0));
+    }
+
+    #[test]
+    fn slot_index_survives_swap_removal_churn() {
+        // interleaved discards + allocations exercise the moved-tail fixup
+        let mut m = mem(1_000, EvictionPolicy::Lru);
+        for i in 0..20 {
+            alloc_unpinned(&mut m, i, 10);
+        }
+        for i in (0..20).step_by(2) {
+            assert!(m.discard(tid(i)));
+        }
+        assert_eq!(m.resident_count(), 10);
+        for i in 0..20u64 {
+            assert_eq!(m.holds(tid(i)), i % 2 == 1, "tensor {i}");
+        }
+        // odd tensors must still be touchable / pinnable at their new slots
+        m.touch(tid(19));
+        m.set_pinned(tid(19), true);
+        for i in 20..29 {
+            alloc_unpinned(&mut m, i, 100);
+        }
+        assert!(m.holds(tid(19)), "pinned tensor survives heavy pressure");
+        assert!(m.used() <= m.capacity());
+    }
+
+    #[test]
+    fn pinned_accounting_survives_pin_unpin_discard_churn() {
+        // the evictable capacity check is `used - pinned_bytes`; drive the
+        // counter through every mutation path and confirm WontFit behaviour
+        // still matches a from-scratch recount
+        let mut m = mem(100, EvictionPolicy::Lru);
+        alloc_unpinned(&mut m, 1, 30);
+        m.allocate(tid(2), 30, Provenance::DeviceCreated).unwrap(); // pinned
+        m.set_pinned(tid(2), true); // redundant pin: must not double-count
+        m.set_pinned(tid(1), false); // redundant unpin
+                                     // 30 B evictable + 40 B free: a 70 B request fits, 71 B does not
+        assert!(m.allocate(tid(3), 71, Provenance::HostBacked).is_err());
+        let ev = m.allocate(tid(3), 70, Provenance::HostBacked).unwrap();
+        assert_eq!(
+            ev,
+            vec![Evicted {
+                id: tid(1),
+                bytes: 30,
+                writeback: false
+            }]
+        );
+        // discarding a *pinned* tensor must release its pinned bytes
+        assert!(m.discard(tid(2)));
+        m.set_pinned(tid(3), false);
+        assert!(m.allocate(tid(4), 100, Provenance::HostBacked).is_ok());
+        assert_eq!(m.used(), 100);
     }
 
     #[test]

@@ -14,15 +14,30 @@
 //! interleaved paths agree bit-for-bit. The same hooks are public so
 //! offline tools (the `micco-analysis` plan linter) can replay placements
 //! and watch transfers/evictions without any stats machinery.
+//!
+//! ## Interned residency index
+//!
+//! Cross-device queries (`holds`, `holders`, peer selection) dominate
+//! planning cost at high GPU counts. The machine therefore interns every
+//! tensor id it touches into a dense [`TensorSym`] and mirrors residency in
+//! a bit-packed symbol × device matrix: `holds` is one bit test and
+//! `holders` walks set bits in ascending device order — the same order the
+//! original per-device `HashMap` scan produced, so consumers (including
+//! peer-preference tie-breaking) see identical answers. [`DeviceMemory`]
+//! remains the source of truth for occupancy, pinning and victim metadata;
+//! the bit index is updated at the only places residency changes
+//! (allocation and eviction inside [`ShadowMachine::execute_observed`]).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 
-use micco_workload::{ContractionTask, TaskId, TensorId, TensorPairStream};
+use micco_workload::{
+    ContractionTask, TaskId, TensorId, TensorInterner, TensorPairStream, TensorSym,
+};
 
 use crate::cost::MachineConfig;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::machine::{ExecError, GpuId, MachineView};
-use crate::memory::{DeviceMemory, Provenance};
+use crate::memory::{DeviceMemory, Evicted, Provenance};
 
 /// Observation hooks called by [`ShadowMachine::execute_observed`] at the
 /// exact points the original interleaved simulator recorded statistics and
@@ -159,6 +174,82 @@ pub(crate) fn intersect_secs(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
     total
 }
 
+/// Next-use oracle in compressed-sparse-row form: one flat array of use
+/// positions, sliced per symbol, with a per-symbol cursor that only moves
+/// forward. Equivalent to the per-tensor `VecDeque` queues of
+/// [`build_oracle`] (pop-front ⇔ cursor advance) without per-tensor
+/// allocations.
+struct OracleCsr {
+    /// Prefix offsets into `uses`, one per symbol plus a trailing end.
+    starts: Vec<u32>,
+    /// Current read position per symbol (starts at `starts[s]`).
+    cursor: Vec<u32>,
+    /// Global task indices of operand uses, grouped by symbol, ascending
+    /// within each group.
+    uses: Vec<u64>,
+}
+
+impl OracleCsr {
+    /// Build from a stream whose tensors are already interned.
+    fn build(stream: &TensorPairStream, interner: &TensorInterner) -> Self {
+        let n = interner.len();
+        let mut counts = vec![0u32; n + 1];
+        for v in &stream.vectors {
+            for t in &v.tasks {
+                for id in [t.a.id, t.b.id] {
+                    let s = interner.get(id).expect("stream tensor interned");
+                    counts[s.index() + 1] += 1;
+                }
+            }
+        }
+        for i in 1..=n {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts;
+        let mut fill = starts.clone();
+        let mut uses = vec![0u64; starts[n] as usize];
+        let mut idx = 0u64;
+        for v in &stream.vectors {
+            for t in &v.tasks {
+                for id in [t.a.id, t.b.id] {
+                    let s = interner.get(id).expect("stream tensor interned").index();
+                    uses[fill[s] as usize] = idx;
+                    fill[s] += 1;
+                }
+                idx += 1;
+            }
+        }
+        let cursor = starts[..n].to_vec();
+        OracleCsr {
+            starts,
+            cursor,
+            uses,
+        }
+    }
+
+    /// Advance symbol `s` past position `now` and return its next use
+    /// (`u64::MAX` = never again). Symbols outside the oracle's stream
+    /// have no uses.
+    #[inline]
+    fn advance(&mut self, s: TensorSym, now: u64) -> u64 {
+        let i = s.index();
+        if i + 1 >= self.starts.len() {
+            return u64::MAX;
+        }
+        let end = self.starts[i + 1];
+        let mut c = self.cursor[i];
+        while c < end && self.uses[c as usize] <= now {
+            c += 1;
+        }
+        self.cursor[i] = c;
+        if c < end {
+            self.uses[c as usize]
+        } else {
+            u64::MAX
+        }
+    }
+}
+
 /// The lightweight decide-phase machine.
 ///
 /// Tracks residency, occupancy and timing exactly as [`crate::SimMachine`]
@@ -188,12 +279,19 @@ pub(crate) fn intersect_secs(a: &[(f64, f64)], b: &[(f64, f64)]) -> f64 {
 pub struct ShadowMachine {
     config: MachineConfig,
     pub(crate) gpus: Vec<ShadowGpu>,
-    /// Provenance override: tensors that have been written back to the host
-    /// keep a host copy, so later evictions of re-fetched copies are cheap.
-    host_copies: HashSet<TensorId>,
-    /// Next-use oracle for the clairvoyant eviction policy: per tensor, the
-    /// queue of global task indices (in execution order) that will use it.
-    oracle: Option<HashMap<TensorId, VecDeque<u64>>>,
+    /// Tensor id ↔ dense symbol table, grown on first touch.
+    interner: TensorInterner,
+    /// Bit-packed residency matrix: `stride` words per symbol, bit `g` of
+    /// word `g / 64` set when device `g` holds the tensor.
+    holder_words: Vec<u64>,
+    /// Words per symbol row (`num_gpus.div_ceil(64)`).
+    stride: usize,
+    /// Provenance override, symbol-indexed: tensors that have been written
+    /// back to the host keep a host copy, so later evictions of re-fetched
+    /// copies are cheap.
+    host_copies: Vec<bool>,
+    /// Next-use oracle for the clairvoyant eviction policy.
+    oracle: Option<OracleCsr>,
     /// Global task counter (drives the oracle).
     task_counter: u64,
     /// When the shared host link is next free (`shared_h2d_link` only).
@@ -204,6 +302,8 @@ pub struct ShadowMachine {
     /// Current stage index (counts `barrier` calls) — what device-loss
     /// faults key on.
     stage_index: usize,
+    /// Reused victim buffer for `allocate_into` (cleared per task).
+    evicted_scratch: Vec<Evicted>,
 }
 
 impl ShadowMachine {
@@ -221,14 +321,18 @@ impl ShadowMachine {
             })
             .collect();
         ShadowMachine {
+            stride: config.num_gpus.div_ceil(64).max(1),
             config,
             gpus,
-            host_copies: HashSet::new(),
+            interner: TensorInterner::new(),
+            holder_words: Vec::new(),
+            host_copies: Vec::new(),
             oracle: None,
             task_counter: 0,
             host_link_free: 0.0,
             faults: FaultPlan::none(),
             stage_index: 0,
+            evicted_scratch: Vec::new(),
         }
     }
 
@@ -264,12 +368,76 @@ impl ShadowMachine {
 
     /// Arm the oracle in place (used by wrappers that own a shadow).
     pub fn set_oracle(&mut self, stream: &TensorPairStream) {
-        self.oracle = Some(build_oracle(stream));
+        self.reserve_stream(stream);
+        self.oracle = Some(OracleCsr::build(stream, &self.interner));
+    }
+
+    /// Pre-intern every tensor of `stream` and size the residency index for
+    /// it, so planning a known stream never grows tables mid-flight. Purely
+    /// an allocation hint — symbols are internal and first-touch interning
+    /// would produce identical behaviour.
+    pub fn reserve_stream(&mut self, stream: &TensorPairStream) {
+        self.interner.intern_stream(stream);
+        self.grow_tables();
+    }
+
+    /// The machine's id ↔ symbol table (grows as tensors are touched).
+    pub fn interner(&self) -> &TensorInterner {
+        &self.interner
     }
 
     /// The machine's configuration.
     pub fn config(&self) -> &MachineConfig {
         &self.config
+    }
+
+    /// Intern `id` and make sure the per-symbol tables cover it.
+    #[inline]
+    fn sym_for(&mut self, id: TensorId) -> TensorSym {
+        let s = self.interner.intern(id);
+        if self.host_copies.len() <= s.index() {
+            self.grow_tables();
+        }
+        s
+    }
+
+    fn grow_tables(&mut self) {
+        let n = self.interner.len();
+        self.holder_words.resize(n * self.stride, 0);
+        self.host_copies.resize(n, false);
+    }
+
+    #[inline]
+    fn holds_sym(&self, g: usize, s: TensorSym) -> bool {
+        self.holder_words[s.index() * self.stride + g / 64] & (1u64 << (g % 64)) != 0
+    }
+
+    #[inline]
+    fn set_holder(&mut self, g: usize, s: TensorSym) {
+        self.holder_words[s.index() * self.stride + g / 64] |= 1u64 << (g % 64);
+    }
+
+    #[inline]
+    fn clear_holder(&mut self, g: usize, s: TensorSym) {
+        self.holder_words[s.index() * self.stride + g / 64] &= !(1u64 << (g % 64));
+    }
+
+    /// Lowest-numbered device holding `s` other than `exclude` — the same
+    /// peer the original `holders().find(|g| g != gpu)` scan chose.
+    #[inline]
+    fn first_holder_excluding(&self, s: TensorSym, exclude: usize) -> Option<GpuId> {
+        let base = s.index() * self.stride;
+        for w in 0..self.stride {
+            let mut word = self.holder_words[base + w];
+            while word != 0 {
+                let g = w * 64 + word.trailing_zeros() as usize;
+                if g != exclude {
+                    return Some(GpuId(g));
+                }
+                word &= word - 1;
+            }
+        }
+        None
     }
 
     /// Execute `task` on device `gpu`, advancing its clock (no observation).
@@ -287,6 +455,21 @@ impl ShadowMachine {
         gpu: GpuId,
         obs: &mut dyn ExecObserver,
     ) -> Result<(), ExecError> {
+        let mut evicted = std::mem::take(&mut self.evicted_scratch);
+        evicted.clear();
+        let result = self.execute_inner(task, gpu, obs, &mut evicted);
+        evicted.clear();
+        self.evicted_scratch = evicted;
+        result
+    }
+
+    fn execute_inner(
+        &mut self,
+        task: &ContractionTask,
+        gpu: GpuId,
+        obs: &mut dyn ExecObserver,
+        evicted: &mut Vec<Evicted>,
+    ) -> Result<(), ExecError> {
         if gpu.0 >= self.gpus.len() {
             return Err(ExecError::BadGpu {
                 gpu,
@@ -303,25 +486,30 @@ impl ShadowMachine {
                 permanent,
             });
         }
+        let sa = self.sym_for(task.a.id);
+        let sb = self.sym_for(task.b.id);
+        let sout = self.sym_for(task.out.id);
         let mut mem_secs = 0.0;
 
         // Stage both inputs, pinning them for the duration of the task.
-        for d in [task.a, task.b] {
-            if self.gpus[gpu.0].mem.holds(d.id) {
+        for (d, s) in [(task.a, sa), (task.b, sb)] {
+            if self.holds_sym(gpu.0, s) {
                 self.gpus[gpu.0].mem.touch(d.id);
                 self.gpus[gpu.0].mem.set_pinned(d.id, true);
                 obs.reuse_hit(gpu, d.id);
                 continue;
             }
             // Source selection: prefer a peer copy (faster link) else host.
-            let peer = self.holders(d.id).into_iter().find(|g| *g != gpu);
+            let peer = self.first_holder_excluding(s, gpu.0);
             mem_secs += self.config.cost.alloc_secs(d.bytes);
             obs.alloc(gpu);
-            let evicted = self.gpus[gpu.0]
+            let base = evicted.len();
+            self.gpus[gpu.0]
                 .mem
-                .allocate(d.id, d.bytes, Provenance::HostBacked)
+                .allocate_into(d.id, d.bytes, Provenance::HostBacked, evicted)
                 .map_err(|source| ExecError::OutOfMemory { gpu, source })?;
-            mem_secs += self.charge_evictions(gpu, &evicted, obs);
+            self.set_holder(gpu.0, s);
+            mem_secs += self.charge_evictions(gpu, &evicted[base..], obs);
             match peer {
                 Some(src) => {
                     let secs = self.config.cost.d2d_secs(d.bytes);
@@ -381,17 +569,24 @@ impl ShadowMachine {
         // Allocate the output. A recompute of an intermediate that is still
         // resident (e.g. replaying a stream on a warm machine) overwrites
         // in place — no new allocation.
-        if self.gpus[gpu.0].mem.holds(task.out.id) {
+        if self.holds_sym(gpu.0, sout) {
             self.gpus[gpu.0].mem.touch(task.out.id);
             self.gpus[gpu.0].mem.set_pinned(task.out.id, true);
         } else {
             mem_secs += self.config.cost.alloc_secs(task.out.bytes);
             obs.alloc(gpu);
-            let evicted = self.gpus[gpu.0]
+            let base = evicted.len();
+            self.gpus[gpu.0]
                 .mem
-                .allocate(task.out.id, task.out.bytes, Provenance::DeviceCreated)
+                .allocate_into(
+                    task.out.id,
+                    task.out.bytes,
+                    Provenance::DeviceCreated,
+                    evicted,
+                )
                 .map_err(|source| ExecError::OutOfMemory { gpu, source })?;
-            mem_secs += self.charge_evictions(gpu, &evicted, obs);
+            self.set_holder(gpu.0, sout);
+            mem_secs += self.charge_evictions(gpu, &evicted[base..], obs);
         }
 
         // Kernel. Injected transient kernel faults charge one full extra
@@ -412,19 +607,26 @@ impl ShadowMachine {
             self.gpus[gpu.0].mem.set_pinned(id, false);
         }
 
-        // Clairvoyant oracle: advance each touched tensor's use queue past
+        // Clairvoyant oracle: advance each touched tensor's use cursor past
         // the current position and feed the next use to every device
-        // holding a copy.
-        if let Some(oracle) = self.oracle.as_mut() {
+        // holding a copy (`set_next_use` was a no-op on non-holders, so
+        // walking the holder bits is decision-equivalent to the original
+        // feed-every-device loop).
+        if self.oracle.is_some() {
             let now = self.task_counter;
-            for id in [task.a.id, task.b.id, task.out.id] {
-                let queue = oracle.entry(id).or_default();
-                while queue.front().is_some_and(|&u| u <= now) {
-                    queue.pop_front();
-                }
-                let next = queue.front().copied().unwrap_or(u64::MAX);
-                for g in &mut self.gpus {
-                    g.mem.set_next_use(id, next);
+            for (id, s) in [(task.a.id, sa), (task.b.id, sb), (task.out.id, sout)] {
+                let next = match self.oracle.as_mut() {
+                    Some(o) => o.advance(s, now),
+                    None => u64::MAX,
+                };
+                let row = s.index() * self.stride;
+                for w in 0..self.stride {
+                    let mut word = self.holder_words[row + w];
+                    while word != 0 {
+                        let g = w * 64 + word.trailing_zeros() as usize;
+                        self.gpus[g].mem.set_next_use(id, next);
+                        word &= word - 1;
+                    }
                 }
             }
             self.task_counter += 1;
@@ -468,16 +670,18 @@ impl ShadowMachine {
     fn charge_evictions(
         &mut self,
         gpu: GpuId,
-        evicted: &[crate::memory::Evicted],
+        evicted: &[Evicted],
         obs: &mut dyn ExecObserver,
     ) -> f64 {
         let mut secs = 0.0;
         for ev in evicted {
+            let s = self.interner.get(ev.id).expect("evicted tensor interned");
+            self.clear_holder(gpu.0, s);
             // A write-back is only paid the first time device-created data
             // leaves a device; afterwards the host holds a copy.
-            let writeback = ev.writeback && !self.host_copies.contains(&ev.id);
+            let writeback = ev.writeback && !self.host_copies[s.index()];
             if ev.writeback {
-                self.host_copies.insert(ev.id);
+                self.host_copies[s.index()] = true;
             }
             secs += self.config.cost.evict_secs(ev.bytes, writeback);
             obs.evict(gpu, ev.id, writeback, ev.bytes);
@@ -559,6 +763,11 @@ impl ShadowMachine {
     /// operands the failed task left staged, restoring the pre-task
     /// eviction surface.
     ///
+    /// Pinning, touching and next-use feeds are fair game; do **not** add
+    /// or remove residency through this handle — the machine mirrors
+    /// residency in its interned holder index, which only
+    /// [`ShadowMachine::execute_observed`] keeps in sync.
+    ///
     /// # Panics
     ///
     /// Panics when `g` is out of range; guard with
@@ -582,14 +791,31 @@ impl MachineView for ShadowMachine {
     }
 
     fn holds(&self, g: GpuId, t: TensorId) -> bool {
-        self.gpus[g.0].mem.holds(t)
+        match self.interner.get(t) {
+            Some(s) => self.holds_sym(g.0, s),
+            None => false,
+        }
     }
 
     fn holders(&self, t: TensorId) -> Vec<GpuId> {
-        (0..self.gpus.len())
-            .filter(|i| self.gpus[*i].mem.holds(t))
-            .map(GpuId)
-            .collect()
+        let mut out = Vec::new();
+        self.holders_into(t, &mut out);
+        out
+    }
+
+    fn holders_into(&self, t: TensorId, out: &mut Vec<GpuId>) {
+        out.clear();
+        let Some(s) = self.interner.get(t) else {
+            return;
+        };
+        let base = s.index() * self.stride;
+        for w in 0..self.stride {
+            let mut word = self.holder_words[base + w];
+            while word != 0 {
+                out.push(GpuId(w * 64 + word.trailing_zeros() as usize));
+                word &= word - 1;
+            }
+        }
     }
 
     fn stage_flops(&self, g: GpuId) -> u64 {
@@ -614,6 +840,10 @@ impl MachineView for ShadowMachine {
 
 /// Build the next-use oracle for a stream: per tensor, the global task
 /// indices (execution order) at which it appears as an operand.
+///
+/// The machine itself now keeps this information in CSR form internally;
+/// this map-of-queues builder remains for external consumers and as the
+/// reference the CSR is tested against.
 pub fn build_oracle(stream: &TensorPairStream) -> HashMap<TensorId, VecDeque<u64>> {
     let mut oracle: HashMap<TensorId, VecDeque<u64>> = HashMap::new();
     let mut idx = 0u64;
@@ -690,6 +920,40 @@ mod tests {
         }
     }
 
+    /// The bit-packed holder index agrees with the per-device memory maps
+    /// after heavy eviction churn, and `holders` stays ascending.
+    #[test]
+    fn holder_index_matches_memory_under_eviction_churn() {
+        let cfg = MachineConfig {
+            num_gpus: 4,
+            mem_bytes: 3 * (1 << 20) + (1 << 16),
+            cost: crate::CostModel::mi100_like(),
+            eviction: crate::memory::EvictionPolicy::Lru,
+        };
+        let mut m = ShadowMachine::new(cfg);
+        for i in 0..200u64 {
+            let t = task(i, i % 17, (i * 7) % 23, 1000 + i, 1 << 20, 0);
+            m.execute(&t, GpuId((i % 4) as usize)).unwrap();
+            if i % 10 == 9 {
+                m.barrier();
+            }
+        }
+        for id in (0..17).chain(1000..1200).map(TensorId) {
+            let holders = m.holders(id);
+            let expected: Vec<GpuId> = (0..4)
+                .filter(|&g| m.memory(GpuId(g)).holds(id))
+                .map(GpuId)
+                .collect();
+            assert_eq!(holders, expected, "tensor {id:?}");
+            for g in (0..4).map(GpuId) {
+                assert_eq!(m.holds(g, id), m.memory(g).holds(id));
+            }
+            let mut sorted = holders.clone();
+            sorted.sort_unstable();
+            assert_eq!(holders, sorted, "holders must come out ascending");
+        }
+    }
+
     #[test]
     fn barrier_returns_stage_span() {
         let mut m = ShadowMachine::new(MachineConfig::mi100_like(2));
@@ -723,6 +987,35 @@ mod tests {
             assert_eq!(sim.mem_used(GpuId(0)), shadow.mem_used(GpuId(0)));
         }
         assert_eq!(sim.max_device_time(), shadow.max_device_time());
+    }
+
+    /// The CSR oracle advances exactly like the reference map of queues.
+    #[test]
+    fn csr_oracle_matches_reference_queues() {
+        let stream = WorkloadSpec::new(16, 64)
+            .with_repeat_rate(0.8)
+            .with_vectors(4)
+            .with_seed(5)
+            .generate();
+        let mut interner = TensorInterner::new();
+        interner.intern_stream(&stream);
+        let mut csr = OracleCsr::build(&stream, &interner);
+        let mut reference = build_oracle(&stream);
+        let mut now = 0u64;
+        for v in &stream.vectors {
+            for t in &v.tasks {
+                for id in [t.a.id, t.b.id, t.out.id] {
+                    let queue = reference.entry(id).or_default();
+                    while queue.front().is_some_and(|&u| u <= now) {
+                        queue.pop_front();
+                    }
+                    let expected = queue.front().copied().unwrap_or(u64::MAX);
+                    let s = interner.intern(id);
+                    assert_eq!(csr.advance(s, now), expected, "tensor {id:?} at {now}");
+                }
+                now += 1;
+            }
+        }
     }
 
     #[test]

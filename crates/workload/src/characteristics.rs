@@ -30,7 +30,13 @@ impl DataCharacteristics {
     /// Measure characteristics of `vector`, treating `seen` as the tensors
     /// already materialised by earlier vectors. Updates `seen` with this
     /// vector's inputs and outputs so streams can be measured incrementally.
-    pub fn measure(vector: &Vector, seen: &mut HashSet<TensorId>) -> Self {
+    ///
+    /// Generic over the set's hasher so hot planners can pass a
+    /// [`crate::FastIdSet`] instead of the SipHash default.
+    pub fn measure<S: std::hash::BuildHasher>(
+        vector: &Vector,
+        seen: &mut HashSet<TensorId, S>,
+    ) -> Self {
         let mut slots = 0usize;
         let mut repeats = 0usize;
         let mut repeat_counts: HashMap<TensorId, usize> = HashMap::new();

@@ -15,16 +15,20 @@
 //!   evaluation (Sec. V-A), parameterised by vector size, tensor size,
 //!   repeated rate, and the Uniform/Gaussian repeated-data distribution;
 //! * [`DataCharacteristics`]: the per-vector features fed to the regression
-//!   model (Table I).
+//!   model (Table I);
+//! * [`TensorInterner`]: sparse tensor ids → dense `u32` symbols, so
+//!   planners can keep per-tensor state in flat vectors instead of maps.
 
 pub mod characteristics;
 pub mod generator;
+pub mod intern;
 pub mod serialize;
 pub mod stats;
 pub mod task;
 
 pub use characteristics::DataCharacteristics;
 pub use generator::{RepeatDistribution, WorkloadSpec};
+pub use intern::{FastIdHasher, FastIdMap, FastIdSet, TensorInterner, TensorSym};
 pub use serialize::{from_text, to_text, StreamFormatError};
 pub use stats::StreamStats;
 pub use task::{ContractionTask, TaskId, TensorDesc, TensorId, TensorPairStream, Vector};

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Validate (and optionally regression-gate) a BENCH_planner.json report.
+
+Stdlib-only structural check of the report `crates/bench/src/bin/
+bench_planner.rs` emits:
+
+  bench               "planner"
+  version             1
+  tasks/gpus/stages   positive integers
+  scheduler           non-empty string
+  digest              16 hex chars (the plan's FNV-1a content digest)
+  fast_secs           finite float > 0
+  fast_tasks_per_sec  finite float > 0
+  seed_secs           finite float > 0, or null (--skip-seed runs)
+  seed_tasks_per_sec  ditto
+  speedup             ditto; when present must equal seed_secs/fast_secs
+  peak_rss_bytes      positive integer, or null (non-Linux)
+
+With `--compare BASELINE.json` the current report additionally fails if
+fast throughput dropped more than 20% below the baseline (same tasks/gpus
+point required — comparing different scales is meaningless).
+
+Usage:
+  check_bench_schema.py REPORT.json [REPORT2.json ...]
+  check_bench_schema.py REPORT.json --compare BASELINE.json
+
+Exit status is non-zero on the first malformed file or regression.
+"""
+
+import json
+import math
+import sys
+
+MAX_REGRESSION = 0.20  # fail if fast throughput drops >20% vs baseline
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(cond, path, msg):
+    if not cond:
+        fail(path, msg)
+
+
+def check_positive_number(report, path, key, nullable=False):
+    v = report.get(key, "MISSING")
+    if v is None and nullable:
+        return None
+    require(
+        isinstance(v, (int, float)) and not isinstance(v, bool),
+        path,
+        f"'{key}' must be a number{' or null' if nullable else ''}, got {v!r}",
+    )
+    require(math.isfinite(v), path, f"'{key}' must be finite, got {v!r}")
+    require(v > 0, path, f"'{key}' must be positive, got {v!r}")
+    return v
+
+
+def check(path):
+    with open(path) as f:
+        report = json.load(f)
+    require(isinstance(report, dict), path, "top level must be an object")
+    require(report.get("bench") == "planner", path, "'bench' must be 'planner'")
+    require(report.get("version") == 1, path, "'version' must be 1")
+
+    for key in ("tasks", "gpus", "stages"):
+        v = report.get(key)
+        require(
+            isinstance(v, int) and not isinstance(v, bool) and v > 0,
+            path,
+            f"'{key}' must be a positive integer, got {v!r}",
+        )
+
+    sched = report.get("scheduler")
+    require(
+        isinstance(sched, str) and sched,
+        path,
+        f"'scheduler' must be a non-empty string, got {sched!r}",
+    )
+    digest = report.get("digest")
+    require(
+        isinstance(digest, str)
+        and len(digest) == 16
+        and all(c in "0123456789abcdef" for c in digest),
+        path,
+        f"'digest' must be 16 lowercase hex chars, got {digest!r}",
+    )
+
+    fast_secs = check_positive_number(report, path, "fast_secs")
+    fast_rate = check_positive_number(report, path, "fast_tasks_per_sec")
+    seed_secs = check_positive_number(report, path, "seed_secs", nullable=True)
+    seed_rate = check_positive_number(report, path, "seed_tasks_per_sec", nullable=True)
+    speedup = check_positive_number(report, path, "speedup", nullable=True)
+    rss = report.get("peak_rss_bytes", "MISSING")
+    require(
+        rss is None or (isinstance(rss, int) and not isinstance(rss, bool) and rss > 0),
+        path,
+        f"'peak_rss_bytes' must be a positive integer or null, got {rss!r}",
+    )
+
+    # seed fields are all-or-nothing, and speedup must be consistent
+    seed_fields = [seed_secs, seed_rate, speedup]
+    require(
+        all(v is None for v in seed_fields) or all(v is not None for v in seed_fields),
+        path,
+        "seed_secs/seed_tasks_per_sec/speedup must all be null or all present",
+    )
+    if speedup is not None:
+        expected = seed_secs / fast_secs
+        require(
+            abs(speedup - expected) <= 0.01 * expected,
+            path,
+            f"'speedup' ({speedup}) inconsistent with seed_secs/fast_secs ({expected:.3f})",
+        )
+
+    # rates must match their times (±1% for rounding)
+    expected_rate = report["tasks"] / fast_secs
+    require(
+        abs(fast_rate - expected_rate) <= 0.01 * expected_rate,
+        path,
+        f"'fast_tasks_per_sec' ({fast_rate}) inconsistent with tasks/fast_secs "
+        f"({expected_rate:.1f})",
+    )
+    return report
+
+
+def compare(current, cur_path, baseline, base_path):
+    for key in ("tasks", "gpus"):
+        require(
+            current[key] == baseline[key],
+            cur_path,
+            f"cannot compare: '{key}' differs from baseline "
+            f"({current[key]} vs {baseline[key]})",
+        )
+    cur = current["fast_tasks_per_sec"]
+    base = baseline["fast_tasks_per_sec"]
+    ratio = cur / base
+    print(
+        f"fast throughput: {cur:.0f} tasks/sec vs baseline {base:.0f} "
+        f"({ratio:.2f}x)"
+    )
+    require(
+        ratio >= 1.0 - MAX_REGRESSION,
+        cur_path,
+        f"planner throughput regressed {100 * (1 - ratio):.1f}% vs {base_path} "
+        f"(limit {100 * MAX_REGRESSION:.0f}%)",
+    )
+
+
+def main(argv):
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if argv else 1
+    if "--compare" in argv:
+        i = argv.index("--compare")
+        require(
+            i == len(argv) - 2 and i == 1,
+            "usage",
+            "--compare takes exactly: REPORT.json --compare BASELINE.json",
+        )
+        current = check(argv[0])
+        baseline = check(argv[2])
+        compare(current, argv[0], baseline, argv[2])
+    else:
+        for path in argv:
+            check(path)
+            print(f"{path}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
