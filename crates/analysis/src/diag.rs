@@ -103,12 +103,18 @@ pub enum Code {
     /// permanent loss, so its placements no longer reflect the original
     /// scheduler's reuse/balance decisions.
     DegradedPlacement,
+    /// `MICCO-W204 cross-island-transfer-on-reducible-path` — under the
+    /// link topology supplied to the analyzer, a fetch crossed an NVLink
+    /// island (or a node) while another device on the *same* island as the
+    /// destination also held the operand: the expensive hop was avoidable
+    /// without changing the placement.
+    CrossIslandTransfer,
 }
 
 impl Code {
     /// Every code, in registry order (drives the SARIF rules array, so
     /// `ruleIndex` values stay stable).
-    pub const ALL: [Code; 11] = [
+    pub const ALL: [Code; 12] = [
         Code::CapacityExceeded,
         Code::AssignmentOutOfRange,
         Code::PlanStructureMismatch,
@@ -120,6 +126,7 @@ impl Code {
         Code::MissedReuse,
         Code::DeadTransfer,
         Code::DegradedPlacement,
+        Code::CrossIslandTransfer,
     ];
 
     /// Stable string id, e.g. `"MICCO-E001"`.
@@ -136,6 +143,7 @@ impl Code {
             Code::MissedReuse => "MICCO-W202",
             Code::DeadTransfer => "MICCO-I301",
             Code::DegradedPlacement => "MICCO-W203",
+            Code::CrossIslandTransfer => "MICCO-W204",
         }
     }
 
@@ -153,6 +161,7 @@ impl Code {
             Code::MissedReuse => "missed-reuse",
             Code::DeadTransfer => "dead-transfer",
             Code::DegradedPlacement => "degraded-placement",
+            Code::CrossIslandTransfer => "cross-island-transfer-on-reducible-path",
         }
     }
 
@@ -168,7 +177,8 @@ impl Code {
             | Code::BalanceCapExceeded
             | Code::EvictionThrash
             | Code::MissedReuse
-            | Code::DegradedPlacement => Severity::Warning,
+            | Code::DegradedPlacement
+            | Code::CrossIslandTransfer => Severity::Warning,
             Code::DeadTransfer => Severity::Info,
         }
     }
@@ -204,6 +214,9 @@ impl Code {
             Code::DeadTransfer => "an evicted tensor paid a write-back but is never used again",
             Code::DegradedPlacement => {
                 "the plan was repaired onto surviving devices after a permanent loss"
+            }
+            Code::CrossIslandTransfer => {
+                "a fetch crossed an island while a same-island device also held the operand"
             }
         }
     }

@@ -17,7 +17,8 @@ use std::collections::HashMap;
 use micco_core::pattern::classify;
 use micco_core::{ReuseBounds, SchedulePlan};
 use micco_gpusim::{
-    DeviceMemory, EvictionPolicy, ExecError, ExecObserver, GpuId, MachineConfig, ShadowMachine,
+    DeviceMemory, EvictionPolicy, ExecError, ExecObserver, GpuId, LinkTopology, MachineConfig,
+    ShadowMachine,
 };
 use micco_workload::{ContractionTask, TensorId, TensorPairStream};
 
@@ -96,6 +97,23 @@ pub fn analyze_plan_with(
     stream: &TensorPairStream,
     cfg: &MachineConfig,
     acfg: &AnalysisConfig,
+) -> Report {
+    analyze_plan_with_topology(plan, stream, cfg, acfg, None)
+}
+
+/// [`analyze_plan_with`] replaying transfers over an explicit link
+/// topology. Beyond the flat checks, every device-to-device fetch is
+/// routed symbolically and `MICCO-W204` fires when the machine's chosen
+/// source crosses an NVLink island although another device on the
+/// destination's own island also held the operand — the expensive hop was
+/// avoidable without changing the placement. With `topology: None` (or a
+/// single-island topology) this is exactly [`analyze_plan_with`].
+pub fn analyze_plan_with_topology(
+    plan: &SchedulePlan,
+    stream: &TensorPairStream,
+    cfg: &MachineConfig,
+    acfg: &AnalysisConfig,
+    topology: Option<&LinkTopology>,
 ) -> Report {
     let mut report = Report::new();
 
@@ -243,7 +261,7 @@ pub fn analyze_plan_with(
                 .collect(),
         })
         .collect();
-    let mut semantic = analyze_placements(&stages, &machine_cfg, acfg);
+    let mut semantic = analyze_placements_with_topology(&stages, &machine_cfg, acfg, topology);
     for d in &mut semantic.diagnostics {
         if let (Some(s), Some(i)) = (d.stage, d.index) {
             d.line = Some(assignment_line(plan, s, i));
@@ -271,6 +289,9 @@ enum MemEvent {
 #[derive(Default)]
 struct Collector {
     events: Vec<MemEvent>,
+    /// Device-to-device fetches as `(src, dst, tensor)`, kept separately
+    /// with their source for the topology pass (W204).
+    d2d: Vec<(usize, usize, TensorId)>,
 }
 
 impl ExecObserver for Collector {
@@ -278,8 +299,9 @@ impl ExecObserver for Collector {
         self.events.push(MemEvent::Fetch { gpu: gpu.0, tensor });
     }
 
-    fn d2d(&mut self, _src: GpuId, dst: GpuId, tensor: TensorId, _bytes: u64) {
+    fn d2d(&mut self, src: GpuId, dst: GpuId, tensor: TensorId, _bytes: u64) {
         self.events.push(MemEvent::Fetch { gpu: dst.0, tensor });
+        self.d2d.push((src.0, dst.0, tensor));
     }
 
     fn evict(&mut self, gpu: GpuId, tensor: TensorId, writeback: bool, _bytes: u64) {
@@ -306,8 +328,24 @@ pub fn analyze_placements(
     cfg: &MachineConfig,
     acfg: &AnalysisConfig,
 ) -> Report {
+    analyze_placements_with_topology(stages, cfg, acfg, None)
+}
+
+/// [`analyze_placements`] with a link topology for the `W204` route check
+/// (see [`analyze_plan_with_topology`]). A topology whose device count
+/// differs from `cfg.num_gpus`, or with a single island, disables the
+/// route check — the flat diagnostics are unaffected either way.
+pub fn analyze_placements_with_topology(
+    stages: &[PlacedStage],
+    cfg: &MachineConfig,
+    acfg: &AnalysisConfig,
+    topology: Option<&LinkTopology>,
+) -> Report {
     let mut report = Report::new();
     let num_gpus = cfg.num_gpus;
+    // the route check only makes sense when the topology matches the
+    // machine and actually has more than one island to cross
+    let topo = topology.filter(|t| t.num_gpus() == num_gpus && !t.is_single_island());
 
     let mut structural_ok = true;
     for (s, stage) in stages.iter().enumerate() {
@@ -395,6 +433,10 @@ pub fn analyze_placements(
                 }
             }
 
+            // Pre-execution residency for the W204 route check: exactly
+            // the holder sets the machine chooses its transfer source from.
+            let pre_holders = topo.map(|_| classify(task, &shadow));
+
             let mut collector = Collector::default();
             match shadow.execute_observed(task, *gpu, &mut collector) {
                 Ok(()) => {}
@@ -447,6 +489,48 @@ pub fn analyze_placements(
                 Err(ExecError::DeviceLost { .. }) => {
                     // The analysis shadow never arms a FaultPlan, so this
                     // arm is unreachable; skip the placement defensively.
+                }
+            }
+
+            if let (Some(t), Some(class)) = (topo, &pre_holders) {
+                for &(src, dst, tensor) in &collector.d2d {
+                    if !t.crosses_island(src, dst) {
+                        continue;
+                    }
+                    let holders: &[GpuId] = if tensor == task.a.id {
+                        &class.holders_a
+                    } else if tensor == task.b.id {
+                        &class.holders_b
+                    } else {
+                        continue;
+                    };
+                    let Some(alt) = holders
+                        .iter()
+                        .find(|h| h.0 != dst && t.same_island(h.0, dst))
+                    else {
+                        continue;
+                    };
+                    report.push(
+                        Diagnostic::new(
+                            Code::CrossIslandTransfer,
+                            format!(
+                                "tensor {} fetched onto gpu {dst} from gpu {src} (island {} → {}) although gpu {} on the same island also holds it",
+                                tensor.0,
+                                t.island_of(src),
+                                t.island_of(dst),
+                                alt.0
+                            ),
+                        )
+                        .at(s, i)
+                        .for_task(task.id)
+                        .on_gpu(*gpu)
+                        .with("tensor", tensor.0)
+                        .with("src", src)
+                        .with("dst", dst)
+                        .with("src_island", t.island_of(src))
+                        .with("dst_island", t.island_of(dst))
+                        .with("same_island_holder", alt.0),
+                    );
                 }
             }
 
@@ -904,6 +988,74 @@ mod tests {
         let stages: Vec<PlacedStage> = Vec::new();
         let cfg = MachineConfig::mi100_like(2);
         assert!(analyze_placements(&stages, &cfg, &AnalysisConfig::default()).is_clean());
+    }
+
+    #[test]
+    fn cross_island_fetch_with_near_holder_yields_w204() {
+        // 4 GPUs in two 2-GPU islands {0,1} and {2,3}. Warm tensor 1 on
+        // gpus 0 and 3, then use it on gpu 2: the machine fetches from the
+        // lowest-id holder (gpu 0, across the island boundary) although
+        // gpu 3 on gpu 2's own island also holds it.
+        let cfg = MachineConfig::mi100_like(4);
+        let topo = LinkTopology::nvlink(4, 2);
+        let stages = vec![
+            stage_of(None, vec![(task(0, 1, 2, 100, MB), 0)]),
+            stage_of(None, vec![(task(1, 1, 3, 101, MB), 3)]),
+            stage_of(None, vec![(task(2, 1, 4, 102, MB), 2)]),
+        ];
+        let r = analyze_placements_with_topology(
+            &stages,
+            &cfg,
+            &AnalysisConfig::default(),
+            Some(&topo),
+        );
+        let hits = r.with_code(Code::CrossIslandTransfer);
+        assert_eq!(hits.len(), 1, "{}", r.render_text());
+        assert_eq!((hits[0].stage, hits[0].index), (Some(2), Some(0)));
+        assert_eq!(hits[0].gpu, Some(GpuId(2)));
+        assert!(hits[0].message.contains("gpu 3"), "{}", hits[0].message);
+        // without the same-island alternative the fetch is unavoidable
+        let stages_unavoidable = vec![
+            stage_of(None, vec![(task(0, 1, 2, 100, MB), 0)]),
+            stage_of(None, vec![(task(1, 1, 4, 101, MB), 2)]),
+        ];
+        let r2 = analyze_placements_with_topology(
+            &stages_unavoidable,
+            &cfg,
+            &AnalysisConfig::default(),
+            Some(&topo),
+        );
+        assert!(!r2.has(Code::CrossIslandTransfer), "{}", r2.render_text());
+        // flat analysis of the triggering fixture stays clean
+        let r3 = analyze_placements(&stages, &cfg, &AnalysisConfig::default());
+        assert!(!r3.has(Code::CrossIslandTransfer));
+    }
+
+    #[test]
+    fn w204_never_fires_on_a_single_island() {
+        let cfg = MachineConfig::mi100_like(4);
+        let one_island = LinkTopology::nvlink(4, 4);
+        let stages = vec![
+            stage_of(None, vec![(task(0, 1, 2, 100, MB), 0)]),
+            stage_of(None, vec![(task(1, 1, 3, 101, MB), 3)]),
+            stage_of(None, vec![(task(2, 1, 4, 102, MB), 2)]),
+        ];
+        let r = analyze_placements_with_topology(
+            &stages,
+            &cfg,
+            &AnalysisConfig::default(),
+            Some(&one_island),
+        );
+        assert!(!r.has(Code::CrossIslandTransfer));
+        // a topology for the wrong device count is ignored, not trusted
+        let wrong = LinkTopology::nvlink(8, 2);
+        let r2 = analyze_placements_with_topology(
+            &stages,
+            &cfg,
+            &AnalysisConfig::default(),
+            Some(&wrong),
+        );
+        assert!(!r2.has(Code::CrossIslandTransfer));
     }
 
     #[test]

@@ -51,6 +51,6 @@ mod render;
 
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use engine::{
-    analyze_placements, analyze_plan, analyze_plan_with, assignment_line, stage_line,
-    AnalysisConfig, PlacedStage,
+    analyze_placements, analyze_placements_with_topology, analyze_plan, analyze_plan_with,
+    analyze_plan_with_topology, assignment_line, stage_line, AnalysisConfig, PlacedStage,
 };

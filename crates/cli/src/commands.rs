@@ -1,20 +1,20 @@
 //! Subcommand implementations.
 
-use micco_analysis::{analyze_plan_with, AnalysisConfig, Report, Severity};
+use micco_analysis::{analyze_plan_with_topology, AnalysisConfig, Report, Severity};
 use micco_cluster::{
     run_cluster_schedule, ClusterConfig, FlatClusterScheduler, HierarchicalScheduler,
 };
 use micco_core::model::RegressionBounds;
 use micco_core::tuner::{build_training_set, TrainingConfig};
 use micco_core::{
-    execute_plan, plan_schedule_with, run_schedule, run_schedule_with, DriverOptions,
+    execute_plan, plan_schedule_with_topology, run_schedule, run_schedule_with, DriverOptions,
     GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler, SchedulePlan,
     ScheduleReport, Scheduler, Session,
 };
 use micco_exec::{
     execute_assignments, execute_plan as execute_plan_real, ExecOptions, FaultPlan, TensorStore,
 };
-use micco_gpusim::{CostModel, MachineConfig, SimMachine};
+use micco_gpusim::{CostModel, LinkTopology, MachineConfig, SimMachine};
 use micco_obs::Recorder;
 use micco_redstar::{al_rhopi, build_correlator, f0d2, f0d4, kk_pipi, nucleon_pipi, PresetScale};
 use micco_workload::{DataCharacteristics, RepeatDistribution, TensorPairStream, WorkloadSpec};
@@ -33,7 +33,9 @@ commands:
               --prefetch-tasks K --mappings
   run         synthetic run through the Session API, with optional telemetry
               (same options as synthetic); --trace-out FILE records spans
-              and metrics and writes Perfetto-loadable JSON
+              and metrics and writes Perfetto-loadable JSON;
+              --topology FILE|SPEC routes transfers over typed links and
+              --topology-aware lets the scheduler penalize far candidates
   redstar     run a Table VI correlator preset
               --preset al_rhopi|f0d2|f0d4|nucleon_pipi|kk_pipi --scale paper|ci --gpus N
   sweep       compare MICCO vs Groute across one parameter
@@ -53,10 +55,13 @@ commands:
               --trace-out FILE (wall-clock Perfetto trace of the run)
   plan        decide a schedule without executing and write the plan IR
               --out FILE plus the synthetic options (workload + scheduler);
-              --lint runs the static verifier on the freshly decided plan
+              --lint runs the static verifier on the freshly decided plan;
+              --topology FILE|SPEC plans against routed transfer costs and
+              --topology-aware steers placement off cross-island fetches
   lint        statically verify a plan against the rebuilt workload
               --plan FILE --format text|json|sarif --deny error|warn|info
               --mem-mib N (shrink device memory) --thrash-window N
+              --topology FILE|SPEC (adds the W204 cross-island route check)
               plus the workload options; exits non-zero when any finding
               reaches the --deny threshold (default: error)
   execute     execute a previously written plan on a rebuilt workload
@@ -71,12 +76,19 @@ commands:
               --out FILE plus the synthetic options; without --plan the
               legacy chrome://tracing array is written, with --plan FILE
               the plan is replayed through the Session API and a Perfetto
-              JSON (spans + metrics) is written instead
+              JSON (spans + metrics) is written instead; --topology adds
+              per-link utilization lanes to the Perfetto export
   info        print the default cost model and platform assumptions
 
 common synthetic options also accept --save FILE / --load FILE to persist
 or replay the exact workload (text format, see micco_workload::serialize);
-plan/execute/replay validate the plan's workload fingerprint before running";
+plan/execute/replay validate the plan's workload fingerprint before running
+
+--topology takes a file path or an inline spec; 'flat' (the default) keeps
+the uniform device-to-device cost model. Spec grammar:
+  nvlink{gpus:N, island:K, node:M, nv:BW@LAT, pcie:BW@LAT, ib:BW@LAT}
+with BW in GiB/s and LAT in µs; island/node/link tiers are optional
+(defaults: island=node=gpus, nv:200@1, pcie:16@3, ib:23@30)";
 
 /// Dispatch a parsed command line.
 pub fn dispatch(args: &Args) -> Result<(), String> {
@@ -182,7 +194,31 @@ fn driver_options(args: &Args) -> Result<DriverOptions, String> {
     if prefetch > 0 {
         opts = opts.with_prefetch_tasks(prefetch);
     }
+    if args.flag("topology-aware") {
+        opts = opts.with_topology_aware();
+    }
     Ok(opts)
+}
+
+/// Parse `--topology FILE|SPEC` into a link topology. The value is read
+/// as a file when one exists at that path, otherwise parsed directly as a
+/// `nvlink{…}` spec; the literal `flat` (or an absent flag) means uniform
+/// device-to-device cost, exactly as before this option existed.
+fn parse_topology(args: &Args) -> Result<Option<LinkTopology>, String> {
+    let Some(value) = args.get("topology") else {
+        return Ok(None);
+    };
+    if value == "flat" {
+        return Ok(None);
+    }
+    let spec = if std::path::Path::new(value).is_file() {
+        std::fs::read_to_string(value).map_err(|e| format!("{value}: {e}"))?
+    } else {
+        value.to_owned()
+    };
+    LinkTopology::parse(spec.trim())
+        .map(Some)
+        .map_err(|e| format!("--topology: {e}"))
 }
 
 /// Fresh recorder when `--trace-out FILE` was given, `None` otherwise.
@@ -207,6 +243,9 @@ fn run_session(args: &Args) -> Result<(), String> {
     let cfg = machine_for(args, &stream)?;
     let mut sched = build_scheduler(args)?;
     let mut session = Session::new(cfg).with_options(driver_options(args)?);
+    if let Some(topo) = parse_topology(args)? {
+        session = session.with_topology(topo);
+    }
     let recorder = trace_recorder(args);
     if let Some(r) = &recorder {
         session = session.trace(r.clone()).metrics(r.metrics());
@@ -621,14 +660,14 @@ fn exec(args: &Args) -> Result<(), String> {
 fn plan(args: &Args) -> Result<(), String> {
     let stream = synthetic_stream(args)?;
     let cfg = machine_for(args, &stream)?;
+    let topology = parse_topology(args)?;
+    let mut opts = DriverOptions::default().with_measure_overhead();
+    if args.flag("topology-aware") {
+        opts = opts.with_topology_aware();
+    }
     let mut sched = build_scheduler(args)?;
-    let plan = plan_schedule_with(
-        sched.as_mut(),
-        &stream,
-        &cfg,
-        DriverOptions::default().with_measure_overhead(),
-    )
-    .map_err(|e| e.to_string())?;
+    let plan = plan_schedule_with_topology(sched.as_mut(), &stream, &cfg, opts, topology.as_ref())
+        .map_err(|e| e.to_string())?;
     let out = args.str_or("out", "micco-plan.txt");
     std::fs::write(&out, plan.to_text()).map_err(|e| format!("{out}: {e}"))?;
     println!(
@@ -644,7 +683,13 @@ fn plan(args: &Args) -> Result<(), String> {
         plan.overhead_secs * 1e3
     );
     if args.flag("lint") {
-        let report = analyze_plan_with(&plan, &stream, &cfg, &analysis_config(args)?);
+        let report = analyze_plan_with_topology(
+            &plan,
+            &stream,
+            &cfg,
+            &analysis_config(args)?,
+            topology.as_ref(),
+        );
         emit_report(&report, args, &out)?;
     }
     Ok(())
@@ -701,7 +746,14 @@ fn lint(args: &Args) -> Result<(), String> {
     if mem_mib > 0 {
         cfg = cfg.with_mem_bytes(mem_mib << 20);
     }
-    let report = analyze_plan_with(&plan, &stream, &cfg, &analysis_config(args)?);
+    let topology = parse_topology(args)?;
+    let report = analyze_plan_with_topology(
+        &plan,
+        &stream,
+        &cfg,
+        &analysis_config(args)?,
+        topology.as_ref(),
+    );
     emit_report(&report, args, &path)
 }
 
@@ -725,6 +777,9 @@ fn execute(args: &Args) -> Result<(), String> {
         "sim" => {
             let cfg = machine_with_gpus(args, &stream, plan.num_gpus)?;
             let mut session = Session::new(cfg).with_options(driver_options(args)?);
+            if let Some(topo) = parse_topology(args)? {
+                session = session.with_topology(topo);
+            }
             if let Some(r) = &recorder {
                 session = session.trace(r.clone()).metrics(r.metrics());
             }
@@ -816,17 +871,20 @@ fn trace(args: &Args) -> Result<(), String> {
         let plan = load_plan(args)?;
         let cfg = machine_with_gpus(args, &stream, plan.num_gpus)?;
         let recorder = Recorder::shared();
-        let report = Session::new(cfg)
+        let mut session = Session::new(cfg)
             .with_options(driver_options(args)?)
             .trace(recorder.clone())
-            .metrics(recorder.metrics())
-            .replay(&plan, &stream)
-            .map_err(|e| e.to_string())?;
+            .metrics(recorder.metrics());
+        if let Some(topo) = parse_topology(args)? {
+            session = session.with_topology(topo);
+        }
+        let report = session.replay(&plan, &stream).map_err(|e| e.to_string())?;
         print_report(&report);
         return write_perfetto(&recorder, &out_path);
     }
     let cfg = machine_for(args, &stream)?;
     let mut machine = SimMachine::new(cfg);
+    machine.set_topology(parse_topology(args)?);
     machine.enable_trace();
     let mut sched = build_scheduler(args)?;
     let report = micco_core::driver::run_schedule_on(sched.as_mut(), &stream, &mut machine)
@@ -1201,6 +1259,53 @@ mod tests {
             let _ = std::fs::remove_file(out);
         }
         let _ = std::fs::remove_file(plan_path);
+    }
+
+    #[test]
+    fn topology_flag_threads_through_plan_lint_run_and_trace() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let plan_path = dir.join(format!("micco-cli-topo-plan-{pid}.txt"));
+        let topo_path = dir.join(format!("micco-cli-topo-{pid}.txt"));
+        let trace_path = dir.join(format!("micco-cli-topo-trace-{pid}.json"));
+        std::fs::write(&topo_path, "nvlink{gpus:4, island:2}\n").unwrap();
+        let wl = "--vector-size 8 --tensor-size 16 --vectors 2 --seed 3";
+        // inline spec on plan (with --lint and --topology-aware)
+        run(&format!(
+            "plan {wl} --gpus 4 --topology nvlink{{gpus:4,island:2}} --topology-aware \
+             --lint --out {}",
+            plan_path.display()
+        ))
+        .unwrap();
+        // file spec on lint: the topology-decided plan stays clean
+        run(&format!(
+            "lint {wl} --plan {} --topology {} --deny error",
+            plan_path.display(),
+            topo_path.display()
+        ))
+        .unwrap();
+        // run through the session with routed transfers
+        run(&format!(
+            "run {wl} --gpus 4 --topology {}",
+            topo_path.display()
+        ))
+        .unwrap();
+        // trace replays the plan and exports link lanes
+        run(&format!(
+            "trace {wl} --plan {} --topology {} --out {}",
+            plan_path.display(),
+            topo_path.display(),
+            trace_path.display()
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(text.contains("link0"), "link lanes exported");
+        // 'flat' is accepted and means no topology; garbage is rejected
+        run(&format!("run {wl} --gpus 4 --topology flat")).unwrap();
+        assert!(run(&format!("run {wl} --gpus 4 --topology bogus{{}}")).is_err());
+        for p in [&plan_path, &topo_path, &trace_path] {
+            let _ = std::fs::remove_file(p);
+        }
     }
 
     #[test]

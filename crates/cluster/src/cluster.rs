@@ -2,7 +2,9 @@
 
 use std::collections::HashSet;
 
-use micco_gpusim::{ExecError, GpuId, MachineConfig, MachineView, ShadowMachine, SimMachine};
+use micco_gpusim::{
+    ExecError, GpuId, LinkSpec, MachineConfig, MachineView, ShadowMachine, SimMachine,
+};
 use micco_workload::{ContractionTask, TensorId, TensorPairStream};
 
 /// Index of a node within the cluster.
@@ -41,6 +43,21 @@ impl ClusterConfig {
         }
     }
 
+    /// Replace the inter-node interconnect with a typed link spec — the
+    /// same [`LinkSpec`] the single-machine [`micco_gpusim::LinkTopology`]
+    /// uses for its IB tier, so a cluster config and a topology spec can
+    /// describe the identical network.
+    pub fn with_interconnect(mut self, spec: LinkSpec) -> Self {
+        self.inter_gib_s = spec.gib_s;
+        self.inter_latency_us = spec.latency_us;
+        self
+    }
+
+    /// The inter-node interconnect as a typed link spec.
+    pub fn interconnect(&self) -> LinkSpec {
+        LinkSpec::new(self.inter_gib_s, self.inter_latency_us)
+    }
+
     /// Total GPUs in the cluster.
     pub fn total_gpus(&self) -> usize {
         self.nodes * self.node.num_gpus
@@ -48,12 +65,12 @@ impl ClusterConfig {
 
     /// Seconds for an inter-node transfer of `bytes` (network only; the
     /// local H2D staging is charged by the receiving machine as usual).
+    /// Delegates to [`LinkSpec::transfer_secs`], which computes the exact
+    /// latency-plus-bandwidth formula this method always used.
     pub fn inter_secs(&self, bytes: u64) -> f64 {
-        self.inter_latency_us * 1e-6 + bytes as f64 / (self.inter_gib_s * GIB)
+        self.interconnect().transfer_secs(bytes)
     }
 }
-
-const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 
 /// Read-only view cluster schedulers work against.
 pub trait ClusterView {

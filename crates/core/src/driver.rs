@@ -12,7 +12,8 @@
 use std::time::Instant;
 
 use micco_gpusim::{
-    ExecError, ExecStats, GpuId, MachineConfig, MachineView, ShadowMachine, SimMachine,
+    ExecError, ExecStats, GpuId, LinkTopology, MachineConfig, MachineView, ShadowMachine,
+    SimMachine,
 };
 use micco_workload::{ContractionTask, TensorPairStream, Vector};
 
@@ -46,6 +47,11 @@ pub trait Scheduler {
     fn stage_bounds(&self) -> Option<ReuseBounds> {
         None
     }
+    /// Toggle topology-aware candidate scoring. Called by the planner with
+    /// [`DriverOptions::topology_aware`] before the first vector; the
+    /// default is a no-op so topology-oblivious schedulers keep their
+    /// decisions bit-identical whether or not the knob is set.
+    fn set_topology_aware(&mut self, _on: bool) {}
 }
 
 /// A single placement decision (exposed for tests and traces).
@@ -173,6 +179,12 @@ pub struct DriverOptions {
     /// sub-microsecond schedulers and adds noise to benchmarks that only
     /// care about simulated time.
     pub measure_overhead: bool,
+    /// Let topology-capable schedulers penalize candidates whose operand
+    /// fetches route over slow cross-island/cross-node links. Off by
+    /// default (the pinned flat behaviour); has no effect unless a
+    /// [`LinkTopology`] is actually threaded into the run (e.g. via
+    /// [`plan_schedule_with_topology`]).
+    pub topology_aware: bool,
 }
 
 impl DriverOptions {
@@ -191,6 +203,12 @@ impl DriverOptions {
     /// Options with per-task scheduling-overhead timing enabled.
     pub fn with_measure_overhead(mut self) -> Self {
         self.measure_overhead = true;
+        self
+    }
+
+    /// Options with topology-aware candidate scoring enabled.
+    pub fn with_topology_aware(mut self) -> Self {
+        self.topology_aware = true;
         self
     }
 
@@ -245,8 +263,40 @@ pub fn plan_schedule_in(
     options: DriverOptions,
     arena: &mut PlanArena,
 ) -> Result<SchedulePlan, ScheduleError> {
+    plan_schedule_in_with_topology(scheduler, stream, config, options, arena, None)
+}
+
+/// [`plan_schedule_with`] deciding against a [`LinkTopology`]-carrying
+/// shadow: peer transfers are routed and charged per hop, so load-aware
+/// schedulers see the (slower) cross-island reality, and schedulers that
+/// honour [`Scheduler::set_topology_aware`] additionally penalize
+/// candidates that would pull operands over slow links. Passing `None`
+/// is exactly [`plan_schedule_with`].
+pub fn plan_schedule_with_topology(
+    scheduler: &mut dyn Scheduler,
+    stream: &TensorPairStream,
+    config: &MachineConfig,
+    options: DriverOptions,
+    topology: Option<&LinkTopology>,
+) -> Result<SchedulePlan, ScheduleError> {
+    let mut arena = PlanArena::with_capacity(stream.total_tasks(), stream.vectors.len());
+    plan_schedule_in_with_topology(scheduler, stream, config, options, &mut arena, topology)
+}
+
+/// [`plan_schedule_in`] with an optional [`LinkTopology`] — the arena
+/// variant every other planning entry point funnels through.
+pub fn plan_schedule_in_with_topology(
+    scheduler: &mut dyn Scheduler,
+    stream: &TensorPairStream,
+    config: &MachineConfig,
+    options: DriverOptions,
+    arena: &mut PlanArena,
+    topology: Option<&LinkTopology>,
+) -> Result<SchedulePlan, ScheduleError> {
     let cfg = options.apply(config);
     let mut shadow = ShadowMachine::new(cfg);
+    shadow.set_topology(topology.cloned());
+    scheduler.set_topology_aware(options.topology_aware && topology.is_some());
     // Pre-intern every tensor of the stream so the per-symbol SoA tables
     // are sized once instead of growing inside the hot loop.
     shadow.reserve_stream(stream);
@@ -331,6 +381,21 @@ pub fn execute_plan_with(
     })
 }
 
+/// [`execute_plan_with`] on a machine armed with `topology` (the machine's
+/// existing topology is replaced — cleared when `None` — so planned and
+/// executed routes stay bit-identical when both phases receive the same
+/// topology).
+pub fn execute_plan_with_topology(
+    plan: &SchedulePlan,
+    stream: &TensorPairStream,
+    machine: &mut SimMachine,
+    options: DriverOptions,
+    topology: Option<&LinkTopology>,
+) -> Result<ScheduleReport, ScheduleError> {
+    machine.set_topology(topology.cloned());
+    execute_plan_with(plan, stream, machine, options)
+}
+
 /// Run `scheduler` over `stream` on a fresh machine built from `config`.
 ///
 /// Since the decide/execute split this is a composition of
@@ -376,6 +441,23 @@ pub fn run_schedule_with(
     let plan = plan_schedule_with(scheduler, stream, &cfg, options)?;
     let mut machine = SimMachine::new(cfg);
     execute_plan_with(&plan, stream, &mut machine, options)
+}
+
+/// [`run_schedule_with`] with both phases routed over `topology`: the plan
+/// is decided against a topology-carrying shadow and replayed on a
+/// topology-carrying simulator, so the executed transfer paths are exactly
+/// the planned ones. `None` is exactly [`run_schedule_with`].
+pub fn run_schedule_with_topology(
+    scheduler: &mut dyn Scheduler,
+    stream: &TensorPairStream,
+    config: &MachineConfig,
+    options: DriverOptions,
+    topology: Option<&LinkTopology>,
+) -> Result<ScheduleReport, ScheduleError> {
+    let cfg = options.apply(config);
+    let plan = plan_schedule_with_topology(scheduler, stream, &cfg, options, topology)?;
+    let mut machine = SimMachine::new(cfg);
+    execute_plan_with_topology(&plan, stream, &mut machine, options, topology)
 }
 
 /// Run `scheduler` over `stream` on an existing machine (lets callers enable

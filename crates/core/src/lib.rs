@@ -50,17 +50,18 @@ pub use arena::PlanArena;
 pub use baselines::{CodaScheduler, GrouteScheduler, RoundRobinScheduler};
 pub use bounds::{BoundsProvider, FixedBounds, ReuseBounds};
 pub use driver::{
-    execute_plan, execute_plan_with, plan_schedule, plan_schedule_in, plan_schedule_with,
-    run_schedule, run_schedule_on, run_schedule_with, Assignment, DriverOptions, ScheduleError,
-    ScheduleReport, Scheduler,
+    execute_plan, execute_plan_with, execute_plan_with_topology, plan_schedule, plan_schedule_in,
+    plan_schedule_in_with_topology, plan_schedule_with, plan_schedule_with_topology, run_schedule,
+    run_schedule_on, run_schedule_with, run_schedule_with_topology, Assignment, DriverOptions,
+    ScheduleError, ScheduleReport, Scheduler,
 };
 pub use mapping::{mapping_histogram, Mapping, MappingHistogram};
 pub use micco::MiccoScheduler;
 pub use model::RegressionBounds;
 pub use pattern::LocalReusePattern;
 pub use plan::{
-    repair_plan, PlanCache, PlanError, PlanFormatError, PlanKey, PlanStage, RepairError,
-    SchedulePlan, PLAN_VERSION,
+    repair_plan, repair_plan_with, PlanCache, PlanError, PlanFormatError, PlanKey, PlanStage,
+    RepairError, SchedulePlan, PLAN_VERSION,
 };
 pub use reorder::{reorder_stream, reuse_clustered_order};
 pub use seedref::plan_schedule_seed;

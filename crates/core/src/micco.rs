@@ -73,6 +73,7 @@ pub struct MiccoScheduler<P: BoundsProvider = FixedBounds> {
     rng: StdRng,
     seen: FastIdSet<TensorId>,
     scratch: AssignScratch,
+    topology_aware: bool,
 }
 
 impl MiccoScheduler<FixedBounds> {
@@ -97,6 +98,7 @@ impl<P: BoundsProvider> MiccoScheduler<P> {
             rng: StdRng::seed_from_u64(0x4d49_4343_4f00), // "MICCO"
             seen: FastIdSet::default(),
             scratch: AssignScratch::default(),
+            topology_aware: false,
         }
     }
 
@@ -120,6 +122,7 @@ impl<P: BoundsProvider> MiccoScheduler<P> {
     /// extremum, the finalist list, and the single RNG draw per assignment
     /// are therefore bit-identical to a fully sequential evaluation no
     /// matter how the scoring work is scheduled.
+    #[allow(clippy::too_many_arguments)]
     fn select(
         rng: &mut StdRng,
         keys: &mut Vec<(f64, f64)>,
@@ -127,20 +130,50 @@ impl<P: BoundsProvider> MiccoScheduler<P> {
         candidates: &[GpuId],
         task: &ContractionTask,
         view: &dyn MachineView,
+        class: &ClassifiedPair,
+        topology_aware: bool,
     ) -> GpuId {
         debug_assert!(!candidates.is_empty());
         // order-independent boolean OR over candidates
         let evict_risk = candidates.par_iter().any(|g| view.would_evict(*g, task));
+        // Topology-aware fetch estimate: the routed link time the machine
+        // would charge to pull each missing operand from its lowest-id
+        // holder (the source the machine deterministically picks). Exactly
+        // the execute-phase charge, so candidates reachable over NVLink
+        // outrank candidates that would pull the same tensor across an
+        // island or node boundary.
+        let aware = topology_aware && view.topology().is_some();
+        let fetch = |g: GpuId| -> f64 {
+            let Some(topo) = view.topology() else {
+                return 0.0;
+            };
+            let mut secs = 0.0;
+            if !class.holders_a.is_empty() && !class.holders_a.contains(&g) {
+                secs += topo.transfer_secs(class.holders_a[0].0, g.0, task.a.bytes);
+            }
+            if task.b.id != task.a.id
+                && !class.holders_b.is_empty()
+                && !class.holders_b.contains(&g)
+            {
+                secs += topo.transfer_secs(class.holders_b[0].0, g.0, task.b.bytes);
+            }
+            secs
+        };
         // (primary, secondary) sort key per candidate. The computation-
         // centric policy ranks by least accumulated cost this stage
         // (`mapGPUCom`: busy time, so a device slowed by transfers is not
         // overloaded further), tie-broken by least memory; the memory-
         // eviction-sensitive policy flips the two.
         let key = |g: GpuId| {
-            if evict_risk {
-                (view.mem_used(g) as f64, view.stage_busy_secs(g))
+            let busy = if aware {
+                view.stage_busy_secs(g) + fetch(g)
             } else {
-                (view.stage_busy_secs(g), view.mem_used(g) as f64)
+                view.stage_busy_secs(g)
+            };
+            if evict_risk {
+                (view.mem_used(g) as f64, busy)
+            } else {
+                (busy, view.mem_used(g) as f64)
             }
         };
         keys.clear();
@@ -225,9 +258,22 @@ impl<P: BoundsProvider> Scheduler for MiccoScheduler<P> {
             candidates.push(self.state.least_loaded());
         }
 
-        let gpu = Self::select(&mut self.rng, keys, finalists, candidates, task, view);
+        let gpu = Self::select(
+            &mut self.rng,
+            keys,
+            finalists,
+            candidates,
+            task,
+            view,
+            class,
+            self.topology_aware,
+        );
         self.state.record(gpu);
         gpu
+    }
+
+    fn set_topology_aware(&mut self, on: bool) {
+        self.topology_aware = on;
     }
 }
 

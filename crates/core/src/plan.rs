@@ -29,12 +29,14 @@
 //! not understand with [`PlanFormatError::UnsupportedVersion`] rather than
 //! misreading them.
 
-use micco_gpusim::{GpuId, MachineConfig};
+use micco_gpusim::{GpuId, LinkTopology, MachineConfig};
 use micco_workload::{FastIdMap, TaskId, TensorPairStream};
 
 use crate::arena::PlanArena;
 use crate::bounds::ReuseBounds;
-use crate::driver::{plan_schedule_in, Assignment, DriverOptions, ScheduleError, Scheduler};
+use crate::driver::{
+    plan_schedule_in_with_topology, Assignment, DriverOptions, ScheduleError, Scheduler,
+};
 
 /// Plan format version written by [`SchedulePlan::to_text`].
 pub const PLAN_VERSION: u32 = 1;
@@ -309,6 +311,20 @@ impl std::error::Error for RepairError {}
 /// [`RepairError::LostGpuOutOfRange`] when a named device is not in the
 /// plan, and [`RepairError::NoSurvivors`] when every device was lost.
 pub fn repair_plan(plan: &SchedulePlan, lost: &[GpuId]) -> Result<SchedulePlan, RepairError> {
+    repair_plan_with(plan, lost, None)
+}
+
+/// [`repair_plan`] honouring an interconnect topology: orphans are
+/// re-placed onto the *topology-nearest* surviving device of their stage —
+/// the survivor with the cheapest route from the lost device, so operands
+/// that were staged near the casualty stay reachable over fast links —
+/// breaking ties by least load and then lowest index. With `None` the
+/// repair is exactly the least-loaded [`repair_plan`].
+pub fn repair_plan_with(
+    plan: &SchedulePlan,
+    lost: &[GpuId],
+    topology: Option<&LinkTopology>,
+) -> Result<SchedulePlan, RepairError> {
     if lost.is_empty() {
         return Err(RepairError::NothingLost);
     }
@@ -325,6 +341,19 @@ pub fn repair_plan(plan: &SchedulePlan, lost: &[GpuId]) -> Result<SchedulePlan, 
     if is_lost.iter().all(|&l| l) {
         return Err(RepairError::NoSurvivors);
     }
+    // route cost from the orphan's original device to each survivor,
+    // quantized to link-time bits for a total-ordered integer key (0 when
+    // no topology: the key degenerates to (load, index))
+    let near_bytes = 1u64 << 26; // 64 MiB reference transfer
+    let route_cost = |from: usize, to: usize| -> u64 {
+        topology.map_or(0, |t| {
+            if t.num_gpus() == plan.num_gpus {
+                t.transfer_secs(from, to, near_bytes).to_bits()
+            } else {
+                0
+            }
+        })
+    };
     let mut repaired = plan.clone();
     for stage in &mut repaired.stages {
         // survivors' existing load in this stage, in assignment counts
@@ -336,9 +365,10 @@ pub fn repair_plan(plan: &SchedulePlan, lost: &[GpuId]) -> Result<SchedulePlan, 
         }
         for a in &mut stage.assignments {
             if is_lost[a.gpu.0] {
+                let from = a.gpu.0;
                 if let Some(target) = (0..plan.num_gpus)
                     .filter(|&g| !is_lost[g])
-                    .min_by_key(|&g| (load[g], g))
+                    .min_by_key(|&g| (route_cost(from, g), load[g], g))
                 {
                     a.gpu = GpuId(target);
                     load[target] += 1;
@@ -671,11 +701,34 @@ impl PlanCache {
         config: &MachineConfig,
         options: DriverOptions,
     ) -> Result<&SchedulePlan, ScheduleError> {
-        let key = Self::key_for(scheduler, stream, config, options);
+        self.plan_for_with_topology(scheduler, stream, config, options, None)
+    }
+
+    /// [`Self::plan_for`] deciding against a topology-carrying shadow
+    /// (see [`crate::plan_schedule_with_topology`]). The key mixes the
+    /// topology spec only when one is present, so flat requests keep the
+    /// exact keys [`Self::plan_for`] has always produced and the two entry
+    /// points share one cache safely.
+    pub fn plan_for_with_topology(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        stream: &TensorPairStream,
+        config: &MachineConfig,
+        options: DriverOptions,
+        topology: Option<&LinkTopology>,
+    ) -> Result<&SchedulePlan, ScheduleError> {
+        let key = Self::key_for_with_topology(scheduler, stream, config, options, topology);
         if self.plans.contains_key(&key.0) {
             self.hits += 1;
         } else {
-            let plan = plan_schedule_in(scheduler, stream, config, options, &mut self.arena)?;
+            let plan = plan_schedule_in_with_topology(
+                scheduler,
+                stream,
+                config,
+                options,
+                &mut self.arena,
+                topology,
+            )?;
             self.plans.insert(key.0, plan);
             self.misses += 1;
         }
@@ -715,6 +768,30 @@ impl PlanCache {
         h.mix(config.eviction as u64);
         h.mix(options.overlap as u64);
         h.mix(options.prefetch_tasks as u64);
+        PlanKey(h.0)
+    }
+
+    /// The cache key [`Self::plan_for_with_topology`] would use. With
+    /// `topology: None` this is exactly [`Self::key_for`] — the topology
+    /// spec (and the `topology_aware` knob) is mixed in only when a
+    /// topology is actually present, so flat keys are byte-stable across
+    /// this refactor.
+    pub fn key_for_with_topology(
+        scheduler: &dyn Scheduler,
+        stream: &TensorPairStream,
+        config: &MachineConfig,
+        options: DriverOptions,
+        topology: Option<&LinkTopology>,
+    ) -> PlanKey {
+        let PlanKey(flat) = Self::key_for(scheduler, stream, config, options);
+        let Some(topo) = topology else {
+            return PlanKey(flat);
+        };
+        let mut h = Fnv(flat);
+        h.mix(options.topology_aware as u64);
+        for byte in topo.to_spec().bytes() {
+            h.mix_byte(byte);
+        }
         PlanKey(h.0)
     }
 

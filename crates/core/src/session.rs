@@ -29,14 +29,15 @@
 
 use std::sync::Arc;
 
-use micco_gpusim::{MachineConfig, SimMachine};
+use micco_gpusim::{LinkTopology, MachineConfig, SimMachine};
 use micco_obs::{
     MetricsRegistry, SpanObserver, TraceEvent, TraceSink, Track, CONTROL_PID, SECS_TO_US,
 };
 use micco_workload::TensorPairStream;
 
 use crate::driver::{
-    execute_plan_with, plan_schedule_with, DriverOptions, ScheduleError, ScheduleReport, Scheduler,
+    execute_plan_with_topology, plan_schedule_with_topology, DriverOptions, ScheduleError,
+    ScheduleReport, Scheduler,
 };
 use crate::plan::SchedulePlan;
 
@@ -50,6 +51,7 @@ use crate::plan::SchedulePlan;
 pub struct Session {
     config: MachineConfig,
     options: DriverOptions,
+    topology: Option<LinkTopology>,
     sink: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
 }
@@ -59,6 +61,7 @@ impl std::fmt::Debug for Session {
         f.debug_struct("Session")
             .field("config", &self.config)
             .field("options", &self.options)
+            .field("topology", &self.topology)
             .field("sink", &self.sink.as_ref().map(|_| "dyn TraceSink"))
             .field("metrics", &self.metrics.as_ref().map(|_| "MetricsRegistry"))
             .finish()
@@ -71,6 +74,7 @@ impl Session {
         Session {
             config,
             options: DriverOptions::default(),
+            topology: None,
             sink: None,
             metrics: None,
         }
@@ -102,6 +106,28 @@ impl Session {
         self
     }
 
+    /// Simulate transfers over an explicit link topology: both the
+    /// planning shadow and every execution machine route device-to-device
+    /// copies through `topology` and charge per-hop link time, so planned
+    /// and executed timelines stay bit-identical. Panics on execution if
+    /// the topology's GPU count differs from the machine config's.
+    ///
+    /// Routing alone does not change *placement*; pair it with
+    /// [`Session::topology_aware`] to let schedulers penalize cross-island
+    /// candidates.
+    pub fn with_topology(mut self, topology: LinkTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Let the scheduler see the topology when scoring candidates
+    /// (adds the routed fetch cost for each candidate's missing operands).
+    /// A no-op unless a topology is attached with [`Session::with_topology`].
+    pub fn topology_aware(mut self, on: bool) -> Self {
+        self.options.topology_aware = on;
+        self
+    }
+
     /// Attach a telemetry sink; executions then carry a [`SpanObserver`]
     /// on the simulator and emit a run-level control span.
     pub fn trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
@@ -126,6 +152,11 @@ impl Session {
         &self.options
     }
 
+    /// The link topology transfers are routed over, if one is attached.
+    pub fn topology(&self) -> Option<&LinkTopology> {
+        self.topology.as_ref()
+    }
+
     /// Decide a schedule for `stream` without executing it. The returned
     /// [`Planned`] owns a clone of this session, so the fluent chain works
     /// on temporaries and the plan can be executed repeatedly.
@@ -134,7 +165,13 @@ impl Session {
         scheduler: &mut dyn Scheduler,
         stream: &TensorPairStream,
     ) -> Result<Planned, ScheduleError> {
-        let plan = plan_schedule_with(scheduler, stream, &self.config, self.options)?;
+        let plan = plan_schedule_with_topology(
+            scheduler,
+            stream,
+            &self.config,
+            self.options,
+            self.topology.as_ref(),
+        )?;
         Ok(Planned {
             session: self.clone(),
             plan,
@@ -159,7 +196,13 @@ impl Session {
         stream: &TensorPairStream,
     ) -> Result<ScheduleReport, ScheduleError> {
         let mut machine = self.machine();
-        let report = execute_plan_with(plan, stream, &mut machine, self.options)?;
+        let report = execute_plan_with_topology(
+            plan,
+            stream,
+            &mut machine,
+            self.options,
+            self.topology.as_ref(),
+        )?;
         self.record_run_span(plan, &report);
         Ok(report)
     }
@@ -331,6 +374,38 @@ mod tests {
         assert_eq!(snap.counter("tasks"), report.stats.total_tasks());
         // the execute-phase overhead was actually measured
         assert!(report.execution_overhead_secs > 0.0);
+    }
+
+    #[test]
+    fn topology_session_threads_links_through_plan_and_replay() {
+        let stream = stream();
+        let cfg = MachineConfig::mi100_like(4);
+        // single island: routing through NVLink with the flat-equivalent
+        // spec must reproduce the flat session bit-for-bit
+        let flat = Session::new(cfg)
+            .run(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream)
+            .expect("fits");
+        let one_island =
+            LinkTopology::nvlink(4, 4).with_nvlink(micco_gpusim::LinkSpec::new(25.0, 10.0));
+        let routed = Session::new(cfg)
+            .with_topology(one_island)
+            .run(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream)
+            .expect("fits");
+        assert_eq!(flat.assignments, routed.assignments);
+        assert_eq!(flat.stats, routed.stats);
+        // split islands: the session still plans and replays deterministically
+        let split = LinkTopology::nvlink(4, 2);
+        let session = Session::new(cfg)
+            .with_topology(split.clone())
+            .topology_aware(true);
+        assert_eq!(session.topology().map(|t| t.num_islands()), Some(2));
+        let planned = session
+            .plan(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream)
+            .expect("fits");
+        let a = planned.execute(&stream).expect("replays");
+        let b = planned.execute(&stream).expect("replays");
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

@@ -129,7 +129,7 @@ impl Default for CostModel {
     }
 }
 
-const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+pub(crate) const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 
 /// Configuration of the whole simulated node.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -33,6 +33,7 @@ pub mod machine;
 pub mod memory;
 pub mod shadow;
 pub mod stats;
+pub mod topology;
 pub mod trace;
 
 pub use cost::{CostModel, MachineConfig};
@@ -41,6 +42,7 @@ pub use machine::{build_oracle, DeviceView, ExecError, GpuId, MachineView, SimMa
 pub use memory::{AllocError, DeviceMemory, Evicted, EvictionPolicy, Provenance};
 pub use shadow::{ExecObserver, NullObserver, ShadowMachine};
 pub use stats::{ExecStats, GpuStats};
+pub use topology::{Link, LinkClass, LinkSpec, LinkTopology};
 pub use trace::{Event, Trace};
 
 /// Convenience alias used across the scheduler crates: a read-only borrow of

@@ -24,6 +24,7 @@ use crate::cost::MachineConfig;
 use crate::memory::AllocError;
 use crate::shadow::{intersect_secs, ExecObserver, ShadowMachine};
 use crate::stats::ExecStats;
+use crate::topology::LinkTopology;
 use crate::trace::{Event, Trace};
 
 pub use crate::shadow::build_oracle;
@@ -122,6 +123,11 @@ pub trait MachineView {
     /// Whether placing `task` on `g` would trigger eviction.
     fn would_evict(&self, g: GpuId, task: &ContractionTask) -> bool {
         self.bytes_needed(g, task) > self.mem_capacity().saturating_sub(self.mem_used(g))
+    }
+    /// The interconnect topology the machine routes transfers over, if one
+    /// is configured. `None` means the flat uniform-D2D model.
+    fn topology(&self) -> Option<&crate::topology::LinkTopology> {
+        None
     }
 }
 
@@ -327,6 +333,20 @@ impl ExecObserver for TeeObserver<'_, '_> {
         self.stats.stage_done(stage, start, end);
         self.ext.stage_done(stage, start, end);
     }
+
+    fn link_hop(
+        &mut self,
+        link: usize,
+        class: &'static str,
+        a: usize,
+        b: usize,
+        bytes: u64,
+        start: f64,
+        end: f64,
+    ) {
+        self.stats.link_hop(link, class, a, b, bytes, start, end);
+        self.ext.link_hop(link, class, a, b, bytes, start, end);
+    }
 }
 
 /// The simulated node.
@@ -384,6 +404,38 @@ impl SimMachine {
     pub fn with_faults(mut self, faults: crate::fault::FaultPlan) -> Self {
         self.shadow.set_faults(faults);
         self
+    }
+
+    /// Route device→device transfers over an explicit [`LinkTopology`]
+    /// instead of the flat uniform-D2D charge.
+    pub fn with_topology(mut self, topo: LinkTopology) -> Self {
+        self.shadow.set_topology(Some(topo));
+        self
+    }
+
+    /// Set or clear the interconnect topology in place.
+    pub fn set_topology(&mut self, topo: Option<LinkTopology>) {
+        self.shadow.set_topology(topo);
+    }
+
+    /// Per-link busy seconds accumulated so far (empty without a topology).
+    pub fn link_busy_secs(&self) -> &[f64] {
+        self.shadow.link_busy_secs()
+    }
+
+    /// Per-link bytes moved so far (empty without a topology).
+    pub fn link_bytes_moved(&self) -> &[u64] {
+        self.shadow.link_bytes_moved()
+    }
+
+    /// `(count, bytes)` of D2D transfers that crossed an island boundary.
+    pub fn cross_island_traffic(&self) -> (u64, u64) {
+        self.shadow.cross_island_traffic()
+    }
+
+    /// `(count, bytes)` of D2D transfers that crossed a node boundary.
+    pub fn cross_node_traffic(&self) -> (u64, u64) {
+        self.shadow.cross_node_traffic()
     }
 
     /// Arm the fault plan in place.
@@ -586,6 +638,10 @@ impl MachineView for SimMachine {
 
     fn bytes_needed(&self, g: GpuId, task: &ContractionTask) -> u64 {
         self.shadow.bytes_needed(g, task)
+    }
+
+    fn topology(&self) -> Option<&crate::topology::LinkTopology> {
+        MachineView::topology(&self.shadow)
     }
 }
 

@@ -38,6 +38,7 @@ use crate::cost::MachineConfig;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::machine::{ExecError, GpuId, MachineView};
 use crate::memory::{DeviceMemory, Evicted, Provenance};
+use crate::topology::LinkTopology;
 
 /// Observation hooks called by [`ShadowMachine::execute_observed`] at the
 /// exact points the original interleaved simulator recorded statistics and
@@ -60,6 +61,23 @@ pub trait ExecObserver {
     fn d2d(&mut self, _src: GpuId, _dst: GpuId, _tensor: TensorId, _bytes: u64) {}
     /// A peer copy occupied `src`'s memory controller for `secs`.
     fn source_charge(&mut self, _src: GpuId, _secs: f64) {}
+    /// One hop of a routed peer copy occupied physical link `link`
+    /// (endpoints `a`–`b`, class `"nv"`/`"pcie"`/`"ib"`) over
+    /// `[start, end)` in absolute simulated seconds. Only fired on
+    /// machines carrying a [`crate::LinkTopology`]; flat machines never
+    /// call it.
+    #[allow(clippy::too_many_arguments)]
+    fn link_hop(
+        &mut self,
+        _link: usize,
+        _class: &'static str,
+        _a: usize,
+        _b: usize,
+        _bytes: u64,
+        _start: f64,
+        _end: f64,
+    ) {
+    }
     /// `tensor` was evicted from `gpu` (`writeback` when device-created
     /// data had to be written back to the host).
     fn evict(&mut self, _gpu: GpuId, _tensor: TensorId, _writeback: bool, _bytes: u64) {}
@@ -304,6 +322,21 @@ pub struct ShadowMachine {
     stage_index: usize,
     /// Reused victim buffer for `allocate_into` (cleared per task).
     evicted_scratch: Vec<Evicted>,
+    /// The link model, when configured. `None` (the default) keeps the
+    /// seed's flat uniform-link cost path bit-for-bit.
+    topology: Option<LinkTopology>,
+    /// Per-link busy seconds (indexed like `topology.links()`).
+    link_secs: Vec<f64>,
+    /// Per-link bytes moved.
+    link_bytes: Vec<u64>,
+    /// Peer copies whose route crossed an island boundary.
+    cross_island_transfers: u64,
+    /// Bytes of those cross-island copies.
+    cross_island_bytes: u64,
+    /// Peer copies whose route crossed a node boundary.
+    cross_node_transfers: u64,
+    /// Bytes of those cross-node copies.
+    cross_node_bytes: u64,
 }
 
 impl ShadowMachine {
@@ -333,7 +366,76 @@ impl ShadowMachine {
             faults: FaultPlan::none(),
             stage_index: 0,
             evicted_scratch: Vec::new(),
+            topology: None,
+            link_secs: Vec::new(),
+            link_bytes: Vec::new(),
+            cross_island_transfers: 0,
+            cross_island_bytes: 0,
+            cross_node_transfers: 0,
+            cross_node_bytes: 0,
         }
+    }
+
+    /// Carry an explicit link topology: peer copies are routed over it and
+    /// charged per-hop link time instead of the flat uniform
+    /// [`crate::CostModel::d2d_secs`]. Planned and executed paths stay
+    /// bit-identical because both read the same route table.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology covers a different device count than the
+    /// machine.
+    pub fn with_topology(mut self, topo: LinkTopology) -> Self {
+        self.set_topology(Some(topo));
+        self
+    }
+
+    /// Install (or clear) the link topology in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the topology covers a different device count than the
+    /// machine.
+    pub fn set_topology(&mut self, topo: Option<LinkTopology>) {
+        if let Some(t) = &topo {
+            assert_eq!(
+                t.num_gpus(),
+                self.gpus.len(),
+                "topology device count must match the machine"
+            );
+            self.link_secs = vec![0.0; t.links().len()];
+            self.link_bytes = vec![0; t.links().len()];
+        } else {
+            self.link_secs.clear();
+            self.link_bytes.clear();
+        }
+        self.cross_island_transfers = 0;
+        self.cross_island_bytes = 0;
+        self.cross_node_transfers = 0;
+        self.cross_node_bytes = 0;
+        self.topology = topo;
+    }
+
+    /// Per-link busy seconds, indexed like
+    /// [`LinkTopology::links`] (empty without a topology).
+    pub fn link_busy_secs(&self) -> &[f64] {
+        &self.link_secs
+    }
+
+    /// Per-link bytes moved, indexed like [`LinkTopology::links`].
+    pub fn link_bytes_moved(&self) -> &[u64] {
+        &self.link_bytes
+    }
+
+    /// Peer copies whose route crossed an island boundary, with their
+    /// bytes. Always zero on flat machines.
+    pub fn cross_island_traffic(&self) -> (u64, u64) {
+        (self.cross_island_transfers, self.cross_island_bytes)
+    }
+
+    /// Peer copies whose route crossed a node boundary, with their bytes.
+    pub fn cross_node_traffic(&self) -> (u64, u64) {
+        (self.cross_node_transfers, self.cross_node_bytes)
     }
 
     /// Arm the machine with a fault-injection plan.
@@ -512,8 +614,46 @@ impl ShadowMachine {
             mem_secs += self.charge_evictions(gpu, &evicted[base..], obs);
             match peer {
                 Some(src) => {
-                    let secs = self.config.cost.d2d_secs(d.bytes);
+                    // Routed machines charge the sum of per-hop link times
+                    // along the topology's route table; flat machines keep
+                    // the seed's uniform-link expression bit-for-bit.
+                    let secs = match &self.topology {
+                        Some(topo) => topo.transfer_secs(src.0, gpu.0, d.bytes),
+                        None => self.config.cost.d2d_secs(d.bytes),
+                    };
                     mem_secs += secs;
+                    if let Some(topo) = &self.topology {
+                        // Per-hop accounting: link utilization lanes and
+                        // the cross-island/cross-node counters the lints
+                        // and the topology sweep read. The hop spans are
+                        // anchored at the destination's queued DMA
+                        // position, laid out sequentially along the route.
+                        let mut at = self.gpus[gpu.0].time() + (mem_secs - secs);
+                        for &id in topo.route(src.0, gpu.0) {
+                            let link = &topo.links()[id as usize];
+                            let hop = link.spec.transfer_secs(d.bytes);
+                            self.link_secs[id as usize] += hop;
+                            self.link_bytes[id as usize] += d.bytes;
+                            obs.link_hop(
+                                id as usize,
+                                link.class.as_str(),
+                                link.a,
+                                link.b,
+                                d.bytes,
+                                at,
+                                at + hop,
+                            );
+                            at += hop;
+                        }
+                        if topo.crosses_island(src.0, gpu.0) {
+                            self.cross_island_transfers += 1;
+                            self.cross_island_bytes += d.bytes;
+                        }
+                        if topo.crosses_node(src.0, gpu.0) {
+                            self.cross_node_transfers += 1;
+                            self.cross_node_bytes += d.bytes;
+                        }
+                    }
                     // Peer copies occupy the source's memory controller too;
                     // charging the source throttles hot-tensor fan-out from
                     // a single holder (and is what real peer DMA does).
@@ -780,6 +920,10 @@ impl ShadowMachine {
 impl MachineView for ShadowMachine {
     fn num_gpus(&self) -> usize {
         self.gpus.len()
+    }
+
+    fn topology(&self) -> Option<&LinkTopology> {
+        self.topology.as_ref()
     }
 
     fn mem_capacity(&self) -> u64 {
@@ -1131,5 +1275,129 @@ mod tests {
             faulty > clean,
             "one timeout re-pays the staging cost: {faulty} vs {clean}"
         );
+    }
+
+    /// A single-island topology whose NVLink spec copies the flat D2D
+    /// numbers reproduces the flat simulation bit-for-bit — the identity
+    /// the default-off topology path rests on.
+    #[test]
+    fn single_island_topology_matches_flat_bit_for_bit() {
+        use crate::topology::{LinkSpec, LinkTopology};
+        let cfg = MachineConfig::mi100_like(4);
+        let topo = LinkTopology::nvlink(4, 4).with_nvlink(LinkSpec::new(
+            cfg.cost.d2d_gib_s,
+            cfg.cost.transfer_latency_us,
+        ));
+        let stream = WorkloadSpec::new(16, 128)
+            .with_repeat_rate(0.7)
+            .with_vectors(3)
+            .with_seed(42)
+            .generate();
+        let run = |topo: Option<LinkTopology>| {
+            let mut m = ShadowMachine::new(cfg);
+            m.set_topology(topo);
+            let mut i = 0usize;
+            let mut times = Vec::new();
+            for v in &stream.vectors {
+                for t in &v.tasks {
+                    m.execute(t, GpuId(i % 4)).unwrap();
+                    i += 1;
+                }
+                m.barrier();
+                times.extend((0..4).map(|g| m.device_time(GpuId(g)).to_bits()));
+            }
+            times
+        };
+        assert_eq!(run(None), run(Some(topo)));
+    }
+
+    /// Cross-island peer copies are routed, charged per hop, and counted.
+    #[test]
+    fn topology_routes_charge_links_and_count_crossings() {
+        use crate::topology::{LinkSpec, LinkTopology};
+        let cfg = MachineConfig::mi100_like(4);
+        // 2 islands of 2; PCIe much slower than the flat d2d charge
+        let topo = LinkTopology::nvlink(4, 2)
+            .with_nvlink(LinkSpec::new(
+                cfg.cost.d2d_gib_s,
+                cfg.cost.transfer_latency_us,
+            ))
+            .with_pcie(LinkSpec::new(4.0, 10.0));
+        let bytes = 1u64 << 28;
+        let run = |topo: Option<LinkTopology>, dst: usize| {
+            let mut m = ShadowMachine::new(cfg);
+            m.set_topology(topo);
+            m.execute(&task(0, 1, 2, 100, bytes, 0), GpuId(0)).unwrap();
+            // dst pulls tensor 1 from gpu0 over d2d
+            m.execute(&task(1, 1, 3, 101, bytes, 0), GpuId(dst))
+                .unwrap();
+            m
+        };
+        // same island: identical to flat, no crossings
+        let m = run(Some(topo.clone()), 1);
+        assert_eq!(m.cross_island_traffic(), (0, 0));
+        let flat = run(None, 1);
+        assert_eq!(
+            m.device_time(GpuId(1)).to_bits(),
+            flat.device_time(GpuId(1)).to_bits()
+        );
+        // cross island: slower, counted, and the PCIe link shows busy time
+        let m = run(Some(topo.clone()), 2);
+        assert_eq!(m.cross_island_traffic(), (1, bytes));
+        assert_eq!(m.cross_node_traffic(), (0, 0));
+        assert!(m.device_time(GpuId(2)) > flat.device_time(GpuId(1)));
+        let busy: f64 = m.link_busy_secs().iter().sum();
+        assert!(busy > 0.0);
+        let moved: u64 = m.link_bytes_moved().iter().sum();
+        assert!(moved >= bytes, "route moved {moved} bytes");
+    }
+
+    /// The `link_hop` observer hook fires once per hop with consistent
+    /// intervals, and only on topology-carrying machines.
+    #[test]
+    fn link_hop_hook_reports_route_hops() {
+        use crate::topology::LinkTopology;
+        #[derive(Default)]
+        struct Hops(Vec<(usize, &'static str, usize, usize, u64, f64, f64)>);
+        impl ExecObserver for Hops {
+            fn link_hop(
+                &mut self,
+                link: usize,
+                class: &'static str,
+                a: usize,
+                b: usize,
+                bytes: u64,
+                start: f64,
+                end: f64,
+            ) {
+                self.0.push((link, class, a, b, bytes, start, end));
+            }
+        }
+        let cfg = MachineConfig::mi100_like(4);
+        let bytes = 1u64 << 26;
+        let mut m = ShadowMachine::new(cfg);
+        m.set_topology(Some(LinkTopology::nvlink(4, 2)));
+        let mut obs = Hops::default();
+        m.execute_observed(&task(0, 1, 2, 100, bytes, 0), GpuId(0), &mut obs)
+            .unwrap();
+        m.execute_observed(&task(1, 1, 3, 101, bytes, 0), GpuId(3), &mut obs)
+            .unwrap();
+        assert!(!obs.0.is_empty(), "cross-island pull must report hops");
+        for w in obs.0.windows(2) {
+            assert!(w[0].6 <= w[1].5 + 1e-12, "hops are sequential");
+        }
+        for (_, class, _, _, b, start, end) in &obs.0 {
+            assert!(["nv", "pcie", "ib"].contains(class));
+            assert_eq!(*b, bytes);
+            assert!(end > start);
+        }
+        // flat machine: the hook never fires
+        let mut m = ShadowMachine::new(cfg);
+        let mut obs = Hops::default();
+        m.execute_observed(&task(0, 1, 2, 100, bytes, 0), GpuId(0), &mut obs)
+            .unwrap();
+        m.execute_observed(&task(1, 1, 3, 101, bytes, 0), GpuId(3), &mut obs)
+            .unwrap();
+        assert!(obs.0.is_empty());
     }
 }

@@ -10,7 +10,7 @@ use micco_workload::{TaskId, TensorId};
 
 use crate::metrics::MetricsRegistry;
 use crate::sink::TraceSink;
-use crate::span::{FlowPoint, TraceEvent, Track, CONTROL_PID};
+use crate::span::{FlowPoint, TraceEvent, Track, CONTROL_PID, LINK_PID_BASE};
 
 /// Simulated seconds → exported microseconds.
 pub const SECS_TO_US: f64 = 1e6;
@@ -254,6 +254,38 @@ impl ExecObserver for SpanObserver {
         self.bump(gpu, end * SECS_TO_US);
     }
 
+    fn link_hop(
+        &mut self,
+        link: usize,
+        class: &'static str,
+        a: usize,
+        b: usize,
+        bytes: u64,
+        start: f64,
+        end: f64,
+    ) {
+        self.metrics.inc("link_hops");
+        self.metrics.add("link_bytes", bytes);
+        let pid = LINK_PID_BASE + link as u32;
+        if self.labeled.insert(pid) {
+            self.sink.record(TraceEvent::ProcessLabel {
+                pid,
+                label: format!("{}link{link} {class} g{a}-g{b}", self.label_prefix),
+            });
+        }
+        self.sink.record(TraceEvent::Span {
+            pid,
+            track: Track::Link,
+            name: format!("xfer g{a}-g{b}"),
+            start_us: start * SECS_TO_US,
+            dur_us: (end - start) * SECS_TO_US,
+            args: vec![
+                ("class".to_owned(), class.to_owned()),
+                ("bytes".to_owned(), bytes.to_string()),
+            ],
+        });
+    }
+
     fn stage_done(&mut self, stage: usize, start: f64, end: f64) {
         self.metrics.inc("stages");
         if !self.emit_stage_spans {
@@ -329,6 +361,69 @@ mod tests {
         assert!((snap.gauge("compute_secs") - compute).abs() < 1e-9);
         let memory: f64 = stats.per_gpu.iter().map(|g| g.memory_secs).sum();
         assert!((snap.gauge("copy_span_secs") - memory).abs() < 1e-9);
+    }
+
+    #[test]
+    fn link_hops_render_as_link_lane_spans() {
+        use micco_gpusim::LinkTopology;
+        let stream = WorkloadSpec::new(10, 64)
+            .with_repeat_rate(0.6)
+            .with_vectors(2)
+            .with_seed(7)
+            .generate();
+        let cfg = MachineConfig::mi100_like(4);
+        let recorder = Recorder::shared();
+        let obs = SpanObserver::new(recorder.clone()).with_metrics(recorder.metrics());
+        let mut machine = SimMachine::new(cfg)
+            .with_topology(LinkTopology::nvlink(4, 2))
+            .with_observer(Box::new(obs));
+        let mut i = 0usize;
+        for v in &stream.vectors {
+            for t in &v.tasks {
+                machine.execute(t, GpuId(i % 4)).unwrap();
+                i += 1;
+            }
+            machine.barrier();
+        }
+        let events = recorder.events();
+        let link_spans: Vec<_> = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Span {
+                        track: Track::Link,
+                        ..
+                    }
+                )
+            })
+            .collect();
+        assert!(
+            !link_spans.is_empty(),
+            "routed transfers must show on link lanes"
+        );
+        for e in &link_spans {
+            if let TraceEvent::Span { pid, args, .. } = e {
+                assert!(*pid >= LINK_PID_BASE);
+                assert!(args.iter().any(|(k, _)| k == "class"));
+            }
+        }
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::ProcessLabel { pid, label } if *pid >= LINK_PID_BASE && label.starts_with("link")
+        )));
+        // the link spans' total busy time matches the machine's accounting
+        let total_span: f64 = link_spans
+            .iter()
+            .map(|e| match e {
+                TraceEvent::Span { dur_us, .. } => dur_us / SECS_TO_US,
+                _ => 0.0,
+            })
+            .sum();
+        let total_busy: f64 = machine.link_busy_secs().iter().sum();
+        assert!((total_span - total_busy).abs() < 1e-9);
+        // device spans still reconcile with stats despite the extra lanes
+        reconcile_with_stats(&events, machine.stats(), 0, 1e-9).unwrap();
     }
 
     #[test]

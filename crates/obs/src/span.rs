@@ -16,6 +16,11 @@
 /// (deliberately far above any realistic device pid).
 pub const CONTROL_PID: u32 = 1_000_000;
 
+/// Base process id for per-link utilization lanes: link `i` renders as
+/// process `LINK_PID_BASE + i` (above [`CONTROL_PID`] so link lanes sort
+/// after devices and control in the viewer).
+pub const LINK_PID_BASE: u32 = 2_000_000;
+
 /// Which lane of a process a span or instant lands on. Maps to the
 /// Chrome-trace `tid` within the event's `pid`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -28,6 +33,8 @@ pub enum Track {
     Control,
     /// The whole-run span (only used on [`CONTROL_PID`]).
     Run,
+    /// Per-link transfer occupancy (only used on [`LINK_PID_BASE`]+ pids).
+    Link,
 }
 
 impl Track {
@@ -38,6 +45,7 @@ impl Track {
             Track::Copy => 1,
             Track::Control => 2,
             Track::Run => 3,
+            Track::Link => 4,
         }
     }
 
@@ -48,6 +56,7 @@ impl Track {
             Track::Copy => "copy",
             Track::Control => "control",
             Track::Run => "run",
+            Track::Link => "link",
         }
     }
 }
@@ -135,12 +144,17 @@ mod tests {
 
     #[test]
     fn tracks_map_to_distinct_tids() {
-        let tids: std::collections::HashSet<u32> =
-            [Track::Compute, Track::Copy, Track::Control, Track::Run]
-                .into_iter()
-                .map(Track::tid)
-                .collect();
-        assert_eq!(tids.len(), 4);
+        let tids: std::collections::HashSet<u32> = [
+            Track::Compute,
+            Track::Copy,
+            Track::Control,
+            Track::Run,
+            Track::Link,
+        ]
+        .into_iter()
+        .map(Track::tid)
+        .collect();
+        assert_eq!(tids.len(), 5);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Validate (and optionally regression-gate) a BENCH_planner.json report.
+"""Validate (and optionally regression-gate) a BENCH_*.json report.
 
-Stdlib-only structural check of the report `crates/bench/src/bin/
-bench_planner.rs` emits:
+Stdlib-only structural checks, dispatched on the report's `bench` field.
+
+`bench: "planner"` (from `crates/bench/src/bin/bench_planner.rs`):
 
   bench               "planner"
   version             1
@@ -16,9 +17,25 @@ bench_planner.rs` emits:
   speedup             ditto; when present must equal seed_secs/fast_secs
   peak_rss_bytes      positive integer, or null (non-Linux)
 
-With `--compare BASELINE.json` the current report additionally fails if
-fast throughput dropped more than 20% below the baseline (same tasks/gpus
-point required — comparing different scales is meaningless).
+`bench: "topology"` (from `crates/bench/src/bin/ext_topology.rs`):
+
+  bench               "topology"
+  version             1
+  tasks/gpus          positive integers
+  nvlink_gib_s        finite float > 0
+  points              non-empty list of swept points, each with a positive
+                      island size dividing gpus, a positive pcie_gib_s, a
+                      non-empty scheduler, mode "routed" or "aware", a
+                      positive finite elapsed_secs, and non-negative integer
+                      cross_island_transfers / cross_island_bytes; every
+                      routed point must have an aware twin and vice versa
+  aware_improvements  NON-EMPTY list (topology-aware placement must win
+                      somewhere) that exactly matches the points where
+                      aware_bytes < routed_bytes
+
+With `--compare BASELINE.json` the current (planner) report additionally
+fails if fast throughput dropped more than 20% below the baseline (same
+tasks/gpus point required — comparing different scales is meaningless).
 
 Usage:
   check_bench_schema.py REPORT.json [REPORT2.json ...]
@@ -58,11 +75,143 @@ def check_positive_number(report, path, key, nullable=False):
     return v
 
 
+def check_nonneg_int(obj, path, key, where=""):
+    v = obj.get(key, "MISSING")
+    require(
+        isinstance(v, int) and not isinstance(v, bool) and v >= 0,
+        path,
+        f"{where}'{key}' must be a non-negative integer, got {v!r}",
+    )
+    return v
+
+
+def check_topology(report, path):
+    require(report.get("version") == 1, path, "'version' must be 1")
+    for key in ("tasks", "gpus"):
+        v = report.get(key)
+        require(
+            isinstance(v, int) and not isinstance(v, bool) and v > 0,
+            path,
+            f"'{key}' must be a positive integer, got {v!r}",
+        )
+    check_positive_number(report, path, "nvlink_gib_s")
+    gpus = report["gpus"]
+
+    points = report.get("points")
+    require(
+        isinstance(points, list) and points,
+        path,
+        f"'points' must be a non-empty list, got {points!r}",
+    )
+    by_key = {}
+    for i, p in enumerate(points):
+        where = f"points[{i}]: "
+        require(isinstance(p, dict), path, f"{where}must be an object")
+        island = p.get("island")
+        require(
+            isinstance(island, int) and 0 < island <= gpus and gpus % island == 0,
+            path,
+            f"{where}'island' must divide gpus ({gpus}), got {island!r}",
+        )
+        pcie = p.get("pcie_gib_s")
+        require(
+            isinstance(pcie, (int, float))
+            and not isinstance(pcie, bool)
+            and math.isfinite(pcie)
+            and pcie > 0,
+            path,
+            f"{where}'pcie_gib_s' must be a positive finite number, got {pcie!r}",
+        )
+        sched = p.get("scheduler")
+        require(
+            isinstance(sched, str) and sched,
+            path,
+            f"{where}'scheduler' must be a non-empty string, got {sched!r}",
+        )
+        mode = p.get("mode")
+        require(
+            mode in ("routed", "aware"),
+            path,
+            f"{where}'mode' must be 'routed' or 'aware', got {mode!r}",
+        )
+        elapsed = p.get("elapsed_secs")
+        require(
+            isinstance(elapsed, (int, float))
+            and not isinstance(elapsed, bool)
+            and math.isfinite(elapsed)
+            and elapsed > 0,
+            path,
+            f"{where}'elapsed_secs' must be a positive finite number, got {elapsed!r}",
+        )
+        check_nonneg_int(p, path, "cross_island_transfers", where)
+        check_nonneg_int(p, path, "cross_island_bytes", where)
+        key = (island, pcie, sched, mode)
+        require(key not in by_key, path, f"{where}duplicate point {key!r}")
+        by_key[key] = p
+
+    # every routed point has an aware twin, and vice versa
+    expected_improved = set()
+    for (island, pcie, sched, mode), p in by_key.items():
+        twin_mode = "aware" if mode == "routed" else "routed"
+        twin = by_key.get((island, pcie, sched, twin_mode))
+        require(
+            twin is not None,
+            path,
+            f"point {(island, pcie, sched, mode)!r} has no '{twin_mode}' twin",
+        )
+        if mode == "routed" and twin["cross_island_bytes"] < p["cross_island_bytes"]:
+            expected_improved.add((island, pcie, sched))
+
+    improved = report.get("aware_improvements")
+    require(
+        isinstance(improved, list) and improved,
+        path,
+        "'aware_improvements' must be a non-empty list: topology-aware "
+        "placement must reduce inter-island bytes on at least one swept config",
+    )
+    got_improved = set()
+    for i, e in enumerate(improved):
+        where = f"aware_improvements[{i}]: "
+        require(isinstance(e, dict), path, f"{where}must be an object")
+        key = (e.get("island"), e.get("pcie_gib_s"), e.get("scheduler"))
+        routed = by_key.get((*key, "routed"))
+        aware = by_key.get((*key, "aware"))
+        require(
+            routed is not None and aware is not None,
+            path,
+            f"{where}references unswept config {key!r}",
+        )
+        require(
+            e.get("routed_bytes") == routed["cross_island_bytes"]
+            and e.get("aware_bytes") == aware["cross_island_bytes"],
+            path,
+            f"{where}byte counts disagree with the swept points",
+        )
+        require(
+            e["aware_bytes"] < e["routed_bytes"],
+            path,
+            f"{where}not an improvement: aware {e['aware_bytes']} >= "
+            f"routed {e['routed_bytes']}",
+        )
+        got_improved.add(key)
+    require(
+        got_improved == expected_improved,
+        path,
+        "'aware_improvements' does not match the points where aware beat "
+        f"routed (listed {sorted(got_improved)}, "
+        f"computed {sorted(expected_improved)})",
+    )
+    return report
+
+
 def check(path):
     with open(path) as f:
         report = json.load(f)
     require(isinstance(report, dict), path, "top level must be an object")
-    require(report.get("bench") == "planner", path, "'bench' must be 'planner'")
+    bench = report.get("bench")
+    if bench == "topology":
+        return check_topology(report, path)
+    require(bench == "planner", path, f"'bench' must be 'planner' or 'topology', got {bench!r}")
     require(report.get("version") == 1, path, "'version' must be 1")
 
     for key in ("tasks", "gpus", "stages"):
@@ -127,6 +276,11 @@ def check(path):
 
 
 def compare(current, cur_path, baseline, base_path):
+    require(
+        current.get("bench") == "planner" and baseline.get("bench") == "planner",
+        cur_path,
+        "--compare only applies to planner reports",
+    )
     for key in ("tasks", "gpus"):
         require(
             current[key] == baseline[key],

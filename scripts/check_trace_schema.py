@@ -15,12 +15,23 @@ Also enforces cross-event invariants: every pid referenced by a span or
 instant has a process_name record, every (pid, tid) lane a thread_name
 record, and every flow start has a matching finish.
 
-Usage: check_trace_schema.py TRACE.json [TRACE2.json ...]
+Link lanes (DESIGN.md §14): traces from topology-carrying machines add
+one Perfetto process per physical link at pid >= 2_000_000, labeled
+`link<id> <class> g<a>-g<b>` (class nv|pcie|ib, id == pid - 2_000_000).
+Any trace using such pids is validated against that shape; with
+`--expect-links` the file must additionally contain at least one link
+process with at least one occupancy span (cat "link").
+
+Usage: check_trace_schema.py [--expect-links] TRACE.json [TRACE2.json ...]
 Exit status is non-zero on the first malformed file.
 """
 
 import json
+import re
 import sys
+
+LINK_PID_BASE = 2_000_000
+LINK_LABEL = re.compile(r"^link(\d+) (nv|pcie|ib) g(\d+)-g(\d+)$")
 
 
 def fail(path, msg):
@@ -46,7 +57,7 @@ def check_common(ev, path, i, fields):
 NUM = (int, float)
 
 
-def check_file(path):
+def check_file(path, expect_links=False):
     with open(path, encoding="utf-8") as fh:
         try:
             doc = json.load(fh)
@@ -66,6 +77,7 @@ def check_file(path):
     procs, lanes = set(), set()
     used_pids, used_lanes = set(), set()
     flow_starts, flow_ends = {}, {}
+    link_procs, link_spans = set(), 0
 
     for i, ev in enumerate(events):
         require(isinstance(ev, dict), path, f"event {i} is not an object")
@@ -84,6 +96,22 @@ def check_file(path):
             )
             if ev["name"] == "process_name":
                 procs.add(ev["pid"])
+                if ev["pid"] >= LINK_PID_BASE:
+                    m = LINK_LABEL.match(ev["args"]["name"])
+                    require(
+                        m is not None,
+                        path,
+                        f"event {i}: link process {ev['pid']} label "
+                        f"{ev['args']['name']!r} does not match "
+                        "'link<id> <class> g<a>-g<b>'",
+                    )
+                    require(
+                        int(m.group(1)) == ev["pid"] - LINK_PID_BASE,
+                        path,
+                        f"event {i}: link label id {m.group(1)} disagrees with "
+                        f"pid {ev['pid']} (expected pid - {LINK_PID_BASE})",
+                    )
+                    link_procs.add(ev["pid"])
             else:
                 lanes.add((ev["pid"], ev["tid"]))
         elif ph == "X":
@@ -96,6 +124,14 @@ def check_file(path):
             require(ev["dur"] >= 0, path, f"event {i}: negative duration: {ev}")
             used_pids.add(ev["pid"])
             used_lanes.add((ev["pid"], ev["tid"]))
+            if ev["pid"] >= LINK_PID_BASE:
+                require(
+                    ev["cat"] == "link",
+                    path,
+                    f"event {i}: span on link pid {ev['pid']} must have "
+                    f"cat 'link', got {ev['cat']!r}",
+                )
+                link_spans += 1
         elif ph == "i":
             check_common(
                 ev, path, i, {"name": str, "cat": str, "s": str, "pid": int, "tid": int, "ts": NUM}
@@ -122,16 +158,29 @@ def check_file(path):
     for fid, i in flow_ends.items():
         require(fid in flow_starts, path, f"flow id {fid} (event {i}) finishes but never starts")
 
+    if expect_links:
+        require(
+            link_procs,
+            path,
+            f"--expect-links: no link process (pid >= {LINK_PID_BASE}) found",
+        )
+        require(link_spans > 0, path, "--expect-links: link lanes carry no spans")
+
     spans = sum(1 for e in events if e.get("ph") == "X")
-    print(f"{path}: ok — {len(events)} events, {spans} spans, {len(procs)} processes")
+    links = f", {len(link_procs)} links ({link_spans} spans)" if link_procs else ""
+    print(f"{path}: ok — {len(events)} events, {spans} spans, {len(procs)} processes{links}")
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    expect_links = "--expect-links" in args
+    if expect_links:
+        args = [a for a in args if a != "--expect-links"]
+    if not args:
         print(__doc__, file=sys.stderr)
         return 2
-    for path in argv[1:]:
-        check_file(path)
+    for path in args:
+        check_file(path, expect_links=expect_links)
     return 0
 
 

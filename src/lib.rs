@@ -102,17 +102,18 @@ pub use micco_workload as workload;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use micco_analysis::{
-        analyze_plan, analyze_plan_with, AnalysisConfig, Code as LintCode, Report as LintReport,
-        Severity as LintSeverity,
+        analyze_plan, analyze_plan_with, analyze_plan_with_topology, AnalysisConfig,
+        Code as LintCode, Report as LintReport, Severity as LintSeverity,
     };
     pub use micco_core::{
-        execute_plan, execute_plan_with, plan_schedule, plan_schedule_with, run_schedule,
-        run_schedule_with, Assignment, DriverOptions, GrouteScheduler, MiccoScheduler, PlanCache,
-        Planned, ReuseBounds, RoundRobinScheduler, SchedulePlan, ScheduleReport, Scheduler,
-        Session,
+        execute_plan, execute_plan_with, plan_schedule, plan_schedule_with,
+        plan_schedule_with_topology, run_schedule, run_schedule_with, run_schedule_with_topology,
+        Assignment, DriverOptions, GrouteScheduler, MiccoScheduler, PlanCache, Planned,
+        ReuseBounds, RoundRobinScheduler, SchedulePlan, ScheduleReport, Scheduler, Session,
     };
     pub use micco_gpusim::{
-        CostModel, DeviceView, MachineConfig, MachineState, ShadowMachine, SimMachine,
+        CostModel, DeviceView, LinkSpec, LinkTopology, MachineConfig, MachineState, ShadowMachine,
+        SimMachine,
     };
     pub use micco_obs::{MetricsRegistry, Recorder, SpanObserver, TraceSink};
     pub use micco_workload::{RepeatDistribution, TensorPairStream, Vector, WorkloadSpec};

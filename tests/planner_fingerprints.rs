@@ -7,10 +7,10 @@
 //! Regenerate (after an *intentional* change) with
 //! `MICCO_BLESS=1 cargo test --test planner_fingerprints`.
 
-use micco::gpusim::{EvictionPolicy, MachineConfig};
+use micco::gpusim::{EvictionPolicy, LinkTopology, MachineConfig};
 use micco::sched::{
-    plan_schedule_with, CodaScheduler, DriverOptions, GrouteScheduler, MiccoScheduler, ReuseBounds,
-    RoundRobinScheduler, Scheduler,
+    plan_schedule_with, plan_schedule_with_topology, CodaScheduler, DriverOptions, GrouteScheduler,
+    MiccoScheduler, ReuseBounds, RoundRobinScheduler, Scheduler,
 };
 use micco::workload::{RepeatDistribution, WorkloadSpec};
 
@@ -66,6 +66,32 @@ fn golden_fingerprint_corpus_is_pinned() {
                 "{} {} workload={:016x} digest={:016x}\n",
                 plan.scheduler,
                 label,
+                plan.fingerprint,
+                plan.digest()
+            ));
+        }
+    }
+
+    // Topology block, appended after the flat corpus so the 24 flat entries
+    // above stay byte-identical across the link-topology refactor. Two
+    // modes per scheduler on an 8-GPU / two-island machine: `routed` only
+    // charges per-hop link time (decisions must match flat bit-for-bit on
+    // reuse-oblivious schedulers), `aware` also lets the scheduler penalize
+    // cross-island fetches.
+    lines.push_str("# topology corpus: nvlink{gpus:8, island:4}, routed vs topology-aware\n");
+    let topo = LinkTopology::nvlink(8, 4);
+    let cfg8 = MachineConfig::mi100_like(8);
+    for (mode, opts) in [
+        ("routed", DriverOptions::default()),
+        ("aware", DriverOptions::default().with_topology_aware()),
+    ] {
+        for mut sched in schedulers() {
+            let plan = plan_schedule_with_topology(&mut *sched, &stream, &cfg8, opts, Some(&topo))
+                .expect("corpus workload plans cleanly under a topology");
+            lines.push_str(&format!(
+                "{} mi100x8-nvlink4-{} workload={:016x} digest={:016x}\n",
+                plan.scheduler,
+                mode,
                 plan.fingerprint,
                 plan.digest()
             ));
