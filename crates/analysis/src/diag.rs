@@ -109,12 +109,28 @@ pub enum Code {
     /// destination also held the operand: the expensive hop was avoidable
     /// without changing the placement.
     CrossIslandTransfer,
+    /// `MICCO-E006 trace-plan-divergence` — an executed trace is not a
+    /// linearization of its plan's dependence DAG: a planned task is
+    /// missing, duplicated or forged, ran on an unexplained device, a
+    /// transfer disagrees with the replayed source, or a
+    /// producer→consumer edge runs backwards in time.
+    TracePlanDivergence,
+    /// `MICCO-W205 unordered-conflicting-access` — a task's compute span
+    /// starts before its own input-transfer span ends: the kernel read
+    /// operands while the copy engine was still writing them.
+    UnorderedConflictingAccess,
+    /// `MICCO-W206 barrier-overlap` — spans attributed to adjacent stages
+    /// overlap on one device: the stage barrier did not separate them.
+    BarrierOverlap,
+    /// `MICCO-I302 steal-provenance` — informational chain of custody for
+    /// a stolen task: which worker gave it up, which worker ran it.
+    StealProvenance,
 }
 
 impl Code {
     /// Every code, in registry order (drives the SARIF rules array, so
     /// `ruleIndex` values stay stable).
-    pub const ALL: [Code; 12] = [
+    pub const ALL: [Code; 16] = [
         Code::CapacityExceeded,
         Code::AssignmentOutOfRange,
         Code::PlanStructureMismatch,
@@ -127,6 +143,10 @@ impl Code {
         Code::DeadTransfer,
         Code::DegradedPlacement,
         Code::CrossIslandTransfer,
+        Code::TracePlanDivergence,
+        Code::UnorderedConflictingAccess,
+        Code::BarrierOverlap,
+        Code::StealProvenance,
     ];
 
     /// Stable string id, e.g. `"MICCO-E001"`.
@@ -144,7 +164,18 @@ impl Code {
             Code::DeadTransfer => "MICCO-I301",
             Code::DegradedPlacement => "MICCO-W203",
             Code::CrossIslandTransfer => "MICCO-W204",
+            Code::TracePlanDivergence => "MICCO-E006",
+            Code::UnorderedConflictingAccess => "MICCO-W205",
+            Code::BarrierOverlap => "MICCO-W206",
+            Code::StealProvenance => "MICCO-I302",
         }
+    }
+
+    /// Look a code up by its stable string id (`"MICCO-E006"`). Returns
+    /// `None` for anything not in the registry — the CLI's
+    /// `--deny MICCO-Xnnn` gate uses this to reject typos loudly.
+    pub fn parse(id: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.id() == id)
     }
 
     /// Stable kebab-case rule name, e.g. `"capacity-exceeded"`.
@@ -162,6 +193,10 @@ impl Code {
             Code::DeadTransfer => "dead-transfer",
             Code::DegradedPlacement => "degraded-placement",
             Code::CrossIslandTransfer => "cross-island-transfer-on-reducible-path",
+            Code::TracePlanDivergence => "trace-plan-divergence",
+            Code::UnorderedConflictingAccess => "unordered-conflicting-access",
+            Code::BarrierOverlap => "barrier-overlap",
+            Code::StealProvenance => "steal-provenance",
         }
     }
 
@@ -172,14 +207,17 @@ impl Code {
             | Code::AssignmentOutOfRange
             | Code::PlanStructureMismatch
             | Code::FingerprintMismatch
-            | Code::DeviceCountMismatch => Severity::Error,
+            | Code::DeviceCountMismatch
+            | Code::TracePlanDivergence => Severity::Error,
             Code::ReuseBoundViolated
             | Code::BalanceCapExceeded
             | Code::EvictionThrash
             | Code::MissedReuse
             | Code::DegradedPlacement
-            | Code::CrossIslandTransfer => Severity::Warning,
-            Code::DeadTransfer => Severity::Info,
+            | Code::CrossIslandTransfer
+            | Code::UnorderedConflictingAccess
+            | Code::BarrierOverlap => Severity::Warning,
+            Code::DeadTransfer | Code::StealProvenance => Severity::Info,
         }
     }
 
@@ -218,6 +256,14 @@ impl Code {
             Code::CrossIslandTransfer => {
                 "a fetch crossed an island while a same-island device also held the operand"
             }
+            Code::TracePlanDivergence => {
+                "the executed trace is not a linearization of the plan's dependence DAG"
+            }
+            Code::UnorderedConflictingAccess => {
+                "a task's compute span starts before its input transfer span ends"
+            }
+            Code::BarrierOverlap => "spans from adjacent stages overlap on one device",
+            Code::StealProvenance => "chain of custody for a task run off its planned device",
         }
     }
 }
@@ -464,6 +510,15 @@ mod tests {
             assert_eq!(class, expected, "{}: id class vs severity", c.id());
             assert!(!c.slug().is_empty() && !c.summary().is_empty());
         }
+    }
+
+    #[test]
+    fn code_parse_roundtrips_the_registry() {
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.id()), Some(c));
+        }
+        assert_eq!(Code::parse("MICCO-E999"), None);
+        assert_eq!(Code::parse("trace-plan-divergence"), None, "ids only");
     }
 
     #[test]

@@ -45,10 +45,15 @@
 //! assert!(report.denies(Severity::Error));
 //! ```
 
+pub mod certify;
 pub mod diag;
 pub mod engine;
 mod render;
 
+pub use certify::{
+    certify_placements_with, certify_trace, certify_trace_with, plan_dag, CertifyConfig, PlanDag,
+    PlannedTransfer, TransferStrictness,
+};
 pub use diag::{Code, Diagnostic, Report, Severity};
 pub use engine::{
     analyze_placements, analyze_placements_with_topology, analyze_plan, analyze_plan_with,

@@ -1,6 +1,9 @@
 //! Subcommand implementations.
 
-use micco_analysis::{analyze_plan_with_topology, AnalysisConfig, Report, Severity};
+use micco_analysis::{
+    analyze_plan_with_topology, certify_trace_with, AnalysisConfig, CertifyConfig, Code, Report,
+    Severity, TransferStrictness,
+};
 use micco_cluster::{
     run_cluster_schedule, ClusterConfig, FlatClusterScheduler, HierarchicalScheduler,
 };
@@ -15,7 +18,7 @@ use micco_exec::{
     execute_assignments, execute_plan as execute_plan_real, ExecOptions, FaultPlan, TensorStore,
 };
 use micco_gpusim::{CostModel, LinkTopology, MachineConfig, SimMachine};
-use micco_obs::Recorder;
+use micco_obs::{parse_trace_text, Recorder};
 use micco_redstar::{al_rhopi, build_correlator, f0d2, f0d4, kk_pipi, nucleon_pipi, PresetScale};
 use micco_workload::{DataCharacteristics, RepeatDistribution, TensorPairStream, WorkloadSpec};
 
@@ -34,6 +37,8 @@ commands:
   run         synthetic run through the Session API, with optional telemetry
               (same options as synthetic); --trace-out FILE records spans
               and metrics and writes Perfetto-loadable JSON;
+              --trace-raw FILE writes the lossless micco-trace v1 text
+              (the format `certify` reads back);
               --topology FILE|SPEC routes transfers over typed links and
               --topology-aware lets the scheduler penalize far candidates
   redstar     run a Table VI correlator preset
@@ -53,6 +58,7 @@ commands:
               timeout:T[*N], lose:G@S, flake:G@S, comma-separated)
               --retry MAX[,DELAY_US] (per-task retry budget with backoff)
               --trace-out FILE (wall-clock Perfetto trace of the run)
+              --trace-raw FILE (lossless micco-trace v1 text)
   plan        decide a schedule without executing and write the plan IR
               --out FILE plus the synthetic options (workload + scheduler);
               --lint runs the static verifier on the freshly decided plan;
@@ -63,13 +69,21 @@ commands:
               --mem-mib N (shrink device memory) --thrash-window N
               --topology FILE|SPEC (adds the W204 cross-island route check)
               plus the workload options; exits non-zero when any finding
-              reaches the --deny threshold (default: error)
+              reaches the --deny threshold (default: error); --deny also
+              takes specific codes, comma-separated with levels
+              (e.g. --deny error,MICCO-W205)
+  certify     prove an executed trace is a linearization of its plan
+              --plan FILE --trace FILE (micco-trace v1 text as written
+              by --trace-raw) --transfers auto|strict|lenient --eps-us F
+              --topology FILE|SPEC (adds per-hop link-route checks)
+              plus the workload and --format/--deny options of lint
   execute     execute a previously written plan on a rebuilt workload
               --plan FILE --backend sim|real; sim replays on the simulator,
               real computes kernels (--batch N --tensor-size N --seed N
               must match the workload; --steal/--prefetch and
               --inject-faults/--retry as in exec); --trace-out FILE writes
-              Perfetto JSON for either backend
+              Perfetto JSON for either backend and --trace-raw FILE the
+              lossless micco-trace v1 text `certify` consumes
   replay      re-execute a plan several times and verify determinism
               --plan FILE --times N plus the workload options
   trace       run a workload and write a trace timeline
@@ -103,6 +117,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         Some("exec") => exec(args),
         Some("plan") => plan(args),
         Some("lint") => lint(args),
+        Some("certify") => certify(args),
         Some("execute") => execute(args),
         Some("replay") => replay(args),
         Some("trace") => trace(args),
@@ -221,9 +236,10 @@ fn parse_topology(args: &Args) -> Result<Option<LinkTopology>, String> {
         .map_err(|e| format!("--topology: {e}"))
 }
 
-/// Fresh recorder when `--trace-out FILE` was given, `None` otherwise.
+/// Fresh recorder when `--trace-out FILE` or `--trace-raw FILE` was
+/// given, `None` otherwise.
 fn trace_recorder(args: &Args) -> Option<std::sync::Arc<Recorder>> {
-    args.get("trace-out").map(|_| Recorder::shared())
+    (args.get("trace-out").is_some() || args.get("trace-raw").is_some()).then(Recorder::shared)
 }
 
 /// Write the recorder's timeline as Perfetto-loadable JSON to `path`.
@@ -233,6 +249,22 @@ fn write_perfetto(recorder: &Recorder, path: &str) -> Result<(), String> {
         "wrote {} trace event(s) to {path} (open in Perfetto / chrome://tracing)",
         recorder.len()
     );
+    Ok(())
+}
+
+/// Honour `--trace-out FILE` (Perfetto JSON) and `--trace-raw FILE`
+/// (lossless `micco-trace v1` text, the input format of `certify`).
+fn write_trace_files(recorder: &Recorder, args: &Args) -> Result<(), String> {
+    if let Some(path) = args.get("trace-out") {
+        write_perfetto(recorder, path)?;
+    }
+    if let Some(path) = args.get("trace-raw") {
+        std::fs::write(path, recorder.to_trace_text()).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "wrote {} trace event(s) to {path} (micco-trace v1 text)",
+            recorder.len()
+        );
+    }
     Ok(())
 }
 
@@ -259,7 +291,7 @@ fn run_session(args: &Args) -> Result<(), String> {
         println!("  Fig. 4 mappings: {hist}");
     }
     if let Some(r) = &recorder {
-        write_perfetto(r, &args.str_or("trace-out", "micco-trace.json"))?;
+        write_trace_files(r, args)?;
     }
     Ok(())
 }
@@ -651,7 +683,7 @@ fn exec(args: &Args) -> Result<(), String> {
     print_chaos(&faults, &out);
     println!("checksum: {}", out.checksum);
     if let Some(r) = &recorder {
-        write_perfetto(r, &args.str_or("trace-out", "micco-trace.json"))?;
+        write_trace_files(r, args)?;
     }
     Ok(())
 }
@@ -707,8 +739,11 @@ fn analysis_config(args: &Args) -> Result<AnalysisConfig, String> {
 }
 
 /// Print a report in the requested `--format` and apply the `--deny`
-/// severity gate (default: error). Returns `Err` — a non-zero exit — when
-/// any finding reaches the threshold.
+/// gate (default: error). The gate takes a comma-separated mix of
+/// severity levels (`error|warn|info`, the lowest one wins) and specific
+/// registry codes (`MICCO-W205`); anything else is rejected loudly.
+/// Returns `Err` — a non-zero exit — when any finding reaches the
+/// severity threshold or carries a denied code.
 fn emit_report(report: &Report, args: &Args, artifact: &str) -> Result<(), String> {
     match args.str_or("format", "text").as_str() {
         "text" => print!("{}", report.render_text()),
@@ -717,15 +752,43 @@ fn emit_report(report: &Report, args: &Args, artifact: &str) -> Result<(), Strin
         other => return Err(format!("unknown format '{other}' (text|json|sarif)")),
     }
     let deny = args.str_or("deny", "error");
-    let threshold = Severity::parse(&deny)
-        .ok_or_else(|| format!("unknown --deny level '{deny}' (error|warn|info)"))?;
-    if report.denies(threshold) {
+    let mut threshold: Option<Severity> = None;
+    let mut codes: Vec<Code> = Vec::new();
+    for part in deny.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        if let Some(sev) = Severity::parse(part) {
+            threshold = Some(threshold.map_or(sev, |t: Severity| t.min(sev)));
+        } else if let Some(code) = Code::parse(part) {
+            codes.push(code);
+        } else {
+            return Err(format!(
+                "unknown --deny value '{part}' (a severity error|warn|info or a code like MICCO-W205)"
+            ));
+        }
+    }
+    if threshold.is_none() && codes.is_empty() {
         return Err(format!(
-            "lint failed: {} error(s), {} warning(s), {} info(s) — findings at or above '{}' are denied",
+            "--deny '{deny}' names no severity level and no code"
+        ));
+    }
+    let mut reasons = Vec::new();
+    if let Some(t) = threshold {
+        if report.denies(t) {
+            reasons.push(format!("findings at or above '{}'", t.as_str()));
+        }
+    }
+    for code in codes {
+        let hits = report.with_code(code).len();
+        if hits > 0 {
+            reasons.push(format!("{hits} finding(s) carrying {}", code.id()));
+        }
+    }
+    if !reasons.is_empty() {
+        return Err(format!(
+            "lint failed: {} error(s), {} warning(s), {} info(s) — denied: {}",
             report.errors(),
             report.warnings(),
             report.infos(),
-            threshold.as_str()
+            reasons.join("; ")
         ));
     }
     Ok(())
@@ -755,6 +818,56 @@ fn lint(args: &Args) -> Result<(), String> {
         topology.as_ref(),
     );
     emit_report(&report, args, &path)
+}
+
+/// Parse the certifier tunables (`--eps-us`, `--transfers`).
+fn certify_config(args: &Args) -> Result<CertifyConfig, String> {
+    let defaults = CertifyConfig::default();
+    let transfers = match args.str_or("transfers", "auto").as_str() {
+        "auto" => TransferStrictness::Auto,
+        "strict" => TransferStrictness::Strict,
+        "lenient" => TransferStrictness::Lenient,
+        other => {
+            return Err(format!(
+                "unknown --transfers mode '{other}' (auto|strict|lenient)"
+            ))
+        }
+    };
+    Ok(CertifyConfig {
+        eps_us: args
+            .parse_or("eps-us", defaults.eps_us)
+            .map_err(|e| e.to_string())?,
+        transfers,
+        ..defaults
+    })
+}
+
+/// Prove an executed trace is a linearization of its plan: rebuild the
+/// dependence DAG by symbolic replay, ingest the `micco-trace v1` text
+/// from `--trace FILE`, and report every happens-before violation through
+/// the same `--format`/`--deny` pipeline as `lint`.
+fn certify(args: &Args) -> Result<(), String> {
+    let plan = load_plan(args)?;
+    let trace_path = args
+        .get("trace")
+        .ok_or_else(|| {
+            "certify needs --trace FILE (micco-trace v1 text, written by --trace-raw)".to_owned()
+        })?
+        .to_owned();
+    let text = std::fs::read_to_string(&trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+    let events = parse_trace_text(&text).map_err(|e| format!("{trace_path}: {e}"))?;
+    let stream = synthetic_stream(args)?;
+    let cfg = machine_with_gpus(args, &stream, plan.num_gpus)?;
+    let topology = parse_topology(args)?;
+    let report = certify_trace_with(
+        &plan,
+        &stream,
+        &cfg,
+        &certify_config(args)?,
+        topology.as_ref(),
+        &events,
+    );
+    emit_report(&report, args, &trace_path)
 }
 
 /// Read a plan written by [`plan`] from `--plan FILE`.
@@ -822,7 +935,7 @@ fn execute(args: &Args) -> Result<(), String> {
         other => return Err(format!("unknown backend '{other}' (sim|real)")),
     }
     if let Some(r) = &recorder {
-        write_perfetto(r, &args.str_or("trace-out", "micco-trace.json"))?;
+        write_trace_files(r, args)?;
     }
     Ok(())
 }
@@ -1145,6 +1258,17 @@ mod tests {
             plan_path.display()
         ))
         .is_err());
+        // --deny also takes specific codes, mixed with severity levels
+        run(&format!(
+            "lint {wl} --plan {} --deny error,MICCO-W101",
+            plan_path.display()
+        ))
+        .unwrap();
+        assert!(run(&format!(
+            "lint {wl} --plan {} --deny MICCO-X999",
+            plan_path.display()
+        ))
+        .is_err());
         assert!(run("lint").is_err());
         let _ = std::fs::remove_file(plan_path);
     }
@@ -1171,6 +1295,103 @@ mod tests {
         .unwrap_err();
         assert!(err.contains("lint failed"), "{err}");
         let _ = std::fs::remove_file(plan_path);
+    }
+
+    #[test]
+    fn certify_roundtrip_mutation_and_code_deny() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let plan_path = dir.join(format!("micco-cli-cert-plan-{pid}.txt"));
+        let trace_path = dir.join(format!("micco-cli-cert-trace-{pid}.txt"));
+        let bad_path = dir.join(format!("micco-cli-cert-bad-{pid}.txt"));
+        let (p, t, b) = (
+            plan_path.display(),
+            trace_path.display(),
+            bad_path.display(),
+        );
+        let wl = "--vector-size 4 --tensor-size 16 --batch 2 --vectors 2 --seed 3";
+        run(&format!("plan {wl} --gpus 2 --out {p}")).unwrap();
+        // sim backend: the lossless text trace certifies clean even under
+        // the strictest gates (every severity denied, strict transfers)
+        run(&format!("execute {wl} --plan {p} --trace-raw {t}")).unwrap();
+        for format in ["text", "json", "sarif"] {
+            run(&format!(
+                "certify {wl} --plan {p} --trace {t} --format {format} \
+                 --deny info --transfers strict"
+            ))
+            .unwrap();
+        }
+        // drop the first compute span: certification must fail with E006
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        let mut dropped = false;
+        let mutated: Vec<&str> = text
+            .lines()
+            .filter(|l| {
+                let is_compute = l.starts_with("span\t") && l.contains("\ttask ");
+                if is_compute && !dropped {
+                    dropped = true;
+                    return false;
+                }
+                true
+            })
+            .collect();
+        assert!(dropped, "trace has a compute span to drop");
+        std::fs::write(&bad_path, mutated.join("\n")).unwrap();
+        let err = run(&format!("certify {wl} --plan {p} --trace {b} --deny error")).unwrap_err();
+        assert!(err.contains("lint failed"), "{err}");
+        // the same violation is deniable by its specific code…
+        let err = run(&format!(
+            "certify {wl} --plan {p} --trace {b} --deny MICCO-E006"
+        ))
+        .unwrap_err();
+        assert!(err.contains("MICCO-E006"), "{err}");
+        // …while a code-only gate for a different code lets it through
+        run(&format!(
+            "certify {wl} --plan {p} --trace {b} --deny MICCO-W205"
+        ))
+        .unwrap();
+        // real backend wall-clock traces certify clean too
+        run(&format!(
+            "execute {wl} --plan {p} --backend real --trace-raw {t}"
+        ))
+        .unwrap();
+        run(&format!("certify {wl} --plan {p} --trace {t} --deny warn")).unwrap();
+        // bad inputs are rejected loudly
+        assert!(run("certify").is_err());
+        assert!(run(&format!("certify {wl} --plan {p}")).is_err());
+        assert!(run(&format!(
+            "certify {wl} --plan {p} --trace /nonexistent/t.txt"
+        ))
+        .is_err());
+        assert!(run(&format!(
+            "certify {wl} --plan {p} --trace {t} --deny MICCO-E999"
+        ))
+        .is_err());
+        assert!(run(&format!(
+            "certify {wl} --plan {p} --trace {t} --transfers bogus"
+        ))
+        .is_err());
+        assert!(run(&format!("certify {wl} --plan {p} --trace {t} --deny ,")).is_err());
+        for path in [&plan_path, &trace_path, &bad_path] {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    #[test]
+    fn trace_raw_writes_lossless_text() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let raw = dir.join(format!("micco-cli-raw-{pid}.txt"));
+        run(&format!(
+            "run --vector-size 4 --tensor-size 32 --vectors 2 --gpus 2 --trace-raw {}",
+            raw.display()
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&raw).unwrap();
+        assert!(text.starts_with(micco_obs::TRACE_TEXT_HEADER));
+        let events = parse_trace_text(&text).unwrap();
+        assert!(!events.is_empty(), "raw export round-trips");
+        let _ = std::fs::remove_file(raw);
     }
 
     #[test]

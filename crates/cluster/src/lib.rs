@@ -43,4 +43,4 @@ pub use plan::{
     execute_cluster_plan, plan_cluster_schedule, repair_cluster_plan, ClusterAssignment,
     ClusterError, ClusterPlan, ClusterPlanError, ClusterRepairError,
 };
-pub use trace::trace_cluster_plan;
+pub use trace::{certify_cluster_trace, trace_cluster_plan};

@@ -12,6 +12,7 @@
 
 use std::sync::Arc;
 
+use micco_analysis::{certify_placements_with, CertifyConfig, PlacedStage, Report};
 use micco_gpusim::{ExecStats, SimMachine};
 use micco_obs::{SpanObserver, TraceEvent, TraceSink, Track, CONTROL_PID, SECS_TO_US};
 use micco_workload::TensorPairStream;
@@ -93,6 +94,59 @@ pub fn trace_cluster_plan(
     Ok(per_node)
 }
 
+/// Certify a merged per-node trace (as produced by [`trace_cluster_plan`])
+/// against its [`ClusterPlan`]: each node's slice of the timeline — device
+/// pids `n × gpus_per_node …` — is checked as a linearization of that
+/// node's projected dependence DAG via
+/// [`micco_analysis::certify_placements_with`]. Findings from every node
+/// are merged into one [`Report`], each tagged with a `node` payload
+/// entry.
+///
+/// Node projections carry no reuse bounds and no link topology (inter-node
+/// traffic is the simulator's concern); the happens-before checks — span
+/// presence, device conformance, producer→consumer order, transfer
+/// multisets, barrier overlap — all apply per node.
+///
+/// # Errors
+///
+/// [`ClusterError::Plan`] when the plan does not validate against
+/// `stream`/`config`.
+pub fn certify_cluster_trace(
+    plan: &ClusterPlan,
+    stream: &TensorPairStream,
+    config: &ClusterConfig,
+    events: &[TraceEvent],
+) -> Result<Report, ClusterError> {
+    plan.validate_for(stream, config)?;
+    let mut merged = Report::new();
+    for n in 0..plan.num_nodes {
+        let stages: Vec<PlacedStage> = stream
+            .vectors
+            .iter()
+            .zip(&plan.stages)
+            .map(|(vector, stage)| PlacedStage {
+                bounds: None,
+                placements: vector
+                    .tasks
+                    .iter()
+                    .zip(stage)
+                    .filter(|(_, a)| a.node.0 == n)
+                    .map(|(t, a)| (t.clone(), a.gpu))
+                    .collect(),
+            })
+            .collect();
+        let ccfg = CertifyConfig {
+            pid_base: (n * plan.gpus_per_node) as u32,
+            ..CertifyConfig::default()
+        };
+        let report = certify_placements_with(&stages, &config.node, &ccfg, None, events);
+        for d in report.diagnostics {
+            merged.push(d.with("node", n));
+        }
+    }
+    Ok(merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +213,49 @@ mod tests {
         )));
         // the merged timeline exports cleanly
         assert!(recorder.to_perfetto_json().contains("traceEvents"));
+    }
+
+    #[test]
+    fn cluster_trace_certifies_clean_and_catches_mutation() {
+        let stream = stream();
+        let cfg = ClusterConfig::mi100_cluster(2, 2);
+        let mut hier = HierarchicalScheduler::new(2, 8, ReuseBounds::new(0, 2, 0));
+        let plan = plan_cluster_schedule(&mut hier, &stream, &cfg).unwrap();
+        let recorder = Recorder::shared();
+        trace_cluster_plan(&plan, &stream, &cfg, recorder.clone()).unwrap();
+        let events = recorder.events();
+
+        let report = certify_cluster_trace(&plan, &stream, &cfg, &events).unwrap();
+        assert_eq!(
+            report.errors() + report.warnings(),
+            0,
+            "clean cluster trace flagged:\n{}",
+            report.render_text()
+        );
+
+        // drop one compute span from node 1's slice of the timeline
+        let base = cfg.node.num_gpus as u32;
+        let mut mutated = events.clone();
+        let idx = mutated
+            .iter()
+            .position(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Span { pid, track: Track::Compute, name, .. }
+                        if *pid >= base && name.starts_with("task ")
+                )
+            })
+            .expect("node 1 ran tasks");
+        mutated.remove(idx);
+        let report = certify_cluster_trace(&plan, &stream, &cfg, &mutated).unwrap();
+        let hits = report.with_code(micco_analysis::Code::TracePlanDivergence);
+        assert!(!hits.is_empty(), "{}", report.render_text());
+        assert!(
+            hits.iter()
+                .all(|d| d.payload.iter().any(|(k, v)| k == "node" && v == "1")),
+            "finding must be tagged with the offending node:\n{}",
+            report.render_text()
+        );
     }
 
     #[test]

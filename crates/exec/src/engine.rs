@@ -509,13 +509,26 @@ impl Telemetry {
     }
 
     fn span(&self, pid: u32, track: Track, name: String, start_us: f64, dur_us: f64) {
+        self.span_with(pid, track, name, start_us, dur_us, Vec::new());
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn span_with(
+        &self,
+        pid: u32,
+        track: Track,
+        name: String,
+        start_us: f64,
+        dur_us: f64,
+        args: Vec<(String, String)>,
+    ) {
         self.sink.record(TraceEvent::Span {
             pid,
             track,
             name,
             start_us,
             dur_us,
-            args: Vec::new(),
+            args,
         });
     }
 
@@ -855,12 +868,15 @@ fn run_task_faulty(
         store.fetch(task.b.id);
         let ce = t.now_us();
         if ce > cs {
-            t.span(
+            // the `task` arg ties the transfer span to its consumer — the
+            // happens-before certifier's W205 check keys on it
+            t.span_with(
                 pid,
                 Track::Copy,
                 format!("fetch t{}/t{}", task.a.id.0, task.b.id.0),
                 cs,
                 ce - cs,
+                vec![("task".to_owned(), task.id.0.to_string())],
             );
         }
     }
@@ -972,6 +988,20 @@ fn run_stage_stealing(
         .iter()
         .map(|b| Mutex::new(b.iter().copied().collect()))
         .collect();
+    // queue-ordering events: one push per seeded task, so a trace reader
+    // can replay the deque history against the pops recorded below
+    if let Some(t) = fx.tele {
+        for (w, bucket) in buckets.iter().enumerate() {
+            for &i in bucket {
+                t.instant(
+                    w as u32,
+                    Track::Control,
+                    format!("queue push task {}", vector.tasks[i].id.0),
+                    Vec::new(),
+                );
+            }
+        }
+    }
     type StageDone = (Vec<(usize, Complex64)>, f64);
     let scoped = crossbeam::thread::scope(|scope| -> Result<Vec<StageDone>, ExecError> {
         let prefetcher = prefetch.then(|| {
@@ -1007,6 +1037,18 @@ fn run_stage_stealing(
                             if let Some(t) = fx.tele {
                                 t.steal_flow(victim, w, vector.tasks[i].id.0);
                             }
+                        }
+                        if let Some(t) = fx.tele {
+                            let args = match stolen_from {
+                                Some(v) => vec![("stolen_from".to_owned(), v.to_string())],
+                                None => Vec::new(),
+                            };
+                            t.instant(
+                                w as u32,
+                                Track::Control,
+                                format!("queue pop task {}", vector.tasks[i].id.0),
+                                args,
+                            );
                         }
                         let (tr, b) = run_task_faulty(store, vector, i, w, fx)?;
                         busy += b;

@@ -57,12 +57,14 @@ pub mod observer;
 pub mod perfetto;
 pub mod sink;
 pub mod span;
+pub mod textio;
 
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use observer::{SpanObserver, SECS_TO_US};
 pub use perfetto::{reconcile_with_stats, span_track_totals, to_perfetto_json};
 pub use sink::{NullSink, Recorder, TraceSink};
-pub use span::{FlowPoint, TraceEvent, Track, CONTROL_PID};
+pub use span::{FlowPoint, TraceEvent, Track, CONTROL_PID, LINK_PID_BASE};
+pub use textio::{parse_trace_text, write_trace_text, TraceTextError, TRACE_TEXT_HEADER};
 
 use micco_gpusim::{Event, Trace};
 

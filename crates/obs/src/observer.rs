@@ -38,6 +38,12 @@ pub struct SpanObserver {
     labeled: HashSet<u32>,
     next_flow: u64,
     emit_stage_spans: bool,
+    /// The task whose timed spans are currently being emitted, set by the
+    /// `kernel` hook and cleared at `task_done`. Staging-side hooks
+    /// (source charges, prefetch copies) fire *before* `kernel`, so only
+    /// the task's own destination copy span gets a `task` annotation —
+    /// the happens-before certifier keys on exactly that.
+    current: Option<(GpuId, TaskId)>,
 }
 
 impl SpanObserver {
@@ -52,6 +58,7 @@ impl SpanObserver {
             labeled: HashSet::new(),
             next_flow: 0,
             emit_stage_spans: true,
+            current: None,
         }
     }
 
@@ -146,7 +153,9 @@ impl ExecObserver for SpanObserver {
         let id = (u64::from(self.pid_base) << 32) | self.next_flow;
         self.next_flow += 1;
         let from_ts = self.now_us(src);
-        let to_ts = self.now_us(dst);
+        // per-device clocks drift within a stage, but a flow is a
+        // happens-before edge: the data cannot arrive before it was sent
+        let to_ts = self.now_us(dst).max(from_ts);
         self.sink.record(TraceEvent::Flow {
             id,
             name: format!("d2d t{}", tensor.0),
@@ -184,11 +193,13 @@ impl ExecObserver for SpanObserver {
         );
     }
 
-    fn kernel(&mut self, _gpu: GpuId, _task: TaskId, _secs: f64) {
+    fn kernel(&mut self, gpu: GpuId, task: TaskId, _secs: f64) {
         self.metrics.inc("kernels");
+        self.current = Some((gpu, task));
     }
 
     fn task_done(&mut self, _gpu: GpuId, _flops: u64, compute_secs: f64, mem_secs: f64) {
+        self.current = None;
         self.metrics.inc("tasks");
         self.metrics.add_gauge("compute_secs", compute_secs);
         self.metrics.add_gauge("memory_secs", mem_secs);
@@ -227,13 +238,17 @@ impl ExecObserver for SpanObserver {
     fn copy_timed(&mut self, gpu: GpuId, start: f64, end: f64) {
         self.ensure_labeled(gpu);
         self.metrics.add_gauge("copy_span_secs", end - start);
+        let args = match self.current {
+            Some((g, task)) if g == gpu => vec![("task".to_owned(), task.0.to_string())],
+            _ => Vec::new(),
+        };
         self.sink.record(TraceEvent::Span {
             pid: self.pid(gpu),
             track: Track::Copy,
             name: "copy".to_owned(),
             start_us: start * SECS_TO_US,
             dur_us: (end - start) * SECS_TO_US,
-            args: Vec::new(),
+            args,
         });
         self.bump(gpu, end * SECS_TO_US);
     }
@@ -273,6 +288,10 @@ impl ExecObserver for SpanObserver {
                 label: format!("{}link{link} {class} g{a}-g{b}", self.label_prefix),
             });
         }
+        // Hops for one routed transfer fire just before its `d2d` flow is
+        // recorded, so the id the *next* flow will take ties every hop
+        // span to the transfer that caused it.
+        let flow = (u64::from(self.pid_base) << 32) | self.next_flow;
         self.sink.record(TraceEvent::Span {
             pid,
             track: Track::Link,
@@ -282,6 +301,7 @@ impl ExecObserver for SpanObserver {
             args: vec![
                 ("class".to_owned(), class.to_owned()),
                 ("bytes".to_owned(), bytes.to_string()),
+                ("flow".to_owned(), flow.to_string()),
             ],
         });
     }

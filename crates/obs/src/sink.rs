@@ -82,6 +82,13 @@ impl Recorder {
     pub fn to_perfetto_json(&self) -> String {
         crate::perfetto::to_perfetto_json(&self.events())
     }
+
+    /// Render everything recorded so far in the lossless `micco-trace v1`
+    /// text format (see [`crate::textio::write_trace_text`]) — the
+    /// round-trippable input the certifier consumes.
+    pub fn to_trace_text(&self) -> String {
+        crate::textio::write_trace_text(&self.events())
+    }
 }
 
 impl TraceSink for Recorder {

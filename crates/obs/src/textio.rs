@@ -1,0 +1,501 @@
+//! Lossless machine-readable trace serialization.
+//!
+//! The Perfetto export ([`crate::perfetto::to_perfetto_json`]) is a
+//! *rendering*: it rounds timestamps for the viewer and flattens flow
+//! arrows into paired half-events. The certifier needs the opposite — a
+//! byte-faithful round trip of the [`TraceEvent`] log a run recorded, so
+//! a trace written by one process can be re-ingested by another without
+//! losing a single argument or a bit of timing.
+//!
+//! ## Format (`micco-trace v1`)
+//!
+//! One event per line, tab-separated fields, first field the event kind:
+//!
+//! ```text
+//! micco-trace v1
+//! label\t<pid>\t<label>
+//! span\t<pid>\t<tid>\t<name>\t<start_us>\t<dur_us>[\t<key>\t<value>]...
+//! instant\t<pid>\t<tid>\t<name>\t<ts_us>[\t<key>\t<value>]...
+//! flow\t<id>\t<name>\t<from_pid>\t<from_tid>\t<from_ts>\t<to_pid>\t<to_tid>\t<to_ts>
+//! ```
+//!
+//! Within a field, `\` escapes itself, tabs (`\t`) and newlines (`\n`),
+//! so names and argument values may contain anything. Floating-point
+//! fields use Rust's shortest round-trip `Display`, which `str::parse`
+//! recovers exactly — timestamps survive the trip bit-for-bit. Tracks are
+//! serialized as their [`Track::tid`] number.
+
+use crate::span::{FlowPoint, TraceEvent, Track};
+
+/// First line of every serialized trace.
+pub const TRACE_TEXT_HEADER: &str = "micco-trace v1";
+
+/// Why a trace text failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceTextError {
+    /// The first line is not [`TRACE_TEXT_HEADER`].
+    BadHeader,
+    /// A line's first field is not a known event kind.
+    UnknownKind {
+        /// 1-based line number.
+        line: usize,
+        /// The offending kind field.
+        kind: String,
+    },
+    /// A line has the wrong number of fields for its kind.
+    BadFieldCount {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+    },
+    /// A numeric field failed to parse.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The unparseable field.
+        field: String,
+    },
+    /// A track tid is outside the known range.
+    BadTrack {
+        /// 1-based line number.
+        line: usize,
+        /// The offending tid.
+        tid: u32,
+    },
+}
+
+impl std::fmt::Display for TraceTextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceTextError::BadHeader => {
+                write!(f, "missing `{TRACE_TEXT_HEADER}` header")
+            }
+            TraceTextError::UnknownKind { line, kind } => {
+                write!(f, "line {line}: unknown event kind `{kind}`")
+            }
+            TraceTextError::BadFieldCount { line, found } => {
+                write!(f, "line {line}: wrong field count ({found})")
+            }
+            TraceTextError::BadNumber { line, field } => {
+                write!(f, "line {line}: unparseable number `{field}`")
+            }
+            TraceTextError::BadTrack { line, tid } => {
+                write!(f, "line {line}: unknown track tid {tid}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceTextError {}
+
+fn esc(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Split an escaped line into unescaped fields (tabs separate fields;
+/// `\t` inside a field was escaped by [`esc`]).
+fn fields_of(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut escaped = false;
+    for c in line.chars() {
+        if escaped {
+            cur.push('\\');
+            cur.push(c);
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '\t' {
+            fields.push(unesc(&cur));
+            cur.clear();
+        } else {
+            cur.push(c);
+        }
+    }
+    if escaped {
+        cur.push('\\');
+    }
+    fields.push(unesc(&cur));
+    fields
+}
+
+fn track_of(tid: u32, line: usize) -> Result<Track, TraceTextError> {
+    match tid {
+        0 => Ok(Track::Compute),
+        1 => Ok(Track::Copy),
+        2 => Ok(Track::Control),
+        3 => Ok(Track::Run),
+        4 => Ok(Track::Link),
+        _ => Err(TraceTextError::BadTrack { line, tid }),
+    }
+}
+
+fn push_field(out: &mut String, field: &str) {
+    out.push('\t');
+    esc(field, out);
+}
+
+/// Serialize an event log into the `micco-trace v1` text format. The
+/// output round-trips exactly through [`parse_trace_text`].
+pub fn write_trace_text(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 48 + 16);
+    out.push_str(TRACE_TEXT_HEADER);
+    out.push('\n');
+    for e in events {
+        match e {
+            TraceEvent::ProcessLabel { pid, label } => {
+                out.push_str("label");
+                push_field(&mut out, &pid.to_string());
+                push_field(&mut out, label);
+            }
+            TraceEvent::Span {
+                pid,
+                track,
+                name,
+                start_us,
+                dur_us,
+                args,
+            } => {
+                out.push_str("span");
+                push_field(&mut out, &pid.to_string());
+                push_field(&mut out, &track.tid().to_string());
+                push_field(&mut out, name);
+                push_field(&mut out, &start_us.to_string());
+                push_field(&mut out, &dur_us.to_string());
+                for (k, v) in args {
+                    push_field(&mut out, k);
+                    push_field(&mut out, v);
+                }
+            }
+            TraceEvent::Instant {
+                pid,
+                track,
+                name,
+                ts_us,
+                args,
+            } => {
+                out.push_str("instant");
+                push_field(&mut out, &pid.to_string());
+                push_field(&mut out, &track.tid().to_string());
+                push_field(&mut out, name);
+                push_field(&mut out, &ts_us.to_string());
+                for (k, v) in args {
+                    push_field(&mut out, k);
+                    push_field(&mut out, v);
+                }
+            }
+            TraceEvent::Flow { id, name, from, to } => {
+                out.push_str("flow");
+                push_field(&mut out, &id.to_string());
+                push_field(&mut out, name);
+                for p in [from, to] {
+                    push_field(&mut out, &p.pid.to_string());
+                    push_field(&mut out, &p.track.tid().to_string());
+                    push_field(&mut out, &p.ts_us.to_string());
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn num<T: std::str::FromStr>(field: &str, line: usize) -> Result<T, TraceTextError> {
+    field.parse().map_err(|_| TraceTextError::BadNumber {
+        line,
+        field: field.to_owned(),
+    })
+}
+
+fn args_of(fields: &[String], line: usize) -> Result<Vec<(String, String)>, TraceTextError> {
+    if !fields.len().is_multiple_of(2) {
+        return Err(TraceTextError::BadFieldCount {
+            line,
+            found: fields.len(),
+        });
+    }
+    Ok(fields
+        .chunks_exact(2)
+        .map(|kv| (kv[0].clone(), kv[1].clone()))
+        .collect())
+}
+
+/// Parse a `micco-trace v1` document back into its event log.
+///
+/// # Errors
+///
+/// [`TraceTextError`] when the header is missing or any line is
+/// malformed; the error carries the 1-based line number.
+pub fn parse_trace_text(text: &str) -> Result<Vec<TraceEvent>, TraceTextError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim_end() == TRACE_TEXT_HEADER => {}
+        _ => return Err(TraceTextError::BadHeader),
+    }
+    let mut events = Vec::new();
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        if raw.is_empty() {
+            continue;
+        }
+        let f = fields_of(raw);
+        let bad_count = |found: usize| TraceTextError::BadFieldCount { line, found };
+        match f[0].as_str() {
+            "label" => {
+                if f.len() != 3 {
+                    return Err(bad_count(f.len()));
+                }
+                events.push(TraceEvent::ProcessLabel {
+                    pid: num(&f[1], line)?,
+                    label: f[2].clone(),
+                });
+            }
+            "span" => {
+                if f.len() < 6 {
+                    return Err(bad_count(f.len()));
+                }
+                events.push(TraceEvent::Span {
+                    pid: num(&f[1], line)?,
+                    track: track_of(num(&f[2], line)?, line)?,
+                    name: f[3].clone(),
+                    start_us: num(&f[4], line)?,
+                    dur_us: num(&f[5], line)?,
+                    args: args_of(&f[6..], line)?,
+                });
+            }
+            "instant" => {
+                if f.len() < 5 {
+                    return Err(bad_count(f.len()));
+                }
+                events.push(TraceEvent::Instant {
+                    pid: num(&f[1], line)?,
+                    track: track_of(num(&f[2], line)?, line)?,
+                    name: f[3].clone(),
+                    ts_us: num(&f[4], line)?,
+                    args: args_of(&f[5..], line)?,
+                });
+            }
+            "flow" => {
+                if f.len() != 9 {
+                    return Err(bad_count(f.len()));
+                }
+                events.push(TraceEvent::Flow {
+                    id: num(&f[1], line)?,
+                    name: f[2].clone(),
+                    from: FlowPoint {
+                        pid: num(&f[3], line)?,
+                        track: track_of(num(&f[4], line)?, line)?,
+                        ts_us: num(&f[5], line)?,
+                    },
+                    to: FlowPoint {
+                        pid: num(&f[6], line)?,
+                        track: track_of(num(&f[7], line)?, line)?,
+                        ts_us: num(&f[8], line)?,
+                    },
+                });
+            }
+            kind => {
+                return Err(TraceTextError::UnknownKind {
+                    line,
+                    kind: kind.to_owned(),
+                })
+            }
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::CONTROL_PID;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::ProcessLabel {
+                pid: 0,
+                label: "gpu0".into(),
+            },
+            TraceEvent::Span {
+                pid: 0,
+                track: Track::Compute,
+                name: "task 3".into(),
+                start_us: 0.1234567890123,
+                dur_us: 17.25,
+                args: vec![("flops".into(), "1024".into())],
+            },
+            TraceEvent::Instant {
+                pid: 1,
+                track: Track::Copy,
+                name: "evict t7".into(),
+                ts_us: 2.5e-7,
+                args: vec![
+                    ("bytes".into(), "65536".into()),
+                    ("writeback".into(), "true".into()),
+                ],
+            },
+            TraceEvent::Flow {
+                id: (7u64 << 32) | 3,
+                name: "d2d t9".into(),
+                from: FlowPoint {
+                    pid: 0,
+                    track: Track::Copy,
+                    ts_us: 1.0,
+                },
+                to: FlowPoint {
+                    pid: 1,
+                    track: Track::Copy,
+                    ts_us: 1.0000000001,
+                },
+            },
+            TraceEvent::Span {
+                pid: CONTROL_PID,
+                track: Track::Run,
+                name: "run micco(0,2,0)".into(),
+                start_us: 0.0,
+                dur_us: 99.0,
+                args: Vec::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_exactly() {
+        let events = sample();
+        let text = write_trace_text(&events);
+        assert!(text.starts_with(TRACE_TEXT_HEADER));
+        let back = parse_trace_text(&text).expect("parses");
+        assert_eq!(back, events);
+        // serialize → parse → serialize is a fixpoint
+        assert_eq!(write_trace_text(&back), text);
+    }
+
+    #[test]
+    fn hostile_names_and_args_survive() {
+        let events = vec![TraceEvent::Span {
+            pid: 3,
+            track: Track::Link,
+            name: "tab\there\nand newline \\ backslash".into(),
+            start_us: -0.0,
+            dur_us: f64::MAX,
+            args: vec![("k\te\ny".into(), "v\\al\tue".into())],
+        }];
+        let text = write_trace_text(&events);
+        assert_eq!(parse_trace_text(&text).expect("parses"), events);
+    }
+
+    #[test]
+    fn float_precision_is_lossless() {
+        let ts = [
+            1.0 / 3.0 * 1e6,
+            f64::MIN_POSITIVE,
+            123456789.000001,
+            0.1 + 0.2,
+        ];
+        for t in ts {
+            let events = vec![TraceEvent::Instant {
+                pid: 0,
+                track: Track::Control,
+                name: "x".into(),
+                ts_us: t,
+                args: Vec::new(),
+            }];
+            let back = parse_trace_text(&write_trace_text(&events)).expect("parses");
+            match &back[0] {
+                TraceEvent::Instant { ts_us, .. } => {
+                    assert_eq!(ts_us.to_bits(), t.to_bits(), "{t} not bit-exact")
+                }
+                other => panic!("wrong variant {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn typed_errors_carry_line_numbers() {
+        assert_eq!(
+            parse_trace_text("not a trace\n"),
+            Err(TraceTextError::BadHeader)
+        );
+        let bad_kind = format!("{TRACE_TEXT_HEADER}\nbogus\t1\t2\n");
+        assert_eq!(
+            parse_trace_text(&bad_kind),
+            Err(TraceTextError::UnknownKind {
+                line: 2,
+                kind: "bogus".into()
+            })
+        );
+        let bad_count = format!("{TRACE_TEXT_HEADER}\nlabel\t1\n");
+        assert_eq!(
+            parse_trace_text(&bad_count),
+            Err(TraceTextError::BadFieldCount { line: 2, found: 2 })
+        );
+        let bad_num = format!("{TRACE_TEXT_HEADER}\nlabel\tx\tgpu0\n");
+        assert!(matches!(
+            parse_trace_text(&bad_num),
+            Err(TraceTextError::BadNumber { line: 2, .. })
+        ));
+        let bad_track = format!("{TRACE_TEXT_HEADER}\ninstant\t0\t9\tx\t0\n");
+        assert_eq!(
+            parse_trace_text(&bad_track),
+            Err(TraceTextError::BadTrack { line: 2, tid: 9 })
+        );
+        // odd arg tail
+        let odd_args = format!("{TRACE_TEXT_HEADER}\ninstant\t0\t2\tx\t0\tkey\n");
+        assert!(matches!(
+            parse_trace_text(&odd_args),
+            Err(TraceTextError::BadFieldCount { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let text = write_trace_text(&[]);
+        assert_eq!(parse_trace_text(&text), Ok(Vec::new()));
+        // trailing blank lines are tolerated
+        let padded = format!("{text}\n\n");
+        assert_eq!(parse_trace_text(&padded), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn recorder_convenience_exports_text() {
+        let r = crate::sink::Recorder::new();
+        crate::sink::TraceSink::record(
+            &r,
+            TraceEvent::ProcessLabel {
+                pid: 2,
+                label: "gpu2".into(),
+            },
+        );
+        let text = r.to_trace_text();
+        let back = parse_trace_text(&text).expect("parses");
+        assert_eq!(back.len(), 1);
+    }
+}

@@ -13,7 +13,9 @@ where every event is one of
 
 Also enforces cross-event invariants: every pid referenced by a span or
 instant has a process_name record, every (pid, tid) lane a thread_name
-record, and every flow start has a matching finish.
+record, and every flow id has exactly one start half and exactly one
+finish half (duplicates are rejected) whose finish timestamp is never
+before its start timestamp.
 
 Link lanes (DESIGN.md §14): traces from topology-carrying machines add
 one Perfetto process per physical link at pid >= 2_000_000, labeled
@@ -140,12 +142,24 @@ def check_file(path, expect_links=False):
             used_lanes.add((ev["pid"], ev["tid"]))
         elif ph == "s":
             check_common(ev, path, i, {"name": str, "id": int, "pid": int, "tid": int, "ts": NUM})
-            flow_starts[ev["id"]] = i
+            require(
+                ev["id"] not in flow_starts,
+                path,
+                f"flow id {ev['id']} (event {i}) has more than one start half "
+                f"(first at event {flow_starts.get(ev['id'], (None,))[0]})",
+            )
+            flow_starts[ev["id"]] = (i, ev["ts"])
         elif ph == "f":
             check_common(
                 ev, path, i, {"name": str, "id": int, "bp": str, "pid": int, "tid": int, "ts": NUM}
             )
-            flow_ends[ev["id"]] = i
+            require(
+                ev["id"] not in flow_ends,
+                path,
+                f"flow id {ev['id']} (event {i}) has more than one finish half "
+                f"(first at event {flow_ends.get(ev['id'], (None,))[0]})",
+            )
+            flow_ends[ev["id"]] = (i, ev["ts"])
         else:
             fail(path, f"event {i}: unknown phase {ph!r}: {ev}")
 
@@ -153,9 +167,16 @@ def check_file(path, expect_links=False):
         require(pid in procs, path, f"pid {pid} has spans but no process_name metadata")
     for lane in used_lanes:
         require(lane in lanes, path, f"lane {lane} has events but no thread_name metadata")
-    for fid, i in flow_starts.items():
+    for fid, (i, start_ts) in flow_starts.items():
         require(fid in flow_ends, path, f"flow id {fid} (event {i}) starts but never finishes")
-    for fid, i in flow_ends.items():
+        j, end_ts = flow_ends[fid]
+        require(
+            end_ts >= start_ts,
+            path,
+            f"flow id {fid} finishes at ts {end_ts} (event {j}) before it "
+            f"starts at ts {start_ts} (event {i})",
+        )
+    for fid, (i, _) in flow_ends.items():
         require(fid in flow_starts, path, f"flow id {fid} (event {i}) finishes but never starts")
 
     if expect_links:

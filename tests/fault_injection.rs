@@ -12,9 +12,10 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 
-use micco::analysis::{analyze_plan, Code};
+use micco::analysis::{analyze_plan, certify_trace, Code};
 use micco::exec::{execute_assignments, ExecOptions, FaultPlan, TensorShape, TensorStore};
 use micco::gpusim::{GpuId, MachineConfig};
+use micco::obs::Recorder;
 use micco::sched::{
     plan_schedule, repair_plan, run_schedule, CodaScheduler, GrouteScheduler, MiccoScheduler,
     ReuseBounds, RoundRobinScheduler, Scheduler,
@@ -157,6 +158,53 @@ proptest! {
         let lint = analyze_plan(&repaired, &stream, &cfg);
         prop_assert_eq!(lint.errors(), 0, "repair introduced lint errors");
         prop_assert!(lint.has(Code::DegradedPlacement), "repaired plan must carry W203");
+
+        // the repaired plan also *executes* on the survivors, and its
+        // trace certifies as a linearization of the repaired plan
+        let recorder = Recorder::shared();
+        let opts = ExecOptions::default().with_trace(recorder.clone());
+        micco::exec::execute_plan(&stream, &repaired, &store(wl_seed), &opts)
+            .expect("repaired plan executes");
+        let report = certify_trace(&repaired, &stream, &cfg, &recorder.events());
+        prop_assert_eq!(
+            report.errors() + report.warnings(), 0,
+            "repaired-plan trace flagged:\n{}", report.render_text()
+        );
+    }
+
+    /// Happens-before under chaos: ANY fault-injected run that leaves a
+    /// survivor emits a trace the certifier proves is a linearization of
+    /// the plan it executed — retries, drained queues, and steals must
+    /// show up as explained provenance (I302), never as divergence.
+    #[test]
+    fn chaotic_traces_certify_clean_against_their_plan(
+        wl_seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        workers in 2usize..4,
+        which in 0usize..4,
+    ) {
+        let stream = stream(wl_seed);
+        let cfg = MachineConfig::mi100_like(workers);
+        let mut sched = scheduler(which);
+        let plan = plan_schedule(sched.as_mut(), &stream, &cfg).expect("fits");
+        let faults = FaultPlan::random(
+            fault_seed, workers, stream.vectors.len(), stream.total_tasks() as u64,
+        );
+        let recorder = Recorder::shared();
+        let opts = chaos_opts().with_faults(faults).with_trace(recorder.clone());
+        let out = micco::exec::execute_plan(&stream, &plan, &store(wl_seed), &opts)
+            .expect("recovers with >=1 survivor");
+        let report = certify_trace(&plan, &stream, &cfg, &recorder.events());
+        prop_assert_eq!(
+            report.errors() + report.warnings(), 0,
+            "chaotic trace flagged:\n{}", report.render_text()
+        );
+        if out.steals > 0 {
+            prop_assert!(
+                report.has(Code::StealProvenance),
+                "{} steal(s) left no provenance", out.steals
+            );
+        }
     }
 }
 
