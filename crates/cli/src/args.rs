@@ -7,6 +7,8 @@ use std::collections::HashMap;
 pub struct Args {
     /// First positional token (the subcommand).
     pub command: Option<String>,
+    /// Second positional token (a sub-action, e.g. `store stats`).
+    pub subaction: Option<String>,
     options: HashMap<String, String>,
     flags: Vec<String>,
 }
@@ -49,7 +51,8 @@ impl Args {
     ///
     /// Tokens starting with `--` become options when followed by a
     /// non-`--` token, otherwise flags. The first bare token is the
-    /// subcommand; further bare tokens are errors.
+    /// subcommand, the second is its sub-action (commands that take none
+    /// reject it at dispatch); further bare tokens are errors.
     pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Args, ArgError> {
         let mut args = Args::default();
         let mut it = tokens.into_iter().peekable();
@@ -64,6 +67,8 @@ impl Args {
                 }
             } else if args.command.is_none() {
                 args.command = Some(tok);
+            } else if args.subaction.is_none() {
+                args.subaction = Some(tok);
             } else {
                 return Err(ArgError::UnexpectedPositional(tok));
             }
@@ -172,9 +177,13 @@ mod tests {
     }
 
     #[test]
-    fn unexpected_positional_rejected() {
+    fn subaction_accepted_third_positional_rejected() {
+        let a = parse("store stats --dir x").unwrap();
+        assert_eq!(a.command.as_deref(), Some("store"));
+        assert_eq!(a.subaction.as_deref(), Some("stats"));
+        assert_eq!(a.get("dir"), Some("x"));
         assert!(matches!(
-            parse("run stray"),
+            parse("store stats stray"),
             Err(ArgError::UnexpectedPositional(_))
         ));
     }

@@ -11,8 +11,8 @@ use micco_core::model::RegressionBounds;
 use micco_core::tuner::{build_training_set, TrainingConfig};
 use micco_core::{
     execute_plan, plan_schedule_with_topology, run_schedule, run_schedule_with, DriverOptions,
-    GrouteScheduler, MiccoScheduler, ReuseBounds, RoundRobinScheduler, SchedulePlan,
-    ScheduleReport, Scheduler, Session,
+    DurablePlanCache, GrouteScheduler, MiccoScheduler, PlanCache, ReuseBounds, RoundRobinScheduler,
+    SchedulePlan, ScheduleReport, Scheduler, Session,
 };
 use micco_exec::{
     execute_assignments, execute_plan as execute_plan_real, ExecOptions, FaultPlan, TensorStore,
@@ -20,6 +20,7 @@ use micco_exec::{
 use micco_gpusim::{CostModel, LinkTopology, MachineConfig, SimMachine};
 use micco_obs::{parse_trace_text, Recorder};
 use micco_redstar::{al_rhopi, build_correlator, f0d2, f0d4, kk_pipi, nucleon_pipi, PresetScale};
+use micco_store::PlanStore;
 use micco_workload::{DataCharacteristics, RepeatDistribution, TensorPairStream, WorkloadSpec};
 
 use crate::args::Args;
@@ -40,7 +41,10 @@ commands:
               --trace-raw FILE writes the lossless micco-trace v1 text
               (the format `certify` reads back);
               --topology FILE|SPEC routes transfers over typed links and
-              --topology-aware lets the scheduler penalize far candidates
+              --topology-aware lets the scheduler penalize far candidates;
+              --store DIR decides through a durable write-ahead-logged
+              plan cache — a warm restart replays the plan from the log
+              without invoking the scheduler
   redstar     run a Table VI correlator preset
               --preset al_rhopi|f0d2|f0d4|nucleon_pipi|kk_pipi --scale paper|ci --gpus N
   sweep       compare MICCO vs Groute across one parameter
@@ -63,7 +67,9 @@ commands:
               --out FILE plus the synthetic options (workload + scheduler);
               --lint runs the static verifier on the freshly decided plan;
               --topology FILE|SPEC plans against routed transfer costs and
-              --topology-aware steers placement off cross-island fetches
+              --topology-aware steers placement off cross-island fetches;
+              --store DIR write-through-appends the decided plan to a
+              crash-safe log (re-running the same request serves it back)
   lint        statically verify a plan against the rebuilt workload
               --plan FILE --format text|json|sarif --deny error|warn|info
               --mem-mib N (shrink device memory) --thrash-window N
@@ -83,15 +89,27 @@ commands:
               must match the workload; --steal/--prefetch and
               --inject-faults/--retry as in exec); --trace-out FILE writes
               Perfetto JSON for either backend and --trace-raw FILE the
-              lossless micco-trace v1 text `certify` consumes
+              lossless micco-trace v1 text `certify` consumes; without
+              --plan, --store DIR fetches the plan from a durable store
+              (key rebuilt from the workload/scheduler/topology flags)
   replay      re-execute a plan several times and verify determinism
-              --plan FILE --times N plus the workload options
+              --plan FILE --times N plus the workload options; --store DIR
+              fetches the plan from a durable store when --plan is absent
   trace       run a workload and write a trace timeline
               --out FILE plus the synthetic options; without --plan the
               legacy chrome://tracing array is written, with --plan FILE
               the plan is replayed through the Session API and a Perfetto
               JSON (spans + metrics) is written instead; --topology adds
               per-link utilization lanes to the Perfetto export
+  store       inspect and maintain a durable plan store
+              store stats --dir DIR    recover + print shape and counters
+              store verify --dir DIR   read-only integrity scan: reports
+                                       torn tails, corrupt regions, missing
+                                       fragments and orphans WITHOUT
+                                       repairing; --strict exits non-zero
+                                       on any finding
+              store compact --dir DIR  fold live records into a snapshot
+                                       fragment and delete dead files
   info        print the default cost model and platform assumptions
 
 common synthetic options also accept --save FILE / --load FILE to persist
@@ -106,6 +124,12 @@ with BW in GiB/s and LAT in µs; island/node/link tiers are optional
 
 /// Dispatch a parsed command line.
 pub fn dispatch(args: &Args) -> Result<(), String> {
+    // only `store` takes a sub-action (`store stats` etc.)
+    if let Some(sub) = &args.subaction {
+        if args.command.as_deref() != Some("store") {
+            return Err(format!("unexpected argument '{sub}'"));
+        }
+    }
     match args.command.as_deref() {
         Some("synthetic") => synthetic(args),
         Some("run") => run_session(args),
@@ -121,6 +145,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         Some("execute") => execute(args),
         Some("replay") => replay(args),
         Some("trace") => trace(args),
+        Some("store") => store_cmd(args),
         Some("info") => {
             info();
             Ok(())
@@ -215,6 +240,147 @@ fn driver_options(args: &Args) -> Result<DriverOptions, String> {
     Ok(opts)
 }
 
+/// The canonical options a plan is *keyed* with in a durable store —
+/// exactly what `plan` decides with. Execution-side flags (`--overlap`,
+/// `--prefetch-tasks`) do not change the decided IR, so they stay out of
+/// the key: `plan --store` and a later `replay --store` agree on the key
+/// from the workload/scheduler/topology flags alone.
+fn plan_options(args: &Args) -> DriverOptions {
+    let mut opts = DriverOptions::default().with_measure_overhead();
+    if args.flag("topology-aware") {
+        opts = opts.with_topology_aware();
+    }
+    opts
+}
+
+/// Open the durable plan cache at `dir`, surfacing anything recovery had
+/// to repair or quarantine on the way in.
+fn open_store(dir: &str) -> Result<DurablePlanCache, String> {
+    let cache = DurablePlanCache::open(dir).map_err(|e| e.to_string())?;
+    let rec = cache.recovery();
+    if !rec.is_clean() {
+        println!("store recovery: {rec}");
+    }
+    Ok(cache)
+}
+
+/// Decide — or durably re-serve — the plan for the synthetic request
+/// through the store at `dir`, reporting where it came from.
+fn plan_via_store(
+    args: &Args,
+    dir: &str,
+    stream: &TensorPairStream,
+    cfg: &MachineConfig,
+    topology: Option<&LinkTopology>,
+) -> Result<SchedulePlan, String> {
+    let mut cache = open_store(dir)?;
+    let mut sched = build_scheduler(args)?;
+    let plan = cache
+        .plan_for_with_topology(sched.as_mut(), stream, cfg, plan_options(args), topology)
+        .map_err(|e| e.to_string())?
+        .clone();
+    let source = if cache.log_hits() > 0 {
+        "replayed from log (scheduler not invoked)"
+    } else {
+        "freshly decided, appended to log"
+    };
+    println!(
+        "store {dir}: {source} | {} live plan(s), {} rejected",
+        cache.store().len(),
+        cache.rejected(),
+    );
+    Ok(plan)
+}
+
+/// Fetch a previously decided plan from the store at `dir` without ever
+/// planning: the key is rebuilt from the same flags `plan --store` keyed
+/// it under, so the command line must describe the same request.
+fn fetch_plan_from_store(
+    args: &Args,
+    dir: &str,
+    stream: &TensorPairStream,
+) -> Result<SchedulePlan, String> {
+    let cfg = machine_for(args, stream)?;
+    let topology = parse_topology(args)?;
+    let sched = build_scheduler(args)?;
+    let key = PlanCache::key_for_with_topology(
+        sched.as_ref(),
+        stream,
+        &cfg,
+        plan_options(args),
+        topology.as_ref(),
+    );
+    let mut cache = open_store(dir)?;
+    let plan = cache.lookup(key).cloned().ok_or_else(|| {
+        format!(
+            "no plan for this request in {dir} ({} live plan(s), {} rejected) — \
+             decide one first: micco plan --store {dir} <same workload flags>",
+            cache.store().len(),
+            cache.rejected(),
+        )
+    })?;
+    println!("store {dir}: plan replayed from log (scheduler not invoked)");
+    Ok(plan)
+}
+
+/// `micco store <stats|verify|compact> --dir DIR`: inspect and maintain
+/// a durable plan store outside any planning command.
+fn store_cmd(args: &Args) -> Result<(), String> {
+    let dir = args
+        .get("dir")
+        .or_else(|| args.get("store"))
+        .ok_or_else(|| "store needs --dir DIR (or --store DIR)".to_owned())?;
+    match args.subaction.as_deref() {
+        None | Some("stats") => {
+            let store = PlanStore::open(dir).map_err(|e| e.to_string())?;
+            let s = store.stats();
+            println!(
+                "store {dir}: {} live record(s) in {} fragment(s), {} bytes on disk",
+                s.live_records, s.fragments, s.disk_bytes
+            );
+            match s.snapshot {
+                Some(seq) => println!("  snapshot watermark: seq {seq}"),
+                None => println!("  snapshot watermark: none"),
+            }
+            println!("  next fragment seq: {}", s.next_seq);
+            println!("  recovery: {}", s.recovery);
+            Ok(())
+        }
+        Some("verify") => {
+            let report = PlanStore::verify_dir(dir).map_err(|e| e.to_string())?;
+            println!("{report}");
+            if report.is_clean() {
+                println!(
+                    "store {dir}: clean ({} record(s) verified)",
+                    report.records()
+                );
+                Ok(())
+            } else if args.flag("strict") {
+                Err(format!("store {dir}: integrity findings (see above)"))
+            } else {
+                println!(
+                    "store {dir}: integrity findings — reopening recovers the clean \
+                     prefix; `micco store compact --dir {dir}` then drops the damage"
+                );
+                Ok(())
+            }
+        }
+        Some("compact") => {
+            let mut store = PlanStore::open(dir).map_err(|e| e.to_string())?;
+            let r = store.compact().map_err(|e| e.to_string())?;
+            println!(
+                "store {dir}: folded {} fragment(s) into a snapshot of {} live record(s); \
+                 removed {} file(s), reclaimed {} bytes",
+                r.folded_fragments, r.live_records, r.removed_files, r.reclaimed_bytes
+            );
+            Ok(())
+        }
+        Some(other) => Err(format!(
+            "unknown store action '{other}' (stats|verify|compact)"
+        )),
+    }
+}
+
 /// Parse `--topology FILE|SPEC` into a link topology. The value is read
 /// as a file when one exists at that path, otherwise parsed directly as a
 /// `nvlink{…}` spec; the literal `flat` (or an absent flag) means uniform
@@ -273,18 +439,31 @@ fn write_trace_files(recorder: &Recorder, args: &Args) -> Result<(), String> {
 fn run_session(args: &Args) -> Result<(), String> {
     let stream = synthetic_stream(args)?;
     let cfg = machine_for(args, &stream)?;
-    let mut sched = build_scheduler(args)?;
+    let topology = parse_topology(args)?;
+    // with --store, the decision step goes through the durable cache (a
+    // warm restart replays the logged plan without invoking the
+    // scheduler); the session then executes the plan either way
+    let stored_plan = match args.get("store") {
+        Some(dir) => Some(plan_via_store(args, dir, &stream, &cfg, topology.as_ref())?),
+        None => None,
+    };
     let mut session = Session::new(cfg).with_options(driver_options(args)?);
-    if let Some(topo) = parse_topology(args)? {
+    if let Some(topo) = topology {
         session = session.with_topology(topo);
     }
     let recorder = trace_recorder(args);
     if let Some(r) = &recorder {
         session = session.trace(r.clone()).metrics(r.metrics());
     }
-    let report = session
-        .run(sched.as_mut(), &stream)
-        .map_err(|e| e.to_string())?;
+    let report = match &stored_plan {
+        Some(plan) => session.replay(plan, &stream).map_err(|e| e.to_string())?,
+        None => {
+            let mut sched = build_scheduler(args)?;
+            session
+                .run(sched.as_mut(), &stream)
+                .map_err(|e| e.to_string())?
+        }
+    };
     print_report(&report);
     if args.flag("mappings") {
         let hist = micco_core::mapping_histogram(&stream, &report.assignments, session.config());
@@ -693,13 +872,19 @@ fn plan(args: &Args) -> Result<(), String> {
     let stream = synthetic_stream(args)?;
     let cfg = machine_for(args, &stream)?;
     let topology = parse_topology(args)?;
-    let mut opts = DriverOptions::default().with_measure_overhead();
-    if args.flag("topology-aware") {
-        opts = opts.with_topology_aware();
-    }
-    let mut sched = build_scheduler(args)?;
-    let plan = plan_schedule_with_topology(sched.as_mut(), &stream, &cfg, opts, topology.as_ref())
-        .map_err(|e| e.to_string())?;
+    let plan = if let Some(dir) = args.get("store") {
+        plan_via_store(args, dir, &stream, &cfg, topology.as_ref())?
+    } else {
+        let mut sched = build_scheduler(args)?;
+        plan_schedule_with_topology(
+            sched.as_mut(),
+            &stream,
+            &cfg,
+            plan_options(args),
+            topology.as_ref(),
+        )
+        .map_err(|e| e.to_string())?
+    };
     let out = args.str_or("out", "micco-plan.txt");
     std::fs::write(&out, plan.to_text()).map_err(|e| format!("{out}: {e}"))?;
     println!(
@@ -870,6 +1055,19 @@ fn certify(args: &Args) -> Result<(), String> {
     emit_report(&report, args, &trace_path)
 }
 
+/// The plan for `execute`/`replay`: `--plan FILE` when given, else the
+/// durable store named by `--store DIR` (keyed by the same request the
+/// workload/scheduler flags describe).
+fn plan_from_file_or_store(args: &Args, stream: &TensorPairStream) -> Result<SchedulePlan, String> {
+    if args.get("plan").is_some() {
+        load_plan(args)
+    } else if let Some(dir) = args.get("store") {
+        fetch_plan_from_store(args, dir, stream)
+    } else {
+        Err("this command needs --plan FILE or --store DIR".to_owned())
+    }
+}
+
 /// Read a plan written by [`plan`] from `--plan FILE`.
 fn load_plan(args: &Args) -> Result<SchedulePlan, String> {
     let path = args
@@ -883,8 +1081,8 @@ fn load_plan(args: &Args) -> Result<SchedulePlan, String> {
 /// simulator (`--backend sim`, the default) or with real kernels
 /// (`--backend real`).
 fn execute(args: &Args) -> Result<(), String> {
-    let plan = load_plan(args)?;
     let stream = synthetic_stream(args)?;
+    let plan = plan_from_file_or_store(args, &stream)?;
     let recorder = trace_recorder(args);
     match args.str_or("backend", "sim").as_str() {
         "sim" => {
@@ -943,8 +1141,8 @@ fn execute(args: &Args) -> Result<(), String> {
 /// Replay a plan `--times N` times on fresh simulators and verify the
 /// outcome is identical on every run (plans are deterministic artifacts).
 fn replay(args: &Args) -> Result<(), String> {
-    let plan = load_plan(args)?;
     let stream = synthetic_stream(args)?;
+    let plan = plan_from_file_or_store(args, &stream)?;
     let times: usize = args.parse_or("times", 3).map_err(|e| e.to_string())?;
     if times == 0 {
         return Err("--times must be at least 1".into());
@@ -1556,5 +1754,84 @@ mod tests {
         assert!(run("sweep --param nope").is_err());
         assert!(run("synthetic --bounds 1,2").is_err());
         assert!(dispatch(&Args::default()).is_err());
+    }
+
+    fn store_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("micco-cli-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const STORE_WL: &str = "--vector-size 4 --tensor-size 32 --vectors 2 --gpus 2";
+
+    #[test]
+    fn plan_with_store_warm_restart_and_replay() {
+        let dir = store_dir("warm");
+        let d = dir.display();
+        // cold: decide and append; warm: serve from the log
+        run(&format!("plan {STORE_WL} --store {d} --out /dev/null")).unwrap();
+        run(&format!("plan {STORE_WL} --store {d} --out /dev/null")).unwrap();
+        // execute + replay fetch the plan from the store, no --plan file
+        run(&format!("execute {STORE_WL} --store {d}")).unwrap();
+        run(&format!("replay {STORE_WL} --store {d} --times 2")).unwrap();
+        // run serves the decision from the store and executes it
+        run(&format!("run {STORE_WL} --store {d}")).unwrap();
+        // a different request is not in the store
+        assert!(run(&format!(
+            "replay --vector-size 4 --tensor-size 32 --vectors 2 --gpus 2 --seed 99 --store {d}"
+        ))
+        .is_err());
+        // the warm path really hit the log, not the scheduler
+        let mut cache = open_store(&d.to_string()).unwrap();
+        let args = Args::parse(
+            format!("plan {STORE_WL}")
+                .split_whitespace()
+                .map(String::from),
+        )
+        .unwrap();
+        let stream = synthetic_stream(&args).unwrap();
+        let cfg = machine_for(&args, &stream).unwrap();
+        let mut sched = build_scheduler(&args).unwrap();
+        cache
+            .plan_for_with_topology(sched.as_mut(), &stream, &cfg, plan_options(&args), None)
+            .unwrap();
+        assert_eq!((cache.log_hits(), cache.misses()), (1, 0));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_subcommand_stats_verify_compact() {
+        let dir = store_dir("sub");
+        let d = dir.display();
+        run(&format!("plan {STORE_WL} --store {d} --out /dev/null")).unwrap();
+        run(&format!("store stats --dir {d}")).unwrap();
+        run(&format!("store verify --dir {d} --strict")).unwrap();
+        run(&format!("store compact --dir {d}")).unwrap();
+        // compacted store still serves the plan
+        run(&format!("execute {STORE_WL} --store {d}")).unwrap();
+        // corrupt the snapshot tail: verify reports it, --strict denies it
+        let snap = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "wal"))
+            .expect("compact left a snapshot fragment");
+        let bytes = std::fs::read(&snap).unwrap();
+        std::fs::write(&snap, &bytes[..bytes.len() - 3]).unwrap();
+        run(&format!("store verify --dir {d}")).unwrap();
+        assert!(run(&format!("store verify --dir {d} --strict")).is_err());
+        // errors: no dir, unknown action, stray subaction on other commands
+        assert!(run("store stats").is_err());
+        assert!(run(&format!("store polish --dir {d}")).is_err());
+        assert!(run("info extra").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn execute_without_plan_or_store_is_rejected() {
+        assert!(run(&format!("execute {STORE_WL}"))
+            .unwrap_err()
+            .contains("--plan FILE or --store DIR"));
     }
 }

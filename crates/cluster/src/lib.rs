@@ -40,7 +40,8 @@ pub use hierarchical::{
     run_cluster_schedule, ClusterScheduler, FlatClusterScheduler, HierarchicalScheduler,
 };
 pub use plan::{
-    execute_cluster_plan, plan_cluster_schedule, repair_cluster_plan, ClusterAssignment,
-    ClusterError, ClusterPlan, ClusterPlanError, ClusterRepairError,
+    execute_cluster_plan, load_node_plans, persist_node_plans, plan_cluster_schedule,
+    repair_cluster_plan, ClusterAssignment, ClusterError, ClusterPlan, ClusterPlanError,
+    ClusterRepairError,
 };
 pub use trace::{certify_cluster_trace, trace_cluster_plan};

@@ -44,6 +44,7 @@ pub mod reorder;
 pub mod seedref;
 pub mod session;
 pub mod state;
+pub mod store;
 pub mod tuner;
 
 pub use arena::PlanArena;
@@ -67,3 +68,4 @@ pub use reorder::{reorder_stream, reuse_clustered_order};
 pub use seedref::plan_schedule_seed;
 pub use session::{Planned, Session};
 pub use state::VectorState;
+pub use store::{DurableError, DurablePlanCache, DurableStats};

@@ -474,26 +474,33 @@ impl SchedulePlan {
     /// pattern).
     pub fn to_text(&self) -> String {
         let mut out = String::with_capacity(96 + self.total_tasks() * 12);
-        out.push_str(HEADER_PREFIX);
-        out.push_str(&PLAN_VERSION.to_string());
-        out.push('\n');
-        out.push_str(&format!("scheduler {}\n", self.scheduler));
-        out.push_str(&format!("gpus {}\n", self.num_gpus));
-        out.push_str(&format!("fingerprint {}\n", self.fingerprint));
-        out.push_str(&format!("overhead {}\n", self.overhead_secs.to_bits()));
+        self.write_text(&mut out)
+            .expect("writing to a String never fails");
+        out
+    }
+
+    /// Stream the text format into any [`std::fmt::Write`] sink — the one
+    /// serialiser behind both [`Self::to_text`] (a `String` sink) and
+    /// [`Self::digest`] (a hashing sink, no intermediate allocation).
+    fn write_text<W: std::fmt::Write>(&self, out: &mut W) -> std::fmt::Result {
+        writeln!(out, "{HEADER_PREFIX}{PLAN_VERSION}")?;
+        writeln!(out, "scheduler {}", self.scheduler)?;
+        writeln!(out, "gpus {}", self.num_gpus)?;
+        writeln!(out, "fingerprint {}", self.fingerprint)?;
+        writeln!(out, "overhead {}", self.overhead_secs.to_bits())?;
         for stage in &self.stages {
             match stage.bounds {
                 Some(b) => {
                     let [x, y, z] = b.as_array();
-                    out.push_str(&format!("stage bounds {x} {y} {z}\n"));
+                    writeln!(out, "stage bounds {x} {y} {z}")?;
                 }
-                None => out.push_str("stage\n"),
+                None => out.write_str("stage\n")?,
             }
             for a in &stage.assignments {
-                out.push_str(&format!("assign {} {}\n", a.task.0, a.gpu.0));
+                writeln!(out, "assign {} {}", a.task.0, a.gpu.0)?;
             }
         }
-        out
+        Ok(())
     }
 
     /// Parse the text format. Blank lines and `#` comments are ignored;
@@ -604,9 +611,7 @@ impl SchedulePlan {
     /// pins across planner rewrites.
     pub fn digest(&self) -> u64 {
         let mut h = Fnv::new();
-        for b in self.to_text().bytes() {
-            h.mix_byte(b);
-        }
+        self.write_text(&mut h).expect("hashing writer never fails");
         h.0
     }
 }
@@ -648,6 +653,31 @@ impl std::fmt::Write for Fnv {
 /// planning request (see [`PlanCache::key_for`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PlanKey(u64);
+
+impl PlanKey {
+    /// The raw 64-bit value — what `micco-store` keys durable records by.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a key from its raw value (a record read back from a store).
+    pub fn from_raw(raw: u64) -> PlanKey {
+        PlanKey(raw)
+    }
+
+    /// Derive a node-qualified key: folds the node name into the key so a
+    /// cluster's per-node projection plans persist under distinct keys in
+    /// one shared store. `with_node("")` still differs from the bare key
+    /// (a length tag is mixed first).
+    pub fn with_node(self, node: &str) -> PlanKey {
+        let mut h = Fnv(self.0);
+        h.mix(node.len() as u64);
+        for b in node.bytes() {
+            h.mix_byte(b);
+        }
+        PlanKey(h.0)
+    }
+}
 
 /// In-memory plan cache: repeated streams skip scheduling entirely.
 ///
@@ -718,24 +748,27 @@ impl PlanCache {
         topology: Option<&LinkTopology>,
     ) -> Result<&SchedulePlan, ScheduleError> {
         let key = Self::key_for_with_topology(scheduler, stream, config, options, topology);
-        if self.plans.contains_key(&key.0) {
-            self.hits += 1;
-        } else {
-            let plan = plan_schedule_in_with_topology(
-                scheduler,
-                stream,
-                config,
-                options,
-                &mut self.arena,
-                topology,
-            )?;
-            self.plans.insert(key.0, plan);
-            self.misses += 1;
+        // single probe: the entry is resolved once and either served or
+        // filled in place (the old contains_key → insert → get danced
+        // through the map three times)
+        match self.plans.entry(key.0) {
+            std::collections::hash_map::Entry::Occupied(entry) => {
+                self.hits += 1;
+                Ok(entry.into_mut())
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                let plan = plan_schedule_in_with_topology(
+                    scheduler,
+                    stream,
+                    config,
+                    options,
+                    &mut self.arena,
+                    topology,
+                )?;
+                self.misses += 1;
+                Ok(entry.insert(plan))
+            }
         }
-        Ok(self
-            .plans
-            .get(&key.0)
-            .expect("present: checked or inserted"))
     }
 
     /// The cache key [`Self::plan_for`] would use for this request —
@@ -768,6 +801,12 @@ impl PlanCache {
         h.mix(config.eviction as u64);
         h.mix(options.overlap as u64);
         h.mix(options.prefetch_tasks as u64);
+        if options.measure_overhead {
+            // mixed only when set so non-measuring keys stay byte-stable;
+            // without this a measuring request after a non-measuring one
+            // hit the cached plan and reported a zero overhead
+            h.mix(1);
+        }
         PlanKey(h.0)
     }
 
@@ -799,6 +838,18 @@ impl PlanCache {
     /// the hit/miss counters.
     pub fn get(&self, key: PlanKey) -> Option<&SchedulePlan> {
         self.plans.get(&key.0)
+    }
+
+    /// True when a plan is cached under `key`. Counter-neutral.
+    pub fn contains(&self, key: PlanKey) -> bool {
+        self.plans.contains_key(&key.0)
+    }
+
+    /// Insert an externally decided plan under `key` (hydration from a
+    /// durable store). Counter-neutral; a later [`Self::plan_for`] for the
+    /// same request is a hit.
+    pub fn insert(&mut self, key: PlanKey, plan: SchedulePlan) {
+        self.plans.insert(key.0, plan);
     }
 
     /// Cache hits so far.
@@ -1051,5 +1102,71 @@ mod tests {
         assert!(e.to_string().contains("fingerprint"));
         let e = PlanFormatError::MissingField { field: "gpus" };
         assert!(e.to_string().contains("gpus"));
+    }
+
+    #[test]
+    fn measuring_request_misses_a_plan_cached_without_measurement() {
+        // regression: measure_overhead was omitted from the cache key, so
+        // a measuring caller was served the unmeasured plan and silently
+        // reported a scheduling overhead of zero
+        let (stream, _) = plan_fixture();
+        let cfg = MachineConfig::mi100_like(3);
+        let mut cache = PlanCache::new();
+        let mut sched = RoundRobinScheduler::new();
+        let plain = DriverOptions::default();
+        let measuring = DriverOptions::default().with_measure_overhead();
+
+        let unmeasured = cache.plan_for(&mut sched, &stream, &cfg, plain).unwrap();
+        assert_eq!(unmeasured.overhead_secs, 0.0);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let measured = cache
+            .plan_for(&mut sched, &stream, &cfg, measuring)
+            .unwrap();
+        assert!(
+            measured.overhead_secs > 0.0,
+            "a measuring request must plan fresh and carry a real overhead"
+        );
+        assert_eq!((cache.hits(), cache.misses()), (0, 2));
+
+        // both variants are now cached; repeats hit their own entry
+        let again = cache
+            .plan_for(&mut sched, &stream, &cfg, measuring)
+            .unwrap();
+        assert!(again.overhead_secs > 0.0);
+        let again = cache.plan_for(&mut sched, &stream, &cfg, plain).unwrap();
+        assert_eq!(again.overhead_secs, 0.0);
+        assert_eq!((cache.hits(), cache.misses()), (2, 2));
+    }
+
+    #[test]
+    fn digest_streams_the_exact_serialised_bytes() {
+        let (_, plan) = plan_fixture();
+        // digest() hashes through the streaming serialiser; it must equal
+        // FNV-1a over the exact to_text() bytes
+        let mut h = Fnv::new();
+        for b in plan.to_text().bytes() {
+            h.mix_byte(b);
+        }
+        assert_eq!(plan.digest(), h.0);
+    }
+
+    #[test]
+    fn plan_key_raw_roundtrip_and_node_qualification() {
+        let (stream, _) = plan_fixture();
+        let cfg = MachineConfig::mi100_like(3);
+        let key = PlanCache::key_for(
+            &RoundRobinScheduler::new(),
+            &stream,
+            &cfg,
+            DriverOptions::default(),
+        );
+        assert_eq!(PlanKey::from_raw(key.raw()), key);
+        let a = key.with_node("node-a");
+        let b = key.with_node("node-b");
+        assert_ne!(a, b);
+        assert_ne!(a, key);
+        assert_ne!(key.with_node(""), key, "empty node name still qualifies");
+        assert_eq!(key.with_node("node-a"), a, "node qualification is stable");
     }
 }

@@ -1,0 +1,87 @@
+//! The two hash functions of the record format.
+//!
+//! * [`crc32`] — CRC-32/ISO-HDLC (the zlib polynomial), the per-record
+//!   integrity check. Catches torn writes and bit rot in header or payload.
+//! * [`fnv1a`] — 64-bit FNV-1a, byte-compatible with
+//!   `SchedulePlan::digest()` in `micco-core`: the store verifies on load
+//!   that a record's payload still hashes to the digest it was written
+//!   with, so the digest column doubles as a content index *and* a second,
+//!   independent corruption check.
+
+/// CRC-32/ISO-HDLC lookup table (reflected 0xEDB88320 polynomial).
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32/ISO-HDLC over `bytes` (init `0xFFFF_FFFF`, final xor, reflected
+/// — the same parameters as zlib's `crc32`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// 64-bit FNV-1a over `bytes` — bit-identical to the incremental sink
+/// `micco-core` hashes plan text through, so for a payload that *is* a
+/// serialized plan, `fnv1a(payload) == plan.digest()`.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // standard check value for CRC-32/ISO-HDLC
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // standard 64-bit FNV-1a test vectors
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_both() {
+        let a = b"micco-plan v1\nscheduler rr\n".to_vec();
+        let mut b = a.clone();
+        b[7] ^= 0x01;
+        assert_ne!(crc32(&a), crc32(&b));
+        assert_ne!(fnv1a(&a), fnv1a(&b));
+    }
+}

@@ -1,0 +1,228 @@
+//! The manifest: the store's single source of truth.
+//!
+//! A small text file naming the live fragments in replay order, the
+//! snapshot watermark, and the next fragment sequence number:
+//!
+//! ```text
+//! micco-store v1
+//! seq 7
+//! snapshot 3
+//! fragment snap-000003.wal
+//! fragment frag-000004.wal
+//! fragment frag-000006.wal
+//! ```
+//!
+//! (`snapshot -` when no compaction has happened yet.)
+//!
+//! ## Atomicity protocol
+//!
+//! The manifest is never modified in place. [`Manifest::store`] writes the
+//! new content to `MANIFEST.tmp`, fsyncs the file, atomically renames it
+//! over `MANIFEST`, and fsyncs the directory so the rename itself is
+//! durable. A crash at any point leaves either the complete old manifest
+//! or the complete new one — fragment files not (yet) named by whichever
+//! manifest survives are orphans, ignored by recovery and deleted by the
+//! next compaction.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::store::StoreError;
+
+/// File name of the manifest inside a store directory.
+pub const MANIFEST_NAME: &str = "MANIFEST";
+
+const TMP_NAME: &str = "MANIFEST.tmp";
+const HEADER: &str = "micco-store v1";
+
+/// Parsed manifest state.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// Next fragment sequence number to allocate.
+    pub next_seq: u64,
+    /// Sequence number of the snapshot fragment, if one exists.
+    pub snapshot: Option<u64>,
+    /// Live fragment file names, in replay order.
+    pub fragments: Vec<String>,
+}
+
+impl Manifest {
+    /// Serialize to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fragments.len() * 24);
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("seq {}\n", self.next_seq));
+        match self.snapshot {
+            Some(s) => out.push_str(&format!("snapshot {s}\n")),
+            None => out.push_str("snapshot -\n"),
+        }
+        for f in &self.fragments {
+            out.push_str(&format!("fragment {f}\n"));
+        }
+        out
+    }
+
+    /// Parse the text format; malformed content is a typed error, never a
+    /// guess (a bit-rotted manifest must not silently serve a wrong view).
+    pub fn from_text(text: &str) -> Result<Manifest, StoreError> {
+        let bad = |line: usize, reason: &str| StoreError::BadManifest {
+            line,
+            reason: reason.to_owned(),
+        };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, l)) if l.trim() == HEADER => {}
+            Some((i, _)) => return Err(bad(i + 1, "missing 'micco-store v1' header")),
+            None => return Err(bad(1, "empty manifest")),
+        }
+        let mut next_seq: Option<u64> = None;
+        let mut snapshot: Option<Option<u64>> = None;
+        let mut fragments = Vec::new();
+        for (i, raw) in lines {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("seq ") {
+                next_seq = Some(
+                    rest.trim()
+                        .parse()
+                        .map_err(|_| bad(i + 1, "bad 'seq' value"))?,
+                );
+            } else if let Some(rest) = line.strip_prefix("snapshot ") {
+                let rest = rest.trim();
+                snapshot = Some(if rest == "-" {
+                    None
+                } else {
+                    Some(
+                        rest.parse()
+                            .map_err(|_| bad(i + 1, "bad 'snapshot' value"))?,
+                    )
+                });
+            } else if let Some(rest) = line.strip_prefix("fragment ") {
+                let name = rest.trim();
+                if name.is_empty() || name.contains('/') || name.contains("..") {
+                    return Err(bad(i + 1, "bad fragment name"));
+                }
+                fragments.push(name.to_owned());
+            } else {
+                return Err(bad(i + 1, "unrecognised manifest line"));
+            }
+        }
+        Ok(Manifest {
+            next_seq: next_seq.ok_or(StoreError::BadManifest {
+                line: 0,
+                reason: "missing 'seq' field".to_owned(),
+            })?,
+            snapshot: snapshot.ok_or(StoreError::BadManifest {
+                line: 0,
+                reason: "missing 'snapshot' field".to_owned(),
+            })?,
+            fragments,
+        })
+    }
+
+    /// Load the manifest from `dir`, or `Ok(None)` when none exists yet
+    /// (a fresh store).
+    pub fn load(dir: &Path) -> Result<Option<Manifest>, StoreError> {
+        let path = dir.join(MANIFEST_NAME);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(StoreError::io(&path, e)),
+        };
+        Manifest::from_text(&text).map(Some)
+    }
+
+    /// Durably replace the manifest in `dir`: write-temp → fsync → atomic
+    /// rename → fsync directory.
+    pub fn store(&self, dir: &Path) -> Result<(), StoreError> {
+        let tmp = dir.join(TMP_NAME);
+        let dst = dir.join(MANIFEST_NAME);
+        let write = |path: &PathBuf| -> std::io::Result<()> {
+            let mut f = File::create(path)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_all()
+        };
+        write(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+        std::fs::rename(&tmp, &dst).map_err(|e| StoreError::io(&dst, e))?;
+        // fsync the directory so the rename survives power loss; best
+        // effort on filesystems that refuse directory handles
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_roundtrip() {
+        let m = Manifest {
+            next_seq: 7,
+            snapshot: Some(3),
+            fragments: vec!["snap-000003.wal".into(), "frag-000004.wal".into()],
+        };
+        assert_eq!(Manifest::from_text(&m.to_text()).unwrap(), m);
+        let empty = Manifest {
+            next_seq: 0,
+            snapshot: None,
+            fragments: vec![],
+        };
+        assert_eq!(Manifest::from_text(&empty.to_text()).unwrap(), empty);
+    }
+
+    #[test]
+    fn malformed_manifests_are_typed_errors() {
+        assert!(matches!(
+            Manifest::from_text(""),
+            Err(StoreError::BadManifest { .. })
+        ));
+        assert!(matches!(
+            Manifest::from_text("micco-store v2\nseq 0\nsnapshot -\n"),
+            Err(StoreError::BadManifest { .. })
+        ));
+        assert!(matches!(
+            Manifest::from_text("micco-store v1\nseq x\nsnapshot -\n"),
+            Err(StoreError::BadManifest { .. })
+        ));
+        assert!(matches!(
+            Manifest::from_text("micco-store v1\nsnapshot -\n"),
+            Err(StoreError::BadManifest { .. })
+        ));
+        assert!(matches!(
+            Manifest::from_text("micco-store v1\nseq 1\nsnapshot -\nwat\n"),
+            Err(StoreError::BadManifest { .. })
+        ));
+        // path traversal in a fragment name is rejected
+        assert!(matches!(
+            Manifest::from_text("micco-store v1\nseq 1\nsnapshot -\nfragment ../evil\n"),
+            Err(StoreError::BadManifest { .. })
+        ));
+    }
+
+    #[test]
+    fn load_store_roundtrip_and_atomic_replace() {
+        let dir = std::env::temp_dir().join(format!("micco-manifest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), None);
+        let m = Manifest {
+            next_seq: 2,
+            snapshot: None,
+            fragments: vec!["frag-000001.wal".into()],
+        };
+        m.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(m.clone()));
+        // replace: no .tmp residue, new content visible
+        let m2 = Manifest { next_seq: 3, ..m };
+        m2.store(&dir).unwrap();
+        assert_eq!(Manifest::load(&dir).unwrap(), Some(m2));
+        assert!(!dir.join(TMP_NAME).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -33,6 +33,23 @@ Stdlib-only structural checks, dispatched on the report's `bench` field.
                       somewhere) that exactly matches the points where
                       aware_bytes < routed_bytes
 
+`bench: "store"` (from `crates/bench/src/bin/bench_store.rs`):
+
+  bench                    "store"
+  version                  1
+  records/appended         positive integers, appended >= records
+  payload_bytes            positive integer
+  append_secs              finite float > 0
+  append_records_per_sec   finite float > 0, == appended/append_secs (1%)
+  reopen_secs              finite float > 0
+  replay_records_per_sec   finite float > 0, == appended/reopen_secs (1%)
+  compact_secs             finite float > 0
+  disk_bytes_before_compact / disk_bytes_after_compact
+                           positive integers, after <= before (compaction
+                           never grows the store)
+  warm_log_hit             must be true: a warm restart served a decided
+                           plan from the log without invoking the scheduler
+
 With `--compare BASELINE.json` the current (planner) report additionally
 fails if fast throughput dropped more than 20% below the baseline (same
 tasks/gpus point required — comparing different scales is meaningless).
@@ -204,6 +221,57 @@ def check_topology(report, path):
     return report
 
 
+def check_store(report, path):
+    require(report.get("version") == 1, path, "'version' must be 1")
+    for key in ("records", "appended", "payload_bytes"):
+        v = report.get(key)
+        require(
+            isinstance(v, int) and not isinstance(v, bool) and v > 0,
+            path,
+            f"'{key}' must be a positive integer, got {v!r}",
+        )
+    require(
+        report["appended"] >= report["records"],
+        path,
+        f"'appended' ({report['appended']}) must be >= 'records' ({report['records']})",
+    )
+    append_secs = check_positive_number(report, path, "append_secs")
+    append_rate = check_positive_number(report, path, "append_records_per_sec")
+    reopen_secs = check_positive_number(report, path, "reopen_secs")
+    replay_rate = check_positive_number(report, path, "replay_records_per_sec")
+    check_positive_number(report, path, "compact_secs")
+    for key in ("disk_bytes_before_compact", "disk_bytes_after_compact"):
+        v = report.get(key)
+        require(
+            isinstance(v, int) and not isinstance(v, bool) and v > 0,
+            path,
+            f"'{key}' must be a positive integer, got {v!r}",
+        )
+    require(
+        report["disk_bytes_after_compact"] <= report["disk_bytes_before_compact"],
+        path,
+        "compaction must never grow the store "
+        f"({report['disk_bytes_before_compact']} -> {report['disk_bytes_after_compact']})",
+    )
+    require(
+        report.get("warm_log_hit") is True,
+        path,
+        "'warm_log_hit' must be true: a warm restart must serve a decided "
+        "plan from the log without invoking the scheduler",
+    )
+    for rate, secs, name in (
+        (append_rate, append_secs, "append_records_per_sec"),
+        (replay_rate, reopen_secs, "replay_records_per_sec"),
+    ):
+        expected = report["appended"] / secs
+        require(
+            abs(rate - expected) <= 0.01 * expected,
+            path,
+            f"'{name}' ({rate}) inconsistent with appended/secs ({expected:.1f})",
+        )
+    return report
+
+
 def check(path):
     with open(path) as f:
         report = json.load(f)
@@ -211,7 +279,13 @@ def check(path):
     bench = report.get("bench")
     if bench == "topology":
         return check_topology(report, path)
-    require(bench == "planner", path, f"'bench' must be 'planner' or 'topology', got {bench!r}")
+    if bench == "store":
+        return check_store(report, path)
+    require(
+        bench == "planner",
+        path,
+        f"'bench' must be 'planner', 'topology' or 'store', got {bench!r}",
+    )
     require(report.get("version") == 1, path, "'version' must be 1")
 
     for key in ("tasks", "gpus", "stages"):

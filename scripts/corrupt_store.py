@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Deterministically damage a micco-store directory, for crash testing.
+
+Stdlib-only. Reads the store's MANIFEST to find the *last* fragment the
+manifest names (the one most recently appended to) and damages it:
+
+  corrupt_store.py DIR                    # truncate 3 bytes off the tail
+  corrupt_store.py DIR --truncate N       # truncate N bytes off the tail
+  corrupt_store.py DIR --flip OFFSET      # XOR 0x40 into the byte at
+                                          # OFFSET (negative counts from
+                                          # the end of the fragment)
+
+Truncation simulates a crash mid-append: recovery must classify the tail
+record as torn, truncate it back to the last record boundary, and serve
+the surviving prefix. A flip simulates bit rot: the record's CRC/digest
+check must fail and quarantine the fragment from that record onward.
+
+Exits non-zero if the store or fragment cannot be found, or if the
+requested damage would not change the file (e.g. truncating 0 bytes).
+"""
+
+import argparse
+import os
+import sys
+
+MANIFEST = "MANIFEST"
+MAGIC = b"MCOWAL1\n"
+
+
+def fail(msg):
+    print(f"corrupt_store: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def last_fragment(store_dir):
+    manifest = os.path.join(store_dir, MANIFEST)
+    if not os.path.isfile(manifest):
+        fail(f"{manifest}: no manifest (is {store_dir} a micco-store?)")
+    fragments = []
+    with open(manifest, "r", encoding="utf-8") as f:
+        for line in f:
+            parts = line.split()
+            if len(parts) == 2 and parts[0] == "fragment":
+                fragments.append(parts[1])
+    if not fragments:
+        fail(f"{manifest}: manifest names no fragments")
+    path = os.path.join(store_dir, fragments[-1])
+    if not os.path.isfile(path):
+        fail(f"{path}: manifest names a missing fragment")
+    return path
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("dir", help="store directory (contains MANIFEST)")
+    ap.add_argument("--truncate", type=int, metavar="N",
+                    help="cut N bytes off the fragment tail (default 3)")
+    ap.add_argument("--flip", type=int, metavar="OFFSET",
+                    help="XOR 0x40 into the byte at OFFSET instead")
+    args = ap.parse_args()
+    if args.truncate is not None and args.flip is not None:
+        fail("--truncate and --flip are mutually exclusive")
+
+    path = last_fragment(args.dir)
+    size = os.path.getsize(path)
+    with open(path, "rb") as f:
+        if f.read(len(MAGIC)) != MAGIC:
+            fail(f"{path}: not a micco-store fragment (bad magic)")
+
+    if args.flip is not None:
+        offset = args.flip if args.flip >= 0 else size + args.flip
+        if not 0 <= offset < size:
+            fail(f"{path}: offset {args.flip} outside 0..{size}")
+        with open(path, "r+b") as f:
+            f.seek(offset)
+            byte = f.read(1)[0]
+            f.seek(offset)
+            f.write(bytes([byte ^ 0x40]))
+        print(f"flipped bit 6 of byte {offset} in {path}")
+    else:
+        n = 3 if args.truncate is None else args.truncate
+        if n <= 0:
+            fail(f"--truncate must be positive, got {n}")
+        if n >= size:
+            fail(f"{path}: cannot truncate {n} of {size} bytes")
+        with open(path, "r+b") as f:
+            f.truncate(size - n)
+        print(f"truncated {n} byte(s) off {path} ({size} -> {size - n})")
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@
 //! * [`redstar`] — the Redstar-like correlation-function front end
 //! * [`cluster`] — the multi-node extension (the paper's future work)
 //! * [`exec`] — multi-threaded CPU execution engine (real kernels)
+//! * [`store`] — crash-safe write-ahead-logged plan store (durable cache)
 //! * [`analysis`] — static plan verifier / lint engine over the plan IR
 //! * [`obs`] — telemetry: spans, metrics, Chrome-trace/Perfetto export
 //!
@@ -96,6 +97,7 @@ pub use micco_graph as graph;
 pub use micco_ml as ml;
 pub use micco_obs as obs;
 pub use micco_redstar as redstar;
+pub use micco_store as store;
 pub use micco_tensor as tensor;
 pub use micco_workload as workload;
 
@@ -108,8 +110,9 @@ pub mod prelude {
     pub use micco_core::{
         execute_plan, execute_plan_with, plan_schedule, plan_schedule_with,
         plan_schedule_with_topology, run_schedule, run_schedule_with, run_schedule_with_topology,
-        Assignment, DriverOptions, GrouteScheduler, MiccoScheduler, PlanCache, Planned,
-        ReuseBounds, RoundRobinScheduler, SchedulePlan, ScheduleReport, Scheduler, Session,
+        Assignment, DriverOptions, DurablePlanCache, GrouteScheduler, MiccoScheduler, PlanCache,
+        Planned, ReuseBounds, RoundRobinScheduler, SchedulePlan, ScheduleReport, Scheduler,
+        Session,
     };
     pub use micco_gpusim::{
         CostModel, DeviceView, LinkSpec, LinkTopology, MachineConfig, MachineState, ShadowMachine,
