@@ -1,0 +1,346 @@
+//! Multi-tenant serving benchmark with a machine-readable report.
+//!
+//! Starts the micco-serve daemon in-process on an ephemeral port and
+//! drives it with the open-loop load generator through two tenant mixes:
+//!
+//! 1. `high_solo` — a high-priority tenant alone on the pool: its p99
+//!    here is the *unloaded* baseline.
+//! 2. `high_vs_flood` — the same tenant at the same arrival rate while a
+//!    low-priority tenant floods the queue at many times that rate.
+//!
+//! Fair-share isolation holds when the flooded p99 stays within 2× the
+//! unloaded p99 (the priority class dominates dispatch, so the high
+//! tenant waits for at most the job currently holding its GPUs). A third
+//! phase restarts a store-backed daemon to prove warm starts: the same
+//! submission on the second daemon must be served from the durable log
+//! without invoking the scheduler. Writes `BENCH_serve.json` in the
+//! schema `scripts/check_bench_schema.py` validates.
+//!
+//! Usage:
+//!   bench_serve [--duration SECS] [--rate JOBS_PER_SEC]
+//!               [--flood-factor N] [--pool-gpus N] [--hold-ms MS]
+//!               [--out PATH]
+//!
+//! Defaults: 3s windows, 4 jobs/s for the high tenant, a 10× flood, a
+//! 4-GPU pool and ~120 ms of pool occupancy per job. CI smoke runs use
+//! `--duration 1`.
+
+use std::time::Duration;
+
+use micco_core::SessionConfig;
+use micco_load::{run_open_loop, LoadReport, TenantLoad};
+use micco_serve::{Priority, ServeConfig, Service, TenantSpec};
+
+struct Args {
+    duration: f64,
+    rate: f64,
+    flood_factor: f64,
+    pool_gpus: usize,
+    hold_ms: f64,
+    out: String,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("bench_serve: {msg}");
+    eprintln!(
+        "usage: bench_serve [--duration SECS] [--rate JOBS_PER_SEC] \
+         [--flood-factor N] [--pool-gpus N] [--hold-ms MS] [--out PATH]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        duration: 3.0,
+        rate: 4.0,
+        flood_factor: 10.0,
+        pool_gpus: 4,
+        hold_ms: 120.0,
+        out: "BENCH_serve.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{name} requires a value")))
+        };
+        let num = |name: &str, v: String| {
+            v.parse()
+                .unwrap_or_else(|_| usage_error(&format!("{name} expects a number, got {v}")))
+        };
+        match flag.as_str() {
+            "--duration" => args.duration = num("--duration", value("--duration")),
+            "--rate" => args.rate = num("--rate", value("--rate")),
+            "--flood-factor" => args.flood_factor = num("--flood-factor", value("--flood-factor")),
+            "--pool-gpus" => {
+                args.pool_gpus = value("--pool-gpus")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--pool-gpus expects an integer"));
+            }
+            "--hold-ms" => args.hold_ms = num("--hold-ms", value("--hold-ms")),
+            "--out" => args.out = value("--out"),
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+    if args.duration <= 0.0 || args.rate <= 0.0 || args.flood_factor < 1.0 {
+        usage_error("--duration and --rate must be positive, --flood-factor >= 1");
+    }
+    if args.pool_gpus < 2 || args.hold_ms <= 0.0 {
+        usage_error("--pool-gpus must be >= 2 and --hold-ms positive");
+    }
+    args
+}
+
+/// The high-priority tenant's job: two GPUs of a small contraction batch.
+fn prio_job() -> SessionConfig {
+    SessionConfig {
+        vector_size: 8,
+        tensor_size: 48,
+        vectors: 3,
+        gpus: 2,
+        ..SessionConfig::default()
+    }
+}
+
+/// The flooding tenant's job: smaller, so its pool holds are shorter than
+/// the high tenant's — head-of-line blocking stays well under one
+/// high-job service time.
+fn flood_job() -> SessionConfig {
+    SessionConfig {
+        vector_size: 8,
+        tensor_size: 48,
+        vectors: 1,
+        gpus: 2,
+        ..SessionConfig::default()
+    }
+}
+
+/// Measure the simulated makespan of `cfg` once (no hold) so the real
+/// runs can pin wall-clock pool occupancy to `--hold-ms` regardless of
+/// the cost model's absolute numbers.
+fn probe_sim_ms(cfg: &SessionConfig) -> f64 {
+    let service = Service::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            pool_gpus: cfg.gpus,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("probe daemon starts");
+    let shared = service.scheduling().clone();
+    let id = shared
+        .submit("probe", None, cfg.clone())
+        .expect("probe submit");
+    let job = shared
+        .wait_job(id, Duration::from_secs(30))
+        .expect("probe finishes");
+    let ms = job.result.expect("probe result").sim_elapsed_ms;
+    service.shutdown();
+    ms
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// One tenant's JSON row, weight looked up from the daemon config.
+fn tenant_json(report: &LoadReport, tenant: &str, priority: &str, weight: u32) -> String {
+    let t = report.tenant(tenant).expect("tenant in report");
+    format!(
+        "{{\"tenant\": \"{}\", \"priority\": \"{}\", \"weight\": {}, \
+         \"submitted\": {}, \"completed\": {}, \"rejected\": {}, \
+         \"evicted\": {}, \"failed\": {}, \"p50_ms\": {}, \"p99_ms\": {}, \
+         \"jobs_per_sec\": {}}}",
+        t.tenant,
+        priority,
+        weight,
+        t.submitted,
+        t.completed,
+        t.rejected,
+        t.evicted,
+        t.failed,
+        json_f64(t.latency.p50()),
+        json_f64(t.latency.p99()),
+        json_f64(t.jobs_per_sec),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let window = Duration::from_secs_f64(args.duration);
+    let drain = Duration::from_secs(60);
+
+    // pin wall-clock occupancy: hold-ms of real time per high job
+    let probe_ms = probe_sim_ms(&prio_job());
+    let time_scale = args.hold_ms / probe_ms.max(1e-6);
+    eprintln!(
+        "bench_serve: probe sim makespan {probe_ms:.3} ms -> time_scale {time_scale:.1} \
+         (~{:.0} ms pool hold per high job)",
+        args.hold_ms
+    );
+
+    let serve_config = || ServeConfig {
+        pool_gpus: args.pool_gpus,
+        time_scale,
+        tenants: vec![
+            TenantSpec {
+                name: "prio".into(),
+                priority: Priority::High,
+                weight: 2,
+            },
+            TenantSpec {
+                name: "flood".into(),
+                priority: Priority::Low,
+                weight: 1,
+            },
+        ],
+        ..ServeConfig::default()
+    };
+
+    // mix 1: the high tenant alone — unloaded baseline
+    eprintln!(
+        "mix high_solo: {} jobs/s for {:.1}s",
+        args.rate, args.duration
+    );
+    let service = Service::start("127.0.0.1:0", serve_config()).expect("daemon starts");
+    let solo = run_open_loop(
+        service.addr(),
+        &[TenantLoad::new("prio", args.rate, prio_job()).with_priority("high")],
+        window,
+        drain,
+        11,
+    )
+    .expect("solo run completes");
+    service.shutdown();
+    let solo_prio = solo.tenant("prio").expect("prio in solo report");
+    assert!(
+        solo_prio.completed > 0,
+        "unloaded run completed no jobs — window too short"
+    );
+    let unloaded_p99 = solo_prio.latency.p99();
+    eprintln!(
+        "  {} done, p50 {:.1} ms, p99 {:.1} ms",
+        solo_prio.completed,
+        solo_prio.latency.p50(),
+        unloaded_p99
+    );
+
+    // mix 2: same tenant, same rate, plus a low-priority flood
+    let flood_rate = args.rate * args.flood_factor;
+    eprintln!(
+        "mix high_vs_flood: {} + {} jobs/s for {:.1}s",
+        args.rate, flood_rate, args.duration
+    );
+    let service = Service::start("127.0.0.1:0", serve_config()).expect("daemon starts");
+    let flooded = run_open_loop(
+        service.addr(),
+        &[
+            TenantLoad::new("prio", args.rate, prio_job()).with_priority("high"),
+            TenantLoad::new("flood", flood_rate, flood_job()).with_priority("low"),
+        ],
+        window,
+        drain,
+        13,
+    )
+    .expect("flooded run completes");
+    service.shutdown();
+    let flood_prio = flooded.tenant("prio").expect("prio in flooded report");
+    assert!(
+        flood_prio.completed > 0,
+        "high tenant completed nothing under flood — isolation is broken"
+    );
+    let flooded_p99 = flood_prio.latency.p99();
+    let ratio = flooded_p99 / unloaded_p99;
+    eprintln!(
+        "  prio: {} done, p99 {flooded_p99:.1} ms ({ratio:.2}x unloaded)",
+        flood_prio.completed
+    );
+    assert!(
+        ratio <= 2.0,
+        "fair-share isolation failed: flooded p99 {flooded_p99:.1} ms is \
+         {ratio:.2}x the unloaded {unloaded_p99:.1} ms (limit 2x)"
+    );
+
+    // warm start: a store-backed daemon, then a restart over the same dir
+    let store = std::env::temp_dir().join(format!("micco-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let store_config = || ServeConfig {
+        pool_gpus: args.pool_gpus,
+        store: Some(store.clone()),
+        ..ServeConfig::default()
+    };
+    let submit_once = |label: &str| {
+        let service = Service::start("127.0.0.1:0", store_config()).expect("daemon starts");
+        let shared = service.scheduling().clone();
+        let id = shared
+            .submit("warm", None, prio_job())
+            .expect("warm submit");
+        let job = shared.wait_job(id, Duration::from_secs(30));
+        assert!(job.is_some(), "{label} job finishes");
+        let result = job.and_then(|j| j.result);
+        assert!(result.is_some(), "{label} job result");
+        let result = result.expect("checked above");
+        let stats = shared.cache_stats().expect("store-backed daemon");
+        service.shutdown();
+        (result, stats)
+    };
+    let (cold, cold_stats) = submit_once("cold");
+    assert!(!cold.warm, "first submission on a fresh store must plan");
+    let (warm, warm_stats) = submit_once("warm");
+    assert!(
+        warm.warm && warm_stats.1 >= 1,
+        "restart over {} did not serve the plan from the log \
+         (cold stats {cold_stats:?}, warm stats {warm_stats:?})",
+        store.display()
+    );
+    let speedup = if warm.plan_ms > 0.0 {
+        cold.plan_ms / warm.plan_ms
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "warm start: plan {:.3} ms cold -> {:.3} ms warm ({} log hit(s))",
+        cold.plan_ms, warm.plan_ms, warm_stats.1
+    );
+    let _ = std::fs::remove_dir_all(&store);
+
+    let throughput = flooded.total_jobs_per_sec();
+    let mixes = format!(
+        "[\n    {{\"name\": \"high_solo\", \"duration_secs\": {}, \"tenants\": [\n      {}\n    ]}},\n    \
+         {{\"name\": \"high_vs_flood\", \"duration_secs\": {}, \"tenants\": [\n      {},\n      {}\n    ]}}\n  ]",
+        json_f64(args.duration),
+        tenant_json(&solo, "prio", "high", 2),
+        json_f64(args.duration),
+        tenant_json(&flooded, "prio", "high", 2),
+        tenant_json(&flooded, "flood", "low", 1),
+    );
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"version\": 1,\n  \"pool_gpus\": {},\n  \
+         \"time_scale\": {},\n  \"mixes\": {},\n  \
+         \"isolation\": {{\"tenant\": \"prio\", \"unloaded_p99_ms\": {}, \
+         \"flooded_p99_ms\": {}, \"ratio\": {}}},\n  \
+         \"warm_start\": {{\"cold_plan_ms\": {}, \"warm_plan_ms\": {}, \
+         \"log_hits\": {}, \"warm_hit\": true, \"speedup\": {}}},\n  \
+         \"throughput_jobs_per_sec\": {}\n}}\n",
+        args.pool_gpus,
+        json_f64(time_scale),
+        mixes,
+        json_f64(unloaded_p99),
+        json_f64(flooded_p99),
+        json_f64(ratio),
+        json_f64(cold.plan_ms),
+        json_f64(warm.plan_ms),
+        warm_stats.1,
+        json_f64(speedup),
+        json_f64(throughput),
+    );
+    std::fs::write(&args.out, json).expect("write report");
+    eprintln!(
+        "throughput {throughput:.2} jobs/s under flood; wrote {}",
+        args.out
+    );
+}

@@ -34,6 +34,7 @@
 pub mod arena;
 pub mod baselines;
 pub mod bounds;
+pub mod config;
 pub mod driver;
 pub mod mapping;
 pub mod micco;
@@ -50,6 +51,7 @@ pub mod tuner;
 pub use arena::PlanArena;
 pub use baselines::{CodaScheduler, GrouteScheduler, RoundRobinScheduler};
 pub use bounds::{BoundsProvider, FixedBounds, ReuseBounds};
+pub use config::{ConfigError, RetryPolicy, SessionConfig, CONFIG_KEYS};
 pub use driver::{
     execute_plan, execute_plan_with, execute_plan_with_topology, plan_schedule, plan_schedule_in,
     plan_schedule_in_with_topology, plan_schedule_with, plan_schedule_with_topology, run_schedule,

@@ -27,9 +27,11 @@
 //! needed — each execution re-attaches the session's sink and emits the
 //! run-level span that parents the observer's stage and task spans.
 
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
-use micco_gpusim::{LinkTopology, MachineConfig, SimMachine};
+use micco_gpusim::{FaultPlan, LinkTopology, MachineConfig, SimMachine};
 use micco_obs::{
     MetricsRegistry, SpanObserver, TraceEvent, TraceSink, Track, CONTROL_PID, SECS_TO_US,
 };
@@ -40,6 +42,7 @@ use crate::driver::{
     ScheduleReport, Scheduler,
 };
 use crate::plan::SchedulePlan;
+use crate::store::{DurableError, DurablePlanCache, DurableStats};
 
 /// A configured scheduling context: machine + driver options + telemetry.
 ///
@@ -54,6 +57,9 @@ pub struct Session {
     topology: Option<LinkTopology>,
     sink: Option<Arc<dyn TraceSink>>,
     metrics: Option<Arc<MetricsRegistry>>,
+    faults: Option<FaultPlan>,
+    retry: Option<(u32, Duration)>,
+    store: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for Session {
@@ -64,6 +70,9 @@ impl std::fmt::Debug for Session {
             .field("topology", &self.topology)
             .field("sink", &self.sink.as_ref().map(|_| "dyn TraceSink"))
             .field("metrics", &self.metrics.as_ref().map(|_| "MetricsRegistry"))
+            .field("faults", &self.faults)
+            .field("retry", &self.retry)
+            .field("store", &self.store)
             .finish()
     }
 }
@@ -77,6 +86,9 @@ impl Session {
             topology: None,
             sink: None,
             metrics: None,
+            faults: None,
+            retry: None,
+            store: None,
         }
     }
 
@@ -142,6 +154,33 @@ impl Session {
         self
     }
 
+    /// Inject a deterministic [`FaultPlan`] into every simulator this
+    /// session builds: kernel faults, transfer timeouts and device losses
+    /// fire at the planned points during [`Session::replay`] /
+    /// [`Session::run`] and surface as fault/retry telemetry.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Retry policy for fault-tolerant execution: up to `max_attempts`
+    /// tries per task with `base_delay` backoff. Recorded on the session
+    /// (see [`Session::retry_policy`]) for executors that honour it —
+    /// the simulator itself models retries through the fault plan.
+    pub fn retry(mut self, max_attempts: u32, base_delay: Duration) -> Self {
+        self.retry = Some((max_attempts, base_delay));
+        self
+    }
+
+    /// Route planning through the durable plan store at `dir`:
+    /// [`Session::plan_durable`] serves warm plans from the store's
+    /// write-ahead log (scheduler not invoked) and appends fresh
+    /// decisions before returning.
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store = Some(dir.into());
+        self
+    }
+
     /// The machine shape this session simulates.
     pub fn config(&self) -> &MachineConfig {
         &self.config
@@ -155,6 +194,22 @@ impl Session {
     /// The link topology transfers are routed over, if one is attached.
     pub fn topology(&self) -> Option<&LinkTopology> {
         self.topology.as_ref()
+    }
+
+    /// The fault plan injected into this session's simulators, if any.
+    pub fn faults(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// The retry policy, if one was set with [`Session::retry`].
+    pub fn retry_policy(&self) -> Option<(u32, Duration)> {
+        self.retry
+    }
+
+    /// The durable store directory, if one was set with
+    /// [`Session::with_store`].
+    pub fn store_dir(&self) -> Option<&std::path::Path> {
+        self.store.as_deref()
     }
 
     /// Decide a schedule for `stream` without executing it. The returned
@@ -172,6 +227,58 @@ impl Session {
             self.options,
             self.topology.as_ref(),
         )?;
+        Ok(Planned {
+            session: self.clone(),
+            plan,
+        })
+    }
+
+    /// [`Session::plan`] through the durable store configured with
+    /// [`Session::with_store`]: the store is opened, the plan is served
+    /// from memory/log when the key matches (scheduler not invoked) or
+    /// freshly decided and appended, and the store's hit/miss counters
+    /// are returned alongside the planned run.
+    ///
+    /// # Errors
+    /// [`DurableError::Plan`] wraps scheduling failures; other variants
+    /// are store I/O. Calling without a configured store is an error.
+    pub fn plan_durable(
+        &self,
+        scheduler: &mut dyn Scheduler,
+        stream: &TensorPairStream,
+    ) -> Result<(Planned, DurableStats), DurableError> {
+        let dir = self.store.clone().ok_or_else(|| {
+            DurableError::Store(micco_store::StoreError::Io {
+                path: PathBuf::new(),
+                source: std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    "plan_durable needs a store: Session::with_store(dir)",
+                ),
+            })
+        })?;
+        let mut cache = DurablePlanCache::open(dir)?;
+        let planned = self.plan_with_cache(&mut cache, scheduler, stream)?;
+        Ok((planned, cache.stats()))
+    }
+
+    /// [`Session::plan`] against a caller-held [`DurablePlanCache`] — the
+    /// long-running form used by `micco serve`, where one cache outlives
+    /// many sessions and its counters accumulate across jobs.
+    pub fn plan_with_cache(
+        &self,
+        cache: &mut DurablePlanCache,
+        scheduler: &mut dyn Scheduler,
+        stream: &TensorPairStream,
+    ) -> Result<Planned, DurableError> {
+        let plan = cache
+            .plan_for_with_topology(
+                scheduler,
+                stream,
+                &self.config,
+                self.options,
+                self.topology.as_ref(),
+            )?
+            .clone();
         Ok(Planned {
             session: self.clone(),
             plan,
@@ -212,6 +319,9 @@ impl Session {
     fn machine(&self) -> SimMachine {
         let cfg = self.options.apply(&self.config);
         let mut machine = SimMachine::new(cfg);
+        if let Some(faults) = &self.faults {
+            machine.set_faults(faults.clone());
+        }
         if let Some(sink) = &self.sink {
             let mut obs = SpanObserver::new(Arc::clone(sink));
             if let Some(metrics) = &self.metrics {
@@ -406,6 +516,59 @@ mod tests {
         let b = planned.execute(&stream).expect("replays");
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn faulted_session_injects_and_retry_policy_is_recorded() {
+        let stream = stream();
+        let cfg = MachineConfig::mi100_like(2);
+        let clean = Session::new(cfg)
+            .run(&mut RoundRobinScheduler::new(), &stream)
+            .expect("fits");
+        // a kernel fault on task 0 slows that task but the run completes
+        let faulted = Session::new(cfg)
+            .with_faults(FaultPlan::none().with_kernel_fault(0, 1))
+            .retry(3, Duration::from_micros(10))
+            .run(&mut RoundRobinScheduler::new(), &stream)
+            .expect("retries through");
+        assert_eq!(clean.assignments, faulted.assignments);
+        assert!(faulted.elapsed_secs() >= clean.elapsed_secs());
+        let session = Session::new(cfg).retry(5, Duration::from_micros(7));
+        assert_eq!(session.retry_policy(), Some((5, Duration::from_micros(7))));
+        assert!(session.faults().is_none());
+    }
+
+    #[test]
+    fn durable_planning_replays_from_the_log_without_the_scheduler() {
+        let stream = stream();
+        let dir = std::env::temp_dir().join(format!(
+            "micco-session-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = MachineConfig::mi100_like(2);
+        let session = Session::new(cfg).with_store(&dir);
+        assert_eq!(session.store_dir(), Some(dir.as_path()));
+        // cold: the scheduler decides, the plan is appended
+        let (cold, stats) = session
+            .plan_durable(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream)
+            .expect("plans");
+        assert_eq!((stats.misses, stats.log_hits), (1, 0));
+        // warm (fresh cache over the same dir): served from the log
+        let (warm, stats) = session
+            .plan_durable(&mut MiccoScheduler::new(ReuseBounds::new(0, 2, 0)), &stream)
+            .expect("replays");
+        assert_eq!((stats.misses, stats.log_hits), (0, 1));
+        assert_eq!(cold.plan().to_text(), warm.plan().to_text());
+        // the planned run executes like any other
+        let report = warm.execute(&stream).expect("replays");
+        assert!(report.gflops() > 0.0);
+        // without a store the durable path refuses
+        assert!(Session::new(cfg)
+            .plan_durable(&mut RoundRobinScheduler::new(), &stream)
+            .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

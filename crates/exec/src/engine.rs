@@ -21,8 +21,8 @@
 //! entry points are [`execute_plan`] (plan IR in, validated first) and
 //! [`execute_assignments`] (raw assignment slice in). The historical
 //! `execute_stream*`/`execute_plan_opts`/`execute_plan_faults` sprawl
-//! survives as deprecated wrappers over the same engine, so the checksums
-//! they produce are bit-for-bit those of the new path.
+//! was removed after a deprecation cycle; a checksum-pinned conformance
+//! test keeps the two canonical entries bit-for-bit interchangeable.
 //!
 //! ## Telemetry
 //!
@@ -374,124 +374,6 @@ pub fn execute_plan(
         return Err(ExecError::NoWorkers);
     }
     execute_unchecked(stream, &plan.flat_assignments(), plan.num_gpus, store, opts)
-}
-
-/// Build the store the deprecated shape/seed entry points used to build
-/// internally, so their checksums stay bit-for-bit reproducible.
-fn legacy_store(shape: TensorShape, seed: u64) -> TensorStore {
-    TensorStore::new(shape.batch, shape.dim, seed)
-}
-
-/// Historical assignment-slice entry point.
-///
-/// # Errors
-///
-/// Fails under the same conditions as [`execute_assignments`].
-#[deprecated(since = "0.5.0", note = "use `execute_assignments` with `ExecOptions`")]
-pub fn execute_stream(
-    stream: &TensorPairStream,
-    assignments: &[Assignment],
-    workers: usize,
-    shape: TensorShape,
-    seed: u64,
-) -> Result<ExecOutcome, ExecError> {
-    execute_assignments(
-        stream,
-        assignments,
-        workers,
-        &legacy_store(shape, seed),
-        &ExecOptions::default(),
-    )
-}
-
-/// Historical entry point for stealing/prefetch options.
-///
-/// # Errors
-///
-/// Fails under the same conditions as [`execute_assignments`].
-#[deprecated(since = "0.5.0", note = "use `execute_assignments` with `ExecOptions`")]
-pub fn execute_stream_opts(
-    stream: &TensorPairStream,
-    assignments: &[Assignment],
-    workers: usize,
-    shape: TensorShape,
-    seed: u64,
-    opts: ExecOptions,
-) -> Result<ExecOutcome, ExecError> {
-    execute_assignments(
-        stream,
-        assignments,
-        workers,
-        &legacy_store(shape, seed),
-        &opts,
-    )
-}
-
-/// Historical chaos entry point: options and fault plan as separate
-/// arguments. The fault plan now rides inside [`ExecOptions::faults`].
-///
-/// # Errors
-///
-/// Fails under the same conditions as [`execute_assignments`].
-#[deprecated(
-    since = "0.5.0",
-    note = "use `execute_assignments`; the fault plan rides in `ExecOptions::faults`"
-)]
-#[allow(clippy::too_many_arguments)]
-pub fn execute_stream_faults(
-    stream: &TensorPairStream,
-    assignments: &[Assignment],
-    workers: usize,
-    shape: TensorShape,
-    seed: u64,
-    opts: ExecOptions,
-    faults: &FaultPlan,
-) -> Result<ExecOutcome, ExecError> {
-    let opts = opts.with_faults(faults.clone());
-    execute_assignments(
-        stream,
-        assignments,
-        workers,
-        &legacy_store(shape, seed),
-        &opts,
-    )
-}
-
-/// Historical plan-IR entry point with explicit options.
-///
-/// # Errors
-///
-/// Fails under the same conditions as [`execute_plan`].
-#[deprecated(since = "0.5.0", note = "use `execute_plan` with `ExecOptions`")]
-pub fn execute_plan_opts(
-    stream: &TensorPairStream,
-    plan: &SchedulePlan,
-    shape: TensorShape,
-    seed: u64,
-    opts: ExecOptions,
-) -> Result<ExecOutcome, ExecError> {
-    execute_plan(stream, plan, &legacy_store(shape, seed), &opts)
-}
-
-/// Historical plan-IR chaos entry point.
-///
-/// # Errors
-///
-/// Fails under the same conditions as [`execute_plan`].
-#[deprecated(
-    since = "0.5.0",
-    note = "use `execute_plan`; the fault plan rides in `ExecOptions::faults`"
-)]
-pub fn execute_plan_faults(
-    stream: &TensorPairStream,
-    plan: &SchedulePlan,
-    shape: TensorShape,
-    seed: u64,
-    opts: ExecOptions,
-    faults: &FaultPlan,
-) -> Result<ExecOutcome, ExecError> {
-    let opts = opts.with_faults(faults.clone());
-    execute_plan(stream, plan, &legacy_store(shape, seed), &opts)
 }
 
 /// Wall-clock telemetry shared by the stage runners: a sink, the run's
@@ -1726,19 +1608,25 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_the_new_api_bit_for_bit() {
+    fn canonical_entry_points_agree_bit_for_bit() {
         use micco_core::plan_schedule;
         use micco_gpusim::MachineConfig;
 
         let stream = stream();
         let cfg = MachineConfig::mi100_like(3);
-        let assignments = assignments_for(&mut RoundRobinScheduler::new(), &stream, 3);
         let plan = plan_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).unwrap();
+        let assignments = plan.flat_assignments();
         let faults = FaultPlan::none().with_kernel_fault(stream.vectors[0].tasks[0].id.0, 1);
 
-        let new_default = exec(&stream, &assignments, 3, 5, &ExecOptions::default()).unwrap();
-        let new_steal = exec(
+        // the two canonical entries — assignment slice vs plan IR — are
+        // one engine: identical checksums for the same placement
+        let via_assignments = exec(&stream, &assignments, 3, 5, &ExecOptions::default()).unwrap();
+        let via_plan = execute_plan(&stream, &plan, &store(5), &ExecOptions::default()).unwrap();
+        assert_eq!(via_assignments.checksum, via_plan.checksum);
+        assert_eq!(via_assignments.per_worker_tasks, via_plan.per_worker_tasks);
+
+        // execution-side knobs reorder work but never change the result
+        let steal = exec(
             &stream,
             &assignments,
             3,
@@ -1746,60 +1634,23 @@ mod tests {
             &ExecOptions::default().with_steal().with_prefetch(),
         )
         .unwrap();
-        let new_faulty = exec(
-            &stream,
-            &assignments,
-            3,
-            5,
-            &ExecOptions::default()
-                .retry(3, Duration::ZERO)
-                .with_faults(faults.clone()),
-        )
-        .unwrap();
-        let new_plan = execute_plan(&stream, &plan, &store(5), &ExecOptions::default()).unwrap();
+        assert_eq!(steal.checksum, via_assignments.checksum);
 
-        let old = execute_stream(&stream, &assignments, 3, SHAPE, 5).unwrap();
-        assert_eq!(old.checksum, new_default.checksum);
-        assert_eq!(old.per_worker_tasks, new_default.per_worker_tasks);
+        // chaos riding in ExecOptions::faults retries to the same bits,
+        // through both entries
+        let chaos_opts = ExecOptions::default()
+            .retry(3, Duration::ZERO)
+            .with_faults(faults.clone());
+        let faulty = exec(&stream, &assignments, 3, 5, &chaos_opts).unwrap();
+        let faulty_plan = execute_plan(&stream, &plan, &store(5), &chaos_opts).unwrap();
+        assert_eq!(faulty.checksum, via_assignments.checksum);
+        assert_eq!(faulty_plan.checksum, via_assignments.checksum);
+        assert_eq!(faulty.faults, faulty_plan.faults);
+        assert!(faulty.retries >= 1);
 
-        let old = execute_stream_opts(
-            &stream,
-            &assignments,
-            3,
-            SHAPE,
-            5,
-            ExecOptions::default().with_steal().with_prefetch(),
-        )
-        .unwrap();
-        assert_eq!(old.checksum, new_steal.checksum);
-
-        let old = execute_stream_faults(
-            &stream,
-            &assignments,
-            3,
-            SHAPE,
-            5,
-            ExecOptions::default().retry(3, Duration::ZERO),
-            &faults,
-        )
-        .unwrap();
-        assert_eq!(old.checksum, new_faulty.checksum);
-        assert_eq!(old.faults, new_faulty.faults);
-        assert_eq!(old.retries, new_faulty.retries);
-
-        let old = execute_plan_opts(&stream, &plan, SHAPE, 5, ExecOptions::default()).unwrap();
-        assert_eq!(old.checksum, new_plan.checksum);
-
-        let old = execute_plan_faults(
-            &stream,
-            &plan,
-            SHAPE,
-            5,
-            ExecOptions::default().retry(3, Duration::ZERO),
-            &faults,
-        )
-        .unwrap();
-        assert_eq!(old.checksum, new_faulty.checksum);
+        // and the whole surface is deterministic run to run
+        let again = execute_plan(&stream, &plan, &store(5), &ExecOptions::default()).unwrap();
+        assert_eq!(again.checksum, via_plan.checksum);
     }
 
     #[test]

@@ -21,11 +21,6 @@ pub mod store;
 pub use engine::{
     execute_assignments, execute_plan, ExecError, ExecOptions, ExecOutcome, TensorShape,
 };
-#[allow(deprecated)]
-pub use engine::{
-    execute_plan_faults, execute_plan_opts, execute_stream, execute_stream_faults,
-    execute_stream_opts,
-};
 pub use store::TensorStore;
 
 // Re-exported so chaos-testing callers don't need a direct gpusim

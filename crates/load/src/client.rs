@@ -1,0 +1,159 @@
+//! A blocking JSON/HTTP client for the `micco serve` API, on bare
+//! `std::net` — the same no-dependency constraint as the server.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use micco_core::SessionConfig;
+use micco_obs::{ObjBuilder, Value};
+
+/// Client for one daemon.
+#[derive(Debug, Clone, Copy)]
+pub struct Client {
+    addr: SocketAddr,
+}
+
+impl Client {
+    /// A client for the daemon at `addr`.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client { addr }
+    }
+
+    /// One request/response exchange (the server speaks
+    /// `Connection: close`, so every call is a fresh connection).
+    pub fn request(&self, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+        let mut stream = TcpStream::connect_timeout(&self.addr, Duration::from_secs(5))
+            .map_err(|e| format!("connect {}: {e}", self.addr))?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .map_err(|e| format!("set timeout: {e}"))?;
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: micco\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        stream
+            .write_all(head.as_bytes())
+            .and_then(|_| stream.write_all(body.as_bytes()))
+            .map_err(|e| format!("send: {e}"))?;
+        let mut raw = String::new();
+        stream
+            .read_to_string(&mut raw)
+            .map_err(|e| format!("recv: {e}"))?;
+        let status: u16 = raw
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("malformed status line in: {raw:.80}"))?;
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_owned())
+            .unwrap_or_default();
+        Ok((status, body))
+    }
+
+    fn request_json(&self, method: &str, path: &str, body: &str) -> Result<Value, ApiError> {
+        let (status, body) = self
+            .request(method, path, body)
+            .map_err(ApiError::Transport)?;
+        let value = Value::parse(&body)
+            .map_err(|e| ApiError::Transport(format!("bad JSON from server: {e}")))?;
+        if (200..300).contains(&status) {
+            Ok(value)
+        } else {
+            let msg = value
+                .get("error")
+                .and_then(Value::as_str)
+                .unwrap_or("unknown error")
+                .to_owned();
+            Err(ApiError::Server { status, msg })
+        }
+    }
+
+    /// Submit a job; returns the job id.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        priority: Option<&str>,
+        config: &SessionConfig,
+    ) -> Result<u64, ApiError> {
+        let body = ObjBuilder::new()
+            .field("tenant", tenant)
+            .opt("priority", priority)
+            .field("config", config.to_value())
+            .build()
+            .to_json();
+        let v = self.request_json("POST", "/v1/jobs", &body)?;
+        v.get("id")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| ApiError::Transport("submit response missing id".into()))
+    }
+
+    /// The job record as a JSON value.
+    pub fn job(&self, id: u64) -> Result<Value, ApiError> {
+        self.request_json("GET", &format!("/v1/jobs/{id}"), "")
+    }
+
+    /// Cancel a job; returns the state after the call.
+    pub fn cancel(&self, id: u64) -> Result<String, ApiError> {
+        let v = self.request_json("POST", &format!("/v1/jobs/{id}/cancel"), "")?;
+        Ok(v.get("state")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown")
+            .to_owned())
+    }
+
+    /// The `/metrics` text exposition.
+    pub fn metrics(&self) -> Result<String, String> {
+        let (status, body) = self.request("GET", "/metrics", "")?;
+        if status == 200 {
+            Ok(body)
+        } else {
+            Err(format!("metrics returned {status}"))
+        }
+    }
+
+    /// Liveness probe.
+    pub fn healthz(&self) -> Result<(), String> {
+        let (status, _) = self.request("GET", "/healthz", "")?;
+        if status == 200 {
+            Ok(())
+        } else {
+            Err(format!("healthz returned {status}"))
+        }
+    }
+}
+
+/// A client-visible failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiError {
+    /// The exchange itself failed (connect, I/O, malformed response).
+    Transport(String),
+    /// The server answered with an error status.
+    Server {
+        /// HTTP status.
+        status: u16,
+        /// The server's `error` message.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for ApiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApiError::Transport(msg) => write!(f, "transport: {msg}"),
+            ApiError::Server { status, msg } => write!(f, "server {status}: {msg}"),
+        }
+    }
+}
+
+impl ApiError {
+    /// The HTTP status for server-side rejections (None for transport
+    /// failures).
+    pub fn status(&self) -> Option<u16> {
+        match self {
+            ApiError::Server { status, .. } => Some(*status),
+            ApiError::Transport(_) => None,
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! `micco-load`: an open-loop load generator for the `micco serve`
+//! daemon.
+//!
+//! Three pieces:
+//!
+//! - [`client`] — a blocking JSON/HTTP client for the serve API on bare
+//!   `std::net` (the build has no HTTP crate).
+//! - [`stats`] — latency percentile bookkeeping (nearest-rank p50/p99).
+//! - [`gen`] — the open-loop driver: per-tenant Poisson arrival clocks
+//!   (deterministic splitmix64 streams), a drain phase that polls every
+//!   submitted job to a terminal state, and per-tenant reports with
+//!   completion counts and latency percentiles.
+//!
+//! The generator is **open loop**: arrivals never wait for completions,
+//! so daemon-side queueing shows up as latency instead of being hidden
+//! by client self-throttling. That is the property the fair-share
+//! isolation benchmark needs — a flooding tenant keeps flooding while
+//! the high-priority tenant's p99 is measured.
+
+pub mod client;
+pub mod gen;
+pub mod stats;
+
+pub use client::{ApiError, Client};
+pub use gen::{run_open_loop, LoadReport, SplitMix64, TenantLoad, TenantReport};
+pub use stats::LatencyRecorder;

@@ -1,0 +1,87 @@
+//! Latency bookkeeping: percentile estimation over recorded samples.
+
+/// Collects latency samples (milliseconds) and reports percentiles.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    samples: Vec<f64>,
+}
+
+impl LatencyRecorder {
+    /// An empty recorder.
+    pub fn new() -> LatencyRecorder {
+        LatencyRecorder::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, ms: f64) {
+        if ms.is_finite() {
+            self.samples.push(ms);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The `p`-th percentile (nearest-rank over sorted samples), or 0.0
+    /// when empty. `p` is in `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// Median.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Tail latency.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let mut r = LatencyRecorder::new();
+        for ms in 1..=100 {
+            r.record(ms as f64);
+        }
+        assert_eq!(r.p50(), 50.0);
+        assert_eq!(r.p99(), 99.0);
+        assert_eq!(r.percentile(100.0), 100.0);
+        assert_eq!(r.percentile(0.0), 1.0);
+        assert_eq!(r.count(), 100);
+        assert!((r.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let r = LatencyRecorder::new();
+        assert_eq!(r.p99(), 0.0);
+        let mut r = LatencyRecorder::new();
+        r.record(7.0);
+        r.record(f64::NAN); // ignored
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.p50(), 7.0);
+        assert_eq!(r.p99(), 7.0);
+    }
+}

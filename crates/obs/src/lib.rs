@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod metrics;
 pub mod observer;
 pub mod perfetto;
@@ -59,7 +60,8 @@ pub mod sink;
 pub mod span;
 pub mod textio;
 
-pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use json::{JsonError, ObjBuilder, Value};
+pub use metrics::{MetricsRegistry, MetricsSnapshot, ScopedMetrics};
 pub use observer::{SpanObserver, SECS_TO_US};
 pub use perfetto::{reconcile_with_stats, span_track_totals, to_perfetto_json};
 pub use sink::{NullSink, Recorder, TraceSink};

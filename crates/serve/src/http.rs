@@ -1,0 +1,225 @@
+//! A deliberately small HTTP/1.1 server on `std::net` — thread per
+//! connection, `Connection: close` semantics, bounded request bodies.
+//!
+//! The build environment has no async runtime or HTTP crate, so the
+//! daemon speaks just enough of the protocol for its JSON API: request
+//! line + headers + optional `Content-Length` body in, status line +
+//! headers + body out. Keep-alive is intentionally not implemented —
+//! every exchange is one connection, which makes the concurrency story
+//! trivially correct (no pipelining, no partial reads across requests).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted request body, bytes. Submission bodies are small
+/// JSON documents; anything larger is a client bug (or abuse).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// Maximum accepted header section, bytes.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the request target (query string stripped).
+    pub path: String,
+    /// Raw query string (without the `?`), empty when absent.
+    pub query: String,
+    /// Body bytes (empty unless `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Read one request from the stream. Returns `None` on a clean EOF
+    /// before any bytes (client connected and left).
+    pub fn read_from(stream: &mut TcpStream) -> Result<Option<Request>, String> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read request line: {e}"))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        let mut parts = line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| "empty request line".to_owned())?
+            .to_ascii_uppercase();
+        let target = parts
+            .next()
+            .ok_or_else(|| "request line missing target".to_owned())?
+            .to_owned();
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_owned(), q.to_owned()),
+            None => (target, String::new()),
+        };
+        // headers: we only care about Content-Length
+        let mut content_length = 0usize;
+        let mut header_bytes = 0usize;
+        loop {
+            let mut h = String::new();
+            let n = reader
+                .read_line(&mut h)
+                .map_err(|e| format!("read header: {e}"))?;
+            if n == 0 {
+                return Err("connection closed mid-headers".into());
+            }
+            header_bytes += n;
+            if header_bytes > MAX_HEADER_BYTES {
+                return Err("header section too large".into());
+            }
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = h.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad content-length '{}'", value.trim()))?;
+                }
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(format!("body too large ({content_length} bytes)"));
+        }
+        let mut body = vec![0u8; content_length];
+        if content_length > 0 {
+            reader
+                .read_exact(&mut body)
+                .map_err(|e| format!("read body: {e}"))?;
+        }
+        Ok(Some(Request {
+            method,
+            path,
+            query,
+            body,
+        }))
+    }
+
+    /// The body as UTF-8, or an error message suitable for a 400.
+    pub fn body_utf8(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "body is not valid UTF-8".to_owned())
+    }
+}
+
+/// An HTTP response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 400, 404, 429, ...).
+    pub status: u16,
+    /// Content type header value.
+    pub content_type: &'static str,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// Serialize and write to the stream (best effort — the client may
+    /// already be gone, which is not the server's problem).
+    pub fn write_to(&self, stream: &mut TcpStream) {
+        let reason = match self.status {
+            200 => "OK",
+            201 => "Created",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Status",
+        };
+        let head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        );
+        let _ = stream.write_all(head.as_bytes());
+        let _ = stream.write_all(&self.body);
+        let _ = stream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &str) -> Result<Option<Request>, String> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_owned();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let req = Request::read_from(&mut stream);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = round_trip(
+            "POST /v1/jobs?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 7\r\n\r\n{\"a\":1}",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.query, "x=1");
+        assert_eq!(req.body_utf8().unwrap(), "{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_a_bare_get() {
+        let req = round_trip("GET /metrics HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/metrics");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_oversized_bodies() {
+        let raw = format!(
+            "POST /v1/jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(round_trip(&raw).is_err());
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        assert!(round_trip("").unwrap().is_none());
+    }
+}

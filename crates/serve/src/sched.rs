@@ -1,0 +1,326 @@
+//! Inter-job scheduling policy: priority classes, weighted fair share,
+//! and admission control — the decision layer *above* the per-job MICCO
+//! planner.
+//!
+//! The algebra (DESIGN.md §17):
+//!
+//! - Every job belongs to a **tenant** with a priority class
+//!   (`high`/`normal`/`low`) and an integer **weight**.
+//! - Each tenant accumulates **virtual time**: simulated GPU-seconds of
+//!   service divided by its weight. Weighted fair share = always dispatch
+//!   the eligible tenant with the *least* virtual time, so a tenant with
+//!   weight 3 receives 3× the service of a weight-1 tenant under
+//!   contention, and an idle tenant's next job runs promptly (its vtime
+//!   lags the busy tenants').
+//! - **Priority classes dominate fair share**: all eligible `high` jobs
+//!   dispatch before any `normal`, before any `low`. Fair share
+//!   arbitrates *within* a class.
+//! - **Admission control** bounds the queue: a full queue rejects new
+//!   work (HTTP 429) unless the incoming job outranks a queued one, in
+//!   which case the lowest-priority, most-recently-arrived queued job is
+//!   evicted ("admission preemption" — running jobs are never killed).
+//!   A job whose estimated working set exceeds the pool's memory
+//!   headroom is rejected outright (HTTP 413): it could never run.
+//!
+//! These decisions are pure functions over [`Candidate`] snapshots, so
+//! the policy is unit-testable without a daemon.
+
+use micco_core::SessionConfig;
+
+/// Priority class of a tenant or job. Ordered: `Low < Normal < High`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Batch / best-effort work; first to be preempted from the queue.
+    Low,
+    /// The default class.
+    Normal,
+    /// Latency-sensitive work; dispatches before everything else.
+    High,
+}
+
+impl Priority {
+    /// Parse `high` | `normal` | `low`.
+    pub fn parse(s: &str) -> Result<Priority, String> {
+        match s {
+            "high" => Ok(Priority::High),
+            "normal" => Ok(Priority::Normal),
+            "low" => Ok(Priority::Low),
+            other => Err(format!("unknown priority '{other}' (high|normal|low)")),
+        }
+    }
+
+    /// Canonical lowercase name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// Static description of a tenant: name, priority class, fair-share
+/// weight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Tenant name (the key jobs submit under).
+    pub name: String,
+    /// Priority class for the tenant's jobs.
+    pub priority: Priority,
+    /// Fair-share weight (≥ 1); relative service under contention.
+    pub weight: u32,
+}
+
+impl TenantSpec {
+    /// A tenant with the default class and weight.
+    pub fn new(name: impl Into<String>) -> TenantSpec {
+        TenantSpec {
+            name: name.into(),
+            priority: Priority::Normal,
+            weight: 1,
+        }
+    }
+
+    /// Parse the CLI grammar `NAME[:PRIORITY[:WEIGHT]]`, e.g.
+    /// `acme:high:4` or `batch:low`.
+    pub fn parse(s: &str) -> Result<TenantSpec, String> {
+        let mut parts = s.split(':');
+        let name = parts
+            .next()
+            .filter(|n| !n.is_empty())
+            .ok_or_else(|| format!("empty tenant spec '{s}'"))?;
+        let mut spec = TenantSpec::new(name);
+        if let Some(p) = parts.next() {
+            spec.priority = Priority::parse(p)?;
+        }
+        if let Some(w) = parts.next() {
+            spec.weight =
+                w.parse().ok().filter(|&w| w >= 1).ok_or_else(|| {
+                    format!("bad weight '{w}' in tenant spec '{s}' (integer ≥ 1)")
+                })?;
+        }
+        if parts.next().is_some() {
+            return Err(format!("too many ':' in tenant spec '{s}'"));
+        }
+        Ok(spec)
+    }
+}
+
+/// Mutable fair-share accounting for one tenant.
+#[derive(Debug, Clone)]
+pub struct TenantState {
+    /// The static spec.
+    pub spec: TenantSpec,
+    /// Accumulated virtual time: simulated GPU-seconds / weight.
+    pub vtime: f64,
+}
+
+impl TenantState {
+    /// Fresh state for `spec`.
+    pub fn new(spec: TenantSpec) -> TenantState {
+        TenantState { spec, vtime: 0.0 }
+    }
+
+    /// Charge `gpu_secs` of service (simulated seconds × GPUs held);
+    /// the weight divides it into virtual time.
+    pub fn charge(&mut self, gpu_secs: f64) {
+        self.vtime += gpu_secs / f64::from(self.spec.weight.max(1));
+    }
+}
+
+/// A queued job as the dispatch policy sees it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Priority class.
+    pub priority: Priority,
+    /// The owning tenant's current virtual time.
+    pub vtime: f64,
+    /// Admission order (monotone; lower = arrived earlier).
+    pub seq: u64,
+    /// Whether the pool currently has the resources this job needs.
+    pub fits: bool,
+}
+
+/// Pick the next job to dispatch: among candidates that fit, the highest
+/// priority class wins; within the class, the least tenant virtual time;
+/// ties break FIFO by admission order. Returns an index into
+/// `candidates`, or `None` when nothing fits.
+pub fn pick_next(candidates: &[Candidate]) -> Option<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.fits)
+        .min_by(|(_, a), (_, b)| {
+            b.priority
+                .cmp(&a.priority) // higher class first
+                .then(
+                    a.vtime
+                        .partial_cmp(&b.vtime)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                ) // then least virtual time
+                .then(a.seq.cmp(&b.seq)) // then FIFO
+        })
+        .map(|(i, _)| i)
+}
+
+/// When the queue is full, choose the queued job an `incoming` priority
+/// may displace: the *lowest*-priority entry, latest-arrived among
+/// equals — and only when it is strictly below `incoming`. Returns an
+/// index into `queued`, or `None` (reject the incoming job instead).
+pub fn admission_victim(queued: &[Candidate], incoming: Priority) -> Option<usize> {
+    let (idx, worst) = queued
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)))?;
+    (worst.priority < incoming).then_some(idx)
+}
+
+/// Conservative upper bound on a job's working set, without generating
+/// the workload: every task touches two inputs and one output of
+/// `batch × dim × dim` complex-double tensors (16 B/element), ignoring
+/// cross-task reuse. Used for the admission memory check — an
+/// over-estimate can only reject a job that would have fit, never admit
+/// one that cannot.
+pub fn estimated_bytes(cfg: &SessionConfig) -> u64 {
+    let dim = cfg
+        .dims
+        .iter()
+        .copied()
+        .chain(std::iter::once(cfg.tensor_size))
+        .max()
+        .unwrap_or(cfg.tensor_size) as u64;
+    let per_tensor = (cfg.batch as u64)
+        .saturating_mul(dim)
+        .saturating_mul(dim)
+        .saturating_mul(16);
+    (cfg.vectors as u64)
+        .saturating_mul(cfg.vector_size as u64)
+        .saturating_mul(3)
+        .saturating_mul(per_tensor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(priority: Priority, vtime: f64, seq: u64) -> Candidate {
+        Candidate {
+            priority,
+            vtime,
+            seq,
+            fits: true,
+        }
+    }
+
+    #[test]
+    fn priority_class_dominates_fair_share() {
+        let q = [
+            cand(Priority::Low, 0.0, 0),
+            cand(Priority::High, 99.0, 1),
+            cand(Priority::Normal, 0.0, 2),
+        ];
+        // the high job dispatches first despite the largest vtime
+        assert_eq!(pick_next(&q), Some(1));
+    }
+
+    #[test]
+    fn within_a_class_least_vtime_wins_then_fifo() {
+        let q = [
+            cand(Priority::Normal, 2.0, 0),
+            cand(Priority::Normal, 1.0, 1),
+            cand(Priority::Normal, 1.0, 2),
+        ];
+        assert_eq!(pick_next(&q), Some(1), "least vtime, earliest seq");
+    }
+
+    #[test]
+    fn unfit_candidates_are_skipped() {
+        let mut q = vec![cand(Priority::High, 0.0, 0), cand(Priority::Low, 5.0, 1)];
+        q[0].fits = false;
+        assert_eq!(pick_next(&q), Some(1));
+        q[1].fits = false;
+        assert_eq!(pick_next(&q), None);
+    }
+
+    #[test]
+    fn weighted_interleave_is_proportional() {
+        // two tenants, weight 3 vs 1, equal-cost jobs: simulate the
+        // dispatch loop and count the first dispatches
+        let mut a = TenantState::new(TenantSpec {
+            name: "a".into(),
+            priority: Priority::Normal,
+            weight: 3,
+        });
+        let mut b = TenantState::new(TenantSpec {
+            name: "b".into(),
+            priority: Priority::Normal,
+            weight: 1,
+        });
+        let mut order = Vec::new();
+        for seq in 0..8 {
+            let q = [
+                cand(Priority::Normal, a.vtime, 0),
+                cand(Priority::Normal, b.vtime, seq + 1),
+            ];
+            let pick = pick_next(&q).unwrap();
+            if pick == 0 {
+                a.charge(1.0);
+                order.push('a');
+            } else {
+                b.charge(1.0);
+                order.push('b');
+            }
+        }
+        let a_count = order.iter().filter(|&&c| c == 'a').count();
+        assert_eq!(a_count, 6, "weight 3:1 → 3x the service, got {order:?}");
+    }
+
+    #[test]
+    fn admission_evicts_only_strictly_lower_priority() {
+        let q = [
+            cand(Priority::Normal, 0.0, 0),
+            cand(Priority::Low, 0.0, 1),
+            cand(Priority::Low, 0.0, 2),
+        ];
+        // high evicts the latest-arrived low job
+        assert_eq!(admission_victim(&q, Priority::High), Some(2));
+        // normal also outranks low
+        assert_eq!(admission_victim(&q, Priority::Normal), Some(2));
+        // low does not outrank low
+        assert_eq!(admission_victim(&q, Priority::Low), None);
+        // equal-priority queue rejects an equal incoming
+        let all_normal = [cand(Priority::Normal, 0.0, 0)];
+        assert_eq!(admission_victim(&all_normal, Priority::Normal), None);
+        assert_eq!(admission_victim(&[], Priority::High), None);
+    }
+
+    #[test]
+    fn tenant_spec_grammar() {
+        let t = TenantSpec::parse("acme:high:4").unwrap();
+        assert_eq!(t.name, "acme");
+        assert_eq!(t.priority, Priority::High);
+        assert_eq!(t.weight, 4);
+        let t = TenantSpec::parse("batch:low").unwrap();
+        assert_eq!(t.priority, Priority::Low);
+        assert_eq!(t.weight, 1);
+        let t = TenantSpec::parse("solo").unwrap();
+        assert_eq!(t.priority, Priority::Normal);
+        assert!(TenantSpec::parse("").is_err());
+        assert!(TenantSpec::parse("x:mid").is_err());
+        assert!(TenantSpec::parse("x:low:0").is_err());
+        assert!(TenantSpec::parse("x:low:1:extra").is_err());
+    }
+
+    #[test]
+    fn estimate_upper_bounds_the_real_working_set() {
+        let cfg = SessionConfig {
+            vector_size: 8,
+            tensor_size: 48,
+            vectors: 2,
+            gpus: 2,
+            ..SessionConfig::default()
+        };
+        let stream = cfg.stream().unwrap();
+        assert!(estimated_bytes(&cfg) >= stream.unique_bytes());
+    }
+}

@@ -50,9 +50,34 @@ Stdlib-only structural checks, dispatched on the report's `bench` field.
   warm_log_hit             must be true: a warm restart served a decided
                            plan from the log without invoking the scheduler
 
-With `--compare BASELINE.json` the current (planner) report additionally
-fails if fast throughput dropped more than 20% below the baseline (same
-tasks/gpus point required — comparing different scales is meaningless).
+`bench: "serve"` (from `crates/bench/src/bin/bench_serve.rs`):
+
+  bench                "serve"
+  version              1
+  pool_gpus            positive integer
+  time_scale           finite float > 0
+  mixes                list of >= 2 tenant mixes, each with a non-empty
+                       name, a positive duration_secs, and a non-empty
+                       tenants list; every tenant row carries a name, a
+                       priority (high|normal|low), an integer weight >= 1,
+                       submitted/completed/rejected/evicted/failed counts
+                       that sum up (submitted = completed + rejected +
+                       evicted + failed), p50_ms <= p99_ms (positive when
+                       anything completed) and a non-negative jobs_per_sec
+  isolation            the fair-share acceptance gate: ratio must equal
+                       flooded_p99_ms / unloaded_p99_ms (1%) and stay
+                       <= 2.0 — a flooding tenant cannot push the
+                       high-priority tenant's p99 past 2x its unloaded
+                       value
+  warm_start           warm_hit must be true with log_hits >= 1 (the
+                       restarted daemon served the plan from the durable
+                       log); speedup must equal cold_plan_ms/warm_plan_ms
+  throughput_jobs_per_sec  finite float > 0
+
+With `--compare BASELINE.json` the current report additionally fails if
+throughput dropped more than 20% below the baseline: planner reports
+gate fast_tasks_per_sec (same tasks/gpus point required), serve reports
+gate throughput_jobs_per_sec (same pool_gpus required).
 
 Usage:
   check_bench_schema.py REPORT.json [REPORT2.json ...]
@@ -272,6 +297,171 @@ def check_store(report, path):
     return report
 
 
+ISOLATION_LIMIT = 2.0  # flooded p99 may not exceed 2x the unloaded p99
+
+
+def check_serve(report, path):
+    require(report.get("version") == 1, path, "'version' must be 1")
+    v = report.get("pool_gpus")
+    require(
+        isinstance(v, int) and not isinstance(v, bool) and v > 0,
+        path,
+        f"'pool_gpus' must be a positive integer, got {v!r}",
+    )
+    check_positive_number(report, path, "time_scale")
+
+    mixes = report.get("mixes")
+    require(
+        isinstance(mixes, list) and len(mixes) >= 2,
+        path,
+        f"'mixes' must be a list of at least 2 tenant mixes, got {mixes!r}",
+    )
+    tenant_names = set()
+    for i, mix in enumerate(mixes):
+        where = f"mixes[{i}]: "
+        require(isinstance(mix, dict), path, f"{where}must be an object")
+        name = mix.get("name")
+        require(
+            isinstance(name, str) and name,
+            path,
+            f"{where}'name' must be a non-empty string, got {name!r}",
+        )
+        dur = mix.get("duration_secs")
+        require(
+            isinstance(dur, (int, float))
+            and not isinstance(dur, bool)
+            and math.isfinite(dur)
+            and dur > 0,
+            path,
+            f"{where}'duration_secs' must be a positive finite number, got {dur!r}",
+        )
+        tenants = mix.get("tenants")
+        require(
+            isinstance(tenants, list) and tenants,
+            path,
+            f"{where}'tenants' must be a non-empty list, got {tenants!r}",
+        )
+        for j, t in enumerate(tenants):
+            twhere = f"mixes[{i}].tenants[{j}]: "
+            require(isinstance(t, dict), path, f"{twhere}must be an object")
+            tname = t.get("tenant")
+            require(
+                isinstance(tname, str) and tname,
+                path,
+                f"{twhere}'tenant' must be a non-empty string, got {tname!r}",
+            )
+            tenant_names.add(tname)
+            prio = t.get("priority")
+            require(
+                prio in ("high", "normal", "low"),
+                path,
+                f"{twhere}'priority' must be high|normal|low, got {prio!r}",
+            )
+            w = t.get("weight")
+            require(
+                isinstance(w, int) and not isinstance(w, bool) and w >= 1,
+                path,
+                f"{twhere}'weight' must be an integer >= 1, got {w!r}",
+            )
+            counts = {
+                k: check_nonneg_int(t, path, k, twhere)
+                for k in ("submitted", "completed", "rejected", "evicted", "failed")
+            }
+            require(
+                counts["submitted"] >= 1,
+                path,
+                f"{twhere}'submitted' must be at least 1",
+            )
+            settled = sum(v for k, v in counts.items() if k != "submitted")
+            require(
+                counts["submitted"] == settled,
+                path,
+                f"{twhere}counts do not settle: submitted {counts['submitted']} != "
+                f"completed + rejected + evicted + failed ({settled})",
+            )
+            percentiles = {}
+            for key in ("p50_ms", "p99_ms"):
+                pv = t.get(key)
+                require(
+                    isinstance(pv, (int, float))
+                    and not isinstance(pv, bool)
+                    and math.isfinite(pv)
+                    and pv >= 0,
+                    path,
+                    f"{twhere}'{key}' must be a non-negative finite number, got {pv!r}",
+                )
+                if counts["completed"] > 0:
+                    require(pv > 0, path, f"{twhere}'{key}' must be positive when jobs completed")
+                percentiles[key] = pv
+            require(
+                percentiles["p50_ms"] <= percentiles["p99_ms"],
+                path,
+                f"{twhere}p50_ms ({percentiles['p50_ms']}) exceeds p99_ms "
+                f"({percentiles['p99_ms']})",
+            )
+            jps = t.get("jobs_per_sec")
+            require(
+                isinstance(jps, (int, float))
+                and not isinstance(jps, bool)
+                and math.isfinite(jps)
+                and jps >= 0,
+                path,
+                f"{twhere}'jobs_per_sec' must be a non-negative finite number, got {jps!r}",
+            )
+
+    iso = report.get("isolation")
+    require(isinstance(iso, dict), path, f"'isolation' must be an object, got {iso!r}")
+    tname = iso.get("tenant")
+    require(
+        tname in tenant_names,
+        path,
+        f"isolation 'tenant' {tname!r} does not appear in any mix",
+    )
+    unloaded = check_positive_number(iso, path, "unloaded_p99_ms")
+    flooded = check_positive_number(iso, path, "flooded_p99_ms")
+    ratio = check_positive_number(iso, path, "ratio")
+    expected = flooded / unloaded
+    require(
+        abs(ratio - expected) <= 0.01 * expected,
+        path,
+        f"isolation 'ratio' ({ratio}) inconsistent with flooded/unloaded ({expected:.3f})",
+    )
+    require(
+        ratio <= ISOLATION_LIMIT,
+        path,
+        f"fair-share isolation failed: flooded p99 is {ratio:.2f}x the unloaded "
+        f"p99 (limit {ISOLATION_LIMIT}x) — a flooding tenant starved the "
+        "high-priority tenant",
+    )
+
+    warm = report.get("warm_start")
+    require(isinstance(warm, dict), path, f"'warm_start' must be an object, got {warm!r}")
+    cold_ms = check_positive_number(warm, path, "cold_plan_ms")
+    warm_ms = check_positive_number(warm, path, "warm_plan_ms")
+    hits = warm.get("log_hits")
+    require(
+        isinstance(hits, int) and not isinstance(hits, bool) and hits >= 1,
+        path,
+        f"warm_start 'log_hits' must be an integer >= 1, got {hits!r}",
+    )
+    require(
+        warm.get("warm_hit") is True,
+        path,
+        "warm_start 'warm_hit' must be true: the restarted daemon must serve "
+        "the plan from the durable log without re-planning",
+    )
+    speedup = check_positive_number(warm, path, "speedup")
+    expected = cold_ms / warm_ms
+    require(
+        abs(speedup - expected) <= 0.01 * expected,
+        path,
+        f"warm_start 'speedup' ({speedup}) inconsistent with cold/warm ({expected:.3f})",
+    )
+
+    check_positive_number(report, path, "throughput_jobs_per_sec")
+    return report
+
+
 def check(path):
     with open(path) as f:
         report = json.load(f)
@@ -281,10 +471,12 @@ def check(path):
         return check_topology(report, path)
     if bench == "store":
         return check_store(report, path)
+    if bench == "serve":
+        return check_serve(report, path)
     require(
         bench == "planner",
         path,
-        f"'bench' must be 'planner', 'topology' or 'store', got {bench!r}",
+        f"'bench' must be 'planner', 'topology', 'store' or 'serve', got {bench!r}",
     )
     require(report.get("version") == 1, path, "'version' must be 1")
 
@@ -349,11 +541,32 @@ def check(path):
     return report
 
 
+def compare_serve(current, cur_path, baseline, base_path):
+    require(
+        current["pool_gpus"] == baseline["pool_gpus"],
+        cur_path,
+        f"cannot compare: 'pool_gpus' differs from baseline "
+        f"({current['pool_gpus']} vs {baseline['pool_gpus']})",
+    )
+    cur = current["throughput_jobs_per_sec"]
+    base = baseline["throughput_jobs_per_sec"]
+    ratio = cur / base
+    print(f"serve throughput: {cur:.2f} jobs/sec vs baseline {base:.2f} ({ratio:.2f}x)")
+    require(
+        ratio >= 1.0 - MAX_REGRESSION,
+        cur_path,
+        f"serve throughput regressed {100 * (1 - ratio):.1f}% vs {base_path} "
+        f"(limit {100 * MAX_REGRESSION:.0f}%)",
+    )
+
+
 def compare(current, cur_path, baseline, base_path):
+    if current.get("bench") == "serve" and baseline.get("bench") == "serve":
+        return compare_serve(current, cur_path, baseline, base_path)
     require(
         current.get("bench") == "planner" and baseline.get("bench") == "planner",
         cur_path,
-        "--compare only applies to planner reports",
+        "--compare only applies to planner or serve reports",
     )
     for key in ("tasks", "gpus"):
         require(

@@ -1,0 +1,254 @@
+//! End-to-end tests for the multi-tenant scheduling service: a running
+//! daemon driven over HTTP through the load-generator client, asserting
+//! the inter-job scheduling contract — weighted fair-share dispatch
+//! order, admission-queue priority preemption, cancel semantics, and
+//! warm restarts over a shared durable plan store.
+
+use std::time::Duration;
+
+use micco_core::SessionConfig;
+use micco_load::Client;
+use micco_serve::{JobState, Priority, ServeConfig, Service, TenantSpec};
+
+/// A job that needs `gpus` devices; sized so simulated time is tiny and
+/// the wall-clock hold comes from the daemon's `time_scale`.
+fn job(gpus: usize) -> SessionConfig {
+    SessionConfig {
+        vector_size: 6,
+        tensor_size: 32,
+        vectors: 2,
+        gpus,
+        ..SessionConfig::default()
+    }
+}
+
+/// A job with a much longer simulated makespan: used to pin the pool
+/// busy while the queue is assembled, so dispatch order reflects the
+/// policy, not HTTP submission races. Canceled once the queue is built
+/// (cancel checkpoints every 2 ms, so release is prompt).
+fn blocker_job() -> SessionConfig {
+    SessionConfig {
+        vector_size: 32,
+        tensor_size: 48,
+        vectors: 12,
+        gpus: 2,
+        ..SessionConfig::default()
+    }
+}
+
+#[test]
+fn weighted_fair_share_orders_concurrent_tenants() {
+    // one-slot pool (every job takes both GPUs): dispatches are serial
+    let service = Service::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            pool_gpus: 2,
+            time_scale: 150.0,
+            tenants: vec![
+                TenantSpec {
+                    name: "heavy".into(),
+                    priority: Priority::Normal,
+                    weight: 3,
+                },
+                TenantSpec {
+                    name: "light".into(),
+                    priority: Priority::Normal,
+                    weight: 1,
+                },
+            ],
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = Client::new(service.addr());
+    let shared = service.scheduling().clone();
+
+    // pin the slot, then queue 4 jobs per tenant back-to-back
+    let blocker = client.submit("boot", None, &blocker_job()).unwrap();
+    let mut ids = Vec::new();
+    for _ in 0..4 {
+        ids.push(("heavy", client.submit("heavy", None, &job(2)).unwrap()));
+    }
+    for _ in 0..4 {
+        ids.push(("light", client.submit("light", None, &job(2)).unwrap()));
+    }
+    client.cancel(blocker).unwrap();
+    assert!(shared.wait_idle(Duration::from_secs(30)), "pool drained");
+
+    // reconstruct the dispatch order from the daemon's records
+    let mut order: Vec<(u64, &str)> = ids
+        .iter()
+        .map(|(tenant, id)| {
+            let rec = shared.job(*id).unwrap();
+            assert_eq!(rec.state, JobState::Done, "{tenant} job {id} finished");
+            (rec.dispatch_seq.unwrap(), *tenant)
+        })
+        .collect();
+    order.sort_unstable();
+    let tenants: Vec<&str> = order.iter().map(|(_, t)| *t).collect();
+
+    // weight 3 vs 1 with equal-cost jobs: the heavy tenant owns the
+    // early slots, the light tenant's backlog drains last
+    assert_eq!(tenants[0], "heavy", "FIFO tie-break on fresh vtimes");
+    let heavy_in_first_five = tenants[..5].iter().filter(|t| **t == "heavy").count();
+    assert!(
+        heavy_in_first_five >= 3,
+        "weight-3 tenant should dominate the early dispatches, got {tenants:?}"
+    );
+    assert_eq!(
+        &tenants[6..],
+        &["light", "light"],
+        "the weight-1 backlog drains last, got {tenants:?}"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn admission_queue_preempts_by_priority() {
+    let service = Service::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            pool_gpus: 2,
+            max_queue: 2,
+            time_scale: 200.0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = Client::new(service.addr());
+    let shared = service.scheduling().clone();
+
+    // one job runs, two low-priority jobs fill the whole queue
+    let running = client.submit("t", Some("normal"), &blocker_job()).unwrap();
+    let low_a = client.submit("t", Some("low"), &job(2)).unwrap();
+    let low_b = client.submit("t", Some("low"), &job(2)).unwrap();
+
+    // an equal-priority submission cannot displace anything: 429
+    let err = client.submit("t", Some("low"), &job(2)).unwrap_err();
+    assert_eq!(err.status(), Some(429), "queue full for equals: {err}");
+
+    // a higher class evicts the latest-arrived low job — never the
+    // running one, never the earlier-queued one
+    let high = client.submit("t", Some("high"), &job(2)).unwrap();
+    let evicted = client.job(low_b).unwrap();
+    assert_eq!(
+        evicted.get("state").and_then(|v| v.as_str()),
+        Some("preempted"),
+        "latest low job preempted from the queue"
+    );
+    assert!(
+        evicted
+            .get("error")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .contains("preempted"),
+        "preemption reason recorded"
+    );
+    for still_there in [running, low_a] {
+        let state = client
+            .job(still_there)
+            .unwrap()
+            .get("state")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .to_owned();
+        assert_ne!(state, "preempted", "job {still_there} survived admission");
+    }
+
+    // unblock the pool and let everything settle; the high job must have
+    // dispatched before the surviving low one
+    client.cancel(running).unwrap();
+    assert!(shared.wait_idle(Duration::from_secs(30)), "pool drained");
+    let high_seq = shared.job(high).unwrap().dispatch_seq.unwrap();
+    let low_seq = shared.job(low_a).unwrap().dispatch_seq.unwrap();
+    assert!(
+        high_seq < low_seq,
+        "high priority dispatches first ({high_seq} vs {low_seq})"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn cancel_semantics_over_http() {
+    let service = Service::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            pool_gpus: 2,
+            time_scale: 200.0,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let client = Client::new(service.addr());
+    let shared = service.scheduling().clone();
+
+    let running = client.submit("t", None, &blocker_job()).unwrap();
+    let queued = client.submit("t", None, &job(2)).unwrap();
+
+    // a queued job cancels instantly and never dispatches
+    assert_eq!(client.cancel(queued).unwrap(), "canceled");
+    let rec = client.job(queued).unwrap();
+    assert_eq!(rec.get("state").and_then(|v| v.as_str()), Some("canceled"));
+    assert!(rec.get("dispatch_seq").is_none(), "never dispatched");
+
+    // cancelling twice is a conflict, unknown ids are 404
+    let err = client.cancel(queued).unwrap_err();
+    assert_eq!(err.status(), Some(409), "double cancel: {err}");
+    let err = client.cancel(999_999).unwrap_err();
+    assert_eq!(err.status(), Some(404), "unknown id: {err}");
+
+    // a running job acknowledges the cancel and stops at the next
+    // checkpoint
+    assert_eq!(client.cancel(running).unwrap(), "running");
+    let rec = shared.wait_job(running, Duration::from_secs(30)).unwrap();
+    assert_eq!(rec.state, JobState::Canceled);
+    service.shutdown();
+}
+
+#[test]
+fn warm_restart_serves_cached_plans_without_replanning() {
+    let store = std::env::temp_dir().join(format!(
+        "micco-serve-int-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&store);
+    let config = || ServeConfig {
+        pool_gpus: 2,
+        store: Some(store.clone()),
+        ..ServeConfig::default()
+    };
+
+    // first daemon: the submission plans cold and logs the decision
+    let service = Service::start("127.0.0.1:0", config()).unwrap();
+    let client = Client::new(service.addr());
+    let shared = service.scheduling().clone();
+    let cold = client.submit("acme", None, &job(2)).unwrap();
+    let rec = shared.wait_job(cold, Duration::from_secs(30)).unwrap();
+    assert_eq!(rec.state, JobState::Done);
+    assert!(!rec.result.unwrap().warm, "fresh store plans cold");
+    let (_, log_hits, misses) = shared.cache_stats().unwrap();
+    assert_eq!((log_hits, misses), (0, 1), "one miss, no log hits yet");
+    service.shutdown();
+
+    // second daemon over the same directory: the identical submission is
+    // served from the durable log — the scheduler is never invoked
+    let service = Service::start("127.0.0.1:0", config()).unwrap();
+    let client = Client::new(service.addr());
+    let shared = service.scheduling().clone();
+    let warm = client.submit("acme", None, &job(2)).unwrap();
+    let rec = shared.wait_job(warm, Duration::from_secs(30)).unwrap();
+    assert_eq!(rec.state, JobState::Done);
+    assert!(rec.result.unwrap().warm, "restart serves the logged plan");
+    let (_, log_hits, misses) = shared.cache_stats().unwrap();
+    assert_eq!((log_hits, misses), (1, 0), "replayed, not re-planned");
+
+    // and the warm start is visible to operators via /metrics
+    let metrics = client.metrics().unwrap();
+    assert!(
+        metrics.contains("plan_cache.log_hits 1"),
+        "log hit exported: {metrics}"
+    );
+    service.shutdown();
+    let _ = std::fs::remove_dir_all(&store);
+}

@@ -10,8 +10,9 @@
 //!    simulator's busy/copy accounting on the sim backend, and per-worker
 //!    compute span sums reconcile with `per_worker_busy_secs` on the real
 //!    backend.
-//! 4. The deprecated exec entry points still produce bit-identical
-//!    checksums through the unified API.
+//! 4. The two canonical exec entry points (`execute_assignments`,
+//!    `execute_plan`) produce bit-identical checksums for the same
+//!    placement, with and without work stealing.
 
 use std::sync::Arc;
 
@@ -167,9 +168,8 @@ fn real_exec_spans_reconcile_with_busy_secs() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_entry_points_checksum_match_the_unified_api() {
-    use micco::exec::{execute_plan, execute_plan_opts, execute_stream, execute_stream_opts};
+fn canonical_entry_points_checksum_match_across_the_unified_api() {
+    use micco::exec::execute_plan;
 
     const SHAPE: TensorShape = TensorShape { batch: 2, dim: 12 };
     let stream = WorkloadSpec::new(5, SHAPE.dim)
@@ -184,45 +184,40 @@ fn deprecated_entry_points_checksum_match_the_unified_api() {
         run_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg).expect("workload fits");
     let store = TensorStore::new(SHAPE.batch, SHAPE.dim, 31);
 
-    let new = execute_assignments(
+    // the two canonical entries — assignment slice and plan IR — are one
+    // engine: their checksums pin to each other for the same placement
+    let via_assignments = execute_assignments(
         &stream,
         &report.assignments,
         workers,
         &store,
         &ExecOptions::default(),
     )
-    .expect("unified API runs");
-    let old = execute_stream(&stream, &report.assignments, workers, SHAPE, 31)
-        .expect("deprecated API runs");
-    assert_eq!(new.checksum, old.checksum, "execute_stream drifted");
-    let old_opts = execute_stream_opts(
+    .expect("assignment entry runs");
+    let with_steal = execute_assignments(
         &stream,
         &report.assignments,
         workers,
-        SHAPE,
-        31,
-        ExecOptions::default().with_steal(),
+        &store,
+        &ExecOptions::default().with_steal(),
     )
-    .expect("deprecated opts API runs");
+    .expect("steal mode runs");
     assert_eq!(
-        new.checksum, old_opts.checksum,
-        "execute_stream_opts drifted"
+        via_assignments.checksum, with_steal.checksum,
+        "work stealing changed the result"
     );
 
     let plan = micco::sched::plan_schedule(&mut RoundRobinScheduler::new(), &stream, &cfg)
         .expect("plan decides");
-    let new_plan = execute_plan(&stream, &plan, &store, &ExecOptions::default())
-        .expect("unified plan API runs");
-    let old_plan = execute_plan_opts(&stream, &plan, SHAPE, 31, ExecOptions::default())
-        .expect("deprecated plan API runs");
+    let via_plan =
+        execute_plan(&stream, &plan, &store, &ExecOptions::default()).expect("plan entry runs");
     assert_eq!(
-        new.checksum, new_plan.checksum,
+        via_assignments.checksum, via_plan.checksum,
         "plan vs assignments drifted"
     );
-    assert_eq!(
-        new_plan.checksum, old_plan.checksum,
-        "execute_plan_opts drifted"
-    );
+    let again =
+        execute_plan(&stream, &plan, &store, &ExecOptions::default()).expect("plan entry reruns");
+    assert_eq!(via_plan.checksum, again.checksum, "nondeterministic rerun");
 }
 
 /// Strategy: a modest random workload.
